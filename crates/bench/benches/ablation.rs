@@ -1,0 +1,54 @@
+//! Criterion timing for the router's look-ahead cost: how expensive is
+//! the Eq. 1 score as the window grows (complements the quality ablation
+//! in `src/bin/ablation.rs`).
+//!
+//! Run with: `cargo bench -p bench --bench ablation`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tilt_benchmarks::qft::qft;
+use tilt_compiler::decompose::decompose;
+use tilt_compiler::mapping::InitialMapping;
+use tilt_compiler::route::LinqConfig;
+use tilt_compiler::{DeviceSpec, RouterKind};
+
+fn bench_lookahead_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linq_lookahead_cost_qft32");
+    group.sample_size(10);
+    let circuit = qft(32);
+    let native = decompose(&circuit);
+    let spec = DeviceSpec::new(32, 8).unwrap();
+    let initial = InitialMapping::Identity.build(&native, spec.n_ions());
+    for lookahead in [1usize, 32, 128, 512] {
+        let cfg = LinqConfig {
+            lookahead,
+            ..LinqConfig::default()
+        };
+        group.bench_function(format!("window_{lookahead}"), |b| {
+            b.iter(|| {
+                RouterKind::Linq(cfg.clone())
+                    .route(black_box(&native), spec, &initial)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_initial_mapping_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("initial_mapping_qft64");
+    let circuit = qft(64);
+    let native = decompose(&circuit);
+    for (name, strategy) in [
+        ("identity", InitialMapping::Identity),
+        ("interaction_chain", InitialMapping::InteractionChain),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| strategy.build(black_box(&native), 64))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookahead_cost, bench_initial_mapping_strategies);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion timing of full end-to-end evaluations: the TILT pipeline
+//! plus simulation vs the QCCD router plus simulation, per benchmark —
+//! the compile-and-estimate loop a design-space exploration would run.
+//!
+//! Run with: `cargo bench -p bench --bench architectures`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tilt_benchmarks::{adder::adder64, qaoa::qaoa64};
+use tilt_compiler::decompose::decompose;
+use tilt_compiler::{Compiler, DeviceSpec};
+use tilt_qccd::{compile_qccd, estimate_qccd_success, QccdParams, QccdSpec};
+use tilt_sim::{estimate_success, GateTimeModel, NoiseModel};
+
+fn bench_tilt_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tilt_end_to_end_head16");
+    group.sample_size(10);
+    let noise = NoiseModel::default();
+    let times = GateTimeModel::default();
+    for (name, circuit) in [("adder64", adder64()), ("qaoa64", qaoa64())] {
+        let spec = DeviceSpec::new(circuit.n_qubits(), 16).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let out = Compiler::new(spec).compile(black_box(&circuit)).unwrap();
+                estimate_success(&out.program, &noise, &times)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_qccd_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qccd_end_to_end_17ions");
+    group.sample_size(10);
+    let noise = NoiseModel::default();
+    let times = GateTimeModel::default();
+    let params = QccdParams::default();
+    for (name, circuit) in [("adder64", adder64()), ("qaoa64", qaoa64())] {
+        let native = decompose(&circuit);
+        let spec = QccdSpec::for_qubits(64, 17).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let program = compile_qccd(black_box(&native), &spec).unwrap();
+                estimate_qccd_success(&program, &noise, &times, &params)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tilt_end_to_end, bench_qccd_end_to_end);
+criterion_main!(benches);

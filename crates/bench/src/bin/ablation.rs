@@ -1,0 +1,233 @@
+//! Ablations of the design choices called out in DESIGN.md §5:
+//!
+//! 1. Eq. 1 look-ahead decay `α` (QFT, head 16)
+//! 2. look-ahead window size, where a window of 1 reduces Algorithm 1 to
+//!    current-gate greediness and suppresses opposing swaps
+//! 3. tape scheduler: Algorithm 2 greedy vs naive next-gate
+//! 4. `k ∝ √n` heating scaling vs constant `k`
+//! 5. QCCD sympathetic cooling on/off
+//! 6. initial-mapping strategy (BV, head 16)
+//! 7. LinQ optimality gap vs the exact minimal-swap router
+//!
+//! Run with: `cargo run --release -p bench --bin ablation`
+
+use bench::evaluate_tilt;
+use tilt_benchmarks::{bv::bv64, qaoa::qaoa64, qft::qft64, rcs::rcs64};
+use tilt_circuit::{Circuit, Qubit};
+use tilt_compiler::mapping::{InitialMapping, Mapping};
+use tilt_compiler::route::exact::{optimal_route, ExactConfig};
+use tilt_compiler::route::LinqConfig;
+use tilt_compiler::{Compiler, DeviceSpec, RouterKind, SchedulerKind};
+use tilt_qccd::{compile_qccd, estimate_qccd_success, QccdParams, QccdSpec};
+use tilt_report::{fmt_success, Table};
+use tilt_sim::{estimate_success, GateTimeModel, NoiseModel};
+
+fn main() {
+    alpha_sweep();
+    lookahead_window();
+    scheduler_choice();
+    heating_scaling();
+    qccd_cooling();
+    initial_mapping_study();
+    optimality_gap();
+}
+
+fn alpha_sweep() {
+    println!("Ablation 1: Eq. 1 look-ahead decay α (QFT, head 16)\n");
+    let circuit = qft64();
+    let mut table = Table::new(["alpha", "#swaps", "opposing", "#moves", "success"]);
+    for alpha in [0.5, 0.7, 0.9, 0.95] {
+        let cfg = LinqConfig {
+            alpha,
+            ..LinqConfig::default()
+        };
+        let eval = evaluate_tilt(&circuit, 16, RouterKind::Linq(cfg));
+        let r = &eval.output.report;
+        table.row([
+            format!("{alpha}"),
+            r.swap_count.to_string(),
+            format!("{:.2}", r.opposing_ratio),
+            r.move_count.to_string(),
+            fmt_success(eval.success.success),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Small α collapses Eq. 1 into per-gate greediness: swap and move");
+    println!("counts inflate several-fold. α = 0.9 is the shipped default.\n");
+}
+
+fn lookahead_window() {
+    println!("Ablation 2: look-ahead window size (QFT, head 16)\n");
+    let circuit = qft64();
+    let mut table = Table::new(["window", "#swaps", "opposing", "#moves", "success"]);
+    for lookahead in [1usize, 8, 32, 128] {
+        let cfg = LinqConfig {
+            lookahead,
+            ..LinqConfig::default()
+        };
+        let eval = evaluate_tilt(&circuit, 16, RouterKind::Linq(cfg));
+        let r = &eval.output.report;
+        table.row([
+            lookahead.to_string(),
+            r.swap_count.to_string(),
+            format!("{:.2}", r.opposing_ratio),
+            r.move_count.to_string(),
+            fmt_success(eval.success.success),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("A window of 1 scores only the gate being resolved — opposing");
+    println!("swaps (which need awareness of other traffic) largely vanish.\n");
+}
+
+fn scheduler_choice() {
+    println!("Ablation 3: tape scheduler (Algorithm 2 greedy vs naive next-gate)\n");
+    let mut table = Table::new(["app", "scheduler", "#moves", "success"]);
+    for (name, circuit) in [("QAOA", qaoa64()), ("RCS", rcs64())] {
+        for (label, kind) in [
+            ("greedy (Alg. 2)", SchedulerKind::GreedyMaxExecutable),
+            ("naive next-gate", SchedulerKind::NaiveNextGate),
+        ] {
+            let spec = DeviceSpec::new(circuit.n_qubits(), 16).unwrap();
+            let mut compiler = Compiler::new(spec);
+            compiler.scheduler(kind);
+            let out = compiler.compile(&circuit).unwrap();
+            let s = estimate_success(
+                &out.program,
+                &NoiseModel::default(),
+                &GateTimeModel::default(),
+            );
+            table.row([
+                name.to_string(),
+                label.to_string(),
+                out.report.move_count.to_string(),
+                fmt_success(s.success),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!("Maximizing executable gates per position (Eq. 2) batches whole");
+    println!("layers per head stop; chasing the next ready gate does not.\n");
+}
+
+fn heating_scaling() {
+    println!("Ablation 4: k ∝ √n heating scaling vs constant k (QFT, head 16)\n");
+    let circuit = qft64();
+    let eval = evaluate_tilt(&circuit, 16, RouterKind::default());
+    let times = GateTimeModel::default();
+    let sqrt_n = NoiseModel::default();
+    // Constant-k model: the 64-ion chain heats like the 8-ion reference.
+    let constant = NoiseModel {
+        n_ref: 64.0,
+        ..NoiseModel::default()
+    };
+    let mut table = Table::new(["heating model", "k(64)", "success"]);
+    for (label, noise) in [("k ∝ √n (paper)", sqrt_n), ("constant k", constant)] {
+        let s = estimate_success(&eval.output.program, &noise, &times);
+        table.row([
+            label.to_string(),
+            format!("{:.3}", noise.k_for_chain(64)),
+            fmt_success(s.success),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Ignoring the centre-of-mass softening understates shuttling cost");
+    println!("on long chains by orders of magnitude on move-heavy programs.\n");
+}
+
+fn qccd_cooling() {
+    println!("Ablation 5: QCCD sympathetic cooling (QAOA)\n");
+    let native = tilt_compiler::decompose::decompose(&qaoa64());
+    let spec = QccdSpec::for_qubits(64, 17).unwrap();
+    let program = compile_qccd(&native, &spec).unwrap();
+    let noise = NoiseModel::default();
+    let times = GateTimeModel::default();
+    let mut table = Table::new(["cooling", "rounds", "peak quanta", "success"]);
+    for (label, params) in [
+        ("on (default)", QccdParams::default()),
+        ("off", QccdParams::default().without_cooling()),
+    ] {
+        let r = estimate_qccd_success(&program, &noise, &times, &params);
+        table.row([
+            label.to_string(),
+            r.cooling_rounds.to_string(),
+            format!("{:.1}", r.peak_quanta),
+            fmt_success(r.success),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Without re-cooling, transport heat accumulates for the whole");
+    println!("program and QCCD collapses on communication-heavy workloads —");
+    println!("cooling is what keeps the Fig. 8 comparison competitive.\n");
+}
+
+fn initial_mapping_study() {
+    println!("Ablation 6: initial-mapping strategy (BV, head 16)\n");
+    let circuit = bv64();
+    let noise = NoiseModel::default();
+    let times = GateTimeModel::default();
+    let mut table = Table::new(["strategy", "#swaps", "#moves", "success"]);
+    let strategies = [
+        ("identity", InitialMapping::Identity),
+        ("interaction chain", InitialMapping::InteractionChain),
+        ("reverse", InitialMapping::Reverse),
+        ("random (seed 1)", InitialMapping::Random(1)),
+    ];
+    for (label, strategy) in strategies {
+        let mut compiler = Compiler::new(DeviceSpec::tilt64(16));
+        compiler.initial_mapping(strategy);
+        let out = compiler.compile(&circuit).expect("BV compiles");
+        let s = estimate_success(&out.program, &noise, &times);
+        table.row([
+            label.to_string(),
+            out.report.swap_count.to_string(),
+            out.report.move_count.to_string(),
+            fmt_success(s.success),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("The interaction-chain heuristic ([40,51]-style placement) centres");
+    println!("BV's ancilla among its partners and nearly halves the swaps; a");
+    println!("random start costs real success. This is the paper's point that a");
+    println!("good initial mapping 'can also reduce the number of swap gates'.\n");
+}
+
+fn optimality_gap() {
+    println!("Ablation 7: LinQ optimality gap vs the exact router (7 ions, head 3)\n");
+    let spec = DeviceSpec::new(7, 3).expect("valid spec");
+    let mut rows = 0usize;
+    let (mut linq_total, mut opt_total) = (0usize, 0usize);
+    let mut table = Table::new(["instance", "LinQ swaps", "optimal swaps"]);
+    for seed in 0..8usize {
+        let mut c = Circuit::new(7);
+        for i in 0..5 {
+            let a = (seed * 3 + i * 2) % 7;
+            let b = (a + 3 + (seed + i) % 3) % 7;
+            if a != b {
+                c.xx(Qubit(a), Qubit(b), 0.1);
+            }
+        }
+        let initial = Mapping::identity(7);
+        let linq = RouterKind::default()
+            .route(&c, spec, &initial)
+            .expect("routes")
+            .swap_count;
+        let opt = optimal_route(&c, spec, &initial, &ExactConfig::default())
+            .expect("searches")
+            .swap_count;
+        table.row([
+            format!("seed {seed}"),
+            linq.to_string(),
+            opt.to_string(),
+        ]);
+        linq_total += linq;
+        opt_total += opt;
+        rows += 1;
+    }
+    println!("{}", table.render());
+    println!(
+        "aggregate over {rows} instances: LinQ {linq_total} vs optimal {opt_total} \
+         ({:.0}% overhead) — the heuristic tracks the ILP-style lower bound closely.",
+        100.0 * (linq_total as f64 - opt_total as f64) / opt_total.max(1) as f64
+    );
+}

@@ -1,0 +1,65 @@
+//! Regenerates **Table III** of the TILT paper: LinQ compilation results —
+//! pass times, tape-move counts, travel distance, and estimated program
+//! execution time for head sizes 16 and 32.
+//!
+//! Run with: `cargo run --release -p bench --bin table3`
+
+use bench::evaluate_tilt;
+use tilt_benchmarks::paper_suite;
+use tilt_compiler::RouterKind;
+use tilt_report::{fmt_secs, Table};
+use tilt_sim::ExecTimeModel;
+
+/// Paper-reported (moves, dist µm, texec s) per application, for
+/// side-by-side reading: head 16 then head 32.
+const PAPER: [(&str, [(usize, usize, f64); 2]); 6] = [
+    ("ADDER", [(10, 104, 2.967), (5, 68, 3.252)]),
+    ("BV", [(4, 49, 0.856), (2, 33, 0.987)]),
+    ("QAOA", [(18, 232, 1.564), (4, 72, 1.357)]),
+    ("RCS", [(65, 992, 1.704), (11, 214, 0.856)]),
+    ("QFT", [(162, 2002, 24.820), (69, 1276, 33.876)]),
+    ("SQRT", [(168, 1816, 46.554), (76, 1068, 40.817)]),
+];
+
+fn main() {
+    for (hi, head) in [16usize, 32].into_iter().enumerate() {
+        let mut table = Table::new([
+            "Application",
+            "t_swap(s)",
+            "t_move(s)",
+            "#moves",
+            "dist(um)",
+            "t_exec(s)",
+            "paper #moves",
+            "paper dist",
+            "paper t_exec",
+        ]);
+        for b in paper_suite() {
+            let eval = evaluate_tilt(&b.circuit, head, RouterKind::default());
+            let r = &eval.output.report;
+            let dist_um = ExecTimeModel::default().travel_um(&eval.output.program);
+            let paper = PAPER
+                .iter()
+                .find(|(name, _)| *name == b.name)
+                .expect("paper row exists")
+                .1[hi];
+            table.row([
+                b.name.to_string(),
+                fmt_secs(r.t_swap),
+                fmt_secs(r.t_move),
+                r.move_count.to_string(),
+                format!("{dist_um:.0}"),
+                format!("{:.3}", eval.exec_time_us / 1e6),
+                paper.0.to_string(),
+                paper.1.to_string(),
+                format!("{:.3}", paper.2),
+            ]);
+        }
+        println!("Table III: LinQ compilation results — head size {head}\n");
+        println!("{}", table.render());
+        bench::maybe_print_csv(&table);
+    }
+    println!("Wall-clock pass times are host-dependent (the paper used a 32-core");
+    println!("Xeon running a Python/Qiskit-based stack); orderings, not absolute");
+    println!("values, are the reproduction target. See also `cargo bench`.");
+}

@@ -1,0 +1,229 @@
+//! Extended benchmark suite — the application classes §III-C of the paper
+//! names as TILT's target workloads but does not include in Table II:
+//! VQE (Kandala et al.), the Ising-model solver (Barends et al.), surface-
+//! code syndrome extraction (Fowler et al.), and GHZ state preparation.
+//!
+//! All generators emit CNOT-level circuits like the Table II suite, so
+//! they drop straight into every harness.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tilt_circuit::{Circuit, Qubit};
+
+/// GHZ state preparation: one Hadamard plus a CNOT ladder — the minimal
+/// nearest-neighbour benchmark.
+///
+/// # Example
+///
+/// ```
+/// use tilt_benchmarks::extended::ghz;
+///
+/// let c = ghz(64);
+/// assert_eq!(c.two_qubit_count(), 63);
+/// ```
+pub fn ghz(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    c.h(Qubit(0));
+    for i in 1..n {
+        c.cnot(Qubit(i - 1), Qubit(i));
+    }
+    c
+}
+
+/// Hardware-efficient VQE ansatz (Kandala et al., Nature 549): layers of
+/// single-qubit Euler rotations followed by a ladder of entanglers, as
+/// used for molecular ground-state preparation. Angles are seeded stand-ins
+/// for the classical optimizer's parameters.
+///
+/// # Panics
+///
+/// Panics if `n_qubits < 2`.
+///
+/// # Example
+///
+/// ```
+/// use tilt_benchmarks::extended::vqe_ansatz;
+///
+/// let c = vqe_ansatz(16, 4, 3);
+/// assert_eq!(c.two_qubit_count(), 4 * 15);
+/// ```
+pub fn vqe_ansatz(n_qubits: usize, layers: usize, seed: u64) -> Circuit {
+    assert!(n_qubits >= 2, "VQE ansatz needs at least two qubits");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n_qubits);
+    let mut euler = |c: &mut Circuit, q: Qubit| {
+        c.rz(q, rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI));
+        c.rx(q, rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI));
+        c.rz(q, rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI));
+    };
+    for _ in 0..layers {
+        for q in 0..n_qubits {
+            euler(&mut c, Qubit(q));
+        }
+        for q in 0..n_qubits - 1 {
+            c.cnot(Qubit(q), Qubit(q + 1));
+        }
+    }
+    for q in 0..n_qubits {
+        euler(&mut c, Qubit(q));
+    }
+    c
+}
+
+/// Digitized-adiabatic transverse-field Ising solver (Barends et al.,
+/// Nature 534): Trotter steps alternating nearest-neighbour `ZZ` coupling
+/// layers with transverse `Rx` layers, ramping the field down.
+///
+/// # Example
+///
+/// ```
+/// use tilt_benchmarks::extended::ising_solver;
+///
+/// let c = ising_solver(16, 5);
+/// assert_eq!(c.two_qubit_count(), 5 * 15);
+/// ```
+pub fn ising_solver(n_qubits: usize, trotter_steps: usize) -> Circuit {
+    let mut c = Circuit::new(n_qubits);
+    for q in 0..n_qubits {
+        c.h(Qubit(q));
+    }
+    for step in 0..trotter_steps {
+        let s = (step + 1) as f64 / trotter_steps as f64;
+        let zz_angle = 2.0 * 0.2 * s; // coupling ramps up
+        let field = 2.0 * 0.8 * (1.0 - s); // transverse field ramps down
+        for q in 0..n_qubits - 1 {
+            c.zz(Qubit(q), Qubit(q + 1), zz_angle);
+        }
+        for q in 0..n_qubits {
+            c.rx(Qubit(q), field);
+        }
+    }
+    c
+}
+
+/// One round of distance-`d` surface-code syndrome extraction (Fowler et
+/// al., PRA 86) on the 1-D layout trapped-ion QEC studies use (Trout et
+/// al.): data and ancilla qubits interleaved along the chain, each
+/// stabilizer measured by a four-CNOT cycle with its neighbouring data
+/// qubits.
+///
+/// The returned circuit interleaves `d²` data qubits with `d² − 1`
+/// syndrome ancillas (`2d² − 1` total), alternating X- and Z-type
+/// stabilizers. Communication is short-distance — the class of workload
+/// §III-C argues favours TILT.
+///
+/// # Panics
+///
+/// Panics if `distance < 2`.
+///
+/// # Example
+///
+/// ```
+/// use tilt_benchmarks::extended::surface_code_round;
+///
+/// let c = surface_code_round(3);
+/// assert_eq!(c.n_qubits(), 17); // 9 data + 8 ancilla
+/// ```
+pub fn surface_code_round(distance: usize) -> Circuit {
+    assert!(distance >= 2, "surface code needs distance at least 2");
+    let n_data = distance * distance;
+    let n_anc = n_data - 1;
+    let n = n_data + n_anc;
+    // Layout: data at even positions, ancillas at odd positions.
+    let data = |i: usize| Qubit(2 * i);
+    let anc = |i: usize| Qubit(2 * i + 1);
+    let mut c = Circuit::new(n);
+
+    for a in 0..n_anc {
+        let x_type = a % 2 == 0;
+        let left = data(a);
+        let right = data(a + 1);
+        if x_type {
+            // X stabilizer: H on ancilla, CNOTs ancilla→data, H, measure.
+            c.h(anc(a));
+            c.cnot(anc(a), left);
+            c.cnot(anc(a), right);
+            // Weight-4 plaquettes couple to the row neighbours where they
+            // exist (1-D folded layout).
+            if a + distance < n_data {
+                c.cnot(anc(a), data(a + distance));
+            }
+            c.h(anc(a));
+        } else {
+            // Z stabilizer: CNOTs data→ancilla.
+            c.cnot(left, anc(a));
+            c.cnot(right, anc(a));
+            if a + distance < n_data {
+                c.cnot(data(a + distance), anc(a));
+            }
+        }
+        c.measure(anc(a));
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilt_circuit::validate;
+
+    #[test]
+    fn ghz_counts() {
+        let c = ghz(64);
+        assert_eq!(c.n_qubits(), 64);
+        assert_eq!(c.two_qubit_count(), 63);
+        assert_eq!(c.depth(), 64);
+    }
+
+    #[test]
+    fn vqe_gate_counts_scale_with_layers() {
+        for layers in 1..4 {
+            let c = vqe_ansatz(8, layers, 1);
+            assert_eq!(c.two_qubit_count(), layers * 7);
+            // Euler rotations: (layers + 1) × 3 per qubit.
+            assert_eq!(c.single_qubit_count(), (layers + 1) * 3 * 8);
+        }
+    }
+
+    #[test]
+    fn vqe_is_seed_deterministic() {
+        assert_eq!(vqe_ansatz(8, 2, 9), vqe_ansatz(8, 2, 9));
+        assert_ne!(vqe_ansatz(8, 2, 9), vqe_ansatz(8, 2, 10));
+    }
+
+    #[test]
+    fn ising_ramp_is_nearest_neighbour() {
+        let c = ising_solver(12, 4);
+        for g in c.iter().filter(|g| g.is_two_qubit()) {
+            assert_eq!(g.span(), Some(1));
+        }
+        assert_eq!(c.two_qubit_count(), 4 * 11);
+    }
+
+    #[test]
+    fn surface_code_layout_is_short_distance() {
+        let c = surface_code_round(3);
+        assert_eq!(c.n_qubits(), 17);
+        // The folded 1-D layout keeps stabilizer CNOTs within 2·distance.
+        let max_span = c.iter().filter_map(|g| g.span()).max().unwrap();
+        assert!(max_span <= 2 * 3, "span {max_span}");
+        assert_eq!(c.stats().measurements, 8);
+    }
+
+    #[test]
+    fn surface_code_distance_scaling() {
+        for d in 2..5 {
+            let c = surface_code_round(d);
+            assert_eq!(c.n_qubits(), 2 * d * d - 1);
+            assert!(validate(&c).is_ok());
+        }
+    }
+
+    #[test]
+    fn all_extended_benchmarks_validate() {
+        assert!(validate(&ghz(64)).is_ok());
+        assert!(validate(&vqe_ansatz(64, 4, 3)).is_ok());
+        assert!(validate(&ising_solver(64, 10)).is_ok());
+        assert!(validate(&surface_code_round(5)).is_ok());
+    }
+}

@@ -1,0 +1,39 @@
+//! NISQ benchmark circuit generators — the Table II suite of the TILT paper.
+//!
+//! Six applications with deliberately different communication patterns:
+//!
+//! | Benchmark | Qubits | Communication |
+//! |-----------|--------|---------------|
+//! | [`adder`]  | 64 | short-distance gates |
+//! | [`bv`]     | 64 | long-distance gates |
+//! | [`qaoa`]   | 64 | nearest-neighbor gates |
+//! | [`rcs`]    | 64 | nearest-neighbor gates (2D grid on a line) |
+//! | [`qft`]    | 64 | long-distance gates |
+//! | [`sqrt`]   | 78 | long-distance gates |
+//!
+//! Generators emit circuits at the CNOT level (Toffolis and controlled
+//! phases already lowered to two-qubit gates), matching how the paper's
+//! Table II counts "2Q Gates". The [`suite`] module bundles the exact
+//! paper configurations.
+//!
+//! # Example
+//!
+//! ```
+//! use tilt_benchmarks::qft::qft;
+//!
+//! let c = qft(64);
+//! assert_eq!(c.n_qubits(), 64);
+//! assert_eq!(c.two_qubit_count(), 4032); // Table II
+//! ```
+
+pub mod adder;
+pub mod bv;
+pub mod extended;
+pub mod qaoa;
+pub mod qft;
+pub mod rcs;
+pub mod sqrt;
+pub mod suite;
+pub mod util;
+
+pub use suite::{paper_suite, Benchmark, CommunicationPattern};

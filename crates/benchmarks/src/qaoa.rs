@@ -1,0 +1,107 @@
+//! QAOA hardware-efficient ansatz for MaxCut (Farhi et al., arXiv:1411.4028;
+//! Moll et al., QST 3 030503).
+//!
+//! The QAOA row of Table II: 64 qubits, 20 ansatz layers over a linear
+//! nearest-neighbour interaction graph, 63 ZZ couplings per layer →
+//! 1260 two-qubit gates. Every coupling is nearest-neighbour, which is the
+//! communication pattern where TILT's wide execution zone pays off most
+//! (Fig. 8).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tilt_circuit::{Circuit, Qubit};
+
+/// Builds a `layers`-deep hardware-efficient QAOA MaxCut ansatz on
+/// `n_qubits` qubits arranged in a line.
+///
+/// Each layer applies `ZZ(γ_l)` to every adjacent pair followed by an
+/// `Rx(β_l)` mixer on every qubit. Angles are drawn deterministically from
+/// `seed`, standing in for the classical optimiser's parameter choices
+/// (gate *counts and structure*, which are what the compiler sees, do not
+/// depend on the angle values).
+///
+/// # Panics
+///
+/// Panics if `n_qubits < 2`.
+///
+/// # Example
+///
+/// ```
+/// use tilt_benchmarks::qaoa::qaoa_maxcut;
+///
+/// let c = qaoa_maxcut(64, 20, 7);
+/// assert_eq!(c.two_qubit_count(), 1260); // Table II
+/// ```
+pub fn qaoa_maxcut(n_qubits: usize, layers: usize, seed: u64) -> Circuit {
+    assert!(n_qubits >= 2, "QAOA needs at least two qubits");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n_qubits);
+
+    for i in 0..n_qubits {
+        c.h(Qubit(i));
+    }
+    for _ in 0..layers {
+        let gamma: f64 = rng.gen_range(0.0..std::f64::consts::PI);
+        let beta: f64 = rng.gen_range(0.0..std::f64::consts::PI);
+        for i in 0..n_qubits - 1 {
+            c.zz(Qubit(i), Qubit(i + 1), gamma);
+        }
+        for i in 0..n_qubits {
+            c.rx(Qubit(i), beta);
+        }
+    }
+    c
+}
+
+/// The Table II QAOA benchmark: 64 qubits × 20 layers (1260 ZZ gates).
+pub fn qaoa64() -> Circuit {
+    qaoa_maxcut(64, 20, 7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilt_circuit::validate;
+
+    #[test]
+    fn table2_counts() {
+        let c = qaoa64();
+        assert_eq!(c.n_qubits(), 64);
+        assert_eq!(c.two_qubit_count(), 1260);
+    }
+
+    #[test]
+    fn all_couplings_are_nearest_neighbour() {
+        let c = qaoa64();
+        for g in c.iter().filter(|g| g.is_two_qubit()) {
+            assert_eq!(g.span(), Some(1));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        assert_eq!(qaoa_maxcut(16, 3, 42), qaoa_maxcut(16, 3, 42));
+    }
+
+    #[test]
+    fn different_seeds_differ_in_angles_not_structure() {
+        let a = qaoa_maxcut(16, 3, 1);
+        let b = qaoa_maxcut(16, 3, 2);
+        assert_ne!(a, b);
+        assert_eq!(a.two_qubit_count(), b.two_qubit_count());
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn layer_scaling() {
+        for p in 1..5 {
+            let c = qaoa_maxcut(10, p, 0);
+            assert_eq!(c.two_qubit_count(), 9 * p);
+        }
+    }
+
+    #[test]
+    fn circuit_is_valid() {
+        assert!(validate(&qaoa64()).is_ok());
+    }
+}

@@ -1,0 +1,180 @@
+//! The paper's benchmark registry (Table II).
+
+use crate::{adder, bv, qaoa, qft, rcs, sqrt};
+use std::fmt;
+use tilt_circuit::Circuit;
+
+/// Communication pattern classes from Table II.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CommunicationPattern {
+    /// Two-qubit gates between close-by tape positions (ADDER).
+    ShortDistance,
+    /// Two-qubit gates spanning most of the tape (BV, QFT, SQRT).
+    LongDistance,
+    /// Strictly adjacent interactions, possibly via a 2D-grid embedding
+    /// (QAOA, RCS).
+    NearestNeighbor,
+}
+
+impl fmt::Display for CommunicationPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CommunicationPattern::ShortDistance => "Short-distance gates",
+            CommunicationPattern::LongDistance => "Long-distance gates",
+            CommunicationPattern::NearestNeighbor => "Nearest-neighbor gates",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One Table II row: a named benchmark circuit plus the numbers the paper
+/// reports for it.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// Table II application name.
+    pub name: &'static str,
+    /// The generated circuit (CNOT level).
+    pub circuit: Circuit,
+    /// Communication class from Table II.
+    pub communication: CommunicationPattern,
+    /// The "2Q Gates" count printed in Table II (our generators may differ
+    /// slightly; see EXPERIMENTS.md).
+    pub paper_two_qubit_gates: usize,
+}
+
+impl Benchmark {
+    /// True when the benchmark requires swap insertion on a head of size
+    /// `head_size` (i.e. it contains a gate spanning at least the head).
+    pub fn needs_swaps(&self, head_size: usize) -> bool {
+        self.circuit
+            .iter()
+            .filter_map(|g| g.span())
+            .any(|d| d >= head_size)
+    }
+}
+
+/// Builds all six Table II benchmarks in paper order:
+/// ADDER, BV, QAOA, RCS, QFT, SQRT.
+///
+/// # Example
+///
+/// ```
+/// use tilt_benchmarks::paper_suite;
+///
+/// let suite = paper_suite();
+/// assert_eq!(suite.len(), 6);
+/// assert_eq!(suite[0].name, "ADDER");
+/// assert_eq!(suite[4].circuit.n_qubits(), 64);
+/// ```
+pub fn paper_suite() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "ADDER",
+            circuit: adder::adder64(),
+            communication: CommunicationPattern::ShortDistance,
+            paper_two_qubit_gates: 545,
+        },
+        Benchmark {
+            name: "BV",
+            circuit: bv::bv64(),
+            communication: CommunicationPattern::LongDistance,
+            paper_two_qubit_gates: 64,
+        },
+        Benchmark {
+            name: "QAOA",
+            circuit: qaoa::qaoa64(),
+            communication: CommunicationPattern::NearestNeighbor,
+            paper_two_qubit_gates: 1260,
+        },
+        Benchmark {
+            name: "RCS",
+            circuit: rcs::rcs64(),
+            communication: CommunicationPattern::NearestNeighbor,
+            paper_two_qubit_gates: 560,
+        },
+        Benchmark {
+            name: "QFT",
+            circuit: qft::qft64(),
+            communication: CommunicationPattern::LongDistance,
+            paper_two_qubit_gates: 4032,
+        },
+        Benchmark {
+            name: "SQRT",
+            circuit: sqrt::sqrt78(),
+            communication: CommunicationPattern::LongDistance,
+            paper_two_qubit_gates: 1028,
+        },
+    ]
+}
+
+/// Returns the subset of the suite with long-distance communication —
+/// the benchmarks used for the swap-insertion studies (Figs. 6 and 7).
+pub fn long_distance_suite() -> Vec<Benchmark> {
+    paper_suite()
+        .into_iter()
+        .filter(|b| b.communication == CommunicationPattern::LongDistance)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilt_circuit::validate;
+
+    #[test]
+    fn suite_has_paper_rows_in_order() {
+        let names: Vec<_> = paper_suite().iter().map(|b| b.name).collect();
+        assert_eq!(names, vec!["ADDER", "BV", "QAOA", "RCS", "QFT", "SQRT"]);
+    }
+
+    #[test]
+    fn qubit_counts_match_table2() {
+        let expected = [64, 64, 64, 64, 64, 78];
+        for (b, &n) in paper_suite().iter().zip(&expected) {
+            assert_eq!(b.circuit.n_qubits(), n, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn two_qubit_counts_close_to_table2() {
+        for b in paper_suite() {
+            let ours = b.circuit.two_qubit_count() as f64;
+            let paper = b.paper_two_qubit_gates as f64;
+            let rel = (ours - paper).abs() / paper;
+            assert!(rel < 0.12, "{}: ours {ours} vs paper {paper}", b.name);
+        }
+    }
+
+    #[test]
+    fn all_circuits_validate() {
+        for b in paper_suite() {
+            assert!(validate(&b.circuit).is_ok(), "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn long_distance_suite_is_bv_qft_sqrt() {
+        let names: Vec<_> = long_distance_suite().iter().map(|b| b.name).collect();
+        assert_eq!(names, vec!["BV", "QFT", "SQRT"]);
+    }
+
+    #[test]
+    fn needs_swaps_matches_communication_class() {
+        for b in paper_suite() {
+            let needs = b.needs_swaps(16);
+            match b.communication {
+                CommunicationPattern::LongDistance => assert!(needs, "{}", b.name),
+                _ => assert!(!needs, "{}", b.name),
+            }
+        }
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let a = paper_suite();
+        let b = paper_suite();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.circuit, y.circuit, "{}", x.name);
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Gate dependency analysis.
+//!
+//! Both LinQ passes consume the circuit through its dependency structure:
+//! swap insertion walks two-qubit gates in dependency order and scores
+//! against the *remaining* gate set (Eq. 1), while the tape scheduler
+//! repeatedly asks "which gates are executable right now at head position
+//! `p`" (Algorithm 2). [`Dag`] gives the static structure; [`ReadyTracker`]
+//! gives the mutable frontier.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// Dependency DAG over gate indices of a [`Circuit`].
+///
+/// Gate `j` depends on gate `i` when they share a qubit and `i` precedes `j`
+/// in program order (only the *nearest* predecessor per qubit is recorded —
+/// transitive edges are implied). A [`Gate::Barrier`] depends on every gate
+/// before it and precedes every gate after it.
+///
+/// # Example
+///
+/// ```
+/// use tilt_circuit::{Circuit, Dag, Qubit};
+///
+/// let mut c = Circuit::new(3);
+/// c.h(Qubit(0));
+/// c.cnot(Qubit(0), Qubit(1));
+/// c.h(Qubit(2));
+/// let dag = Dag::new(&c);
+/// assert_eq!(dag.preds(1), &[0]);   // CNOT waits on the H
+/// assert_eq!(dag.front(), vec![0, 2]); // H(q0) and H(q2) are ready
+/// ```
+#[derive(Clone, Debug)]
+pub struct Dag {
+    preds: Vec<Vec<usize>>,
+    succs: Vec<Vec<usize>>,
+}
+
+impl Dag {
+    /// Builds the dependency DAG of `circuit` in `O(gates)`.
+    pub fn new(circuit: &Circuit) -> Self {
+        let n = circuit.len();
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        // Last gate index touching each qubit.
+        let mut last_on: Vec<Option<usize>> = vec![None; circuit.n_qubits()];
+        // Gates since the previous barrier (a barrier depends on all of them).
+        let mut since_barrier: Vec<usize> = Vec::new();
+        let mut last_barrier: Option<usize> = None;
+
+        for (i, gate) in circuit.iter().enumerate() {
+            if matches!(gate, Gate::Barrier) {
+                for &j in &since_barrier {
+                    preds[i].push(j);
+                    succs[j].push(i);
+                }
+                if let Some(b) = last_barrier {
+                    if since_barrier.is_empty() {
+                        preds[i].push(b);
+                        succs[b].push(i);
+                    }
+                }
+                since_barrier.clear();
+                last_barrier = Some(i);
+                for slot in last_on.iter_mut() {
+                    *slot = None;
+                }
+                continue;
+            }
+
+            let mut ps: Vec<usize> = gate
+                .qubits()
+                .iter()
+                .filter_map(|q| last_on[q.index()])
+                .collect();
+            ps.sort_unstable();
+            ps.dedup();
+            if ps.is_empty() {
+                if let Some(b) = last_barrier {
+                    ps.push(b);
+                }
+            }
+            for &p in &ps {
+                succs[p].push(i);
+            }
+            preds[i] = ps;
+            for q in gate.qubits() {
+                last_on[q.index()] = Some(i);
+            }
+            since_barrier.push(i);
+        }
+
+        Dag { preds, succs }
+    }
+
+    /// Number of gates (nodes).
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// True when the DAG has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Direct predecessors of gate `i` (sorted, deduplicated).
+    pub fn preds(&self, i: usize) -> &[usize] {
+        &self.preds[i]
+    }
+
+    /// Direct successors of gate `i`.
+    pub fn succs(&self, i: usize) -> &[usize] {
+        &self.succs[i]
+    }
+
+    /// Gates with no predecessors — the initial front layer.
+    pub fn front(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.preds[i].is_empty())
+            .collect()
+    }
+
+    /// In-degree of every node; the starting state for [`ReadyTracker`].
+    pub fn indegrees(&self) -> Vec<usize> {
+        self.preds.iter().map(Vec::len).collect()
+    }
+}
+
+/// Mutable execution frontier over a [`Dag`].
+///
+/// Supports the scheduler loop: query [`ReadyTracker::ready`], mark gates
+/// executed with [`ReadyTracker::complete`], repeat until
+/// [`ReadyTracker::is_done`].
+#[derive(Clone, Debug)]
+pub struct ReadyTracker {
+    indeg: Vec<usize>,
+    ready: Vec<usize>,
+    done: Vec<bool>,
+    n_done: usize,
+}
+
+impl ReadyTracker {
+    /// Starts a fresh traversal of `dag`.
+    pub fn new(dag: &Dag) -> Self {
+        let indeg = dag.indegrees();
+        let ready = dag.front();
+        ReadyTracker {
+            indeg,
+            done: vec![false; dag.len()],
+            ready,
+            n_done: 0,
+        }
+    }
+
+    /// Gate indices whose dependencies are all satisfied, ascending.
+    pub fn ready(&self) -> &[usize] {
+        &self.ready
+    }
+
+    /// Marks gate `i` executed, unlocking its successors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not currently ready (dependency violation) or was
+    /// already completed.
+    pub fn complete(&mut self, dag: &Dag, i: usize) {
+        assert!(!self.done[i], "gate {i} completed twice");
+        assert_eq!(self.indeg[i], 0, "gate {i} completed before its dependencies");
+        let pos = self
+            .ready
+            .iter()
+            .position(|&r| r == i)
+            .expect("gate not in ready set");
+        self.ready.swap_remove(pos);
+        self.done[i] = true;
+        self.n_done += 1;
+        for &s in dag.succs(i) {
+            self.indeg[s] -= 1;
+            if self.indeg[s] == 0 {
+                self.ready.push(s);
+            }
+        }
+    }
+
+    /// True when `i` has been completed.
+    pub fn is_complete(&self, i: usize) -> bool {
+        self.done[i]
+    }
+
+    /// Number of completed gates.
+    pub fn completed(&self) -> usize {
+        self.n_done
+    }
+
+    /// True when every gate has been completed.
+    pub fn is_done(&self) -> bool {
+        self.n_done == self.done.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qubit::Qubit;
+
+    fn chain() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.h(Qubit(0));
+        c.cnot(Qubit(0), Qubit(1));
+        c.cnot(Qubit(1), Qubit(2));
+        c.h(Qubit(2));
+        c
+    }
+
+    #[test]
+    fn preds_follow_qubit_chains() {
+        let dag = Dag::new(&chain());
+        assert!(dag.preds(0).is_empty());
+        assert_eq!(dag.preds(1), &[0]);
+        assert_eq!(dag.preds(2), &[1]);
+        assert_eq!(dag.preds(3), &[2]);
+    }
+
+    #[test]
+    fn front_is_gates_without_preds() {
+        let mut c = Circuit::new(4);
+        c.h(Qubit(0));
+        c.h(Qubit(3));
+        c.cnot(Qubit(0), Qubit(3));
+        let dag = Dag::new(&c);
+        assert_eq!(dag.front(), vec![0, 1]);
+    }
+
+    #[test]
+    fn shared_pred_is_deduplicated() {
+        let mut c = Circuit::new(2);
+        c.cnot(Qubit(0), Qubit(1));
+        c.cnot(Qubit(0), Qubit(1));
+        let dag = Dag::new(&c);
+        assert_eq!(dag.preds(1), &[0]); // not [0, 0]
+    }
+
+    #[test]
+    fn barrier_orders_everything() {
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0)); // 0
+        c.barrier(); // 1
+        c.h(Qubit(1)); // 2
+        let dag = Dag::new(&c);
+        assert_eq!(dag.preds(1), &[0]);
+        assert_eq!(dag.preds(2), &[1]);
+    }
+
+    #[test]
+    fn consecutive_barriers_chain() {
+        let mut c = Circuit::new(1);
+        c.barrier();
+        c.barrier();
+        c.h(Qubit(0));
+        let dag = Dag::new(&c);
+        assert_eq!(dag.preds(1), &[0]);
+        assert_eq!(dag.preds(2), &[1]);
+    }
+
+    #[test]
+    fn ready_tracker_walks_whole_circuit() {
+        let c = chain();
+        let dag = Dag::new(&c);
+        let mut t = ReadyTracker::new(&dag);
+        let mut order = Vec::new();
+        while !t.is_done() {
+            let i = t.ready()[0];
+            t.complete(&dag, i);
+            order.push(i);
+        }
+        assert_eq!(order, vec![0, 1, 2, 3]);
+        assert_eq!(t.completed(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "completed before its dependencies")]
+    fn ready_tracker_rejects_dependency_violation() {
+        let c = chain();
+        let dag = Dag::new(&c);
+        let mut t = ReadyTracker::new(&dag);
+        t.complete(&dag, 2);
+    }
+
+    #[test]
+    fn ready_tracker_exposes_parallel_front() {
+        let mut c = Circuit::new(4);
+        c.cnot(Qubit(0), Qubit(1));
+        c.cnot(Qubit(2), Qubit(3));
+        c.cnot(Qubit(1), Qubit(2));
+        let dag = Dag::new(&c);
+        let t = ReadyTracker::new(&dag);
+        assert_eq!(t.ready(), &[0, 1]);
+    }
+}

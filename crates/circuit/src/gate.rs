@@ -1,0 +1,308 @@
+//! The gate set.
+//!
+//! Two groups of gates appear in the toolflow:
+//!
+//! * **Program gates** emitted by the benchmark generators: `H`, `X`, `T`,
+//!   `CNOT`, `CZ`, controlled-phase, Toffoli, `Swap`, measurement.
+//! * **Trapped-ion native gates** produced by the decomposition pass
+//!   (§IV-B of the paper): single-qubit rotations `Rx/Ry/Rz` and the
+//!   two-qubit Mølmer–Sørensen interaction `XX(θ) = exp(i·θ/2·X⊗X)`.
+//!
+//! The LinQ passes only care about *which qubits* a gate touches and whether
+//! it is a two-qubit interaction; angles ride along untouched.
+
+use crate::qubit::Qubit;
+use std::fmt;
+
+/// A quantum gate applied to one, two, or three qubits.
+///
+/// Angles are in radians. The enum intentionally keeps both high-level
+/// program gates and trapped-ion native gates: benchmark circuits are built
+/// from the former and lowered to the latter by
+/// `tilt_compiler::decompose`.
+///
+/// # Example
+///
+/// ```
+/// use tilt_circuit::{Gate, Qubit};
+///
+/// let g = Gate::Cnot(Qubit(0), Qubit(5));
+/// assert!(g.is_two_qubit());
+/// assert_eq!(g.qubits(), vec![Qubit(0), Qubit(5)]);
+/// assert_eq!(g.span(), Some(5));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Gate {
+    // --- single-qubit program gates -------------------------------------
+    /// Hadamard.
+    H(Qubit),
+    /// Pauli-X.
+    X(Qubit),
+    /// Pauli-Y.
+    Y(Qubit),
+    /// Pauli-Z.
+    Z(Qubit),
+    /// Phase gate S = diag(1, i).
+    S(Qubit),
+    /// Inverse phase gate.
+    Sdg(Qubit),
+    /// T = diag(1, e^{iπ/4}).
+    T(Qubit),
+    /// Inverse T.
+    Tdg(Qubit),
+    /// Square root of X (used by RCS).
+    SqrtX(Qubit),
+    /// Square root of Y (used by RCS).
+    SqrtY(Qubit),
+
+    // --- single-qubit native rotations ----------------------------------
+    /// Rotation about the X axis by the given angle (radians).
+    Rx(Qubit, f64),
+    /// Rotation about the Y axis by the given angle (radians).
+    Ry(Qubit, f64),
+    /// Rotation about the Z axis by the given angle (radians).
+    Rz(Qubit, f64),
+
+    // --- two-qubit gates --------------------------------------------------
+    /// Controlled-NOT with control first.
+    Cnot(Qubit, Qubit),
+    /// Controlled-Z (symmetric).
+    Cz(Qubit, Qubit),
+    /// Controlled phase rotation by the given angle; the workhorse of QFT.
+    Cphase(Qubit, Qubit, f64),
+    /// Ising coupling `ZZ(θ) = exp(-i·θ/2·Z⊗Z)`; the workhorse of QAOA.
+    Zz(Qubit, Qubit, f64),
+    /// The trapped-ion native Mølmer–Sørensen gate
+    /// `XX(θ) = exp(i·θ/2·X⊗X)`.
+    Xx(Qubit, Qubit, f64),
+    /// SWAP of two qubits. On TILT this is a *communication* gate inserted
+    /// by the compiler; it costs three `XX` interactions after lowering.
+    Swap(Qubit, Qubit),
+
+    // --- three-qubit program gates ---------------------------------------
+    /// Toffoli (CCX) with the two controls first.
+    Toffoli(Qubit, Qubit, Qubit),
+
+    // --- non-unitary -------------------------------------------------------
+    /// Computational-basis measurement.
+    Measure(Qubit),
+    /// Compiler barrier: no dependency may be reordered across it.
+    Barrier,
+}
+
+impl Gate {
+    /// The qubits this gate acts on, in declaration order.
+    ///
+    /// [`Gate::Barrier`] returns an empty vector: it constrains *all* qubits
+    /// but owns none.
+    pub fn qubits(&self) -> Vec<Qubit> {
+        use Gate::*;
+        match *self {
+            H(q) | X(q) | Y(q) | Z(q) | S(q) | Sdg(q) | T(q) | Tdg(q) | SqrtX(q) | SqrtY(q)
+            | Rx(q, _) | Ry(q, _) | Rz(q, _) | Measure(q) => vec![q],
+            Cnot(a, b) | Cz(a, b) | Swap(a, b) => vec![a, b],
+            Cphase(a, b, _) | Zz(a, b, _) | Xx(a, b, _) => vec![a, b],
+            Toffoli(a, b, c) => vec![a, b, c],
+            Barrier => vec![],
+        }
+    }
+
+    /// Number of qubits the gate acts on (0 for [`Gate::Barrier`]).
+    pub fn arity(&self) -> usize {
+        use Gate::*;
+        match self {
+            Barrier => 0,
+            H(_) | X(_) | Y(_) | Z(_) | S(_) | Sdg(_) | T(_) | Tdg(_) | SqrtX(_) | SqrtY(_)
+            | Rx(..) | Ry(..) | Rz(..) | Measure(_) => 1,
+            Cnot(..) | Cz(..) | Cphase(..) | Zz(..) | Xx(..) | Swap(..) => 2,
+            Toffoli(..) => 3,
+        }
+    }
+
+    /// True for gates coupling exactly two qubits.
+    ///
+    /// This is the paper's `g` (Table I): the class of gates that the swap
+    /// inserter must make executable within the tape head.
+    #[inline]
+    pub fn is_two_qubit(&self) -> bool {
+        self.arity() == 2
+    }
+
+    /// True for the single-qubit unitaries (excludes measurement/barrier).
+    pub fn is_single_qubit_unitary(&self) -> bool {
+        !matches!(self, Gate::Measure(_) | Gate::Barrier) && self.arity() == 1
+    }
+
+    /// True if this gate is in the trapped-ion native set `{Rx, Ry, Rz, XX}`
+    /// (measurement and barriers are also accepted by the hardware).
+    pub fn is_native(&self) -> bool {
+        matches!(
+            self,
+            Gate::Rx(..) | Gate::Ry(..) | Gate::Rz(..) | Gate::Xx(..) | Gate::Measure(_) | Gate::Barrier
+        )
+    }
+
+    /// For two-qubit gates, the distance `d_g = |q1 - q2|` between the
+    /// operands in ion spacings; `None` otherwise.
+    pub fn span(&self) -> Option<usize> {
+        let qs = self.qubits();
+        if qs.len() == 2 {
+            Some(qs[0].distance(qs[1]))
+        } else {
+            None
+        }
+    }
+
+    /// Returns a copy of the gate with every operand remapped through `f`.
+    ///
+    /// Used by the mapping pass to rewrite logical operands into physical
+    /// tape positions, and by swap insertion to track the evolving layout.
+    pub fn map_qubits(&self, mut f: impl FnMut(Qubit) -> Qubit) -> Gate {
+        use Gate::*;
+        match *self {
+            H(q) => H(f(q)),
+            X(q) => X(f(q)),
+            Y(q) => Y(f(q)),
+            Z(q) => Z(f(q)),
+            S(q) => S(f(q)),
+            Sdg(q) => Sdg(f(q)),
+            T(q) => T(f(q)),
+            Tdg(q) => Tdg(f(q)),
+            SqrtX(q) => SqrtX(f(q)),
+            SqrtY(q) => SqrtY(f(q)),
+            Rx(q, a) => Rx(f(q), a),
+            Ry(q, a) => Ry(f(q), a),
+            Rz(q, a) => Rz(f(q), a),
+            Cnot(a, b) => Cnot(f(a), f(b)),
+            Cz(a, b) => Cz(f(a), f(b)),
+            Cphase(a, b, t) => Cphase(f(a), f(b), t),
+            Zz(a, b, t) => Zz(f(a), f(b), t),
+            Xx(a, b, t) => Xx(f(a), f(b), t),
+            Swap(a, b) => Swap(f(a), f(b)),
+            Toffoli(a, b, c) => Toffoli(f(a), f(b), f(c)),
+            Measure(q) => Measure(f(q)),
+            Barrier => Barrier,
+        }
+    }
+
+    /// Short lowercase mnemonic, matching the OpenQASM spelling where one
+    /// exists.
+    pub fn name(&self) -> &'static str {
+        use Gate::*;
+        match self {
+            H(_) => "h",
+            X(_) => "x",
+            Y(_) => "y",
+            Z(_) => "z",
+            S(_) => "s",
+            Sdg(_) => "sdg",
+            T(_) => "t",
+            Tdg(_) => "tdg",
+            SqrtX(_) => "sx",
+            SqrtY(_) => "sy",
+            Rx(..) => "rx",
+            Ry(..) => "ry",
+            Rz(..) => "rz",
+            Cnot(..) => "cx",
+            Cz(..) => "cz",
+            Cphase(..) => "cp",
+            Zz(..) => "rzz",
+            Xx(..) => "rxx",
+            Swap(..) => "swap",
+            Toffoli(..) => "ccx",
+            Measure(_) => "measure",
+            Barrier => "barrier",
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Gate::*;
+        match self {
+            Rx(q, a) | Ry(q, a) | Rz(q, a) => write!(f, "{}({:.4}) {}", self.name(), a, q),
+            Cphase(a, b, t) | Zz(a, b, t) | Xx(a, b, t) => {
+                write!(f, "{}({:.4}) {}, {}", self.name(), t, a, b)
+            }
+            Barrier => write!(f, "barrier"),
+            _ => {
+                write!(f, "{}", self.name())?;
+                let qs = self.qubits();
+                for (i, q) in qs.iter().enumerate() {
+                    write!(f, "{}{}", if i == 0 { " " } else { ", " }, q)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_qubits_len() {
+        let gates = [
+            Gate::H(Qubit(0)),
+            Gate::Rx(Qubit(1), 0.5),
+            Gate::Cnot(Qubit(0), Qubit(1)),
+            Gate::Xx(Qubit(2), Qubit(3), 0.25),
+            Gate::Toffoli(Qubit(0), Qubit(1), Qubit(2)),
+            Gate::Measure(Qubit(4)),
+            Gate::Barrier,
+        ];
+        for g in gates {
+            assert_eq!(g.arity(), g.qubits().len(), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn two_qubit_classification() {
+        assert!(Gate::Cnot(Qubit(0), Qubit(1)).is_two_qubit());
+        assert!(Gate::Swap(Qubit(0), Qubit(1)).is_two_qubit());
+        assert!(!Gate::H(Qubit(0)).is_two_qubit());
+        assert!(!Gate::Toffoli(Qubit(0), Qubit(1), Qubit(2)).is_two_qubit());
+    }
+
+    #[test]
+    fn native_set() {
+        assert!(Gate::Xx(Qubit(0), Qubit(1), 0.1).is_native());
+        assert!(Gate::Rz(Qubit(0), 1.0).is_native());
+        assert!(!Gate::Cnot(Qubit(0), Qubit(1)).is_native());
+        assert!(!Gate::H(Qubit(0)).is_native());
+    }
+
+    #[test]
+    fn span_of_two_qubit_gates() {
+        assert_eq!(Gate::Cnot(Qubit(3), Qubit(11)).span(), Some(8));
+        assert_eq!(Gate::H(Qubit(3)).span(), None);
+        assert_eq!(Gate::Toffoli(Qubit(0), Qubit(1), Qubit(2)).span(), None);
+    }
+
+    #[test]
+    fn map_qubits_shifts_operands() {
+        let g = Gate::Cphase(Qubit(1), Qubit(2), 0.5);
+        let shifted = g.map_qubits(|q| Qubit(q.index() + 10));
+        assert_eq!(shifted.qubits(), vec![Qubit(11), Qubit(12)]);
+        // Angle preserved.
+        match shifted {
+            Gate::Cphase(_, _, t) => assert_eq!(t, 0.5),
+            other => panic!("unexpected gate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Gate::Cnot(Qubit(0), Qubit(1)).to_string(), "cx q0, q1");
+        assert_eq!(Gate::Rx(Qubit(2), 0.5).to_string(), "rx(0.5000) q2");
+        assert_eq!(Gate::Barrier.to_string(), "barrier");
+    }
+
+    #[test]
+    fn single_qubit_unitary_excludes_measure() {
+        assert!(Gate::H(Qubit(0)).is_single_qubit_unitary());
+        assert!(!Gate::Measure(Qubit(0)).is_single_qubit_unitary());
+        assert!(!Gate::Barrier.is_single_qubit_unitary());
+    }
+}

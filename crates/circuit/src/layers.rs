@@ -1,0 +1,154 @@
+//! ASAP topological layering.
+//!
+//! A *layer* is a maximal set of gates that can run simultaneously: every
+//! gate in layer `l` has all of its dependencies in layers `< l`. Layering
+//! backs two things in the toolflow: the look-ahead decay `α^Δ(g)` of the
+//! LinQ swap score (Eq. 1), where `Δ(g)` is a difference of layer indices,
+//! and the execution-time model (Eq. 5), which sums the maximum gate time of
+//! each depth layer.
+
+use crate::circuit::Circuit;
+use crate::dag::Dag;
+
+/// As-soon-as-possible layering of a circuit.
+///
+/// # Example
+///
+/// ```
+/// use tilt_circuit::{Circuit, Layers, Qubit};
+///
+/// let mut c = Circuit::new(3);
+/// c.h(Qubit(0));                  // layer 0
+/// c.h(Qubit(1));                  // layer 0
+/// c.cnot(Qubit(0), Qubit(1));     // layer 1
+/// c.cnot(Qubit(1), Qubit(2));     // layer 2
+/// let layers = Layers::new(&c);
+/// assert_eq!(layers.depth(), 3);
+/// assert_eq!(layers.layer_of(2), 1);
+/// assert_eq!(layers.gates_in(0), &[0, 1]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Layers {
+    layer_of: Vec<usize>,
+    layers: Vec<Vec<usize>>,
+}
+
+impl Layers {
+    /// Computes the ASAP layering of `circuit`.
+    pub fn new(circuit: &Circuit) -> Self {
+        Self::from_dag(circuit, &Dag::new(circuit))
+    }
+
+    /// Computes the layering given a pre-built [`Dag`] (avoids rebuilding it
+    /// when the caller already has one).
+    pub fn from_dag(circuit: &Circuit, dag: &Dag) -> Self {
+        let n = circuit.len();
+        let mut layer_of = vec![0usize; n];
+        // Program order is a topological order of the DAG, so one forward
+        // pass suffices.
+        for i in 0..n {
+            layer_of[i] = dag
+                .preds(i)
+                .iter()
+                .map(|&p| layer_of[p] + 1)
+                .max()
+                .unwrap_or(0);
+        }
+        let depth = layer_of.iter().map(|&l| l + 1).max().unwrap_or(0);
+        let mut layers = vec![Vec::new(); depth];
+        for (i, &l) in layer_of.iter().enumerate() {
+            layers[l].push(i);
+        }
+        Layers { layer_of, layers }
+    }
+
+    /// Layer index of gate `i`.
+    pub fn layer_of(&self, i: usize) -> usize {
+        self.layer_of[i]
+    }
+
+    /// Number of layers (equals circuit depth when no barriers are present).
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Gate indices in layer `l`, ascending.
+    pub fn gates_in(&self, l: usize) -> &[usize] {
+        &self.layers[l]
+    }
+
+    /// Iterates over layers front to back.
+    pub fn iter(&self) -> std::slice::Iter<'_, Vec<usize>> {
+        self.layers.iter()
+    }
+
+    /// The layer-index distance `Δ` between two gates, used by the Eq. 1
+    /// look-ahead decay. Saturates at zero when `later` is not actually
+    /// later.
+    pub fn delta(&self, current: usize, later: usize) -> usize {
+        self.layer_of[later].saturating_sub(self.layer_of[current])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qubit::Qubit;
+
+    #[test]
+    fn empty_circuit_has_no_layers() {
+        let layers = Layers::new(&Circuit::new(4));
+        assert_eq!(layers.depth(), 0);
+    }
+
+    #[test]
+    fn layering_matches_depth() {
+        let mut c = Circuit::new(3);
+        c.h(Qubit(0));
+        c.cnot(Qubit(0), Qubit(1));
+        c.cnot(Qubit(1), Qubit(2));
+        let layers = Layers::new(&c);
+        assert_eq!(layers.depth(), c.depth());
+    }
+
+    #[test]
+    fn every_gate_is_in_exactly_one_layer() {
+        let mut c = Circuit::new(4);
+        for i in 0..3 {
+            c.h(Qubit(i));
+            c.cnot(Qubit(i), Qubit(i + 1));
+        }
+        let layers = Layers::new(&c);
+        let mut seen = vec![false; c.len()];
+        for l in 0..layers.depth() {
+            for &g in layers.gates_in(l) {
+                assert!(!seen[g]);
+                seen[g] = true;
+                assert_eq!(layers.layer_of(g), l);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn layers_respect_dependencies() {
+        let mut c = Circuit::new(4);
+        c.cnot(Qubit(0), Qubit(1));
+        c.cnot(Qubit(2), Qubit(3));
+        c.cnot(Qubit(1), Qubit(2));
+        let layers = Layers::new(&c);
+        assert_eq!(layers.layer_of(0), 0);
+        assert_eq!(layers.layer_of(1), 0);
+        assert_eq!(layers.layer_of(2), 1);
+    }
+
+    #[test]
+    fn delta_saturates() {
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0));
+        c.cnot(Qubit(0), Qubit(1));
+        let layers = Layers::new(&c);
+        assert_eq!(layers.delta(0, 1), 1);
+        assert_eq!(layers.delta(1, 0), 0);
+    }
+}

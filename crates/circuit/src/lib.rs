@@ -1,0 +1,41 @@
+//! Quantum circuit intermediate representation for the TILT/LinQ toolflow.
+//!
+//! This crate provides the circuit substrate that every other crate in the
+//! workspace builds on:
+//!
+//! * [`Qubit`] — a typed index into a quantum register.
+//! * [`Gate`] — the gate set used by the paper's benchmarks plus the
+//!   trapped-ion native set `{Rx, Ry, Rz, XX}`.
+//! * [`Circuit`] — an ordered gate list with a builder-style API.
+//! * [`Dag`] — per-qubit dependency analysis (front layers, depth,
+//!   topological layering) used by the swap inserter and the tape scheduler.
+//! * [`qasm`] — OpenQASM 2.0 emission for debugging and interchange.
+//!
+//! # Example
+//!
+//! ```
+//! use tilt_circuit::{Circuit, Qubit};
+//!
+//! let mut bell = Circuit::new(2);
+//! bell.h(Qubit(0));
+//! bell.cnot(Qubit(0), Qubit(1));
+//! assert_eq!(bell.two_qubit_count(), 1);
+//! assert_eq!(bell.depth(), 2);
+//! ```
+
+pub mod circuit;
+pub mod dag;
+pub mod gate;
+pub mod layers;
+pub mod qasm;
+pub mod qubit;
+pub mod stats;
+pub mod validate;
+
+pub use circuit::Circuit;
+pub use dag::{Dag, ReadyTracker};
+pub use gate::Gate;
+pub use layers::Layers;
+pub use qubit::Qubit;
+pub use stats::CircuitStats;
+pub use validate::{validate, ValidateCircuitError};

@@ -1,0 +1,162 @@
+//! OpenQASM 2.0 emission (see [`crate::qasm`] for the module docs).
+//!
+//! The emitter exists for interchange and debugging: any circuit in this IR
+//! (program gates or native gates) can be dumped to a QASM 2.0 string and
+//! inspected with external tooling. Gates without a standard-library QASM
+//! spelling (`rxx`, `rzz`, `sx`, `sy`) are emitted with explicit `gate`
+//! definitions in the preamble so the output is self-contained.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use std::fmt::Write as _;
+
+/// Renders `circuit` as a self-contained OpenQASM 2.0 program.
+///
+/// # Example
+///
+/// ```
+/// use tilt_circuit::{qasm, Circuit, Qubit};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(Qubit(0));
+/// c.cnot(Qubit(0), Qubit(1));
+/// let text = qasm::to_qasm(&c);
+/// assert!(text.contains("OPENQASM 2.0"));
+/// assert!(text.contains("cx q[0], q[1];"));
+/// ```
+pub fn to_qasm(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\n");
+    out.push_str("include \"qelib1.inc\";\n");
+
+    // Preamble definitions for gates absent from qelib1.
+    let uses = |pred: fn(&Gate) -> bool| circuit.iter().any(pred);
+    if uses(|g| matches!(g, Gate::Xx(..))) {
+        out.push_str(
+            "gate rxx(theta) a, b { h a; h b; cx a, b; rz(theta) b; cx a, b; h a; h b; }\n",
+        );
+    }
+    if uses(|g| matches!(g, Gate::Zz(..))) {
+        out.push_str("gate rzz(theta) a, b { cx a, b; rz(theta) b; cx a, b; }\n");
+    }
+    if uses(|g| matches!(g, Gate::SqrtX(_))) {
+        out.push_str("gate sx a { sdg a; h a; sdg a; }\n");
+    }
+    if uses(|g| matches!(g, Gate::SqrtY(_))) {
+        out.push_str("gate sy a { s a; s a; h a; }\n");
+    }
+
+    let n = circuit.n_qubits();
+    let _ = writeln!(out, "qreg q[{n}];");
+    if circuit.iter().any(|g| matches!(g, Gate::Measure(_))) {
+        let _ = writeln!(out, "creg c[{n}];");
+    }
+
+    for g in circuit.iter() {
+        emit_gate(&mut out, g);
+    }
+    out
+}
+
+fn emit_gate(out: &mut String, g: &Gate) {
+    use Gate::*;
+    let q = |q: crate::Qubit| format!("q[{}]", q.index());
+    let line = match *g {
+        H(a) => format!("h {};", q(a)),
+        X(a) => format!("x {};", q(a)),
+        Y(a) => format!("y {};", q(a)),
+        Z(a) => format!("z {};", q(a)),
+        S(a) => format!("s {};", q(a)),
+        Sdg(a) => format!("sdg {};", q(a)),
+        T(a) => format!("t {};", q(a)),
+        Tdg(a) => format!("tdg {};", q(a)),
+        SqrtX(a) => format!("sx {};", q(a)),
+        SqrtY(a) => format!("sy {};", q(a)),
+        Rx(a, t) => format!("rx({t}) {};", q(a)),
+        Ry(a, t) => format!("ry({t}) {};", q(a)),
+        Rz(a, t) => format!("rz({t}) {};", q(a)),
+        Cnot(a, b) => format!("cx {}, {};", q(a), q(b)),
+        Cz(a, b) => format!("cz {}, {};", q(a), q(b)),
+        Cphase(a, b, t) => format!("cu1({t}) {}, {};", q(a), q(b)),
+        Zz(a, b, t) => format!("rzz({t}) {}, {};", q(a), q(b)),
+        Xx(a, b, t) => format!("rxx({t}) {}, {};", q(a), q(b)),
+        Swap(a, b) => format!("swap {}, {};", q(a), q(b)),
+        Toffoli(a, b, c) => format!("ccx {}, {}, {};", q(a), q(b), q(c)),
+        Measure(a) => format!("measure {} -> c[{}];", q(a), a.index()),
+        Barrier => "barrier q;".to_string(),
+    };
+    out.push_str(&line);
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qubit::Qubit;
+
+    #[test]
+    fn header_and_register() {
+        let text = to_qasm(&Circuit::new(3));
+        assert!(text.starts_with("OPENQASM 2.0;"));
+        assert!(text.contains("qreg q[3];"));
+        assert!(!text.contains("creg")); // no measurements
+    }
+
+    #[test]
+    fn measurement_adds_creg() {
+        let mut c = Circuit::new(2);
+        c.measure(Qubit(1));
+        let text = to_qasm(&c);
+        assert!(text.contains("creg c[2];"));
+        assert!(text.contains("measure q[1] -> c[1];"));
+    }
+
+    #[test]
+    fn nonstandard_gates_get_definitions() {
+        let mut c = Circuit::new(2);
+        c.xx(Qubit(0), Qubit(1), 0.785);
+        let text = to_qasm(&c);
+        assert!(text.contains("gate rxx(theta)"));
+        assert!(text.contains("rxx(0.785) q[0], q[1];"));
+    }
+
+    #[test]
+    fn definitions_only_when_used() {
+        let mut c = Circuit::new(2);
+        c.cnot(Qubit(0), Qubit(1));
+        let text = to_qasm(&c);
+        assert!(!text.contains("gate rxx"));
+        assert!(!text.contains("gate rzz"));
+    }
+
+    #[test]
+    fn every_gate_kind_emits() {
+        let mut c = Circuit::new(3);
+        c.h(Qubit(0))
+            .x(Qubit(0))
+            .y(Qubit(0))
+            .z(Qubit(0))
+            .s(Qubit(0))
+            .sdg(Qubit(0))
+            .t(Qubit(0))
+            .tdg(Qubit(0))
+            .push(Gate::SqrtX(Qubit(0)))
+            .push(Gate::SqrtY(Qubit(0)))
+            .rx(Qubit(0), 1.0)
+            .ry(Qubit(0), 1.0)
+            .rz(Qubit(0), 1.0)
+            .cnot(Qubit(0), Qubit(1))
+            .cz(Qubit(0), Qubit(1))
+            .cphase(Qubit(0), Qubit(1), 0.5)
+            .zz(Qubit(0), Qubit(1), 0.5)
+            .xx(Qubit(0), Qubit(1), 0.5)
+            .swap(Qubit(0), Qubit(1))
+            .toffoli(Qubit(0), Qubit(1), Qubit(2))
+            .barrier()
+            .measure(Qubit(2));
+        let text = to_qasm(&c);
+        // One `;`-terminated line per gate plus the four preamble lines
+        // (OPENQASM, include, qreg, creg).
+        assert_eq!(text.lines().filter(|l| l.ends_with(';')).count() - 4, c.len());
+    }
+}

@@ -1,0 +1,477 @@
+//! OpenQASM 2.0 parsing.
+//!
+//! Supports the subset the emitter produces plus common variants: a single
+//! quantum register, the `qelib1` gates used by the benchmarks
+//! (`h x y z s sdg t tdg sx sy rx ry rz cx cz cp/cu1 rzz rxx swap ccx id`),
+//! `measure`, `barrier`, custom `gate` definition blocks (skipped — the
+//! built-in semantics are used), and arithmetic angle expressions over
+//! `pi` with `+ - * /` and parentheses.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use crate::qubit::Qubit;
+use std::error::Error;
+use std::fmt;
+
+/// Why a QASM program failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseQasmError {
+    /// 1-based line number of the offending statement.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseQasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "QASM parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseQasmError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseQasmError> {
+    Err(ParseQasmError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Parses an OpenQASM 2.0 program into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`ParseQasmError`] on unknown gates, malformed statements,
+/// multiple quantum registers, out-of-range qubit indices, or invalid
+/// angle expressions.
+///
+/// # Example
+///
+/// ```
+/// use tilt_circuit::qasm::parse_qasm;
+///
+/// let c = parse_qasm(
+///     "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\nh q[0];\ncx q[0], q[2];\n",
+/// )?;
+/// assert_eq!(c.n_qubits(), 3);
+/// assert_eq!(c.two_qubit_count(), 1);
+/// # Ok::<(), tilt_circuit::qasm::ParseQasmError>(())
+/// ```
+pub fn parse_qasm(source: &str) -> Result<Circuit, ParseQasmError> {
+    let mut n_qubits: Option<usize> = None;
+    let mut gates: Vec<Gate> = Vec::new();
+    let mut in_gate_def = false;
+
+    for (lineno, raw_line) in source.lines().enumerate() {
+        let lineno = lineno + 1;
+        // Strip line comments.
+        let line = match raw_line.find("//") {
+            Some(i) => &raw_line[..i],
+            None => raw_line,
+        };
+
+        // Skip custom gate-definition bodies (we know the semantics of the
+        // gates the emitter defines).
+        if in_gate_def {
+            if line.contains('}') {
+                in_gate_def = false;
+            }
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed.starts_with("gate ") {
+            if !trimmed.contains('}') {
+                in_gate_def = true;
+            }
+            continue;
+        }
+
+        for stmt in line.split(';') {
+            let stmt = stmt.trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            parse_statement(stmt, lineno, &mut n_qubits, &mut gates)?;
+        }
+    }
+
+    let n = match n_qubits {
+        Some(n) => n,
+        None if gates.is_empty() => 0,
+        None => return err(1, "no qreg declaration found"),
+    };
+    Ok(Circuit::from_gates(n, gates))
+}
+
+fn parse_statement(
+    stmt: &str,
+    line: usize,
+    n_qubits: &mut Option<usize>,
+    gates: &mut Vec<Gate>,
+) -> Result<(), ParseQasmError> {
+    if stmt.starts_with("OPENQASM") || stmt.starts_with("include") || stmt.starts_with("creg") {
+        return Ok(());
+    }
+    if let Some(rest) = stmt.strip_prefix("qreg") {
+        let (_, size) = parse_register_ref(rest.trim(), line)?;
+        let size = size.ok_or(ParseQasmError {
+            line,
+            message: "qreg needs an explicit size".into(),
+        })?;
+        if n_qubits.replace(size).is_some() {
+            return err(line, "multiple quantum registers are not supported");
+        }
+        return Ok(());
+    }
+    if let Some(rest) = stmt.strip_prefix("measure") {
+        // `measure q[i] -> c[i]` or `measure q -> c`.
+        let target = rest.split("->").next().unwrap_or("").trim();
+        let (_, index) = parse_register_ref(target, line)?;
+        match index {
+            Some(i) => gates.push(Gate::Measure(Qubit(i))),
+            None => {
+                let n = n_qubits.ok_or(ParseQasmError {
+                    line,
+                    message: "measure before qreg".into(),
+                })?;
+                gates.extend((0..n).map(|i| Gate::Measure(Qubit(i))));
+            }
+        }
+        return Ok(());
+    }
+    if stmt.starts_with("barrier") {
+        gates.push(Gate::Barrier);
+        return Ok(());
+    }
+
+    // General gate application: name[(params)] operand[, operand...]
+    let (head, operand_text) = match stmt.find(|c: char| c.is_whitespace()) {
+        Some(i) if !stmt[..i].contains('(') || stmt[..i].contains(')') => {
+            (&stmt[..i], &stmt[i..])
+        }
+        _ => match stmt.find(')') {
+            // Parameterized with possible space inside parens.
+            Some(i) => (&stmt[..=i], &stmt[i + 1..]),
+            None => return err(line, format!("malformed statement `{stmt}`")),
+        },
+    };
+
+    let (name, params) = match head.find('(') {
+        Some(i) => {
+            let close = head.rfind(')').ok_or(ParseQasmError {
+                line,
+                message: format!("unclosed parameter list in `{head}`"),
+            })?;
+            (&head[..i], parse_params(&head[i + 1..close], line)?)
+        }
+        None => (head, Vec::new()),
+    };
+    let name = name.trim();
+
+    let mut operands = Vec::new();
+    for part in operand_text.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (_, index) = parse_register_ref(part, line)?;
+        let index = index.ok_or(ParseQasmError {
+            line,
+            message: format!("whole-register operand `{part}` not supported here"),
+        })?;
+        operands.push(Qubit(index));
+    }
+
+    let angle = |k: usize| -> Result<f64, ParseQasmError> {
+        params.get(k).copied().ok_or(ParseQasmError {
+            line,
+            message: format!("`{name}` expects an angle parameter"),
+        })
+    };
+    let op = |k: usize| -> Result<Qubit, ParseQasmError> {
+        operands.get(k).copied().ok_or(ParseQasmError {
+            line,
+            message: format!("`{name}` expects at least {} operand(s)", k + 1),
+        })
+    };
+
+    let gate = match name {
+        "h" => Gate::H(op(0)?),
+        "x" => Gate::X(op(0)?),
+        "y" => Gate::Y(op(0)?),
+        "z" => Gate::Z(op(0)?),
+        "s" => Gate::S(op(0)?),
+        "sdg" => Gate::Sdg(op(0)?),
+        "t" => Gate::T(op(0)?),
+        "tdg" => Gate::Tdg(op(0)?),
+        "sx" => Gate::SqrtX(op(0)?),
+        "sy" => Gate::SqrtY(op(0)?),
+        "rx" => Gate::Rx(op(0)?, angle(0)?),
+        "ry" => Gate::Ry(op(0)?, angle(0)?),
+        "rz" | "u1" => Gate::Rz(op(0)?, angle(0)?),
+        "cx" | "CX" => Gate::Cnot(op(0)?, op(1)?),
+        "cz" => Gate::Cz(op(0)?, op(1)?),
+        "cp" | "cu1" => Gate::Cphase(op(0)?, op(1)?, angle(0)?),
+        "rzz" => Gate::Zz(op(0)?, op(1)?, angle(0)?),
+        "rxx" => Gate::Xx(op(0)?, op(1)?, angle(0)?),
+        "swap" => Gate::Swap(op(0)?, op(1)?),
+        "ccx" => Gate::Toffoli(op(0)?, op(1)?, op(2)?),
+        "id" => return Ok(()),
+        other => return err(line, format!("unknown gate `{other}`")),
+    };
+    if let Some(n) = *n_qubits {
+        for q in gate.qubits() {
+            if q.index() >= n {
+                return err(line, format!("qubit {} outside qreg of size {n}", q.index()));
+            }
+        }
+    }
+    gates.push(gate);
+    Ok(())
+}
+
+/// Parses `name` or `name[index]`, returning the register name and the
+/// optional index.
+fn parse_register_ref(text: &str, line: usize) -> Result<(String, Option<usize>), ParseQasmError> {
+    let text = text.trim();
+    match text.find('[') {
+        Some(i) => {
+            let close = text.rfind(']').ok_or(ParseQasmError {
+                line,
+                message: format!("unclosed index in `{text}`"),
+            })?;
+            if close <= i {
+                return Err(ParseQasmError {
+                    line,
+                    message: format!("malformed register reference `{text}`"),
+                });
+            }
+            let index: usize = text[i + 1..close].trim().parse().map_err(|_| {
+                ParseQasmError {
+                    line,
+                    message: format!("invalid index in `{text}`"),
+                }
+            })?;
+            Ok((text[..i].trim().to_string(), Some(index)))
+        }
+        None => Ok((text.to_string(), None)),
+    }
+}
+
+fn parse_params(text: &str, line: usize) -> Result<Vec<f64>, ParseQasmError> {
+    text.split(',')
+        .map(|p| parse_angle_expr(p.trim(), line))
+        .collect()
+}
+
+/// Tiny recursive-descent parser for angle expressions:
+/// `expr := term (('+'|'-') term)*`, `term := factor (('*'|'/') factor)*`,
+/// `factor := ['-'] (number | 'pi' | '(' expr ')')`.
+fn parse_angle_expr(text: &str, line: usize) -> Result<f64, ParseQasmError> {
+    struct P<'a> {
+        chars: std::iter::Peekable<std::str::Chars<'a>>,
+        line: usize,
+    }
+    impl P<'_> {
+        fn skip_ws(&mut self) {
+            while self.chars.peek().is_some_and(|c| c.is_whitespace()) {
+                self.chars.next();
+            }
+        }
+        fn expr(&mut self) -> Result<f64, ParseQasmError> {
+            let mut v = self.term()?;
+            loop {
+                self.skip_ws();
+                match self.chars.peek() {
+                    Some('+') => {
+                        self.chars.next();
+                        v += self.term()?;
+                    }
+                    Some('-') => {
+                        self.chars.next();
+                        v -= self.term()?;
+                    }
+                    _ => return Ok(v),
+                }
+            }
+        }
+        fn term(&mut self) -> Result<f64, ParseQasmError> {
+            let mut v = self.factor()?;
+            loop {
+                self.skip_ws();
+                match self.chars.peek() {
+                    Some('*') => {
+                        self.chars.next();
+                        v *= self.factor()?;
+                    }
+                    Some('/') => {
+                        self.chars.next();
+                        v /= self.factor()?;
+                    }
+                    _ => return Ok(v),
+                }
+            }
+        }
+        fn factor(&mut self) -> Result<f64, ParseQasmError> {
+            self.skip_ws();
+            match self.chars.peek() {
+                Some('-') => {
+                    self.chars.next();
+                    Ok(-self.factor()?)
+                }
+                Some('(') => {
+                    self.chars.next();
+                    let v = self.expr()?;
+                    self.skip_ws();
+                    if self.chars.next() != Some(')') {
+                        return err(self.line, "expected `)` in angle expression");
+                    }
+                    Ok(v)
+                }
+                Some('p') | Some('P') => {
+                    let p = self.chars.next();
+                    let i = self.chars.next();
+                    if !matches!((p, i), (Some('p') | Some('P'), Some('i') | Some('I'))) {
+                        return err(self.line, "expected `pi`");
+                    }
+                    Ok(std::f64::consts::PI)
+                }
+                Some(c) if c.is_ascii_digit() || *c == '.' => {
+                    let mut num = String::new();
+                    while let Some(&c) = self.chars.peek() {
+                        if c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' {
+                            num.push(c);
+                            self.chars.next();
+                        } else if (c == '+' || c == '-')
+                            && num.ends_with(['e', 'E'])
+                        {
+                            num.push(c);
+                            self.chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    num.parse().map_err(|_| ParseQasmError {
+                        line: self.line,
+                        message: format!("invalid number `{num}`"),
+                    })
+                }
+                other => err(self.line, format!("unexpected `{other:?}` in angle")),
+            }
+        }
+    }
+    let mut p = P {
+        chars: text.chars().peekable(),
+        line,
+    };
+    let v = p.expr()?;
+    p.skip_ws();
+    if p.chars.next().is_some() {
+        return err(line, format!("trailing input in angle `{text}`"));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qasm::to_qasm;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn parses_basic_program() {
+        let c = parse_qasm(
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[4];\ncreg c[4];\n\
+             h q[0];\ncx q[0], q[3];\nmeasure q[3] -> c[3];\n",
+        )
+        .unwrap();
+        assert_eq!(c.n_qubits(), 4);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.gates()[1], Gate::Cnot(Qubit(0), Qubit(3)));
+    }
+
+    #[test]
+    fn parses_angle_expressions() {
+        let c = parse_qasm("qreg q[1];\nrz(pi/2) q[0];\nrx(-pi/4) q[0];\nry(2*pi) q[0];\nrz(0.25) q[0];\nrx((pi+pi)/4) q[0];\n").unwrap();
+        let angles: Vec<f64> = c
+            .iter()
+            .filter_map(|g| match *g {
+                Gate::Rx(_, a) | Gate::Ry(_, a) | Gate::Rz(_, a) => Some(a),
+                _ => None,
+            })
+            .collect();
+        assert!((angles[0] - PI / 2.0).abs() < 1e-12);
+        assert!((angles[1] + PI / 4.0).abs() < 1e-12);
+        assert!((angles[2] - 2.0 * PI).abs() < 1e-12);
+        assert!((angles[3] - 0.25).abs() < 1e-12);
+        assert!((angles[4] - PI / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skips_gate_definitions_and_comments() {
+        let c = parse_qasm(
+            "OPENQASM 2.0;\nqreg q[2];\n// comment line\n\
+             gate rxx(theta) a, b { h a; h b; cx a, b; rz(theta) b; cx a, b; h a; h b; }\n\
+             rxx(pi/4) q[0], q[1]; // trailing comment\n",
+        )
+        .unwrap();
+        assert_eq!(c.len(), 1);
+        assert!(matches!(c.gates()[0], Gate::Xx(..)));
+    }
+
+    #[test]
+    fn whole_register_measure_expands() {
+        let c = parse_qasm("qreg q[3];\ncreg c[3];\nmeasure q -> c;\n").unwrap();
+        assert_eq!(c.len(), 3);
+        assert!(c.iter().all(|g| matches!(g, Gate::Measure(_))));
+    }
+
+    #[test]
+    fn rejects_unknown_gate() {
+        let e = parse_qasm("qreg q[1];\nfrobnicate q[0];\n").unwrap_err();
+        assert!(e.message.contains("frobnicate"));
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn rejects_out_of_range_qubit() {
+        let e = parse_qasm("qreg q[2];\nh q[5];\n").unwrap_err();
+        assert!(e.message.contains("outside"));
+    }
+
+    #[test]
+    fn rejects_multiple_qregs() {
+        let e = parse_qasm("qreg q[2];\nqreg r[2];\n").unwrap_err();
+        assert!(e.message.contains("multiple"));
+    }
+
+    #[test]
+    fn round_trips_the_emitters_output() {
+        let mut c = Circuit::new(3);
+        c.h(Qubit(0))
+            .t(Qubit(1))
+            .cnot(Qubit(0), Qubit(1))
+            .cphase(Qubit(1), Qubit(2), PI / 8.0)
+            .zz(Qubit(0), Qubit(2), 0.3)
+            .xx(Qubit(1), Qubit(2), 0.7)
+            .swap(Qubit(0), Qubit(2))
+            .toffoli(Qubit(0), Qubit(1), Qubit(2))
+            .barrier()
+            .measure(Qubit(2));
+        let parsed = parse_qasm(&to_qasm(&c)).unwrap();
+        assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn empty_source_gives_empty_circuit() {
+        let c = parse_qasm("").unwrap();
+        assert_eq!(c.n_qubits(), 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn error_display_mentions_line() {
+        let e = parse_qasm("qreg q[1];\nrx() q[0];\n").unwrap_err();
+        assert!(e.to_string().contains("line 2"));
+    }
+}

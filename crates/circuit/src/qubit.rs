@@ -1,0 +1,102 @@
+//! Typed qubit indices.
+
+use std::fmt;
+
+/// A logical or physical qubit, identified by its index in a register.
+///
+/// `Qubit` is a transparent newtype over `usize` so that qubit arguments are
+/// not confused with gate counts, positions, or other integers
+/// (guideline C-NEWTYPE). Whether a `Qubit` denotes a *logical* program qubit
+/// or a *physical* tape position depends on context: circuits emitted by the
+/// benchmark generators are logical, circuits produced by the LinQ mapping
+/// pass are physical.
+///
+/// # Example
+///
+/// ```
+/// use tilt_circuit::Qubit;
+///
+/// let q = Qubit(3);
+/// assert_eq!(q.index(), 3);
+/// assert_eq!(q.to_string(), "q3");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Qubit(pub usize);
+
+impl Qubit {
+    /// Returns the raw register index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Absolute distance between two qubits on a linear register, in units
+    /// of ion spacings.
+    ///
+    /// This is the `d_g` of the paper (Table I) when both qubits are
+    /// physical tape positions.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tilt_circuit::Qubit;
+    /// assert_eq!(Qubit(2).distance(Qubit(7)), 5);
+    /// assert_eq!(Qubit(7).distance(Qubit(2)), 5);
+    /// ```
+    #[inline]
+    pub fn distance(self, other: Qubit) -> usize {
+        self.0.abs_diff(other.0)
+    }
+}
+
+impl From<usize> for Qubit {
+    fn from(index: usize) -> Self {
+        Qubit(index)
+    }
+}
+
+impl From<Qubit> for usize {
+    fn from(q: Qubit) -> Self {
+        q.0
+    }
+}
+
+impl fmt::Display for Qubit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric() {
+        assert_eq!(Qubit(3).distance(Qubit(10)), 7);
+        assert_eq!(Qubit(10).distance(Qubit(3)), 7);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        assert_eq!(Qubit(5).distance(Qubit(5)), 0);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let q: Qubit = 42usize.into();
+        let i: usize = q.into();
+        assert_eq!(i, 42);
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(Qubit(0).to_string(), "q0");
+        assert_eq!(format!("{:?}", Qubit(1)), "Qubit(1)");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(Qubit(1) < Qubit(2));
+    }
+}

@@ -1,0 +1,131 @@
+//! Aggregate circuit statistics.
+
+use crate::circuit::Circuit;
+use std::fmt;
+
+/// Summary counters for a circuit, computed in one pass plus a depth scan.
+///
+/// These are the quantities Table II of the paper reports per benchmark
+/// (qubits and two-qubit gates) plus the extra counters the compiler
+/// and simulator report on.
+///
+/// # Example
+///
+/// ```
+/// use tilt_circuit::{Circuit, Qubit};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(Qubit(0));
+/// c.cnot(Qubit(0), Qubit(1));
+/// c.measure(Qubit(0));
+/// let s = c.stats();
+/// assert_eq!(s.n_qubits, 2);
+/// assert_eq!(s.two_qubit_gates, 1);
+/// assert_eq!(s.single_qubit_gates, 1);
+/// assert_eq!(s.measurements, 1);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Register width.
+    pub n_qubits: usize,
+    /// Total gate count, including measurements and barriers.
+    pub total_gates: usize,
+    /// Single-qubit unitary count.
+    pub single_qubit_gates: usize,
+    /// Two-qubit gate count (the Table II "2Q Gates" column).
+    pub two_qubit_gates: usize,
+    /// Three-qubit (Toffoli) gate count.
+    pub three_qubit_gates: usize,
+    /// Measurement count.
+    pub measurements: usize,
+    /// Barrier count.
+    pub barriers: usize,
+    /// Circuit depth (longest dependency chain).
+    pub depth: usize,
+    /// Maximum two-qubit operand distance `max d_g` in ion spacings.
+    pub max_span: usize,
+}
+
+impl CircuitStats {
+    /// Computes statistics for `circuit`.
+    pub fn of(circuit: &Circuit) -> Self {
+        let mut s = CircuitStats {
+            n_qubits: circuit.n_qubits(),
+            total_gates: circuit.len(),
+            depth: circuit.depth(),
+            ..CircuitStats::default()
+        };
+        for g in circuit.iter() {
+            match g.arity() {
+                0 => s.barriers += 1,
+                1 => {
+                    if g.is_single_qubit_unitary() {
+                        s.single_qubit_gates += 1;
+                    } else {
+                        s.measurements += 1;
+                    }
+                }
+                2 => {
+                    s.two_qubit_gates += 1;
+                    s.max_span = s.max_span.max(g.span().unwrap_or(0));
+                }
+                _ => s.three_qubit_gates += 1,
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} qubits, {} gates ({} 1q, {} 2q, {} 3q, {} meas), depth {}, max span {}",
+            self.n_qubits,
+            self.total_gates,
+            self.single_qubit_gates,
+            self.two_qubit_gates,
+            self.three_qubit_gates,
+            self.measurements,
+            self.depth,
+            self.max_span
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qubit::Qubit;
+
+    #[test]
+    fn counts_every_category() {
+        let mut c = Circuit::new(5);
+        c.h(Qubit(0));
+        c.toffoli(Qubit(0), Qubit(1), Qubit(2));
+        c.cnot(Qubit(0), Qubit(4));
+        c.barrier();
+        c.measure(Qubit(4));
+        let s = c.stats();
+        assert_eq!(s.total_gates, 5);
+        assert_eq!(s.single_qubit_gates, 1);
+        assert_eq!(s.two_qubit_gates, 1);
+        assert_eq!(s.three_qubit_gates, 1);
+        assert_eq!(s.barriers, 1);
+        assert_eq!(s.measurements, 1);
+        assert_eq!(s.max_span, 4);
+    }
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = CircuitStats::default();
+        assert_eq!(s.total_gates, 0);
+        assert_eq!(s.depth, 0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = Circuit::new(1).stats();
+        assert!(!s.to_string().is_empty());
+    }
+}

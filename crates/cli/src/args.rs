@@ -1,0 +1,250 @@
+//! Hand-rolled option parsing (no external dependencies).
+
+use std::error::Error;
+use std::fmt;
+use tilt_compiler::route::{ExactConfig, LinqConfig};
+use tilt_compiler::{RouterKind, SchedulerKind};
+
+/// Which router the user asked for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouterChoice {
+    /// The paper's Algorithm 1.
+    Linq,
+    /// The Qiskit-StochasticSwap-style baseline.
+    Stochastic,
+    /// Exact minimal-swap search (small instances only).
+    Exact,
+}
+
+/// Parsed command-line options shared by all subcommands.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Options {
+    /// First positional argument (file path or benchmark name).
+    pub target: String,
+    /// Tape length override (`--ions`).
+    pub ions: Option<usize>,
+    /// Head size (`--head`), default 16.
+    pub head: usize,
+    /// Router selection (`--router`).
+    pub router: RouterChoice,
+    /// Swap-span cap (`--max-swap-len`).
+    pub max_swap_len: Option<usize>,
+    /// Eq. 1 decay (`--alpha`).
+    pub alpha: f64,
+    /// Scheduler (`--scheduler`).
+    pub scheduler: SchedulerKind,
+    /// QCCD trap size (`--ions-per-trap`), default 17.
+    pub ions_per_trap: usize,
+    /// Ions per ELU for the `scale` command (`--elu-ions`), default 18.
+    pub elu_ions: usize,
+    /// Print the scheduled op stream (`--emit-program`).
+    pub emit_program: bool,
+    /// Print the routed circuit as QASM (`--emit-qasm`).
+    pub emit_qasm: bool,
+}
+
+/// Why argument parsing failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseArgsError(pub String);
+
+impl fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Error for ParseArgsError {}
+
+impl Options {
+    /// Parses a subcommand's arguments: one positional target plus flags.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError`] on missing targets, unknown flags, or
+    /// unparseable values.
+    pub fn parse(args: &[String]) -> Result<Options, ParseArgsError> {
+        let mut opts = Options {
+            target: String::new(),
+            ions: None,
+            head: 16,
+            router: RouterChoice::Linq,
+            max_swap_len: None,
+            alpha: 0.9,
+            scheduler: SchedulerKind::GreedyMaxExecutable,
+            ions_per_trap: 17,
+            elu_ions: 18,
+            emit_program: false,
+            emit_qasm: false,
+        };
+        let mut positional: Vec<&String> = Vec::new();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value_for = |flag: &str| -> Result<&String, ParseArgsError> {
+                it.next()
+                    .ok_or_else(|| ParseArgsError(format!("{flag} needs a value")))
+            };
+            match arg.as_str() {
+                "--ions" => opts.ions = Some(parse_num(value_for("--ions")?, "--ions")?),
+                "--head" => opts.head = parse_num(value_for("--head")?, "--head")?,
+                "--max-swap-len" => {
+                    opts.max_swap_len =
+                        Some(parse_num(value_for("--max-swap-len")?, "--max-swap-len")?)
+                }
+                "--alpha" => {
+                    let v = value_for("--alpha")?;
+                    opts.alpha = v
+                        .parse()
+                        .map_err(|_| ParseArgsError(format!("invalid --alpha `{v}`")))?;
+                }
+                "--router" => {
+                    opts.router = match value_for("--router")?.as_str() {
+                        "linq" => RouterChoice::Linq,
+                        "stochastic" | "baseline" => RouterChoice::Stochastic,
+                        "exact" => RouterChoice::Exact,
+                        other => {
+                            return Err(ParseArgsError(format!("unknown router `{other}`")))
+                        }
+                    }
+                }
+                "--scheduler" => {
+                    opts.scheduler = match value_for("--scheduler")?.as_str() {
+                        "greedy" => SchedulerKind::GreedyMaxExecutable,
+                        "naive" => SchedulerKind::NaiveNextGate,
+                        other => {
+                            return Err(ParseArgsError(format!("unknown scheduler `{other}`")))
+                        }
+                    }
+                }
+                "--ions-per-trap" => {
+                    opts.ions_per_trap =
+                        parse_num(value_for("--ions-per-trap")?, "--ions-per-trap")?
+                }
+                "--elu-ions" => {
+                    opts.elu_ions = parse_num(value_for("--elu-ions")?, "--elu-ions")?
+                }
+                "--emit-program" => opts.emit_program = true,
+                "--emit-qasm" => opts.emit_qasm = true,
+                flag if flag.starts_with("--") => {
+                    return Err(ParseArgsError(format!("unknown option `{flag}`")))
+                }
+                _ => positional.push(arg),
+            }
+        }
+        match positional.as_slice() {
+            [target] => {
+                opts.target = (*target).clone();
+                Ok(opts)
+            }
+            [] => Err(ParseArgsError("missing target argument".into())),
+            more => Err(ParseArgsError(format!(
+                "expected one target, got {}",
+                more.len()
+            ))),
+        }
+    }
+
+    /// The router kind this selection corresponds to (exact is handled
+    /// separately by the commands since it is not a [`RouterKind`]).
+    pub fn router_kind(&self) -> RouterKind {
+        match self.router {
+            RouterChoice::Linq | RouterChoice::Exact => RouterKind::Linq(LinqConfig {
+                max_swap_len: self.max_swap_len,
+                alpha: self.alpha,
+                ..LinqConfig::default()
+            }),
+            RouterChoice::Stochastic => RouterKind::Stochastic(Default::default()),
+        }
+    }
+
+    /// Exact-router configuration derived from the flags.
+    pub fn exact_config(&self) -> ExactConfig {
+        ExactConfig {
+            max_swap_len: self.max_swap_len,
+            ..ExactConfig::default()
+        }
+    }
+}
+
+fn parse_num(text: &str, flag: &str) -> Result<usize, ParseArgsError> {
+    text.parse()
+        .map_err(|_| ParseArgsError(format!("invalid {flag} value `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let o = Options::parse(&v(&["file.qasm"])).unwrap();
+        assert_eq!(o.target, "file.qasm");
+        assert_eq!(o.head, 16);
+        assert_eq!(o.router, RouterChoice::Linq);
+        assert!(!o.emit_program);
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let o = Options::parse(&v(&[
+            "x.qasm",
+            "--ions",
+            "64",
+            "--head",
+            "32",
+            "--router",
+            "stochastic",
+            "--max-swap-len",
+            "9",
+            "--alpha",
+            "0.7",
+            "--scheduler",
+            "naive",
+            "--emit-program",
+            "--emit-qasm",
+        ]))
+        .unwrap();
+        assert_eq!(o.ions, Some(64));
+        assert_eq!(o.head, 32);
+        assert_eq!(o.router, RouterChoice::Stochastic);
+        assert_eq!(o.max_swap_len, Some(9));
+        assert_eq!(o.alpha, 0.7);
+        assert_eq!(o.scheduler, SchedulerKind::NaiveNextGate);
+        assert!(o.emit_program && o.emit_qasm);
+    }
+
+    #[test]
+    fn rejects_unknown_flag() {
+        assert!(Options::parse(&v(&["x", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        assert!(Options::parse(&v(&["x", "--head"])).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_number() {
+        assert!(Options::parse(&v(&["x", "--head", "lots"])).is_err());
+    }
+
+    #[test]
+    fn rejects_extra_positionals() {
+        assert!(Options::parse(&v(&["a", "b"])).is_err());
+    }
+
+    #[test]
+    fn router_kind_carries_flags() {
+        let o = Options::parse(&v(&["x", "--max-swap-len", "7", "--alpha", "0.5"])).unwrap();
+        match o.router_kind() {
+            RouterKind::Linq(cfg) => {
+                assert_eq!(cfg.max_swap_len, Some(7));
+                assert_eq!(cfg.alpha, 0.5);
+            }
+            other => panic!("unexpected router {other:?}"),
+        }
+    }
+}

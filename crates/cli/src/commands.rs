@@ -1,0 +1,343 @@
+//! Subcommand implementations (string in → report text out).
+
+use crate::args::{Options, RouterChoice};
+use std::fmt::Write as _;
+use tilt_circuit::{qasm, Circuit};
+use tilt_compiler::route::exact::optimal_route;
+use tilt_compiler::schedule::schedule;
+use tilt_compiler::{CompileOutput, Compiler, DeviceSpec, InitialMapping, TiltProgram};
+use tilt_qccd::{compile_qccd, estimate_qccd_success, QccdParams, QccdSpec};
+use tilt_report::{fmt_success, Table};
+use tilt_sim::{
+    estimate_ideal_success, estimate_success, execution_time_us, ExecTimeModel, GateTimeModel,
+    NoiseModel,
+};
+
+/// Loads the target as a QASM file.
+fn load_circuit(opts: &Options) -> Result<Circuit, String> {
+    let source = std::fs::read_to_string(&opts.target)
+        .map_err(|e| format!("cannot read `{}`: {e}", opts.target))?;
+    qasm::parse_qasm(&source).map_err(|e| e.to_string())
+}
+
+fn device(opts: &Options, circuit: &Circuit) -> Result<DeviceSpec, String> {
+    let ions = opts.ions.unwrap_or(circuit.n_qubits());
+    DeviceSpec::new(ions, opts.head).map_err(|e| e.to_string())
+}
+
+/// Runs the compilation pipeline per the options (including the exact
+/// router, which bypasses `Compiler`'s policy-based routing).
+fn run_pipeline(opts: &Options, circuit: &Circuit) -> Result<CompileOutput, String> {
+    let spec = device(opts, circuit)?;
+    if opts.router == RouterChoice::Exact {
+        // Exact routing: decompose → optimal route → lower swaps → schedule.
+        let native = tilt_compiler::decompose::decompose(circuit);
+        let initial = InitialMapping::Identity.build(&native, spec.n_ions());
+        let routed = optimal_route(&native, spec, &initial, &opts.exact_config())
+            .map_err(|e| e.to_string())?;
+        let lowered = tilt_compiler::decompose::decompose(&routed.circuit);
+        let program = schedule(&lowered, spec, opts.scheduler);
+        let report = tilt_compiler::CompileReport {
+            swap_count: routed.swap_count,
+            opposing_swap_count: routed.opposing_swap_count,
+            opposing_ratio: routed.opposing_ratio(),
+            move_count: program.move_count(),
+            move_distance_ions: program.move_distance_ions(),
+            native_gate_count: program.gate_count(),
+            native_two_qubit_count: program.two_qubit_gate_count(),
+            t_decompose: std::time::Duration::ZERO,
+            t_swap: std::time::Duration::ZERO,
+            t_move: std::time::Duration::ZERO,
+        };
+        return Ok(CompileOutput {
+            program,
+            routed,
+            report,
+        });
+    }
+    let mut compiler = Compiler::new(spec);
+    compiler.router(opts.router_kind()).scheduler(opts.scheduler);
+    compiler.compile(circuit).map_err(|e| e.to_string())
+}
+
+fn describe(out: &CompileOutput, program: &TiltProgram) -> String {
+    let r = &out.report;
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "device: {} ions, head {}",
+        program.spec().n_ions(),
+        program.spec().head_size()
+    );
+    let _ = writeln!(
+        text,
+        "swaps: {} (opposing {}, ratio {:.2})",
+        r.swap_count, r.opposing_swap_count, r.opposing_ratio
+    );
+    let _ = writeln!(
+        text,
+        "moves: {} (distance {} ion spacings)",
+        r.move_count, r.move_distance_ions
+    );
+    let _ = writeln!(
+        text,
+        "native gates: {} ({} two-qubit)",
+        r.native_gate_count, r.native_two_qubit_count
+    );
+    text
+}
+
+fn emit_extras(opts: &Options, out: &CompileOutput) -> String {
+    let mut text = String::new();
+    if opts.emit_qasm {
+        text.push_str("\n-- routed physical circuit (OpenQASM) --\n");
+        text.push_str(&qasm::to_qasm(&out.routed.circuit));
+    }
+    if opts.emit_program {
+        text.push_str("\n-- scheduled program --\n");
+        let _ = write!(text, "{}", out.program);
+    }
+    text
+}
+
+/// `tilt-cli compile <file.qasm>`
+pub fn compile(args: &[String]) -> Result<String, String> {
+    let opts = Options::parse(args).map_err(|e| e.to_string())?;
+    let circuit = load_circuit(&opts)?;
+    let out = run_pipeline(&opts, &circuit)?;
+    let mut text = format!("compiled `{}`: {}\n", opts.target, circuit.stats());
+    text.push_str(&describe(&out, &out.program));
+    text.push_str(&emit_extras(&opts, &out));
+    Ok(text)
+}
+
+/// `tilt-cli simulate <file.qasm>`
+pub fn simulate(args: &[String]) -> Result<String, String> {
+    let opts = Options::parse(args).map_err(|e| e.to_string())?;
+    let circuit = load_circuit(&opts)?;
+    let out = run_pipeline(&opts, &circuit)?;
+    let noise = NoiseModel::default();
+    let times = GateTimeModel::default();
+    let success = estimate_success(&out.program, &noise, &times);
+    let ideal = estimate_ideal_success(&circuit, &noise, &times);
+    let t_us = execution_time_us(&out.program, &times, &ExecTimeModel::default());
+
+    let mut text = format!("simulated `{}`: {}\n", opts.target, circuit.stats());
+    text.push_str(&describe(&out, &out.program));
+    let _ = writeln!(
+        text,
+        "success: {} (log10 {:.2}), ideal TI {}",
+        fmt_success(success.success),
+        success.log10_success(),
+        fmt_success(ideal.success)
+    );
+    let _ = writeln!(
+        text,
+        "heat: {:.2} quanta after {} moves",
+        success.final_quanta, success.moves
+    );
+    let _ = writeln!(text, "execution time: {:.3} ms", t_us / 1e3);
+    text.push_str(&emit_extras(&opts, &out));
+    Ok(text)
+}
+
+/// `tilt-cli timeline <file.qasm>`
+pub fn timeline(args: &[String]) -> Result<String, String> {
+    let opts = Options::parse(args).map_err(|e| e.to_string())?;
+    let circuit = load_circuit(&opts)?;
+    let out = run_pipeline(&opts, &circuit)?;
+    let mut text = format!("timeline of `{}`\n", opts.target);
+    text.push_str(&tilt_compiler::viz::render_timeline(&out.program));
+    Ok(text)
+}
+
+/// `tilt-cli scale <file.qasm>`
+pub fn scale(args: &[String]) -> Result<String, String> {
+    let opts = Options::parse(args).map_err(|e| e.to_string())?;
+    let circuit = load_circuit(&opts)?;
+    let spec = tilt_scale::ScaleSpec::new(opts.elu_ions, opts.head.min(opts.elu_ions))
+        .map_err(|e| e.to_string())?;
+    let program = tilt_scale::compile_scaled(&circuit, &spec).map_err(|e| e.to_string())?;
+    let report = tilt_scale::estimate_scaled(
+        &program,
+        &NoiseModel::default(),
+        &GateTimeModel::default(),
+    );
+    let mut text = format!(
+        "modular `{}`: {} ELUs of {} ions (head {})\n",
+        opts.target,
+        program.elu_outputs.len(),
+        spec.ions_per_elu(),
+        spec.head_size()
+    );
+    let _ = writeln!(
+        text,
+        "remote gates: {} (EPR pairs), local swaps: {}, local moves: {}",
+        report.remote_gates, report.total_swaps, report.total_moves
+    );
+    let _ = writeln!(
+        text,
+        "success: {} (log10 {:.2}), makespan {:.3} ms",
+        fmt_success(report.success),
+        report.log10_success(),
+        report.exec_time_us / 1e3
+    );
+    Ok(text)
+}
+
+/// `tilt-cli qccd <file.qasm>`
+pub fn qccd(args: &[String]) -> Result<String, String> {
+    let opts = Options::parse(args).map_err(|e| e.to_string())?;
+    let circuit = load_circuit(&opts)?;
+    let native = tilt_compiler::decompose::decompose(&circuit);
+    let spec = QccdSpec::for_qubits(circuit.n_qubits(), opts.ions_per_trap)
+        .map_err(|e| e.to_string())?;
+    let program = compile_qccd(&native, &spec).map_err(|e| e.to_string())?;
+    let report = estimate_qccd_success(
+        &program,
+        &NoiseModel::default(),
+        &GateTimeModel::default(),
+        &QccdParams::default(),
+    );
+    let mut text = format!(
+        "QCCD `{}`: {} traps × {} capacity\n",
+        opts.target,
+        spec.n_traps(),
+        spec.capacity()
+    );
+    let _ = writeln!(
+        text,
+        "transports: {} ({} shuttle segments), cooling rounds: {}",
+        report.transports, report.shuttle_segments, report.cooling_rounds
+    );
+    let _ = writeln!(
+        text,
+        "success: {} (peak heat {:.1} quanta)",
+        fmt_success(report.success),
+        report.peak_quanta
+    );
+    Ok(text)
+}
+
+/// `tilt-cli bench <name|all>`
+pub fn bench(args: &[String]) -> Result<String, String> {
+    let opts = Options::parse(args).map_err(|e| e.to_string())?;
+    let suite = tilt_benchmarks::paper_suite();
+    let selected: Vec<_> = if opts.target == "all" {
+        suite
+    } else {
+        let wanted = opts.target.to_uppercase();
+        let matched: Vec<_> = suite.into_iter().filter(|b| b.name == wanted).collect();
+        if matched.is_empty() {
+            return Err(format!(
+                "unknown benchmark `{}` (try adder, bv, qaoa, rcs, qft, sqrt, all)",
+                opts.target
+            ));
+        }
+        matched
+    };
+
+    let noise = NoiseModel::default();
+    let times = GateTimeModel::default();
+    let mut table = Table::new(["benchmark", "swaps", "moves", "success", "exec(s)"]);
+    for b in &selected {
+        let mut bench_opts = opts.clone();
+        bench_opts.ions = Some(b.circuit.n_qubits());
+        let out = run_pipeline(&bench_opts, &b.circuit)?;
+        let success = estimate_success(&out.program, &noise, &times);
+        let t_us = execution_time_us(&out.program, &times, &ExecTimeModel::default());
+        table.row([
+            b.name.to_string(),
+            out.report.swap_count.to_string(),
+            out.report.move_count.to_string(),
+            fmt_success(success.success),
+            format!("{:.3}", t_us / 1e6),
+        ]);
+    }
+    Ok(table.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, content: &str) -> String {
+        let dir = std::env::temp_dir().join("tilt-cli-cmd-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, content).unwrap();
+        path.to_str().unwrap().to_string()
+    }
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn compile_reports_swaps_for_long_gate() {
+        let path = write_temp("long.qasm", "qreg q[8];\ncx q[0], q[7];\n");
+        let out = compile(&v(&[&path, "--head", "4"])).unwrap();
+        assert!(out.contains("swaps: "));
+        assert!(!out.contains("swaps: 0"));
+    }
+
+    #[test]
+    fn compile_emit_qasm_includes_swap_gates() {
+        let path = write_temp("emit.qasm", "qreg q[8];\ncx q[0], q[7];\n");
+        let out = compile(&v(&[&path, "--head", "4", "--emit-qasm"])).unwrap();
+        assert!(out.contains("swap q["));
+    }
+
+    #[test]
+    fn simulate_prints_probability() {
+        let path = write_temp("sim.qasm", "qreg q[4];\nh q[0];\ncx q[0], q[3];\n");
+        let out = simulate(&v(&[&path, "--head", "4"])).unwrap();
+        assert!(out.contains("success: 0."), "{out}");
+    }
+
+    #[test]
+    fn missing_file_is_reported() {
+        let e = compile(&v(&["/nonexistent/x.qasm"])).unwrap_err();
+        assert!(e.contains("cannot read"));
+    }
+
+    #[test]
+    fn bad_qasm_is_reported() {
+        let path = write_temp("bad.qasm", "qreg q[2];\nwat q[0];\n");
+        let e = compile(&v(&[&path])).unwrap_err();
+        assert!(e.contains("wat"));
+    }
+
+    #[test]
+    fn bench_all_lists_six_rows() {
+        let out = bench(&v(&["all", "--head", "32"])).unwrap();
+        // Header + separator + 6 rows.
+        assert_eq!(out.trim().lines().count(), 8, "{out}");
+    }
+
+    #[test]
+    fn timeline_draws_head_bars() {
+        let path = write_temp("tl.qasm", "qreg q[8];\ncx q[0], q[1];\ncx q[6], q[7];\n");
+        let out = timeline(&v(&[&path, "--head", "4"])).unwrap();
+        assert!(out.contains("####"), "{out}");
+        assert!(out.contains("pos"), "{out}");
+    }
+
+    #[test]
+    fn scale_reports_epr_pairs() {
+        let path = write_temp(
+            "sc.qasm",
+            "qreg q[16];\ncx q[7], q[8];\ncx q[0], q[1];\n",
+        );
+        let out = scale(&v(&[&path, "--elu-ions", "10", "--head", "4"])).unwrap();
+        assert!(out.contains("remote gates: 1"), "{out}");
+        assert!(out.contains("2 ELUs"), "{out}");
+    }
+
+    #[test]
+    fn exact_router_on_small_file() {
+        let path = write_temp("exact.qasm", "qreg q[6];\ncx q[0], q[5];\n");
+        let out = compile(&v(&[&path, "--head", "3", "--router", "exact"])).unwrap();
+        assert!(out.contains("swaps: 2"), "{out}");
+    }
+}

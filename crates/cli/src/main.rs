@@ -1,0 +1,19 @@
+//! `tilt-cli` — compile and simulate OpenQASM programs on TILT machines.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match tilt_cli::run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", tilt_cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

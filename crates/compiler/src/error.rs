@@ -1,0 +1,102 @@
+//! Compiler error types.
+
+use std::error::Error;
+use std::fmt;
+use tilt_circuit::ValidateCircuitError;
+
+/// Why compilation failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CompileError {
+    /// The device specification is unusable (head smaller than 2 ions or
+    /// wider than the tape).
+    InvalidSpec {
+        /// Requested tape length.
+        n_ions: usize,
+        /// Requested head size.
+        head_size: usize,
+    },
+    /// The circuit uses more qubits than the tape has ions.
+    CircuitTooWide {
+        /// Circuit register width.
+        circuit_qubits: usize,
+        /// Tape length.
+        n_ions: usize,
+    },
+    /// The input circuit failed structural validation.
+    InvalidCircuit(ValidateCircuitError),
+    /// A router configuration is internally inconsistent, e.g.
+    /// `max_swap_len` of zero or at least the head size.
+    InvalidRouterConfig {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::InvalidSpec { n_ions, head_size } => write!(
+                f,
+                "invalid device spec: head of {head_size} lasers on a tape of {n_ions} ions"
+            ),
+            CompileError::CircuitTooWide {
+                circuit_qubits,
+                n_ions,
+            } => write!(
+                f,
+                "circuit needs {circuit_qubits} qubits but the tape holds {n_ions} ions"
+            ),
+            CompileError::InvalidCircuit(e) => write!(f, "invalid input circuit: {e}"),
+            CompileError::InvalidRouterConfig { reason } => {
+                write!(f, "invalid router configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for CompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompileError::InvalidCircuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ValidateCircuitError> for CompileError {
+    fn from(e: ValidateCircuitError) -> Self {
+        CompileError::InvalidCircuit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CompileError::CircuitTooWide {
+            circuit_qubits: 70,
+            n_ions: 64,
+        };
+        assert!(e.to_string().contains("70"));
+        assert!(e.to_string().contains("64"));
+    }
+
+    #[test]
+    fn validation_error_converts_and_chains() {
+        let inner = ValidateCircuitError::NonFiniteAngle { gate_index: 3 };
+        let e: CompileError = inner.clone().into();
+        assert_eq!(e, CompileError::InvalidCircuit(inner));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn spec_error_is_sourceless() {
+        let e = CompileError::InvalidSpec {
+            n_ions: 4,
+            head_size: 9,
+        };
+        assert!(Error::source(&e).is_none());
+    }
+}

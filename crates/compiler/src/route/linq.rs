@@ -1,0 +1,358 @@
+//! The LinQ swap-insertion heuristic (Algorithm 1 + Eq. 1 of the paper).
+//!
+//! For an unexecutable gate `g` on endpoints `(q1, q2)`, every position
+//! `qi` strictly between the endpoints yields up to two candidates:
+//! swap `qi` with the `q1`-side ion or with the `q2`-side ion, provided the
+//! swap spans at most [`LinqConfig::max_swap_len`]. Each candidate mapping
+//! `M_{qi,qj}` is scored with
+//!
+//! ```text
+//! Score(M_{qi,qj}) = Σ_{g ∈ G} D(g, M_{qi,qj}) · α^Δ(g)        (Eq. 1)
+//! ```
+//!
+//! where `G` are the remaining two-qubit gates, `D` the operand distance
+//! under the candidate mapping, and `Δ(g)` the layer distance from the gate
+//! being resolved. The candidate with the minimal score is applied. Because
+//! future gates participate in the score, a swap that simultaneously
+//! advances a second datum in the opposite direction scores lower — this is
+//! how *opposing swaps* (Fig. 2c) emerge without special-casing.
+//!
+//! Restricting `max_swap_len` below `L-1` trades a few extra swaps for
+//! freedom in tape scheduling (Fig. 5 / Fig. 7): a swap of span `L-1` can
+//! execute at exactly one head position, so capping the span lets the
+//! scheduler batch more gates per move.
+
+use super::{RouteState, SwapPolicy};
+use crate::error::CompileError;
+use crate::spec::DeviceSpec;
+use tilt_circuit::Qubit;
+
+/// Tuning knobs for the LinQ policy.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinqConfig {
+    /// Maximum span of an inserted SWAP gate, in ion spacings. `None`
+    /// means the loosest feasible cap, `head_size - 1`. Fig. 7 sweeps this
+    /// parameter; the best value is application-dependent.
+    pub max_swap_len: Option<usize>,
+    /// Look-ahead decay `α` of Eq. 1, `0 < α < 1`. The paper fixes a value
+    /// in this range without publishing it; 0.9 is our documented default,
+    /// calibrated on the QFT benchmark (see EXPERIMENTS.md): smaller values
+    /// collapse Eq. 1 into per-gate greediness and inflate swap counts
+    /// several-fold.
+    pub alpha: f64,
+    /// Number of upcoming two-qubit gates included in `G`. With `α = 0.5`
+    /// contributions vanish numerically after a few tens of layers, so a
+    /// window is equivalent to the full sum at a fraction of the cost.
+    pub lookahead: usize,
+}
+
+impl Default for LinqConfig {
+    fn default() -> Self {
+        LinqConfig {
+            max_swap_len: None,
+            alpha: 0.9,
+            lookahead: 128,
+        }
+    }
+}
+
+impl LinqConfig {
+    /// Convenience constructor fixing only `max_swap_len` (the Fig. 7
+    /// sweep parameter).
+    pub fn with_max_swap_len(max_swap_len: usize) -> Self {
+        LinqConfig {
+            max_swap_len: Some(max_swap_len),
+            ..LinqConfig::default()
+        }
+    }
+
+    /// Checks parameter consistency against the device.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `max_swap_len` of 0 or `≥ head_size` (a swap wider than the
+    /// head could never execute), `α` outside `(0, 1)`, and a zero
+    /// look-ahead window.
+    pub fn validate(&self, spec: DeviceSpec) -> Result<(), CompileError> {
+        if let Some(len) = self.max_swap_len {
+            if len == 0 || len >= spec.head_size() {
+                return Err(CompileError::InvalidRouterConfig {
+                    reason: format!(
+                        "max_swap_len {len} must be in 1..={} for head size {}",
+                        spec.head_size() - 1,
+                        spec.head_size()
+                    ),
+                });
+            }
+        }
+        if !(self.alpha > 0.0 && self.alpha < 1.0) {
+            return Err(CompileError::InvalidRouterConfig {
+                reason: format!("alpha {} must lie strictly between 0 and 1", self.alpha),
+            });
+        }
+        if self.lookahead == 0 {
+            return Err(CompileError::InvalidRouterConfig {
+                reason: "lookahead window must be at least 1 (the current gate)".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The effective swap-span cap on `spec`.
+    pub fn effective_max_swap_len(&self, spec: DeviceSpec) -> usize {
+        self.max_swap_len.unwrap_or(spec.head_size() - 1)
+    }
+}
+
+/// Stateful LinQ policy (implements Algorithm 1 one swap at a time).
+pub(crate) struct LinqPolicy {
+    cfg: LinqConfig,
+    max_swap_len: usize,
+}
+
+impl LinqPolicy {
+    pub(crate) fn new(cfg: LinqConfig, spec: DeviceSpec) -> Self {
+        let max_swap_len = cfg.effective_max_swap_len(spec);
+        LinqPolicy { cfg, max_swap_len }
+    }
+}
+
+impl SwapPolicy for LinqPolicy {
+    fn choose_swap(&mut self, state: &RouteState<'_>) -> (usize, usize) {
+        let (lo, hi) = state.endpoints();
+        debug_assert!(hi - lo >= state.spec.head_size());
+
+        // --- Eq. 1 precomputation over the look-ahead window -------------
+        let window_end = state.pending.len().min(state.cursor + self.cfg.lookahead);
+        let window = &state.pending[state.cursor..window_end];
+        let cur_layer = window[0].layer;
+
+        // Weighted base distances plus an index from logical qubit to the
+        // window gates touching it, so each candidate is scored by
+        // adjusting only the gates that involve the two swapped ions.
+        let mut base_score = 0.0f64;
+        let mut weights = Vec::with_capacity(window.len());
+        let mut touching: std::collections::HashMap<Qubit, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (i, g) in window.iter().enumerate() {
+            // Skeleton layers are not monotone in program order (a later
+            // gate on fresh qubits can sit in an earlier layer), so Δ
+            // saturates at 0: such gates are "as urgent as" the current
+            // one.
+            let w = self.cfg.alpha.powi(g.layer.saturating_sub(cur_layer) as i32);
+            weights.push(w);
+            base_score += (state.mapping.distance(g.a, g.b) as f64) * w;
+            touching.entry(g.a).or_default().push(i);
+            touching.entry(g.b).or_default().push(i);
+        }
+
+        let score_candidate = |pa: usize, pb: usize| -> f64 {
+            let la = state.mapping.logical_at(pa);
+            let lb = state.mapping.logical_at(pb);
+            // Virtual position lookup under the candidate swap.
+            let vpos = |q: Qubit| -> usize {
+                let p = state.mapping.position_of(q);
+                if p == pa {
+                    pb
+                } else if p == pb {
+                    pa
+                } else {
+                    p
+                }
+            };
+            let mut delta = 0.0f64;
+            let mut visit = |idx: usize| {
+                let g = &window[idx];
+                let old = state.mapping.distance(g.a, g.b) as f64;
+                let new = vpos(g.a).abs_diff(vpos(g.b)) as f64;
+                delta += (new - old) * weights[idx];
+            };
+            if let Some(list) = touching.get(&la) {
+                for &i in list {
+                    visit(i);
+                }
+            }
+            if let Some(list) = touching.get(&lb) {
+                for &i in list {
+                    // Skip gates already visited through `la`.
+                    let g = &window[i];
+                    if g.a != la && g.b != la {
+                        visit(i);
+                    }
+                }
+            }
+            base_score + delta
+        };
+
+        // --- Algorithm 1 candidate enumeration ---------------------------
+        let mut best: Option<((usize, usize), f64)> = None;
+        let mut consider = |pa: usize, pb: usize| {
+            let s = score_candidate(pa, pb);
+            let better = match best {
+                None => true,
+                Some((_, bs)) => s < bs - 1e-12,
+            };
+            if better {
+                best = Some(((pa, pb), s));
+            }
+        };
+        for qi in (lo + 1)..hi {
+            if qi - lo <= self.max_swap_len {
+                consider(lo, qi);
+            }
+            if hi - qi <= self.max_swap_len {
+                consider(qi, hi);
+            }
+        }
+
+        best.expect("an unexecutable gate always has swap candidates").0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{InitialMapping, Mapping};
+    use crate::route::{RouteOutcome, RouterKind};
+    use tilt_circuit::Circuit;
+
+    fn route_linq(c: &Circuit, n: usize, head: usize, cfg: LinqConfig) -> RouteOutcome {
+        let spec = DeviceSpec::new(n, head).unwrap();
+        let initial = InitialMapping::Identity.build(c, n);
+        RouterKind::Linq(cfg).route(c, spec, &initial).unwrap()
+    }
+
+    #[test]
+    fn default_config_is_valid() {
+        LinqConfig::default()
+            .validate(DeviceSpec::tilt64(16))
+            .unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let spec = DeviceSpec::tilt64(16);
+        assert!(LinqConfig::with_max_swap_len(0).validate(spec).is_err());
+        assert!(LinqConfig::with_max_swap_len(16).validate(spec).is_err());
+        assert!(LinqConfig::with_max_swap_len(15).validate(spec).is_ok());
+        let bad_alpha = LinqConfig {
+            alpha: 1.0,
+            ..LinqConfig::default()
+        };
+        assert!(bad_alpha.validate(spec).is_err());
+        let bad_window = LinqConfig {
+            lookahead: 0,
+            ..LinqConfig::default()
+        };
+        assert!(bad_window.validate(spec).is_err());
+    }
+
+    #[test]
+    fn resolves_distance_with_minimal_swaps_when_unconstrained() {
+        // d = 15 on a head of 8: one max-length swap (span 7) brings it to
+        // 8, still ≥ 8 → second swap → 7 or less. Expect exactly 2 swaps
+        // under the default (max-span) config with no competing gates.
+        let mut c = Circuit::new(16);
+        c.xx(Qubit(0), Qubit(15), 0.5);
+        let out = route_linq(&c, 16, 8, LinqConfig::default());
+        assert_eq!(out.swap_count, 2);
+    }
+
+    #[test]
+    fn swap_spans_respect_max_swap_len() {
+        let mut c = Circuit::new(32);
+        c.xx(Qubit(0), Qubit(31), 0.5);
+        for cap in [3usize, 5, 7] {
+            let out = route_linq(&c, 32, 8, LinqConfig::with_max_swap_len(cap));
+            for g in out.circuit.iter() {
+                if let tilt_circuit::Gate::Swap(a, b) = g {
+                    assert!(a.index().abs_diff(b.index()) <= cap, "cap {cap}: {g:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tighter_cap_needs_at_least_as_many_swaps() {
+        let mut c = Circuit::new(32);
+        for i in 0..4 {
+            c.xx(Qubit(i), Qubit(31 - i), 0.5);
+        }
+        let loose = route_linq(&c, 32, 8, LinqConfig::default()).swap_count;
+        let tight = route_linq(&c, 32, 8, LinqConfig::with_max_swap_len(2)).swap_count;
+        assert!(tight >= loose, "tight {tight} < loose {loose}");
+    }
+
+    #[test]
+    fn creates_opposing_swaps_for_counterflow_traffic() {
+        // Two data streams crossing mid-tape: q4 travels right toward q11
+        // while q7 travels left toward q0. A single swap exchanging the
+        // two streams advances both gates — the Fig. 2c situation.
+        let mut c = Circuit::new(12);
+        c.xx(Qubit(4), Qubit(11), 0.1);
+        c.xx(Qubit(7), Qubit(0), 0.1);
+        let out = route_linq(&c, 12, 4, LinqConfig::default());
+        assert!(out.swap_count > 0);
+        assert!(
+            out.opposing_swap_count > 0,
+            "expected opposing swaps, got {out:?}"
+        );
+    }
+
+    #[test]
+    fn score_prefers_swap_helping_future_gate() {
+        // Current gate: (0, 9) on head 8 → needs one swap. A future gate
+        // (8, 0) means pulling qubit 0 rightward helps twice; pulling
+        // qubit 9 leftward helps once. The chosen swap should move q0.
+        let mut c = Circuit::new(10);
+        c.xx(Qubit(0), Qubit(9), 0.5);
+        c.xx(Qubit(8), Qubit(0), 0.5);
+        let out = route_linq(&c, 10, 8, LinqConfig::default());
+        assert_eq!(out.swap_count, 1);
+        let swap = out
+            .circuit
+            .iter()
+            .find_map(|g| match g {
+                tilt_circuit::Gate::Swap(a, b) => Some((a.index(), b.index())),
+                _ => None,
+            })
+            .unwrap();
+        // The swap must involve position 0 (qubit 0 moving right).
+        assert_eq!(swap.0, 0, "swap {swap:?} should move qubit 0");
+    }
+
+    #[test]
+    fn effective_cap_defaults_to_head_minus_one() {
+        let spec = DeviceSpec::tilt64(16);
+        assert_eq!(LinqConfig::default().effective_max_swap_len(spec), 15);
+        assert_eq!(
+            LinqConfig::with_max_swap_len(9).effective_max_swap_len(spec),
+            9
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut c = Circuit::new(24);
+        for i in 0..6 {
+            c.xx(Qubit(i), Qubit(23 - i), 0.1);
+        }
+        let a = route_linq(&c, 24, 6, LinqConfig::default());
+        let b = route_linq(&c, 24, 6, LinqConfig::default());
+        assert_eq!(a.circuit, b.circuit);
+    }
+
+    #[test]
+    fn final_mapping_is_consistent_with_swaps() {
+        let mut c = Circuit::new(16);
+        c.xx(Qubit(0), Qubit(15), 0.5);
+        let out = route_linq(&c, 16, 4, LinqConfig::default());
+        let mut m = Mapping::identity(16);
+        for g in out.circuit.iter() {
+            if let tilt_circuit::Gate::Swap(a, b) = g {
+                m.swap_positions(a.index(), b.index());
+            }
+        }
+        assert_eq!(m, out.final_mapping);
+    }
+}

@@ -1,0 +1,458 @@
+//! Qubit mapping and swap insertion (§IV-C of the paper).
+//!
+//! On TILT a two-qubit gate is executable only when its operands fit under
+//! the laser head (`d_g < L`). The router walks the native circuit in
+//! dependency order and, for each unexecutable gate, inserts SWAP gates
+//! until the operands are close enough — updating the logical→physical
+//! [`Mapping`] as it goes.
+//!
+//! Two swap-selection policies are provided:
+//!
+//! * [`linq`] — the paper's heuristic (Algorithm 1): candidates are
+//!   position pairs between the gate's endpoints within `MaxSwapLen`,
+//!   scored with the look-ahead sum of Eq. 1, which naturally pairs data
+//!   moving in opposite directions into *opposing swaps* (Fig. 2c).
+//! * [`stochastic`] — the baseline: a port of Qiskit's `StochasticSwap`
+//!   restricted to 1-D windowed connectivity, which greedily jumps an
+//!   endpoint the maximum allowed distance with randomized endpoint
+//!   selection.
+//!
+//! Swaps are *long-range* gates: a SWAP between positions `d ≤ L-1` apart
+//! is a single three-`XX` gate, not a chain of neighbour swaps — trapped
+//! ions are fully connected inside the execution zone.
+
+pub mod exact;
+pub mod linq;
+pub mod stochastic;
+
+use crate::error::CompileError;
+use crate::mapping::Mapping;
+use crate::spec::DeviceSpec;
+use tilt_circuit::{Circuit, Gate, Qubit};
+
+pub use exact::ExactConfig;
+pub use linq::LinqConfig;
+pub use stochastic::StochasticConfig;
+
+/// Which swap-insertion policy to run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RouterKind {
+    /// The paper's Algorithm 1 heuristic.
+    Linq(LinqConfig),
+    /// The Qiskit-StochasticSwap-style baseline of §VI-A.
+    Stochastic(StochasticConfig),
+}
+
+impl Default for RouterKind {
+    fn default() -> Self {
+        RouterKind::Linq(LinqConfig::default())
+    }
+}
+
+/// A two-qubit gate awaiting routing: logical operands plus its layer in
+/// the *two-qubit skeleton* of the circuit (used for the `α^Δ(g)` decay of
+/// Eq. 1).
+///
+/// Δ is measured in two-qubit-gate layers, not native-gate layers: the
+/// single-qubit rotations produced by decomposition would otherwise
+/// inflate Δ several-fold and flatten the look-ahead term of Eq. 1 into
+/// pure greediness.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PendingGate {
+    pub a: Qubit,
+    pub b: Qubit,
+    pub layer: usize,
+}
+
+/// ASAP layering of the two-qubit skeleton: only two-qubit gates advance
+/// per-qubit levels (single-qubit gates are transparent; barriers
+/// synchronise everything).
+pub(crate) fn pending_gates(native: &Circuit) -> Vec<PendingGate> {
+    let mut level = vec![0usize; native.n_qubits()];
+    let mut barrier_level = 0usize;
+    let mut pending = Vec::with_capacity(native.len() / 2);
+    for g in native.iter() {
+        if matches!(g, Gate::Barrier) {
+            barrier_level = barrier_level.max(level.iter().copied().max().unwrap_or(0));
+            continue;
+        }
+        if !g.is_two_qubit() {
+            continue;
+        }
+        let qs = g.qubits();
+        let (a, b) = (qs[0], qs[1]);
+        let layer = level[a.index()]
+            .max(level[b.index()])
+            .max(barrier_level);
+        level[a.index()] = layer + 1;
+        level[b.index()] = layer + 1;
+        pending.push(PendingGate { a, b, layer });
+    }
+    pending
+}
+
+/// Everything a swap policy may inspect when choosing the next swap.
+pub(crate) struct RouteState<'a> {
+    pub spec: DeviceSpec,
+    pub mapping: &'a Mapping,
+    /// All two-qubit gates in program order.
+    pub pending: &'a [PendingGate],
+    /// Index into `pending` of the gate currently being resolved.
+    pub cursor: usize,
+}
+
+impl RouteState<'_> {
+    /// Positions of the current gate's endpoints, `(lo, hi)`.
+    pub(crate) fn endpoints(&self) -> (usize, usize) {
+        let g = &self.pending[self.cursor];
+        let pa = self.mapping.position_of(g.a);
+        let pb = self.mapping.position_of(g.b);
+        (pa.min(pb), pa.max(pb))
+    }
+}
+
+/// A swap-selection policy: given the route state, pick the next pair of
+/// tape positions to swap. The returned pair must strictly reduce the
+/// current gate's distance (all built-in policies guarantee this, which
+/// guarantees router termination).
+pub(crate) trait SwapPolicy {
+    fn choose_swap(&mut self, state: &RouteState<'_>) -> (usize, usize);
+}
+
+/// Result of routing: the physical circuit and the statistics Fig. 6
+/// reports.
+#[derive(Clone, Debug)]
+pub struct RouteOutcome {
+    /// Physical circuit over `n_ions` positions with `Gate::Swap`s
+    /// inserted; every two-qubit gate now fits under the head.
+    pub circuit: Circuit,
+    /// The starting permutation used.
+    pub initial_mapping: Mapping,
+    /// The permutation after the final gate.
+    pub final_mapping: Mapping,
+    /// Number of inserted SWAP gates (Fig. 6b).
+    pub swap_count: usize,
+    /// How many inserted swaps were *opposing* — simultaneously moving two
+    /// data streams toward partners in opposite directions (Fig. 2c).
+    pub opposing_swap_count: usize,
+}
+
+impl RouteOutcome {
+    /// Opposing-swap ratio (Fig. 6a); zero when no swaps were inserted.
+    pub fn opposing_ratio(&self) -> f64 {
+        if self.swap_count == 0 {
+            0.0
+        } else {
+            self.opposing_swap_count as f64 / self.swap_count as f64
+        }
+    }
+}
+
+impl RouterKind {
+    /// Routes `native` (a circuit already lowered to the native gate set or
+    /// at least to two-qubit granularity) onto `spec`, starting from
+    /// `initial` and inserting swaps with this policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::CircuitTooWide`] when the circuit does not
+    /// fit on the tape, or [`CompileError::InvalidRouterConfig`] for
+    /// inconsistent policy parameters (e.g. `max_swap_len` of 0 or
+    /// `≥ head_size`).
+    pub fn route(
+        &self,
+        native: &Circuit,
+        spec: DeviceSpec,
+        initial: &Mapping,
+    ) -> Result<RouteOutcome, CompileError> {
+        if native.n_qubits() > spec.n_ions() {
+            return Err(CompileError::CircuitTooWide {
+                circuit_qubits: native.n_qubits(),
+                n_ions: spec.n_ions(),
+            });
+        }
+        match self {
+            RouterKind::Linq(cfg) => {
+                cfg.validate(spec)?;
+                let mut policy = linq::LinqPolicy::new(cfg.clone(), spec);
+                Ok(route_with_policy(native, spec, initial, &mut policy))
+            }
+            RouterKind::Stochastic(cfg) => {
+                cfg.validate()?;
+                let mut policy = stochastic::StochasticPolicy::new(cfg.clone());
+                Ok(route_with_policy(native, spec, initial, &mut policy))
+            }
+        }
+    }
+}
+
+/// Shared routing loop: walk the circuit in program order (a topological
+/// order), inserting the policy's swaps before each unexecutable gate.
+pub(crate) fn route_with_policy(
+    native: &Circuit,
+    spec: DeviceSpec,
+    initial: &Mapping,
+    policy: &mut dyn SwapPolicy,
+) -> RouteOutcome {
+    let pending = pending_gates(native);
+
+    let mut out = Circuit::with_capacity(spec.n_ions(), native.len() + native.len() / 4);
+    let mut mapping = initial.clone();
+    let mut cursor = 0usize;
+    let mut swap_count = 0usize;
+    let mut opposing_swap_count = 0usize;
+
+    for g in native.iter() {
+        if g.is_two_qubit() {
+            let qs = g.qubits();
+            while mapping.distance(qs[0], qs[1]) >= spec.head_size() {
+                let (pa, pb) = {
+                    let state = RouteState {
+                        spec,
+                        mapping: &mapping,
+                        pending: &pending,
+                        cursor,
+                    };
+                    policy.choose_swap(&state)
+                };
+                debug_assert!(pa != pb && pa.abs_diff(pb) < spec.head_size());
+                if is_opposing(&mapping, &pending, cursor, pa, pb) {
+                    opposing_swap_count += 1;
+                }
+                out.swap(Qubit(pa.min(pb)), Qubit(pa.max(pb)));
+                mapping.swap_positions(pa, pb);
+                swap_count += 1;
+            }
+            out.push(g.map_qubits(|q| Qubit(mapping.position_of(q))));
+            cursor += 1;
+        } else {
+            out.push(g.map_qubits(|q| Qubit(mapping.position_of(q))));
+        }
+    }
+
+    RouteOutcome {
+        circuit: out,
+        initial_mapping: initial.clone(),
+        final_mapping: mapping,
+        swap_count,
+        opposing_swap_count,
+    }
+}
+
+/// How far ahead the opposing-swap classifier looks for each datum's next
+/// partner.
+const OPPOSING_HORIZON: usize = 256;
+
+/// Classifies a swap of positions `(pa, pb)` as *opposing* (Fig. 2c): the
+/// one swap must strictly shorten **two distinct** pending two-qubit gates
+/// — one involving each swapped datum — i.e. it advances two independent
+/// communications travelling in opposite directions. A swap that merely
+/// serves both endpoints of a *single* gate (e.g. pulling BV's ancilla
+/// toward its next partner) is a regular swap, which is why the paper
+/// reports a zero opposing ratio for BV (§VI-A).
+fn is_opposing(
+    mapping: &Mapping,
+    pending: &[PendingGate],
+    cursor: usize,
+    pa: usize,
+    pb: usize,
+) -> bool {
+    let qa = mapping.logical_at(pa);
+    let qb = mapping.logical_at(pb);
+    let horizon = pending.len().min(cursor + OPPOSING_HORIZON);
+
+    // First pending gate involving `q`, as an index into `pending`.
+    let first_gate_of = |q: Qubit| -> Option<usize> {
+        (cursor..horizon).find(|&i| pending[i].a == q || pending[i].b == q)
+    };
+    let (Some(ga), Some(gb)) = (first_gate_of(qa), first_gate_of(qb)) else {
+        return false;
+    };
+    if ga == gb {
+        return false;
+    }
+
+    // Distance of pending gate `i` under the virtual swap of (pa, pb).
+    let vdist = |i: usize| -> usize {
+        let g = &pending[i];
+        let vpos = |q: Qubit| {
+            let p = mapping.position_of(q);
+            if p == pa {
+                pb
+            } else if p == pb {
+                pa
+            } else {
+                p
+            }
+        };
+        vpos(g.a).abs_diff(vpos(g.b))
+    };
+    let dist = |i: usize| {
+        let g = &pending[i];
+        mapping.distance(g.a, g.b)
+    };
+    vdist(ga) < dist(ga) && vdist(gb) < dist(gb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::InitialMapping;
+
+    fn route(
+        kind: &RouterKind,
+        circuit: &Circuit,
+        n_ions: usize,
+        head: usize,
+    ) -> RouteOutcome {
+        let spec = DeviceSpec::new(n_ions, head).unwrap();
+        let initial = InitialMapping::Identity.build(circuit, n_ions);
+        kind.route(circuit, spec, &initial).unwrap()
+    }
+
+    fn all_kinds() -> Vec<RouterKind> {
+        vec![
+            RouterKind::Linq(LinqConfig::default()),
+            RouterKind::Stochastic(StochasticConfig::default()),
+        ]
+    }
+
+    #[test]
+    fn executable_circuit_needs_no_swaps() {
+        let mut c = Circuit::new(8);
+        c.xx(Qubit(0), Qubit(3), 0.5).xx(Qubit(4), Qubit(7), 0.5);
+        for kind in all_kinds() {
+            let out = route(&kind, &c, 8, 4);
+            assert_eq!(out.swap_count, 0, "{kind:?}");
+            assert_eq!(out.circuit.two_qubit_count(), 2);
+        }
+    }
+
+    #[test]
+    fn long_gate_gets_swapped_within_head() {
+        let mut c = Circuit::new(16);
+        c.xx(Qubit(0), Qubit(15), 0.5);
+        for kind in all_kinds() {
+            let out = route(&kind, &c, 16, 4);
+            assert!(out.swap_count >= 1, "{kind:?}");
+            // Every two-qubit gate in the output fits under the head.
+            for g in out.circuit.iter().filter(|g| g.is_two_qubit()) {
+                assert!(g.span().unwrap() < 4, "{kind:?}: {g:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn routed_circuit_applies_gate_to_tracked_positions() {
+        // After routing, replaying the swaps recovers which logical pair
+        // each XX acts on; it must match the original program.
+        let mut c = Circuit::new(12);
+        c.xx(Qubit(0), Qubit(11), 0.5);
+        c.xx(Qubit(0), Qubit(1), 0.25);
+        for kind in all_kinds() {
+            let out = route(&kind, &c, 12, 4);
+            let mut m = out.initial_mapping.clone();
+            let mut seen = Vec::new();
+            for g in out.circuit.iter() {
+                match g {
+                    tilt_circuit::Gate::Swap(a, b) => m.swap_positions(a.index(), b.index()),
+                    tilt_circuit::Gate::Xx(a, b, t) => {
+                        let la = m.logical_at(a.index());
+                        let lb = m.logical_at(b.index());
+                        seen.push((la.min(lb), la.max(lb), *t));
+                    }
+                    _ => {}
+                }
+            }
+            assert_eq!(
+                seen,
+                vec![
+                    (Qubit(0), Qubit(11), 0.5),
+                    (Qubit(0), Qubit(1), 0.25)
+                ],
+                "{kind:?}"
+            );
+            assert_eq!(m, out.final_mapping, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn single_qubit_gates_are_remapped_too() {
+        let mut c = Circuit::new(10);
+        c.xx(Qubit(0), Qubit(9), 0.5);
+        c.rx(Qubit(0), 1.0);
+        for kind in all_kinds() {
+            let out = route(&kind, &c, 10, 4);
+            let mut m = out.initial_mapping.clone();
+            let mut rx_logical = None;
+            for g in out.circuit.iter() {
+                match g {
+                    tilt_circuit::Gate::Swap(a, b) => m.swap_positions(a.index(), b.index()),
+                    tilt_circuit::Gate::Rx(q, _) => rx_logical = Some(m.logical_at(q.index())),
+                    _ => {}
+                }
+            }
+            assert_eq!(rx_logical, Some(Qubit(0)), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn opposing_classifier_detects_fig2c() {
+        // Layout: A _ B C ... gate (A, B') where B' right of B, and
+        // (B, leftward partner). Construct the Fig. 2c situation directly:
+        // order Q1 Q3 Q2 Q4, gates (Q1,Q2) and (Q3,Q4). Swapping positions
+        // of Q3 and Q2 (1 and 2) helps both.
+        let mapping = Mapping::identity(4);
+        // logical: Q1=0 at 0, Q3=1 at 1, Q2=2 at 2, Q4=3 at 3.
+        let pending = vec![
+            PendingGate { a: Qubit(0), b: Qubit(2), layer: 0 },
+            PendingGate { a: Qubit(1), b: Qubit(3), layer: 0 },
+        ];
+        // Swap positions 1 and 2: logical 1 (Q3) moves right toward Q4 at 3;
+        // logical 2 (Q2) moves left toward Q1 at 0.
+        assert!(is_opposing(&mapping, &pending, 0, 1, 2));
+        // Swapping 0 and 1 helps only Q1's partner direction.
+        assert!(!is_opposing(&mapping, &pending, 0, 0, 1));
+    }
+
+    #[test]
+    fn ancilla_pull_is_not_opposing() {
+        // BV-like: every pending gate targets the ancilla (logical 5).
+        // Pulling the ancilla toward its partners serves single gates, so
+        // no swap is opposing (the paper's BV observation, §VI-A).
+        let mapping = Mapping::identity(6);
+        let pending = vec![
+            PendingGate { a: Qubit(0), b: Qubit(5), layer: 0 },
+            PendingGate { a: Qubit(1), b: Qubit(5), layer: 1 },
+        ];
+        // Swap ancilla (pos 5) with the spectator ion at pos 2.
+        assert!(!is_opposing(&mapping, &pending, 0, 2, 5));
+        // Swapping the two interacting endpoints directly is not opposing
+        // either (distance unchanged).
+        assert!(!is_opposing(&mapping, &pending, 0, 0, 5));
+    }
+
+    #[test]
+    fn skeleton_layers_ignore_single_qubit_gates() {
+        let mut c = Circuit::new(4);
+        c.xx(Qubit(0), Qubit(1), 0.1);
+        c.rx(Qubit(1), 0.5);
+        c.rz(Qubit(1), 0.5);
+        c.xx(Qubit(1), Qubit(2), 0.1);
+        c.xx(Qubit(0), Qubit(3), 0.1);
+        let pending = pending_gates(&c);
+        assert_eq!(pending.len(), 3);
+        assert_eq!(pending[0].layer, 0);
+        assert_eq!(pending[1].layer, 1); // chained through q1, rotations transparent
+        assert_eq!(pending[2].layer, 1); // chained through q0
+    }
+
+    #[test]
+    fn rejects_circuit_wider_than_tape() {
+        let c = Circuit::new(20);
+        let spec = DeviceSpec::new(16, 4).unwrap();
+        let initial = Mapping::identity(16);
+        let err = RouterKind::default().route(&c, spec, &initial).unwrap_err();
+        assert!(matches!(err, CompileError::CircuitTooWide { .. }));
+    }
+}

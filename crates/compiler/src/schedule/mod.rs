@@ -1,0 +1,394 @@
+//! Tape movement scheduling (§IV-D of the paper, Algorithm 2).
+//!
+//! Every tape move heats the ion chain and degrades all future two-qubit
+//! gates (§III-A), so the scheduler's objective is to execute as many
+//! gates as possible per head position. The paper's greedy heuristic
+//! scores every head position by the number of gates executable there —
+//! `Score(p) = n_p` (Eq. 2), following dependency order — moves the tape
+//! to the argmax, executes, and repeats until the circuit is drained.
+//!
+//! A deliberately weak alternative, [`SchedulerKind::NaiveNextGate`], parks
+//! the head over the oldest ready gate each round; it exists to quantify
+//! the benefit of Eq. 2 (ablation, DESIGN.md §5).
+
+use crate::program::{TiltOp, TiltProgram};
+use crate::spec::DeviceSpec;
+use std::collections::{HashMap, HashSet};
+use tilt_circuit::{Circuit, Dag, Gate, ReadyTracker};
+
+/// Which tape-scheduling policy to run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// The paper's Algorithm 2: move to the position with the maximal
+    /// number of executable gates.
+    #[default]
+    GreedyMaxExecutable,
+    /// Eq. 2 with a travel-distance discount: position score is
+    /// `n_p · 1000 − penalty_permille · dist(head, p)`, so nearby
+    /// positions win ties *and* small gate deficits when travel is
+    /// expensive. `penalty_permille = 0` reduces to Algorithm 2 with its
+    /// nearest-tie-break. The paper presents Eq. 2 as "the general form"
+    /// of the cost function; this is the natural refinement when shuttle
+    /// time (not only heating) matters.
+    DistanceDiscounted {
+        /// Score penalty per ion spacing of head travel, in thousandths
+        /// of one executable gate.
+        penalty_permille: u32,
+    },
+    /// Ablation baseline: move to the leftmost position covering the
+    /// oldest ready gate, then drain whatever else that position covers.
+    NaiveNextGate,
+}
+
+/// Schedules a routed physical circuit into an executable [`TiltProgram`].
+///
+/// `physical` must be routed for `spec`: every two-qubit gate's operands
+/// must fit under the head simultaneously.
+///
+/// Barriers are honoured as scheduling fences but are not emitted as
+/// machine operations.
+///
+/// # Panics
+///
+/// Panics if some two-qubit gate spans at least `head_size` ion spacings
+/// (an unrouted circuit) — this is a contract violation by the caller, not
+/// a recoverable condition.
+///
+/// # Example
+///
+/// ```
+/// use tilt_circuit::{Circuit, Qubit};
+/// use tilt_compiler::schedule::{schedule, SchedulerKind};
+/// use tilt_compiler::DeviceSpec;
+///
+/// let mut c = Circuit::new(8);
+/// c.xx(Qubit(0), Qubit(1), 0.5);
+/// c.xx(Qubit(6), Qubit(7), 0.5);
+/// let spec = DeviceSpec::new(8, 4)?;
+/// let program = schedule(&c, spec, SchedulerKind::GreedyMaxExecutable);
+/// assert_eq!(program.move_count(), 1); // two zones, one move
+/// # Ok::<(), tilt_compiler::CompileError>(())
+/// ```
+pub fn schedule(physical: &Circuit, spec: DeviceSpec, kind: SchedulerKind) -> TiltProgram {
+    for g in physical.iter() {
+        if let Some(d) = g.span() {
+            assert!(
+                d < spec.head_size(),
+                "unrouted gate {g:?} spans {d} ≥ head size {}",
+                spec.head_size()
+            );
+        }
+    }
+
+    let dag = Dag::new(physical);
+    let mut tracker = ReadyTracker::new(&dag);
+    let mut ops: Vec<TiltOp> = Vec::with_capacity(physical.len());
+    let mut head: Option<usize> = None;
+
+    while !tracker.is_done() {
+        let pos = match kind {
+            SchedulerKind::GreedyMaxExecutable => {
+                best_position(physical, &dag, &tracker, spec, head, 0)
+            }
+            SchedulerKind::DistanceDiscounted { penalty_permille } => {
+                best_position(physical, &dag, &tracker, spec, head, penalty_permille as i64)
+            }
+            SchedulerKind::NaiveNextGate => {
+                let oldest = *tracker
+                    .ready()
+                    .iter()
+                    .min()
+                    .expect("tracker not done implies ready gates exist");
+                leftmost_position_covering(physical, spec, oldest)
+            }
+        };
+
+        if head != Some(pos) {
+            if head.is_some() {
+                ops.push(TiltOp::Move { to: pos });
+            }
+            head = Some(pos);
+        }
+
+        // Drain the cascade of executable gates at `pos` in dependency
+        // order, mutating the global tracker.
+        let mut executed_any = false;
+        loop {
+            let next = tracker
+                .ready()
+                .iter()
+                .copied()
+                .filter(|&i| gate_fits(physical.gates()[i], spec, pos))
+                .min();
+            let Some(i) = next else { break };
+            tracker.complete(&dag, i);
+            executed_any = true;
+            let gate = physical.gates()[i];
+            if !matches!(gate, Gate::Barrier) {
+                ops.push(TiltOp::Gate {
+                    gate,
+                    head_pos: pos,
+                });
+            }
+        }
+        assert!(
+            executed_any,
+            "scheduler made no progress at position {pos}; this is a bug"
+        );
+    }
+
+    TiltProgram::new(spec, ops)
+}
+
+/// True when every operand of `g` is covered by the head at `pos`
+/// (barriers fit anywhere).
+fn gate_fits(g: Gate, spec: DeviceSpec, pos: usize) -> bool {
+    g.qubits().iter().all(|q| spec.covers(pos, q.index()))
+}
+
+/// Algorithm 2 scoring loop: the executable-gate count `n_p` for every
+/// head position (discounted by travel distance at `penalty_permille`
+/// thousandths of a gate per ion spacing), returning the argmax. Ties
+/// prefer staying at the current head position (a free non-move), then
+/// the closest position, then the leftmost.
+fn best_position(
+    physical: &Circuit,
+    dag: &Dag,
+    tracker: &ReadyTracker,
+    spec: DeviceSpec,
+    head: Option<usize>,
+    penalty_permille: i64,
+) -> usize {
+    let mut best_pos = 0usize;
+    let mut best_score = i64::MIN;
+    let mut best_dist = usize::MAX;
+    let mut any = false;
+    for p in spec.head_positions() {
+        let count = executable_count(physical, dag, tracker, spec, p);
+        if count == 0 {
+            continue;
+        }
+        any = true;
+        let dist = head.map_or(0, |h| h.abs_diff(p));
+        let score = count as i64 * 1000 - penalty_permille * dist as i64;
+        if score > best_score || (score == best_score && dist < best_dist) {
+            best_score = score;
+            best_pos = p;
+            best_dist = dist;
+        }
+    }
+    assert!(
+        any,
+        "no head position can execute any ready gate; circuit is unroutable"
+    );
+    best_pos
+}
+
+/// Counts the cascade of gates executable at head position `pos` without
+/// mutating the global tracker: ready gates covered by the head execute,
+/// potentially unlocking successors that are also covered, and so on
+/// (dependency order, exactly as the real drain loop would).
+fn executable_count(
+    physical: &Circuit,
+    dag: &Dag,
+    tracker: &ReadyTracker,
+    spec: DeviceSpec,
+    pos: usize,
+) -> usize {
+    let mut queue: Vec<usize> = tracker
+        .ready()
+        .iter()
+        .copied()
+        .filter(|&i| gate_fits(physical.gates()[i], spec, pos))
+        .collect();
+    let mut executed: HashSet<usize> = HashSet::new();
+    // Local in-degree adjustments for gates unlocked during the cascade.
+    let mut local_indeg: HashMap<usize, usize> = HashMap::new();
+    let mut count = 0usize;
+
+    while let Some(i) = queue.pop() {
+        if !executed.insert(i) {
+            continue;
+        }
+        if !matches!(physical.gates()[i], Gate::Barrier) {
+            count += 1;
+        }
+        for &s in dag.succs(i) {
+            let remaining = local_indeg.entry(s).or_insert_with(|| {
+                dag.preds(s)
+                    .iter()
+                    .filter(|&&p| !tracker.is_complete(p))
+                    .count()
+            });
+            *remaining -= 1;
+            if *remaining == 0 && gate_fits(physical.gates()[s], spec, pos) {
+                queue.push(s);
+            }
+        }
+    }
+    count
+}
+
+/// The leftmost head position covering gate `i` (barriers default to 0).
+fn leftmost_position_covering(physical: &Circuit, spec: DeviceSpec, i: usize) -> usize {
+    let g = physical.gates()[i];
+    spec.covering_head_positions(g.qubits().iter().map(|q| q.index()))
+        .map(|r| *r.start())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilt_circuit::Qubit;
+
+    fn spec(n: usize, head: usize) -> DeviceSpec {
+        DeviceSpec::new(n, head).unwrap()
+    }
+
+    #[test]
+    fn single_zone_circuit_never_moves() {
+        let mut c = Circuit::new(8);
+        c.xx(Qubit(0), Qubit(1), 0.5).rx(Qubit(2), 1.0);
+        let p = schedule(&c, spec(8, 4), SchedulerKind::GreedyMaxExecutable);
+        assert_eq!(p.move_count(), 0);
+        assert_eq!(p.gate_count(), 2);
+    }
+
+    #[test]
+    fn two_distant_zones_need_one_move() {
+        let mut c = Circuit::new(16);
+        c.xx(Qubit(0), Qubit(1), 0.5);
+        c.xx(Qubit(14), Qubit(15), 0.5);
+        let p = schedule(&c, spec(16, 4), SchedulerKind::GreedyMaxExecutable);
+        assert_eq!(p.move_count(), 1);
+    }
+
+    #[test]
+    fn greedy_prefers_position_with_more_gates() {
+        // Three gates on the left zone, one on the right: greedy parks
+        // left first.
+        let mut c = Circuit::new(16);
+        c.xx(Qubit(0), Qubit(1), 0.5);
+        c.xx(Qubit(1), Qubit(2), 0.5);
+        c.xx(Qubit(2), Qubit(3), 0.5);
+        c.xx(Qubit(14), Qubit(15), 0.5);
+        let p = schedule(&c, spec(16, 4), SchedulerKind::GreedyMaxExecutable);
+        assert_eq!(p.initial_head_position(), Some(0));
+        assert_eq!(p.move_count(), 1);
+    }
+
+    #[test]
+    fn all_gates_are_scheduled_exactly_once() {
+        let mut c = Circuit::new(16);
+        for i in 0..15 {
+            c.xx(Qubit(i), Qubit(i + 1), 0.1);
+        }
+        for kind in [SchedulerKind::GreedyMaxExecutable, SchedulerKind::NaiveNextGate] {
+            let p = schedule(&c, spec(16, 4), kind);
+            assert_eq!(p.gate_count(), c.len(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn schedule_respects_dependencies() {
+        // Chain across zones: (0,1) then (1,15) is unroutable; use a
+        // routed-like chain: (0,1), (7,8), (14,15) sharing no qubits plus
+        // a dependent gate on (0,1) again.
+        let mut c = Circuit::new(16);
+        c.xx(Qubit(0), Qubit(1), 0.1); // idx 0
+        c.xx(Qubit(14), Qubit(15), 0.1); // idx 1
+        c.xx(Qubit(1), Qubit(2), 0.1); // idx 2, depends on 0
+        let p = schedule(&c, spec(16, 4), SchedulerKind::GreedyMaxExecutable);
+        let order: Vec<&Gate> = p.gates().map(|(g, _)| g).collect();
+        let pos_of = |target: &Gate| order.iter().position(|g| *g == target).unwrap();
+        assert!(
+            pos_of(&Gate::Xx(Qubit(0), Qubit(1), 0.1))
+                < pos_of(&Gate::Xx(Qubit(1), Qubit(2), 0.1))
+        );
+    }
+
+    #[test]
+    fn barriers_fence_but_do_not_emit() {
+        let mut c = Circuit::new(8);
+        c.xx(Qubit(0), Qubit(1), 0.1);
+        c.barrier();
+        c.xx(Qubit(6), Qubit(7), 0.1);
+        let p = schedule(&c, spec(8, 4), SchedulerKind::GreedyMaxExecutable);
+        assert_eq!(p.gate_count(), 2); // barrier not emitted
+        let order: Vec<usize> = p.gates().map(|(_, pos)| pos).collect();
+        assert_eq!(order, vec![0, 4]);
+    }
+
+    #[test]
+    fn naive_scheduler_moves_at_least_as_often() {
+        let mut c = Circuit::new(32);
+        // Interleave left-zone and right-zone gates; greedy batches them,
+        // naive ping-pongs.
+        for _ in 0..4 {
+            c.xx(Qubit(0), Qubit(1), 0.1);
+            c.xx(Qubit(30), Qubit(31), 0.1);
+        }
+        let greedy = schedule(&c, spec(32, 8), SchedulerKind::GreedyMaxExecutable);
+        let naive = schedule(&c, spec(32, 8), SchedulerKind::NaiveNextGate);
+        assert!(greedy.move_count() <= naive.move_count());
+        assert_eq!(greedy.move_count(), 1);
+    }
+
+    #[test]
+    fn distance_discount_prefers_nearby_work() {
+        // Head starts where two gates are executable on the left; one more
+        // gate waits on the right, one at centre. Undiscounted Algorithm 2
+        // always chases the max count; with a strong travel penalty the
+        // scheduler takes the closer position first.
+        let mut c = Circuit::new(32);
+        c.xx(Qubit(0), Qubit(1), 0.1);
+        c.xx(Qubit(12), Qubit(13), 0.1);
+        c.xx(Qubit(30), Qubit(31), 0.1);
+        let zero = schedule(
+            &c,
+            spec(32, 4),
+            SchedulerKind::DistanceDiscounted { penalty_permille: 0 },
+        );
+        let plain = schedule(&c, spec(32, 4), SchedulerKind::GreedyMaxExecutable);
+        // Zero penalty reduces exactly to Algorithm 2.
+        assert_eq!(zero, plain);
+        let discounted = schedule(
+            &c,
+            spec(32, 4),
+            SchedulerKind::DistanceDiscounted { penalty_permille: 500 },
+        );
+        // All gates still execute exactly once.
+        assert_eq!(discounted.gate_count(), c.len());
+        // The discounted schedule never travels farther in total.
+        assert!(discounted.move_distance_ions() <= plain.move_distance_ions());
+    }
+
+    #[test]
+    #[should_panic(expected = "unrouted gate")]
+    fn unrouted_input_is_rejected() {
+        let mut c = Circuit::new(16);
+        c.xx(Qubit(0), Qubit(15), 0.5);
+        schedule(&c, spec(16, 4), SchedulerKind::GreedyMaxExecutable);
+    }
+
+    #[test]
+    fn single_qubit_gates_need_coverage_too() {
+        let mut c = Circuit::new(16);
+        c.rx(Qubit(0), 0.1);
+        c.rx(Qubit(15), 0.1);
+        let p = schedule(&c, spec(16, 4), SchedulerKind::GreedyMaxExecutable);
+        assert_eq!(p.move_count(), 1);
+        for (g, pos) in p.gates() {
+            for q in g.qubits() {
+                assert!(spec(16, 4).covers(pos, q.index()));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_circuit_schedules_to_empty_program() {
+        let p = schedule(&Circuit::new(8), spec(8, 4), SchedulerKind::GreedyMaxExecutable);
+        assert!(p.ops().is_empty());
+    }
+}

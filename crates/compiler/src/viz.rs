@@ -1,0 +1,142 @@
+//! ASCII visualization of scheduled TILT programs.
+//!
+//! Renders the tape-head trajectory: one row per head-position segment
+//! showing where the execution zone sat and how many gates ran there.
+//! Reading the picture top to bottom is reading Algorithm 2's output —
+//! Fig. 1's execution zone sliding along the chain.
+
+use crate::program::{TiltOp, TiltProgram};
+use std::fmt::Write as _;
+
+/// Renders the head-position timeline of `program`.
+///
+/// Each row is one contiguous stretch of execution at a fixed head
+/// position: the segment index, the head position, the number of gates
+/// executed, and a bar marking the covered window on the tape.
+///
+/// # Example
+///
+/// ```
+/// use tilt_circuit::{Circuit, Qubit};
+/// use tilt_compiler::{viz, Compiler, DeviceSpec};
+///
+/// let mut c = Circuit::new(8);
+/// c.xx(Qubit(0), Qubit(1), 0.5);
+/// c.xx(Qubit(6), Qubit(7), 0.5);
+/// let out = Compiler::new(DeviceSpec::new(8, 4)?).compile(&c)?;
+/// let timeline = viz::render_timeline(&out.program);
+/// assert!(timeline.contains("####"));
+/// # Ok::<(), tilt_compiler::CompileError>(())
+/// ```
+pub fn render_timeline(program: &TiltProgram) -> String {
+    let n = program.spec().n_ions();
+    let head = program.spec().head_size();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "tape-head timeline ({n} ions, head {head}, {} moves, {} gates)",
+        program.move_count(),
+        program.gate_count()
+    );
+
+    // Collapse the op stream into (head position, gate count) segments.
+    let mut segments: Vec<(usize, usize)> = Vec::new();
+    let mut current: Option<(usize, usize)> = None;
+    for op in program.ops() {
+        match *op {
+            TiltOp::Move { to } => {
+                if let Some(seg) = current.take() {
+                    segments.push(seg);
+                }
+                current = Some((to, 0));
+            }
+            TiltOp::Gate { head_pos, .. } => match current.as_mut() {
+                Some((pos, count)) if *pos == head_pos => *count += 1,
+                _ => {
+                    if let Some(seg) = current.take() {
+                        segments.push(seg);
+                    }
+                    current = Some((head_pos, 1));
+                }
+            },
+        }
+    }
+    if let Some(seg) = current {
+        segments.push(seg);
+    }
+
+    for (i, (pos, count)) in segments.iter().enumerate() {
+        let mut bar = String::with_capacity(n);
+        for p in 0..n {
+            bar.push(if p >= *pos && p < pos + head { '#' } else { '.' });
+        }
+        let _ = writeln!(out, "{i:>4}  pos {pos:>3}  {count:>5} gates  |{bar}|");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Compiler, DeviceSpec};
+    use tilt_circuit::{Circuit, Qubit};
+
+    fn program(gates: &[(usize, usize)], n: usize, head: usize) -> TiltProgram {
+        let mut c = Circuit::new(n);
+        for &(a, b) in gates {
+            c.xx(Qubit(a), Qubit(b), 0.1);
+        }
+        Compiler::new(DeviceSpec::new(n, head).unwrap())
+            .compile(&c)
+            .unwrap()
+            .program
+    }
+
+    #[test]
+    fn one_segment_per_head_position() {
+        let p = program(&[(0, 1), (6, 7)], 8, 4);
+        let text = render_timeline(&p);
+        // Header plus two segment rows.
+        assert_eq!(text.trim().lines().count(), 3, "{text}");
+        assert!(text.contains("pos   0") || text.contains("pos   4"), "{text}");
+    }
+
+    #[test]
+    fn bars_have_tape_width_and_head_coverage() {
+        let p = program(&[(0, 1)], 8, 4);
+        let text = render_timeline(&p);
+        let bar_line = text.lines().nth(1).unwrap();
+        let bar: String = bar_line
+            .chars()
+            .skip_while(|&c| c != '|')
+            .skip(1)
+            .take_while(|&c| c != '|')
+            .collect();
+        assert_eq!(bar.len(), 8);
+        assert_eq!(bar.chars().filter(|&c| c == '#').count(), 4);
+    }
+
+    #[test]
+    fn empty_program_renders_header_only() {
+        let p = program(&[], 8, 4);
+        let text = render_timeline(&p);
+        assert_eq!(text.trim().lines().count(), 1);
+        assert!(text.contains("0 moves"));
+    }
+
+    #[test]
+    fn gate_counts_sum_to_program() {
+        let p = program(&[(0, 1), (1, 2), (6, 7), (5, 6)], 8, 4);
+        let text = render_timeline(&p);
+        let total: usize = text
+            .lines()
+            .skip(1)
+            .filter_map(|l| {
+                l.split_whitespace()
+                    .nth(3)
+                    .and_then(|w| w.parse::<usize>().ok())
+            })
+            .sum();
+        assert_eq!(total, p.gate_count());
+    }
+}

@@ -1,0 +1,140 @@
+//! The QCCD primitive trace.
+//!
+//! [`compile_qccd`](crate::compile_qccd) lowers a circuit into a linear
+//! trace of device primitives. Each op records the chain sizes it acted
+//! on, so the noise estimator can replay heating without re-simulating
+//! placement.
+
+use crate::spec::QccdSpec;
+
+/// One QCCD machine primitive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QccdOp {
+    /// Reposition an ion `sites` slots along its chain so it reaches the
+    /// chain edge before a split (intra-trap transport).
+    EdgeMove {
+        /// Trap where the move happens.
+        trap: usize,
+        /// Number of chain slots traversed.
+        sites: usize,
+        /// Chain length at the time of the move.
+        chain_len: usize,
+    },
+    /// Split one ion off the chain edge of `trap`.
+    Split {
+        /// Source trap.
+        trap: usize,
+        /// Chain length *before* the split.
+        chain_len_before: usize,
+    },
+    /// Shuttle the split ion across one inter-trap segment.
+    ShuttleSegment {
+        /// Segment source trap.
+        from: usize,
+        /// Segment destination trap.
+        to: usize,
+    },
+    /// Merge the travelling ion into the chain edge of `trap`.
+    Merge {
+        /// Destination trap.
+        trap: usize,
+        /// Chain length *after* the merge.
+        chain_len_after: usize,
+    },
+    /// Two-qubit gate inside `trap` between ions `distance` slots apart.
+    TwoQubitGate {
+        /// Executing trap.
+        trap: usize,
+        /// Intra-chain operand distance in slots.
+        distance: usize,
+    },
+    /// Single-qubit gate inside `trap`.
+    SingleQubitGate {
+        /// Executing trap.
+        trap: usize,
+    },
+    /// Measurement inside `trap`.
+    Measure {
+        /// Executing trap.
+        trap: usize,
+    },
+}
+
+/// A compiled QCCD program: the primitive trace plus the device geometry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QccdProgram {
+    spec: QccdSpec,
+    ops: Vec<QccdOp>,
+}
+
+impl QccdProgram {
+    /// Wraps a primitive trace for `spec`.
+    pub fn new(spec: QccdSpec, ops: Vec<QccdOp>) -> Self {
+        QccdProgram { spec, ops }
+    }
+
+    /// The device geometry.
+    pub fn spec(&self) -> &QccdSpec {
+        &self.spec
+    }
+
+    /// The primitive trace in execution order.
+    pub fn ops(&self) -> &[QccdOp] {
+        &self.ops
+    }
+
+    /// Number of ion transports (split → shuttle → merge sequences).
+    pub fn transport_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, QccdOp::Split { .. }))
+            .count()
+    }
+
+    /// Number of individual shuttle segments traversed.
+    pub fn shuttle_segment_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, QccdOp::ShuttleSegment { .. }))
+            .count()
+    }
+
+    /// Number of two-qubit gates executed.
+    pub fn two_qubit_gate_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, QccdOp::TwoQubitGate { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_count() {
+        let spec = QccdSpec::new(2, 6).unwrap();
+        let p = QccdProgram::new(
+            spec,
+            vec![
+                QccdOp::Split {
+                    trap: 0,
+                    chain_len_before: 3,
+                },
+                QccdOp::ShuttleSegment { from: 0, to: 1 },
+                QccdOp::Merge {
+                    trap: 1,
+                    chain_len_after: 4,
+                },
+                QccdOp::TwoQubitGate {
+                    trap: 1,
+                    distance: 1,
+                },
+            ],
+        );
+        assert_eq!(p.transport_count(), 1);
+        assert_eq!(p.shuttle_segment_count(), 1);
+        assert_eq!(p.two_qubit_gate_count(), 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! QCCD trap-array geometry.
+
+use crate::error::QccdError;
+
+/// A linear array of `n_traps` traps, each holding at most `capacity`
+/// ions, connected by shuttling segments between neighbours.
+///
+/// The TILT paper's comparison (§VI-B) uses linear-topology QCCD
+/// configurations with 15–35 ions per trap, following Murali et al.\[64\].
+///
+/// # Example
+///
+/// ```
+/// use tilt_qccd::QccdSpec;
+///
+/// let spec = QccdSpec::for_qubits(64, 17)?;
+/// assert_eq!(spec.n_traps(), 4);
+/// assert!(spec.capacity() >= 18); // transport headroom
+/// # Ok::<(), tilt_qccd::QccdError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct QccdSpec {
+    n_traps: usize,
+    capacity: usize,
+}
+
+/// Minimum spare slots per trap so ions can transit without deadlock.
+const HEADROOM: usize = 2;
+
+impl QccdSpec {
+    /// Creates an array of `n_traps` traps with `capacity` ion slots each.
+    ///
+    /// # Errors
+    ///
+    /// Rejects arrays without at least one trap or without room for two
+    /// ions plus transport headroom per trap.
+    pub fn new(n_traps: usize, capacity: usize) -> Result<Self, QccdError> {
+        if n_traps == 0 {
+            return Err(QccdError::InvalidSpec {
+                reason: "need at least one trap".into(),
+            });
+        }
+        if capacity < 2 + HEADROOM {
+            return Err(QccdError::InvalidSpec {
+                reason: format!("capacity {capacity} leaves no room for gates plus transport"),
+            });
+        }
+        Ok(QccdSpec { n_traps, capacity })
+    }
+
+    /// Sizes an array for `n_qubits` total with roughly `ions_per_trap`
+    /// resident ions per trap (the 15–35 sweep parameter of \[64\]),
+    /// reserving transport headroom on top.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QccdSpec::new`] validation.
+    pub fn for_qubits(n_qubits: usize, ions_per_trap: usize) -> Result<Self, QccdError> {
+        if ions_per_trap == 0 {
+            return Err(QccdError::InvalidSpec {
+                reason: "ions_per_trap must be positive".into(),
+            });
+        }
+        let n_traps = n_qubits.div_ceil(ions_per_trap).max(1);
+        QccdSpec::new(n_traps, ions_per_trap + HEADROOM)
+    }
+
+    /// Number of traps in the array.
+    pub fn n_traps(&self) -> usize {
+        self.n_traps
+    }
+
+    /// Maximum ions a trap can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total qubits the array can host while leaving transport headroom.
+    pub fn usable_slots(&self) -> usize {
+        self.n_traps * (self.capacity - HEADROOM)
+    }
+
+    /// Number of shuttling segments between traps `a` and `b`.
+    pub fn segments_between(&self, a: usize, b: usize) -> usize {
+        a.abs_diff(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_qubits_sizes_array() {
+        let s = QccdSpec::for_qubits(64, 16).unwrap();
+        assert_eq!(s.n_traps(), 4);
+        assert_eq!(s.capacity(), 18);
+        assert_eq!(s.usable_slots(), 64);
+    }
+
+    #[test]
+    fn for_qubits_rounds_up() {
+        let s = QccdSpec::for_qubits(64, 30).unwrap();
+        assert_eq!(s.n_traps(), 3);
+    }
+
+    #[test]
+    fn rejects_degenerate_arrays() {
+        assert!(QccdSpec::new(0, 10).is_err());
+        assert!(QccdSpec::new(2, 3).is_err());
+        assert!(QccdSpec::for_qubits(10, 0).is_err());
+    }
+
+    #[test]
+    fn segments_are_hop_counts() {
+        let s = QccdSpec::new(5, 10).unwrap();
+        assert_eq!(s.segments_between(0, 4), 4);
+        assert_eq!(s.segments_between(3, 3), 0);
+        assert_eq!(s.segments_between(4, 1), 3);
+    }
+}

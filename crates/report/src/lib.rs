@@ -1,0 +1,71 @@
+//! Reporting helpers shared by the experiment harnesses.
+//!
+//! Every `bench` binary prints its results both as an aligned ASCII table
+//! (for eyeballing against the paper) and optionally as CSV (for
+//! re-plotting). [`Table`] accumulates rows and renders both.
+//!
+//! # Example
+//!
+//! ```
+//! use tilt_report::Table;
+//!
+//! let mut t = Table::new(["app", "swaps", "success"]);
+//! t.row(["BV", "7", "8.9e-1"]);
+//! t.row(["QFT", "161", "1.1e-14"]);
+//! let text = t.render();
+//! assert!(text.contains("BV"));
+//! assert!(t.to_csv().starts_with("app,swaps,success\n"));
+//! ```
+
+pub mod table;
+
+pub use table::Table;
+
+/// Formats a probability for display: fixed-point when readable, powers of
+/// ten when tiny (matching the paper's mixed linear/log axes).
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(tilt_report::fmt_success(0.8911), "0.8911");
+/// assert_eq!(tilt_report::fmt_success(1.077e-14), "1.08e-14");
+/// assert_eq!(tilt_report::fmt_success(0.0), "0");
+/// ```
+pub fn fmt_success(p: f64) -> String {
+    if p == 0.0 {
+        "0".to_string()
+    } else if p >= 1e-3 {
+        format!("{p:.4}")
+    } else {
+        format!("{p:.2e}")
+    }
+}
+
+/// Formats a duration in seconds with millisecond resolution.
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// assert_eq!(tilt_report::fmt_secs(Duration::from_millis(1234)), "1.234");
+/// ```
+pub fn fmt_secs(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_formatting_switches_regimes() {
+        assert_eq!(fmt_success(1.0), "1.0000");
+        assert_eq!(fmt_success(0.0015), "0.0015");
+        assert!(fmt_success(9.9e-4).contains('e'));
+    }
+
+    #[test]
+    fn secs_formatting() {
+        assert_eq!(fmt_secs(std::time::Duration::ZERO), "0.000");
+    }
+}

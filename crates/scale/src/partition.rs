@@ -1,0 +1,119 @@
+//! Qubit partitioning across ELUs.
+
+use crate::spec::{ScaleSpec, COMM_SLOTS};
+
+/// Assignment of logical data qubits to ELUs.
+///
+/// Contiguous block partitioning: qubit `q` lives in ELU `q / capacity`
+/// at local tape position `q % capacity`. The two communication ions sit
+/// at the *end* of each ELU's tape (local positions `capacity` and
+/// `capacity + 1`), so remote-gate halves are long-distance local gates —
+/// which the ELU's own LinQ instance then has to route, exactly like any
+/// other traffic.
+///
+/// Block partitioning is the natural choice for the paper's benchmarks:
+/// their interaction graphs are line-like or banded, so cut edges ≈
+/// boundary edges. A smarter min-cut partitioner would drop EPR counts
+/// further but does not change the architecture trade-off being studied.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    capacity: usize,
+    n_elus: usize,
+    n_qubits: usize,
+}
+
+impl Partition {
+    /// Partitions `n_qubits` data qubits under the ELU template `spec`.
+    pub fn new(spec: &ScaleSpec, n_qubits: usize) -> Self {
+        Partition {
+            capacity: spec.data_capacity(),
+            n_elus: spec.elus_for(n_qubits),
+            n_qubits,
+        }
+    }
+
+    /// Number of ELUs in use.
+    pub fn n_elus(&self) -> usize {
+        self.n_elus
+    }
+
+    /// Total data qubits partitioned.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// ELU hosting logical qubit `q`.
+    #[inline]
+    pub fn elu_of(&self, q: usize) -> usize {
+        q / self.capacity
+    }
+
+    /// Local tape position of logical qubit `q` inside its ELU.
+    #[inline]
+    pub fn local_of(&self, q: usize) -> usize {
+        q % self.capacity
+    }
+
+    /// Local tape position of communication ion `slot` (0 or 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= COMM_SLOTS`.
+    pub fn comm_position(&self, slot: usize) -> usize {
+        assert!(slot < COMM_SLOTS, "ELUs have {COMM_SLOTS} comm slots");
+        self.capacity + slot
+    }
+
+    /// Data qubits resident in ELU `e`.
+    pub fn qubits_in(&self, e: usize) -> std::ops::Range<usize> {
+        let start = e * self.capacity;
+        start..(start + self.capacity).min(self.n_qubits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ScaleSpec {
+        ScaleSpec::new(10, 4).unwrap() // capacity 8
+    }
+
+    #[test]
+    fn block_assignment() {
+        let p = Partition::new(&spec(), 20);
+        assert_eq!(p.n_elus(), 3);
+        assert_eq!(p.elu_of(0), 0);
+        assert_eq!(p.elu_of(7), 0);
+        assert_eq!(p.elu_of(8), 1);
+        assert_eq!(p.local_of(8), 0);
+        assert_eq!(p.local_of(19), 3);
+    }
+
+    #[test]
+    fn comm_positions_follow_data() {
+        let p = Partition::new(&spec(), 20);
+        assert_eq!(p.comm_position(0), 8);
+        assert_eq!(p.comm_position(1), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "comm slots")]
+    fn comm_slot_bounds_checked() {
+        Partition::new(&spec(), 20).comm_position(2);
+    }
+
+    #[test]
+    fn qubit_ranges_cover_everything_once() {
+        let p = Partition::new(&spec(), 20);
+        let mut seen = vec![false; 20];
+        for e in 0..p.n_elus() {
+            for q in p.qubits_in(e) {
+                assert!(!seen[q]);
+                seen[q] = true;
+                assert_eq!(p.elu_of(q), e);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

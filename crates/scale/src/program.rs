@@ -1,0 +1,278 @@
+//! Splitting a circuit across ELUs and estimating the modular machine.
+
+use crate::partition::Partition;
+use crate::spec::{ScaleError, ScaleSpec};
+use tilt_circuit::{Circuit, Gate, Qubit};
+use tilt_compiler::{CompileOutput, Compiler, DeviceSpec};
+use tilt_sim::{
+    estimate_success, execution_time_us, ExecTimeModel, GateTimeModel, NoiseModel,
+};
+
+/// A circuit compiled onto an ELU array.
+#[derive(Clone, Debug)]
+pub struct ScaledProgram {
+    /// The ELU template used.
+    pub spec: ScaleSpec,
+    /// The partition of logical qubits.
+    pub partition: Partition,
+    /// One LinQ compilation per ELU (local gates plus the local halves of
+    /// remote gates).
+    pub elu_outputs: Vec<CompileOutput>,
+    /// EPR pairs consumed (one per remote two-qubit gate).
+    pub epr_pairs: usize,
+}
+
+/// Success/time estimate for a [`ScaledProgram`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScaleReport {
+    /// Natural log of the overall success probability.
+    pub ln_success: f64,
+    /// Overall success probability: the product of every ELU's local
+    /// success and the EPR fidelity per remote gate.
+    pub success: f64,
+    /// Remote (cross-ELU) two-qubit gates.
+    pub remote_gates: usize,
+    /// Makespan estimate in µs: the slowest ELU plus serialized EPR
+    /// generation (ELUs run in parallel; pair generation through the
+    /// optical switch is the serial bottleneck).
+    pub exec_time_us: f64,
+    /// Tape moves summed over all ELUs.
+    pub total_moves: usize,
+    /// Swaps summed over all ELUs.
+    pub total_swaps: usize,
+}
+
+impl ScaleReport {
+    /// Base-10 log of the success probability.
+    pub fn log10_success(&self) -> f64 {
+        self.ln_success / std::f64::consts::LN_10
+    }
+}
+
+/// Compiles `circuit` onto the ELU array described by `spec`.
+///
+/// The circuit is lowered to two-qubit granularity first. Local gates go
+/// to their ELU verbatim (relabelled to local positions). A remote gate
+/// between ELUs `A` and `B` is lowered to the gate-teleportation
+/// template: in `A`, a CNOT from the data ion onto the communication ion
+/// plus its measurement; in `B`, the original interaction applied from
+/// the communication ion plus its measurement; one EPR pair is consumed.
+/// Each ELU's stream is then compiled by its own LinQ instance.
+///
+/// # Errors
+///
+/// Propagates ELU-geometry validation and per-ELU compilation failures.
+pub fn compile_scaled(circuit: &Circuit, spec: &ScaleSpec) -> Result<ScaledProgram, ScaleError> {
+    let native = tilt_compiler::decompose::decompose(circuit);
+    let partition = Partition::new(spec, circuit.n_qubits());
+    let n_elus = partition.n_elus();
+
+    let mut streams: Vec<Circuit> =
+        (0..n_elus).map(|_| Circuit::new(spec.ions_per_elu())).collect();
+    let mut epr_pairs = 0usize;
+
+    for gate in native.iter() {
+        match gate {
+            Gate::Barrier => {
+                for s in streams.iter_mut() {
+                    s.barrier();
+                }
+            }
+            g if g.is_two_qubit() => {
+                let qs = g.qubits();
+                let (a, b) = (qs[0].index(), qs[1].index());
+                let (ea, eb) = (partition.elu_of(a), partition.elu_of(b));
+                let (la, lb) = (
+                    Qubit(partition.local_of(a)),
+                    Qubit(partition.local_of(b)),
+                );
+                if ea == eb {
+                    streams[ea].push(g.map_qubits(|q| {
+                        if q.index() == a {
+                            la
+                        } else {
+                            lb
+                        }
+                    }));
+                } else {
+                    // Gate teleportation: alternate comm slots so
+                    // back-to-back remote gates can overlap.
+                    let slot = epr_pairs % crate::spec::COMM_SLOTS;
+                    let comm = Qubit(partition.comm_position(slot));
+                    epr_pairs += 1;
+                    streams[ea].cnot(la, comm);
+                    streams[ea].measure(comm);
+                    streams[eb]
+                        .push(g.map_qubits(|q| if q.index() == a { comm } else { lb }));
+                    streams[eb].measure(comm);
+                }
+            }
+            g => {
+                let q = match g.qubits().first() {
+                    Some(q) => q.index(),
+                    None => continue,
+                };
+                let e = partition.elu_of(q);
+                let local = Qubit(partition.local_of(q));
+                streams[e].push(g.map_qubits(|_| local));
+            }
+        }
+    }
+
+    let device = DeviceSpec::new(spec.ions_per_elu(), spec.head_size()).map_err(|e| {
+        ScaleError::InvalidSpec {
+            reason: e.to_string(),
+        }
+    })?;
+    let mut elu_outputs = Vec::with_capacity(n_elus);
+    for (e, stream) in streams.iter().enumerate() {
+        let out = Compiler::new(device)
+            .compile(stream)
+            .map_err(|err| ScaleError::EluCompile {
+                elu: e,
+                reason: err.to_string(),
+            })?;
+        elu_outputs.push(out);
+    }
+
+    Ok(ScaledProgram {
+        spec: *spec,
+        partition,
+        elu_outputs,
+        epr_pairs,
+    })
+}
+
+/// Estimates a compiled ELU array under the given noise and timing
+/// models.
+///
+/// Each ELU is estimated with the ordinary TILT estimator over its own
+/// (short) chain — so per-move heating benefits from the `√n` scaling —
+/// and every EPR pair multiplies in the photonic-link fidelity.
+pub fn estimate_scaled(
+    program: &ScaledProgram,
+    noise: &NoiseModel,
+    times: &GateTimeModel,
+) -> ScaleReport {
+    let mut ln_success = 0.0f64;
+    let mut slowest_elu_us = 0.0f64;
+    let mut total_moves = 0usize;
+    let mut total_swaps = 0usize;
+    for out in &program.elu_outputs {
+        let s = estimate_success(&out.program, noise, times);
+        ln_success += s.ln_success;
+        let t = execution_time_us(&out.program, times, &ExecTimeModel::default());
+        slowest_elu_us = slowest_elu_us.max(t);
+        total_moves += out.report.move_count;
+        total_swaps += out.report.swap_count;
+    }
+    ln_success += program.epr_pairs as f64 * program.spec.epr.fidelity.ln();
+    ScaleReport {
+        ln_success,
+        success: ln_success.exp(),
+        remote_gates: program.epr_pairs,
+        exec_time_us: slowest_elu_us
+            + program.epr_pairs as f64 * program.spec.epr.generation_us,
+        total_moves,
+        total_swaps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilt_benchmarks::qaoa::qaoa_maxcut;
+
+    fn models() -> (NoiseModel, GateTimeModel) {
+        (NoiseModel::default(), GateTimeModel::default())
+    }
+
+    #[test]
+    fn local_only_circuit_uses_no_epr() {
+        let mut c = Circuit::new(8);
+        c.cnot(Qubit(0), Qubit(1)).cnot(Qubit(6), Qubit(7));
+        let spec = ScaleSpec::new(10, 4).unwrap(); // capacity 8 → one ELU
+        let p = compile_scaled(&c, &spec).unwrap();
+        assert_eq!(p.elu_outputs.len(), 1);
+        assert_eq!(p.epr_pairs, 0);
+    }
+
+    #[test]
+    fn boundary_gates_cost_one_epr_each() {
+        let mut c = Circuit::new(16);
+        c.cnot(Qubit(7), Qubit(8)); // crosses the ELU boundary (cap 8)
+        c.cnot(Qubit(0), Qubit(1)); // local
+        let spec = ScaleSpec::new(10, 4).unwrap();
+        let p = compile_scaled(&c, &spec).unwrap();
+        assert_eq!(p.elu_outputs.len(), 2);
+        assert_eq!(p.epr_pairs, 1);
+        // The remote halves exist in both ELUs.
+        assert!(p.elu_outputs[0].program.gate_count() > 0);
+        assert!(p.elu_outputs[1].program.gate_count() > 0);
+    }
+
+    #[test]
+    fn epr_fidelity_multiplies_in() {
+        let mut c = Circuit::new(16);
+        c.cnot(Qubit(7), Qubit(8));
+        let spec = ScaleSpec::new(10, 4).unwrap();
+        let p = compile_scaled(&c, &spec).unwrap();
+        let (noise, times) = models();
+        let with_perfect = {
+            let mut perfect = p.clone();
+            perfect.spec = perfect.spec.with_epr(crate::EprModel {
+                fidelity: 1.0,
+                generation_us: 0.0,
+            });
+            estimate_scaled(&perfect, &noise, &times)
+        };
+        let with_lossy = estimate_scaled(&p, &noise, &times);
+        let ratio = with_lossy.success / with_perfect.success;
+        assert!((ratio - 0.95).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn shorter_chains_heat_less_per_move() {
+        // The §VII motivation: same workload, modular vs monolithic.
+        let circuit = qaoa_maxcut(32, 4, 3);
+        let (noise, times) = models();
+        // Monolithic 32-ion tape.
+        let mono = Compiler::new(DeviceSpec::new(32, 8).unwrap())
+            .compile(&circuit)
+            .unwrap();
+        let mono_s = estimate_success(&mono.program, &noise, &times);
+        // Two 18-ion ELUs.
+        let spec = ScaleSpec::new(18, 8).unwrap();
+        let scaled = compile_scaled(&circuit, &spec).unwrap();
+        // Per-move heating in each ELU is lower than on the monolithic
+        // tape (k ∝ √n).
+        assert!(noise.k_for_chain(18) < noise.k_for_chain(32));
+        let report = estimate_scaled(&scaled, &noise, &times);
+        assert!(report.success > 0.0);
+        assert!(mono_s.success > 0.0);
+    }
+
+    #[test]
+    fn report_totals_sum_over_elus() {
+        let circuit = qaoa_maxcut(32, 2, 5);
+        let spec = ScaleSpec::new(10, 4).unwrap();
+        let p = compile_scaled(&circuit, &spec).unwrap();
+        let (noise, times) = models();
+        let r = estimate_scaled(&p, &noise, &times);
+        let moves: usize = p.elu_outputs.iter().map(|o| o.report.move_count).sum();
+        assert_eq!(r.total_moves, moves);
+        assert_eq!(r.remote_gates, p.epr_pairs);
+        assert!(r.exec_time_us >= p.epr_pairs as f64 * 1000.0);
+    }
+
+    #[test]
+    fn barriers_fence_every_elu() {
+        let mut c = Circuit::new(16);
+        c.cnot(Qubit(0), Qubit(1));
+        c.barrier();
+        c.cnot(Qubit(8), Qubit(9));
+        let spec = ScaleSpec::new(10, 4).unwrap();
+        let p = compile_scaled(&c, &spec).unwrap();
+        assert_eq!(p.elu_outputs.len(), 2);
+    }
+}

@@ -1,0 +1,93 @@
+//! Gate duration model (Eq. 3 of the paper).
+
+use tilt_circuit::Gate;
+
+/// Gate durations in microseconds.
+///
+/// The two-qubit time is the amplitude-modulated (AM) gate model of
+/// Trout et al. (NJP 20 043038), adopted by the paper as Eq. 3:
+/// `τ(d) = 38·d + 10 µs` with `d` the operand distance in ion spacings.
+/// Single-qubit and measurement durations are not specified by the paper;
+/// the defaults follow the conventions of Murali et al. and are
+/// configurable.
+///
+/// # Example
+///
+/// ```
+/// use tilt_sim::GateTimeModel;
+///
+/// let t = GateTimeModel::default();
+/// assert_eq!(t.two_qubit_us(1), 48.0);
+/// assert_eq!(t.two_qubit_us(15), 580.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GateTimeModel {
+    /// Slope of the AM gate time in µs per ion spacing (38 in Eq. 3).
+    pub two_qubit_slope_us: f64,
+    /// Offset of the AM gate time in µs (10 in Eq. 3).
+    pub two_qubit_offset_us: f64,
+    /// Duration of a single-qubit rotation in µs.
+    pub single_qubit_us: f64,
+    /// Duration of a measurement in µs.
+    pub measure_us: f64,
+}
+
+impl Default for GateTimeModel {
+    fn default() -> Self {
+        GateTimeModel {
+            two_qubit_slope_us: 38.0,
+            two_qubit_offset_us: 10.0,
+            single_qubit_us: 10.0,
+            measure_us: 100.0,
+        }
+    }
+}
+
+impl GateTimeModel {
+    /// AM two-qubit gate time for operands `d` ion spacings apart (Eq. 3).
+    pub fn two_qubit_us(&self, d: usize) -> f64 {
+        self.two_qubit_slope_us * d as f64 + self.two_qubit_offset_us
+    }
+
+    /// Duration of an arbitrary gate. Two-qubit gates use Eq. 3 with the
+    /// gate's physical span; barriers take no time.
+    pub fn gate_us(&self, g: &Gate) -> f64 {
+        match g {
+            Gate::Barrier => 0.0,
+            Gate::Measure(_) => self.measure_us,
+            g if g.is_two_qubit() => {
+                self.two_qubit_us(g.span().expect("two-qubit gates have a span"))
+            }
+            _ => self.single_qubit_us,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilt_circuit::Qubit;
+
+    #[test]
+    fn eq3_values() {
+        let t = GateTimeModel::default();
+        assert_eq!(t.two_qubit_us(0), 10.0);
+        assert_eq!(t.two_qubit_us(8), 314.0);
+        assert_eq!(t.two_qubit_us(63), 2404.0);
+    }
+
+    #[test]
+    fn gate_dispatch() {
+        let t = GateTimeModel::default();
+        assert_eq!(t.gate_us(&Gate::Rx(Qubit(0), 1.0)), 10.0);
+        assert_eq!(t.gate_us(&Gate::Xx(Qubit(0), Qubit(5), 0.1)), 200.0);
+        assert_eq!(t.gate_us(&Gate::Measure(Qubit(0))), 100.0);
+        assert_eq!(t.gate_us(&Gate::Barrier), 0.0);
+    }
+
+    #[test]
+    fn longer_gates_take_longer() {
+        let t = GateTimeModel::default();
+        assert!(t.two_qubit_us(10) > t.two_qubit_us(1));
+    }
+}

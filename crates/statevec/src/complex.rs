@@ -1,0 +1,124 @@
+//! A minimal complex-number type (kept local to avoid an external
+//! dependency for two dozen lines of arithmetic).
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates `re + i·im`.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// `e^{iθ}`.
+    pub fn cis(theta: f64) -> Self {
+        Complex::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude `|z|²`.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, s: f64) -> Self {
+        Complex::new(self.re * s, self.im * s)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        assert_eq!(-a, Complex::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(Complex::I * Complex::I, Complex::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn cis_and_norm() {
+        let z = Complex::cis(std::f64::consts::FRAC_PI_2);
+        assert!((z.re).abs() < 1e-15);
+        assert!((z.im - 1.0).abs() < 1e-15);
+        assert!((z.norm_sq() - 1.0).abs() < 1e-15);
+        assert!((z.abs() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn conjugate_negates_imaginary() {
+        assert_eq!(Complex::new(2.0, 3.0).conj(), Complex::new(2.0, -3.0));
+    }
+}

@@ -1,0 +1,526 @@
+//! Dense state vectors and gate application.
+//!
+//! Conventions (all standard / OpenQASM):
+//!
+//! * Basis index bit `q` is the state of qubit `q` (qubit 0 = LSB).
+//! * `Rp(θ) = exp(-iθ/2 P)` for `P ∈ {X, Y, Z}`.
+//! * `XX(θ) = exp(-iθ/2 X⊗X)` (the Mølmer–Sørensen interaction; `θ = ±π/2`
+//!   is maximally entangling), `ZZ(θ) = exp(-iθ/2 Z⊗Z)`.
+//! * `CPhase(λ) = diag(1, 1, 1, e^{iλ})`.
+
+use crate::complex::Complex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tilt_circuit::{Circuit, Gate};
+
+/// A pure quantum state over `n` qubits (`2^n` amplitudes).
+#[derive(Clone, Debug, PartialEq)]
+pub struct State {
+    n_qubits: usize,
+    amps: Vec<Complex>,
+}
+
+impl State {
+    /// The all-zeros computational basis state `|0…0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n_qubits > 24` (the dense vector would not fit).
+    pub fn zero(n_qubits: usize) -> Self {
+        assert!(n_qubits <= 24, "dense simulation beyond 24 qubits");
+        let mut amps = vec![Complex::ZERO; 1 << n_qubits];
+        amps[0] = Complex::ONE;
+        State { n_qubits, amps }
+    }
+
+    /// A basis state `|x⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has bits above `n_qubits`.
+    pub fn basis(n_qubits: usize, x: usize) -> Self {
+        assert!(x < (1usize << n_qubits), "basis index out of range");
+        let mut s = State::zero(n_qubits);
+        s.amps[0] = Complex::ZERO;
+        s.amps[x] = Complex::ONE;
+        s
+    }
+
+    /// A reproducible Haar-ish random state (normalized Gaussian-free
+    /// uniform components — adequate for equivalence probing).
+    pub fn random(n_qubits: usize, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut amps: Vec<Complex> = (0..1usize << n_qubits)
+            .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let norm: f64 = amps.iter().map(|a| a.norm_sq()).sum::<f64>().sqrt();
+        for a in amps.iter_mut() {
+            *a = a.scale(1.0 / norm);
+        }
+        State { n_qubits, amps }
+    }
+
+    /// Register width.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The amplitude of basis state `x`.
+    pub fn amplitude(&self, x: usize) -> Complex {
+        self.amps[x]
+    }
+
+    /// `|⟨x|ψ⟩|²`.
+    pub fn probability_of(&self, x: usize) -> f64 {
+        self.amps[x].norm_sq()
+    }
+
+    /// `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on register-width mismatch.
+    pub fn inner(&self, other: &State) -> Complex {
+        assert_eq!(self.n_qubits, other.n_qubits, "width mismatch");
+        let mut acc = Complex::ZERO;
+        for (a, b) in self.amps.iter().zip(&other.amps) {
+            acc += a.conj() * *b;
+        }
+        acc
+    }
+
+    /// `|⟨self|other⟩|²` — 1.0 iff the states agree up to global phase.
+    pub fn fidelity(&self, other: &State) -> f64 {
+        self.inner(other).norm_sq()
+    }
+
+    /// Total probability (should be 1 for any unitary evolution).
+    pub fn norm_sq(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sq()).sum()
+    }
+
+    /// Applies `gate` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Gate::Measure`] (this is a pure-state verifier) and on
+    /// operands outside the register.
+    pub fn apply(&mut self, gate: &Gate) {
+        match *gate {
+            Gate::Barrier => {}
+            Gate::Measure(_) => panic!("state-vector verifier cannot measure"),
+            Gate::H(q) => {
+                let s = std::f64::consts::FRAC_1_SQRT_2;
+                self.apply_1q(
+                    q.index(),
+                    [
+                        [Complex::new(s, 0.0), Complex::new(s, 0.0)],
+                        [Complex::new(s, 0.0), Complex::new(-s, 0.0)],
+                    ],
+                );
+            }
+            Gate::X(q) => self.apply_1q(
+                q.index(),
+                [[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]],
+            ),
+            Gate::Y(q) => self.apply_1q(
+                q.index(),
+                [
+                    [Complex::ZERO, -Complex::I],
+                    [Complex::I, Complex::ZERO],
+                ],
+            ),
+            Gate::Z(q) => self.phase_if(|x, m| x & m != 0, q.index(), Complex::new(-1.0, 0.0)),
+            Gate::S(q) => self.phase_if(|x, m| x & m != 0, q.index(), Complex::I),
+            Gate::Sdg(q) => self.phase_if(|x, m| x & m != 0, q.index(), -Complex::I),
+            Gate::T(q) => self.phase_if(
+                |x, m| x & m != 0,
+                q.index(),
+                Complex::cis(std::f64::consts::FRAC_PI_4),
+            ),
+            Gate::Tdg(q) => self.phase_if(
+                |x, m| x & m != 0,
+                q.index(),
+                Complex::cis(-std::f64::consts::FRAC_PI_4),
+            ),
+            Gate::SqrtX(q) => {
+                // √X = e^{iπ/4}·Rx(π/2).
+                let p = Complex::new(0.5, 0.5);
+                let m = Complex::new(0.5, -0.5);
+                self.apply_1q(q.index(), [[p, m], [m, p]]);
+            }
+            Gate::SqrtY(q) => {
+                // √Y = e^{iπ/4}·Ry(π/2).
+                let p = Complex::new(0.5, 0.5);
+                self.apply_1q(q.index(), [[p, -p], [p, p]]);
+            }
+            Gate::Rx(q, t) => {
+                let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
+                self.apply_1q(
+                    q.index(),
+                    [
+                        [Complex::new(c, 0.0), Complex::new(0.0, -s)],
+                        [Complex::new(0.0, -s), Complex::new(c, 0.0)],
+                    ],
+                );
+            }
+            Gate::Ry(q, t) => {
+                let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
+                self.apply_1q(
+                    q.index(),
+                    [
+                        [Complex::new(c, 0.0), Complex::new(-s, 0.0)],
+                        [Complex::new(s, 0.0), Complex::new(c, 0.0)],
+                    ],
+                );
+            }
+            Gate::Rz(q, t) => {
+                let m = 1usize << q.index();
+                for (x, a) in self.amps.iter_mut().enumerate() {
+                    let phase = if x & m == 0 { -t / 2.0 } else { t / 2.0 };
+                    *a = *a * Complex::cis(phase);
+                }
+            }
+            Gate::Cnot(c, t) => {
+                let (mc, mt) = (1usize << c.index(), 1usize << t.index());
+                for x in 0..self.amps.len() {
+                    if x & mc != 0 && x & mt == 0 {
+                        self.amps.swap(x, x | mt);
+                    }
+                }
+            }
+            Gate::Cz(a, b) => {
+                let m = (1usize << a.index()) | (1usize << b.index());
+                for (x, amp) in self.amps.iter_mut().enumerate() {
+                    if x & m == m {
+                        *amp = -*amp;
+                    }
+                }
+            }
+            Gate::Cphase(a, b, lambda) => {
+                let m = (1usize << a.index()) | (1usize << b.index());
+                let phase = Complex::cis(lambda);
+                for (x, amp) in self.amps.iter_mut().enumerate() {
+                    if x & m == m {
+                        *amp = *amp * phase;
+                    }
+                }
+            }
+            Gate::Zz(a, b, t) => {
+                let (ma, mb) = (1usize << a.index(), 1usize << b.index());
+                let same = Complex::cis(-t / 2.0);
+                let diff = Complex::cis(t / 2.0);
+                for (x, amp) in self.amps.iter_mut().enumerate() {
+                    let parity = ((x & ma != 0) as u8) ^ ((x & mb != 0) as u8);
+                    *amp = *amp * if parity == 0 { same } else { diff };
+                }
+            }
+            Gate::Xx(a, b, t) => {
+                let mask = (1usize << a.index()) | (1usize << b.index());
+                let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
+                let cos = Complex::new(c, 0.0);
+                let isin = Complex::new(0.0, -s);
+                for x in 0..self.amps.len() {
+                    let y = x ^ mask;
+                    if x < y {
+                        let (ax, ay) = (self.amps[x], self.amps[y]);
+                        self.amps[x] = cos * ax + isin * ay;
+                        self.amps[y] = cos * ay + isin * ax;
+                    }
+                }
+            }
+            Gate::Swap(a, b) => {
+                let (ma, mb) = (1usize << a.index(), 1usize << b.index());
+                for x in 0..self.amps.len() {
+                    if x & ma != 0 && x & mb == 0 {
+                        self.amps.swap(x, (x & !ma) | mb);
+                    }
+                }
+            }
+            Gate::Toffoli(c0, c1, t) => {
+                let (m0, m1, mt) = (
+                    1usize << c0.index(),
+                    1usize << c1.index(),
+                    1usize << t.index(),
+                );
+                for x in 0..self.amps.len() {
+                    if x & m0 != 0 && x & m1 != 0 && x & mt == 0 {
+                        self.amps.swap(x, x | mt);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies every gate of `circuit` in program order, consuming and
+    /// returning the state for chaining.
+    pub fn run(mut self, circuit: &Circuit) -> State {
+        assert!(
+            circuit.n_qubits() <= self.n_qubits,
+            "circuit wider than state"
+        );
+        for g in circuit.iter() {
+            self.apply(g);
+        }
+        self
+    }
+
+    /// Relabels qubits: qubit `q` of `self` becomes qubit `perm[q]` of the
+    /// result. Used to compare routed physical states (where data ended at
+    /// permuted tape positions) against logical references.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..n_qubits`.
+    pub fn permute_qubits(&self, perm: &[usize]) -> State {
+        assert_eq!(perm.len(), self.n_qubits, "permutation width mismatch");
+        let mut seen = vec![false; self.n_qubits];
+        for &p in perm {
+            assert!(p < self.n_qubits && !seen[p], "not a permutation");
+            seen[p] = true;
+        }
+        let mut out = vec![Complex::ZERO; self.amps.len()];
+        for (x, amp) in self.amps.iter().enumerate() {
+            let mut y = 0usize;
+            for (q, &p) in perm.iter().enumerate() {
+                if x & (1 << q) != 0 {
+                    y |= 1 << p;
+                }
+            }
+            out[y] = *amp;
+        }
+        State {
+            n_qubits: self.n_qubits,
+            amps: out,
+        }
+    }
+
+    /// Applies a general single-qubit matrix `[[m00, m01], [m10, m11]]`.
+    fn apply_1q(&mut self, q: usize, m: [[Complex; 2]; 2]) {
+        let mask = 1usize << q;
+        for x in 0..self.amps.len() {
+            if x & mask == 0 {
+                let y = x | mask;
+                let (a0, a1) = (self.amps[x], self.amps[y]);
+                self.amps[x] = m[0][0] * a0 + m[0][1] * a1;
+                self.amps[y] = m[1][0] * a0 + m[1][1] * a1;
+            }
+        }
+    }
+
+    /// Multiplies the amplitude of every basis state satisfying the
+    /// predicate by `phase`.
+    fn phase_if(&mut self, pred: fn(usize, usize) -> bool, q: usize, phase: Complex) {
+        let mask = 1usize << q;
+        for (x, amp) in self.amps.iter_mut().enumerate() {
+            if pred(x, mask) {
+                *amp = *amp * phase;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+    use tilt_circuit::Qubit;
+
+    const EPS: f64 = 1e-10;
+
+    /// Checks two circuits implement the same unitary up to global phase
+    /// by probing with random states.
+    fn assert_equivalent(n: usize, c1: &Circuit, c2: &Circuit) {
+        for seed in 0..3u64 {
+            let probe = State::random(n, seed);
+            let s1 = probe.clone().run(c1);
+            let s2 = probe.run(c2);
+            let f = s1.fidelity(&s2);
+            assert!(
+                (f - 1.0).abs() < EPS,
+                "fidelity {f} for seed {seed}\nc1: {c1}\nc2: {c2}"
+            );
+        }
+    }
+
+    #[test]
+    fn bell_state_amplitudes() {
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0)).cnot(Qubit(0), Qubit(1));
+        let s = State::zero(2).run(&c);
+        assert!((s.probability_of(0b00) - 0.5).abs() < EPS);
+        assert!((s.probability_of(0b11) - 0.5).abs() < EPS);
+        assert!(s.probability_of(0b01) < EPS);
+        assert!((s.norm_sq() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn ghz_state() {
+        let mut c = Circuit::new(4);
+        c.h(Qubit(0));
+        for i in 1..4 {
+            c.cnot(Qubit(i - 1), Qubit(i));
+        }
+        let s = State::zero(4).run(&c);
+        assert!((s.probability_of(0) - 0.5).abs() < EPS);
+        assert!((s.probability_of(0b1111) - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn unitarity_preserved_by_every_gate() {
+        let gates: Vec<Gate> = vec![
+            Gate::H(Qubit(0)),
+            Gate::SqrtX(Qubit(1)),
+            Gate::SqrtY(Qubit(2)),
+            Gate::Rx(Qubit(0), 0.7),
+            Gate::Ry(Qubit(1), -1.3),
+            Gate::Rz(Qubit(2), 2.1),
+            Gate::Cnot(Qubit(0), Qubit(1)),
+            Gate::Cz(Qubit(1), Qubit(2)),
+            Gate::Cphase(Qubit(0), Qubit(2), 0.9),
+            Gate::Zz(Qubit(0), Qubit(1), 1.7),
+            Gate::Xx(Qubit(1), Qubit(2), -0.6),
+            Gate::Swap(Qubit(0), Qubit(2)),
+            Gate::Toffoli(Qubit(0), Qubit(1), Qubit(2)),
+        ];
+        let mut s = State::random(3, 42);
+        for g in &gates {
+            s.apply(g);
+            assert!((s.norm_sq() - 1.0).abs() < EPS, "{g:?} broke unitarity");
+        }
+    }
+
+    #[test]
+    fn pauli_identities() {
+        // X = H Z H.
+        let mut lhs = Circuit::new(1);
+        lhs.x(Qubit(0));
+        let mut rhs = Circuit::new(1);
+        rhs.h(Qubit(0)).z(Qubit(0)).h(Qubit(0));
+        assert_equivalent(1, &lhs, &rhs);
+        // S·S = Z, T·T = S.
+        let mut ss = Circuit::new(1);
+        ss.s(Qubit(0)).s(Qubit(0));
+        let mut z = Circuit::new(1);
+        z.z(Qubit(0));
+        assert_equivalent(1, &ss, &z);
+        let mut tt = Circuit::new(1);
+        tt.t(Qubit(0)).t(Qubit(0));
+        let mut s1 = Circuit::new(1);
+        s1.s(Qubit(0));
+        assert_equivalent(1, &tt, &s1);
+    }
+
+    #[test]
+    fn sqrt_gates_square_to_paulis() {
+        let mut sxsx = Circuit::new(1);
+        sxsx.push(Gate::SqrtX(Qubit(0))).push(Gate::SqrtX(Qubit(0)));
+        let mut x = Circuit::new(1);
+        x.x(Qubit(0));
+        assert_equivalent(1, &sxsx, &x);
+        let mut sysy = Circuit::new(1);
+        sysy.push(Gate::SqrtY(Qubit(0))).push(Gate::SqrtY(Qubit(0)));
+        let mut y = Circuit::new(1);
+        y.y(Qubit(0));
+        assert_equivalent(1, &sysy, &y);
+    }
+
+    #[test]
+    fn cz_is_symmetric_and_hadamard_conjugate_of_cnot() {
+        let mut ab = Circuit::new(2);
+        ab.cz(Qubit(0), Qubit(1));
+        let mut ba = Circuit::new(2);
+        ba.cz(Qubit(1), Qubit(0));
+        assert_equivalent(2, &ab, &ba);
+        let mut viacx = Circuit::new(2);
+        viacx.h(Qubit(1)).cnot(Qubit(0), Qubit(1)).h(Qubit(1));
+        assert_equivalent(2, &ab, &viacx);
+    }
+
+    #[test]
+    fn swap_is_three_cnots() {
+        let mut sw = Circuit::new(2);
+        sw.swap(Qubit(0), Qubit(1));
+        let mut cx3 = Circuit::new(2);
+        cx3.cnot(Qubit(0), Qubit(1))
+            .cnot(Qubit(1), Qubit(0))
+            .cnot(Qubit(0), Qubit(1));
+        assert_equivalent(2, &sw, &cx3);
+    }
+
+    #[test]
+    fn zz_via_cnot_conjugation() {
+        // ZZ(θ) = CX · Rz_t(θ) · CX.
+        let theta = 0.83;
+        let mut zz = Circuit::new(2);
+        zz.zz(Qubit(0), Qubit(1), theta);
+        let mut via = Circuit::new(2);
+        via.cnot(Qubit(0), Qubit(1))
+            .rz(Qubit(1), theta)
+            .cnot(Qubit(0), Qubit(1));
+        assert_equivalent(2, &zz, &via);
+    }
+
+    #[test]
+    fn xx_is_hadamard_conjugated_zz() {
+        let theta = -1.1;
+        let mut xx = Circuit::new(2);
+        xx.xx(Qubit(0), Qubit(1), theta);
+        let mut via = Circuit::new(2);
+        via.h(Qubit(0)).h(Qubit(1));
+        via.zz(Qubit(0), Qubit(1), theta);
+        via.h(Qubit(0)).h(Qubit(1));
+        assert_equivalent(2, &xx, &via);
+    }
+
+    #[test]
+    fn cphase_from_rz_and_cnots() {
+        let lambda = 1.9;
+        let mut cp = Circuit::new(2);
+        cp.cphase(Qubit(0), Qubit(1), lambda);
+        let mut via = Circuit::new(2);
+        via.rz(Qubit(0), lambda / 2.0);
+        via.cnot(Qubit(0), Qubit(1));
+        via.rz(Qubit(1), -lambda / 2.0);
+        via.cnot(Qubit(0), Qubit(1));
+        via.rz(Qubit(1), lambda / 2.0);
+        assert_equivalent(2, &cp, &via);
+    }
+
+    #[test]
+    fn toffoli_truth_table() {
+        for x in 0..8usize {
+            let mut c = Circuit::new(3);
+            c.toffoli(Qubit(0), Qubit(1), Qubit(2));
+            let s = State::basis(3, x).run(&c);
+            let expect = if x & 0b011 == 0b011 { x ^ 0b100 } else { x };
+            assert!((s.probability_of(expect) - 1.0).abs() < EPS, "input {x}");
+        }
+    }
+
+    #[test]
+    fn permute_qubits_relabels() {
+        // |q0=1, q1=0, q2=0⟩ = |001⟩; sending q0 → q2 gives |100⟩.
+        let s = State::basis(3, 0b001);
+        let p = s.permute_qubits(&[2, 1, 0]);
+        assert!((p.probability_of(0b100) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn permute_rejects_duplicates() {
+        State::zero(2).permute_qubits(&[0, 0]);
+    }
+
+    #[test]
+    fn rotations_compose_to_identity() {
+        let mut c = Circuit::new(1);
+        c.rx(Qubit(0), FRAC_PI_2)
+            .rx(Qubit(0), -FRAC_PI_2)
+            .ry(Qubit(0), PI)
+            .ry(Qubit(0), -PI)
+            .rz(Qubit(0), FRAC_PI_4)
+            .rz(Qubit(0), -FRAC_PI_4);
+        assert_equivalent(1, &c, &Circuit::new(1));
+    }
+}

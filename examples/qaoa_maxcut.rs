@@ -1,0 +1,50 @@
+//! Domain scenario: compiling a QAOA MaxCut ansatz — the hybrid
+//! quantum-classical workload the paper's introduction motivates — onto
+//! TILT machines with different head sizes.
+//!
+//! QAOA's nearest-neighbour structure is TILT's best case: the whole
+//! interaction layer slides under the head with a handful of tape moves
+//! and zero swaps (§VI-B of the paper).
+//!
+//! Run with: `cargo run --release --example qaoa_maxcut`
+
+use tilt::benchmarks::qaoa::qaoa_maxcut;
+use tilt::prelude::*;
+use tilt::report::{fmt_success, Table};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 64;
+    let layers = 20;
+    let circuit = qaoa_maxcut(n, layers, 7);
+    println!(
+        "QAOA MaxCut ansatz: {} qubits × {} layers = {} ZZ couplings\n",
+        n,
+        layers,
+        circuit.two_qubit_count()
+    );
+
+    let noise = NoiseModel::default();
+    let times = GateTimeModel::default();
+    let mut table = Table::new(["head size", "swaps", "moves", "success", "exec time (s)"]);
+
+    for head in [8, 16, 32, 64] {
+        let out = Compiler::new(DeviceSpec::new(n, head)?).compile(&circuit)?;
+        let s = estimate_success(&out.program, &noise, &times);
+        let t_us = execution_time_us(&out.program, &times, &ExecTimeModel::default());
+        table.row([
+            head.to_string(),
+            out.report.swap_count.to_string(),
+            out.report.move_count.to_string(),
+            fmt_success(s.success),
+            format!("{:.3}", t_us / 1e6),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let ideal = estimate_ideal_success(&circuit, &noise, &times);
+    println!(
+        "ideal trapped-ion reference: {} — a 32-laser head gets most of the way there",
+        fmt_success(ideal.success)
+    );
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! Quickstart: compile a GHZ-state circuit for a small TILT machine and
+//! estimate its success rate and execution time.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use tilt::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 24-qubit GHZ state: one Hadamard, then a CNOT ladder.
+    let n = 24;
+    let mut ghz = Circuit::new(n);
+    ghz.h(Qubit(0));
+    for i in 1..n {
+        ghz.cnot(Qubit(i - 1), Qubit(i));
+    }
+    println!("program: {}", ghz.stats());
+
+    // A TILT machine with a 24-ion tape and an 8-laser head.
+    let spec = DeviceSpec::new(n, 8)?;
+    let out = Compiler::new(spec).compile(&ghz)?;
+    let r = &out.report;
+    println!(
+        "compiled: {} native gates, {} swaps, {} tape moves ({} ion spacings travelled)",
+        r.native_gate_count, r.swap_count, r.move_count, r.move_distance_ions
+    );
+
+    // Simulate under the paper's noise model (Eq. 3–5).
+    let noise = NoiseModel::default();
+    let times = GateTimeModel::default();
+    let success = estimate_success(&out.program, &noise, &times);
+    let t_us = execution_time_us(&out.program, &times, &ExecTimeModel::default());
+    println!(
+        "estimated success rate: {:.4} ({} two-qubit gates, {:.1} quanta of heat)",
+        success.success, success.two_qubit_gates, success.final_quanta
+    );
+    println!("estimated execution time: {:.2} ms", t_us / 1e3);
+
+    // Compare against the connectivity-unconstrained ideal device.
+    let ideal = estimate_ideal_success(&ghz, &noise, &times);
+    println!(
+        "ideal trapped-ion reference: {:.4} (TILT reaches {:.1}% of ideal)",
+        ideal.success,
+        100.0 * success.success / ideal.success
+    );
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Verify a compiled program semantically and draw its tape trajectory.
+//!
+//! This example shows the two introspection tools that go beyond the
+//! paper: the state-vector verifier (is the scheduled program the same
+//! unitary as the source program?) and the tape-head timeline (where did
+//! the execution zone travel?).
+//!
+//! Run with: `cargo run --release --example verify_and_visualize`
+
+use tilt::compiler::{decompose::decompose, viz};
+use tilt::prelude::*;
+use tilt::statevec::State;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 10-qubit program mixing local and long-distance interactions.
+    let n = 10;
+    let mut circuit = Circuit::new(n);
+    circuit.h(Qubit(0));
+    circuit.cnot(Qubit(0), Qubit(9));
+    circuit.zz(Qubit(4), Qubit(5), 0.7);
+    circuit.cphase(Qubit(9), Qubit(1), 1.1);
+    circuit.cnot(Qubit(2), Qubit(3));
+
+    let spec = DeviceSpec::new(n, 4)?;
+    let out = Compiler::new(spec).compile(&circuit)?;
+    println!(
+        "compiled: {} swaps, {} moves\n",
+        out.report.swap_count, out.report.move_count
+    );
+
+    // --- semantic verification -----------------------------------------
+    // Simulate the logical program and the scheduled machine program, then
+    // compare after undoing the routing permutation.
+    let logical = State::zero(n).run(&decompose(&circuit));
+    let mut physical = State::zero(n);
+    for (gate, _pos) in out.program.gates() {
+        physical.apply(gate);
+    }
+    let perm: Vec<usize> = out.routed.final_mapping.log_to_phys().to_vec();
+    let fidelity = logical.permute_qubits(&perm).fidelity(&physical);
+    println!("state-vector check: |<logical|physical>|^2 = {fidelity:.12}");
+    assert!((fidelity - 1.0).abs() < 1e-9);
+    println!("the scheduled program implements the source unitary exactly.\n");
+
+    // --- tape trajectory -------------------------------------------------
+    println!("{}", viz::render_timeline(&out.program));
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! # TILT — trapped-ion linear-tape quantum computing, reproduced in Rust
+//!
+//! This is the umbrella crate of a full reproduction of *TILT: Achieving
+//! Higher Fidelity on a Trapped-Ion Linear-Tape Quantum Computing
+//! Architecture* (Wu et al., HPCA 2021). It re-exports the workspace
+//! crates under stable module names:
+//!
+//! * [`circuit`] — quantum-circuit IR (gates, DAG, layers, QASM).
+//! * [`benchmarks`] — the Table II NISQ workload generators.
+//! * [`compiler`] — LinQ: decomposition, swap insertion (Algorithm 1),
+//!   tape scheduling (Algorithm 2).
+//! * [`sim`] — Eq. 3/4/5 noise, success-rate, and timing models.
+//! * [`qccd`] — the QCCD comparator architecture.
+//! * [`report`] — table/CSV helpers used by the experiment harnesses.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tilt::circuit::{Circuit, Qubit};
+//! use tilt::compiler::{Compiler, DeviceSpec};
+//! use tilt::sim::{estimate_success, GateTimeModel, NoiseModel};
+//!
+//! // A 16-qubit GHZ state on a 16-ion tape with an 8-laser head.
+//! let mut ghz = Circuit::new(16);
+//! ghz.h(Qubit(0));
+//! for i in 1..16 {
+//!     ghz.cnot(Qubit(i - 1), Qubit(i));
+//! }
+//! let out = Compiler::new(DeviceSpec::new(16, 8)?).compile(&ghz)?;
+//! let success = estimate_success(&out.program, &NoiseModel::default(), &GateTimeModel::default());
+//! assert!(success.success > 0.5);
+//! # Ok::<(), tilt::compiler::CompileError>(())
+//! ```
+
+pub use tilt_benchmarks as benchmarks;
+pub use tilt_circuit as circuit;
+pub use tilt_compiler as compiler;
+pub use tilt_qccd as qccd;
+pub use tilt_report as report;
+pub use tilt_scale as scale;
+pub use tilt_sim as sim;
+pub use tilt_statevec as statevec;
+
+/// Convenience imports for typical usage.
+pub mod prelude {
+    pub use tilt_benchmarks::paper_suite;
+    pub use tilt_circuit::{Circuit, Gate, Qubit};
+    pub use tilt_compiler::{CompileOutput, Compiler, DeviceSpec, RouterKind, SchedulerKind};
+    pub use tilt_qccd::{compile_qccd, estimate_qccd_success, QccdParams, QccdSpec};
+    pub use tilt_scale::{compile_scaled, estimate_scaled, ScaleSpec};
+    pub use tilt_sim::{
+        estimate_ideal_success, estimate_success, estimate_success_with_cooling,
+        execution_time_us, CoolingPolicy, ExecTimeModel, GateTimeModel, NoiseModel,
+    };
+}

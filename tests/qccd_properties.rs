@@ -1,0 +1,108 @@
+//! Property tests on the QCCD substrate: for arbitrary two-qubit
+//! workloads and trap geometries, routing must preserve gate counts,
+//! respect trap capacities, and produce well-formed primitive traces.
+
+use proptest::prelude::*;
+use tilt::circuit::{Circuit, Qubit};
+use tilt::prelude::*;
+use tilt::qccd::QccdOp;
+
+fn workload() -> impl Strategy<Value = Circuit> {
+    (6usize..20).prop_flat_map(|n| {
+        let gate = (0..n, 0..n)
+            .prop_filter("distinct", |(a, b)| a != b)
+            .prop_map(|(a, b)| (a, b));
+        prop::collection::vec(gate, 0..40).prop_map(move |pairs| {
+            let mut c = Circuit::new(n);
+            for (a, b) in pairs {
+                c.cnot(Qubit(a), Qubit(b));
+            }
+            c
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every input two-qubit gate appears exactly once in the trace, and
+    /// every recorded chain length respects the trap capacity.
+    #[test]
+    fn routing_preserves_gates_and_capacity(
+        circuit in workload(),
+        ions_per_trap in 4usize..10,
+    ) {
+        let spec = QccdSpec::for_qubits(circuit.n_qubits(), ions_per_trap).unwrap();
+        let program = compile_qccd(&circuit, &spec).unwrap();
+        prop_assert_eq!(program.two_qubit_gate_count(), circuit.two_qubit_count());
+        for op in program.ops() {
+            match *op {
+                QccdOp::Split { chain_len_before, .. } => {
+                    prop_assert!(chain_len_before <= spec.capacity());
+                    prop_assert!(chain_len_before >= 1);
+                }
+                QccdOp::Merge { chain_len_after, .. } => {
+                    prop_assert!(chain_len_after <= spec.capacity());
+                }
+                QccdOp::TwoQubitGate { trap, distance } => {
+                    prop_assert!(trap < spec.n_traps());
+                    prop_assert!(distance >= 1);
+                    prop_assert!(distance < spec.capacity());
+                }
+                QccdOp::EdgeMove { sites, chain_len, .. } => {
+                    prop_assert!(sites >= 1);
+                    prop_assert!(chain_len <= spec.capacity());
+                }
+                QccdOp::ShuttleSegment { from, to } => {
+                    prop_assert_eq!(from.abs_diff(to), 1);
+                }
+                QccdOp::Measure { trap } | QccdOp::SingleQubitGate { trap } => {
+                    prop_assert!(trap < spec.n_traps());
+                }
+            }
+        }
+    }
+
+    /// Splits and merges balance: every ion that leaves a chain lands in
+    /// another.
+    #[test]
+    fn splits_and_merges_balance(circuit in workload()) {
+        let spec = QccdSpec::for_qubits(circuit.n_qubits(), 6).unwrap();
+        let program = compile_qccd(&circuit, &spec).unwrap();
+        let splits = program
+            .ops()
+            .iter()
+            .filter(|op| matches!(op, QccdOp::Split { .. }))
+            .count();
+        let merges = program
+            .ops()
+            .iter()
+            .filter(|op| matches!(op, QccdOp::Merge { .. }))
+            .count();
+        prop_assert_eq!(splits, merges);
+    }
+
+    /// The estimator always yields a valid probability and counts that
+    /// match the trace.
+    #[test]
+    fn estimator_is_consistent(circuit in workload(), cool in any::<bool>()) {
+        let spec = QccdSpec::for_qubits(circuit.n_qubits(), 6).unwrap();
+        let program = compile_qccd(&circuit, &spec).unwrap();
+        let params = if cool {
+            QccdParams::default()
+        } else {
+            QccdParams::default().without_cooling()
+        };
+        let r = estimate_qccd_success(
+            &program,
+            &NoiseModel::default(),
+            &GateTimeModel::default(),
+            &params,
+        );
+        prop_assert!((0.0..=1.0).contains(&r.success));
+        prop_assert_eq!(r.two_qubit_gates, program.two_qubit_gate_count());
+        prop_assert_eq!(r.transports, program.transport_count());
+        prop_assert!(r.exec_time_us >= 0.0);
+        prop_assert!(r.peak_quanta >= 0.0);
+    }
+}

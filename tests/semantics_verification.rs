@@ -1,0 +1,193 @@
+//! Semantic verification of the compiler against the state-vector
+//! simulator: the native decomposition and the routed physical circuit
+//! must implement the *same unitary* as the logical program (up to global
+//! phase, and up to the final tape permutation for routed circuits).
+//!
+//! This is the strongest correctness statement in the test suite: the
+//! architectural metrics mean nothing if the compiled program computes
+//! something else.
+
+use proptest::prelude::*;
+use tilt::circuit::{Circuit, Gate, Qubit};
+use tilt::compiler::decompose::decompose;
+use tilt::prelude::*;
+use tilt_statevec::State;
+
+const EPS: f64 = 1e-9;
+
+/// Fidelity of two circuits' action on shared random probe states.
+fn circuits_equivalent(n: usize, c1: &Circuit, c2: &Circuit) -> bool {
+    (0..3u64).all(|seed| {
+        let probe = State::random(n, seed);
+        let f = probe.clone().run(c1).fidelity(&probe.run(c2));
+        (f - 1.0).abs() < EPS
+    })
+}
+
+#[test]
+fn paper_cnot_recipe_is_exact() {
+    let mut cnot = Circuit::new(2);
+    cnot.cnot(Qubit(0), Qubit(1));
+    assert!(circuits_equivalent(2, &cnot, &decompose(&cnot)));
+}
+
+#[test]
+fn every_program_gate_decomposes_exactly() {
+    let gates: Vec<(usize, Gate)> = vec![
+        (1, Gate::H(Qubit(0))),
+        (1, Gate::X(Qubit(0))),
+        (1, Gate::Y(Qubit(0))),
+        (1, Gate::Z(Qubit(0))),
+        (1, Gate::S(Qubit(0))),
+        (1, Gate::Sdg(Qubit(0))),
+        (1, Gate::T(Qubit(0))),
+        (1, Gate::Tdg(Qubit(0))),
+        (1, Gate::SqrtX(Qubit(0))),
+        (1, Gate::SqrtY(Qubit(0))),
+        (2, Gate::Cnot(Qubit(0), Qubit(1))),
+        (2, Gate::Cnot(Qubit(1), Qubit(0))),
+        (2, Gate::Cz(Qubit(0), Qubit(1))),
+        (2, Gate::Cphase(Qubit(0), Qubit(1), 0.73)),
+        (2, Gate::Zz(Qubit(0), Qubit(1), -1.21)),
+        (2, Gate::Swap(Qubit(0), Qubit(1))),
+        (3, Gate::Toffoli(Qubit(0), Qubit(1), Qubit(2))),
+        (3, Gate::Toffoli(Qubit(2), Qubit(0), Qubit(1))),
+    ];
+    for (n, g) in gates {
+        let mut c = Circuit::new(n);
+        c.push(g);
+        let native = decompose(&c);
+        assert!(native.is_native());
+        assert!(
+            circuits_equivalent(n, &c, &native),
+            "decomposition of {g:?} is not unitarily equivalent"
+        );
+    }
+}
+
+#[test]
+fn routed_circuit_equals_logical_up_to_final_permutation() {
+    // Compile a genuinely swap-needing circuit on a tiny device, simulate
+    // both the logical circuit and the routed physical circuit, and undo
+    // the routing permutation on the physical result.
+    let mut logical = Circuit::new(6);
+    logical.h(Qubit(0));
+    logical.cnot(Qubit(0), Qubit(5));
+    logical.cphase(Qubit(5), Qubit(1), 0.9);
+    logical.cnot(Qubit(2), Qubit(4));
+    logical.h(Qubit(3));
+
+    let spec = DeviceSpec::new(6, 3).unwrap();
+    let out = Compiler::new(spec).compile(&logical).unwrap();
+    assert!(out.report.swap_count > 0, "test needs real routing");
+
+    let logical_state = State::zero(6).run(&decompose(&logical));
+    let physical_state = State::zero(6).run(&decompose(&out.routed.circuit));
+    // Logical qubit q ended at tape position log_to_phys[q]; relabel the
+    // logical state into physical coordinates and compare.
+    let perm: Vec<usize> = out.routed.final_mapping.log_to_phys().to_vec();
+    let expected = logical_state.permute_qubits(&perm);
+    let f = expected.fidelity(&physical_state);
+    assert!((f - 1.0).abs() < EPS, "fidelity {f}");
+}
+
+#[test]
+fn scheduled_program_equals_logical_up_to_final_permutation() {
+    // Strongest end-to-end check: replay the *scheduled* op stream (the
+    // machine-level program, moves ignored as they are identity on data)
+    // and compare with the logical circuit.
+    let mut logical = Circuit::new(6);
+    logical.h(Qubit(1));
+    logical.cnot(Qubit(1), Qubit(4));
+    logical.zz(Qubit(0), Qubit(5), 0.4);
+    logical.cnot(Qubit(3), Qubit(2));
+
+    let spec = DeviceSpec::new(6, 3).unwrap();
+    let out = Compiler::new(spec).compile(&logical).unwrap();
+
+    let mut physical_state = State::zero(6);
+    for (gate, _pos) in out.program.gates() {
+        physical_state.apply(gate);
+    }
+    let logical_state = State::zero(6).run(&decompose(&logical));
+    let perm: Vec<usize> = out.routed.final_mapping.log_to_phys().to_vec();
+    let f = logical_state.permute_qubits(&perm).fidelity(&physical_state);
+    assert!((f - 1.0).abs() < EPS, "fidelity {f}");
+}
+
+#[test]
+fn exact_router_output_is_also_semantically_correct() {
+    let mut logical = Circuit::new(6);
+    logical.cnot(Qubit(0), Qubit(5));
+    logical.cnot(Qubit(4), Qubit(1));
+    let spec = DeviceSpec::new(6, 3).unwrap();
+    let native = decompose(&logical);
+    let initial = tilt::compiler::Mapping::identity(6);
+    let routed = tilt::compiler::route::exact::optimal_route(
+        &native,
+        spec,
+        &initial,
+        &tilt::compiler::route::ExactConfig::default(),
+    )
+    .unwrap();
+
+    let logical_state = State::zero(6).run(&native);
+    let physical_state = State::zero(6).run(&decompose(&routed.circuit));
+    let perm: Vec<usize> = routed.final_mapping.log_to_phys().to_vec();
+    let f = logical_state.permute_qubits(&perm).fidelity(&physical_state);
+    assert!((f - 1.0).abs() < EPS, "fidelity {f}");
+}
+
+/// Random-program strategy at two-qubit granularity.
+fn random_program() -> impl Strategy<Value = Circuit> {
+    (4usize..8).prop_flat_map(|n| {
+        let gate = prop_oneof![
+            (0..n).prop_map(|q| Gate::H(Qubit(q))),
+            (0..n, -3.0f64..3.0).prop_map(|(q, a)| Gate::Rz(Qubit(q), a)),
+            (0..n, 0..n, -3.0f64..3.0)
+                .prop_filter("distinct", |(a, b, _)| a != b)
+                .prop_map(|(a, b, t)| Gate::Zz(Qubit(a), Qubit(b), t)),
+            (0..n, 0..n)
+                .prop_filter("distinct", |(a, b)| a != b)
+                .prop_map(|(a, b)| Gate::Cnot(Qubit(a), Qubit(b))),
+        ];
+        prop::collection::vec(gate, 1..14)
+            .prop_map(move |gates| Circuit::from_gates(n, gates))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Decomposition preserves semantics on random programs.
+    #[test]
+    fn decomposition_preserves_unitary(circuit in random_program()) {
+        let native = decompose(&circuit);
+        prop_assert!(native.is_native());
+        let n = circuit.n_qubits();
+        for seed in 0..2u64 {
+            let probe = State::random(n, seed);
+            let f = probe.clone().run(&circuit).fidelity(&probe.run(&native));
+            prop_assert!((f - 1.0).abs() < EPS, "fidelity {f}");
+        }
+    }
+
+    /// The full pipeline preserves semantics up to the final permutation
+    /// on random programs routed through a head-constrained device.
+    #[test]
+    fn pipeline_preserves_unitary(circuit in random_program()) {
+        let n = circuit.n_qubits();
+        let head = (n / 2).max(2);
+        let spec = DeviceSpec::new(n, head).unwrap();
+        let out = Compiler::new(spec).compile(&circuit).unwrap();
+
+        let logical_state = State::zero(n).run(&decompose(&circuit));
+        let mut physical_state = State::zero(n);
+        for (gate, _) in out.program.gates() {
+            physical_state.apply(gate);
+        }
+        let perm: Vec<usize> = out.routed.final_mapping.log_to_phys().to_vec();
+        let f = logical_state.permute_qubits(&perm).fidelity(&physical_state);
+        prop_assert!((f - 1.0).abs() < EPS, "fidelity {f}");
+    }
+}

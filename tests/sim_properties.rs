@@ -1,0 +1,98 @@
+//! Property-based tests on the noise, success, and timing models.
+
+use proptest::prelude::*;
+use tilt::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Eq. 4 fidelity is monotone non-increasing in heat and gate time,
+    /// and always a valid probability.
+    #[test]
+    fn fidelity_is_monotone_and_bounded(
+        tau in 0.0f64..5000.0,
+        q1 in 0.0f64..500.0,
+        dq in 0.0f64..500.0,
+        dtau in 0.0f64..5000.0,
+    ) {
+        let noise = NoiseModel::default();
+        let base = noise.two_qubit_fidelity(tau, q1);
+        prop_assert!((0.0..=1.0).contains(&base));
+        prop_assert!(noise.two_qubit_fidelity(tau, q1 + dq) <= base);
+        prop_assert!(noise.two_qubit_fidelity(tau + dtau, q1) <= base);
+    }
+
+    /// k scales exactly as the square root of the chain length.
+    #[test]
+    fn heating_scales_sqrt(n in 1usize..200, m in 1usize..200) {
+        let noise = NoiseModel::default();
+        let ratio = noise.k_for_chain(n * m * m) / noise.k_for_chain(n);
+        prop_assert!((ratio - (m as f64)).abs() < 1e-9);
+    }
+
+    /// A strictly noisier model never yields a higher success estimate.
+    #[test]
+    fn noisier_model_never_wins(extra_eps in 0.0f64..1e-3, seed in 0u64..32) {
+        let circuit = tilt::benchmarks::qaoa::qaoa_maxcut(16, 2, seed);
+        let spec = DeviceSpec::new(16, 8).unwrap();
+        let out = Compiler::new(spec).compile(&circuit).unwrap();
+        let base_noise = NoiseModel::default();
+        let worse_noise = NoiseModel {
+            epsilon: base_noise.epsilon + extra_eps,
+            ..base_noise
+        };
+        let times = GateTimeModel::default();
+        let base = estimate_success(&out.program, &base_noise, &times);
+        let worse = estimate_success(&out.program, &worse_noise, &times);
+        prop_assert!(worse.success <= base.success + 1e-12);
+    }
+
+    /// Execution time is monotone in the shuttle slowness and never
+    /// smaller than the pure gate-time lower bound.
+    #[test]
+    fn exec_time_bounds(speed in 0.1f64..10.0) {
+        let circuit = tilt::benchmarks::bv::bernstein_vazirani(16, &[true; 15]);
+        let spec = DeviceSpec::new(16, 8).unwrap();
+        let out = Compiler::new(spec).compile(&circuit).unwrap();
+        let times = GateTimeModel::default();
+        let base = ExecTimeModel { shuttle_um_per_us: speed, ion_spacing_um: 5.0 };
+        let t = execution_time_us(&out.program, &times, &base);
+        let no_travel = ExecTimeModel { shuttle_um_per_us: f64::INFINITY, ion_spacing_um: 5.0 };
+        let gates_only = execution_time_us(&out.program, &times, &no_travel);
+        prop_assert!(t >= gates_only);
+        let slower = ExecTimeModel { shuttle_um_per_us: speed / 2.0, ion_spacing_um: 5.0 };
+        prop_assert!(execution_time_us(&out.program, &times, &slower) >= t);
+    }
+
+    /// The ideal device upper-bounds TILT for any circuit: same gates,
+    /// no swaps, no heat.
+    #[test]
+    fn ideal_upper_bounds_tilt(seed in 0u64..64) {
+        let circuit = tilt::benchmarks::rcs::random_circuit_sampling(4, 4, 4, seed);
+        let spec = DeviceSpec::new(16, 8).unwrap();
+        let out = Compiler::new(spec).compile(&circuit).unwrap();
+        let noise = NoiseModel::default();
+        let times = GateTimeModel::default();
+        let tilt = estimate_success(&out.program, &noise, &times);
+        let ideal = estimate_ideal_success(&circuit, &noise, &times);
+        prop_assert!(tilt.success <= ideal.success * (1.0 + 1e-9));
+    }
+
+    /// QCCD success estimates are valid probabilities and cooling can only
+    /// help.
+    #[test]
+    fn qccd_probabilities_and_cooling(seed in 0u64..32, ions in 5usize..12) {
+        let circuit = tilt::benchmarks::qaoa::qaoa_maxcut(16, 2, seed);
+        let native = tilt::compiler::decompose::decompose(&circuit);
+        let spec = QccdSpec::for_qubits(16, ions).unwrap();
+        let program = compile_qccd(&native, &spec).unwrap();
+        let noise = NoiseModel::default();
+        let times = GateTimeModel::default();
+        let cooled = estimate_qccd_success(&program, &noise, &times, &QccdParams::default());
+        let uncooled = estimate_qccd_success(
+            &program, &noise, &times, &QccdParams::default().without_cooling());
+        prop_assert!((0.0..=1.0).contains(&cooled.success));
+        prop_assert!((0.0..=1.0).contains(&uncooled.success));
+        prop_assert!(cooled.success >= uncooled.success - 1e-12);
+    }
+}
