@@ -43,12 +43,14 @@ fn bench_initial_mapping_strategies(c: &mut Criterion) {
         ("identity", InitialMapping::Identity),
         ("interaction_chain", InitialMapping::InteractionChain),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| strategy.build(black_box(&native), 64))
-        });
+        group.bench_function(name, |b| b.iter(|| strategy.build(black_box(&native), 64)));
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_lookahead_cost, bench_initial_mapping_strategies);
+criterion_group!(
+    benches,
+    bench_lookahead_cost,
+    bench_initial_mapping_strategies
+);
 criterion_main!(benches);

@@ -52,7 +52,9 @@ fn bench_tape_scheduling(c: &mut Criterion) {
         let native = decompose(&circuit);
         let spec = DeviceSpec::new(native.n_qubits(), 16).unwrap();
         let initial = InitialMapping::Identity.build(&native, spec.n_ions());
-        let routed = RouterKind::default().route(&native, spec, &initial).unwrap();
+        let routed = RouterKind::default()
+            .route(&native, spec, &initial)
+            .unwrap();
         let lowered = decompose(&routed.circuit);
         group.bench_function(name, |b| {
             b.iter(|| {

@@ -1,0 +1,45 @@
+//! Optimized vs naive state-vector execution (the acceptance yardstick:
+//! ≥5× on the 20-qubit QFT).
+//!
+//! Run with: `cargo bench -p tilt-bench --bench statevec_kernels`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tilt_benchmarks::qft::qft;
+use tilt_statevec::{RunOptions, State};
+
+fn bench_qft20(c: &mut Criterion) {
+    let circuit = qft(20);
+    let probe = State::random(20, 1);
+    let mut group = c.benchmark_group("statevec_qft20");
+    group.sample_size(5);
+    group.bench_function("optimized", |b| {
+        b.iter(|| black_box(probe.clone()).run(black_box(&circuit)))
+    });
+    group.bench_function("unfused", |b| {
+        b.iter(|| {
+            black_box(probe.clone()).run_with(black_box(&circuit), RunOptions::serial_unfused())
+        })
+    });
+    group.bench_function("naive", |b| {
+        b.iter(|| black_box(probe.clone()).run_naive(black_box(&circuit)))
+    });
+    group.finish();
+}
+
+fn bench_qft16(c: &mut Criterion) {
+    let circuit = qft(16);
+    let probe = State::random(16, 1);
+    let mut group = c.benchmark_group("statevec_qft16");
+    group.sample_size(10);
+    group.bench_function("optimized", |b| {
+        b.iter(|| black_box(probe.clone()).run(black_box(&circuit)))
+    });
+    group.bench_function("naive", |b| {
+        b.iter(|| black_box(probe.clone()).run_naive(black_box(&circuit)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_qft20, bench_qft16);
+criterion_main!(benches);

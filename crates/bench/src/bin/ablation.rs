@@ -215,11 +215,7 @@ fn optimality_gap() {
         let opt = optimal_route(&c, spec, &initial, &ExactConfig::default())
             .expect("searches")
             .swap_count;
-        table.row([
-            format!("seed {seed}"),
-            linq.to_string(),
-            opt.to_string(),
-        ]);
+        table.row([format!("seed {seed}"), linq.to_string(), opt.to_string()]);
         linq_total += linq;
         opt_total += opt;
         rows += 1;

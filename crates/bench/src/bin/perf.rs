@@ -1,0 +1,98 @@
+//! Perf-trajectory tracker: times the two rewritten hot paths and emits
+//! machine-readable records so speed regressions are visible across PRs.
+//!
+//! Outputs `BENCH_statevec.json` (gates/sec applying the 20-qubit QFT,
+//! optimized vs the retained naive path) and `BENCH_router.json`
+//! (routes/sec pushing the 16-qubit RCS benchmark through LinQ,
+//! incremental vs the retained reference scorer) in the working
+//! directory, plus a human-readable table on stdout.
+//!
+//! Run with: `cargo run --release -p tilt-bench --bin perf`
+
+use std::time::Instant;
+use tilt_benchmarks::qft::qft;
+use tilt_benchmarks::rcs::random_circuit_sampling;
+use tilt_compiler::decompose::decompose;
+use tilt_compiler::mapping::InitialMapping;
+use tilt_compiler::route::LinqConfig;
+use tilt_compiler::{DeviceSpec, RouterKind};
+use tilt_report::{Json, Table};
+use tilt_statevec::State;
+
+/// Median seconds per call over `samples` timed calls of `f`.
+fn time_median(samples: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn main() {
+    // --- state-vector kernels on the 20-qubit QFT ------------------------
+    let circuit = qft(20);
+    let gates = circuit.len() as f64;
+    let probe = State::random(20, 1);
+    let t_opt = time_median(5, || {
+        std::hint::black_box(probe.clone().run(&circuit));
+    });
+    let t_naive = time_median(3, || {
+        std::hint::black_box(probe.clone().run_naive(&circuit));
+    });
+    let statevec = Json::object()
+        .set("benchmark", "qft20")
+        .set("n_qubits", 20usize)
+        .set("gates", gates)
+        .set("optimized_secs", t_opt)
+        .set("naive_secs", t_naive)
+        .set("optimized_gates_per_sec", gates / t_opt)
+        .set("naive_gates_per_sec", gates / t_naive)
+        .set("speedup", t_naive / t_opt);
+    std::fs::write("BENCH_statevec.json", statevec.render()).expect("write BENCH_statevec.json");
+
+    // --- LinQ routing on the 16-qubit RCS benchmark ----------------------
+    let native = decompose(&random_circuit_sampling(4, 4, 16, 7));
+    let spec = DeviceSpec::new(16, 4).expect("valid device");
+    let initial = InitialMapping::Identity.build(&native, 16);
+    let route_time = |cfg: LinqConfig| {
+        let kind = RouterKind::Linq(cfg);
+        time_median(9, || {
+            std::hint::black_box(kind.route(&native, spec, &initial).expect("rcs16 routes"));
+        })
+    };
+    let t_inc = route_time(LinqConfig::default());
+    let t_ref = route_time(LinqConfig {
+        incremental: false,
+        ..LinqConfig::default()
+    });
+    let router = Json::object()
+        .set("benchmark", "rcs16_head4")
+        .set("n_qubits", 16usize)
+        .set("native_gates", native.len())
+        .set("incremental_secs", t_inc)
+        .set("reference_secs", t_ref)
+        .set("incremental_routes_per_sec", 1.0 / t_inc)
+        .set("reference_routes_per_sec", 1.0 / t_ref)
+        .set("speedup", t_ref / t_inc);
+    std::fs::write("BENCH_router.json", router.render()).expect("write BENCH_router.json");
+
+    let mut table = Table::new(["hot path", "baseline", "optimized", "speedup"]);
+    table.row([
+        "statevec qft20".to_string(),
+        format!("{:.0} gates/s", gates / t_naive),
+        format!("{:.0} gates/s", gates / t_opt),
+        format!("{:.2}x", t_naive / t_opt),
+    ]);
+    table.row([
+        "LinQ rcs16".to_string(),
+        format!("{:.0} routes/s", 1.0 / t_ref),
+        format!("{:.0} routes/s", 1.0 / t_inc),
+        format!("{:.2}x", t_ref / t_inc),
+    ]);
+    print!("{}", table.render());
+    println!("\nwrote BENCH_statevec.json, BENCH_router.json");
+}

@@ -10,9 +10,12 @@ use tilt_compiler::RouterKind;
 use tilt_report::{fmt_secs, Table};
 use tilt_sim::ExecTimeModel;
 
-/// Paper-reported (moves, dist µm, texec s) per application, for
-/// side-by-side reading: head 16 then head 32.
-const PAPER: [(&str, [(usize, usize, f64); 2]); 6] = [
+/// Paper-reported (moves, dist µm, texec s) for one head size.
+type PaperRow = (usize, usize, f64);
+
+/// Paper numbers per application, for side-by-side reading: head 16
+/// then head 32.
+const PAPER: [(&str, [PaperRow; 2]); 6] = [
     ("ADDER", [(10, 104, 2.967), (5, 68, 3.252)]),
     ("BV", [(4, 49, 0.856), (2, 33, 0.987)]),
     ("QAOA", [(18, 232, 1.564), (4, 72, 1.357)]),

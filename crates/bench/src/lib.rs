@@ -79,8 +79,8 @@ pub fn evaluate_qccd_best(circuit: &Circuit) -> (QccdReport, usize) {
     QCCD_TRAP_SIZES
         .iter()
         .map(|&ions| {
-            let spec = QccdSpec::for_qubits(circuit.n_qubits(), ions)
-                .expect("paper trap sizes are valid");
+            let spec =
+                QccdSpec::for_qubits(circuit.n_qubits(), ions).expect("paper trap sizes are valid");
             let program = compile_qccd(&native, &spec).expect("paper benchmarks fit");
             (
                 estimate_qccd_success(&program, &noise, &times, &QccdParams::default()),

@@ -27,7 +27,10 @@ use tilt_circuit::{Circuit, Qubit};
 /// assert_eq!(c.two_qubit_count(), 3);
 /// ```
 pub fn bernstein_vazirani(n_qubits: usize, secret: &[bool]) -> Circuit {
-    assert!(n_qubits >= 2, "BV needs at least one data qubit plus ancilla");
+    assert!(
+        n_qubits >= 2,
+        "BV needs at least one data qubit plus ancilla"
+    );
     assert_eq!(
         secret.len(),
         n_qubits - 1,
@@ -59,7 +62,7 @@ pub fn bernstein_vazirani(n_qubits: usize, secret: &[bool]) -> Circuit {
 /// The all-ones secret maximises oracle CNOTs (63 of them — the paper
 /// rounds this row to 64) and therefore communication pressure.
 pub fn bv64() -> Circuit {
-    bernstein_vazirani(64, &vec![true; 63])
+    bernstein_vazirani(64, &[true; 63])
 }
 
 #[cfg(test)]

@@ -52,9 +52,18 @@ pub fn vqe_ansatz(n_qubits: usize, layers: usize, seed: u64) -> Circuit {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut c = Circuit::new(n_qubits);
     let mut euler = |c: &mut Circuit, q: Qubit| {
-        c.rz(q, rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI));
-        c.rx(q, rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI));
-        c.rz(q, rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI));
+        c.rz(
+            q,
+            rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI),
+        );
+        c.rx(
+            q,
+            rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI),
+        );
+        c.rz(
+            q,
+            rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI),
+        );
     };
     for _ in 0..layers {
         for q in 0..n_qubits {

@@ -74,7 +74,7 @@ mod tests {
     }
 
     #[test]
-    fn rotation_angles_halve(){
+    fn rotation_angles_halve() {
         // The controlled rotation between qubits i and j has angle π/2^(j-i).
         let c = qft(3);
         let angles: Vec<f64> = c

@@ -38,7 +38,11 @@ fn pattern_pairs(rows: usize, cols: usize, pattern: Pattern) -> Vec<(usize, usiz
     let mut pairs = Vec::new();
     match pattern {
         Pattern::HorizontalEven | Pattern::HorizontalOdd => {
-            let start = if pattern == Pattern::HorizontalEven { 0 } else { 1 };
+            let start = if pattern == Pattern::HorizontalEven {
+                0
+            } else {
+                1
+            };
             for r in 0..rows {
                 for c in (start..cols.saturating_sub(1)).step_by(2) {
                     pairs.push((at(r, c), at(r, c + 1)));
@@ -46,7 +50,11 @@ fn pattern_pairs(rows: usize, cols: usize, pattern: Pattern) -> Vec<(usize, usiz
             }
         }
         Pattern::VerticalEven | Pattern::VerticalOdd => {
-            let start = if pattern == Pattern::VerticalEven { 0 } else { 1 };
+            let start = if pattern == Pattern::VerticalEven {
+                0
+            } else {
+                1
+            };
             for r in (start..rows.saturating_sub(1)).step_by(2) {
                 for c in 0..cols {
                     pairs.push((at(r, c), at(r + 1, c)));
@@ -85,12 +93,12 @@ pub fn random_circuit_sampling(rows: usize, cols: usize, cycles: usize, seed: u6
     // Previous single-qubit gate choice per qubit (0 = √X, 1 = √Y, 2 = T).
     let mut prev: Vec<Option<u8>> = vec![None; n];
     for cycle in 0..cycles {
-        for q in 0..n {
+        for (q, prev_q) in prev.iter_mut().enumerate() {
             let mut choice = rng.gen_range(0..3u8);
-            while Some(choice) == prev[q] {
+            while Some(choice) == *prev_q {
                 choice = rng.gen_range(0..3u8);
             }
-            prev[q] = Some(choice);
+            *prev_q = Some(choice);
             let gate = match choice {
                 0 => Gate::SqrtX(Qubit(q)),
                 1 => Gate::SqrtY(Qubit(q)),

@@ -37,8 +37,7 @@ use tilt_circuit::{Circuit, Qubit};
 /// ```
 pub fn grover_sqrt(bits: usize, square: u64, iterations: usize) -> Circuit {
     assert!(bits >= 3, "need at least 3 search bits for the V-chain");
-    let root = integer_sqrt(square)
-        .unwrap_or_else(|| panic!("{square} is not a perfect square"));
+    let root = integer_sqrt(square).unwrap_or_else(|| panic!("{square} is not a perfect square"));
     assert!(
         bits == 64 || root < (1u64 << bits),
         "root {root} does not fit in {bits} bits"
@@ -90,12 +89,7 @@ pub fn grover_sqrt(bits: usize, square: u64, iterations: usize) -> Circuit {
 /// Integer square root, `None` when `n` is not a perfect square.
 fn integer_sqrt(n: u64) -> Option<u64> {
     let r = (n as f64).sqrt().round() as u64;
-    for cand in r.saturating_sub(1)..=r + 1 {
-        if cand.checked_mul(cand) == Some(n) {
-            return Some(cand);
-        }
-    }
-    None
+    (r.saturating_sub(1)..=r + 1).find(|&cand| cand.checked_mul(cand) == Some(n))
 }
 
 /// The Table II SQRT benchmark: 78 qubits (40-bit search register),

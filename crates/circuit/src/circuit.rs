@@ -272,7 +272,12 @@ impl Circuit {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "circuit[{} qubits, {} gates]", self.n_qubits, self.gates.len())?;
+        writeln!(
+            f,
+            "circuit[{} qubits, {} gates]",
+            self.n_qubits,
+            self.gates.len()
+        )?;
         for g in &self.gates {
             writeln!(f, "  {g}")?;
         }
@@ -352,10 +357,7 @@ mod tests {
         let c = ghz(3);
         let mapped = c.map_qubits(10, |q| Qubit(q.index() + 7));
         assert_eq!(mapped.n_qubits(), 10);
-        assert_eq!(
-            mapped.gates()[1].qubits(),
-            vec![Qubit(7), Qubit(8)]
-        );
+        assert_eq!(mapped.gates()[1].qubits(), vec![Qubit(7), Qubit(8)]);
     }
 
     #[test]

@@ -165,7 +165,10 @@ impl ReadyTracker {
     /// already completed.
     pub fn complete(&mut self, dag: &Dag, i: usize) {
         assert!(!self.done[i], "gate {i} completed twice");
-        assert_eq!(self.indeg[i], 0, "gate {i} completed before its dependencies");
+        assert_eq!(
+            self.indeg[i], 0,
+            "gate {i} completed before its dependencies"
+        );
         let pos = self
             .ready
             .iter()

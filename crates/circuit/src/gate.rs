@@ -98,8 +98,20 @@ impl Gate {
     pub fn qubits(&self) -> Vec<Qubit> {
         use Gate::*;
         match *self {
-            H(q) | X(q) | Y(q) | Z(q) | S(q) | Sdg(q) | T(q) | Tdg(q) | SqrtX(q) | SqrtY(q)
-            | Rx(q, _) | Ry(q, _) | Rz(q, _) | Measure(q) => vec![q],
+            H(q)
+            | X(q)
+            | Y(q)
+            | Z(q)
+            | S(q)
+            | Sdg(q)
+            | T(q)
+            | Tdg(q)
+            | SqrtX(q)
+            | SqrtY(q)
+            | Rx(q, _)
+            | Ry(q, _)
+            | Rz(q, _)
+            | Measure(q) => vec![q],
             Cnot(a, b) | Cz(a, b) | Swap(a, b) => vec![a, b],
             Cphase(a, b, _) | Zz(a, b, _) | Xx(a, b, _) => vec![a, b],
             Toffoli(a, b, c) => vec![a, b, c],
@@ -138,7 +150,12 @@ impl Gate {
     pub fn is_native(&self) -> bool {
         matches!(
             self,
-            Gate::Rx(..) | Gate::Ry(..) | Gate::Rz(..) | Gate::Xx(..) | Gate::Measure(_) | Gate::Barrier
+            Gate::Rx(..)
+                | Gate::Ry(..)
+                | Gate::Rz(..)
+                | Gate::Xx(..)
+                | Gate::Measure(_)
+                | Gate::Barrier
         )
     }
 

@@ -157,6 +157,9 @@ mod tests {
         let text = to_qasm(&c);
         // One `;`-terminated line per gate plus the four preamble lines
         // (OPENQASM, include, qreg, creg).
-        assert_eq!(text.lines().filter(|l| l.ends_with(';')).count() - 4, c.len());
+        assert_eq!(
+            text.lines().filter(|l| l.ends_with(';')).count() - 4,
+            c.len()
+        );
     }
 }

@@ -24,7 +24,11 @@ pub struct ParseQasmError {
 
 impl fmt::Display for ParseQasmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "QASM parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "QASM parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -146,9 +150,7 @@ fn parse_statement(
 
     // General gate application: name[(params)] operand[, operand...]
     let (head, operand_text) = match stmt.find(|c: char| c.is_whitespace()) {
-        Some(i) if !stmt[..i].contains('(') || stmt[..i].contains(')') => {
-            (&stmt[..i], &stmt[i..])
-        }
+        Some(i) if !stmt[..i].contains('(') || stmt[..i].contains(')') => (&stmt[..i], &stmt[i..]),
         _ => match stmt.find(')') {
             // Parameterized with possible space inside parens.
             Some(i) => (&stmt[..=i], &stmt[i + 1..]),
@@ -222,7 +224,10 @@ fn parse_statement(
     if let Some(n) = *n_qubits {
         for q in gate.qubits() {
             if q.index() >= n {
-                return err(line, format!("qubit {} outside qreg of size {n}", q.index()));
+                return err(
+                    line,
+                    format!("qubit {} outside qreg of size {n}", q.index()),
+                );
             }
         }
     }
@@ -246,12 +251,13 @@ fn parse_register_ref(text: &str, line: usize) -> Result<(String, Option<usize>)
                     message: format!("malformed register reference `{text}`"),
                 });
             }
-            let index: usize = text[i + 1..close].trim().parse().map_err(|_| {
-                ParseQasmError {
+            let index: usize = text[i + 1..close]
+                .trim()
+                .parse()
+                .map_err(|_| ParseQasmError {
                     line,
                     message: format!("invalid index in `{text}`"),
-                }
-            })?;
+                })?;
             Ok((text[..i].trim().to_string(), Some(index)))
         }
         None => Ok((text.to_string(), None)),
@@ -339,12 +345,8 @@ fn parse_angle_expr(text: &str, line: usize) -> Result<f64, ParseQasmError> {
                 Some(c) if c.is_ascii_digit() || *c == '.' => {
                     let mut num = String::new();
                     while let Some(&c) = self.chars.peek() {
-                        if c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' {
-                            num.push(c);
-                            self.chars.next();
-                        } else if (c == '+' || c == '-')
-                            && num.ends_with(['e', 'E'])
-                        {
+                        let exp_sign = (c == '+' || c == '-') && num.ends_with(['e', 'E']);
+                        if c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' || exp_sign {
                             num.push(c);
                             self.chars.next();
                         } else {

@@ -101,9 +101,7 @@ impl Options {
                         "linq" => RouterChoice::Linq,
                         "stochastic" | "baseline" => RouterChoice::Stochastic,
                         "exact" => RouterChoice::Exact,
-                        other => {
-                            return Err(ParseArgsError(format!("unknown router `{other}`")))
-                        }
+                        other => return Err(ParseArgsError(format!("unknown router `{other}`"))),
                     }
                 }
                 "--scheduler" => {
@@ -119,9 +117,7 @@ impl Options {
                     opts.ions_per_trap =
                         parse_num(value_for("--ions-per-trap")?, "--ions-per-trap")?
                 }
-                "--elu-ions" => {
-                    opts.elu_ions = parse_num(value_for("--elu-ions")?, "--elu-ions")?
-                }
+                "--elu-ions" => opts.elu_ions = parse_num(value_for("--elu-ions")?, "--elu-ions")?,
                 "--emit-program" => opts.emit_program = true,
                 "--emit-qasm" => opts.emit_qasm = true,
                 flag if flag.starts_with("--") => {

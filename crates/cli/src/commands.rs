@@ -56,7 +56,9 @@ fn run_pipeline(opts: &Options, circuit: &Circuit) -> Result<CompileOutput, Stri
         });
     }
     let mut compiler = Compiler::new(spec);
-    compiler.router(opts.router_kind()).scheduler(opts.scheduler);
+    compiler
+        .router(opts.router_kind())
+        .scheduler(opts.scheduler);
     compiler.compile(circuit).map_err(|e| e.to_string())
 }
 
@@ -158,11 +160,8 @@ pub fn scale(args: &[String]) -> Result<String, String> {
     let spec = tilt_scale::ScaleSpec::new(opts.elu_ions, opts.head.min(opts.elu_ions))
         .map_err(|e| e.to_string())?;
     let program = tilt_scale::compile_scaled(&circuit, &spec).map_err(|e| e.to_string())?;
-    let report = tilt_scale::estimate_scaled(
-        &program,
-        &NoiseModel::default(),
-        &GateTimeModel::default(),
-    );
+    let report =
+        tilt_scale::estimate_scaled(&program, &NoiseModel::default(), &GateTimeModel::default());
     let mut text = format!(
         "modular `{}`: {} ELUs of {} ions (head {})\n",
         opts.target,
@@ -190,8 +189,8 @@ pub fn qccd(args: &[String]) -> Result<String, String> {
     let opts = Options::parse(args).map_err(|e| e.to_string())?;
     let circuit = load_circuit(&opts)?;
     let native = tilt_compiler::decompose::decompose(&circuit);
-    let spec = QccdSpec::for_qubits(circuit.n_qubits(), opts.ions_per_trap)
-        .map_err(|e| e.to_string())?;
+    let spec =
+        QccdSpec::for_qubits(circuit.n_qubits(), opts.ions_per_trap).map_err(|e| e.to_string())?;
     let program = compile_qccd(&native, &spec).map_err(|e| e.to_string())?;
     let report = estimate_qccd_success(
         &program,
@@ -325,10 +324,7 @@ mod tests {
 
     #[test]
     fn scale_reports_epr_pairs() {
-        let path = write_temp(
-            "sc.qasm",
-            "qreg q[16];\ncx q[7], q[8];\ncx q[0], q[1];\n",
-        );
+        let path = write_temp("sc.qasm", "qreg q[16];\ncx q[7], q[8];\ncx q[0], q[1];\n");
         let out = scale(&v(&[&path, "--elu-ions", "10", "--head", "4"])).unwrap();
         assert!(out.contains("remote gates: 1"), "{out}");
         assert!(out.contains("2 ELUs"), "{out}");

@@ -109,13 +109,7 @@ mod tests {
             "OPENQASM 2.0;\nqreg q[6];\nh q[0];\ncx q[0], q[5];\n",
         )
         .unwrap();
-        let out = run(&v(&[
-            "compile",
-            path.to_str().unwrap(),
-            "--head",
-            "3",
-        ]))
-        .unwrap();
+        let out = run(&v(&["compile", path.to_str().unwrap(), "--head", "3"])).unwrap();
         assert!(out.contains("swaps"), "{out}");
         let out = run(&v(&[
             "simulate",
@@ -127,7 +121,13 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("success"), "{out}");
-        let out = run(&v(&["qccd", path.to_str().unwrap(), "--ions-per-trap", "3"])).unwrap();
+        let out = run(&v(&[
+            "qccd",
+            path.to_str().unwrap(),
+            "--ions-per-trap",
+            "3",
+        ]))
+        .unwrap();
         assert!(out.contains("transports"), "{out}");
     }
 }

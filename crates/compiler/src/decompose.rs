@@ -261,7 +261,9 @@ mod tests {
     #[test]
     fn idempotent_on_native_circuits() {
         let mut c = Circuit::new(2);
-        c.rx(Qubit(0), 0.2).xx(Qubit(0), Qubit(1), 0.3).rz(Qubit(1), 0.4);
+        c.rx(Qubit(0), 0.2)
+            .xx(Qubit(0), Qubit(1), 0.3)
+            .rz(Qubit(1), 0.4);
         assert_eq!(decompose(&c), c);
     }
 

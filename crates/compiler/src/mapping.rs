@@ -121,11 +121,12 @@ impl Mapping {
 }
 
 /// Initial-placement strategies for the router.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum InitialMapping {
     /// Logical qubit `i` starts at tape position `i`. The paper's
     /// benchmarks are generated with locality already in mind (e.g. the
     /// interleaved Cuccaro layout), so identity is the default.
+    #[default]
     Identity,
     /// Reverse order (stress-test placement).
     Reverse,
@@ -136,12 +137,6 @@ pub enum InitialMapping {
     InteractionChain,
     /// Uniformly random permutation from the given seed (ablation).
     Random(u64),
-}
-
-impl Default for InitialMapping {
-    fn default() -> Self {
-        InitialMapping::Identity
-    }
 }
 
 impl InitialMapping {
@@ -163,9 +158,7 @@ impl InitialMapping {
         );
         match self {
             InitialMapping::Identity => Mapping::identity(n_ions),
-            InitialMapping::Reverse => {
-                Mapping::from_log_to_phys((0..n_ions).rev().collect())
-            }
+            InitialMapping::Reverse => Mapping::from_log_to_phys((0..n_ions).rev().collect()),
             InitialMapping::Random(seed) => {
                 let mut perm: Vec<usize> = (0..n_ions).collect();
                 perm.shuffle(&mut SmallRng::seed_from_u64(seed));
@@ -324,7 +317,7 @@ mod tests {
         let mut c = Circuit::new(5);
         c.cnot(Qubit(0), Qubit(4)).cnot(Qubit(1), Qubit(3));
         let m = InitialMapping::InteractionChain.build(&c, 8);
-        let mut seen = vec![false; 8];
+        let mut seen = [false; 8];
         for i in 0..8 {
             seen[m.position_of(Qubit(i))] = true;
         }

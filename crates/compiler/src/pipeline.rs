@@ -210,7 +210,7 @@ mod tests {
             c.cnot(Qubit(i), Qubit(15 - i));
         }
         let out = compile(&c, 16, 8);
-        let spec = out.program.spec().clone();
+        let spec = *out.program.spec();
         for (g, pos) in out.program.gates() {
             for q in g.qubits() {
                 assert!(spec.covers(pos, q.index()));

@@ -142,10 +142,13 @@ impl TiltProgram {
     /// The head position before any move (where the head parks initially),
     /// or `None` for an empty program.
     pub fn initial_head_position(&self) -> Option<usize> {
-        self.ops.iter().find_map(|op| match op {
-            TiltOp::Gate { head_pos, .. } => Some(*head_pos),
-            TiltOp::Move { to } => Some(*to),
-        })
+        self.ops
+            .iter()
+            .map(|op| match op {
+                TiltOp::Gate { head_pos, .. } => *head_pos,
+                TiltOp::Move { to } => *to,
+            })
+            .next()
     }
 }
 

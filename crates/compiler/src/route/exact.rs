@@ -9,7 +9,7 @@
 //! small circuits (see the `linq_vs_exact` tests and the ablation bench);
 //! it is deliberately guarded against large instances.
 
-use super::{is_opposing, pending_gates, RouteOutcome};
+use super::{is_opposing, pending_gates, PendingIndex, RouteOutcome};
 use crate::error::CompileError;
 use crate::mapping::Mapping;
 use crate::spec::DeviceSpec;
@@ -128,7 +128,9 @@ pub fn optimal_route(
     };
 
     // perm[pos] = logical qubit at tape position pos.
-    let start_perm: Vec<u8> = (0..n).map(|p| initial.logical_at(p).index() as u8).collect();
+    let start_perm: Vec<u8> = (0..n)
+        .map(|p| initial.logical_at(p).index() as u8)
+        .collect();
     let start_k = advance(&start_perm, 0);
 
     // BFS: uniform swap cost, so first arrival is minimal.
@@ -193,6 +195,7 @@ pub fn optimal_route(
 
     // Replay: walk the native circuit, applying each tagged swap before
     // the gate that needed it.
+    let index = PendingIndex::build(&pending, n);
     let mut out = Circuit::with_capacity(n, native.len() + swaps_rev.len());
     let mut mapping = initial.clone();
     let mut swap_iter = swaps_rev.iter().peekable();
@@ -205,7 +208,7 @@ pub fn optimal_route(
                 if tag > k {
                     break;
                 }
-                if is_opposing(&mapping, &pending, k, lo, hi) {
+                if is_opposing(&mapping, &pending, &index, k, lo, hi) {
                     opposing += 1;
                 }
                 out.swap(Qubit(lo), Qubit(hi));
@@ -385,8 +388,8 @@ mod tests {
     fn wide_tapes_are_rejected() {
         let c = Circuit::new(12);
         let spec = DeviceSpec::new(12, 4).unwrap();
-        let err = optimal_route(&c, spec, &Mapping::identity(12), &ExactConfig::default())
-            .unwrap_err();
+        let err =
+            optimal_route(&c, spec, &Mapping::identity(12), &ExactConfig::default()).unwrap_err();
         assert!(matches!(err, CompileError::InvalidRouterConfig { .. }));
     }
 

@@ -44,6 +44,12 @@ pub struct LinqConfig {
     /// contributions vanish numerically after a few tens of layers, so a
     /// window is equivalent to the full sum at a fraction of the cost.
     pub lookahead: usize,
+    /// Use the incremental scorer (the default). `false` selects the
+    /// retained reference scorer, which rebuilds the look-ahead weights
+    /// and a hash-map qubit index for **every** swap decision; both
+    /// scorers choose identical swaps (see the `scorers_agree` test), so
+    /// this knob exists purely as the benchmark baseline.
+    pub incremental: bool,
 }
 
 impl Default for LinqConfig {
@@ -52,6 +58,7 @@ impl Default for LinqConfig {
             max_swap_len: None,
             alpha: 0.9,
             lookahead: 128,
+            incremental: true,
         }
     }
 }
@@ -105,51 +112,138 @@ impl LinqConfig {
 }
 
 /// Stateful LinQ policy (implements Algorithm 1 one swap at a time).
+///
+/// The default scorer is *incremental*: the decayed Eq. 1 weights for
+/// the current look-ahead window are cached per pending-gate cursor
+/// (several swap decisions usually serve one gate), and the gates
+/// touching a candidate's two ions come from the route-wide
+/// [`PendingIndex`](super::PendingIndex) instead of a per-decision
+/// hash map. Correctness relies on one observation: the candidate
+/// comparison only ever subtracts scores *within one decision*, so the
+/// constant `Σ D(g)·α^Δ(g)` base term of Eq. 1 cancels and each
+/// candidate needs only its **delta** over the gates its two ions
+/// touch. The reference scorer (`incremental: false`) recomputes the
+/// full Eq. 1 sum per decision, as the seed did.
 pub(crate) struct LinqPolicy {
     cfg: LinqConfig,
     max_swap_len: usize,
+    /// Cursor the cached weights belong to (`usize::MAX` = none).
+    cached_cursor: usize,
+    /// `α^Δ(g)` for each window offset at `cached_cursor`.
+    weights: Vec<f64>,
+    /// Window end (absolute pending index) at `cached_cursor`.
+    window_end: usize,
 }
 
 impl LinqPolicy {
     pub(crate) fn new(cfg: LinqConfig, spec: DeviceSpec) -> Self {
         let max_swap_len = cfg.effective_max_swap_len(spec);
-        LinqPolicy { cfg, max_swap_len }
+        LinqPolicy {
+            cfg,
+            max_swap_len,
+            cached_cursor: usize::MAX,
+            weights: Vec::new(),
+            window_end: 0,
+        }
     }
-}
 
-impl SwapPolicy for LinqPolicy {
-    fn choose_swap(&mut self, state: &RouteState<'_>) -> (usize, usize) {
-        let (lo, hi) = state.endpoints();
-        debug_assert!(hi - lo >= state.spec.head_size());
+    /// Rebuilds the per-window weight cache when the routing cursor has
+    /// moved since the last decision.
+    fn refresh_window(&mut self, state: &RouteState<'_>) {
+        if self.cached_cursor == state.cursor {
+            return;
+        }
+        self.cached_cursor = state.cursor;
+        self.window_end = state.pending.len().min(state.cursor + self.cfg.lookahead);
+        let window = &state.pending[state.cursor..self.window_end];
+        let cur_layer = window[0].layer;
+        self.weights.clear();
+        self.weights.extend(window.iter().map(|g| {
+            // Skeleton layers are not monotone in program order (a later
+            // gate on fresh qubits can sit in an earlier layer), so Δ
+            // saturates at 0: such gates are "as urgent as" the current
+            // one.
+            self.cfg
+                .alpha
+                .powi(g.layer.saturating_sub(cur_layer) as i32)
+        }));
+    }
 
-        // --- Eq. 1 precomputation over the look-ahead window -------------
+    /// Incremental scorer: Eq. 1 delta of swapping positions `(pa, pb)`
+    /// — only gates touching the two swapped ions contribute.
+    fn score_delta(&self, state: &RouteState<'_>, pa: usize, pb: usize) -> f64 {
+        let la = state.mapping.logical_at(pa);
+        let lb = state.mapping.logical_at(pb);
+        // Virtual position lookup under the candidate swap.
+        let vpos = |q: Qubit| -> usize {
+            let p = state.mapping.position_of(q);
+            if p == pa {
+                pb
+            } else if p == pb {
+                pa
+            } else {
+                p
+            }
+        };
+        let mut delta = 0.0f64;
+        let mut visit = |idx: usize| {
+            let g = &state.pending[idx];
+            let old = state.mapping.distance(g.a, g.b) as f64;
+            let new = vpos(g.a).abs_diff(vpos(g.b)) as f64;
+            delta += (new - old) * self.weights[idx - self.cached_cursor];
+        };
+        for &i in state.index.gates_from(la, state.cursor) {
+            let i = i as usize;
+            if i >= self.window_end {
+                break;
+            }
+            visit(i);
+        }
+        for &i in state.index.gates_from(lb, state.cursor) {
+            let i = i as usize;
+            if i >= self.window_end {
+                break;
+            }
+            // Skip gates already visited through `la`.
+            let g = &state.pending[i];
+            if g.a != la && g.b != la {
+                visit(i);
+            }
+        }
+        delta
+    }
+
+    /// The seed scorer, retained as the benchmark baseline: rebuilds
+    /// the window weights and a hash-map qubit index for every swap
+    /// decision and scores candidates as `base + delta`.
+    fn reference_score_candidates(
+        &self,
+        state: &RouteState<'_>,
+        mut consider: impl FnMut(usize, usize, f64),
+        candidates: &[(usize, usize)],
+    ) {
         let window_end = state.pending.len().min(state.cursor + self.cfg.lookahead);
         let window = &state.pending[state.cursor..window_end];
         let cur_layer = window[0].layer;
 
-        // Weighted base distances plus an index from logical qubit to the
-        // window gates touching it, so each candidate is scored by
-        // adjusting only the gates that involve the two swapped ions.
         let mut base_score = 0.0f64;
         let mut weights = Vec::with_capacity(window.len());
         let mut touching: std::collections::HashMap<Qubit, Vec<usize>> =
             std::collections::HashMap::new();
         for (i, g) in window.iter().enumerate() {
-            // Skeleton layers are not monotone in program order (a later
-            // gate on fresh qubits can sit in an earlier layer), so Δ
-            // saturates at 0: such gates are "as urgent as" the current
-            // one.
-            let w = self.cfg.alpha.powi(g.layer.saturating_sub(cur_layer) as i32);
+            let w = self
+                .cfg
+                .alpha
+                .powi(g.layer.saturating_sub(cur_layer) as i32);
             weights.push(w);
             base_score += (state.mapping.distance(g.a, g.b) as f64) * w;
             touching.entry(g.a).or_default().push(i);
             touching.entry(g.b).or_default().push(i);
         }
 
-        let score_candidate = |pa: usize, pb: usize| -> f64 {
+        for &(pa, pb) in candidates {
             let la = state.mapping.logical_at(pa);
             let lb = state.mapping.logical_at(pb);
-            // Virtual position lookup under the candidate swap.
             let vpos = |q: Qubit| -> usize {
                 let p = state.mapping.position_of(q);
                 if p == pa {
@@ -174,28 +268,21 @@ impl SwapPolicy for LinqPolicy {
             }
             if let Some(list) = touching.get(&lb) {
                 for &i in list {
-                    // Skip gates already visited through `la`.
                     let g = &window[i];
                     if g.a != la && g.b != la {
                         visit(i);
                     }
                 }
             }
-            base_score + delta
-        };
+            consider(pa, pb, base_score + delta);
+        }
+    }
 
-        // --- Algorithm 1 candidate enumeration ---------------------------
-        let mut best: Option<((usize, usize), f64)> = None;
-        let mut consider = |pa: usize, pb: usize| {
-            let s = score_candidate(pa, pb);
-            let better = match best {
-                None => true,
-                Some((_, bs)) => s < bs - 1e-12,
-            };
-            if better {
-                best = Some(((pa, pb), s));
-            }
-        };
+    /// Algorithm 1 candidate enumeration: calls `consider(pa, pb)` for
+    /// every legal swap, in a fixed order shared by both scorers.
+    fn for_each_candidate(&self, state: &RouteState<'_>, mut consider: impl FnMut(usize, usize)) {
+        let (lo, hi) = state.endpoints();
+        debug_assert!(hi - lo >= state.spec.head_size());
         for qi in (lo + 1)..hi {
             if qi - lo <= self.max_swap_len {
                 consider(lo, qi);
@@ -204,8 +291,36 @@ impl SwapPolicy for LinqPolicy {
                 consider(qi, hi);
             }
         }
+    }
+}
 
-        best.expect("an unexecutable gate always has swap candidates").0
+impl SwapPolicy for LinqPolicy {
+    fn choose_swap(&mut self, state: &RouteState<'_>) -> (usize, usize) {
+        let mut best: Option<((usize, usize), f64)> = None;
+        let mut consider = |pa: usize, pb: usize, s: f64| {
+            let better = match best {
+                None => true,
+                Some((_, bs)) => s < bs - 1e-12,
+            };
+            if better {
+                best = Some(((pa, pb), s));
+            }
+        };
+        if self.cfg.incremental {
+            // Allocation-free hot path: score each candidate as it is
+            // enumerated.
+            self.refresh_window(state);
+            self.for_each_candidate(state, |pa, pb| {
+                let s = self.score_delta(state, pa, pb);
+                consider(pa, pb, s);
+            });
+        } else {
+            let mut candidates = Vec::new();
+            self.for_each_candidate(state, |pa, pb| candidates.push((pa, pb)));
+            self.reference_score_candidates(state, consider, &candidates);
+        }
+        best.expect("an unexecutable gate always has swap candidates")
+            .0
     }
 }
 
@@ -329,6 +444,40 @@ mod tests {
             LinqConfig::with_max_swap_len(9).effective_max_swap_len(spec),
             9
         );
+    }
+
+    #[test]
+    fn incremental_and_reference_scorers_choose_identical_swaps() {
+        // The incremental scorer drops the constant Eq. 1 base term
+        // (argmin-invariant); the routed circuits must match the seed
+        // scorer's exactly, swap for swap.
+        let reference = LinqConfig {
+            incremental: false,
+            ..LinqConfig::default()
+        };
+        let mut workloads: Vec<(Circuit, usize, usize)> = Vec::new();
+        let mut crossing = Circuit::new(24);
+        for i in 0..8 {
+            crossing.xx(Qubit(i), Qubit(23 - i), 0.1 * (i + 1) as f64);
+            crossing.xx(Qubit(23 - i), Qubit((i + 11) % 24), 0.07 * (i + 1) as f64);
+        }
+        workloads.push((crossing, 24, 6));
+        let mut ladder = Circuit::new(16);
+        for i in 0..15 {
+            let partner = (i * 7 + 5) % 16;
+            if partner != i {
+                ladder.xx(Qubit(i), Qubit(partner), 0.2);
+            }
+        }
+        workloads.push((ladder, 16, 4));
+        for (circuit, n, head) in workloads {
+            let fast = route_linq(&circuit, n, head, LinqConfig::default());
+            let slow = route_linq(&circuit, n, head, reference.clone());
+            assert_eq!(fast.circuit, slow.circuit);
+            assert_eq!(fast.swap_count, slow.swap_count);
+            assert_eq!(fast.opposing_swap_count, slow.opposing_swap_count);
+            assert_eq!(fast.final_mapping, slow.final_mapping);
+        }
     }
 
     #[test]

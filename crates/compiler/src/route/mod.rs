@@ -81,14 +81,48 @@ pub(crate) fn pending_gates(native: &Circuit) -> Vec<PendingGate> {
         }
         let qs = g.qubits();
         let (a, b) = (qs[0], qs[1]);
-        let layer = level[a.index()]
-            .max(level[b.index()])
-            .max(barrier_level);
+        let layer = level[a.index()].max(level[b.index()]).max(barrier_level);
         level[a.index()] = layer + 1;
         level[b.index()] = layer + 1;
         pending.push(PendingGate { a, b, layer });
     }
     pending
+}
+
+/// Per-qubit index into the pending-gate list: for each logical qubit,
+/// the (ascending) indices of the pending two-qubit gates touching it.
+///
+/// Built **once per route** and shared by the Eq. 1 scorer and the
+/// opposing-swap classifier, replacing their per-decision scans of the
+/// pending list with `O(log)` binary searches.
+pub(crate) struct PendingIndex {
+    per_qubit: Vec<Vec<u32>>,
+}
+
+impl PendingIndex {
+    pub(crate) fn build(pending: &[PendingGate], n_qubits: usize) -> Self {
+        let mut per_qubit = vec![Vec::new(); n_qubits];
+        for (i, g) in pending.iter().enumerate() {
+            per_qubit[g.a.index()].push(i as u32);
+            per_qubit[g.b.index()].push(i as u32);
+        }
+        PendingIndex { per_qubit }
+    }
+
+    /// The slice of gate indices touching `q` at or after `cursor`.
+    pub(crate) fn gates_from(&self, q: Qubit, cursor: usize) -> &[u32] {
+        let list = &self.per_qubit[q.index()];
+        let start = list.partition_point(|&i| (i as usize) < cursor);
+        &list[start..]
+    }
+
+    /// First pending gate touching `q` within `[cursor, horizon)`.
+    pub(crate) fn first_gate_of(&self, q: Qubit, cursor: usize, horizon: usize) -> Option<usize> {
+        match self.gates_from(q, cursor).first() {
+            Some(&i) if (i as usize) < horizon => Some(i as usize),
+            _ => None,
+        }
+    }
 }
 
 /// Everything a swap policy may inspect when choosing the next swap.
@@ -97,6 +131,8 @@ pub(crate) struct RouteState<'a> {
     pub mapping: &'a Mapping,
     /// All two-qubit gates in program order.
     pub pending: &'a [PendingGate],
+    /// Per-qubit index over `pending`, built once per route.
+    pub index: &'a PendingIndex,
     /// Index into `pending` of the gate currently being resolved.
     pub cursor: usize,
 }
@@ -195,6 +231,7 @@ pub(crate) fn route_with_policy(
     policy: &mut dyn SwapPolicy,
 ) -> RouteOutcome {
     let pending = pending_gates(native);
+    let index = PendingIndex::build(&pending, spec.n_ions());
 
     let mut out = Circuit::with_capacity(spec.n_ions(), native.len() + native.len() / 4);
     let mut mapping = initial.clone();
@@ -211,12 +248,13 @@ pub(crate) fn route_with_policy(
                         spec,
                         mapping: &mapping,
                         pending: &pending,
+                        index: &index,
                         cursor,
                     };
                     policy.choose_swap(&state)
                 };
                 debug_assert!(pa != pb && pa.abs_diff(pb) < spec.head_size());
-                if is_opposing(&mapping, &pending, cursor, pa, pb) {
+                if is_opposing(&mapping, &pending, &index, cursor, pa, pb) {
                     opposing_swap_count += 1;
                 }
                 out.swap(Qubit(pa.min(pb)), Qubit(pa.max(pb)));
@@ -253,6 +291,7 @@ const OPPOSING_HORIZON: usize = 256;
 fn is_opposing(
     mapping: &Mapping,
     pending: &[PendingGate],
+    index: &PendingIndex,
     cursor: usize,
     pa: usize,
     pb: usize,
@@ -261,11 +300,10 @@ fn is_opposing(
     let qb = mapping.logical_at(pb);
     let horizon = pending.len().min(cursor + OPPOSING_HORIZON);
 
-    // First pending gate involving `q`, as an index into `pending`.
-    let first_gate_of = |q: Qubit| -> Option<usize> {
-        (cursor..horizon).find(|&i| pending[i].a == q || pending[i].b == q)
-    };
-    let (Some(ga), Some(gb)) = (first_gate_of(qa), first_gate_of(qb)) else {
+    let (Some(ga), Some(gb)) = (
+        index.first_gate_of(qa, cursor, horizon),
+        index.first_gate_of(qb, cursor, horizon),
+    ) else {
         return false;
     };
     if ga == gb {
@@ -299,12 +337,7 @@ mod tests {
     use super::*;
     use crate::mapping::InitialMapping;
 
-    fn route(
-        kind: &RouterKind,
-        circuit: &Circuit,
-        n_ions: usize,
-        head: usize,
-    ) -> RouteOutcome {
+    fn route(kind: &RouterKind, circuit: &Circuit, n_ions: usize, head: usize) -> RouteOutcome {
         let spec = DeviceSpec::new(n_ions, head).unwrap();
         let initial = InitialMapping::Identity.build(circuit, n_ions);
         kind.route(circuit, spec, &initial).unwrap()
@@ -366,10 +399,7 @@ mod tests {
             }
             assert_eq!(
                 seen,
-                vec![
-                    (Qubit(0), Qubit(11), 0.5),
-                    (Qubit(0), Qubit(1), 0.25)
-                ],
+                vec![(Qubit(0), Qubit(11), 0.5), (Qubit(0), Qubit(1), 0.25)],
                 "{kind:?}"
             );
             assert_eq!(m, out.final_mapping, "{kind:?}");
@@ -405,14 +435,23 @@ mod tests {
         let mapping = Mapping::identity(4);
         // logical: Q1=0 at 0, Q3=1 at 1, Q2=2 at 2, Q4=3 at 3.
         let pending = vec![
-            PendingGate { a: Qubit(0), b: Qubit(2), layer: 0 },
-            PendingGate { a: Qubit(1), b: Qubit(3), layer: 0 },
+            PendingGate {
+                a: Qubit(0),
+                b: Qubit(2),
+                layer: 0,
+            },
+            PendingGate {
+                a: Qubit(1),
+                b: Qubit(3),
+                layer: 0,
+            },
         ];
+        let index = PendingIndex::build(&pending, 4);
         // Swap positions 1 and 2: logical 1 (Q3) moves right toward Q4 at 3;
         // logical 2 (Q2) moves left toward Q1 at 0.
-        assert!(is_opposing(&mapping, &pending, 0, 1, 2));
+        assert!(is_opposing(&mapping, &pending, &index, 0, 1, 2));
         // Swapping 0 and 1 helps only Q1's partner direction.
-        assert!(!is_opposing(&mapping, &pending, 0, 0, 1));
+        assert!(!is_opposing(&mapping, &pending, &index, 0, 0, 1));
     }
 
     #[test]
@@ -422,14 +461,23 @@ mod tests {
         // no swap is opposing (the paper's BV observation, §VI-A).
         let mapping = Mapping::identity(6);
         let pending = vec![
-            PendingGate { a: Qubit(0), b: Qubit(5), layer: 0 },
-            PendingGate { a: Qubit(1), b: Qubit(5), layer: 1 },
+            PendingGate {
+                a: Qubit(0),
+                b: Qubit(5),
+                layer: 0,
+            },
+            PendingGate {
+                a: Qubit(1),
+                b: Qubit(5),
+                layer: 1,
+            },
         ];
+        let index = PendingIndex::build(&pending, 6);
         // Swap ancilla (pos 5) with the spectator ion at pos 2.
-        assert!(!is_opposing(&mapping, &pending, 0, 2, 5));
+        assert!(!is_opposing(&mapping, &pending, &index, 0, 2, 5));
         // Swapping the two interacting endpoints directly is not opposing
         // either (distance unchanged).
-        assert!(!is_opposing(&mapping, &pending, 0, 0, 5));
+        assert!(!is_opposing(&mapping, &pending, &index, 0, 0, 5));
     }
 
     #[test]

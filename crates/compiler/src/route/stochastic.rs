@@ -105,12 +105,9 @@ mod tests {
     fn route_stochastic(c: &Circuit, n: usize, head: usize, seed: u64) -> RouteOutcome {
         let spec = DeviceSpec::new(n, head).unwrap();
         let initial = InitialMapping::Identity.build(c, n);
-        RouterKind::Stochastic(StochasticConfig {
-            trials: 20,
-            seed,
-        })
-        .route(c, spec, &initial)
-        .unwrap()
+        RouterKind::Stochastic(StochasticConfig { trials: 20, seed })
+            .route(c, spec, &initial)
+            .unwrap()
     }
 
     #[test]
@@ -151,7 +148,11 @@ mod tests {
         let out = route_stochastic(&c, 32, 8, 3);
         // d=31, head 8: minimal swaps = ceil((31-7)/7) = 4.
         assert!(out.swap_count >= 4);
-        assert!(out.swap_count <= 6, "baseline used {} swaps", out.swap_count);
+        assert!(
+            out.swap_count <= 6,
+            "baseline used {} swaps",
+            out.swap_count
+        );
         let max_span = out
             .circuit
             .iter()

@@ -90,9 +90,14 @@ pub fn schedule(physical: &Circuit, spec: DeviceSpec, kind: SchedulerKind) -> Ti
             SchedulerKind::GreedyMaxExecutable => {
                 best_position(physical, &dag, &tracker, spec, head, 0)
             }
-            SchedulerKind::DistanceDiscounted { penalty_permille } => {
-                best_position(physical, &dag, &tracker, spec, head, penalty_permille as i64)
-            }
+            SchedulerKind::DistanceDiscounted { penalty_permille } => best_position(
+                physical,
+                &dag,
+                &tracker,
+                spec,
+                head,
+                penalty_permille as i64,
+            ),
             SchedulerKind::NaiveNextGate => {
                 let oldest = *tracker
                     .ready()
@@ -284,7 +289,10 @@ mod tests {
         for i in 0..15 {
             c.xx(Qubit(i), Qubit(i + 1), 0.1);
         }
-        for kind in [SchedulerKind::GreedyMaxExecutable, SchedulerKind::NaiveNextGate] {
+        for kind in [
+            SchedulerKind::GreedyMaxExecutable,
+            SchedulerKind::NaiveNextGate,
+        ] {
             let p = schedule(&c, spec(16, 4), kind);
             assert_eq!(p.gate_count(), c.len(), "{kind:?}");
         }
@@ -303,8 +311,7 @@ mod tests {
         let order: Vec<&Gate> = p.gates().map(|(g, _)| g).collect();
         let pos_of = |target: &Gate| order.iter().position(|g| *g == target).unwrap();
         assert!(
-            pos_of(&Gate::Xx(Qubit(0), Qubit(1), 0.1))
-                < pos_of(&Gate::Xx(Qubit(1), Qubit(2), 0.1))
+            pos_of(&Gate::Xx(Qubit(0), Qubit(1), 0.1)) < pos_of(&Gate::Xx(Qubit(1), Qubit(2), 0.1))
         );
     }
 
@@ -348,7 +355,9 @@ mod tests {
         let zero = schedule(
             &c,
             spec(32, 4),
-            SchedulerKind::DistanceDiscounted { penalty_permille: 0 },
+            SchedulerKind::DistanceDiscounted {
+                penalty_permille: 0,
+            },
         );
         let plain = schedule(&c, spec(32, 4), SchedulerKind::GreedyMaxExecutable);
         // Zero penalty reduces exactly to Algorithm 2.
@@ -356,7 +365,9 @@ mod tests {
         let discounted = schedule(
             &c,
             spec(32, 4),
-            SchedulerKind::DistanceDiscounted { penalty_permille: 500 },
+            SchedulerKind::DistanceDiscounted {
+                penalty_permille: 500,
+            },
         );
         // All gates still execute exactly once.
         assert_eq!(discounted.gate_count(), c.len());
@@ -388,7 +399,11 @@ mod tests {
 
     #[test]
     fn empty_circuit_schedules_to_empty_program() {
-        let p = schedule(&Circuit::new(8), spec(8, 4), SchedulerKind::GreedyMaxExecutable);
+        let p = schedule(
+            &Circuit::new(8),
+            spec(8, 4),
+            SchedulerKind::GreedyMaxExecutable,
+        );
         assert!(p.ops().is_empty());
     }
 }

@@ -68,7 +68,11 @@ pub fn render_timeline(program: &TiltProgram) -> String {
     for (i, (pos, count)) in segments.iter().enumerate() {
         let mut bar = String::with_capacity(n);
         for p in 0..n {
-            bar.push(if p >= *pos && p < pos + head { '#' } else { '.' });
+            bar.push(if p >= *pos && p < pos + head {
+                '#'
+            } else {
+                '.'
+            });
         }
         let _ = writeln!(out, "{i:>4}  pos {pos:>3}  {count:>5} gates  |{bar}|");
     }
@@ -98,7 +102,10 @@ mod tests {
         let text = render_timeline(&p);
         // Header plus two segment rows.
         assert_eq!(text.trim().lines().count(), 3, "{text}");
-        assert!(text.contains("pos   0") || text.contains("pos   4"), "{text}");
+        assert!(
+            text.contains("pos   0") || text.contains("pos   4"),
+            "{text}"
+        );
     }
 
     #[test]

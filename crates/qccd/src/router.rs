@@ -187,8 +187,7 @@ pub fn compile_qccd(circuit: &Circuit, spec: &QccdSpec) -> Result<QccdProgram, Q
                 if ta != tb {
                     // Move the endpoint from the more crowded trap, which
                     // balances occupancy; ties move `a`.
-                    let (mover, target) = if array.chains[ta].len() >= array.chains[tb].len()
-                    {
+                    let (mover, target) = if array.chains[ta].len() >= array.chains[tb].len() {
                         (a, tb)
                     } else {
                         (b, ta)

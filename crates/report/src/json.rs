@@ -1,0 +1,191 @@
+//! A tiny hand-rolled JSON writer.
+//!
+//! The workspace builds offline with no serde; the harness binaries only
+//! ever *emit* flat JSON (benchmark records, table dumps), which this
+//! module covers in a few dozen lines. There is deliberately no parser.
+
+use std::fmt::Write as _;
+
+/// A JSON value under construction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Finite numbers render via `f64` shortest round-trip; non-finite
+    /// values render as `null` (JSON has no NaN/Inf).
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Starts an empty object.
+    pub fn object() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Adds or replaces `key` on an object (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self` is not an object.
+    pub fn set(mut self, key: &str, value: impl Into<Json>) -> Json {
+        let Json::Obj(entries) = &mut self else {
+            panic!("Json::set on a non-object");
+        };
+        match entries.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = value.into(),
+            None => entries.push((key.to_string(), value.into())),
+        }
+        self
+    }
+
+    /// Renders compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) if x.is_finite() => {
+                let _ = write!(out, "{x}");
+            }
+            Json::Num(_) => out.push_str("null"),
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(x: usize) -> Json {
+        Json::Num(x as f64)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(x: u64) -> Json {
+        Json::Num(x as f64)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(x: i64) -> Json {
+        Json::Num(x as f64)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(items: Vec<T>) -> Json {
+        Json::Arr(items.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let j = Json::object()
+            .set("name", "qft20")
+            .set("gates_per_sec", 1.5e6)
+            .set("ok", true)
+            .set("samples", vec![1.0, 2.5]);
+        assert_eq!(
+            j.render(),
+            r#"{"name":"qft20","gates_per_sec":1500000,"ok":true,"samples":[1,2.5]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let j = Json::from("a\"b\\c\nd\u{1}");
+        assert_eq!(j.render(), r#""a\"b\\c\nd\u0001""#);
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn set_replaces_existing_key() {
+        let j = Json::object().set("k", 1.0).set("k", 2.0);
+        assert_eq!(j.render(), r#"{"k":2}"#);
+    }
+}

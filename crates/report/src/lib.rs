@@ -17,8 +17,10 @@
 //! assert!(t.to_csv().starts_with("app,swaps,success\n"));
 //! ```
 
+pub mod json;
 pub mod table;
 
+pub use json::Json;
 pub use table::Table;
 
 /// Formats a probability for display: fixed-point when readable, powers of

@@ -1,12 +1,14 @@
-//! Aligned ASCII tables and CSV emission.
-
-use serde::Serialize;
+//! Aligned ASCII tables and CSV/JSON emission.
+//!
+//! JSON is hand-rolled (see [`Table::to_json`]): the build environment
+//! vendors no serde, and a row-of-strings table needs only string
+//! escaping.
 
 /// A simple column-aligned table.
 ///
 /// Rows are strings; numeric formatting is the caller's concern (see
 /// [`crate::fmt_success`]). Rendering pads each column to its widest cell.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table {
     header: Vec<String>,
     rows: Vec<Vec<String>>,
@@ -83,6 +85,21 @@ impl Table {
         out
     }
 
+    /// Renders the table as a JSON array of objects keyed by the header.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<crate::Json> = self
+            .rows
+            .iter()
+            .map(|row| {
+                self.header
+                    .iter()
+                    .zip(row)
+                    .fold(crate::Json::object(), |obj, (k, v)| obj.set(k, v.as_str()))
+            })
+            .collect();
+        crate::Json::from(rows).render()
+    }
+
     /// Renders RFC-4180-style CSV (cells containing commas or quotes are
     /// quoted).
     pub fn to_csv(&self) -> String {
@@ -134,6 +151,17 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.contains("\"x,y\""));
         assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn json_keys_rows_by_header() {
+        let mut t = Table::new(["app", "swaps"]);
+        t.row(["BV", "7"]).row(["say \"hi\"", "161"]);
+        assert_eq!(
+            t.to_json(),
+            r#"[{"app":"BV","swaps":"7"},{"app":"say \"hi\"","swaps":"161"}]"#
+        );
+        assert_eq!(Table::new(["a"]).to_json(), "[]");
     }
 
     #[test]

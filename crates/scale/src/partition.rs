@@ -106,7 +106,7 @@ mod tests {
     #[test]
     fn qubit_ranges_cover_everything_once() {
         let p = Partition::new(&spec(), 20);
-        let mut seen = vec![false; 20];
+        let mut seen = [false; 20];
         for e in 0..p.n_elus() {
             for q in p.qubits_in(e) {
                 assert!(!seen[q]);

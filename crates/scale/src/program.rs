@@ -4,9 +4,7 @@ use crate::partition::Partition;
 use crate::spec::{ScaleError, ScaleSpec};
 use tilt_circuit::{Circuit, Gate, Qubit};
 use tilt_compiler::{CompileOutput, Compiler, DeviceSpec};
-use tilt_sim::{
-    estimate_success, execution_time_us, ExecTimeModel, GateTimeModel, NoiseModel,
-};
+use tilt_sim::{estimate_success, execution_time_us, ExecTimeModel, GateTimeModel, NoiseModel};
 
 /// A circuit compiled onto an ELU array.
 #[derive(Clone, Debug)]
@@ -67,8 +65,9 @@ pub fn compile_scaled(circuit: &Circuit, spec: &ScaleSpec) -> Result<ScaledProgr
     let partition = Partition::new(spec, circuit.n_qubits());
     let n_elus = partition.n_elus();
 
-    let mut streams: Vec<Circuit> =
-        (0..n_elus).map(|_| Circuit::new(spec.ions_per_elu())).collect();
+    let mut streams: Vec<Circuit> = (0..n_elus)
+        .map(|_| Circuit::new(spec.ions_per_elu()))
+        .collect();
     let mut epr_pairs = 0usize;
 
     for gate in native.iter() {
@@ -82,18 +81,9 @@ pub fn compile_scaled(circuit: &Circuit, spec: &ScaleSpec) -> Result<ScaledProgr
                 let qs = g.qubits();
                 let (a, b) = (qs[0].index(), qs[1].index());
                 let (ea, eb) = (partition.elu_of(a), partition.elu_of(b));
-                let (la, lb) = (
-                    Qubit(partition.local_of(a)),
-                    Qubit(partition.local_of(b)),
-                );
+                let (la, lb) = (Qubit(partition.local_of(a)), Qubit(partition.local_of(b)));
                 if ea == eb {
-                    streams[ea].push(g.map_qubits(|q| {
-                        if q.index() == a {
-                            la
-                        } else {
-                            lb
-                        }
-                    }));
+                    streams[ea].push(g.map_qubits(|q| if q.index() == a { la } else { lb }));
                 } else {
                     // Gate teleportation: alternate comm slots so
                     // back-to-back remote gates can overlap.
@@ -102,8 +92,7 @@ pub fn compile_scaled(circuit: &Circuit, spec: &ScaleSpec) -> Result<ScaledProgr
                     epr_pairs += 1;
                     streams[ea].cnot(la, comm);
                     streams[ea].measure(comm);
-                    streams[eb]
-                        .push(g.map_qubits(|q| if q.index() == a { comm } else { lb }));
+                    streams[eb].push(g.map_qubits(|q| if q.index() == a { comm } else { lb }));
                     streams[eb].measure(comm);
                 }
             }
@@ -171,8 +160,7 @@ pub fn estimate_scaled(
         ln_success,
         success: ln_success.exp(),
         remote_gates: program.epr_pairs,
-        exec_time_us: slowest_elu_us
-            + program.epr_pairs as f64 * program.spec.epr.generation_us,
+        exec_time_us: slowest_elu_us + program.epr_pairs as f64 * program.spec.epr.generation_us,
         total_moves,
         total_swaps,
     }

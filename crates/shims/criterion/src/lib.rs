@@ -1,0 +1,233 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no registry access, so this crate provides
+//! the subset of criterion's API the in-tree benches use — `Criterion`,
+//! `benchmark_group` / `bench_function` / `sample_size` / `finish`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!`
+//! macros — backed by a deliberately simple measurement loop:
+//!
+//! 1. warm up until ~50 ms of work has run (at least 3 iterations),
+//! 2. time `sample_size` batches sized to ≥1 ms each,
+//! 3. report the median batch mean, a robust point estimate.
+//!
+//! Results print as `bench <name> ... <time> (<iters> iters)` lines and
+//! are also recorded in a process-global list so harness binaries can
+//! post-process them (see [`take_measurements`]).
+//!
+//! Benches using this shim must set `harness = false` in `Cargo.toml`
+//! (which the real criterion requires as well).
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One completed measurement.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// `group/function` id of the bench.
+    pub name: String,
+    /// Median per-iteration time.
+    pub mean_ns: f64,
+    /// Total iterations timed (excluding warm-up).
+    pub iterations: u64,
+}
+
+static MEASUREMENTS: Mutex<Vec<Measurement>> = Mutex::new(Vec::new());
+
+/// Drains every measurement recorded so far in this process.
+pub fn take_measurements() -> Vec<Measurement> {
+    std::mem::take(&mut MEASUREMENTS.lock().expect("measurement lock"))
+}
+
+/// Top-level benchmark context.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benches.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Benches a function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        run_bench(id.into(), self.sample_size, f);
+    }
+}
+
+/// A group of benches sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed batches each bench records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benches `f` under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        run_bench(format!("{}/{}", self.name, id.into()), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (a no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to `bench_function`; drives the timing
+/// loop via [`Bencher::iter`].
+pub struct Bencher {
+    /// Iterations the current call should run.
+    iters: u64,
+    /// Time the routine took, filled by `iter`.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, preventing its result from being optimized out.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Re-export so bench code may use `criterion::black_box` as well as
+/// `std::hint::black_box`.
+pub use std::hint::black_box;
+
+fn time_batch<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: String, sample_size: usize, mut f: F) {
+    // Warm up and estimate the per-iteration cost.
+    let mut iters = 1u64;
+    let mut once = time_batch(&mut f, 1);
+    let mut warm = once;
+    while warm < Duration::from_millis(50) && iters < (1 << 20) {
+        iters *= 2;
+        once = time_batch(&mut f, iters);
+        warm += once;
+    }
+    let per_iter = once.as_secs_f64() / iters as f64;
+    // Size batches to at least ~1 ms so Instant resolution is noise-free.
+    let batch = ((1e-3 / per_iter.max(1e-12)).ceil() as u64).clamp(1, 1 << 24);
+
+    let mut means: Vec<f64> = (0..sample_size)
+        .map(|_| time_batch(&mut f, batch).as_secs_f64() / batch as f64)
+        .collect();
+    means.sort_by(f64::total_cmp);
+    let median = means[means.len() / 2];
+
+    println!(
+        "bench {name:<48} {:>14} ({} iters/sample, {} samples)",
+        format_time(median),
+        batch,
+        sample_size
+    );
+    MEASUREMENTS
+        .lock()
+        .expect("measurement lock")
+        .push(Measurement {
+            name,
+            mean_ns: median * 1e9,
+            iterations: batch * sample_size as u64,
+        });
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// `criterion_group!(name, fn_a, fn_b, ...)` — bundles bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// `criterion_main!(group_a, group_b)` — the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes `--bench`; a bare `--test` run (from
+            // `cargo test --benches`) should do nothing but succeed.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).map(black_box).sum::<u64>())
+        });
+        group.finish();
+        let ms = take_measurements();
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].name, "shim/spin");
+        assert!(ms[0].mean_ns > 0.0);
+    }
+
+    #[test]
+    fn group_prefixes_names() {
+        let mut c = Criterion::default();
+        c.benchmark_group("g")
+            .sample_size(2)
+            .bench_function("f", |b| b.iter(|| 1 + 1));
+        let ms = take_measurements();
+        assert!(ms.iter().any(|m| m.name == "g/f"));
+    }
+}

@@ -1,0 +1,336 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no registry access, so this crate vendors
+//! the subset of proptest's API the workspace's property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//!   `prop_filter` combinators;
+//! * strategies for integer and float ranges, tuples of strategies,
+//!   [`Just`], simplified regex string patterns (`".{0,200}"`,
+//!   `"[a-z0-9]{1,4}"`), [`collection::vec`](prop::collection::vec) and
+//!   [`any`];
+//! * the [`proptest!`] test-harness macro with
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`, plus
+//!   [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_oneof!`].
+//!
+//! Semantics differ from real proptest in one deliberate way: there is
+//! **no shrinking**. A failing case panics with its case index and seed,
+//! which — because generation is a pure function of the test name and
+//! case index — is enough to reproduce it deterministically.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+pub mod strategy;
+
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+
+/// Runner configuration (the `cases` knob only).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The deterministic generator handed to strategies.
+///
+/// Wraps the workspace's xoshiro-based [`SmallRng`]; each test case gets
+/// a stream derived from the test name and case index.
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Stream for case `case` of the test named `name` (FNV-1a over the
+    /// name, mixed with the case index).
+    pub fn for_case(name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(SmallRng::seed_from_u64(
+            h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+
+    /// Uniform draw in `[0, bound)`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        self.0.gen_range(0..bound.max(1))
+    }
+
+    /// Uniform `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.gen()
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.0.gen()
+    }
+
+    /// Uniform bool.
+    pub fn bool(&mut self) -> bool {
+        self.0.gen()
+    }
+}
+
+/// Types with a canonical strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy value.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy producing uniform booleans.
+#[derive(Clone, Copy, Debug)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn new_value(&self, rng: &mut TestRng) -> bool {
+        rng.bool()
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+/// The canonical strategy for `T` (only `bool` is needed in-tree).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+pub mod prop {
+    //! The `prop::` namespace (`prop::collection::vec`).
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+        /// Strategy for `Vec`s of `element` values with a length drawn
+        /// from `size` (a `usize` range).
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy::new(element, size.into())
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        ProptestConfig, TestRng,
+    };
+}
+
+/// Builds one value from a strategy expression (used by the
+/// [`proptest!`] expansion; not part of real proptest's API).
+pub fn generate<S: Strategy>(strategy: &S, rng: &mut TestRng) -> S::Value {
+    strategy.new_value(rng)
+}
+
+/// Runs `body` for every case, labelling panics with the case index so
+/// failures are reproducible without shrinking.
+pub fn run_cases(name: &str, config: &ProptestConfig, body: impl Fn(&mut TestRng)) {
+    for case in 0..config.cases as u64 {
+        let mut rng = TestRng::for_case(name, case);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = outcome {
+            eprintln!("proptest '{name}': case {case}/{} failed (regenerate with the same test name and case index)", config.cases);
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// `proptest! { #![proptest_config(...)] #[test] fn name(pat in strategy, ...) { body } ... }`
+///
+/// Each property becomes a plain `#[test]` running `cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal muncher for [`proptest!`]: one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            // Bind the strategies once; cases re-sample values only.
+            $crate::run_cases(stringify!($name), &config, |rng| {
+                $(let $pat = $crate::generate(&($strat), rng);)+
+                $body
+            });
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// `prop_assert!` — plain `assert!` (failures are not shrunk).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// `prop_assert_eq!` — plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// `prop_assert_ne!` — plain `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+/// `prop_oneof![s1, s2, ...]` — uniform choice among the listed
+/// strategies (all must share a `Value` type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case("ranges", 0);
+        for _ in 0..1000 {
+            let v = crate::generate(&(3usize..9), &mut rng);
+            assert!((3..9).contains(&v));
+            let f = crate::generate(&(-1.5f64..1.5), &mut rng);
+            assert!((-1.5..1.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_filter_flat_map_compose() {
+        let strat = (2usize..6)
+            .prop_flat_map(|n| (Just(n), 0..n))
+            .prop_filter("nonzero", |&(_, k)| k != 0)
+            .prop_map(|(n, k)| n * 10 + k);
+        let mut rng = TestRng::for_case("compose", 1);
+        for _ in 0..500 {
+            let v = crate::generate(&strat, &mut rng);
+            let (n, k) = (v / 10, v % 10);
+            assert!((2..6).contains(&n) && k >= 1 && k < n);
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_branches() {
+        let strat = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = TestRng::for_case("oneof", 2);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[crate::generate(&strat, &mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn vec_lengths_respect_size_range() {
+        let strat = prop::collection::vec(0usize..5, 2..7);
+        let mut rng = TestRng::for_case("vec", 3);
+        for _ in 0..300 {
+            let v = crate::generate(&strat, &mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn regex_char_class_pattern() {
+        let mut rng = TestRng::for_case("regex", 4);
+        for _ in 0..300 {
+            let s = crate::generate(&"[a-z0-9]{1,4}", &mut rng);
+            assert!((1..=4).contains(&s.chars().count()), "{s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn regex_dot_pattern_varies_length() {
+        let mut rng = TestRng::for_case("dot", 5);
+        let mut lens = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let s = crate::generate(&".{0,20}", &mut rng);
+            assert!(s.chars().count() <= 20);
+            lens.insert(s.chars().count());
+        }
+        assert!(lens.len() > 5, "lengths should vary: {lens:?}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro itself: multiple params, tuple patterns, trailing comma.
+        #[test]
+        fn macro_binds_patterns((a, b) in (0usize..10, 0usize..10), flip in any::<bool>(),) {
+            prop_assert!(a < 10 && b < 10);
+            let _ = flip;
+        }
+
+        #[test]
+        fn macro_supports_second_fn(x in 5u64..6) {
+            prop_assert_eq!(x, 5);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_name() {
+        let one: Vec<usize> = {
+            let mut rng = TestRng::for_case("det", 7);
+            (0..10)
+                .map(|_| crate::generate(&(0usize..1000), &mut rng))
+                .collect()
+        };
+        let two: Vec<usize> = {
+            let mut rng = TestRng::for_case("det", 7);
+            (0..10)
+                .map(|_| crate::generate(&(0usize..1000), &mut rng))
+                .collect()
+        };
+        assert_eq!(one, two);
+    }
+}

@@ -1,0 +1,384 @@
+//! The [`Strategy`] trait and its combinators.
+
+use crate::TestRng;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// How many times [`Filter`] retries before declaring the predicate too
+/// restrictive (matches real proptest's local-rejection spirit).
+const MAX_FILTER_RETRIES: usize = 1_000;
+
+/// A recipe for producing random values of one type.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy
+/// is just a deterministic function of the [`TestRng`] stream.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms every generated value with `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates an intermediate value, then generates from the strategy
+    /// `f` builds out of it (dependent generation).
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Discards values failing `pred`, re-drawing up to a retry cap.
+    ///
+    /// `reason` is reported if the cap is hit.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Type-erases the strategy (needed by [`prop_oneof!`](crate::prop_oneof)).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.new_value(rng)))
+    }
+}
+
+/// Strategies behind shared type-erased closures.
+#[derive(Clone)]
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Uniform choice among same-valued strategies.
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics on an empty option list.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len());
+        self.options[i].new_value(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn new_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.new_value(rng)).new_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..MAX_FILTER_RETRIES {
+            let v = self.inner.new_value(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter({:?}) rejected {MAX_FILTER_RETRIES} consecutive values",
+            self.reason
+        );
+    }
+}
+
+// --- numeric ranges ------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.next_u64() as u128 * span) >> 64;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+// --- tuples ---------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($S:ident/$idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(S0 / 0);
+tuple_strategy!(S0 / 0, S1 / 1);
+tuple_strategy!(S0 / 0, S1 / 1, S2 / 2);
+tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3);
+tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4);
+tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5);
+
+// --- collections ----------------------------------------------------------
+
+/// Length distribution for [`VecStrategy`].
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+/// See [`prop::collection::vec`](crate::prop::collection::vec).
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> VecStrategy<S> {
+    pub(crate) fn new(element: S, size: SizeRange) -> Self {
+        VecStrategy { element, size }
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.lo + rng.below(self.size.hi - self.size.lo);
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+// --- simplified regex string strategies -----------------------------------
+
+/// One parsed regex atom.
+enum Atom {
+    /// `.` — an arbitrary character.
+    Any,
+    /// `[a-z0-9_]` — one of an explicit set.
+    Class(Vec<char>),
+    /// A literal character.
+    Lit(char),
+}
+
+/// `(atom, min_repeats, max_repeats_inclusive)`.
+type Quantified = (Atom, usize, usize);
+
+/// Parses the tiny regex dialect the in-tree tests use: atoms are `.`,
+/// `[set]` (with `a-z` ranges) or literals; quantifiers are `{m,n}`,
+/// `{m}`, `*`, `+`, `?`. Anything fancier is rejected loudly rather
+/// than silently misgenerated.
+fn parse_pattern(pattern: &str) -> Vec<Quantified> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::Any,
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        None => panic!("unterminated [ in pattern {pattern:?}"),
+                        Some(']') => break,
+                        Some('-') if prev.is_some() && chars.peek() != Some(&']') => {
+                            let lo = prev.take().unwrap();
+                            let hi = chars.next().unwrap();
+                            for x in lo..=hi {
+                                set.push(x);
+                            }
+                        }
+                        Some(x) => {
+                            if let Some(p) = prev.replace(x) {
+                                set.push(p);
+                            }
+                        }
+                    }
+                }
+                if let Some(p) = prev {
+                    set.push(p);
+                }
+                assert!(!set.is_empty(), "empty character class in {pattern:?}");
+                Atom::Class(set)
+            }
+            '\\' => Atom::Lit(chars.next().expect("dangling escape")),
+            ']' | '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' => {
+                panic!("unsupported regex construct {c:?} in pattern {pattern:?}")
+            }
+            other => Atom::Lit(other),
+        };
+        // Optional quantifier.
+        let (lo, hi) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for x in chars.by_ref() {
+                    if x == '}' {
+                        break;
+                    }
+                    spec.push(x);
+                }
+                match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.parse().expect("bad {m,n} quantifier"),
+                        n.parse().expect("bad {m,n} quantifier"),
+                    ),
+                    None => {
+                        let m: usize = spec.parse().expect("bad {m} quantifier");
+                        (m, m)
+                    }
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        assert!(lo <= hi, "inverted quantifier in {pattern:?}");
+        atoms.push((atom, lo, hi));
+    }
+    atoms
+}
+
+/// Draws an "arbitrary" character for `.`: mostly printable ASCII, with
+/// occasional whitespace/control and non-ASCII code points so parsers
+/// meet hostile input.
+fn arbitrary_char(rng: &mut TestRng) -> char {
+    match rng.below(20) {
+        0 => '\n',
+        1 => '\t',
+        2 => {
+            // Any scalar value below the surrogate range.
+            char::from_u32(1 + rng.below(0xD7FF) as u32).unwrap_or('\u{FFFD}')
+        }
+        _ => (0x20u8 + rng.below(0x5F) as u8) as char,
+    }
+}
+
+/// String patterns act as strategies, as in real proptest (with the
+/// simplified dialect described on [`parse_pattern`]).
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        // Parsing per draw keeps the type zero-state; patterns are tiny.
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (atom, lo, hi) in &atoms {
+            let count = lo + rng.below(hi - lo + 1);
+            for _ in 0..count {
+                out.push(match atom {
+                    Atom::Any => arbitrary_char(rng),
+                    Atom::Class(set) => set[rng.below(set.len())],
+                    Atom::Lit(c) => *c,
+                });
+            }
+        }
+        out
+    }
+}

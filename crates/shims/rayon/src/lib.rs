@@ -1,0 +1,157 @@
+//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon)
+//! crate, exposing the small surface the statevector kernels use:
+//!
+//! * [`join`] — potentially-parallel two-way fork/join.
+//! * [`current_num_threads`] — parallelism available to `join`.
+//! * [`prelude::ParallelSliceMut::par_chunks_mut`] — data-parallel
+//!   mutation of disjoint slice chunks, driven to completion by
+//!   [`prelude::ParChunksMut::for_each`].
+//!
+//! Instead of a work-stealing pool this shim uses `std::thread::scope`:
+//! callers are expected to gate parallel dispatch behind a size
+//! threshold (the statevector kernels do), so the per-call thread-spawn
+//! cost is amortized over large chunks. On a single-core host every
+//! entry point degrades to straight serial execution with zero spawns.
+
+use std::num::NonZeroUsize;
+use std::sync::OnceLock;
+
+/// Number of worker threads `join` may fan out to (the host's available
+/// parallelism, cached on first use).
+pub fn current_num_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Runs both closures, in parallel when the host has more than one
+/// hardware thread, and returns both results.
+///
+/// Unlike real rayon there is no pool: the second closure runs on a
+/// freshly scoped thread. Callers should only invoke this above a work
+/// threshold that dwarfs a thread spawn (≈10 µs).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        (ra, rb)
+    } else {
+        std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            let rb = hb.join().expect("rayon-shim: joined task panicked");
+            (ra, rb)
+        })
+    }
+}
+
+pub mod prelude {
+    //! Traits imported by `use rayon::prelude::*`.
+
+    /// Lazily-parallel iterator over disjoint `&mut` chunks of a slice.
+    ///
+    /// Only [`for_each`](ParChunksMut::for_each) drives it; there is no
+    /// general `ParallelIterator` machinery in this shim.
+    pub struct ParChunksMut<'a, T> {
+        slice: &'a mut [T],
+        chunk: usize,
+    }
+
+    impl<'a, T: Send> ParChunksMut<'a, T> {
+        /// Applies `f` to every chunk, splitting the chunk list across
+        /// up to [`current_num_threads`](crate::current_num_threads)
+        /// scoped threads.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&mut [T]) + Send + Sync,
+        {
+            let threads = crate::current_num_threads();
+            let n_chunks = self.slice.len().div_ceil(self.chunk.max(1));
+            if threads <= 1 || n_chunks <= 1 {
+                for c in self.slice.chunks_mut(self.chunk) {
+                    f(c);
+                }
+                return;
+            }
+            // Hand each worker a contiguous run of whole chunks so each
+            // spawn covers many elements.
+            let workers = threads.min(n_chunks);
+            let chunks_per_worker = n_chunks.div_ceil(workers);
+            let stride = chunks_per_worker * self.chunk;
+            std::thread::scope(|s| {
+                for shard in self.slice.chunks_mut(stride) {
+                    let f = &f;
+                    let chunk = self.chunk;
+                    s.spawn(move || {
+                        for c in shard.chunks_mut(chunk) {
+                            f(c);
+                        }
+                    });
+                }
+            });
+        }
+    }
+
+    /// Parallel chunking of mutable slices.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Splits into chunks of `chunk_size` (last may be shorter) for
+        /// parallel mutation.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+            assert!(chunk_size > 0, "chunk size must be positive");
+            ParChunksMut {
+                slice: self,
+                chunk: chunk_size,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn join_nests() {
+        let ((a, b), c) = join(|| join(|| 1, || 2), || 3);
+        assert_eq!((a, b, c), (1, 2, 3));
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_element_once() {
+        let mut v = vec![1u64; 10_000];
+        v.par_chunks_mut(128).for_each(|c| {
+            for x in c {
+                *x += 1;
+            }
+        });
+        assert!(v.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn par_chunks_mut_with_oversized_chunk() {
+        let mut v = vec![0u8; 7];
+        v.par_chunks_mut(100).for_each(|c| c.fill(9));
+        assert_eq!(v, vec![9; 7]);
+    }
+}

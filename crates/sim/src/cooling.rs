@@ -218,13 +218,9 @@ mod tests {
         let p = ping_pong_program();
         let noise = NoiseModel::default();
         let times = GateTimeModel::default();
-        let every2 =
-            estimate_success_with_cooling(&p, &noise, &times, &CoolingPolicy::periodic(2));
+        let every2 = estimate_success_with_cooling(&p, &noise, &times, &CoolingPolicy::periodic(2));
         assert_eq!(every2.cooling_rounds, p.move_count() / 2);
-        assert_eq!(
-            every2.cooling_time_us,
-            every2.cooling_rounds as f64 * 400.0
-        );
+        assert_eq!(every2.cooling_time_us, every2.cooling_rounds as f64 * 400.0);
     }
 
     #[test]

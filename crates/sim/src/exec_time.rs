@@ -161,10 +161,7 @@ mod tests {
         c.xx(Qubit(14), Qubit(15), 0.1);
         let p = compile(&c, 16, 4);
         let exec = ExecTimeModel::default();
-        assert_eq!(
-            exec.travel_um(&p),
-            p.move_distance_ions() as f64 * 5.0
-        );
+        assert_eq!(exec.travel_um(&p), p.move_distance_ions() as f64 * 5.0);
     }
 
     #[test]

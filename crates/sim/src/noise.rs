@@ -77,7 +77,8 @@ impl NoiseModel {
     /// The value is clamped below at 0 — a sufficiently hot chain yields a
     /// certainly-failing gate rather than a negative fidelity.
     pub fn two_qubit_fidelity(&self, tau_us: f64, quanta: f64) -> f64 {
-        let f = 1.0 - self.gamma_per_us * tau_us
+        let f = 1.0
+            - self.gamma_per_us * tau_us
             - ((1.0 + self.epsilon).powf(2.0 * quanta + 1.0) - 1.0);
         f.max(0.0)
     }

@@ -1,0 +1,535 @@
+//! Pair-indexed gate kernels.
+//!
+//! Every kernel here avoids the naive pattern of scanning all `2^n`
+//! basis indices and branching on bit tests. Instead the amplitude
+//! array is decomposed *structurally* around the operand qubits:
+//!
+//! * For a target qubit `q`, the array splits into contiguous blocks of
+//!   `2^(q+1)` amplitudes whose lower half has bit `q = 0` and upper
+//!   half has bit `q = 1`. Zipping the halves enumerates exactly the
+//!   `2^(n-1)` amplitude pairs `(x, x | 2^q)` with no bit tests — the
+//!   block/offset decomposition is the `low | (high << (q+1))` splice
+//!   expressed as slice arithmetic, which the optimizer turns into
+//!   branch-free, vectorizable loops over contiguous memory.
+//! * Diagonal gates (`Rz`, `S`, `T`, `CZ`, `CPhase`, `ZZ`) never touch
+//!   amplitudes they would multiply by 1: they sweep only the affected
+//!   sub-runs, with the one or two phase factors computed **once**, not
+//!   per amplitude.
+//! * Permutation gates (`CNOT`, `SWAP`, `Toffoli`) move whole
+//!   contiguous runs with `swap_with_slice` (memcpy speed) whenever the
+//!   run structure allows.
+//!
+//! Above [`PARALLEL_THRESHOLD`] amplitudes (and when the host has more
+//! than one hardware thread) kernels recursively split the block range
+//! with `rayon::join`, so disjoint slices are processed concurrently
+//! without any unsafe aliasing.
+
+use crate::complex::Complex;
+
+/// Minimum number of amplitudes before a kernel considers going
+/// parallel. Below this the split/spawn overhead dominates; `2^16`
+/// amplitudes (1 MiB) keeps leaf work far above a thread spawn.
+pub const PARALLEL_THRESHOLD: usize = 1 << 16;
+
+/// Smallest per-task slice when recursively splitting parallel work.
+const PARALLEL_GRAIN: usize = 1 << 14;
+
+/// Whether a kernel invocation should fan out.
+#[inline]
+pub(crate) fn should_parallelize(len: usize, force: Option<bool>) -> bool {
+    match force {
+        // Forced on exercises the parallel code paths even on a
+        // single-core host (the splits then run inline).
+        Some(on) => on,
+        None => len >= PARALLEL_THRESHOLD && rayon::current_num_threads() > 1,
+    }
+}
+
+/// Every kernel refuses operands outside the register, matching the
+/// naive path's (and `State::apply`'s documented) panic instead of
+/// silently applying nothing when the operand stride exceeds the
+/// amplitude array.
+#[inline]
+fn assert_in_register(len: usize, stride: usize) {
+    assert!(
+        stride < len,
+        "gate operand outside the register ({len} amplitudes)"
+    );
+}
+
+// --- single-qubit kernels -------------------------------------------------
+
+/// Applies the 2×2 matrix `m` to target `q`: serial pair-indexed loop.
+pub fn apply_1q(amps: &mut [Complex], q: usize, m: [[Complex; 2]; 2]) {
+    let stride = 1usize << q;
+    assert_in_register(amps.len(), stride);
+    for block in amps.chunks_exact_mut(2 * stride) {
+        let (lo, hi) = block.split_at_mut(stride);
+        for (a0, a1) in lo.iter_mut().zip(hi.iter_mut()) {
+            let (x, y) = (*a0, *a1);
+            *a0 = m[0][0] * x + m[0][1] * y;
+            *a1 = m[1][0] * x + m[1][1] * y;
+        }
+    }
+}
+
+/// Parallel variant of [`apply_1q`]: splits the block range with
+/// `rayon::join` until slices reach the grain size.
+pub fn apply_1q_parallel(amps: &mut [Complex], q: usize, m: [[Complex; 2]; 2]) {
+    let stride = 1usize << q;
+    if amps.len() <= PARALLEL_GRAIN.max(2 * stride) {
+        // Either small enough, or a single block: split the block's
+        // halves and zip them in parallel segments.
+        if amps.len() == 2 * stride && amps.len() > PARALLEL_GRAIN {
+            let (lo, hi) = amps.split_at_mut(stride);
+            zip_rotate_parallel(lo, hi, m);
+        } else {
+            apply_1q(amps, q, m);
+        }
+        return;
+    }
+    // Multiple blocks: halve the block list (len is a multiple of
+    // 2*stride and a power of two, so mid stays block-aligned).
+    let mid = amps.len() / 2;
+    let (a, b) = amps.split_at_mut(mid);
+    rayon::join(|| apply_1q_parallel(a, q, m), || apply_1q_parallel(b, q, m));
+}
+
+/// Applies `m` to zipped halves of a single block, splitting both
+/// segments in lockstep.
+fn zip_rotate_parallel(lo: &mut [Complex], hi: &mut [Complex], m: [[Complex; 2]; 2]) {
+    if lo.len() <= PARALLEL_GRAIN / 2 {
+        for (a0, a1) in lo.iter_mut().zip(hi.iter_mut()) {
+            let (x, y) = (*a0, *a1);
+            *a0 = m[0][0] * x + m[0][1] * y;
+            *a1 = m[1][0] * x + m[1][1] * y;
+        }
+        return;
+    }
+    let mid = lo.len() / 2;
+    let (l0, l1) = lo.split_at_mut(mid);
+    let (h0, h1) = hi.split_at_mut(mid);
+    rayon::join(
+        || zip_rotate_parallel(l0, h0, m),
+        || zip_rotate_parallel(l1, h1, m),
+    );
+}
+
+/// Multiplies every amplitude whose bit `q` is set by `phase`
+/// (the `diag(1, phase)` gate: `Z`, `S`, `T`, …).
+pub fn phase_1q(amps: &mut [Complex], q: usize, phase: Complex) {
+    let stride = 1usize << q;
+    assert_in_register(amps.len(), stride);
+    for block in amps.chunks_exact_mut(2 * stride) {
+        for a in &mut block[stride..] {
+            *a = *a * phase;
+        }
+    }
+}
+
+/// `diag(p0, p1)` on qubit `q` — both factors precomputed (`Rz`).
+pub fn diag_1q(amps: &mut [Complex], q: usize, p0: Complex, p1: Complex) {
+    let stride = 1usize << q;
+    assert_in_register(amps.len(), stride);
+    for block in amps.chunks_exact_mut(2 * stride) {
+        let (lo, hi) = block.split_at_mut(stride);
+        for a in lo {
+            *a = *a * p0;
+        }
+        for a in hi {
+            *a = *a * p1;
+        }
+    }
+}
+
+/// Parallel contiguous sweep used by the diagonal kernels.
+///
+/// `amps.len()` is a power of two and `min_chunk` a power-of-two block
+/// size, so every chunk is block-aligned and the diagonal patterns
+/// (periodic in the block size) are offset-independent — `f` can treat
+/// each chunk as a standalone array.
+fn par_sweep(amps: &mut [Complex], min_chunk: usize, f: impl Fn(&mut [Complex]) + Send + Sync) {
+    use rayon::prelude::*;
+    let per_thread = amps.len() / rayon::current_num_threads().max(1);
+    let chunk = per_thread.next_power_of_two().max(min_chunk);
+    amps.par_chunks_mut(chunk).for_each(f);
+}
+
+/// Parallel variant of [`diag_1q`]. Only used when `2^(q+1)` divides
+/// the chunk size, which holds because chunks are power-of-two sized
+/// and at least `2^(q+1)`.
+pub fn diag_1q_parallel(amps: &mut [Complex], q: usize, p0: Complex, p1: Complex) {
+    let block = 2usize << q;
+    if amps.len() <= block.max(PARALLEL_GRAIN) {
+        diag_1q(amps, q, p0, p1);
+        return;
+    }
+    par_sweep(amps, block, move |chunk| diag_1q(chunk, q, p0, p1));
+}
+
+/// Parallel variant of [`phase_1q`].
+pub fn phase_1q_parallel(amps: &mut [Complex], q: usize, phase: Complex) {
+    let block = 2usize << q;
+    if amps.len() <= block.max(PARALLEL_GRAIN) {
+        phase_1q(amps, q, phase);
+        return;
+    }
+    par_sweep(amps, block, move |chunk| phase_1q(chunk, q, phase));
+}
+
+// --- two-qubit diagonal kernels -------------------------------------------
+
+/// Multiplies every amplitude with **both** bits `a` and `b` set by
+/// `phase` (`CZ`, `CPhase`). Touches exactly `2^(n-2)` amplitudes.
+pub fn phase_both(amps: &mut [Complex], a: usize, b: usize, phase: Complex) {
+    let (qlo, qhi) = (a.min(b), a.max(b));
+    let stride_hi = 1usize << qhi;
+    assert_in_register(amps.len(), stride_hi);
+    for block in amps.chunks_exact_mut(2 * stride_hi) {
+        // Upper half has bit qhi set; within it, sweep bit qlo set.
+        phase_1q(&mut block[stride_hi..], qlo, phase);
+    }
+}
+
+/// Parallel variant of [`phase_both`].
+pub fn phase_both_parallel(amps: &mut [Complex], a: usize, b: usize, phase: Complex) {
+    let (qlo, qhi) = (a.min(b), a.max(b));
+    let block = 2usize << qhi;
+    if amps.len() <= block.max(PARALLEL_GRAIN) {
+        phase_both(amps, a, b, phase);
+        return;
+    }
+    par_sweep(amps, block, move |chunk| phase_both(chunk, qlo, qhi, phase));
+}
+
+/// `ZZ(θ)`-style parity phase: amplitudes where bits `a` and `b` agree
+/// get `same`, where they differ get `diff`. Runs are contiguous with
+/// per-run constant factors — no per-amplitude parity computation.
+pub fn phase_parity(amps: &mut [Complex], a: usize, b: usize, same: Complex, diff: Complex) {
+    let (qlo, qhi) = (a.min(b), a.max(b));
+    let stride_hi = 1usize << qhi;
+    assert_in_register(amps.len(), stride_hi);
+    for block in amps.chunks_exact_mut(2 * stride_hi) {
+        let (lo, hi) = block.split_at_mut(stride_hi);
+        diag_1q(lo, qlo, same, diff);
+        diag_1q(hi, qlo, diff, same);
+    }
+}
+
+/// Parallel variant of [`phase_parity`].
+pub fn phase_parity_parallel(
+    amps: &mut [Complex],
+    a: usize,
+    b: usize,
+    same: Complex,
+    diff: Complex,
+) {
+    let (qlo, qhi) = (a.min(b), a.max(b));
+    let block = 2usize << qhi;
+    if amps.len() <= block.max(PARALLEL_GRAIN) {
+        phase_parity(amps, a, b, same, diff);
+        return;
+    }
+    par_sweep(amps, block, move |chunk| {
+        phase_parity(chunk, qlo, qhi, same, diff)
+    });
+}
+
+// --- permutation kernels --------------------------------------------------
+
+/// X on target `t` controlled on every bit of `ctrl_mask` being set
+/// (`ctrl_mask == 0` is a plain X; one bit is CNOT; two bits Toffoli).
+///
+/// Swaps the `t=0` / `t=1` amplitudes of every basis state satisfying
+/// the controls, moving whole contiguous runs where possible.
+pub fn controlled_x(amps: &mut [Complex], ctrl_mask: usize, t: usize) {
+    let stride = 1usize << t;
+    assert_in_register(amps.len(), stride.max(ctrl_mask));
+    let low_ctrl = ctrl_mask & (stride - 1);
+    let high_ctrl = ctrl_mask & !(2 * stride - 1);
+    debug_assert_eq!(low_ctrl | high_ctrl, ctrl_mask, "control on target bit");
+    for (bi, block) in amps.chunks_exact_mut(2 * stride).enumerate() {
+        let base = bi * 2 * stride;
+        if base & high_ctrl != high_ctrl {
+            continue;
+        }
+        let (lo, hi) = block.split_at_mut(stride);
+        if low_ctrl == 0 {
+            lo.swap_with_slice(hi);
+        } else {
+            // Only offsets with every low control bit set participate.
+            swap_masked(lo, hi, low_ctrl);
+        }
+    }
+}
+
+/// Swaps `lo[j] ↔ hi[j]` for every offset `j` with all bits of `mask`
+/// set, moving the longest contiguous runs the mask allows.
+fn swap_masked(lo: &mut [Complex], hi: &mut [Complex], mask: usize) {
+    // Runs below the lowest control bit are contiguous.
+    let run = 1usize << mask.trailing_zeros();
+    let step = 2 * run;
+    let mut j = run; // first offset with the lowest control bit set
+    while j < lo.len() {
+        if j & mask == mask {
+            lo[j..j + run].swap_with_slice(&mut hi[j..j + run]);
+        }
+        j += step;
+    }
+}
+
+/// SWAP of qubits `a` and `b`: exchanges the `(a=1, b=0)` and
+/// `(a=0, b=1)` amplitude sets as contiguous runs.
+pub fn swap_qubits(amps: &mut [Complex], a: usize, b: usize) {
+    let (qlo, qhi) = (a.min(b), a.max(b));
+    let (slo, shi) = (1usize << qlo, 1usize << qhi);
+    assert_in_register(amps.len(), shi);
+    for block in amps.chunks_exact_mut(2 * shi) {
+        let (lo, hi) = block.split_at_mut(shi);
+        // lo: bit qhi = 0; hi: bit qhi = 1. Swap lo's qlo=1 runs with
+        // hi's qlo=0 runs.
+        for (lc, hc) in lo
+            .chunks_exact_mut(2 * slo)
+            .zip(hi.chunks_exact_mut(2 * slo))
+        {
+            let (_, l1) = lc.split_at_mut(slo);
+            let (h0, _) = hc.split_at_mut(slo);
+            l1.swap_with_slice(h0);
+        }
+    }
+}
+
+// --- fused two-qubit block kernels ----------------------------------------
+
+/// Applies a general 4×4 matrix to the qubit pair `(qlo, qhi)` with
+/// `qlo < qhi` and the matrix in the `v = bit(qlo) + 2·bit(qhi)`
+/// convention (callers transpose beforehand if needed).
+///
+/// One pass over the state replaces every pass the fused block absorbed.
+pub fn apply_2q(amps: &mut [Complex], qlo: usize, qhi: usize, m: [[Complex; 4]; 4]) {
+    debug_assert!(qlo < qhi);
+    let (slo, shi) = (1usize << qlo, 1usize << qhi);
+    assert_in_register(amps.len(), shi);
+    for block in amps.chunks_exact_mut(2 * shi) {
+        let (lo, hi) = block.split_at_mut(shi);
+        for (lc, hc) in lo
+            .chunks_exact_mut(2 * slo)
+            .zip(hi.chunks_exact_mut(2 * slo))
+        {
+            let (l0, l1) = lc.split_at_mut(slo);
+            let (h0, h1) = hc.split_at_mut(slo);
+            for (((a0, a1), a2), a3) in l0
+                .iter_mut()
+                .zip(l1.iter_mut())
+                .zip(h0.iter_mut())
+                .zip(h1.iter_mut())
+            {
+                let v = [*a0, *a1, *a2, *a3];
+                *a0 = m[0][0] * v[0] + m[0][1] * v[1] + m[0][2] * v[2] + m[0][3] * v[3];
+                *a1 = m[1][0] * v[0] + m[1][1] * v[1] + m[1][2] * v[2] + m[1][3] * v[3];
+                *a2 = m[2][0] * v[0] + m[2][1] * v[1] + m[2][2] * v[2] + m[2][3] * v[3];
+                *a3 = m[3][0] * v[0] + m[3][1] * v[1] + m[3][2] * v[2] + m[3][3] * v[3];
+            }
+        }
+    }
+}
+
+/// Parallel variant of [`apply_2q`]: splits the top-level block range.
+pub fn apply_2q_parallel(amps: &mut [Complex], qlo: usize, qhi: usize, m: [[Complex; 4]; 4]) {
+    let block = 2usize << qhi;
+    if amps.len() <= block.max(PARALLEL_GRAIN) {
+        apply_2q(amps, qlo, qhi, m);
+        return;
+    }
+    let mid = amps.len() / 2;
+    let (x, y) = amps.split_at_mut(mid);
+    rayon::join(
+        || apply_2q_parallel(x, qlo, qhi, m),
+        || apply_2q_parallel(y, qlo, qhi, m),
+    );
+}
+
+/// Diagonal 4×4 `diag(d[0], d[1], d[2], d[3])` on `(qlo, qhi)`,
+/// `qlo < qhi`, same index convention as [`apply_2q`]: four contiguous
+/// run classes, one precomputed factor each.
+pub fn diag_2q(amps: &mut [Complex], qlo: usize, qhi: usize, d: [Complex; 4]) {
+    debug_assert!(qlo < qhi);
+    let shi = 1usize << qhi;
+    assert_in_register(amps.len(), shi);
+    for block in amps.chunks_exact_mut(2 * shi) {
+        let (lo, hi) = block.split_at_mut(shi);
+        diag_1q(lo, qlo, d[0], d[1]);
+        diag_1q(hi, qlo, d[2], d[3]);
+    }
+}
+
+/// Parallel variant of [`diag_2q`].
+pub fn diag_2q_parallel(amps: &mut [Complex], qlo: usize, qhi: usize, d: [Complex; 4]) {
+    let block = 2usize << qhi;
+    if amps.len() <= block.max(PARALLEL_GRAIN) {
+        diag_2q(amps, qlo, qhi, d);
+        return;
+    }
+    par_sweep(amps, block, move |chunk| diag_2q(chunk, qlo, qhi, d));
+}
+
+/// Multiplies every amplitude by `factor` (the deferred global phase
+/// a fused run accumulates).
+pub fn scale_all(amps: &mut [Complex], factor: Complex) {
+    for a in amps {
+        *a = *a * factor;
+    }
+}
+
+/// Parallel variant of [`scale_all`].
+pub fn scale_all_parallel(amps: &mut [Complex], factor: Complex) {
+    if amps.len() <= PARALLEL_GRAIN {
+        scale_all(amps, factor);
+        return;
+    }
+    par_sweep(amps, 1, move |chunk| scale_all(chunk, factor));
+}
+
+// --- the XX Mølmer–Sørensen kernel ----------------------------------------
+
+/// `XX(θ) = exp(-iθ/2·X⊗X)` on qubits `a`, `b`: rotates the amplitude
+/// pairs `(x, x ^ (2^a | 2^b))` by `cos = cos(θ/2)`,
+/// `isin = -i·sin(θ/2)`, both precomputed by the caller.
+pub fn xx_rotate(amps: &mut [Complex], a: usize, b: usize, cos: Complex, isin: Complex) {
+    let (qlo, qhi) = (a.min(b), a.max(b));
+    let (slo, shi) = (1usize << qlo, 1usize << qhi);
+    assert_in_register(amps.len(), shi);
+    for block in amps.chunks_exact_mut(2 * shi) {
+        let (lo, hi) = block.split_at_mut(shi);
+        for (lc, hc) in lo
+            .chunks_exact_mut(2 * slo)
+            .zip(hi.chunks_exact_mut(2 * slo))
+        {
+            let (l0, l1) = lc.split_at_mut(slo);
+            let (h0, h1) = hc.split_at_mut(slo);
+            // Orbits: (qlo=0,qhi=0) ↔ (1,1) and (1,0) ↔ (0,1).
+            rotate_zip(l0, h1, cos, isin);
+            rotate_zip(l1, h0, cos, isin);
+        }
+    }
+}
+
+/// Applies the symmetric 2×2 rotation `[[cos, isin], [isin, cos]]` to
+/// zipped slices.
+#[inline]
+fn rotate_zip(xs: &mut [Complex], ys: &mut [Complex], cos: Complex, isin: Complex) {
+    for (x, y) in xs.iter_mut().zip(ys.iter_mut()) {
+        let (ax, ay) = (*x, *y);
+        *x = cos * ax + isin * ay;
+        *y = cos * ay + isin * ax;
+    }
+}
+
+/// Parallel variant of [`xx_rotate`]: splits the top-level block range.
+pub fn xx_rotate_parallel(amps: &mut [Complex], a: usize, b: usize, cos: Complex, isin: Complex) {
+    let qhi = a.max(b);
+    let block = 2usize << qhi;
+    if amps.len() <= block.max(PARALLEL_GRAIN) {
+        xx_rotate(amps, a, b, cos, isin);
+        return;
+    }
+    let mid = amps.len() / 2;
+    let (x, y) = amps.split_at_mut(mid);
+    rayon::join(
+        || xx_rotate_parallel(x, a, b, cos, isin),
+        || xx_rotate_parallel(y, a, b, cos, isin),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn amp(re: f64) -> Complex {
+        Complex::new(re, 0.0)
+    }
+
+    fn ramp(n: usize) -> Vec<Complex> {
+        (0..n).map(|i| amp(i as f64)).collect()
+    }
+
+    #[test]
+    fn phase_both_hits_exactly_the_11_subspace() {
+        let mut v = ramp(16);
+        phase_both(&mut v, 0, 2, Complex::new(-1.0, 0.0));
+        for (x, a) in v.iter().enumerate() {
+            let expect = if x & 0b101 == 0b101 {
+                -(x as f64)
+            } else {
+                x as f64
+            };
+            assert_eq!(a.re, expect, "index {x}");
+        }
+    }
+
+    #[test]
+    fn controlled_x_is_cnot() {
+        for (c, t) in [(0usize, 2usize), (2, 0), (1, 3), (3, 1)] {
+            let mut v = ramp(16);
+            controlled_x(&mut v, 1 << c, t);
+            for (x, a) in v.iter().enumerate() {
+                let src = if x & (1 << c) != 0 { x ^ (1 << t) } else { x };
+                assert_eq!(a.re, src as f64, "c={c} t={t} index {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn controlled_x_two_controls_is_toffoli() {
+        let mut v = ramp(8);
+        controlled_x(&mut v, 0b011, 2);
+        for (x, a) in v.iter().enumerate() {
+            let src = if x & 0b011 == 0b011 { x ^ 0b100 } else { x };
+            assert_eq!(a.re, src as f64, "index {x}");
+        }
+    }
+
+    #[test]
+    fn swap_qubits_permutes_indices() {
+        for (a, b) in [(0usize, 1usize), (0, 3), (2, 3), (3, 0)] {
+            let mut v = ramp(16);
+            swap_qubits(&mut v, a, b);
+            for (x, amp_x) in v.iter().enumerate() {
+                let ba = (x >> a) & 1;
+                let bb = (x >> b) & 1;
+                let src = (x & !(1 << a) & !(1 << b)) | (bb << a) | (ba << b);
+                assert_eq!(amp_x.re, src as f64, "a={a} b={b} index {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn parity_phase_matches_bit_arithmetic() {
+        let mut v = ramp(32);
+        let same = Complex::cis(0.3);
+        let diff = Complex::cis(-0.3);
+        phase_parity(&mut v, 1, 3, same, diff);
+        for (x, a) in v.iter().enumerate() {
+            let p = ((x >> 1) ^ (x >> 3)) & 1;
+            let expect = amp(x as f64) * if p == 0 { same } else { diff };
+            assert!((a.re - expect.re).abs() < 1e-12 && (a.im - expect.im).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_1q_agree() {
+        let m = [
+            [Complex::new(0.6, 0.0), Complex::new(0.0, 0.8)],
+            [Complex::new(0.0, 0.8), Complex::new(0.6, 0.0)],
+        ];
+        for q in 0..6 {
+            let mut a: Vec<Complex> = (0..64)
+                .map(|i| Complex::new(i as f64, -(i as f64)))
+                .collect();
+            let mut b = a.clone();
+            apply_1q(&mut a, q, m);
+            apply_1q_parallel(&mut b, q, m);
+            assert_eq!(a, b, "q={q}");
+        }
+    }
+}

@@ -22,7 +22,10 @@
 //! ```
 
 pub mod complex;
+pub mod fuse;
+pub mod kernels;
+pub mod naive;
 pub mod state;
 
 pub use complex::Complex;
-pub use state::State;
+pub use state::{RunOptions, State, StateError, DEFAULT_MAX_QUBITS};

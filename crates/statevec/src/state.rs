@@ -7,11 +7,88 @@
 //! * `XX(θ) = exp(-iθ/2 X⊗X)` (the Mølmer–Sørensen interaction; `θ = ±π/2`
 //!   is maximally entangling), `ZZ(θ) = exp(-iθ/2 Z⊗Z)`.
 //! * `CPhase(λ) = diag(1, 1, 1, e^{iλ})`.
+//!
+//! Gate application dispatches to the pair-indexed kernels of
+//! [`crate::kernels`] (see `crates/statevec/README.md` for the indexing
+//! scheme); the seed's branchy full-scan implementation is retained in
+//! [`crate::naive`] as the reference path.
 
 use crate::complex::Complex;
+use crate::fuse::{self, FusedOp};
+use crate::kernels;
+use crate::naive;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use tilt_circuit::{Circuit, Gate};
+
+/// Default register cap for the panicking constructors: `2^24`
+/// amplitudes is 256 MiB, the seed's historical limit.
+pub const DEFAULT_MAX_QUBITS: usize = 24;
+
+/// Why a state could not be constructed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StateError {
+    /// The register exceeds the configured qubit cap.
+    TooManyQubits {
+        /// Requested register width.
+        n_qubits: usize,
+        /// The cap it exceeded.
+        cap: usize,
+    },
+    /// The amplitude vector could not be allocated.
+    AllocationFailed {
+        /// Number of amplitudes requested (`2^n`).
+        amplitudes: usize,
+    },
+}
+
+impl std::fmt::Display for StateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            StateError::TooManyQubits { n_qubits, cap } => {
+                write!(
+                    f,
+                    "dense simulation of {n_qubits} qubits exceeds the cap of {cap}"
+                )
+            }
+            StateError::AllocationFailed { amplitudes } => {
+                write!(f, "could not allocate {amplitudes} amplitudes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+/// How [`State::run_with`] should execute a circuit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Collapse runs of single-qubit gates before application
+    /// (semantically transparent; see [`crate::fuse`]).
+    pub fuse: bool,
+    /// `None` — parallelize when the state is large and the host has
+    /// threads (the default); `Some(true)` / `Some(false)` — force the
+    /// choice (used by the equivalence tests to pin each path).
+    pub parallel: Option<bool>,
+}
+
+impl RunOptions {
+    /// The default execution mode: fusion on, parallelism automatic.
+    pub fn optimized() -> Self {
+        RunOptions {
+            fuse: true,
+            parallel: None,
+        }
+    }
+
+    /// Gate-at-a-time serial execution through the optimized kernels.
+    pub fn serial_unfused() -> Self {
+        RunOptions {
+            fuse: false,
+            parallel: Some(false),
+        }
+    }
+}
 
 /// A pure quantum state over `n` qubits (`2^n` amplitudes).
 #[derive(Clone, Debug, PartialEq)]
@@ -25,12 +102,48 @@ impl State {
     ///
     /// # Panics
     ///
-    /// Panics when `n_qubits > 24` (the dense vector would not fit).
+    /// Panics when `n_qubits > `[`DEFAULT_MAX_QUBITS`] (the dense vector
+    /// would not fit); use [`State::try_zero_with_cap`] for a checked,
+    /// configurable-cap construction.
     pub fn zero(n_qubits: usize) -> Self {
-        assert!(n_qubits <= 24, "dense simulation beyond 24 qubits");
-        let mut amps = vec![Complex::ZERO; 1 << n_qubits];
+        State::try_zero(n_qubits).expect("dense simulation beyond the default qubit cap")
+    }
+
+    /// The all-zeros state, checked against [`DEFAULT_MAX_QUBITS`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::TooManyQubits`] above the cap and
+    /// [`StateError::AllocationFailed`] when the allocator refuses the
+    /// amplitude vector.
+    pub fn try_zero(n_qubits: usize) -> Result<Self, StateError> {
+        State::try_zero_with_cap(n_qubits, DEFAULT_MAX_QUBITS)
+    }
+
+    /// The all-zeros state with a caller-chosen qubit cap.
+    ///
+    /// The cap is a policy knob, not a hardware bound: callers that
+    /// know their memory budget may raise it (every qubit doubles the
+    /// 16-byte-per-amplitude allocation). The allocation itself is
+    /// checked, so a hopeless request fails with an `Err` instead of
+    /// aborting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::TooManyQubits`] when `n_qubits > cap` or
+    /// `2^n_qubits` overflows `usize`, and
+    /// [`StateError::AllocationFailed`] when the allocator refuses.
+    pub fn try_zero_with_cap(n_qubits: usize, cap: usize) -> Result<Self, StateError> {
+        if n_qubits > cap || n_qubits >= usize::BITS as usize {
+            return Err(StateError::TooManyQubits { n_qubits, cap });
+        }
+        let len = 1usize << n_qubits;
+        let mut amps = Vec::new();
+        amps.try_reserve_exact(len)
+            .map_err(|_| StateError::AllocationFailed { amplitudes: len })?;
+        amps.resize(len, Complex::ZERO);
         amps[0] = Complex::ONE;
-        State { n_qubits, amps }
+        Ok(State { n_qubits, amps })
     }
 
     /// A basis state `|x⟩`.
@@ -99,168 +212,79 @@ impl State {
         self.amps.iter().map(|a| a.norm_sq()).sum()
     }
 
-    /// Applies `gate` in place.
+    /// Applies `gate` in place through the optimized kernels
+    /// (parallelizing automatically on large states).
     ///
     /// # Panics
     ///
     /// Panics on [`Gate::Measure`] (this is a pure-state verifier) and on
     /// operands outside the register.
     pub fn apply(&mut self, gate: &Gate) {
-        match *gate {
-            Gate::Barrier => {}
-            Gate::Measure(_) => panic!("state-vector verifier cannot measure"),
-            Gate::H(q) => {
-                let s = std::f64::consts::FRAC_1_SQRT_2;
-                self.apply_1q(
-                    q.index(),
-                    [
-                        [Complex::new(s, 0.0), Complex::new(s, 0.0)],
-                        [Complex::new(s, 0.0), Complex::new(-s, 0.0)],
-                    ],
-                );
-            }
-            Gate::X(q) => self.apply_1q(
-                q.index(),
-                [[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]],
-            ),
-            Gate::Y(q) => self.apply_1q(
-                q.index(),
-                [
-                    [Complex::ZERO, -Complex::I],
-                    [Complex::I, Complex::ZERO],
-                ],
-            ),
-            Gate::Z(q) => self.phase_if(|x, m| x & m != 0, q.index(), Complex::new(-1.0, 0.0)),
-            Gate::S(q) => self.phase_if(|x, m| x & m != 0, q.index(), Complex::I),
-            Gate::Sdg(q) => self.phase_if(|x, m| x & m != 0, q.index(), -Complex::I),
-            Gate::T(q) => self.phase_if(
-                |x, m| x & m != 0,
-                q.index(),
-                Complex::cis(std::f64::consts::FRAC_PI_4),
-            ),
-            Gate::Tdg(q) => self.phase_if(
-                |x, m| x & m != 0,
-                q.index(),
-                Complex::cis(-std::f64::consts::FRAC_PI_4),
-            ),
-            Gate::SqrtX(q) => {
-                // √X = e^{iπ/4}·Rx(π/2).
-                let p = Complex::new(0.5, 0.5);
-                let m = Complex::new(0.5, -0.5);
-                self.apply_1q(q.index(), [[p, m], [m, p]]);
-            }
-            Gate::SqrtY(q) => {
-                // √Y = e^{iπ/4}·Ry(π/2).
-                let p = Complex::new(0.5, 0.5);
-                self.apply_1q(q.index(), [[p, -p], [p, p]]);
-            }
-            Gate::Rx(q, t) => {
-                let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
-                self.apply_1q(
-                    q.index(),
-                    [
-                        [Complex::new(c, 0.0), Complex::new(0.0, -s)],
-                        [Complex::new(0.0, -s), Complex::new(c, 0.0)],
-                    ],
-                );
-            }
-            Gate::Ry(q, t) => {
-                let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
-                self.apply_1q(
-                    q.index(),
-                    [
-                        [Complex::new(c, 0.0), Complex::new(-s, 0.0)],
-                        [Complex::new(s, 0.0), Complex::new(c, 0.0)],
-                    ],
-                );
-            }
-            Gate::Rz(q, t) => {
-                let m = 1usize << q.index();
-                for (x, a) in self.amps.iter_mut().enumerate() {
-                    let phase = if x & m == 0 { -t / 2.0 } else { t / 2.0 };
-                    *a = *a * Complex::cis(phase);
-                }
-            }
-            Gate::Cnot(c, t) => {
-                let (mc, mt) = (1usize << c.index(), 1usize << t.index());
-                for x in 0..self.amps.len() {
-                    if x & mc != 0 && x & mt == 0 {
-                        self.amps.swap(x, x | mt);
-                    }
-                }
-            }
-            Gate::Cz(a, b) => {
-                let m = (1usize << a.index()) | (1usize << b.index());
-                for (x, amp) in self.amps.iter_mut().enumerate() {
-                    if x & m == m {
-                        *amp = -*amp;
-                    }
-                }
-            }
-            Gate::Cphase(a, b, lambda) => {
-                let m = (1usize << a.index()) | (1usize << b.index());
-                let phase = Complex::cis(lambda);
-                for (x, amp) in self.amps.iter_mut().enumerate() {
-                    if x & m == m {
-                        *amp = *amp * phase;
-                    }
-                }
-            }
-            Gate::Zz(a, b, t) => {
-                let (ma, mb) = (1usize << a.index(), 1usize << b.index());
-                let same = Complex::cis(-t / 2.0);
-                let diff = Complex::cis(t / 2.0);
-                for (x, amp) in self.amps.iter_mut().enumerate() {
-                    let parity = ((x & ma != 0) as u8) ^ ((x & mb != 0) as u8);
-                    *amp = *amp * if parity == 0 { same } else { diff };
-                }
-            }
-            Gate::Xx(a, b, t) => {
-                let mask = (1usize << a.index()) | (1usize << b.index());
-                let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
-                let cos = Complex::new(c, 0.0);
-                let isin = Complex::new(0.0, -s);
-                for x in 0..self.amps.len() {
-                    let y = x ^ mask;
-                    if x < y {
-                        let (ax, ay) = (self.amps[x], self.amps[y]);
-                        self.amps[x] = cos * ax + isin * ay;
-                        self.amps[y] = cos * ay + isin * ax;
-                    }
-                }
-            }
-            Gate::Swap(a, b) => {
-                let (ma, mb) = (1usize << a.index(), 1usize << b.index());
-                for x in 0..self.amps.len() {
-                    if x & ma != 0 && x & mb == 0 {
-                        self.amps.swap(x, (x & !ma) | mb);
-                    }
-                }
-            }
-            Gate::Toffoli(c0, c1, t) => {
-                let (m0, m1, mt) = (
-                    1usize << c0.index(),
-                    1usize << c1.index(),
-                    1usize << t.index(),
-                );
-                for x in 0..self.amps.len() {
-                    if x & m0 != 0 && x & m1 != 0 && x & mt == 0 {
-                        self.amps.swap(x, x | mt);
-                    }
-                }
-            }
-        }
+        let parallel = kernels::should_parallelize(self.amps.len(), None);
+        apply_kernel(&mut self.amps, gate, parallel);
     }
 
-    /// Applies every gate of `circuit` in program order, consuming and
-    /// returning the state for chaining.
-    pub fn run(mut self, circuit: &Circuit) -> State {
+    /// Applies `gate` with the retained seed implementation (full-scan
+    /// reference path; see [`crate::naive`]).
+    ///
+    /// # Panics
+    ///
+    /// As [`State::apply`].
+    pub fn apply_naive(&mut self, gate: &Gate) {
+        naive::apply_naive(&mut self.amps, gate);
+    }
+
+    /// Applies every gate of `circuit` in program order through the
+    /// optimized pipeline (single-qubit fusion plus pair-indexed
+    /// kernels), consuming and returning the state for chaining.
+    pub fn run(self, circuit: &Circuit) -> State {
+        self.run_with(circuit, RunOptions::optimized())
+    }
+
+    /// [`State::run`] with explicit execution options.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the circuit is wider than the state.
+    pub fn run_with(mut self, circuit: &Circuit, opts: RunOptions) -> State {
+        assert!(
+            circuit.n_qubits() <= self.n_qubits,
+            "circuit wider than state"
+        );
+        let parallel = kernels::should_parallelize(self.amps.len(), opts.parallel);
+        if opts.fuse {
+            // Unit-modulus factors common to a whole block are deferred
+            // into one end-of-run sweep: the unitary applied is
+            // identical (up to f64 rounding), but e.g. the ubiquitous
+            // `e^{-iλ/4}·diag(1,1,1,e^{iλ})` fused controlled-phase
+            // block touches 2^(n-2) amplitudes instead of 2^n.
+            let mut global = Complex::ONE;
+            for op in fuse::fuse(circuit) {
+                apply_fused(&mut self.amps, op, parallel, &mut global);
+            }
+            if !close(global, Complex::ONE) {
+                if parallel {
+                    kernels::scale_all_parallel(&mut self.amps, global);
+                } else {
+                    kernels::scale_all(&mut self.amps, global);
+                }
+            }
+        } else {
+            for g in circuit.iter() {
+                apply_kernel(&mut self.amps, g, parallel);
+            }
+        }
+        self
+    }
+
+    /// Runs `circuit` through the retained naive reference path.
+    pub fn run_naive(mut self, circuit: &Circuit) -> State {
         assert!(
             circuit.n_qubits() <= self.n_qubits,
             "circuit wider than state"
         );
         for g in circuit.iter() {
-            self.apply(g);
+            naive::apply_naive(&mut self.amps, g);
         }
         self
     }
@@ -294,29 +318,204 @@ impl State {
             amps: out,
         }
     }
+}
 
-    /// Applies a general single-qubit matrix `[[m00, m01], [m10, m11]]`.
-    fn apply_1q(&mut self, q: usize, m: [[Complex; 2]; 2]) {
-        let mask = 1usize << q;
-        for x in 0..self.amps.len() {
-            if x & mask == 0 {
-                let y = x | mask;
-                let (a0, a1) = (self.amps[x], self.amps[y]);
-                self.amps[x] = m[0][0] * a0 + m[0][1] * a1;
-                self.amps[y] = m[1][0] * a0 + m[1][1] * a1;
+/// `|a - b| < 1e-15` — fp-rounding-level agreement between unit-modulus
+/// fusion products. Genuinely different phases differ by far more, so
+/// this only classifies entries that drifted apart by accumulated
+/// rounding; treating them as equal perturbs amplitudes below the 1e-12
+/// equivalence tolerance even across hundreds of blocks.
+#[inline]
+fn close(a: Complex, b: Complex) -> bool {
+    (a - b).norm_sq() < 1e-30
+}
+
+/// Applies one fused op, deferring block-common unit-modulus factors
+/// into `global`.
+fn apply_fused(amps: &mut [Complex], op: FusedOp, parallel: bool, global: &mut Complex) {
+    match op {
+        FusedOp::OneQ { q, m } => {
+            if fuse::is_diagonal2(&m) {
+                // diag(d0, d1) = d0 · diag(1, d1/d0): half the touches.
+                // |d0| = 1 up to rounding, so conj is the inverse.
+                *global = *global * m[0][0];
+                let rel = m[1][1] * m[0][0].conj();
+                if !close(rel, Complex::ONE) {
+                    phase_dispatch(amps, q, rel, parallel);
+                }
+            } else {
+                apply_1q_dispatch(amps, q, m, parallel);
+            }
+        }
+        FusedOp::TwoQ { a, b, m } => {
+            let (qlo, qhi, m) = if a < b {
+                (a, b, m)
+            } else {
+                (b, a, fuse::transpose_qubits(m))
+            };
+            if fuse::is_diagonal4(&m) {
+                let d = [m[0][0], m[1][1], m[2][2], m[3][3]];
+                *global = *global * d[0];
+                let rel = [
+                    Complex::ONE,
+                    d[1] * d[0].conj(),
+                    d[2] * d[0].conj(),
+                    d[3] * d[0].conj(),
+                ];
+                if close(rel[1], Complex::ONE) && close(rel[2], Complex::ONE) {
+                    // The controlled-phase shape: only the |11⟩ subspace
+                    // moves — a 2^(n-2) sweep (or nothing at all).
+                    if !close(rel[3], Complex::ONE) {
+                        if parallel {
+                            kernels::phase_both_parallel(amps, qlo, qhi, rel[3]);
+                        } else {
+                            kernels::phase_both(amps, qlo, qhi, rel[3]);
+                        }
+                    }
+                } else if parallel {
+                    kernels::diag_2q_parallel(amps, qlo, qhi, rel);
+                } else {
+                    kernels::diag_2q(amps, qlo, qhi, rel);
+                }
+            } else if parallel {
+                kernels::apply_2q_parallel(amps, qlo, qhi, m);
+            } else {
+                kernels::apply_2q(amps, qlo, qhi, m);
+            }
+        }
+        FusedOp::Passthrough(g) => apply_kernel(amps, &g, parallel),
+    }
+}
+
+/// Routes a single-qubit matrix to the diagonal or general kernel.
+fn apply_1q_dispatch(amps: &mut [Complex], q: usize, m: [[Complex; 2]; 2], parallel: bool) {
+    if fuse::is_diagonal2(&m) {
+        if parallel {
+            kernels::diag_1q_parallel(amps, q, m[0][0], m[1][1]);
+        } else {
+            kernels::diag_1q(amps, q, m[0][0], m[1][1]);
+        }
+    } else if parallel {
+        kernels::apply_1q_parallel(amps, q, m);
+    } else {
+        kernels::apply_1q(amps, q, m);
+    }
+}
+
+/// Optimized single-gate dispatch.
+/// True for multi-qubit gates whose operands repeat (`cx q, q` and
+/// friends — constructible from QASM, which only range-checks).
+fn has_repeated_operands(gate: &Gate) -> bool {
+    match *gate {
+        Gate::Cnot(a, b)
+        | Gate::Cz(a, b)
+        | Gate::Cphase(a, b, _)
+        | Gate::Zz(a, b, _)
+        | Gate::Xx(a, b, _)
+        | Gate::Swap(a, b) => a == b,
+        Gate::Toffoli(a, b, c) => a == b || b == c || a == c,
+        _ => false,
+    }
+}
+
+fn apply_kernel(amps: &mut [Complex], gate: &Gate, parallel: bool) {
+    // The structured kernels assume distinct operand bits; degenerate
+    // gates keep the seed's (naive-path) semantics — e.g. `Cz(q, q)`
+    // acts as `Z(q)`, `Cnot(q, q)` as identity.
+    if has_repeated_operands(gate) {
+        naive::apply_naive(amps, gate);
+        return;
+    }
+    match *gate {
+        Gate::Barrier => {}
+        Gate::Measure(_) => panic!("state-vector verifier cannot measure"),
+        // Diagonal single-qubit gates: phase sweeps over half the array.
+        Gate::Z(q) => phase_dispatch(amps, q.index(), Complex::new(-1.0, 0.0), parallel),
+        Gate::S(q) => phase_dispatch(amps, q.index(), Complex::I, parallel),
+        Gate::Sdg(q) => phase_dispatch(amps, q.index(), -Complex::I, parallel),
+        Gate::T(q) => phase_dispatch(
+            amps,
+            q.index(),
+            Complex::cis(std::f64::consts::FRAC_PI_4),
+            parallel,
+        ),
+        Gate::Tdg(q) => phase_dispatch(
+            amps,
+            q.index(),
+            Complex::cis(-std::f64::consts::FRAC_PI_4),
+            parallel,
+        ),
+        Gate::Rz(q, t) => {
+            let (lo, hi) = (Complex::cis(-t / 2.0), Complex::cis(t / 2.0));
+            if parallel {
+                kernels::diag_1q_parallel(amps, q.index(), lo, hi);
+            } else {
+                kernels::diag_1q(amps, q.index(), lo, hi);
+            }
+        }
+        // Remaining single-qubit unitaries: pair-indexed 2×2 kernel.
+        Gate::H(_)
+        | Gate::X(_)
+        | Gate::Y(_)
+        | Gate::SqrtX(_)
+        | Gate::SqrtY(_)
+        | Gate::Rx(..)
+        | Gate::Ry(..) => {
+            let (q, m) = fuse::matrix_1q(gate).expect("single-qubit gate has a matrix");
+            apply_1q_dispatch(amps, q, m, parallel);
+        }
+        // Two-qubit diagonal gates.
+        Gate::Cz(a, b) => {
+            let phase = Complex::new(-1.0, 0.0);
+            if parallel {
+                kernels::phase_both_parallel(amps, a.index(), b.index(), phase);
+            } else {
+                kernels::phase_both(amps, a.index(), b.index(), phase);
+            }
+        }
+        Gate::Cphase(a, b, lambda) => {
+            let phase = Complex::cis(lambda);
+            if parallel {
+                kernels::phase_both_parallel(amps, a.index(), b.index(), phase);
+            } else {
+                kernels::phase_both(amps, a.index(), b.index(), phase);
+            }
+        }
+        Gate::Zz(a, b, t) => {
+            let (same, diff) = (Complex::cis(-t / 2.0), Complex::cis(t / 2.0));
+            if parallel {
+                kernels::phase_parity_parallel(amps, a.index(), b.index(), same, diff);
+            } else {
+                kernels::phase_parity(amps, a.index(), b.index(), same, diff);
+            }
+        }
+        // Permutation gates: contiguous-run swaps (memcpy-bound, so the
+        // serial kernels already saturate memory bandwidth).
+        Gate::Cnot(c, t) => kernels::controlled_x(amps, 1usize << c.index(), t.index()),
+        Gate::Swap(a, b) => kernels::swap_qubits(amps, a.index(), b.index()),
+        Gate::Toffoli(c0, c1, t) => kernels::controlled_x(
+            amps,
+            (1usize << c0.index()) | (1usize << c1.index()),
+            t.index(),
+        ),
+        // The entangling workhorse.
+        Gate::Xx(a, b, t) => {
+            let cos = Complex::new((t / 2.0).cos(), 0.0);
+            let isin = Complex::new(0.0, -(t / 2.0).sin());
+            if parallel {
+                kernels::xx_rotate_parallel(amps, a.index(), b.index(), cos, isin);
+            } else {
+                kernels::xx_rotate(amps, a.index(), b.index(), cos, isin);
             }
         }
     }
+}
 
-    /// Multiplies the amplitude of every basis state satisfying the
-    /// predicate by `phase`.
-    fn phase_if(&mut self, pred: fn(usize, usize) -> bool, q: usize, phase: Complex) {
-        let mask = 1usize << q;
-        for (x, amp) in self.amps.iter_mut().enumerate() {
-            if pred(x, mask) {
-                *amp = *amp * phase;
-            }
-        }
+fn phase_dispatch(amps: &mut [Complex], q: usize, phase: Complex, parallel: bool) {
+    if parallel {
+        kernels::phase_1q_parallel(amps, q, phase);
+    } else {
+        kernels::phase_1q(amps, q, phase);
     }
 }
 
@@ -387,6 +586,49 @@ mod tests {
         for g in &gates {
             s.apply(g);
             assert!((s.norm_sq() - 1.0).abs() < EPS, "{g:?} broke unitarity");
+        }
+    }
+
+    #[test]
+    fn optimized_kernels_match_naive_per_gate() {
+        let gates: Vec<Gate> = vec![
+            Gate::H(Qubit(3)),
+            Gate::X(Qubit(0)),
+            Gate::Y(Qubit(4)),
+            Gate::Z(Qubit(2)),
+            Gate::S(Qubit(1)),
+            Gate::Sdg(Qubit(3)),
+            Gate::T(Qubit(0)),
+            Gate::Tdg(Qubit(4)),
+            Gate::SqrtX(Qubit(2)),
+            Gate::SqrtY(Qubit(1)),
+            Gate::Rx(Qubit(0), 0.7),
+            Gate::Ry(Qubit(1), -1.3),
+            Gate::Rz(Qubit(2), 2.1),
+            Gate::Cnot(Qubit(0), Qubit(3)),
+            Gate::Cnot(Qubit(3), Qubit(0)),
+            Gate::Cz(Qubit(1), Qubit(4)),
+            Gate::Cphase(Qubit(4), Qubit(0), 0.9),
+            Gate::Zz(Qubit(0), Qubit(2), 1.7),
+            Gate::Xx(Qubit(1), Qubit(3), -0.6),
+            Gate::Xx(Qubit(4), Qubit(1), 0.4),
+            Gate::Swap(Qubit(0), Qubit(4)),
+            Gate::Swap(Qubit(4), Qubit(2)),
+            Gate::Toffoli(Qubit(0), Qubit(1), Qubit(3)),
+            Gate::Toffoli(Qubit(4), Qubit(2), Qubit(0)),
+        ];
+        let mut fast = State::random(5, 7);
+        let mut slow = fast.clone();
+        for g in &gates {
+            fast.apply(g);
+            slow.apply_naive(g);
+            for x in 0..32 {
+                let (a, b) = (fast.amplitude(x), slow.amplitude(x));
+                assert!(
+                    (a.re - b.re).abs() < 1e-12 && (a.im - b.im).abs() < 1e-12,
+                    "{g:?} diverged at index {x}: {a:?} vs {b:?}"
+                );
+            }
         }
     }
 
@@ -522,5 +764,108 @@ mod tests {
             .rz(Qubit(0), FRAC_PI_4)
             .rz(Qubit(0), -FRAC_PI_4);
         assert_equivalent(1, &c, &Circuit::new(1));
+    }
+
+    #[test]
+    fn try_zero_respects_cap() {
+        assert!(State::try_zero_with_cap(10, 10).is_ok());
+        let err = State::try_zero_with_cap(11, 10).unwrap_err();
+        assert_eq!(
+            err,
+            StateError::TooManyQubits {
+                n_qubits: 11,
+                cap: 10
+            }
+        );
+        // Caps above the default are honoured (2^25 amplitudes = 512 MiB
+        // would succeed; use a width that stays cheap to keep CI fast).
+        assert!(State::try_zero_with_cap(4, 30).is_ok());
+    }
+
+    #[test]
+    fn try_zero_rejects_absurd_widths_gracefully() {
+        // Wider than the pointer size can even index: must be an Err,
+        // not a shift overflow.
+        let err = State::try_zero_with_cap(200, 300).unwrap_err();
+        assert!(matches!(err, StateError::TooManyQubits { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "default qubit cap")]
+    fn zero_still_panics_beyond_default_cap() {
+        State::zero(DEFAULT_MAX_QUBITS + 1);
+    }
+
+    #[test]
+    fn degenerate_same_operand_gates_match_naive() {
+        // `cx q, q` and friends are constructible (QASM only
+        // range-checks); the optimized paths must keep the seed's
+        // semantics for them, e.g. Cz(q,q) ≡ Z(q), Cnot(q,q) ≡ I.
+        let gates = [
+            Gate::Cnot(Qubit(1), Qubit(1)),
+            Gate::Cz(Qubit(2), Qubit(2)),
+            Gate::Cphase(Qubit(0), Qubit(0), 0.7),
+            Gate::Zz(Qubit(1), Qubit(1), 1.3),
+            Gate::Xx(Qubit(2), Qubit(2), -0.9),
+            Gate::Swap(Qubit(0), Qubit(0)),
+            Gate::Toffoli(Qubit(0), Qubit(0), Qubit(2)),
+            Gate::Toffoli(Qubit(0), Qubit(2), Qubit(2)),
+        ];
+        for g in &gates {
+            let mut c = Circuit::new(3);
+            c.h(Qubit(0)).push(*g).t(Qubit(1));
+            let probe = State::random(3, 5);
+            let mut fast = probe.clone();
+            let mut slow = probe.clone();
+            fast.apply(g);
+            slow.apply_naive(g);
+            assert_eq!(fast, slow, "{g:?} diverged in apply");
+            let fused = probe.clone().run(&c);
+            let reference = probe.run_naive(&c);
+            let f = fused.fidelity(&reference);
+            assert!((f - 1.0).abs() < 1e-12, "{g:?} diverged in run: {f}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the register")]
+    fn apply_rejects_out_of_range_operand() {
+        // The naive path panics on out-of-range operands (raw index out
+        // of bounds); the optimized kernels must be just as loud rather
+        // than silently applying nothing.
+        State::zero(2).apply(&Gate::H(Qubit(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the register")]
+    fn apply_rejects_out_of_range_two_qubit_operand() {
+        State::zero(3).apply(&Gate::Cnot(Qubit(0), Qubit(7)));
+    }
+
+    #[test]
+    fn run_options_paths_agree() {
+        let mut c = Circuit::new(6);
+        c.h(Qubit(0));
+        for i in 0..5 {
+            c.cnot(Qubit(i), Qubit(i + 1));
+            c.t(Qubit(i));
+            c.rz(Qubit(i + 1), 0.3 + i as f64 * 0.1);
+        }
+        c.cphase(Qubit(0), Qubit(5), 1.1)
+            .zz(Qubit(2), Qubit(4), -0.8);
+        let probe = State::random(6, 99);
+        let fused = probe.clone().run_with(&c, RunOptions::optimized());
+        let unfused = probe.clone().run_with(&c, RunOptions::serial_unfused());
+        let forced_par = probe.clone().run_with(
+            &c,
+            RunOptions {
+                fuse: true,
+                parallel: Some(true),
+            },
+        );
+        let reference = probe.run_naive(&c);
+        for s in [&fused, &unfused, &forced_par] {
+            assert!((s.fidelity(&reference) - 1.0).abs() < 1e-12);
+        }
     }
 }

@@ -18,15 +18,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("QFT (long-distance)", qft(64)),
     ];
 
-    let mut table = Table::new(["workload", "TILT head 16", "TILT head 32", "QCCD", "Ideal TI"]);
+    let mut table = Table::new([
+        "workload",
+        "TILT head 16",
+        "TILT head 32",
+        "QCCD",
+        "Ideal TI",
+    ]);
 
     for (name, circuit) in workloads {
         let mut cells = vec![name.to_string()];
 
         // TILT at both paper head sizes.
         for head in [16, 32] {
-            let out = Compiler::new(DeviceSpec::new(circuit.n_qubits(), head)?)
-                .compile(&circuit)?;
+            let out =
+                Compiler::new(DeviceSpec::new(circuit.n_qubits(), head)?).compile(&circuit)?;
             let s = estimate_success(&out.program, &noise, &times);
             cells.push(fmt_success(s.success));
         }

@@ -32,7 +32,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for max_swap_len in (3..=head - 1).rev() {
         let mut compiler = Compiler::new(spec);
-        compiler.router(RouterKind::Linq(LinqConfig::with_max_swap_len(max_swap_len)));
+        compiler.router(RouterKind::Linq(LinqConfig::with_max_swap_len(
+            max_swap_len,
+        )));
         let out = compiler.compile(&circuit)?;
         let s = estimate_success(&out.program, &noise, &times);
         table.row([
@@ -48,6 +50,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", table.render());
 
     let (len, success) = best.expect("at least one configuration ran");
-    println!("best MaxSwapLen for this application: {len} (success {})", fmt_success(success));
+    println!(
+        "best MaxSwapLen for this application: {len} (success {})",
+        fmt_success(success)
+    );
     Ok(())
 }

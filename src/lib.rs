@@ -49,7 +49,7 @@ pub mod prelude {
     pub use tilt_qccd::{compile_qccd, estimate_qccd_success, QccdParams, QccdSpec};
     pub use tilt_scale::{compile_scaled, estimate_scaled, ScaleSpec};
     pub use tilt_sim::{
-        estimate_ideal_success, estimate_success, estimate_success_with_cooling,
-        execution_time_us, CoolingPolicy, ExecTimeModel, GateTimeModel, NoiseModel,
+        estimate_ideal_success, estimate_success, estimate_success_with_cooling, execution_time_us,
+        CoolingPolicy, ExecTimeModel, GateTimeModel, NoiseModel,
     };
 }

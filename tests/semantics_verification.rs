@@ -111,7 +111,9 @@ fn scheduled_program_equals_logical_up_to_final_permutation() {
     }
     let logical_state = State::zero(6).run(&decompose(&logical));
     let perm: Vec<usize> = out.routed.final_mapping.log_to_phys().to_vec();
-    let f = logical_state.permute_qubits(&perm).fidelity(&physical_state);
+    let f = logical_state
+        .permute_qubits(&perm)
+        .fidelity(&physical_state);
     assert!((f - 1.0).abs() < EPS, "fidelity {f}");
 }
 
@@ -134,7 +136,9 @@ fn exact_router_output_is_also_semantically_correct() {
     let logical_state = State::zero(6).run(&native);
     let physical_state = State::zero(6).run(&decompose(&routed.circuit));
     let perm: Vec<usize> = routed.final_mapping.log_to_phys().to_vec();
-    let f = logical_state.permute_qubits(&perm).fidelity(&physical_state);
+    let f = logical_state
+        .permute_qubits(&perm)
+        .fidelity(&physical_state);
     assert!((f - 1.0).abs() < EPS, "fidelity {f}");
 }
 
@@ -151,8 +155,7 @@ fn random_program() -> impl Strategy<Value = Circuit> {
                 .prop_filter("distinct", |(a, b)| a != b)
                 .prop_map(|(a, b)| Gate::Cnot(Qubit(a), Qubit(b))),
         ];
-        prop::collection::vec(gate, 1..14)
-            .prop_map(move |gates| Circuit::from_gates(n, gates))
+        prop::collection::vec(gate, 1..14).prop_map(move |gates| Circuit::from_gates(n, gates))
     })
 }
 

@@ -1,0 +1,164 @@
+//! Property tests pinning the optimized state-vector kernels to the
+//! retained naive reference path.
+//!
+//! Randomized circuits over the full gate set run through every
+//! execution mode — fused, unfused, serial, and forced-rayon — and each
+//! result must agree with the seed's full-scan implementation to a
+//! fidelity of 1e-12. The forced-parallel mode exercises the
+//! `rayon::join` splitting even below the auto-parallel threshold (and
+//! degrades to inline execution on single-core hosts, so the test is
+//! deterministic everywhere).
+
+use proptest::prelude::*;
+use tilt::circuit::{Circuit, Gate, Qubit};
+use tilt::statevec::{RunOptions, State};
+
+const EPS: f64 = 1e-12;
+
+/// A random circuit over the complete unitary gate set (no measurement
+/// — the verifier is pure-state), 4–8 qubits, up to 60 gates.
+fn circuit_strategy() -> impl Strategy<Value = Circuit> {
+    (4usize..9).prop_flat_map(|n| {
+        let q = move || (0..n).prop_map(Qubit);
+        let pair = move || {
+            (0..n, 0..n)
+                .prop_filter("distinct operands", |(a, b)| a != b)
+                .prop_map(|(a, b)| (Qubit(a), Qubit(b)))
+        };
+        let triple = move || {
+            (0..n, 0..n, 0..n)
+                .prop_filter("distinct operands", |(a, b, c)| a != b && b != c && a != c)
+                .prop_map(|(a, b, c)| (Qubit(a), Qubit(b), Qubit(c)))
+        };
+        let angle = || -6.0f64..6.0;
+        let gate = prop_oneof![
+            q().prop_map(Gate::H),
+            q().prop_map(Gate::X),
+            q().prop_map(Gate::Y),
+            q().prop_map(Gate::Z),
+            q().prop_map(Gate::S),
+            q().prop_map(Gate::Sdg),
+            q().prop_map(Gate::T),
+            q().prop_map(Gate::Tdg),
+            q().prop_map(Gate::SqrtX),
+            q().prop_map(Gate::SqrtY),
+            (q(), angle()).prop_map(|(q, a)| Gate::Rx(q, a)),
+            (q(), angle()).prop_map(|(q, a)| Gate::Ry(q, a)),
+            (q(), angle()).prop_map(|(q, a)| Gate::Rz(q, a)),
+            pair().prop_map(|(a, b)| Gate::Cnot(a, b)),
+            pair().prop_map(|(a, b)| Gate::Cz(a, b)),
+            (pair(), angle()).prop_map(|((a, b), t)| Gate::Cphase(a, b, t)),
+            (pair(), angle()).prop_map(|((a, b), t)| Gate::Zz(a, b, t)),
+            (pair(), angle()).prop_map(|((a, b), t)| Gate::Xx(a, b, t)),
+            pair().prop_map(|(a, b)| Gate::Swap(a, b)),
+            triple().prop_map(|(a, b, c)| Gate::Toffoli(a, b, c)),
+            Just(Gate::Barrier),
+        ];
+        prop::collection::vec(gate, 0..60).prop_map(move |gates| Circuit::from_gates(n, gates))
+    })
+}
+
+/// Every execution mode the optimized pipeline exposes.
+fn modes() -> [(&'static str, RunOptions); 4] {
+    [
+        ("fused/auto", RunOptions::optimized()),
+        ("unfused/serial", RunOptions::serial_unfused()),
+        (
+            "fused/rayon",
+            RunOptions {
+                fuse: true,
+                parallel: Some(true),
+            },
+        ),
+        (
+            "unfused/rayon",
+            RunOptions {
+                fuse: false,
+                parallel: Some(true),
+            },
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All optimized paths reproduce the naive path on random circuits
+    /// from a random initial state.
+    #[test]
+    fn optimized_paths_match_naive(circuit in circuit_strategy(), seed in 0u64..1000) {
+        let n = circuit.n_qubits();
+        let probe = State::random(n, seed);
+        let reference = probe.clone().run_naive(&circuit);
+        for (name, opts) in modes() {
+            let out = probe.clone().run_with(&circuit, opts);
+            let f = out.fidelity(&reference);
+            prop_assert!(
+                (f - 1.0).abs() < EPS,
+                "{name} diverged: fidelity {f}\ncircuit: {circuit}"
+            );
+            let norm = out.norm_sq();
+            prop_assert!((norm - 1.0).abs() < EPS, "{name} broke unitarity: {norm}");
+        }
+    }
+
+    /// Single-gate dispatch (`apply`) agrees with the naive path
+    /// amplitude-by-amplitude — no global-phase slack at this level.
+    #[test]
+    fn apply_matches_naive_exactly(circuit in circuit_strategy(), seed in 0u64..1000) {
+        let n = circuit.n_qubits();
+        let mut fast = State::random(n, seed);
+        let mut slow = fast.clone();
+        for g in circuit.iter() {
+            fast.apply(g);
+            slow.apply_naive(g);
+        }
+        for x in 0..1usize << n {
+            let (a, b) = (fast.amplitude(x), slow.amplitude(x));
+            prop_assert!(
+                (a.re - b.re).abs() < EPS && (a.im - b.im).abs() < EPS,
+                "amplitude {x} diverged: {a:?} vs {b:?}\ncircuit: {circuit}"
+            );
+        }
+    }
+
+    /// Fusion never changes the number of qubits a circuit acts on, and
+    /// fused execution from |0…0⟩ matches unfused execution.
+    #[test]
+    fn fused_equals_unfused_from_zero(circuit in circuit_strategy()) {
+        let n = circuit.n_qubits();
+        let fused = State::zero(n).run_with(&circuit, RunOptions::optimized());
+        let unfused = State::zero(n).run_with(&circuit, RunOptions::serial_unfused());
+        let f = fused.fidelity(&unfused);
+        prop_assert!((f - 1.0).abs() < EPS, "fidelity {f}\ncircuit: {circuit}");
+    }
+}
+
+/// A deterministic deep-circuit check at a size that crosses the
+/// parallel threshold logic paths more meaningfully than the property
+/// sizes (kept small enough for CI).
+#[test]
+fn deep_circuit_all_modes_agree() {
+    let n = 10;
+    let mut c = Circuit::new(n);
+    for layer in 0..20 {
+        for q in 0..n {
+            c.rz(Qubit(q), 0.1 + (layer * n + q) as f64 * 0.01);
+            c.h(Qubit(q));
+        }
+        for q in 0..n - 1 {
+            if (layer + q) % 3 == 0 {
+                c.cnot(Qubit(q), Qubit(q + 1));
+            } else {
+                c.cphase(Qubit(q), Qubit(q + 1), 0.2 + q as f64 * 0.05);
+            }
+        }
+    }
+    let probe = State::random(n, 2024);
+    let reference = probe.clone().run_naive(&c);
+    for (name, opts) in modes() {
+        let out = probe.clone().run_with(&c, opts);
+        let f = out.fidelity(&reference);
+        assert!((f - 1.0).abs() < EPS, "{name}: fidelity {f}");
+    }
+}
