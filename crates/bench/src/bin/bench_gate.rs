@@ -1,0 +1,195 @@
+//! Bench-regression gate: compares the current `BENCH_*.json` records
+//! against a previous run's artifacts and fails on speedup drops.
+//!
+//! ```text
+//! bench_gate <previous_dir> [current_dir (default ".")]
+//! ```
+//!
+//! Two tiers of metrics, both at a 20% tolerance:
+//!
+//! * **Gating** — the *same-run* speedup ratios (optimized vs retained
+//!   baseline, measured within one process on one machine). These are
+//!   insensitive to CI runner hardware, so a >20% drop means the code
+//!   actually got slower relative to its own baseline: exit 1.
+//! * **Advisory** — absolute throughput (gates/sec, routes/sec,
+//!   moves/sec) across runs. These regress whenever a shared runner is
+//!   slow, so drops only print a loud `WARN` for a human to eyeball.
+//!
+//! Missing files or metrics — the first CI run, or a record schema that
+//! grew a new field — only warn, so the gate never blocks
+//! bootstrapping; a workload present in the previous run but missing
+//! from the current one warns too (a silently dropped benchmark is not
+//! a pass).
+
+use std::path::Path;
+use std::process::ExitCode;
+use tilt_report::Json;
+
+/// Largest tolerated drop: `current / previous` below this fails (for
+/// gating metrics) or warns (for advisory metrics).
+const MIN_RATIO: f64 = 0.8;
+
+/// Same-run speedup ratios: regressions here are code, not hardware.
+const GATING: [(&str, &str); 2] = [
+    ("BENCH_statevec.json", "speedup"),
+    ("BENCH_router.json", "speedup"),
+];
+
+/// Cross-run absolute throughput: advisory only (runner-speed noise).
+const ADVISORY: [(&str, &str); 4] = [
+    ("BENCH_statevec.json", "optimized_gates_per_sec"),
+    ("BENCH_statevec.json", "permutation.parallel_gates_per_sec"),
+    ("BENCH_router.json", "incremental_routes_per_sec"),
+    ("BENCH_router.json", "reference_routes_per_sec"),
+];
+
+fn load(dir: &Path, file: &str) -> Option<Json> {
+    let path = dir.join(file);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(_) => {
+            println!("warn: {} not found — skipping its metrics", path.display());
+            return None;
+        }
+    };
+    match Json::parse(&text) {
+        Ok(j) => Some(j),
+        Err(e) => {
+            println!("warn: {} unparsable ({e}) — skipping", path.display());
+            None
+        }
+    }
+}
+
+/// Compares one metric; returns `true` when it dropped beyond
+/// [`MIN_RATIO`]. `gating` only affects the printed verdict.
+fn check(label: &str, prev: Option<f64>, cur: Option<f64>, gating: bool) -> bool {
+    let (Some(prev), Some(cur)) = (prev, cur) else {
+        println!("warn: {label}: metric missing in one run — skipping");
+        return false;
+    };
+    if !(prev.is_finite() && cur.is_finite()) || prev <= 0.0 {
+        println!("warn: {label}: non-finite or non-positive baseline — skipping");
+        return false;
+    }
+    let ratio = cur / prev;
+    let dropped = ratio < MIN_RATIO;
+    let verdict = match (dropped, gating) {
+        (false, _) => "ok",
+        (true, true) => "REGRESSED",
+        (true, false) => "WARN (advisory: absolute throughput, may be runner noise)",
+    };
+    println!(
+        "{label}: {prev:.2} -> {cur:.2} ({:+.1}%) {verdict}",
+        (ratio - 1.0) * 100.0
+    );
+    dropped
+}
+
+/// `(benchmark name, same-run speedup, absolute moves/sec)` per
+/// scheduler workload.
+fn scheduler_workloads(j: &Json) -> Vec<(String, Option<f64>, Option<f64>)> {
+    j.get("workloads")
+        .and_then(Json::as_array)
+        .map(|ws| {
+            ws.iter()
+                .filter_map(|w| {
+                    let name = w.get("benchmark")?.as_str()?.to_string();
+                    let speedup = w.get("speedup").and_then(Json::as_f64);
+                    let rate = w.get("incremental_moves_per_sec").and_then(Json::as_f64);
+                    Some((name, speedup, rate))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 2 || args.len() > 3 {
+        eprintln!("usage: bench_gate <previous_dir> [current_dir]");
+        return ExitCode::from(2);
+    }
+    let prev_dir = Path::new(&args[1]);
+    let cur_dir = Path::new(args.get(2).map(String::as_str).unwrap_or("."));
+
+    // Read each record once per directory, not once per metric.
+    let files = [
+        "BENCH_statevec.json",
+        "BENCH_router.json",
+        "BENCH_scheduler.json",
+    ];
+    let records = |dir: &Path| -> Vec<(&str, Option<Json>)> {
+        files.iter().map(|&f| (f, load(dir, f))).collect()
+    };
+    let prev_records = records(prev_dir);
+    let cur_records = records(cur_dir);
+    let field = |records: &[(&str, Option<Json>)], file: &str, path: &str| -> Option<f64> {
+        records
+            .iter()
+            .find(|(f, _)| *f == file)
+            .and_then(|(_, j)| j.as_ref())
+            .and_then(|j| j.get_path(path))
+            .and_then(Json::as_f64)
+    };
+
+    let mut regressed = false;
+    for (gating, metrics) in [(true, &GATING[..]), (false, &ADVISORY[..])] {
+        for &(file, path) in metrics {
+            let prev = field(&prev_records, file, path);
+            let cur = field(&cur_records, file, path);
+            let dropped = check(&format!("{file}:{path}"), prev, cur, gating);
+            regressed |= dropped && gating;
+        }
+    }
+
+    // Scheduler records hold one entry per workload; match them by name
+    // in both directions so a vanished workload is visible.
+    let sched = |records: &[(&str, Option<Json>)]| -> Option<Json> {
+        records
+            .iter()
+            .find(|(f, _)| *f == "BENCH_scheduler.json")
+            .and_then(|(_, j)| j.clone())
+    };
+    if let (Some(prev), Some(cur)) = (sched(&prev_records), sched(&cur_records)) {
+        let prev_ws = scheduler_workloads(&prev);
+        let cur_ws = scheduler_workloads(&cur);
+        for (name, cur_speedup, cur_rate) in &cur_ws {
+            let previous = prev_ws.iter().find(|(n, _, _)| n == name);
+            let dropped = check(
+                &format!("BENCH_scheduler.json:{name}:speedup"),
+                previous.and_then(|(_, s, _)| *s),
+                *cur_speedup,
+                true,
+            );
+            regressed |= dropped;
+            check(
+                &format!("BENCH_scheduler.json:{name}:incremental_moves_per_sec"),
+                previous.and_then(|(_, _, r)| *r),
+                *cur_rate,
+                false,
+            );
+        }
+        for (name, _, _) in &prev_ws {
+            if !cur_ws.iter().any(|(n, _, _)| n == name) {
+                println!(
+                    "warn: BENCH_scheduler.json: workload {name} present in the previous run is missing from this one"
+                );
+            }
+        }
+    }
+
+    if regressed {
+        eprintln!(
+            "bench gate: same-run speedup regressed more than {:.0}%",
+            (1.0 - MIN_RATIO) * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "bench gate: no gating regressions beyond {:.0}%",
+            (1.0 - MIN_RATIO) * 100.0
+        );
+        ExitCode::SUCCESS
+    }
+}

@@ -1,23 +1,36 @@
-//! Perf-trajectory tracker: times the two rewritten hot paths and emits
-//! machine-readable records so speed regressions are visible across PRs.
+//! Perf-trajectory tracker: times the rewritten hot paths and emits
+//! machine-readable records so speed regressions are visible across PRs
+//! (the CI bench-regression gate diffs these against the previous run's
+//! artifacts via the `bench_gate` binary).
 //!
-//! Outputs `BENCH_statevec.json` (gates/sec applying the 20-qubit QFT,
-//! optimized vs the retained naive path) and `BENCH_router.json`
-//! (routes/sec pushing the 16-qubit RCS benchmark through LinQ,
-//! incremental vs the retained reference scorer) in the working
-//! directory, plus a human-readable table on stdout.
+//! Outputs in the working directory:
+//!
+//! * `BENCH_statevec.json` — gates/sec applying the 20-qubit QFT
+//!   (optimized vs the retained naive path) plus a permutation-heavy
+//!   workload (raw 20-qubit `CNOT`/`SWAP`/`Toffoli` traffic) timed
+//!   through the auto-parallel and forced-serial pipelines.
+//! * `BENCH_router.json` — routes/sec pushing the 16-qubit RCS
+//!   benchmark through LinQ, incremental vs the retained reference
+//!   scorer.
+//! * `BENCH_scheduler.json` — moves/sec scheduling QFT/RCS/QAOA
+//!   workloads through Algorithm 2, incremental vs the retained rescan
+//!   engine.
 //!
 //! Run with: `cargo run --release -p tilt-bench --bin perf`
 
 use std::time::Instant;
+
+use tilt_benchmarks::qaoa::qaoa_maxcut;
 use tilt_benchmarks::qft::qft;
 use tilt_benchmarks::rcs::random_circuit_sampling;
+use tilt_circuit::Circuit;
 use tilt_compiler::decompose::decompose;
 use tilt_compiler::mapping::InitialMapping;
 use tilt_compiler::route::LinqConfig;
+use tilt_compiler::schedule::{schedule_with, ScheduleConfig, SchedulerKind};
 use tilt_compiler::{DeviceSpec, RouterKind};
 use tilt_report::{Json, Table};
-use tilt_statevec::State;
+use tilt_statevec::{RunOptions, State};
 
 /// Median seconds per call over `samples` timed calls of `f`.
 fn time_median(samples: usize, mut f: impl FnMut()) -> f64 {
@@ -33,6 +46,8 @@ fn time_median(samples: usize, mut f: impl FnMut()) -> f64 {
 }
 
 fn main() {
+    let mut table = Table::new(["hot path", "baseline", "optimized", "speedup"]);
+
     // --- state-vector kernels on the 20-qubit QFT ------------------------
     let circuit = qft(20);
     let gates = circuit.len() as f64;
@@ -43,6 +58,27 @@ fn main() {
     let t_naive = time_median(3, || {
         std::hint::black_box(probe.clone().run_naive(&circuit));
     });
+
+    // Permutation-heavy workload: raw CNOT/SWAP/Toffoli traffic (the
+    // Cuccaro adder's control structure *before* Clifford+T lowering),
+    // which exercises the contiguous-run swap kernels and their
+    // parallel splits. The forced-serial run is the single-core
+    // baseline; on a single-core host the two coincide (the parallel
+    // path must not regress).
+    let perm = permutation_workload(20);
+    let perm_gates = perm.len() as f64;
+    let perm_probe = State::random(20, 2);
+    let t_perm_par = time_median(5, || {
+        std::hint::black_box(perm_probe.clone().run(&perm));
+    });
+    let t_perm_serial = time_median(5, || {
+        std::hint::black_box(
+            perm_probe
+                .clone()
+                .run_with(&perm, RunOptions::serial_unfused()),
+        );
+    });
+
     let statevec = Json::object()
         .set("benchmark", "qft20")
         .set("n_qubits", 20usize)
@@ -51,8 +87,33 @@ fn main() {
         .set("naive_secs", t_naive)
         .set("optimized_gates_per_sec", gates / t_opt)
         .set("naive_gates_per_sec", gates / t_naive)
-        .set("speedup", t_naive / t_opt);
+        .set("speedup", t_naive / t_opt)
+        .set("threads", rayon_threads())
+        .set(
+            "permutation",
+            Json::object()
+                .set("benchmark", "perm20")
+                .set("n_qubits", 20usize)
+                .set("gates", perm_gates)
+                .set("parallel_secs", t_perm_par)
+                .set("serial_secs", t_perm_serial)
+                .set("parallel_gates_per_sec", perm_gates / t_perm_par)
+                .set("serial_gates_per_sec", perm_gates / t_perm_serial)
+                .set("multicore_speedup", t_perm_serial / t_perm_par),
+        );
     std::fs::write("BENCH_statevec.json", statevec.render()).expect("write BENCH_statevec.json");
+    table.row([
+        "statevec qft20".to_string(),
+        format!("{:.0} gates/s", gates / t_naive),
+        format!("{:.0} gates/s", gates / t_opt),
+        format!("{:.2}x", t_naive / t_opt),
+    ]);
+    table.row([
+        "statevec perm20".to_string(),
+        format!("{:.0} gates/s", perm_gates / t_perm_serial),
+        format!("{:.0} gates/s", perm_gates / t_perm_par),
+        format!("{:.2}x", t_perm_serial / t_perm_par),
+    ]);
 
     // --- LinQ routing on the 16-qubit RCS benchmark ----------------------
     let native = decompose(&random_circuit_sampling(4, 4, 16, 7));
@@ -79,20 +140,87 @@ fn main() {
         .set("reference_routes_per_sec", 1.0 / t_ref)
         .set("speedup", t_ref / t_inc);
     std::fs::write("BENCH_router.json", router.render()).expect("write BENCH_router.json");
-
-    let mut table = Table::new(["hot path", "baseline", "optimized", "speedup"]);
-    table.row([
-        "statevec qft20".to_string(),
-        format!("{:.0} gates/s", gates / t_naive),
-        format!("{:.0} gates/s", gates / t_opt),
-        format!("{:.2}x", t_naive / t_opt),
-    ]);
     table.row([
         "LinQ rcs16".to_string(),
         format!("{:.0} routes/s", 1.0 / t_ref),
         format!("{:.0} routes/s", 1.0 / t_inc),
         format!("{:.2}x", t_ref / t_inc),
     ]);
+
+    // --- Algorithm 2 scheduling, incremental vs rescan --------------------
+    let workloads: [(&str, Circuit, usize); 4] = [
+        ("qft24_head8", qft(24), 8),
+        ("qft32_head8", qft(32), 8),
+        ("rcs16_head4", random_circuit_sampling(4, 4, 16, 7), 4),
+        ("qaoa24_head6", qaoa_maxcut(24, 2, 5), 6),
+    ];
+    let mut records: Vec<Json> = Vec::new();
+    for (name, circuit, head) in workloads {
+        let spec = DeviceSpec::new(circuit.n_qubits(), head).expect("valid device");
+        let native = decompose(&circuit);
+        let initial = InitialMapping::Identity.build(&native, spec.n_ions());
+        let routed = RouterKind::default()
+            .route(&native, spec, &initial)
+            .expect("perf workloads route");
+        let lowered = decompose(&routed.circuit);
+        let kind = SchedulerKind::GreedyMaxExecutable;
+        // Both engines produce this exact program (decision-identical);
+        // schedule once for the counts, then time the engines.
+        let program = schedule_with(&lowered, spec, ScheduleConfig::new(kind));
+        let moves = program.move_count() as f64;
+        let t_fast = time_median(5, || {
+            std::hint::black_box(schedule_with(&lowered, spec, ScheduleConfig::new(kind)));
+        });
+        let t_slow = time_median(3, || {
+            std::hint::black_box(schedule_with(&lowered, spec, ScheduleConfig::rescan(kind)));
+        });
+        records.push(
+            Json::object()
+                .set("benchmark", name)
+                .set("n_qubits", circuit.n_qubits())
+                .set("scheduled_gates", program.gate_count())
+                .set("moves", moves)
+                .set("incremental_secs", t_fast)
+                .set("rescan_secs", t_slow)
+                .set("incremental_moves_per_sec", moves / t_fast)
+                .set("rescan_moves_per_sec", moves / t_slow)
+                .set("speedup", t_slow / t_fast),
+        );
+        table.row([
+            format!("scheduler {name}"),
+            format!("{:.0} moves/s", moves / t_slow),
+            format!("{:.0} moves/s", moves / t_fast),
+            format!("{:.2}x", t_slow / t_fast),
+        ]);
+    }
+    let scheduler = Json::object().set("workloads", Json::Arr(records));
+    std::fs::write("BENCH_scheduler.json", scheduler.render()).expect("write BENCH_scheduler.json");
+
     print!("{}", table.render());
-    println!("\nwrote BENCH_statevec.json, BENCH_router.json");
+    println!("\nwrote BENCH_statevec.json, BENCH_router.json, BENCH_scheduler.json");
+}
+
+/// Parallelism the statevector kernels saw (records context with the
+/// multicore numbers).
+fn rayon_threads() -> usize {
+    rayon::current_num_threads()
+}
+
+/// A pure permutation circuit on `n` qubits: MAJ/UMA-style ripples of
+/// raw `CNOT`/`Toffoli` plus long-range `SWAP`s, with no single-qubit
+/// rotations to fuse into dense blocks.
+fn permutation_workload(n: usize) -> Circuit {
+    use tilt_circuit::Qubit;
+    let mut c = Circuit::new(n);
+    for round in 0..6 {
+        for i in 0..n - 2 {
+            c.cnot(Qubit(i + 2), Qubit(i + 1));
+            c.toffoli(Qubit(i), Qubit(i + 1), Qubit(i + 2));
+        }
+        for i in 0..n / 2 {
+            c.swap(Qubit(i), Qubit(n - 1 - i));
+        }
+        c.cnot(Qubit((round * 3) % n), Qubit((round * 3 + n / 2) % n));
+    }
+    c
 }

@@ -32,16 +32,24 @@ use crate::gate::Gate;
 /// ```
 #[derive(Clone, Debug)]
 pub struct Dag {
-    preds: Vec<Vec<usize>>,
-    succs: Vec<Vec<usize>>,
+    /// Flat CSR edge storage: gate `i`'s predecessors are
+    /// `pred_edges[pred_offsets[i]..pred_offsets[i + 1]]`. Two flat
+    /// arrays per direction instead of a `Vec` per gate keep DAG
+    /// construction allocation-light — the tape scheduler builds one
+    /// per `schedule` call.
+    pred_edges: Vec<usize>,
+    pred_offsets: Vec<usize>,
+    succ_edges: Vec<usize>,
+    succ_offsets: Vec<usize>,
 }
 
 impl Dag {
     /// Builds the dependency DAG of `circuit` in `O(gates)`.
     pub fn new(circuit: &Circuit) -> Self {
         let n = circuit.len();
-        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
-        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut pred_edges: Vec<usize> = Vec::with_capacity(2 * n);
+        let mut pred_offsets: Vec<usize> = Vec::with_capacity(n + 1);
+        pred_offsets.push(0);
         // Last gate index touching each qubit.
         let mut last_on: Vec<Option<usize>> = vec![None; circuit.n_qubits()];
         // Gates since the previous barrier (a barrier depends on all of them).
@@ -50,14 +58,10 @@ impl Dag {
 
         for (i, gate) in circuit.iter().enumerate() {
             if matches!(gate, Gate::Barrier) {
-                for &j in &since_barrier {
-                    preds[i].push(j);
-                    succs[j].push(i);
-                }
+                pred_edges.extend_from_slice(&since_barrier);
                 if let Some(b) = last_barrier {
                     if since_barrier.is_empty() {
-                        preds[i].push(b);
-                        succs[b].push(i);
+                        pred_edges.push(b);
                     }
                 }
                 since_barrier.clear();
@@ -65,64 +69,90 @@ impl Dag {
                 for slot in last_on.iter_mut() {
                     *slot = None;
                 }
+                pred_offsets.push(pred_edges.len());
                 continue;
             }
 
-            let mut ps: Vec<usize> = gate
-                .qubits()
-                .iter()
-                .filter_map(|q| last_on[q.index()])
-                .collect();
-            ps.sort_unstable();
-            ps.dedup();
-            if ps.is_empty() {
-                if let Some(b) = last_barrier {
-                    ps.push(b);
+            // Gate operands: at most three qubits — collect, sort,
+            // dedup in place on the flat tail.
+            let start = pred_edges.len();
+            for q in gate.qubits() {
+                if let Some(p) = last_on[q.index()] {
+                    if !pred_edges[start..].contains(&p) {
+                        pred_edges.push(p);
+                    }
                 }
             }
-            for &p in &ps {
-                succs[p].push(i);
+            pred_edges[start..].sort_unstable();
+            if pred_edges.len() == start {
+                if let Some(b) = last_barrier {
+                    pred_edges.push(b);
+                }
             }
-            preds[i] = ps;
             for q in gate.qubits() {
                 last_on[q.index()] = Some(i);
             }
             since_barrier.push(i);
+            pred_offsets.push(pred_edges.len());
         }
 
-        Dag { preds, succs }
+        // Invert into successor CSR: count out-degrees, prefix-sum,
+        // fill in program order (successors therefore ascend, exactly
+        // as the per-gate push order used to produce).
+        let mut succ_offsets = vec![0usize; n + 1];
+        for &p in &pred_edges {
+            succ_offsets[p + 1] += 1;
+        }
+        for k in 1..=n {
+            succ_offsets[k] += succ_offsets[k - 1];
+        }
+        let mut succ_edges = vec![0usize; pred_edges.len()];
+        let mut cursor = succ_offsets.clone();
+        for i in 0..n {
+            for &p in &pred_edges[pred_offsets[i]..pred_offsets[i + 1]] {
+                succ_edges[cursor[p]] = i;
+                cursor[p] += 1;
+            }
+        }
+
+        Dag {
+            pred_edges,
+            pred_offsets,
+            succ_edges,
+            succ_offsets,
+        }
     }
 
     /// Number of gates (nodes).
     pub fn len(&self) -> usize {
-        self.preds.len()
+        self.pred_offsets.len() - 1
     }
 
     /// True when the DAG has no nodes.
     pub fn is_empty(&self) -> bool {
-        self.preds.is_empty()
+        self.len() == 0
     }
 
     /// Direct predecessors of gate `i` (sorted, deduplicated).
     pub fn preds(&self, i: usize) -> &[usize] {
-        &self.preds[i]
+        &self.pred_edges[self.pred_offsets[i]..self.pred_offsets[i + 1]]
     }
 
     /// Direct successors of gate `i`.
     pub fn succs(&self, i: usize) -> &[usize] {
-        &self.succs[i]
+        &self.succ_edges[self.succ_offsets[i]..self.succ_offsets[i + 1]]
     }
 
     /// Gates with no predecessors — the initial front layer.
     pub fn front(&self) -> Vec<usize> {
         (0..self.len())
-            .filter(|&i| self.preds[i].is_empty())
+            .filter(|&i| self.preds(i).is_empty())
             .collect()
     }
 
     /// In-degree of every node; the starting state for [`ReadyTracker`].
     pub fn indegrees(&self) -> Vec<usize> {
-        self.preds.iter().map(Vec::len).collect()
+        (0..self.len()).map(|i| self.preds(i).len()).collect()
     }
 }
 
@@ -135,19 +165,31 @@ impl Dag {
 pub struct ReadyTracker {
     indeg: Vec<usize>,
     ready: Vec<usize>,
+    /// Index of each gate inside `ready` ([`NOT_READY`] otherwise) —
+    /// makes [`ReadyTracker::complete`] O(successors) instead of a scan
+    /// of the ready set per completion.
+    ready_slot: Vec<usize>,
     done: Vec<bool>,
     n_done: usize,
 }
+
+/// Sentinel for gates not currently in the ready set.
+const NOT_READY: usize = usize::MAX;
 
 impl ReadyTracker {
     /// Starts a fresh traversal of `dag`.
     pub fn new(dag: &Dag) -> Self {
         let indeg = dag.indegrees();
         let ready = dag.front();
+        let mut ready_slot = vec![NOT_READY; dag.len()];
+        for (slot, &g) in ready.iter().enumerate() {
+            ready_slot[g] = slot;
+        }
         ReadyTracker {
             indeg,
             done: vec![false; dag.len()],
             ready,
+            ready_slot,
             n_done: 0,
         }
     }
@@ -164,23 +206,39 @@ impl ReadyTracker {
     /// Panics if `i` is not currently ready (dependency violation) or was
     /// already completed.
     pub fn complete(&mut self, dag: &Dag, i: usize) {
+        self.complete_notify(dag, i, |_| {});
+    }
+
+    /// [`ReadyTracker::complete`], invoking `on_ready` for every
+    /// successor that became ready as a result. Incremental consumers
+    /// (the tape scheduler's per-position indexes) use the callback to
+    /// learn the newly-unlocked frontier without re-scanning
+    /// [`ReadyTracker::ready`].
+    ///
+    /// # Panics
+    ///
+    /// As [`ReadyTracker::complete`].
+    pub fn complete_notify(&mut self, dag: &Dag, i: usize, mut on_ready: impl FnMut(usize)) {
         assert!(!self.done[i], "gate {i} completed twice");
         assert_eq!(
             self.indeg[i], 0,
             "gate {i} completed before its dependencies"
         );
-        let pos = self
-            .ready
-            .iter()
-            .position(|&r| r == i)
-            .expect("gate not in ready set");
-        self.ready.swap_remove(pos);
+        let slot = self.ready_slot[i];
+        assert_ne!(slot, NOT_READY, "gate not in ready set");
+        self.ready.swap_remove(slot);
+        self.ready_slot[i] = NOT_READY;
+        if let Some(&moved) = self.ready.get(slot) {
+            self.ready_slot[moved] = slot;
+        }
         self.done[i] = true;
         self.n_done += 1;
         for &s in dag.succs(i) {
             self.indeg[s] -= 1;
             if self.indeg[s] == 0 {
+                self.ready_slot[s] = self.ready.len();
                 self.ready.push(s);
+                on_ready(s);
             }
         }
     }
@@ -188,6 +246,14 @@ impl ReadyTracker {
     /// True when `i` has been completed.
     pub fn is_complete(&self, i: usize) -> bool {
         self.done[i]
+    }
+
+    /// Number of direct predecessors of `i` not yet completed (0 for
+    /// ready gates). O(1) — the tracker maintains the residual
+    /// in-degrees anyway, so incremental consumers need not re-scan
+    /// `dag.preds(i)`.
+    pub fn pending_preds(&self, i: usize) -> usize {
+        self.indeg[i]
     }
 
     /// Number of completed gates.

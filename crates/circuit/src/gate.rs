@@ -119,6 +119,35 @@ impl Gate {
         }
     }
 
+    /// The gate's operands as a fixed-capacity, allocation-free slice
+    /// — [`Gate::qubits`] allocates a `Vec` per call, which hot paths
+    /// (the tape scheduler's cascade walks) cannot afford.
+    pub fn operands(&self) -> Operands {
+        use Gate::*;
+        let (arr, len) = match *self {
+            H(q)
+            | X(q)
+            | Y(q)
+            | Z(q)
+            | S(q)
+            | Sdg(q)
+            | T(q)
+            | Tdg(q)
+            | SqrtX(q)
+            | SqrtY(q)
+            | Rx(q, _)
+            | Ry(q, _)
+            | Rz(q, _)
+            | Measure(q) => ([q, Qubit(0), Qubit(0)], 1),
+            Cnot(a, b) | Cz(a, b) | Swap(a, b) | Cphase(a, b, _) | Zz(a, b, _) | Xx(a, b, _) => {
+                ([a, b, Qubit(0)], 2)
+            }
+            Toffoli(a, b, c) => ([a, b, c], 3),
+            Barrier => ([Qubit(0); 3], 0),
+        };
+        Operands { arr, len }
+    }
+
     /// Number of qubits the gate acts on (0 for [`Gate::Barrier`]).
     pub fn arity(&self) -> usize {
         use Gate::*;
@@ -230,6 +259,22 @@ impl Gate {
             Measure(_) => "measure",
             Barrier => "barrier",
         }
+    }
+}
+
+/// Fixed-capacity operand list returned by [`Gate::operands`]; derefs
+/// to a slice of the gate's qubits in declaration order.
+#[derive(Clone, Copy, Debug)]
+pub struct Operands {
+    arr: [Qubit; 3],
+    len: usize,
+}
+
+impl std::ops::Deref for Operands {
+    type Target = [Qubit];
+
+    fn deref(&self) -> &[Qubit] {
+        &self.arr[..self.len]
     }
 }
 

@@ -34,7 +34,7 @@ pub mod validate;
 
 pub use circuit::Circuit;
 pub use dag::{Dag, ReadyTracker};
-pub use gate::Gate;
+pub use gate::{Gate, Operands};
 pub use layers::Layers;
 pub use qubit::Qubit;
 pub use stats::CircuitStats;

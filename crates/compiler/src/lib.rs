@@ -50,5 +50,5 @@ pub use mapping::{InitialMapping, Mapping};
 pub use pipeline::{CompileOutput, CompileReport, Compiler};
 pub use program::{TiltOp, TiltProgram};
 pub use route::{RouteOutcome, RouterKind};
-pub use schedule::SchedulerKind;
+pub use schedule::{ScheduleConfig, SchedulerKind};
 pub use spec::DeviceSpec;

@@ -1,0 +1,347 @@
+//! The incremental Algorithm-2 engine.
+//!
+//! The seed scorer re-derives `Score(p) = n_p` (Eq. 2) for **every**
+//! head position each round, even though one round only retires the
+//! gates under the chosen position and unlocks some of their
+//! successors. This engine exploits that locality:
+//!
+//! * Per-position executable-gate counts live in a **bucket index**
+//!   ([`PosScoreIndex`]): `buckets[c]` holds the positions whose last
+//!   computed count was `c`, with stale entries dropped lazily. The
+//!   argmax scan walks buckets from the top and stops as soon as even a
+//!   zero-distance candidate in the next bucket could not beat the best
+//!   so far, which also covers the [`DistanceDiscounted`]
+//!   (`n_p·1000 − penalty·dist`) refinement exactly.
+//! * After a round executes the gate set `E` at position `p`, a
+//!   position's count can only have changed if some gate of `E` — or
+//!   some successor of `E`, whose unlock threshold just dropped — fits
+//!   it. Those **dirty ranges** (each gate's covering-position range is
+//!   contiguous) are the only positions rescored next round; everything
+//!   else keeps its cached count.
+//! * Rescoring itself runs the same cascade walk as the seed, but on
+//!   epoch-stamped scratch arrays instead of a fresh `HashMap`/`HashSet`
+//!   pair per position, seeded from a per-position ready list
+//!   maintained as gates become ready (lazily compacted as they
+//!   complete).
+//! * The drain at the chosen position replays the seed's
+//!   min-index-first cascade through a binary heap fed by
+//!   [`ReadyTracker::complete_notify`] instead of re-scanning the ready
+//!   set per executed gate.
+//!
+//! Every decision — position choice, tie-breaks, and executed-gate
+//! order — is identical to the rescan engine's; the equivalence is
+//! pinned by unit and property tests.
+//!
+//! [`DistanceDiscounted`]: super::SchedulerKind::DistanceDiscounted
+
+use crate::program::{TiltOp, TiltProgram};
+use crate::spec::DeviceSpec;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use tilt_circuit::{Circuit, Dag, Gate, ReadyTracker};
+
+/// Lazily-compacted bucket index over per-position counts.
+struct PosScoreIndex {
+    /// Current executable-gate count per head position.
+    counts: Vec<u32>,
+    /// `buckets[c]` = positions whose count was `c` when last scored;
+    /// entries whose count moved on are dropped during scans.
+    buckets: Vec<Vec<u32>>,
+    /// Upper bound on the highest non-empty bucket.
+    max_bucket: usize,
+}
+
+impl PosScoreIndex {
+    fn new(n_positions: usize) -> Self {
+        PosScoreIndex {
+            counts: vec![0; n_positions],
+            buckets: vec![Vec::new(); 8],
+            max_bucket: 0,
+        }
+    }
+
+    /// Records a freshly computed count for `pos`.
+    fn set(&mut self, pos: usize, count: u32) {
+        if self.counts[pos] == count {
+            return;
+        }
+        self.counts[pos] = count;
+        let c = count as usize;
+        if c > 0 {
+            if c >= self.buckets.len() {
+                self.buckets.resize(c + 1, Vec::new());
+            }
+            self.buckets[c].push(pos as u32);
+            self.max_bucket = self.max_bucket.max(c);
+        }
+    }
+
+    /// The seed scorer's argmax: maximal `count·1000 − penalty·dist`,
+    /// ties preferring the smaller head travel, then the leftmost
+    /// position. Returns `None` when no position can execute anything.
+    fn best(&mut self, head: Option<usize>, penalty: i64) -> Option<usize> {
+        // Settle the top bucket before scanning.
+        while self.max_bucket > 0 {
+            let c = self.max_bucket;
+            let counts = &self.counts;
+            self.buckets[c].retain(|&p| counts[p as usize] == c as u32);
+            if !self.buckets[c].is_empty() {
+                break;
+            }
+            self.max_bucket -= 1;
+        }
+        if self.max_bucket == 0 {
+            return None;
+        }
+        // Best by (score desc, dist asc, pos asc) — the total order the
+        // seed's ascending scan with strict improvement realizes.
+        let mut best: Option<(i64, usize, usize)> = None;
+        let mut c = self.max_bucket;
+        while c > 0 {
+            if let Some((best_score, _, _)) = best {
+                // Even at distance 0 this bucket cannot beat the
+                // incumbent (equal score could still win a tie-break,
+                // so only strictly-lower ceilings stop the scan).
+                if (c as i64) * 1000 < best_score {
+                    break;
+                }
+            }
+            let counts = &self.counts;
+            self.buckets[c].retain(|&p| counts[p as usize] == c as u32);
+            for &p in &self.buckets[c] {
+                let pos = p as usize;
+                let dist = head.map_or(0, |h| h.abs_diff(pos));
+                let score = (c as i64) * 1000 - penalty * dist as i64;
+                let better = match best {
+                    None => true,
+                    Some((bs, bd, bp)) => score > bs || (score == bs && (dist, pos) < (bd, bp)),
+                };
+                if better {
+                    best = Some((score, dist, pos));
+                }
+            }
+            c -= 1;
+        }
+        best.map(|(_, _, pos)| pos)
+    }
+}
+
+/// Epoch-stamped scratch for the cascade scorer — allocation-free
+/// replacements for the seed's per-position `HashMap`/`HashSet`.
+struct CascadeScratch {
+    /// Remaining incomplete-predecessor count per gate, valid when the
+    /// matching epoch stamp is current.
+    need: Vec<u32>,
+    need_epoch: Vec<u32>,
+    epoch: u32,
+    stack: Vec<usize>,
+}
+
+impl CascadeScratch {
+    fn new(n_gates: usize) -> Self {
+        CascadeScratch {
+            need: vec![0; n_gates],
+            need_epoch: vec![0; n_gates],
+            epoch: 0,
+            stack: Vec::new(),
+        }
+    }
+}
+
+pub(super) fn schedule_incremental(
+    physical: &Circuit,
+    spec: DeviceSpec,
+    penalty: i64,
+) -> TiltProgram {
+    let dag = Dag::new(physical);
+    let mut tracker = ReadyTracker::new(&dag);
+    let n_positions = spec.n_head_positions();
+    let gates = physical.gates();
+
+    // Contiguous covering-position range per gate (barriers fit
+    // everywhere). Gate `g` fits position `p` exactly when `p` lies in
+    // `range_of[g]`, so this table doubles as the engine's O(1),
+    // allocation-free executability check.
+    let range_of: Vec<(u32, u32)> = gates
+        .iter()
+        .map(
+            |g| match spec.covering_head_positions(g.operands().iter().map(|q| q.index())) {
+                Some(r) => (*r.start() as u32, *r.end() as u32),
+                None => (0, (n_positions - 1) as u32),
+            },
+        )
+        .collect();
+
+    // Per-position ready gates (completed entries compacted lazily).
+    let mut ready_at: Vec<Vec<u32>> = vec![Vec::new(); n_positions];
+    for &g in tracker.ready() {
+        let (lo, hi) = range_of[g];
+        for p in lo..=hi {
+            ready_at[p as usize].push(g as u32);
+        }
+    }
+
+    let mut index = PosScoreIndex::new(n_positions);
+    let mut scratch = CascadeScratch::new(gates.len());
+    let mut dirty = vec![true; n_positions];
+    let mut dirty_list: Vec<u32> = (0..n_positions as u32).collect();
+
+    let mut ops: Vec<TiltOp> = Vec::with_capacity(physical.len());
+    let mut head: Option<usize> = None;
+    let mut heap: BinaryHeap<Reverse<usize>> = BinaryHeap::new();
+    let mut executed: Vec<usize> = Vec::new();
+    // Per-round dedup of visited successors during dirty marking.
+    let mut succ_epoch: Vec<u32> = vec![0; gates.len()];
+    let mut succ_epoch_counter: u32 = 0;
+
+    while !tracker.is_done() {
+        // Rescore only the positions last round's executions could have
+        // changed.
+        for &p in &dirty_list {
+            let pos = p as usize;
+            dirty[pos] = false;
+            let count = cascade_count(
+                physical,
+                &dag,
+                &tracker,
+                pos,
+                &range_of,
+                &mut ready_at[pos],
+                &mut scratch,
+            );
+            index.set(pos, count);
+        }
+        dirty_list.clear();
+
+        let pos = index
+            .best(head, penalty)
+            .expect("no head position can execute any ready gate; circuit is unroutable");
+
+        if head != Some(pos) {
+            if head.is_some() {
+                ops.push(TiltOp::Move { to: pos });
+            }
+            head = Some(pos);
+        }
+
+        // Drain the cascade at `pos` in the seed's min-index order.
+        heap.clear();
+        ready_at[pos].retain(|&g| !tracker.is_complete(g as usize));
+        heap.extend(ready_at[pos].iter().map(|&g| Reverse(g as usize)));
+        executed.clear();
+        while let Some(Reverse(i)) = heap.pop() {
+            tracker.complete_notify(&dag, i, |s| {
+                let (lo, hi) = range_of[s];
+                for p in lo..=hi {
+                    ready_at[p as usize].push(s as u32);
+                }
+                if lo as usize <= pos && pos <= hi as usize {
+                    heap.push(Reverse(s));
+                }
+            });
+            executed.push(i);
+            let gate = gates[i];
+            if !matches!(gate, Gate::Barrier) {
+                ops.push(TiltOp::Gate {
+                    gate,
+                    head_pos: pos,
+                });
+            }
+        }
+        assert!(
+            !executed.is_empty(),
+            "scheduler made no progress at position {pos}; this is a bug"
+        );
+
+        // Mark the positions whose counts this round could have
+        // changed: every retired gate's covering range, plus — for each
+        // successor whose unlock threshold dropped — the intersection
+        // of its range with its still-incomplete predecessors' ranges
+        // (a cascade can only admit the successor where those
+        // predecessors are themselves executable).
+        succ_epoch_counter += 1;
+        for &i in &executed {
+            let (lo, hi) = range_of[i];
+            for p in lo..=hi {
+                if !dirty[p as usize] {
+                    dirty[p as usize] = true;
+                    dirty_list.push(p);
+                }
+            }
+            for &s in dag.succs(i) {
+                if succ_epoch[s] == succ_epoch_counter {
+                    continue;
+                }
+                succ_epoch[s] = succ_epoch_counter;
+                let (mut lo, mut hi) = range_of[s];
+                for &q in dag.preds(s) {
+                    if !tracker.is_complete(q) {
+                        let (qlo, qhi) = range_of[q];
+                        lo = lo.max(qlo);
+                        hi = hi.min(qhi);
+                    }
+                }
+                if lo > hi {
+                    // Some incomplete predecessor shares no covering
+                    // position with `s`: no cascade anywhere can admit
+                    // it this round.
+                    continue;
+                }
+                for p in lo..=hi {
+                    if !dirty[p as usize] {
+                        dirty[p as usize] = true;
+                        dirty_list.push(p);
+                    }
+                }
+            }
+        }
+    }
+
+    TiltProgram::new(spec, ops)
+}
+
+/// The seed's cascade count ([`super`]'s `executable_count`) on scratch
+/// arrays: ready gates covered by `pos` execute, potentially unlocking
+/// covered successors, transitively; barriers cascade but do not count.
+fn cascade_count(
+    physical: &Circuit,
+    dag: &Dag,
+    tracker: &ReadyTracker,
+    pos: usize,
+    range_of: &[(u32, u32)],
+    seeds: &mut Vec<u32>,
+    scratch: &mut CascadeScratch,
+) -> u32 {
+    seeds.retain(|&g| !tracker.is_complete(g as usize));
+    scratch.epoch = scratch.epoch.wrapping_add(1);
+    if scratch.epoch == 0 {
+        // One lap of the u32 epoch: invalidate every stamp explicitly.
+        scratch.need_epoch.fill(u32::MAX);
+        scratch.epoch = 1;
+    }
+    let epoch = scratch.epoch;
+    scratch.stack.clear();
+    scratch.stack.extend(seeds.iter().map(|&g| g as usize));
+
+    let gates = physical.gates();
+    let mut count = 0u32;
+    while let Some(i) = scratch.stack.pop() {
+        if !matches!(gates[i], Gate::Barrier) {
+            count += 1;
+        }
+        for &s in dag.succs(i) {
+            if scratch.need_epoch[s] != epoch {
+                scratch.need_epoch[s] = epoch;
+                // The tracker's residual in-degree *is* the incomplete
+                // predecessor count — O(1) instead of a preds scan.
+                scratch.need[s] = tracker.pending_preds(s) as u32;
+            }
+            scratch.need[s] -= 1;
+            let (lo, hi) = range_of[s];
+            if scratch.need[s] == 0 && lo as usize <= pos && pos <= hi as usize {
+                scratch.stack.push(s);
+            }
+        }
+    }
+    count
+}

@@ -10,6 +10,19 @@
 //! A deliberately weak alternative, [`SchedulerKind::NaiveNextGate`], parks
 //! the head over the oldest ready gate each round; it exists to quantify
 //! the benefit of Eq. 2 (ablation, DESIGN.md §5).
+//!
+//! Two engines implement the Eq. 2 policies. The seed **rescan** engine
+//! recomputes every position's executable-gate count from scratch each
+//! round; the default **incremental** engine ([`incremental`]) keeps
+//! per-position counts in a bucket index and rescores only the
+//! positions whose counts a round's retired/unlocked gates could have
+//! changed. Both make identical decisions (see the
+//! `incremental_matches_rescan` tests and `tests/scheduler_equivalence.rs`);
+//! the rescan engine is retained behind
+//! [`ScheduleConfig { incremental: false }`](ScheduleConfig) as the
+//! benchmark baseline, mirroring the router's `LinqConfig` knob.
+
+mod incremental;
 
 use crate::program::{TiltOp, TiltProgram};
 use crate::spec::DeviceSpec;
@@ -38,6 +51,58 @@ pub enum SchedulerKind {
     /// Ablation baseline: move to the leftmost position covering the
     /// oldest ready gate, then drain whatever else that position covers.
     NaiveNextGate,
+}
+
+impl SchedulerKind {
+    /// The travel penalty (permille of one executable gate per ion
+    /// spacing) the Eq. 2 scorers apply; `None` for policies that do
+    /// not score positions.
+    fn penalty_permille(&self) -> Option<i64> {
+        match *self {
+            SchedulerKind::GreedyMaxExecutable => Some(0),
+            SchedulerKind::DistanceDiscounted { penalty_permille } => Some(penalty_permille as i64),
+            SchedulerKind::NaiveNextGate => None,
+        }
+    }
+}
+
+/// Full scheduling configuration: the policy plus the engine that
+/// evaluates it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScheduleConfig {
+    /// Which tape-scheduling policy to run.
+    pub kind: SchedulerKind,
+    /// Engine selection for the Eq. 2 policies: `true` (the default)
+    /// maintains per-position executable-gate counts incrementally;
+    /// `false` re-derives every position's count each round, as the
+    /// seed did. Both engines produce identical programs; the rescan
+    /// engine exists as the benchmark baseline.
+    pub incremental: bool,
+}
+
+impl Default for ScheduleConfig {
+    fn default() -> Self {
+        ScheduleConfig::new(SchedulerKind::default())
+    }
+}
+
+impl ScheduleConfig {
+    /// The incremental engine (the default) running `kind`.
+    pub fn new(kind: SchedulerKind) -> Self {
+        ScheduleConfig {
+            kind,
+            incremental: true,
+        }
+    }
+
+    /// The retained seed engine running `kind` — rescans every head
+    /// position per decision.
+    pub fn rescan(kind: SchedulerKind) -> Self {
+        ScheduleConfig {
+            kind,
+            incremental: false,
+        }
+    }
 }
 
 /// Schedules a routed physical circuit into an executable [`TiltProgram`].
@@ -70,6 +135,15 @@ pub enum SchedulerKind {
 /// # Ok::<(), tilt_compiler::CompileError>(())
 /// ```
 pub fn schedule(physical: &Circuit, spec: DeviceSpec, kind: SchedulerKind) -> TiltProgram {
+    schedule_with(physical, spec, ScheduleConfig::new(kind))
+}
+
+/// [`schedule`] with an explicit engine choice; see [`ScheduleConfig`].
+///
+/// # Panics
+///
+/// As [`schedule`].
+pub fn schedule_with(physical: &Circuit, spec: DeviceSpec, config: ScheduleConfig) -> TiltProgram {
     for g in physical.iter() {
         if let Some(d) = g.span() {
             assert!(
@@ -79,7 +153,19 @@ pub fn schedule(physical: &Circuit, spec: DeviceSpec, kind: SchedulerKind) -> Ti
             );
         }
     }
+    match config.kind.penalty_permille() {
+        Some(penalty) if config.incremental => {
+            incremental::schedule_incremental(physical, spec, penalty)
+        }
+        // NaiveNextGate never scores positions, so there is nothing to
+        // maintain incrementally; it always runs on the rescan loop.
+        _ => schedule_rescan(physical, spec, config.kind),
+    }
+}
 
+/// The seed engine: one full pass over every head position per
+/// decision.
+fn schedule_rescan(physical: &Circuit, spec: DeviceSpec, kind: SchedulerKind) -> TiltProgram {
     let dag = Dag::new(physical);
     let mut tracker = ReadyTracker::new(&dag);
     let mut ops: Vec<TiltOp> = Vec::with_capacity(physical.len());
@@ -373,6 +459,62 @@ mod tests {
         assert_eq!(discounted.gate_count(), c.len());
         // The discounted schedule never travels farther in total.
         assert!(discounted.move_distance_ions() <= plain.move_distance_ions());
+    }
+
+    #[test]
+    fn incremental_matches_rescan_on_structured_workloads() {
+        // Mixed zones, chains, barriers, and single-qubit traffic: the
+        // incremental engine must reproduce the seed engine's program
+        // op-for-op (positions, moves, and executed-gate order).
+        let mut zones = Circuit::new(32);
+        for r in 0..4 {
+            for i in 0..28 {
+                if (i * 5 + r) % 3 == 0 {
+                    zones.xx(Qubit(i), Qubit(i + 3), 0.1 * (r + 1) as f64);
+                }
+            }
+            zones.rx(Qubit((r * 7) % 32), 0.5);
+        }
+        let mut fenced = Circuit::new(16);
+        for i in 0..13 {
+            fenced.xx(Qubit(i), Qubit(i + 2), 0.2);
+            if i % 5 == 4 {
+                fenced.barrier();
+            }
+        }
+        let mut pingpong = Circuit::new(24);
+        for _ in 0..6 {
+            pingpong.xx(Qubit(0), Qubit(1), 0.3);
+            pingpong.xx(Qubit(22), Qubit(23), 0.3);
+            pingpong.xx(Qubit(11), Qubit(12), 0.3);
+        }
+        let workloads = [(zones, 32usize, 8usize), (fenced, 16, 4), (pingpong, 24, 4)];
+        let kinds = [
+            SchedulerKind::GreedyMaxExecutable,
+            SchedulerKind::DistanceDiscounted {
+                penalty_permille: 250,
+            },
+            SchedulerKind::DistanceDiscounted {
+                penalty_permille: 2000,
+            },
+        ];
+        for (c, n, head) in &workloads {
+            for kind in kinds {
+                let fast = schedule_with(c, spec(*n, *head), ScheduleConfig::new(kind));
+                let slow = schedule_with(c, spec(*n, *head), ScheduleConfig::rescan(kind));
+                assert_eq!(fast, slow, "{kind:?} diverged on {n}-ion workload");
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_defaults_to_the_incremental_engine() {
+        let mut c = Circuit::new(16);
+        c.xx(Qubit(0), Qubit(1), 0.5);
+        c.xx(Qubit(14), Qubit(15), 0.5);
+        let via_kind = schedule(&c, spec(16, 4), SchedulerKind::GreedyMaxExecutable);
+        let via_config = schedule_with(&c, spec(16, 4), ScheduleConfig::default());
+        assert_eq!(via_kind, via_config);
     }
 
     #[test]

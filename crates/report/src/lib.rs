@@ -20,7 +20,7 @@
 pub mod json;
 pub mod table;
 
-pub use json::Json;
+pub use json::{Json, JsonParseError};
 pub use table::Table;
 
 /// Formats a probability for display: fixed-point when readable, powers of

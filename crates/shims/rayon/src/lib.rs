@@ -7,32 +7,42 @@
 //!   mutation of disjoint slice chunks, driven to completion by
 //!   [`prelude::ParChunksMut::for_each`].
 //!
-//! Instead of a work-stealing pool this shim uses `std::thread::scope`:
-//! callers are expected to gate parallel dispatch behind a size
-//! threshold (the statevector kernels do), so the per-call thread-spawn
-//! cost is amortized over large chunks. On a single-core host every
-//! entry point degrades to straight serial execution with zero spawns.
+//! Unlike the first incarnation of this shim (which spawned a scoped
+//! thread per `join`), dispatch now runs on a real **work-stealing
+//! pool** ([`pool::Pool`]): a fixed worker set created lazily on first
+//! use, per-worker job deques, FIFO stealing, and a help-first wait
+//! loop, so fine-grained parallel splits cost a queue push instead of a
+//! thread spawn. See [`pool`] for the stealing discipline and shutdown
+//! semantics. On a single-core host every entry point degrades to
+//! straight serial execution with zero queue traffic.
+//!
+//! The pool is sized by `RAYON_NUM_THREADS` (mirroring real rayon) or,
+//! absent that, by [`std::thread::available_parallelism`].
 
-use std::num::NonZeroUsize;
-use std::sync::OnceLock;
+pub mod pool;
 
-/// Number of worker threads `join` may fan out to (the host's available
-/// parallelism, cached on first use).
+pub use pool::Pool;
+
+/// Number of threads `join` may fan out over (the global pool's size,
+/// including the calling thread).
 pub fn current_num_threads() -> usize {
-    static THREADS: OnceLock<usize> = OnceLock::new();
-    *THREADS.get_or_init(|| {
-        std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1)
-    })
+    pool::global().threads()
 }
 
-/// Runs both closures, in parallel when the host has more than one
-/// hardware thread, and returns both results.
+/// Runs both closures, potentially in parallel, and returns both
+/// results.
 ///
-/// Unlike real rayon there is no pool: the second closure runs on a
-/// freshly scoped thread. Callers should only invoke this above a work
-/// threshold that dwarfs a thread spawn (≈10 µs).
+/// The second closure is published to the global work-stealing pool
+/// while the first runs on the calling thread; if no worker steals it
+/// in the meantime the caller reclaims and runs it inline, so the
+/// serial fast path is one queue push + pop. Callers should still gate
+/// dispatch behind a work threshold (the statevector kernels do) —
+/// below a few microseconds of work the queue round-trip dominates.
+///
+/// # Panics
+///
+/// Propagates a panic from either closure (if both panic, the first
+/// closure's payload wins, matching the original shim's behaviour).
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -40,18 +50,7 @@ where
     RA: Send,
     RB: Send,
 {
-    if current_num_threads() <= 1 {
-        let ra = a();
-        let rb = b();
-        (ra, rb)
-    } else {
-        std::thread::scope(|s| {
-            let hb = s.spawn(b);
-            let ra = a();
-            let rb = hb.join().expect("rayon-shim: joined task panicked");
-            (ra, rb)
-        })
-    }
+    pool::global().join(a, b)
 }
 
 pub mod prelude {
@@ -67,9 +66,9 @@ pub mod prelude {
     }
 
     impl<'a, T: Send> ParChunksMut<'a, T> {
-        /// Applies `f` to every chunk, splitting the chunk list across
-        /// up to [`current_num_threads`](crate::current_num_threads)
-        /// scoped threads.
+        /// Applies `f` to every chunk, splitting the chunk list
+        /// recursively over the pool with [`crate::join`] so idle
+        /// workers steal whole runs of chunks.
         pub fn for_each<F>(self, f: F)
         where
             F: Fn(&mut [T]) + Send + Sync,
@@ -82,23 +81,33 @@ pub mod prelude {
                 }
                 return;
             }
-            // Hand each worker a contiguous run of whole chunks so each
-            // spawn covers many elements.
-            let workers = threads.min(n_chunks);
-            let chunks_per_worker = n_chunks.div_ceil(workers);
-            let stride = chunks_per_worker * self.chunk;
-            std::thread::scope(|s| {
-                for shard in self.slice.chunks_mut(stride) {
-                    let f = &f;
-                    let chunk = self.chunk;
-                    s.spawn(move || {
-                        for c in shard.chunks_mut(chunk) {
-                            f(c);
-                        }
-                    });
-                }
-            });
+            // Oversplit ~4× the thread count so stealing can rebalance
+            // uneven chunk costs, while each task still covers whole
+            // chunks.
+            let per_task = n_chunks.div_ceil(threads * 4).max(1);
+            split_for_each(self.slice, self.chunk, per_task, &f);
         }
+    }
+
+    /// Recursive binary split of the chunk list down to `per_task`
+    /// chunks per leaf.
+    fn split_for_each<T: Send, F>(slice: &mut [T], chunk: usize, per_task: usize, f: &F)
+    where
+        F: Fn(&mut [T]) + Send + Sync,
+    {
+        let n_chunks = slice.len().div_ceil(chunk);
+        if n_chunks <= per_task {
+            for c in slice.chunks_mut(chunk) {
+                f(c);
+            }
+            return;
+        }
+        let mid = (n_chunks / 2) * chunk;
+        let (a, b) = slice.split_at_mut(mid);
+        crate::join(
+            || split_for_each(a, chunk, per_task, f),
+            || split_for_each(b, chunk, per_task, f),
+        );
     }
 
     /// Parallel chunking of mutable slices.
@@ -153,5 +162,24 @@ mod tests {
         let mut v = vec![0u8; 7];
         v.par_chunks_mut(100).for_each(|c| c.fill(9));
         assert_eq!(v, vec![9; 7]);
+    }
+
+    #[test]
+    fn current_num_threads_is_positive_and_stable() {
+        let n = current_num_threads();
+        assert!(n >= 1);
+        assert_eq!(n, current_num_threads());
+    }
+
+    #[test]
+    fn deep_recursion_through_the_global_pool() {
+        fn fib(n: u64) -> u64 {
+            if n < 12 {
+                return (1..=n).fold((0, 1), |(a, b), _| (b, a + b)).0;
+            }
+            let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        assert_eq!(fib(20), 6765);
     }
 }

@@ -245,12 +245,20 @@ pub fn phase_parity_parallel(
 pub fn controlled_x(amps: &mut [Complex], ctrl_mask: usize, t: usize) {
     let stride = 1usize << t;
     assert_in_register(amps.len(), stride.max(ctrl_mask));
+    controlled_x_in(amps, 0, ctrl_mask, t);
+}
+
+/// [`controlled_x`] over a subslice starting at absolute basis index
+/// `base` (needed because control bits above the target compare against
+/// absolute block addresses).
+fn controlled_x_in(amps: &mut [Complex], base: usize, ctrl_mask: usize, t: usize) {
+    let stride = 1usize << t;
     let low_ctrl = ctrl_mask & (stride - 1);
     let high_ctrl = ctrl_mask & !(2 * stride - 1);
     debug_assert_eq!(low_ctrl | high_ctrl, ctrl_mask, "control on target bit");
     for (bi, block) in amps.chunks_exact_mut(2 * stride).enumerate() {
-        let base = bi * 2 * stride;
-        if base & high_ctrl != high_ctrl {
+        let block_base = base + bi * 2 * stride;
+        if block_base & high_ctrl != high_ctrl {
             continue;
         }
         let (lo, hi) = block.split_at_mut(stride);
@@ -261,6 +269,35 @@ pub fn controlled_x(amps: &mut [Complex], ctrl_mask: usize, t: usize) {
             swap_masked(lo, hi, low_ctrl);
         }
     }
+}
+
+/// Parallel variant of [`controlled_x`]: recursively halves the block
+/// range with `rayon::join`, pruning subtrees whose absolute base can
+/// never satisfy the control bits at or above the subtree's span.
+pub fn controlled_x_parallel(amps: &mut [Complex], ctrl_mask: usize, t: usize) {
+    let stride = 1usize << t;
+    assert_in_register(amps.len(), stride.max(ctrl_mask));
+    controlled_x_split(amps, 0, ctrl_mask, t);
+}
+
+fn controlled_x_split(amps: &mut [Complex], base: usize, ctrl_mask: usize, t: usize) {
+    let block = 2usize << t;
+    // Control bits the whole subtree shares come from `base` alone
+    // (`amps.len()` is a power of two): mismatch ⇒ nothing to do.
+    let above = ctrl_mask & !(amps.len() - 1);
+    if base & above != above {
+        return;
+    }
+    if amps.len() <= block.max(PARALLEL_GRAIN) {
+        controlled_x_in(amps, base, ctrl_mask, t);
+        return;
+    }
+    let mid = amps.len() / 2;
+    let (a, b) = amps.split_at_mut(mid);
+    rayon::join(
+        || controlled_x_split(a, base, ctrl_mask, t),
+        || controlled_x_split(b, base + mid, ctrl_mask, t),
+    );
 }
 
 /// Swaps `lo[j] ↔ hi[j]` for every offset `j` with all bits of `mask`
@@ -295,6 +332,221 @@ pub fn swap_qubits(amps: &mut [Complex], a: usize, b: usize) {
             let (_, l1) = lc.split_at_mut(slo);
             let (h0, _) = hc.split_at_mut(slo);
             l1.swap_with_slice(h0);
+        }
+    }
+}
+
+/// Parallel variant of [`swap_qubits`]. The swap pattern is periodic in
+/// the `2^(qhi+1)` block size with no absolute-address dependence, so
+/// power-of-two chunks of at least one block parallelize directly.
+pub fn swap_qubits_parallel(amps: &mut [Complex], a: usize, b: usize) {
+    let qhi = a.max(b);
+    let block = 2usize << qhi;
+    if amps.len() <= block.max(PARALLEL_GRAIN) {
+        swap_qubits(amps, a, b);
+        return;
+    }
+    par_sweep(amps, block, move |chunk| swap_qubits(chunk, a, b));
+}
+
+// --- batched diagonal runs ------------------------------------------------
+
+/// One factor of a batched diagonal run, normalized so the factor for
+/// the all-zeros setting of its operand bits is 1 (callers defer that
+/// common phase into the run-wide global factor).
+#[derive(Clone, Copy, Debug)]
+pub enum DiagTerm {
+    /// `diag(p[0], p[1])` on qubit `q`.
+    One {
+        /// Target qubit.
+        q: usize,
+        /// Factors indexed by the target bit.
+        p: [Complex; 2],
+    },
+    /// `diag(d[0], d[1], d[2], d[3])` on the pair `(qlo, qhi)` with
+    /// `qlo < qhi` and index `v = bit(qlo) + 2·bit(qhi)`.
+    Two {
+        /// Lower operand qubit.
+        qlo: usize,
+        /// Higher operand qubit.
+        qhi: usize,
+        /// Factors indexed by `v`.
+        d: [Complex; 4],
+    },
+}
+
+impl DiagTerm {
+    /// The highest qubit the term touches (the recursion pivot).
+    fn top_qubit(&self) -> usize {
+        match *self {
+            DiagTerm::One { q, .. } => q,
+            DiagTerm::Two { qhi, .. } => qhi,
+        }
+    }
+
+    /// This term's factor at basis index `x`.
+    fn factor(&self, x: usize) -> Complex {
+        match *self {
+            DiagTerm::One { q, p } => p[(x >> q) & 1],
+            DiagTerm::Two { qlo, qhi, d } => d[((x >> qlo) & 1) | (((x >> qhi) & 1) << 1)],
+        }
+    }
+}
+
+/// Below this block size the run is collapsed into a phase lookup table
+/// instead of recursing further (the table sweep is one multiply per
+/// amplitude; deeper recursion would pay a call per handful of
+/// amplitudes).
+const DIAG_TABLE_MAX: usize = 256;
+
+/// `true` when `z` is 1 up to fp rounding of unit-modulus products
+/// (same classification the fusion pipeline uses).
+#[inline]
+fn is_unit(z: Complex) -> bool {
+    let d = z - Complex::ONE;
+    d.norm_sq() < 1e-30
+}
+
+/// Applies a whole run of diagonal factors in **one** hierarchical
+/// sweep: each amplitude is multiplied exactly once, by the product of
+/// every factor selected by its bits (consecutive fused diagonal blocks
+/// — QFT rows, QAOA cost layers — would otherwise each pay a separate
+/// pass over the state).
+///
+/// Two phases. **Build**: recursively split on the highest qubit any
+/// term touches — terms on that qubit partially evaluate into per-half
+/// scalars (or 1-qubit terms, for pairs) — until the remaining span
+/// fits [`DIAG_TABLE_MAX`], where the residual run collapses into a
+/// phase lookup table. The result is a small class tree computed
+/// **once** per run (one node per setting of the run's high qubits),
+/// not once per amplitude block. **Apply**: walk the state against the
+/// tree; every amplitude receives exactly one multiply, from its leaf's
+/// table or scalar. With `parallel`, disjoint subslices fan out via
+/// `rayon::join` above the grain size.
+pub fn apply_diag_run(amps: &mut [Complex], terms: &[DiagTerm], parallel: bool) {
+    if let Some(t) = terms.iter().map(DiagTerm::top_qubit).max() {
+        assert_in_register(amps.len(), 1usize << t);
+    }
+    let tree = build_diag_tree(terms.to_vec(), Complex::ONE);
+    apply_diag_tree(amps, &tree, parallel);
+}
+
+/// One class of basis states in a batched diagonal run: all indices
+/// sharing a setting of the run's qubits above the node's level get the
+/// same residual factor structure.
+enum DiagNode {
+    /// No factors below this level beyond a constant (skipped when it
+    /// is 1 up to rounding).
+    Scale(Complex),
+    /// Residual factors over a span of at most [`DIAG_TABLE_MAX`]
+    /// amplitudes, collapsed into one lookup table.
+    Leaf(Vec<Complex>),
+    /// Blocks of `2^(h+1)` amplitudes split at qubit `h` into two
+    /// half-classes.
+    Split {
+        h: usize,
+        lo: Box<DiagNode>,
+        hi: Box<DiagNode>,
+    },
+}
+
+fn build_diag_tree(terms: Vec<DiagTerm>, scalar: Complex) -> DiagNode {
+    let Some(h) = terms.iter().map(DiagTerm::top_qubit).max() else {
+        return DiagNode::Scale(scalar);
+    };
+    let block = 2usize << h;
+    if block <= DIAG_TABLE_MAX {
+        let mut table = vec![scalar; block];
+        for (x, f) in table.iter_mut().enumerate() {
+            for t in &terms {
+                *f = *f * t.factor(x);
+            }
+        }
+        return DiagNode::Leaf(table);
+    }
+    let mut lo_terms = Vec::with_capacity(terms.len());
+    let mut hi_terms = Vec::with_capacity(terms.len());
+    let (mut lo_scalar, mut hi_scalar) = (scalar, scalar);
+    for t in terms {
+        match t {
+            DiagTerm::One { q, p } if q == h => {
+                lo_scalar = lo_scalar * p[0];
+                hi_scalar = hi_scalar * p[1];
+            }
+            DiagTerm::Two { qlo, qhi, d } if qhi == h => {
+                lo_terms.push(DiagTerm::One {
+                    q: qlo,
+                    p: [d[0], d[1]],
+                });
+                hi_terms.push(DiagTerm::One {
+                    q: qlo,
+                    p: [d[2], d[3]],
+                });
+            }
+            other => {
+                lo_terms.push(other);
+                hi_terms.push(other);
+            }
+        }
+    }
+    DiagNode::Split {
+        h,
+        lo: Box::new(build_diag_tree(lo_terms, lo_scalar)),
+        hi: Box::new(build_diag_tree(hi_terms, hi_scalar)),
+    }
+}
+
+fn apply_diag_tree(amps: &mut [Complex], node: &DiagNode, parallel: bool) {
+    match node {
+        DiagNode::Scale(s) => {
+            if !is_unit(*s) {
+                if parallel && amps.len() > PARALLEL_GRAIN {
+                    scale_all_parallel(amps, *s);
+                } else {
+                    scale_all(amps, *s);
+                }
+            }
+        }
+        DiagNode::Leaf(table) => {
+            if parallel && amps.len() > PARALLEL_GRAIN {
+                par_sweep(amps, table.len(), move |chunk| sweep_table(chunk, table));
+            } else {
+                sweep_table(amps, table);
+            }
+        }
+        DiagNode::Split { h, lo, hi } => {
+            let block = 2usize << h;
+            if parallel && amps.len() > block && amps.len() > PARALLEL_GRAIN {
+                let mid = amps.len() / 2;
+                let (x, y) = amps.split_at_mut(mid);
+                rayon::join(
+                    || apply_diag_tree(x, node, parallel),
+                    || apply_diag_tree(y, node, parallel),
+                );
+                return;
+            }
+            for chunk in amps.chunks_exact_mut(block) {
+                let (clo, chi) = chunk.split_at_mut(block / 2);
+                if parallel && clo.len() > PARALLEL_GRAIN {
+                    rayon::join(
+                        || apply_diag_tree(clo, lo, parallel),
+                        || apply_diag_tree(chi, hi, parallel),
+                    );
+                } else {
+                    apply_diag_tree(clo, lo, parallel);
+                    apply_diag_tree(chi, hi, parallel);
+                }
+            }
+        }
+    }
+}
+
+/// Elementwise multiply by a table whose length divides the chunking.
+#[inline]
+fn sweep_table(amps: &mut [Complex], table: &[Complex]) {
+    for chunk in amps.chunks_exact_mut(table.len()) {
+        for (a, f) in chunk.iter_mut().zip(table) {
+            *a = *a * *f;
         }
     }
 }
@@ -514,6 +766,96 @@ mod tests {
             let expect = amp(x as f64) * if p == 0 { same } else { diff };
             assert!((a.re - expect.re).abs() < 1e-12 && (a.im - expect.im).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn serial_and_parallel_permutations_agree() {
+        for n in [6usize, 9] {
+            let init: Vec<Complex> = (0..1usize << n)
+                .map(|i| Complex::new(i as f64, -(i as f64)))
+                .collect();
+            for (mask, t) in [
+                (0usize, 0usize),
+                (1 << 3, 0),
+                (1 << 0, 5),
+                ((1 << 2) | (1 << 4), 1),
+                ((1 << 0) | (1 << 1), n - 1),
+            ] {
+                let mut a = init.clone();
+                let mut b = init.clone();
+                controlled_x(&mut a, mask, t);
+                controlled_x_parallel(&mut b, mask, t);
+                assert_eq!(a, b, "n={n} mask={mask:#b} t={t}");
+            }
+            for (p, q) in [(0usize, 1usize), (0, n - 1), (2, 4)] {
+                let mut a = init.clone();
+                let mut b = init.clone();
+                swap_qubits(&mut a, p, q);
+                swap_qubits_parallel(&mut b, p, q);
+                assert_eq!(a, b, "n={n} swap({p},{q})");
+            }
+        }
+    }
+
+    #[test]
+    fn diag_run_matches_per_term_application() {
+        let n = 9usize;
+        let terms = vec![
+            DiagTerm::One {
+                q: 0,
+                p: [Complex::ONE, Complex::cis(0.3)],
+            },
+            DiagTerm::Two {
+                qlo: 1,
+                qhi: 7,
+                d: [
+                    Complex::ONE,
+                    Complex::cis(0.2),
+                    Complex::cis(-0.4),
+                    Complex::cis(1.1),
+                ],
+            },
+            DiagTerm::One {
+                q: 8,
+                p: [Complex::cis(-0.6), Complex::cis(0.6)],
+            },
+            DiagTerm::Two {
+                qlo: 3,
+                qhi: 4,
+                d: [
+                    Complex::ONE,
+                    Complex::ONE,
+                    Complex::ONE,
+                    Complex::new(-1.0, 0.0),
+                ],
+            },
+        ];
+        let init: Vec<Complex> = (0..1usize << n)
+            .map(|i| Complex::new((i % 17) as f64, (i % 5) as f64))
+            .collect();
+        for parallel in [false, true] {
+            let mut batched = init.clone();
+            apply_diag_run(&mut batched, &terms, parallel);
+            let mut reference = init.clone();
+            for (x, a) in reference.iter_mut().enumerate() {
+                for t in &terms {
+                    *a = *a * t.factor(x);
+                }
+            }
+            for (x, (got, want)) in batched.iter().zip(&reference).enumerate() {
+                assert!(
+                    (got.re - want.re).abs() < 1e-12 && (got.im - want.im).abs() < 1e-12,
+                    "parallel={parallel} index {x}: {got:?} vs {want:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_diag_run_is_identity() {
+        let mut v = ramp(16);
+        apply_diag_run(&mut v, &[], false);
+        assert_eq!(v, ramp(16));
     }
 
     #[test]

@@ -258,10 +258,24 @@ impl State {
             // identical (up to f64 rounding), but e.g. the ubiquitous
             // `e^{-iλ/4}·diag(1,1,1,e^{iλ})` fused controlled-phase
             // block touches 2^(n-2) amplitudes instead of 2^n.
+            //
+            // On top of that, *consecutive* diagonal blocks (QFT rows,
+            // QAOA cost layers) are batched into one run and applied by
+            // a single hierarchical sweep — diagonal ops commute, so
+            // deferring each term past later diagonal terms is exact.
             let mut global = Complex::ONE;
+            let mut run = DiagRun::new();
             for op in fuse::fuse(circuit) {
-                apply_fused(&mut self.amps, op, parallel, &mut global);
+                match classify_diag(&op, &mut global) {
+                    DiagClass::Term(term) => run.push(&mut self.amps, term, parallel),
+                    DiagClass::Absorbed => {}
+                    DiagClass::Opaque => {
+                        run.flush(&mut self.amps, parallel);
+                        apply_fused(&mut self.amps, op, parallel, &mut global);
+                    }
+                }
             }
+            run.flush(&mut self.amps, parallel);
             if !close(global, Complex::ONE) {
                 if parallel {
                     kernels::scale_all_parallel(&mut self.amps, global);
@@ -330,6 +344,140 @@ fn close(a: Complex, b: Complex) -> bool {
     (a - b).norm_sq() < 1e-30
 }
 
+/// How a fused op enters the diagonal-run batcher.
+enum DiagClass {
+    /// A diagonal factor, normalized to a leading 1 (the common phase
+    /// already moved into the deferred global factor).
+    Term(kernels::DiagTerm),
+    /// Diagonal and — after normalization — the identity: nothing to
+    /// apply beyond the global factor.
+    Absorbed,
+    /// Not diagonal; must flush the pending run and apply directly.
+    Opaque,
+}
+
+/// Classifies a fused op for run batching, accumulating each diagonal
+/// block's common phase into `global` (the same normalization
+/// [`apply_fused`] performs).
+fn classify_diag(op: &FusedOp, global: &mut Complex) -> DiagClass {
+    match *op {
+        FusedOp::OneQ { q, m } if fuse::is_diagonal2(&m) => {
+            *global = *global * m[0][0];
+            let rel = m[1][1] * m[0][0].conj();
+            if close(rel, Complex::ONE) {
+                DiagClass::Absorbed
+            } else {
+                DiagClass::Term(kernels::DiagTerm::One {
+                    q,
+                    p: [Complex::ONE, rel],
+                })
+            }
+        }
+        FusedOp::TwoQ { a, b, m } if fuse::is_diagonal4(&m) => {
+            // Orient to qlo < qhi: transposing the index bits of a
+            // diagonal swaps the |01⟩ and |10⟩ entries.
+            let raw = [m[0][0], m[1][1], m[2][2], m[3][3]];
+            let (qlo, qhi, d) = if a < b {
+                (a, b, raw)
+            } else {
+                (b, a, [raw[0], raw[2], raw[1], raw[3]])
+            };
+            *global = *global * d[0];
+            let rel = [
+                Complex::ONE,
+                d[1] * d[0].conj(),
+                d[2] * d[0].conj(),
+                d[3] * d[0].conj(),
+            ];
+            if rel[1..].iter().all(|&z| close(z, Complex::ONE)) {
+                DiagClass::Absorbed
+            } else {
+                DiagClass::Term(kernels::DiagTerm::Two { qlo, qhi, d: rel })
+            }
+        }
+        _ => DiagClass::Opaque,
+    }
+}
+
+/// Shortest run worth the hierarchical sweep: below this each term's
+/// specialized kernel (which touches only the affected subspace) is
+/// cheaper than one full-state pass.
+const MIN_DIAG_RUN: usize = 4;
+
+/// Most distinct qubits per batched run: the hierarchical sweep's
+/// bookkeeping tree has one node per setting of the run's qubits, so an
+/// unbounded run on an n-qubit register would cost as much as the naive
+/// per-index evaluation it replaces.
+const MAX_DIAG_RUN_QUBITS: u32 = 12;
+
+/// Pending batch of consecutive diagonal factors.
+struct DiagRun {
+    terms: Vec<kernels::DiagTerm>,
+    qubits: u64,
+}
+
+impl DiagRun {
+    fn new() -> Self {
+        DiagRun {
+            terms: Vec::new(),
+            qubits: 0,
+        }
+    }
+
+    /// Adds a term, flushing first when the run's qubit budget would
+    /// overflow.
+    fn push(&mut self, amps: &mut [Complex], term: kernels::DiagTerm, parallel: bool) {
+        let mask = match term {
+            kernels::DiagTerm::One { q, .. } => 1u64 << q,
+            kernels::DiagTerm::Two { qlo, qhi, .. } => (1u64 << qlo) | (1u64 << qhi),
+        };
+        if (self.qubits | mask).count_ones() > MAX_DIAG_RUN_QUBITS {
+            self.flush(amps, parallel);
+        }
+        self.qubits |= mask;
+        self.terms.push(term);
+    }
+
+    /// Applies and clears the pending run: long runs via the batched
+    /// hierarchical sweep, short ones through the per-term kernels
+    /// (identical numerics to unbatched dispatch).
+    fn flush(&mut self, amps: &mut [Complex], parallel: bool) {
+        if self.terms.len() >= MIN_DIAG_RUN {
+            kernels::apply_diag_run(amps, &self.terms, parallel);
+        } else {
+            for term in &self.terms {
+                apply_diag_term(amps, term, parallel);
+            }
+        }
+        self.terms.clear();
+        self.qubits = 0;
+    }
+}
+
+/// Applies one normalized diagonal term through the specialized
+/// sub-space kernels (the pre-batching dispatch, kept for short runs).
+fn apply_diag_term(amps: &mut [Complex], term: &kernels::DiagTerm, parallel: bool) {
+    match *term {
+        kernels::DiagTerm::One { q, p } => phase_dispatch(amps, q, p[1], parallel),
+        kernels::DiagTerm::Two { qlo, qhi, d } => {
+            if close(d[1], Complex::ONE) && close(d[2], Complex::ONE) {
+                // Controlled-phase shape: only the |11⟩ subspace moves.
+                if !close(d[3], Complex::ONE) {
+                    if parallel {
+                        kernels::phase_both_parallel(amps, qlo, qhi, d[3]);
+                    } else {
+                        kernels::phase_both(amps, qlo, qhi, d[3]);
+                    }
+                }
+            } else if parallel {
+                kernels::diag_2q_parallel(amps, qlo, qhi, d);
+            } else {
+                kernels::diag_2q(amps, qlo, qhi, d);
+            }
+        }
+    }
+}
+
 /// Applies one fused op, deferring block-common unit-modulus factors
 /// into `global`.
 fn apply_fused(amps: &mut [Complex], op: FusedOp, parallel: bool, global: &mut Complex) {
@@ -377,6 +525,10 @@ fn apply_fused(amps: &mut [Complex], op: FusedOp, parallel: bool, global: &mut C
                 } else {
                     kernels::diag_2q(amps, qlo, qhi, rel);
                 }
+            } else if apply_2q_permutation(amps, qlo, qhi, &m, parallel) {
+                // Pure permutation block (an unmerged CNOT/SWAP):
+                // dispatched to the contiguous-run swap kernels instead
+                // of a dense 4×4 pass.
             } else if parallel {
                 kernels::apply_2q_parallel(amps, qlo, qhi, m);
             } else {
@@ -385,6 +537,69 @@ fn apply_fused(amps: &mut [Complex], op: FusedOp, parallel: bool, global: &mut C
         }
         FusedOp::Passthrough(g) => apply_kernel(amps, &g, parallel),
     }
+}
+
+/// Dispatches `m` to a permutation kernel when it is exactly a basis
+/// permutation with unit entries (a CNOT or SWAP block no rotation
+/// merged into — fusion preserves the exact 0/1 entries in that case).
+/// Returns `false` when `m` is not such a permutation.
+fn apply_2q_permutation(
+    amps: &mut [Complex],
+    qlo: usize,
+    qhi: usize,
+    m: &fuse::Mat4,
+    parallel: bool,
+) -> bool {
+    // Column v's single unit entry gives the permutation image p[v].
+    let mut p = [0usize; 4];
+    for v in 0..4 {
+        let mut image = None;
+        for (r, row) in m.iter().enumerate() {
+            if row[v] == Complex::ONE {
+                if image.is_some() {
+                    return false;
+                }
+                image = Some(r);
+            } else if row[v] != Complex::ZERO {
+                return false;
+            }
+        }
+        let Some(r) = image else { return false };
+        p[v] = r;
+    }
+    // Index convention: v = bit(qlo) + 2·bit(qhi).
+    match p {
+        // Identity (e.g. CNOT·CNOT merged): nothing to move.
+        [0, 1, 2, 3] => {}
+        // Flip qhi when qlo is set: CNOT(ctrl = qlo, target = qhi).
+        [0, 3, 2, 1] => {
+            if parallel {
+                kernels::controlled_x_parallel(amps, 1usize << qlo, qhi);
+            } else {
+                kernels::controlled_x(amps, 1usize << qlo, qhi);
+            }
+        }
+        // Flip qlo when qhi is set: CNOT(ctrl = qhi, target = qlo).
+        [0, 1, 3, 2] => {
+            if parallel {
+                kernels::controlled_x_parallel(amps, 1usize << qhi, qlo);
+            } else {
+                kernels::controlled_x(amps, 1usize << qhi, qlo);
+            }
+        }
+        // Exchange the mixed basis states: SWAP.
+        [0, 2, 1, 3] => {
+            if parallel {
+                kernels::swap_qubits_parallel(amps, qlo, qhi);
+            } else {
+                kernels::swap_qubits(amps, qlo, qhi);
+            }
+        }
+        // Other permutations (X-dressed variants) stay on the dense
+        // path — they are rare and correct there.
+        _ => return false,
+    }
+    true
 }
 
 /// Routes a single-qubit matrix to the diagonal or general kernel.
@@ -489,15 +704,31 @@ fn apply_kernel(amps: &mut [Complex], gate: &Gate, parallel: bool) {
                 kernels::phase_parity(amps, a.index(), b.index(), same, diff);
             }
         }
-        // Permutation gates: contiguous-run swaps (memcpy-bound, so the
-        // serial kernels already saturate memory bandwidth).
-        Gate::Cnot(c, t) => kernels::controlled_x(amps, 1usize << c.index(), t.index()),
-        Gate::Swap(a, b) => kernels::swap_qubits(amps, a.index(), b.index()),
-        Gate::Toffoli(c0, c1, t) => kernels::controlled_x(
-            amps,
-            (1usize << c0.index()) | (1usize << c1.index()),
-            t.index(),
-        ),
+        // Permutation gates: contiguous-run swaps, fanned out over
+        // disjoint block ranges on large states (a single core is
+        // memcpy-bound, but multiple cores multiply the bandwidth).
+        Gate::Cnot(c, t) => {
+            if parallel {
+                kernels::controlled_x_parallel(amps, 1usize << c.index(), t.index())
+            } else {
+                kernels::controlled_x(amps, 1usize << c.index(), t.index())
+            }
+        }
+        Gate::Swap(a, b) => {
+            if parallel {
+                kernels::swap_qubits_parallel(amps, a.index(), b.index())
+            } else {
+                kernels::swap_qubits(amps, a.index(), b.index())
+            }
+        }
+        Gate::Toffoli(c0, c1, t) => {
+            let mask = (1usize << c0.index()) | (1usize << c1.index());
+            if parallel {
+                kernels::controlled_x_parallel(amps, mask, t.index())
+            } else {
+                kernels::controlled_x(amps, mask, t.index())
+            }
+        }
         // The entangling workhorse.
         Gate::Xx(a, b, t) => {
             let cos = Complex::new((t / 2.0).cos(), 0.0);

@@ -1,0 +1,140 @@
+//! Property tests pinning the incremental Algorithm-2 engine to the
+//! retained seed rescan engine.
+//!
+//! Random already-routed circuits (every two-qubit gate fits under the
+//! head) run through both engines for every Eq. 2 policy; the resulting
+//! programs must be identical op-for-op — same move sequence, same head
+//! positions, same executed-gate order. A second property routes random
+//! *unrouted* circuits through the full compiler first, so the engines
+//! are also compared on realistic swap-laden gate streams.
+
+use proptest::prelude::*;
+use tilt::circuit::{Circuit, Gate, Qubit};
+use tilt::compiler::schedule::{schedule_with, ScheduleConfig, SchedulerKind};
+use tilt::compiler::{Compiler, DeviceSpec, InitialMapping};
+
+/// Device shapes worth covering: narrow and wide heads, few and many
+/// head positions.
+fn spec_strategy() -> impl Strategy<Value = DeviceSpec> {
+    prop_oneof![
+        Just(DeviceSpec::new(16, 4).unwrap()),
+        Just(DeviceSpec::new(24, 6).unwrap()),
+        Just(DeviceSpec::new(32, 8).unwrap()),
+        Just(DeviceSpec::new(12, 12).unwrap()),
+    ]
+}
+
+fn kind_strategy() -> impl Strategy<Value = SchedulerKind> {
+    prop_oneof![
+        Just(SchedulerKind::GreedyMaxExecutable),
+        (1u32..3000)
+            .prop_map(|penalty_permille| SchedulerKind::DistanceDiscounted { penalty_permille }),
+    ]
+}
+
+/// A random *routed* circuit on `spec`: all two-qubit spans stay under
+/// the head, with single-qubit gates and barriers mixed in.
+fn routed_circuit_strategy(spec: DeviceSpec) -> impl Strategy<Value = Circuit> {
+    let n = spec.n_ions();
+    let head = spec.head_size();
+    let two_q = move |(a, d): (usize, usize)| {
+        let b = if a + d < n { a + d } else { a - d.min(a) };
+        if a == b {
+            Gate::Rx(Qubit(a), 0.3)
+        } else {
+            Gate::Xx(Qubit(a), Qubit(b), 0.4)
+        }
+    };
+    // The shim's `prop_oneof!` is unweighted; repeat the two-qubit arm
+    // to keep the stream dominated by schedulable gate traffic.
+    let gate = prop_oneof![
+        (0..n, 1..head).prop_map(two_q),
+        (0..n, 1..head).prop_map(two_q),
+        (0..n, 1..head).prop_map(two_q),
+        (0..n, 1..head).prop_map(two_q),
+        (0..n).prop_map(|q| Gate::Rz(Qubit(q), 0.7)),
+        (0..n).prop_map(|q| Gate::Rz(Qubit(q), 0.7)),
+        Just(Gate::Barrier),
+    ];
+    prop::collection::vec(gate, 1..120).prop_map(move |gates| Circuit::from_gates(n, gates))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Incremental and rescan engines produce identical programs on
+    /// random routed circuits under every Eq. 2 policy.
+    #[test]
+    fn incremental_matches_rescan_on_random_circuits(
+        (spec, circuit) in spec_strategy().prop_flat_map(|s| (Just(s), routed_circuit_strategy(s))),
+        kind in kind_strategy(),
+    ) {
+        let fast = schedule_with(&circuit, spec, ScheduleConfig::new(kind));
+        let slow = schedule_with(&circuit, spec, ScheduleConfig::rescan(kind));
+        prop_assert_eq!(
+            &fast, &slow,
+            "engines diverged for {:?} on:\n{}", kind, circuit
+        );
+        // Belt and braces on the two halves the equality covers: the
+        // move sequence and the executed-gate order.
+        let moves = |p: &tilt::compiler::TiltProgram| -> Vec<usize> {
+            p.ops().iter().filter_map(|op| match op {
+                tilt::compiler::TiltOp::Move { to } => Some(*to),
+                _ => None,
+            }).collect()
+        };
+        prop_assert_eq!(moves(&fast), moves(&slow));
+        let order_fast: Vec<&Gate> = fast.gates().map(|(g, _)| g).collect();
+        let order_slow: Vec<&Gate> = slow.gates().map(|(g, _)| g).collect();
+        prop_assert_eq!(order_fast, order_slow);
+    }
+
+    /// Same comparison after real routing: random long-range circuits
+    /// go through decomposition and LinQ swap insertion, then both
+    /// engines schedule the lowered stream.
+    #[test]
+    fn incremental_matches_rescan_after_routing(
+        pairs in prop::collection::vec((0usize..24, 0usize..24, 1u32..3), 1..25),
+        kind in kind_strategy(),
+    ) {
+        let spec = DeviceSpec::new(24, 6).unwrap();
+        let mut c = Circuit::new(24);
+        for (a, b, kind_sel) in pairs {
+            if a == b {
+                c.rz(Qubit(a), 0.4);
+            } else if kind_sel == 1 {
+                c.cnot(Qubit(a), Qubit(b));
+            } else {
+                c.xx(Qubit(a), Qubit(b), 0.9);
+            }
+        }
+        let native = tilt::compiler::decompose::decompose(&c);
+        let initial = InitialMapping::Identity.build(&native, spec.n_ions());
+        let routed = tilt::compiler::RouterKind::default()
+            .route(&native, spec, &initial)
+            .expect("random circuits on 24 ions route");
+        let lowered = tilt::compiler::decompose::decompose(&routed.circuit);
+        let fast = schedule_with(&lowered, spec, ScheduleConfig::new(kind));
+        let slow = schedule_with(&lowered, spec, ScheduleConfig::rescan(kind));
+        prop_assert_eq!(&fast, &slow, "engines diverged for {:?}", kind);
+    }
+}
+
+/// The compiler pipeline (which defaults to the incremental engine)
+/// still produces programs the rescan engine agrees with end to end.
+#[test]
+fn pipeline_schedule_is_engine_independent() {
+    let mut c = Circuit::new(32);
+    for i in 0..16 {
+        c.cnot(Qubit(i), Qubit(31 - i));
+    }
+    let spec = DeviceSpec::new(32, 8).unwrap();
+    let out = Compiler::new(spec).compile(&c).expect("compiles");
+    let lowered = tilt::compiler::decompose::decompose(&out.routed.circuit);
+    let rescan = schedule_with(
+        &lowered,
+        spec,
+        ScheduleConfig::rescan(SchedulerKind::GreedyMaxExecutable),
+    );
+    assert_eq!(out.program, rescan);
+}

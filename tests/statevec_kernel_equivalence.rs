@@ -132,6 +132,93 @@ proptest! {
         let f = fused.fidelity(&unfused);
         prop_assert!((f - 1.0).abs() < EPS, "fidelity {f}\ncircuit: {circuit}");
     }
+
+    /// Permutation-dense circuits pin the parallel `CNOT`/`SWAP`/
+    /// `Toffoli` kernels (forced-rayon modes) to the naive path.
+    #[test]
+    fn parallel_permutation_kernels_match_naive(circuit in permutation_strategy(), seed in 0u64..1000) {
+        let n = circuit.n_qubits();
+        let probe = State::random(n, seed);
+        let reference = probe.clone().run_naive(&circuit);
+        for (name, opts) in modes() {
+            let out = probe.clone().run_with(&circuit, opts);
+            let f = out.fidelity(&reference);
+            prop_assert!(
+                (f - 1.0).abs() < EPS,
+                "{name} diverged on permutation circuit: fidelity {f}\ncircuit: {circuit}"
+            );
+        }
+    }
+
+    /// Diagonal-dense circuits (long `Rz`/`CZ`/`CPhase`/`ZZ` stretches)
+    /// exercise the batched hierarchical sweep; every mode must still
+    /// match naive.
+    #[test]
+    fn diagonal_run_batching_matches_naive(circuit in diagonal_strategy(), seed in 0u64..1000) {
+        let n = circuit.n_qubits();
+        let probe = State::random(n, seed);
+        let reference = probe.clone().run_naive(&circuit);
+        for (name, opts) in modes() {
+            let out = probe.clone().run_with(&circuit, opts);
+            let f = out.fidelity(&reference);
+            prop_assert!(
+                (f - 1.0).abs() < EPS,
+                "{name} diverged on diagonal circuit: fidelity {f}\ncircuit: {circuit}"
+            );
+        }
+    }
+}
+
+/// Circuits made almost entirely of permutation gates, so the
+/// contiguous-run swap kernels (and their parallel splits) dominate.
+fn permutation_strategy() -> impl Strategy<Value = Circuit> {
+    (4usize..9).prop_flat_map(|n| {
+        let q = move || (0..n).prop_map(Qubit);
+        let pair = move || {
+            (0..n, 0..n)
+                .prop_filter("distinct operands", |(a, b)| a != b)
+                .prop_map(|(a, b)| (Qubit(a), Qubit(b)))
+        };
+        let triple = move || {
+            (0..n, 0..n, 0..n)
+                .prop_filter("distinct operands", |(a, b, c)| a != b && b != c && a != c)
+                .prop_map(|(a, b, c)| (Qubit(a), Qubit(b), Qubit(c)))
+        };
+        let gate = prop_oneof![
+            pair().prop_map(|(a, b)| Gate::Cnot(a, b)),
+            pair().prop_map(|(a, b)| Gate::Swap(a, b)),
+            triple().prop_map(|(a, b, c)| Gate::Toffoli(a, b, c)),
+            q().prop_map(Gate::X),
+            q().prop_map(Gate::H),
+        ];
+        prop::collection::vec(gate, 1..60).prop_map(move |gates| Circuit::from_gates(n, gates))
+    })
+}
+
+/// Circuits dominated by diagonal gates with occasional `H` separators,
+/// producing exactly the long fused-diagonal runs the batcher targets.
+fn diagonal_strategy() -> impl Strategy<Value = Circuit> {
+    (4usize..9).prop_flat_map(|n| {
+        let q = move || (0..n).prop_map(Qubit);
+        let pair = move || {
+            (0..n, 0..n)
+                .prop_filter("distinct operands", |(a, b)| a != b)
+                .prop_map(|(a, b)| (Qubit(a), Qubit(b)))
+        };
+        let angle = || -6.0f64..6.0;
+        let gate = prop_oneof![
+            (q(), angle()).prop_map(|(q, a)| Gate::Rz(q, a)),
+            q().prop_map(Gate::S),
+            q().prop_map(Gate::T),
+            q().prop_map(Gate::Z),
+            pair().prop_map(|(a, b)| Gate::Cz(a, b)),
+            (pair(), angle()).prop_map(|((a, b), t)| Gate::Cphase(a, b, t)),
+            (pair(), angle()).prop_map(|((a, b), t)| Gate::Zz(a, b, t)),
+            // Rare non-diagonal separators force run flushes mid-circuit.
+            q().prop_map(Gate::H),
+        ];
+        prop::collection::vec(gate, 1..80).prop_map(move |gates| Circuit::from_gates(n, gates))
+    })
 }
 
 /// A deterministic deep-circuit check at a size that crosses the
@@ -155,6 +242,32 @@ fn deep_circuit_all_modes_agree() {
         }
     }
     let probe = State::random(n, 2024);
+    let reference = probe.clone().run_naive(&c);
+    for (name, opts) in modes() {
+        let out = probe.clone().run_with(&c, opts);
+        let f = out.fidelity(&reference);
+        assert!((f - 1.0).abs() < EPS, "{name}: fidelity {f}");
+    }
+}
+
+/// A QFT-style ladder wide enough that one diagonal run spans more
+/// distinct qubits than the batcher's budget, forcing mid-run flushes
+/// (the QFT row shape is exactly the workload the batching targets).
+#[test]
+fn wide_diagonal_ladder_all_modes_agree() {
+    let n = 15;
+    let mut c = Circuit::new(n);
+    for j in 0..n {
+        c.h(Qubit(j));
+        for k in (j + 1)..n {
+            c.cphase(
+                Qubit(j),
+                Qubit(k),
+                std::f64::consts::PI / (1 << (k - j)) as f64,
+            );
+        }
+    }
+    let probe = State::random(n, 77);
     let reference = probe.clone().run_naive(&c);
     for (name, opts) in modes() {
         let out = probe.clone().run_with(&c, opts);
