@@ -15,20 +15,26 @@
 //! * `BENCH_scheduler.json` — moves/sec scheduling QFT/RCS/QAOA
 //!   workloads through Algorithm 2, incremental vs the retained rescan
 //!   engine.
+//! * `BENCH_engine.json` — circuits/sec pushing a batch of small
+//!   circuits through the `Engine` session API, batch/service mode
+//!   (per-worker scratch reuse + pool fan-out) vs one `run` call per
+//!   circuit.
 //!
 //! Run with: `cargo run --release -p tilt-bench --bin perf`
 
 use std::time::Instant;
 
+use tilt_benchmarks::bv::bernstein_vazirani;
 use tilt_benchmarks::qaoa::qaoa_maxcut;
 use tilt_benchmarks::qft::qft;
 use tilt_benchmarks::rcs::random_circuit_sampling;
-use tilt_circuit::Circuit;
+use tilt_circuit::{Circuit, Qubit};
 use tilt_compiler::decompose::decompose;
 use tilt_compiler::mapping::InitialMapping;
 use tilt_compiler::route::LinqConfig;
 use tilt_compiler::schedule::{schedule_with, ScheduleConfig, SchedulerKind};
 use tilt_compiler::{DeviceSpec, RouterKind};
+use tilt_engine::Engine;
 use tilt_report::{Json, Table};
 use tilt_statevec::{RunOptions, State};
 
@@ -196,8 +202,63 @@ fn main() {
     let scheduler = Json::object().set("workloads", Json::Arr(records));
     std::fs::write("BENCH_scheduler.json", scheduler.render()).expect("write BENCH_scheduler.json");
 
+    // --- Engine batch/service mode vs one run() per circuit --------------
+    // Many small circuits is the service-mode case the ROADMAP targets:
+    // per-circuit setup (transient compile buffers) dominates, so the
+    // batch path's per-worker scratch reuse plus pool fan-out should
+    // beat a loop of single runs.
+    let circuits = engine_workload();
+    let n_circuits = circuits.len() as f64;
+    let engine = Engine::tilt(DeviceSpec::new(16, 4).expect("valid device"));
+    let t_single = time_median(5, || {
+        for c in &circuits {
+            std::hint::black_box(engine.run(c).expect("workload compiles"));
+        }
+    });
+    let t_batch = time_median(5, || {
+        std::hint::black_box(engine.run_batch(circuits.iter().cloned()));
+    });
+    let engine_record = Json::object()
+        .set("benchmark", "small_circuit_batch")
+        .set("circuits", n_circuits)
+        .set("n_qubits", 16usize)
+        .set("single_secs", t_single)
+        .set("batch_secs", t_batch)
+        .set("single_circuits_per_sec", n_circuits / t_single)
+        .set("batch_circuits_per_sec", n_circuits / t_batch)
+        .set("batch_speedup", t_single / t_batch)
+        .set("threads", rayon_threads());
+    std::fs::write("BENCH_engine.json", engine_record.render()).expect("write BENCH_engine.json");
+    table.row([
+        "engine batch x120".to_string(),
+        format!("{:.0} circuits/s", n_circuits / t_single),
+        format!("{:.0} circuits/s", n_circuits / t_batch),
+        format!("{:.2}x", t_single / t_batch),
+    ]);
+
     print!("{}", table.render());
-    println!("\nwrote BENCH_statevec.json, BENCH_router.json, BENCH_scheduler.json");
+    println!(
+        "\nwrote BENCH_statevec.json, BENCH_router.json, BENCH_scheduler.json, BENCH_engine.json"
+    );
+}
+
+/// 120 small mixed circuits (GHZ ladders, BV, 1-layer QAOA) on one
+/// 16-ion device — the many-small-circuits service-mode workload.
+fn engine_workload() -> Vec<Circuit> {
+    (0..120)
+        .map(|k| match k % 3 {
+            0 => {
+                let mut c = Circuit::new(16);
+                c.h(Qubit(0));
+                for i in 1..16 {
+                    c.cnot(Qubit(i - 1), Qubit(i));
+                }
+                c
+            }
+            1 => bernstein_vazirani(12, &[true; 11]),
+            _ => qaoa_maxcut(16, 1, k as u64),
+        })
+        .collect()
 }
 
 /// Parallelism the statevector kernels saw (records context with the

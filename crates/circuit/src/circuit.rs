@@ -95,6 +95,16 @@ impl Circuit {
         self
     }
 
+    /// Clears the gate list and resizes the register to `n_qubits`,
+    /// keeping the allocated gate capacity. This is the reuse hook for
+    /// batch compilation: a scratch circuit reset between programs
+    /// amortizes its allocation across the whole batch.
+    pub fn reset(&mut self, n_qubits: usize) -> &mut Self {
+        self.n_qubits = n_qubits;
+        self.gates.clear();
+        self
+    }
+
     /// Appends every gate of `other` (registers must match in width).
     ///
     /// # Panics

@@ -41,6 +41,9 @@ pub struct Options {
     pub emit_program: bool,
     /// Print the routed circuit as QASM (`--emit-qasm`).
     pub emit_qasm: bool,
+    /// Treat the target as a directory of QASM files and run them as
+    /// one batch (`--batch`, `run` command only).
+    pub batch: bool,
 }
 
 /// Why argument parsing failed.
@@ -75,6 +78,7 @@ impl Options {
             elu_ions: 18,
             emit_program: false,
             emit_qasm: false,
+            batch: false,
         };
         let mut positional: Vec<&String> = Vec::new();
         let mut it = args.iter();
@@ -120,6 +124,7 @@ impl Options {
                 "--elu-ions" => opts.elu_ions = parse_num(value_for("--elu-ions")?, "--elu-ions")?,
                 "--emit-program" => opts.emit_program = true,
                 "--emit-qasm" => opts.emit_qasm = true,
+                "--batch" => opts.batch = true,
                 flag if flag.starts_with("--") => {
                     return Err(ParseArgsError(format!("unknown option `{flag}`")))
                 }

@@ -1,17 +1,21 @@
 //! Subcommand implementations (string in → report text out).
+//!
+//! Every simulating subcommand (`run`, `simulate`, `qccd`, `scale`,
+//! `bench`) is a client of the [`tilt_engine::Engine`] session API; the
+//! legacy pass-by-pass pipeline survives only where the session API
+//! deliberately does not reach — the exact router (a search, not a
+//! policy) and the compile-only introspection commands.
 
 use crate::args::{Options, RouterChoice};
 use std::fmt::Write as _;
 use tilt_circuit::{qasm, Circuit};
 use tilt_compiler::route::exact::optimal_route;
 use tilt_compiler::schedule::schedule;
-use tilt_compiler::{CompileOutput, Compiler, DeviceSpec, InitialMapping, TiltProgram};
-use tilt_qccd::{compile_qccd, estimate_qccd_success, QccdParams, QccdSpec};
+use tilt_compiler::{CompileOutput, DeviceSpec, InitialMapping, TiltProgram};
+use tilt_engine::{Backend, Engine, RunReport};
+use tilt_qccd::QccdSpec;
 use tilt_report::{fmt_success, Table};
-use tilt_sim::{
-    estimate_ideal_success, estimate_success, execution_time_us, ExecTimeModel, GateTimeModel,
-    NoiseModel,
-};
+use tilt_sim::{estimate_ideal_success, GateTimeModel, NoiseModel};
 
 /// Loads the target as a QASM file.
 fn load_circuit(opts: &Options) -> Result<Circuit, String> {
@@ -25,8 +29,21 @@ fn device(opts: &Options, circuit: &Circuit) -> Result<DeviceSpec, String> {
     DeviceSpec::new(ions, opts.head).map_err(|e| e.to_string())
 }
 
-/// Runs the compilation pipeline per the options (including the exact
-/// router, which bypasses `Compiler`'s policy-based routing).
+/// A TILT engine session configured from the command-line options.
+fn tilt_engine(opts: &Options, spec: DeviceSpec) -> Result<Engine, String> {
+    Engine::builder()
+        .backend(Backend::Tilt(spec))
+        .router(opts.router_kind())
+        .scheduler(opts.scheduler)
+        .build()
+        .map_err(|e| e.to_string())
+}
+
+/// Runs the *compile-only* pipeline per the options (including the
+/// exact router, which bypasses the policy-based routing entirely).
+/// The compile-only commands (`compile`, `timeline`) stay on the pass
+/// layer deliberately: `Engine::run` would also walk the scheduled
+/// program for success/exec-time estimates they discard.
 fn run_pipeline(opts: &Options, circuit: &Circuit) -> Result<CompileOutput, String> {
     let spec = device(opts, circuit)?;
     if opts.router == RouterChoice::Exact {
@@ -55,7 +72,7 @@ fn run_pipeline(opts: &Options, circuit: &Circuit) -> Result<CompileOutput, Stri
             report,
         });
     }
-    let mut compiler = Compiler::new(spec);
+    let mut compiler = tilt_compiler::Compiler::new(spec);
     compiler
         .router(opts.router_kind())
         .scheduler(opts.scheduler);
@@ -113,33 +130,76 @@ pub fn compile(args: &[String]) -> Result<String, String> {
     Ok(text)
 }
 
+/// The numbers `simulate` prints, whichever path produced them.
+struct SimulateOutcome {
+    out: CompileOutput,
+    success: f64,
+    log10_success: f64,
+    final_quanta: f64,
+    moves: usize,
+    exec_time_us: f64,
+}
+
 /// `tilt-cli simulate <file.qasm>`
 pub fn simulate(args: &[String]) -> Result<String, String> {
     let opts = Options::parse(args).map_err(|e| e.to_string())?;
     let circuit = load_circuit(&opts)?;
-    let out = run_pipeline(&opts, &circuit)?;
     let noise = NoiseModel::default();
     let times = GateTimeModel::default();
-    let success = estimate_success(&out.program, &noise, &times);
-    let ideal = estimate_ideal_success(&circuit, &noise, &times);
-    let t_us = execution_time_us(&out.program, &times, &ExecTimeModel::default());
+    let o = if opts.router == RouterChoice::Exact {
+        // The exact router bypasses the session API; estimate its
+        // output with the free-function estimators.
+        use tilt_sim::{estimate_success, execution_time_us, ExecTimeModel};
+        let out = run_pipeline(&opts, &circuit)?;
+        let s = estimate_success(&out.program, &noise, &times);
+        let exec_time_us = execution_time_us(&out.program, &times, &ExecTimeModel::default());
+        SimulateOutcome {
+            out,
+            success: s.success,
+            log10_success: s.log10_success(),
+            final_quanta: s.final_quanta,
+            moves: s.moves,
+            exec_time_us,
+        }
+    } else {
+        let spec = device(&opts, &circuit)?;
+        let report = tilt_engine(&opts, spec)?
+            .run(&circuit)
+            .map_err(|e| e.to_string())?;
+        let s = report.tilt_success().expect("Tilt backend").report;
+        let (success, log10_success, exec_time_us) =
+            (report.success, report.log10_success(), report.exec_time_us);
+        let out = match report.detail {
+            tilt_engine::RunDetail::Tilt { output, .. } => output,
+            _ => unreachable!("a Tilt backend produces Tilt detail"),
+        };
+        SimulateOutcome {
+            out,
+            success,
+            log10_success,
+            final_quanta: s.final_quanta,
+            moves: s.moves,
+            exec_time_us,
+        }
+    };
 
+    let ideal = estimate_ideal_success(&circuit, &noise, &times);
     let mut text = format!("simulated `{}`: {}\n", opts.target, circuit.stats());
-    text.push_str(&describe(&out, &out.program));
+    text.push_str(&describe(&o.out, &o.out.program));
     let _ = writeln!(
         text,
         "success: {} (log10 {:.2}), ideal TI {}",
-        fmt_success(success.success),
-        success.log10_success(),
+        fmt_success(o.success),
+        o.log10_success,
         fmt_success(ideal.success)
     );
     let _ = writeln!(
         text,
         "heat: {:.2} quanta after {} moves",
-        success.final_quanta, success.moves
+        o.final_quanta, o.moves
     );
-    let _ = writeln!(text, "execution time: {:.3} ms", t_us / 1e3);
-    text.push_str(&emit_extras(&opts, &out));
+    let _ = writeln!(text, "execution time: {:.3} ms", o.exec_time_us / 1e3);
+    text.push_str(&emit_extras(&opts, &o.out));
     Ok(text)
 }
 
@@ -159,20 +219,28 @@ pub fn scale(args: &[String]) -> Result<String, String> {
     let circuit = load_circuit(&opts)?;
     let spec = tilt_scale::ScaleSpec::new(opts.elu_ions, opts.head.min(opts.elu_ions))
         .map_err(|e| e.to_string())?;
-    let program = tilt_scale::compile_scaled(&circuit, &spec).map_err(|e| e.to_string())?;
-    let report =
-        tilt_scale::estimate_scaled(&program, &NoiseModel::default(), &GateTimeModel::default());
+    let report = Engine::builder()
+        .backend(Backend::Scaled(spec))
+        .build()
+        .map_err(|e| e.to_string())?
+        .run(&circuit)
+        .map_err(|e| e.to_string())?;
+    let scaled = report.scale_report().expect("Scaled backend");
+    let elus = match &report.detail {
+        tilt_engine::RunDetail::Scaled { program, .. } => program.elu_outputs.len(),
+        _ => unreachable!("a Scaled backend produces Scaled detail"),
+    };
     let mut text = format!(
         "modular `{}`: {} ELUs of {} ions (head {})\n",
         opts.target,
-        program.elu_outputs.len(),
+        elus,
         spec.ions_per_elu(),
         spec.head_size()
     );
     let _ = writeln!(
         text,
         "remote gates: {} (EPR pairs), local swaps: {}, local moves: {}",
-        report.remote_gates, report.total_swaps, report.total_moves
+        scaled.remote_gates, report.compile.swap_count, report.compile.move_count
     );
     let _ = writeln!(
         text,
@@ -188,16 +256,15 @@ pub fn scale(args: &[String]) -> Result<String, String> {
 pub fn qccd(args: &[String]) -> Result<String, String> {
     let opts = Options::parse(args).map_err(|e| e.to_string())?;
     let circuit = load_circuit(&opts)?;
-    let native = tilt_compiler::decompose::decompose(&circuit);
     let spec =
         QccdSpec::for_qubits(circuit.n_qubits(), opts.ions_per_trap).map_err(|e| e.to_string())?;
-    let program = compile_qccd(&native, &spec).map_err(|e| e.to_string())?;
-    let report = estimate_qccd_success(
-        &program,
-        &NoiseModel::default(),
-        &GateTimeModel::default(),
-        &QccdParams::default(),
-    );
+    let report = Engine::builder()
+        .backend(Backend::Qccd(spec))
+        .build()
+        .map_err(|e| e.to_string())?
+        .run(&circuit)
+        .map_err(|e| e.to_string())?;
+    let q = report.qccd_report().expect("Qccd backend");
     let mut text = format!(
         "QCCD `{}`: {} traps × {} capacity\n",
         opts.target,
@@ -207,14 +274,134 @@ pub fn qccd(args: &[String]) -> Result<String, String> {
     let _ = writeln!(
         text,
         "transports: {} ({} shuttle segments), cooling rounds: {}",
-        report.transports, report.shuttle_segments, report.cooling_rounds
+        q.transports, q.shuttle_segments, q.cooling_rounds
     );
     let _ = writeln!(
         text,
         "success: {} (peak heat {:.1} quanta)",
         fmt_success(report.success),
-        report.peak_quanta
+        q.peak_quanta
     );
+    Ok(text)
+}
+
+/// One table row from `(swaps, moves, success, exec µs)` or an error.
+fn metric_row(name: &str, metrics: Result<(usize, usize, f64, f64), String>) -> [String; 5] {
+    match metrics {
+        Ok((swaps, moves, success, exec_us)) => [
+            name.to_string(),
+            swaps.to_string(),
+            moves.to_string(),
+            fmt_success(success),
+            format!("{:.3}", exec_us / 1e6),
+        ],
+        Err(e) => [
+            name.to_string(),
+            "-".into(),
+            "-".into(),
+            format!("error: {e}"),
+            "-".into(),
+        ],
+    }
+}
+
+/// One table row for a batch/bench report.
+fn report_row(name: &str, report: &Result<RunReport, tilt_engine::TiltError>) -> [String; 5] {
+    metric_row(
+        name,
+        report
+            .as_ref()
+            .map(|r| {
+                (
+                    r.compile.swap_count,
+                    r.compile.move_count,
+                    r.success,
+                    r.exec_time_us,
+                )
+            })
+            .map_err(|e| e.to_string()),
+    )
+}
+
+/// `tilt-cli run <file.qasm>` — one circuit through the session API.
+/// `tilt-cli run <dir> --batch` — every `.qasm` in the directory as one
+/// batch, one table row per circuit.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let opts = Options::parse(args).map_err(|e| e.to_string())?;
+    if opts.router == RouterChoice::Exact {
+        return Err(
+            "`run` drives the session API; use `compile`/`simulate` for --router exact".into(),
+        );
+    }
+    if opts.batch {
+        return run_batch_dir(&opts);
+    }
+    let circuit = load_circuit(&opts)?;
+    let spec = device(&opts, &circuit)?;
+    let report = tilt_engine(&opts, spec)?
+        .run(&circuit)
+        .map_err(|e| e.to_string())?;
+    let out = report.tilt_output().expect("Tilt backend");
+    let mut text = format!("ran `{}`: {}\n", opts.target, circuit.stats());
+    text.push_str(&describe(out, &out.program));
+    let _ = writeln!(
+        text,
+        "success: {} (log10 {:.2}), execution time: {:.3} ms",
+        fmt_success(report.success),
+        report.log10_success(),
+        report.exec_time_us / 1e3
+    );
+    Ok(text)
+}
+
+/// The `--batch` flavour of `run`: one engine session, a directory of
+/// circuits, one table row per circuit in directory order.
+fn run_batch_dir(opts: &Options) -> Result<String, String> {
+    let entries = std::fs::read_dir(&opts.target)
+        .map_err(|e| format!("cannot read directory `{}`: {e}", opts.target))?;
+    let mut paths: Vec<std::path::PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "qasm"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no .qasm files in `{}`", opts.target));
+    }
+
+    let mut names = Vec::with_capacity(paths.len());
+    let mut circuits = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let source = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+        let circuit = qasm::parse_qasm(&source).map_err(|e| format!("{}: {e}", path.display()))?;
+        names.push(
+            path.file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| path.display().to_string()),
+        );
+        circuits.push(circuit);
+    }
+
+    // One session sized for the widest circuit (or --ions) serves the
+    // whole batch, with the head clamped to the tape so the default
+    // `--head 16` works on narrow batches; individual misfits surface
+    // as per-row errors.
+    let widest = circuits.iter().map(Circuit::n_qubits).max().unwrap_or(1);
+    let ions = opts.ions.unwrap_or(widest);
+    let spec = DeviceSpec::new(ions, opts.head.min(ions)).map_err(|e| e.to_string())?;
+    let engine = tilt_engine(opts, spec)?;
+
+    let mut table = Table::new(["circuit", "swaps", "moves", "success", "exec(s)"]);
+    engine.run_batch_streaming(circuits, |i, report| {
+        table.row(report_row(&names[i], &report));
+    });
+    let mut text = format!(
+        "batch of {} circuits on {} ions, head {}\n",
+        names.len(),
+        spec.n_ions(),
+        spec.head_size()
+    );
+    text.push_str(&table.render());
     Ok(text)
 }
 
@@ -236,22 +423,30 @@ pub fn bench(args: &[String]) -> Result<String, String> {
         matched
     };
 
-    let noise = NoiseModel::default();
-    let times = GateTimeModel::default();
     let mut table = Table::new(["benchmark", "swaps", "moves", "success", "exec(s)"]);
     for b in &selected {
-        let mut bench_opts = opts.clone();
-        bench_opts.ions = Some(b.circuit.n_qubits());
-        let out = run_pipeline(&bench_opts, &b.circuit)?;
-        let success = estimate_success(&out.program, &noise, &times);
-        let t_us = execution_time_us(&out.program, &times, &ExecTimeModel::default());
-        table.row([
-            b.name.to_string(),
-            out.report.swap_count.to_string(),
-            out.report.move_count.to_string(),
-            fmt_success(success.success),
-            format!("{:.3}", t_us / 1e6),
-        ]);
+        let head = opts.head.min(b.circuit.n_qubits());
+        if opts.router == RouterChoice::Exact {
+            // The exact router lives on the pass layer; estimate with
+            // the free-function estimators as before the session API.
+            use tilt_sim::{estimate_success, execution_time_us, ExecTimeModel};
+            let mut bench_opts = opts.clone();
+            bench_opts.ions = Some(b.circuit.n_qubits());
+            bench_opts.head = head;
+            let metrics = run_pipeline(&bench_opts, &b.circuit).map(|out| {
+                let noise = NoiseModel::default();
+                let times = GateTimeModel::default();
+                let s = estimate_success(&out.program, &noise, &times);
+                let t = execution_time_us(&out.program, &times, &ExecTimeModel::default());
+                (out.report.swap_count, out.report.move_count, s.success, t)
+            });
+            table.row(metric_row(b.name, metrics));
+        } else {
+            // One session per benchmark: the suite mixes register widths.
+            let spec = DeviceSpec::new(b.circuit.n_qubits(), head).map_err(|e| e.to_string())?;
+            let report = tilt_engine(&opts, spec)?.run(&b.circuit);
+            table.row(report_row(b.name, &report));
+        }
     }
     Ok(table.render())
 }
@@ -335,5 +530,74 @@ mod tests {
         let path = write_temp("exact.qasm", "qreg q[6];\ncx q[0], q[5];\n");
         let out = compile(&v(&[&path, "--head", "3", "--router", "exact"])).unwrap();
         assert!(out.contains("swaps: 2"), "{out}");
+    }
+
+    #[test]
+    fn run_single_file_reports_success() {
+        let path = write_temp("run1.qasm", "qreg q[6];\nh q[0];\ncx q[0], q[5];\n");
+        let out = run(&v(&[&path, "--head", "3"])).unwrap();
+        assert!(out.contains("success: "), "{out}");
+        assert!(out.contains("execution time"), "{out}");
+    }
+
+    #[test]
+    fn run_rejects_exact_router() {
+        let path = write_temp("run2.qasm", "qreg q[4];\ncx q[0], q[3];\n");
+        let e = run(&v(&[&path, "--router", "exact"])).unwrap_err();
+        assert!(e.contains("session API"), "{e}");
+    }
+
+    #[test]
+    fn run_batch_emits_one_row_per_circuit() {
+        let dir = std::env::temp_dir().join("tilt-cli-batch-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, body) in [
+            ("a.qasm", "qreg q[6];\nh q[0];\ncx q[0], q[5];\n"),
+            ("b.qasm", "qreg q[4];\ncx q[0], q[3];\n"),
+            ("c.qasm", "qreg q[6];\ncx q[2], q[3];\n"),
+        ] {
+            std::fs::write(dir.join(name), body).unwrap();
+        }
+        // Unrelated files are ignored.
+        std::fs::write(dir.join("notes.txt"), "not qasm").unwrap();
+        let out = run(&v(&[dir.to_str().unwrap(), "--batch", "--head", "3"])).unwrap();
+        assert!(out.contains("batch of 3 circuits"), "{out}");
+        for name in ["a.qasm", "b.qasm", "c.qasm"] {
+            assert!(out.contains(name), "{out}");
+        }
+        // Header + separator + 3 rows (+ leading banner line).
+        assert_eq!(out.trim().lines().count(), 6, "{out}");
+    }
+
+    #[test]
+    fn run_batch_clamps_default_head_to_narrow_batches() {
+        let dir = std::env::temp_dir().join("tilt-cli-batch-narrow");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("n.qasm"), "qreg q[6];\nh q[0];\ncx q[0], q[5];\n").unwrap();
+        // No --head: the default (16) must clamp to the 6-qubit batch
+        // instead of failing the whole run with an invalid spec.
+        let out = run(&v(&[dir.to_str().unwrap(), "--batch"])).unwrap();
+        assert!(out.contains("6 ions, head 6"), "{out}");
+        assert!(!out.contains("error"), "{out}");
+    }
+
+    #[test]
+    fn bench_exact_router_reaches_the_exact_branch() {
+        // `--router exact` must reach the exact router, not silently
+        // substitute LinQ: BV-64 exceeds the exact search's ion cap,
+        // so the row reports that error — LinQ would have succeeded
+        // and printed swap counts mislabeled as exact results.
+        let text = bench(&v(&["bv", "--head", "16", "--router", "exact"])).unwrap();
+        assert!(text.contains("BV"), "{text}");
+        assert!(text.contains("error"), "{text}");
+        assert!(text.contains("ion cap"), "{text}");
+    }
+
+    #[test]
+    fn run_batch_rejects_empty_directory() {
+        let dir = std::env::temp_dir().join("tilt-cli-batch-empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let e = run(&v(&[dir.to_str().unwrap(), "--batch"])).unwrap_err();
+        assert!(e.contains("no .qasm files"), "{e}");
     }
 }

@@ -3,6 +3,8 @@
 //! The command surface mirrors the LinQ toolflow (Fig. 4 of the paper):
 //!
 //! ```text
+//! tilt-cli run      <file.qasm> [options]   # compile + simulate via the Engine session API
+//! tilt-cli run      <dir> --batch [options] # a directory of circuits as one batch
 //! tilt-cli compile  <file.qasm> [options]   # run the pipeline, print metrics
 //! tilt-cli simulate <file.qasm> [options]   # + success rate and exec time
 //! tilt-cli qccd     <file.qasm> [options]   # route on the QCCD comparator
@@ -22,6 +24,8 @@ pub const USAGE: &str = "\
 usage: tilt-cli <command> [arguments] [options]
 
 commands:
+  run      <file.qasm>   compile + simulate through the Engine session API
+  run      <dir> --batch every .qasm in <dir> as one batch, one row per circuit
   compile  <file.qasm>   compile for a TILT machine and print LinQ metrics
   simulate <file.qasm>   compile, then estimate success rate and exec time
   timeline <file.qasm>   compile and draw the tape-head trajectory
@@ -40,6 +44,7 @@ options:
   --elu-ions N          ions per ELU for `scale` (default: 18)
   --emit-program        print the scheduled gate/move stream
   --emit-qasm           print the routed physical circuit as OpenQASM
+  --batch               treat the run target as a directory of .qasm files
 ";
 
 /// Entry point: parses `args`, dispatches, and returns the text to print.
@@ -51,6 +56,7 @@ options:
 pub fn run(args: &[String]) -> Result<String, String> {
     let (command, rest) = args.split_first().ok_or("missing command")?;
     match command.as_str() {
+        "run" => commands::run(rest),
         "compile" => commands::compile(rest),
         "simulate" => commands::simulate(rest),
         "timeline" => commands::timeline(rest),

@@ -37,10 +37,20 @@ use tilt_circuit::{Circuit, Gate, Qubit};
 /// ```
 pub fn decompose(circuit: &Circuit) -> Circuit {
     let mut out = Circuit::with_capacity(circuit.n_qubits(), circuit.len() * 3);
-    for g in circuit.iter() {
-        decompose_gate(&mut out, g);
-    }
+    decompose_into(circuit, &mut out);
     out
+}
+
+/// [`decompose`] into a caller-owned scratch circuit, reusing its gate
+/// allocation. `out` is reset to `circuit`'s register width first; batch
+/// compilation calls this once per circuit with a per-worker scratch so
+/// the decomposition buffer is allocated once per worker, not once per
+/// circuit.
+pub fn decompose_into(circuit: &Circuit, out: &mut Circuit) {
+    out.reset(circuit.n_qubits());
+    for g in circuit.iter() {
+        decompose_gate(out, g);
+    }
 }
 
 /// Appends the native expansion of a single gate to `out`.

@@ -47,7 +47,7 @@ pub mod viz;
 
 pub use error::CompileError;
 pub use mapping::{InitialMapping, Mapping};
-pub use pipeline::{CompileOutput, CompileReport, Compiler};
+pub use pipeline::{CompileOutput, CompileReport, CompileScratch, Compiler};
 pub use program::{TiltOp, TiltProgram};
 pub use route::{RouteOutcome, RouterKind};
 pub use schedule::{ScheduleConfig, SchedulerKind};

@@ -6,7 +6,7 @@
 //! ratio (Fig. 6), move counts and tape travel (Table III), and the
 //! wall-clock time of each pass (`t_swap`, `t_move` columns of Table III).
 
-use crate::decompose::decompose;
+use crate::decompose::decompose_into;
 use crate::error::CompileError;
 use crate::mapping::InitialMapping;
 use crate::program::TiltProgram;
@@ -51,6 +51,27 @@ pub struct CompileOutput {
     pub routed: RouteOutcome,
     /// Aggregate statistics.
     pub report: CompileReport,
+}
+
+/// Reusable per-compilation buffers.
+///
+/// The pipeline's two transient allocations — the decomposed native
+/// circuit and the swap-lowered physical circuit — live here so that a
+/// caller compiling many circuits (the `tilt-engine` batch path) pays
+/// for them once per worker instead of once per circuit. A fresh
+/// default scratch reproduces the one-shot behaviour exactly: reuse
+/// only recycles `Vec` capacity, never gate content.
+#[derive(Clone, Debug, Default)]
+pub struct CompileScratch {
+    native: Circuit,
+    lowered: Circuit,
+}
+
+impl CompileScratch {
+    /// An empty scratch (no buffers reserved yet).
+    pub fn new() -> Self {
+        CompileScratch::default()
+    }
 }
 
 /// The LinQ compiler: a configurable three-pass pipeline.
@@ -120,6 +141,23 @@ impl Compiler {
     /// Fails when the circuit is structurally invalid, wider than the
     /// tape, or the router configuration is inconsistent with the device.
     pub fn compile(&self, circuit: &Circuit) -> Result<CompileOutput, CompileError> {
+        self.compile_with_scratch(circuit, &mut CompileScratch::new())
+    }
+
+    /// [`Compiler::compile`] with caller-owned scratch buffers.
+    ///
+    /// Produces the identical [`CompileOutput`] (same program bytes, same
+    /// statistics); the scratch only recycles allocation capacity between
+    /// calls. Use one scratch per worker when compiling batches.
+    ///
+    /// # Errors
+    ///
+    /// As [`Compiler::compile`].
+    pub fn compile_with_scratch(
+        &self,
+        circuit: &Circuit,
+        scratch: &mut CompileScratch,
+    ) -> Result<CompileOutput, CompileError> {
         validate(circuit)?;
         if circuit.n_qubits() > self.spec.n_ions() {
             return Err(CompileError::CircuitTooWide {
@@ -130,20 +168,21 @@ impl Compiler {
 
         // Pass 1: native-gate decomposition (§IV-B).
         let t0 = Instant::now();
-        let native = decompose(circuit);
+        decompose_into(circuit, &mut scratch.native);
+        let native = &scratch.native;
         let t_decompose = t0.elapsed();
 
         // Pass 2: mapping + swap insertion (§IV-C).
         let t1 = Instant::now();
-        let initial = self.initial_mapping.build(&native, self.spec.n_ions());
-        let routed = self.router.route(&native, self.spec, &initial)?;
+        let initial = self.initial_mapping.build(native, self.spec.n_ions());
+        let routed = self.router.route(native, self.spec, &initial)?;
         let t_swap = t1.elapsed();
 
         // Lower the inserted SWAPs to native gates (3 XX each), then
         // pass 3: tape scheduling (§IV-D).
         let t2 = Instant::now();
-        let lowered = decompose(&routed.circuit);
-        let program = schedule(&lowered, self.spec, self.scheduler);
+        decompose_into(&routed.circuit, &mut scratch.lowered);
+        let program = schedule(&scratch.lowered, self.spec, self.scheduler);
         let t_move = t2.elapsed();
 
         let report = CompileReport {

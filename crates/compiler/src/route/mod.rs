@@ -185,6 +185,22 @@ impl RouteOutcome {
 }
 
 impl RouterKind {
+    /// Checks this policy's parameters against `spec` without routing
+    /// anything — the session API (`tilt-engine`) calls this once at
+    /// engine construction so configuration errors surface before the
+    /// first circuit instead of inside every [`RouterKind::route`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::InvalidRouterConfig`] for inconsistent
+    /// policy parameters (e.g. `max_swap_len` of 0 or `≥ head_size`).
+    pub fn validate(&self, spec: DeviceSpec) -> Result<(), CompileError> {
+        match self {
+            RouterKind::Linq(cfg) => cfg.validate(spec),
+            RouterKind::Stochastic(cfg) => cfg.validate(),
+        }
+    }
+
     /// Routes `native` (a circuit already lowered to the native gate set or
     /// at least to two-qubit granularity) onto `spec`, starting from
     /// `initial` and inserting swaps with this policy.
@@ -207,14 +223,13 @@ impl RouterKind {
                 n_ions: spec.n_ions(),
             });
         }
+        self.validate(spec)?;
         match self {
             RouterKind::Linq(cfg) => {
-                cfg.validate(spec)?;
                 let mut policy = linq::LinqPolicy::new(cfg.clone(), spec);
                 Ok(route_with_policy(native, spec, initial, &mut policy))
             }
             RouterKind::Stochastic(cfg) => {
-                cfg.validate()?;
                 let mut policy = stochastic::StochasticPolicy::new(cfg.clone());
                 Ok(route_with_policy(native, spec, initial, &mut policy))
             }

@@ -1,0 +1,108 @@
+//! The unified error type for the session API.
+//!
+//! Each backend crate keeps its own error enum ([`CompileError`],
+//! [`QccdError`], [`ScaleError`]); [`TiltError`] wraps all three behind
+//! `From` impls so engine clients can use `?` regardless of which
+//! backend a session targets.
+
+use std::error::Error;
+use std::fmt;
+use tilt_compiler::CompileError;
+use tilt_qccd::QccdError;
+use tilt_scale::ScaleError;
+
+/// Why an engine could not be built or a run failed — the union of the
+/// three backend error types plus engine-level configuration errors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TiltError {
+    /// A TILT (LinQ) compilation failed: invalid spec, circuit wider
+    /// than the tape, invalid circuit, or inconsistent router config.
+    Compile(CompileError),
+    /// A QCCD compilation failed: invalid trap array or circuit wider
+    /// than the usable slots.
+    Qccd(QccdError),
+    /// An ELU-array compilation failed: invalid ELU geometry or a
+    /// per-ELU LinQ failure.
+    Scale(ScaleError),
+    /// The engine itself was misconfigured (e.g. no backend selected).
+    Config {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TiltError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TiltError::Compile(e) => write!(f, "TILT compile error: {e}"),
+            TiltError::Qccd(e) => write!(f, "QCCD error: {e}"),
+            TiltError::Scale(e) => write!(f, "ELU-array error: {e}"),
+            TiltError::Config { reason } => write!(f, "engine configuration error: {reason}"),
+        }
+    }
+}
+
+impl Error for TiltError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TiltError::Compile(e) => Some(e),
+            TiltError::Qccd(e) => Some(e),
+            TiltError::Scale(e) => Some(e),
+            TiltError::Config { .. } => None,
+        }
+    }
+}
+
+impl From<CompileError> for TiltError {
+    fn from(e: CompileError) -> Self {
+        TiltError::Compile(e)
+    }
+}
+
+impl From<QccdError> for TiltError {
+    fn from(e: QccdError) -> Self {
+        TiltError::Qccd(e)
+    }
+}
+
+impl From<ScaleError> for TiltError {
+    fn from(e: ScaleError) -> Self {
+        TiltError::Scale(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_impls_enable_question_mark() {
+        fn tilt() -> Result<(), TiltError> {
+            Err(tilt_compiler::DeviceSpec::new(4, 9).unwrap_err())?;
+            Ok(())
+        }
+        fn qccd() -> Result<(), TiltError> {
+            Err(tilt_qccd::QccdSpec::new(0, 6).unwrap_err())?;
+            Ok(())
+        }
+        fn scale() -> Result<(), TiltError> {
+            Err(tilt_scale::ScaleSpec::new(2, 2).unwrap_err())?;
+            Ok(())
+        }
+        assert!(matches!(tilt(), Err(TiltError::Compile(_))));
+        assert!(matches!(qccd(), Err(TiltError::Qccd(_))));
+        assert!(matches!(scale(), Err(TiltError::Scale(_))));
+    }
+
+    #[test]
+    fn display_prefixes_backend_and_chains_source() {
+        let e = TiltError::from(tilt_compiler::DeviceSpec::new(4, 9).unwrap_err());
+        assert!(e.to_string().contains("TILT compile error"));
+        assert!(Error::source(&e).is_some());
+        let c = TiltError::Config {
+            reason: "no backend selected".into(),
+        };
+        assert!(c.to_string().contains("no backend"));
+        assert!(Error::source(&c).is_none());
+    }
+}

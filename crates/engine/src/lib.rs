@@ -1,0 +1,584 @@
+//! The session API: one entry point for compile→simulate across every
+//! backend in the workspace.
+//!
+//! The workspace grew three parallel front doors — `Compiler::compile` +
+//! `estimate_success` for TILT, `compile_qccd`/`estimate_qccd_success`
+//! for the QCCD comparator, and `compile_scaled`/`estimate_scaled` for
+//! MUSIQC-style ELU arrays — each with its own error type, config
+//! surface, and report shape. [`Engine`] owns the device spec, the
+//! noise/timing models, and the compilation policies **once**, then runs
+//! one circuit or a thousand through them:
+//!
+//! * [`Engine::run`] — compile and estimate a single circuit, returning
+//!   the unified [`RunReport`].
+//! * [`Engine::run_batch`] — many circuits through one session,
+//!   fanned out over the work-stealing pool with per-worker scratch
+//!   buffers reused across circuits (the ROADMAP's "service mode").
+//! * [`Engine::run_batch_streaming`] — the same, delivering each report
+//!   to a callback in submission order as windows complete.
+//!
+//! Errors from every backend unify into [`TiltError`], so `?` works
+//! regardless of which architecture a session targets.
+//!
+//! # Example
+//!
+//! ```
+//! use tilt_circuit::{Circuit, Qubit};
+//! use tilt_compiler::DeviceSpec;
+//! use tilt_engine::{Backend, Engine};
+//!
+//! let mut ghz = Circuit::new(16);
+//! ghz.h(Qubit(0));
+//! for i in 1..16 {
+//!     ghz.cnot(Qubit(i - 1), Qubit(i));
+//! }
+//! let engine = Engine::builder()
+//!     .backend(Backend::Tilt(DeviceSpec::new(16, 8)?))
+//!     .build()?;
+//! let report = engine.run(&ghz)?;
+//! assert!(report.success > 0.5);
+//! assert!(report.compile.move_count >= 1);
+//! # Ok::<(), tilt_engine::TiltError>(())
+//! ```
+
+pub mod error;
+pub mod report;
+
+mod batch;
+
+pub use error::TiltError;
+pub use report::{BackendKind, CompileStats, RunDetail, RunReport};
+
+use std::time::Instant;
+use tilt_circuit::Circuit;
+use tilt_compiler::decompose::decompose_into;
+use tilt_compiler::{
+    CompileScratch, Compiler, DeviceSpec, InitialMapping, RouterKind, SchedulerKind,
+};
+use tilt_qccd::{compile_qccd, estimate_qccd_success, QccdParams, QccdSpec};
+use tilt_scale::{compile_scaled, estimate_scaled, ScaleSpec};
+use tilt_sim::cooling::CoolingTrigger;
+use tilt_sim::{
+    estimate_success, estimate_success_with_cooling, execution_time_us, CooledSuccessReport,
+    CoolingPolicy, ExecTimeModel, GateTimeModel, NoiseModel,
+};
+
+/// The target architecture of a session.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Backend {
+    /// A monolithic TILT tape.
+    Tilt(DeviceSpec),
+    /// A QCCD trap array (the paper's §VI-B comparator).
+    Qccd(QccdSpec),
+    /// A MUSIQC-style array of TILT ELUs (§VII).
+    Scaled(ScaleSpec),
+}
+
+impl Backend {
+    /// The tag for this backend.
+    pub fn kind(&self) -> BackendKind {
+        match self {
+            Backend::Tilt(_) => BackendKind::Tilt,
+            Backend::Qccd(_) => BackendKind::Qccd,
+            Backend::Scaled(_) => BackendKind::Scaled,
+        }
+    }
+}
+
+/// Configures and validates an [`Engine`].
+///
+/// Every knob defaults to the paper's configuration: LinQ routing with
+/// greedy scheduling, the Eq. 3/4/5 models, no sympathetic cooling.
+#[derive(Clone, Debug)]
+pub struct EngineBuilder {
+    backend: Option<Backend>,
+    noise: NoiseModel,
+    gate_times: GateTimeModel,
+    exec_time: ExecTimeModel,
+    cooling: CoolingPolicy,
+    qccd_params: QccdParams,
+    router: RouterKind,
+    scheduler: SchedulerKind,
+    initial_mapping: InitialMapping,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        EngineBuilder {
+            backend: None,
+            noise: NoiseModel::default(),
+            gate_times: GateTimeModel::default(),
+            exec_time: ExecTimeModel::default(),
+            cooling: CoolingPolicy::never(),
+            qccd_params: QccdParams::default(),
+            router: RouterKind::default(),
+            scheduler: SchedulerKind::default(),
+            initial_mapping: InitialMapping::default(),
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// Selects the target architecture (required).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Replaces the Eq. 4 noise model.
+    pub fn noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Replaces the Eq. 3 gate-time model.
+    pub fn gate_times(mut self, times: GateTimeModel) -> Self {
+        self.gate_times = times;
+        self
+    }
+
+    /// Replaces the Eq. 5 shuttle-time model (TILT backend).
+    pub fn exec_time(mut self, exec: ExecTimeModel) -> Self {
+        self.exec_time = exec;
+        self
+    }
+
+    /// Selects a sympathetic-cooling policy (TILT backend; the default
+    /// is [`CoolingPolicy::never`], the configuration the paper
+    /// evaluates).
+    pub fn cooling(mut self, policy: CoolingPolicy) -> Self {
+        self.cooling = policy;
+        self
+    }
+
+    /// Replaces the QCCD primitive cost parameters (QCCD backend).
+    pub fn qccd_params(mut self, params: QccdParams) -> Self {
+        self.qccd_params = params;
+        self
+    }
+
+    /// Selects the swap-insertion policy (TILT backend).
+    pub fn router(mut self, router: RouterKind) -> Self {
+        self.router = router;
+        self
+    }
+
+    /// Selects the tape-scheduling policy (TILT backend).
+    pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Selects the initial-placement strategy (TILT backend).
+    pub fn initial_mapping(mut self, initial: InitialMapping) -> Self {
+        self.initial_mapping = initial;
+        self
+    }
+
+    /// Validates the configuration and builds the engine.
+    ///
+    /// Validation happens **here, once** — router parameters are checked
+    /// against the device spec so that per-circuit [`Engine::run`] calls
+    /// never re-discover a configuration error mid-batch.
+    ///
+    /// # Errors
+    ///
+    /// [`TiltError::Config`] when no backend was selected;
+    /// [`TiltError::Compile`] when the router configuration is
+    /// inconsistent with the TILT device spec.
+    pub fn build(self) -> Result<Engine, TiltError> {
+        let backend = self.backend.ok_or_else(|| TiltError::Config {
+            reason: "no backend selected: call .backend(Backend::Tilt(spec)) or similar".into(),
+        })?;
+        let compiler = match backend {
+            Backend::Tilt(spec) => {
+                self.router.validate(spec)?;
+                let mut compiler = Compiler::new(spec);
+                compiler
+                    .router(self.router.clone())
+                    .scheduler(self.scheduler)
+                    .initial_mapping(self.initial_mapping);
+                Some(compiler)
+            }
+            // QCCD and ELU specs were validated at construction; the
+            // routing knobs do not apply to them.
+            Backend::Qccd(_) | Backend::Scaled(_) => None,
+        };
+        Ok(Engine {
+            backend,
+            compiler,
+            noise: self.noise,
+            gate_times: self.gate_times,
+            exec_time: self.exec_time,
+            cooling: self.cooling,
+            qccd_params: self.qccd_params,
+        })
+    }
+}
+
+/// Per-run scratch buffers, reused across circuits within a batch
+/// worker (one per pool thread).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct EngineScratch {
+    compile: CompileScratch,
+    native: Circuit,
+}
+
+/// A compile→simulate session bound to one backend and one set of
+/// models.
+///
+/// Build with [`Engine::builder`] (or the [`Engine::tilt`] /
+/// [`Engine::qccd`] / [`Engine::scaled`] shorthands), then call
+/// [`Engine::run`] per circuit or [`Engine::run_batch`] for many. The
+/// engine is immutable and `Sync`: one instance serves any number of
+/// threads.
+#[derive(Clone, Debug)]
+pub struct Engine {
+    backend: Backend,
+    /// Pre-configured LinQ compiler ([`Backend::Tilt`] only).
+    compiler: Option<Compiler>,
+    noise: NoiseModel,
+    gate_times: GateTimeModel,
+    exec_time: ExecTimeModel,
+    cooling: CoolingPolicy,
+    qccd_params: QccdParams,
+}
+
+impl Engine {
+    /// Starts a builder with the paper-default models and policies.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// A default-configured session for a TILT tape.
+    pub fn tilt(spec: DeviceSpec) -> Engine {
+        Engine::builder()
+            .backend(Backend::Tilt(spec))
+            .build()
+            .expect("a valid DeviceSpec with default policies always builds")
+    }
+
+    /// A default-configured session for a QCCD trap array.
+    pub fn qccd(spec: QccdSpec) -> Engine {
+        Engine::builder()
+            .backend(Backend::Qccd(spec))
+            .build()
+            .expect("a valid QccdSpec with default policies always builds")
+    }
+
+    /// A default-configured session for an ELU array.
+    pub fn scaled(spec: ScaleSpec) -> Engine {
+        Engine::builder()
+            .backend(Backend::Scaled(spec))
+            .build()
+            .expect("a valid ScaleSpec with default policies always builds")
+    }
+
+    /// The session's backend.
+    pub fn backend(&self) -> &Backend {
+        &self.backend
+    }
+
+    /// The session's noise model.
+    pub fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+
+    /// The session's gate-time model.
+    pub fn gate_times(&self) -> &GateTimeModel {
+        &self.gate_times
+    }
+
+    /// Compiles and estimates one circuit.
+    ///
+    /// # Errors
+    ///
+    /// Any backend compile error, unified into [`TiltError`]: invalid
+    /// circuits, circuits wider than the device, per-ELU failures.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tilt_benchmarks::bv::bernstein_vazirani;
+    /// use tilt_compiler::DeviceSpec;
+    /// use tilt_engine::Engine;
+    ///
+    /// let engine = Engine::tilt(DeviceSpec::new(16, 8)?);
+    /// let report = engine.run(&bernstein_vazirani(16, &[true; 15]))?;
+    /// assert!(report.success > 0.0 && report.success < 1.0);
+    /// # Ok::<(), tilt_engine::TiltError>(())
+    /// ```
+    pub fn run(&self, circuit: &Circuit) -> Result<RunReport, TiltError> {
+        self.run_with_scratch(circuit, &mut EngineScratch::default())
+    }
+
+    /// [`Engine::run`] with caller-owned scratch — identical output, but
+    /// transient compile buffers are recycled between calls. The batch
+    /// layer hands one scratch to each pool worker.
+    pub(crate) fn run_with_scratch(
+        &self,
+        circuit: &Circuit,
+        scratch: &mut EngineScratch,
+    ) -> Result<RunReport, TiltError> {
+        match &self.backend {
+            Backend::Tilt(_) => self.run_tilt(circuit, scratch),
+            Backend::Qccd(spec) => self.run_qccd(circuit, *spec, scratch),
+            Backend::Scaled(spec) => self.run_scaled(circuit, *spec),
+        }
+    }
+
+    fn run_tilt(
+        &self,
+        circuit: &Circuit,
+        scratch: &mut EngineScratch,
+    ) -> Result<RunReport, TiltError> {
+        let compiler = self
+            .compiler
+            .as_ref()
+            .expect("Tilt backend always carries a compiler");
+        let output = compiler.compile_with_scratch(circuit, &mut scratch.compile)?;
+        // `CoolingPolicy::never` takes the plain estimator path so the
+        // session API is bit-identical to the legacy
+        // `Compiler::compile` + `estimate_success` flow.
+        let success = if matches!(self.cooling.trigger, CoolingTrigger::Never) {
+            CooledSuccessReport {
+                report: estimate_success(&output.program, &self.noise, &self.gate_times),
+                cooling_rounds: 0,
+                cooling_time_us: 0.0,
+            }
+        } else {
+            estimate_success_with_cooling(
+                &output.program,
+                &self.noise,
+                &self.gate_times,
+                &self.cooling,
+            )
+        };
+        let exec_time_us = execution_time_us(&output.program, &self.gate_times, &self.exec_time)
+            + success.cooling_time_us;
+        let r = &output.report;
+        let compile = CompileStats {
+            swap_count: r.swap_count,
+            opposing_swap_count: r.opposing_swap_count,
+            move_count: r.move_count,
+            move_distance: r.move_distance_ions,
+            native_gate_count: r.native_gate_count,
+            native_two_qubit_count: r.native_two_qubit_count,
+            epr_pairs: 0,
+            t_decompose: r.t_decompose,
+            t_swap: r.t_swap,
+            t_move: r.t_move,
+        };
+        Ok(RunReport {
+            backend: BackendKind::Tilt,
+            compile,
+            ln_success: success.report.ln_success,
+            success: success.report.success,
+            exec_time_us,
+            detail: RunDetail::Tilt { output, success },
+        })
+    }
+
+    fn run_qccd(
+        &self,
+        circuit: &Circuit,
+        spec: QccdSpec,
+        scratch: &mut EngineScratch,
+    ) -> Result<RunReport, TiltError> {
+        // Lower to the native set first so gate counts are comparable
+        // with the TILT backend (the Fig. 8 methodology).
+        let t0 = Instant::now();
+        decompose_into(circuit, &mut scratch.native);
+        let t_decompose = t0.elapsed();
+        let t1 = Instant::now();
+        let program = compile_qccd(&scratch.native, &spec)?;
+        let t_swap = t1.elapsed();
+        let report =
+            estimate_qccd_success(&program, &self.noise, &self.gate_times, &self.qccd_params);
+        let compile = CompileStats {
+            swap_count: 0,
+            opposing_swap_count: 0,
+            move_count: report.transports,
+            move_distance: report.shuttle_segments,
+            native_gate_count: report.two_qubit_gates
+                + report.single_qubit_gates
+                + report.measurements,
+            native_two_qubit_count: report.two_qubit_gates,
+            epr_pairs: 0,
+            t_decompose,
+            t_swap,
+            t_move: std::time::Duration::ZERO,
+        };
+        Ok(RunReport {
+            backend: BackendKind::Qccd,
+            compile,
+            ln_success: report.ln_success,
+            success: report.success,
+            exec_time_us: report.exec_time_us,
+            detail: RunDetail::Qccd { program, report },
+        })
+    }
+
+    fn run_scaled(&self, circuit: &Circuit, spec: ScaleSpec) -> Result<RunReport, TiltError> {
+        let program = compile_scaled(circuit, &spec)?;
+        let report = estimate_scaled(&program, &self.noise, &self.gate_times);
+        let mut compile = CompileStats {
+            swap_count: report.total_swaps,
+            move_count: report.total_moves,
+            epr_pairs: program.epr_pairs,
+            ..CompileStats::default()
+        };
+        for out in &program.elu_outputs {
+            compile.opposing_swap_count += out.report.opposing_swap_count;
+            compile.move_distance += out.report.move_distance_ions;
+            compile.native_gate_count += out.report.native_gate_count;
+            compile.native_two_qubit_count += out.report.native_two_qubit_count;
+            compile.t_decompose += out.report.t_decompose;
+            compile.t_swap += out.report.t_swap;
+            compile.t_move += out.report.t_move;
+        }
+        Ok(RunReport {
+            backend: BackendKind::Scaled,
+            compile,
+            ln_success: report.ln_success,
+            success: report.success,
+            exec_time_us: report.exec_time_us,
+            detail: RunDetail::Scaled { program, report },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilt_benchmarks::qaoa::qaoa_maxcut;
+    use tilt_circuit::Qubit;
+    use tilt_compiler::route::LinqConfig;
+
+    fn ghz(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        c.h(Qubit(0));
+        for i in 1..n {
+            c.cnot(Qubit(i - 1), Qubit(i));
+        }
+        c
+    }
+
+    #[test]
+    fn builder_requires_a_backend() {
+        let err = Engine::builder().build().unwrap_err();
+        assert!(matches!(err, TiltError::Config { .. }));
+        assert!(err.to_string().contains("no backend"));
+    }
+
+    #[test]
+    fn builder_validates_router_against_spec() {
+        let spec = DeviceSpec::new(8, 4).unwrap();
+        let err = Engine::builder()
+            .backend(Backend::Tilt(spec))
+            .router(RouterKind::Linq(LinqConfig::with_max_swap_len(7)))
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            TiltError::Compile(tilt_compiler::CompileError::InvalidRouterConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn tilt_run_reports_unified_stats() {
+        let engine = Engine::tilt(DeviceSpec::new(16, 4).unwrap());
+        let report = engine.run(&ghz(16)).unwrap();
+        assert_eq!(report.backend, BackendKind::Tilt);
+        assert!(report.success > 0.0 && report.success < 1.0);
+        assert!(report.exec_time_us > 0.0);
+        assert!(report.compile.move_count >= 1);
+        assert_eq!(report.compile.epr_pairs, 0);
+        let out = report.tilt_output().unwrap();
+        assert_eq!(out.report.move_count, report.compile.move_count);
+    }
+
+    #[test]
+    fn qccd_run_reports_transports() {
+        let engine = Engine::qccd(QccdSpec::for_qubits(16, 5).unwrap());
+        let report = engine.run(&ghz(16)).unwrap();
+        assert_eq!(report.backend, BackendKind::Qccd);
+        assert!(report.compile.move_count > 0, "cross-trap GHZ must shuttle");
+        assert_eq!(report.compile.swap_count, 0);
+        assert!(report.qccd_report().unwrap().transports > 0);
+    }
+
+    #[test]
+    fn scaled_run_reports_epr_pairs() {
+        let engine = Engine::scaled(ScaleSpec::new(10, 4).unwrap());
+        let report = engine.run(&ghz(16)).unwrap();
+        assert_eq!(report.backend, BackendKind::Scaled);
+        assert!(
+            report.compile.epr_pairs >= 1,
+            "GHZ chain crosses the ELU cut"
+        );
+        assert_eq!(
+            report.compile.epr_pairs,
+            report.scale_report().unwrap().remote_gates
+        );
+    }
+
+    #[test]
+    fn run_rejects_wide_circuits_per_backend() {
+        let wide = Circuit::new(80);
+        let tilt = Engine::tilt(DeviceSpec::tilt64(16));
+        assert!(matches!(
+            tilt.run(&wide).unwrap_err(),
+            TiltError::Compile(tilt_compiler::CompileError::CircuitTooWide { .. })
+        ));
+        let qccd = Engine::qccd(QccdSpec::for_qubits(64, 16).unwrap());
+        assert!(matches!(
+            qccd.run(&wide).unwrap_err(),
+            TiltError::Qccd(tilt_qccd::QccdError::CircuitTooWide { .. })
+        ));
+    }
+
+    #[test]
+    fn cooling_policy_changes_the_estimate() {
+        let circuit = qaoa_maxcut(24, 4, 3);
+        let spec = DeviceSpec::new(24, 4).unwrap();
+        let base = Engine::tilt(spec).run(&circuit).unwrap();
+        let cooled = Engine::builder()
+            .backend(Backend::Tilt(spec))
+            .cooling(CoolingPolicy::threshold(2.0))
+            .build()
+            .unwrap()
+            .run(&circuit)
+            .unwrap();
+        let s = cooled.tilt_success().unwrap();
+        assert!(s.cooling_rounds > 0);
+        assert!(
+            cooled.success > base.success,
+            "cooling must help a hot chain"
+        );
+        assert!(
+            cooled.exec_time_us > base.exec_time_us,
+            "cooling costs time"
+        );
+    }
+
+    #[test]
+    fn custom_models_flow_through() {
+        // A noiseless model gives certain success on TILT.
+        let noiseless = NoiseModel {
+            gamma_per_us: 0.0,
+            epsilon: 0.0,
+            single_qubit_error: 0.0,
+            measurement_error: 0.0,
+            k_base: 0.0,
+            n_ref: 8.0,
+        };
+        let engine = Engine::builder()
+            .backend(Backend::Tilt(DeviceSpec::new(8, 4).unwrap()))
+            .noise(noiseless)
+            .build()
+            .unwrap();
+        let report = engine.run(&ghz(8)).unwrap();
+        assert_eq!(report.success, 1.0);
+    }
+}

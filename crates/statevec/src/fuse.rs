@@ -279,6 +279,25 @@ pub(crate) fn is_diagonal4(m: &Mat4) -> bool {
     true
 }
 
+/// True when `m` is *monomial*: exactly one nonzero entry per column —
+/// a basis permutation dressed with phases (`M = P·D`). These blocks
+/// have cheap kernels (a masked phase sweep plus the contiguous-run
+/// swap kernels), so the collector's cost model keeps them from being
+/// densified by non-diagonal single-qubit absorption. Diagonal and
+/// pure-permutation matrices are special cases. As with
+/// [`is_diagonal4`], structural zeros survive fusion exactly, so no
+/// tolerance is needed.
+#[inline]
+pub fn is_monomial4(m: &Mat4) -> bool {
+    for v in 0..4 {
+        let nonzeros = m.iter().filter(|row| row[v] != Complex::ZERO).count();
+        if nonzeros != 1 {
+            return false;
+        }
+    }
+    true
+}
+
 /// One pending fusion block.
 enum Block {
     One(usize, Mat2),
@@ -320,6 +339,21 @@ impl Collector {
     }
 
     fn push_1q(&mut self, q: usize, m: Mat2) {
+        // Cost model: embedding a non-diagonal matrix (H, Rx, …) into a
+        // monomial 2q block would densify it — one dense 4×4 pass costs
+        // about twice the block's cheap permutation + phase kernels
+        // (the Clifford+T-dressed CNOTs of the lowered Cuccaro adder
+        // are exactly this shape). Flush the cheap block and let the
+        // rotation start its own 1q run instead.
+        if let Some(idx) = self.owner[q] {
+            let densifies = matches!(
+                self.blocks[idx].as_ref().expect("live block"),
+                Block::Two(_, _, acc) if !is_diagonal2(&m) && is_monomial4(acc)
+            );
+            if densifies {
+                self.flush_qubit(q);
+            }
+        }
         match self.owner[q] {
             None => {
                 self.owner[q] = Some(self.blocks.len());
@@ -353,6 +387,24 @@ impl Collector {
             if let Some(idx) = self.owner[q] {
                 if matches!(self.blocks[idx], Some(Block::Two(..))) {
                     self.flush_qubit(q);
+                }
+            }
+        }
+        // Same cost model as `push_1q`: a monomial 2q gate (CNOT, SWAP,
+        // and every diagonal) absorbing a pending non-diagonal rotation
+        // would densify; flush the rotation and keep the block cheap.
+        // Pending *diagonal* blocks still merge in — that absorption is
+        // what collapses `Rz·CX·Rz·CX·Rz` into one diagonal.
+        if is_monomial4(&m) {
+            for q in [a, b] {
+                if let Some(idx) = self.owner[q] {
+                    let nondiag = matches!(
+                        self.blocks[idx].as_ref().expect("live block"),
+                        Block::One(_, m1) if !is_diagonal2(m1)
+                    );
+                    if nondiag {
+                        self.flush_qubit(q);
+                    }
                 }
             }
         }
@@ -504,6 +556,68 @@ mod tests {
         assert_eq!(ops.len(), 2);
         assert!(matches!(ops[0], FusedOp::OneQ { q: 0, .. }));
         assert!(matches!(ops[1], FusedOp::Passthrough(Gate::Toffoli(..))));
+    }
+
+    #[test]
+    fn t_dressed_cnot_stays_monomial() {
+        // The Toffoli lowering's `Tdg(t); CX(c,t); T(c)` shape: diagonal
+        // phases merge into the CNOT block without densifying it.
+        let mut c = Circuit::new(2);
+        c.tdg(Qubit(1));
+        c.cnot(Qubit(0), Qubit(1));
+        c.t(Qubit(0));
+        let ops = fuse(&c);
+        assert_eq!(ops.len(), 1);
+        let FusedOp::TwoQ { m, .. } = ops[0] else {
+            panic!("expected a fused 2q block, got {:?}", ops[0]);
+        };
+        assert!(is_monomial4(&m));
+        assert!(!is_diagonal4(&m));
+    }
+
+    #[test]
+    fn hadamard_does_not_densify_permutation_blocks() {
+        // `H(t); CX(c,t)`: absorbing the H would make a dense 4×4 that
+        // costs ~2× the cheap kernels; the cost model emits the H
+        // separately and keeps the CNOT monomial.
+        let mut c = Circuit::new(2);
+        c.h(Qubit(1));
+        c.cnot(Qubit(0), Qubit(1));
+        let ops = fuse(&c);
+        assert_eq!(ops.len(), 2);
+        assert!(matches!(ops[0], FusedOp::OneQ { q: 1, .. }));
+        let FusedOp::TwoQ { m, .. } = ops[1] else {
+            panic!("expected a 2q block, got {:?}", ops[1]);
+        };
+        assert!(is_monomial4(&m));
+    }
+
+    #[test]
+    fn rotation_after_monomial_block_flushes_it() {
+        // `CX; H(t)`: the trailing rotation must not densify the cheap
+        // block either — it flushes the block and starts a 1q run.
+        let mut c = Circuit::new(2);
+        c.cnot(Qubit(0), Qubit(1));
+        c.h(Qubit(1));
+        let ops = fuse(&c);
+        assert_eq!(ops.len(), 2);
+        let FusedOp::TwoQ { m, .. } = ops[0] else {
+            panic!("expected a 2q block, got {:?}", ops[0]);
+        };
+        assert!(is_monomial4(&m));
+        assert!(matches!(ops[1], FusedOp::OneQ { q: 1, .. }));
+    }
+
+    #[test]
+    fn dense_blocks_still_absorb_rotations() {
+        // XX is dense regardless; merging the H into it saves a pass,
+        // so absorption is kept for already-dense blocks.
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0));
+        c.xx(Qubit(0), Qubit(1), 0.7);
+        let ops = fuse(&c);
+        assert_eq!(ops.len(), 1);
+        assert!(matches!(ops[0], FusedOp::TwoQ { .. }));
     }
 
     #[test]

@@ -480,55 +480,34 @@ fn apply_diag_term(amps: &mut [Complex], term: &kernels::DiagTerm, parallel: boo
 
 /// Applies one fused op, deferring block-common unit-modulus factors
 /// into `global`.
+///
+/// Diagonal ops delegate to [`classify_diag`] + [`apply_diag_term`] —
+/// the same normalization the run batcher uses — so the d₀-deferral
+/// logic exists in one place. (In `State::run` the batcher intercepts
+/// diagonal ops before this function; the delegation keeps any other
+/// caller exactly equivalent.)
 fn apply_fused(amps: &mut [Complex], op: FusedOp, parallel: bool, global: &mut Complex) {
-    match op {
-        FusedOp::OneQ { q, m } => {
-            if fuse::is_diagonal2(&m) {
-                // diag(d0, d1) = d0 · diag(1, d1/d0): half the touches.
-                // |d0| = 1 up to rounding, so conj is the inverse.
-                *global = *global * m[0][0];
-                let rel = m[1][1] * m[0][0].conj();
-                if !close(rel, Complex::ONE) {
-                    phase_dispatch(amps, q, rel, parallel);
-                }
-            } else {
-                apply_1q_dispatch(amps, q, m, parallel);
-            }
+    match classify_diag(&op, global) {
+        DiagClass::Term(term) => {
+            apply_diag_term(amps, &term, parallel);
+            return;
         }
+        DiagClass::Absorbed => return,
+        DiagClass::Opaque => {}
+    }
+    match op {
+        FusedOp::OneQ { q, m } => apply_1q_dispatch(amps, q, m, parallel),
         FusedOp::TwoQ { a, b, m } => {
             let (qlo, qhi, m) = if a < b {
                 (a, b, m)
             } else {
                 (b, a, fuse::transpose_qubits(m))
             };
-            if fuse::is_diagonal4(&m) {
-                let d = [m[0][0], m[1][1], m[2][2], m[3][3]];
-                *global = *global * d[0];
-                let rel = [
-                    Complex::ONE,
-                    d[1] * d[0].conj(),
-                    d[2] * d[0].conj(),
-                    d[3] * d[0].conj(),
-                ];
-                if close(rel[1], Complex::ONE) && close(rel[2], Complex::ONE) {
-                    // The controlled-phase shape: only the |11⟩ subspace
-                    // moves — a 2^(n-2) sweep (or nothing at all).
-                    if !close(rel[3], Complex::ONE) {
-                        if parallel {
-                            kernels::phase_both_parallel(amps, qlo, qhi, rel[3]);
-                        } else {
-                            kernels::phase_both(amps, qlo, qhi, rel[3]);
-                        }
-                    }
-                } else if parallel {
-                    kernels::diag_2q_parallel(amps, qlo, qhi, rel);
-                } else {
-                    kernels::diag_2q(amps, qlo, qhi, rel);
-                }
-            } else if apply_2q_permutation(amps, qlo, qhi, &m, parallel) {
-                // Pure permutation block (an unmerged CNOT/SWAP):
-                // dispatched to the contiguous-run swap kernels instead
-                // of a dense 4×4 pass.
+            if apply_2q_monomial(amps, qlo, qhi, &m, parallel, global) {
+                // Monomial block (a CNOT/SWAP possibly dressed with
+                // diagonal phases): dispatched as a masked phase sweep
+                // plus the contiguous-run swap kernels instead of a
+                // dense 4×4 pass.
             } else if parallel {
                 kernels::apply_2q_parallel(amps, qlo, qhi, m);
             } else {
@@ -539,35 +518,61 @@ fn apply_fused(amps: &mut [Complex], op: FusedOp, parallel: bool, global: &mut C
     }
 }
 
-/// Dispatches `m` to a permutation kernel when it is exactly a basis
-/// permutation with unit entries (a CNOT or SWAP block no rotation
-/// merged into — fusion preserves the exact 0/1 entries in that case).
-/// Returns `false` when `m` is not such a permutation.
-fn apply_2q_permutation(
+/// Dispatches `m` to the cheap kernels when it is *monomial*: exactly
+/// one nonzero entry per column, i.e. a basis permutation dressed with
+/// phases, `M = P·D` (a CNOT or SWAP block with only diagonal factors
+/// merged in — the fuser's cost model keeps these from densifying).
+/// The diagonal factor is applied first as a masked phase sweep (its
+/// common phase deferred into `global`), then the permutation through
+/// the contiguous-run swap kernels; the dense 4×4 pass this replaces
+/// costs roughly twice as much on such blocks. Returns `false` when
+/// `m` is not monomial or its permutation has no specialized kernel.
+fn apply_2q_monomial(
     amps: &mut [Complex],
     qlo: usize,
     qhi: usize,
     m: &fuse::Mat4,
     parallel: bool,
+    global: &mut Complex,
 ) -> bool {
-    // Column v's single unit entry gives the permutation image p[v].
+    // Column v's single nonzero entry at row p[v] carries the phase
+    // d[v]: M·x moves d[v]·x[v] to index p[v].
     let mut p = [0usize; 4];
+    let mut d = [Complex::ZERO; 4];
     for v in 0..4 {
         let mut image = None;
         for (r, row) in m.iter().enumerate() {
-            if row[v] == Complex::ONE {
+            if row[v] != Complex::ZERO {
                 if image.is_some() {
                     return false;
                 }
                 image = Some(r);
-            } else if row[v] != Complex::ZERO {
-                return false;
             }
         }
         let Some(r) = image else { return false };
         p[v] = r;
+        d[v] = m[r][v];
     }
-    // Index convention: v = bit(qlo) + 2·bit(qhi).
+    // Index convention: v = bit(qlo) + 2·bit(qhi). Permutations other
+    // than these (X-dressed variants) have no specialized kernel and
+    // stay on the dense path — they are rare and correct there.
+    if !matches!(p, [0, 1, 2, 3] | [0, 3, 2, 1] | [0, 1, 3, 2] | [0, 2, 1, 3]) {
+        return false;
+    }
+    // Apply D first: |d| = 1 up to rounding (products of unit-modulus
+    // entries), so the common phase defers into `global` exactly as in
+    // the diagonal-block path.
+    *global = *global * d[0];
+    let rel = [
+        Complex::ONE,
+        d[1] * d[0].conj(),
+        d[2] * d[0].conj(),
+        d[3] * d[0].conj(),
+    ];
+    if !rel[1..].iter().all(|&z| close(z, Complex::ONE)) {
+        apply_diag_term(amps, &kernels::DiagTerm::Two { qlo, qhi, d: rel }, parallel);
+    }
+    // Then P.
     match p {
         // Identity (e.g. CNOT·CNOT merged): nothing to move.
         [0, 1, 2, 3] => {}
@@ -595,9 +600,7 @@ fn apply_2q_permutation(
                 kernels::swap_qubits(amps, qlo, qhi);
             }
         }
-        // Other permutations (X-dressed variants) stay on the dense
-        // path — they are rare and correct there.
-        _ => return false,
+        _ => unreachable!("permutation was checked above"),
     }
     true
 }

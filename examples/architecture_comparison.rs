@@ -2,17 +2,17 @@
 //! vs QCCD vs the ideal trapped-ion device on benchmarks with opposite
 //! communication patterns (Fig. 8 of the paper).
 //!
+//! This is the experiment the unified session API exists for: the same
+//! circuit runs through `Engine` sessions that differ **only in their
+//! backend**, and every architecture answers with the same report shape.
+//!
 //! Run with: `cargo run --release --example architecture_comparison`
 
 use tilt::benchmarks::{qaoa::qaoa_maxcut, qft::qft};
-use tilt::compiler::decompose::decompose;
 use tilt::prelude::*;
 use tilt::report::{fmt_success, Table};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let noise = NoiseModel::default();
-    let times = GateTimeModel::default();
-
     let workloads: Vec<(&str, tilt::circuit::Circuit)> = vec![
         ("QAOA (nearest-neighbour)", qaoa_maxcut(64, 20, 7)),
         ("QFT (long-distance)", qft(64)),
@@ -29,29 +29,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (name, circuit) in workloads {
         let mut cells = vec![name.to_string()];
 
-        // TILT at both paper head sizes.
+        // TILT at both paper head sizes: one session per machine.
         for head in [16, 32] {
-            let out =
-                Compiler::new(DeviceSpec::new(circuit.n_qubits(), head)?).compile(&circuit)?;
-            let s = estimate_success(&out.program, &noise, &times);
-            cells.push(fmt_success(s.success));
+            let engine = Engine::builder()
+                .backend(Backend::Tilt(DeviceSpec::new(circuit.n_qubits(), head)?))
+                .build()?;
+            cells.push(fmt_success(engine.run(&circuit)?.success));
         }
 
-        // QCCD: best trap size in the paper's 15–35 range.
-        let native = decompose(&circuit);
+        // QCCD: best trap size in the paper's 15–35 range — the same
+        // circuit through sessions that differ only in their backend.
         let qccd_best = [15usize, 17, 20, 25, 30, 35]
             .iter()
             .map(|&ions| {
                 let spec = QccdSpec::for_qubits(circuit.n_qubits(), ions)
                     .expect("paper trap sizes are valid");
-                let prog = compile_qccd(&native, &spec).expect("benchmark fits the array");
-                estimate_qccd_success(&prog, &noise, &times, &QccdParams::default()).success
+                Engine::builder()
+                    .backend(Backend::Qccd(spec))
+                    .build()
+                    .expect("valid spec builds")
+                    .run(&circuit)
+                    .expect("benchmark fits the array")
+                    .success
             })
             .fold(0.0f64, f64::max);
         cells.push(fmt_success(qccd_best));
 
         // Ideal fully-connected trapped-ion device.
-        let ideal = estimate_ideal_success(&circuit, &noise, &times);
+        let ideal =
+            estimate_ideal_success(&circuit, &NoiseModel::default(), &GateTimeModel::default());
         cells.push(fmt_success(ideal.success));
 
         table.row(cells);

@@ -4,7 +4,8 @@
 //! a few extra swaps for scheduling freedom: a swap of span `L-1` executes
 //! at exactly one head position (Fig. 5), so shorter swaps let the tape
 //! scheduler batch more gates per move. The sweet spot is
-//! application-dependent; LinQ is rerun per candidate value.
+//! application-dependent; one `Engine` session per candidate value reruns
+//! LinQ with that router configuration.
 //!
 //! Run with: `cargo run --release --example maxswaplen_tuning`
 
@@ -25,26 +26,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         circuit.two_qubit_count()
     );
 
-    let noise = NoiseModel::default();
-    let times = GateTimeModel::default();
     let mut table = Table::new(["MaxSwapLen", "swaps", "moves", "success"]);
     let mut best: Option<(usize, f64)> = None;
 
     for max_swap_len in (3..=head - 1).rev() {
-        let mut compiler = Compiler::new(spec);
-        compiler.router(RouterKind::Linq(LinqConfig::with_max_swap_len(
-            max_swap_len,
-        )));
-        let out = compiler.compile(&circuit)?;
-        let s = estimate_success(&out.program, &noise, &times);
+        let engine = Engine::builder()
+            .backend(Backend::Tilt(spec))
+            .router(RouterKind::Linq(LinqConfig::with_max_swap_len(
+                max_swap_len,
+            )))
+            .build()?;
+        let report = engine.run(&circuit)?;
         table.row([
             max_swap_len.to_string(),
-            out.report.swap_count.to_string(),
-            out.report.move_count.to_string(),
-            fmt_success(s.success),
+            report.compile.swap_count.to_string(),
+            report.compile.move_count.to_string(),
+            fmt_success(report.success),
         ]);
-        if best.is_none_or(|(_, b)| s.success > b) {
-            best = Some((max_swap_len, s.success));
+        if best.is_none_or(|(_, b)| report.success > b) {
+            best = Some((max_swap_len, report.success));
         }
     }
     println!("{}", table.render());

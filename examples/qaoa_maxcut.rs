@@ -4,7 +4,8 @@
 //!
 //! QAOA's nearest-neighbour structure is TILT's best case: the whole
 //! interaction layer slides under the head with a handful of tape moves
-//! and zero swaps (§VI-B of the paper).
+//! and zero swaps (§VI-B of the paper). Each head size is one `Engine`
+//! session; the circuit runs through all of them.
 //!
 //! Run with: `cargo run --release --example qaoa_maxcut`
 
@@ -23,25 +24,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         circuit.two_qubit_count()
     );
 
-    let noise = NoiseModel::default();
-    let times = GateTimeModel::default();
     let mut table = Table::new(["head size", "swaps", "moves", "success", "exec time (s)"]);
-
     for head in [8, 16, 32, 64] {
-        let out = Compiler::new(DeviceSpec::new(n, head)?).compile(&circuit)?;
-        let s = estimate_success(&out.program, &noise, &times);
-        let t_us = execution_time_us(&out.program, &times, &ExecTimeModel::default());
+        let engine = Engine::builder()
+            .backend(Backend::Tilt(DeviceSpec::new(n, head)?))
+            .build()?;
+        let report = engine.run(&circuit)?;
         table.row([
             head.to_string(),
-            out.report.swap_count.to_string(),
-            out.report.move_count.to_string(),
-            fmt_success(s.success),
-            format!("{:.3}", t_us / 1e6),
+            report.compile.swap_count.to_string(),
+            report.compile.move_count.to_string(),
+            fmt_success(report.success),
+            format!("{:.3}", report.exec_time_us / 1e6),
         ]);
     }
     println!("{}", table.render());
 
-    let ideal = estimate_ideal_success(&circuit, &noise, &times);
+    let ideal = estimate_ideal_success(&circuit, &NoiseModel::default(), &GateTimeModel::default());
     println!(
         "ideal trapped-ion reference: {} — a 32-laser head gets most of the way there",
         fmt_success(ideal.success)

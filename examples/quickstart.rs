@@ -1,5 +1,6 @@
 //! Quickstart: compile a GHZ-state circuit for a small TILT machine and
-//! estimate its success rate and execution time.
+//! estimate its success rate and execution time — all through the
+//! `Engine` session API.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -15,32 +16,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("program: {}", ghz.stats());
 
-    // A TILT machine with a 24-ion tape and an 8-laser head.
-    let spec = DeviceSpec::new(n, 8)?;
-    let out = Compiler::new(spec).compile(&ghz)?;
-    let r = &out.report;
+    // One session: a TILT machine with a 24-ion tape and an 8-laser
+    // head, under the paper's default noise and timing models.
+    let engine = Engine::builder()
+        .backend(Backend::Tilt(DeviceSpec::new(n, 8)?))
+        .build()?;
+
+    // One call: compile + simulate, one unified report.
+    let report = engine.run(&ghz)?;
+    let c = &report.compile;
     println!(
         "compiled: {} native gates, {} swaps, {} tape moves ({} ion spacings travelled)",
-        r.native_gate_count, r.swap_count, r.move_count, r.move_distance_ions
+        c.native_gate_count, c.swap_count, c.move_count, c.move_distance
     );
-
-    // Simulate under the paper's noise model (Eq. 3–5).
-    let noise = NoiseModel::default();
-    let times = GateTimeModel::default();
-    let success = estimate_success(&out.program, &noise, &times);
-    let t_us = execution_time_us(&out.program, &times, &ExecTimeModel::default());
+    let success = report.tilt_success().expect("TILT backend");
     println!(
         "estimated success rate: {:.4} ({} two-qubit gates, {:.1} quanta of heat)",
-        success.success, success.two_qubit_gates, success.final_quanta
+        report.success, success.report.two_qubit_gates, success.report.final_quanta
     );
-    println!("estimated execution time: {:.2} ms", t_us / 1e3);
+    println!(
+        "estimated execution time: {:.2} ms",
+        report.exec_time_us / 1e3
+    );
 
     // Compare against the connectivity-unconstrained ideal device.
-    let ideal = estimate_ideal_success(&ghz, &noise, &times);
+    let ideal = estimate_ideal_success(&ghz, engine.noise(), engine.gate_times());
     println!(
         "ideal trapped-ion reference: {:.4} (TILT reaches {:.1}% of ideal)",
         ideal.success,
-        100.0 * success.success / ideal.success
+        100.0 * report.success / ideal.success
     );
     Ok(())
 }

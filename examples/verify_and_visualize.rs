@@ -3,7 +3,9 @@
 //! This example shows the two introspection tools that go beyond the
 //! paper: the state-vector verifier (is the scheduled program the same
 //! unitary as the source program?) and the tape-head timeline (where did
-//! the execution zone travel?).
+//! the execution zone travel?). The `Engine` report keeps the full
+//! compile artifacts in `RunDetail`, so drill-down consumers like these
+//! need nothing beyond the session API.
 //!
 //! Run with: `cargo run --release --example verify_and_visualize`
 
@@ -21,12 +23,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     circuit.cphase(Qubit(9), Qubit(1), 1.1);
     circuit.cnot(Qubit(2), Qubit(3));
 
-    let spec = DeviceSpec::new(n, 4)?;
-    let out = Compiler::new(spec).compile(&circuit)?;
+    let engine = Engine::builder()
+        .backend(Backend::Tilt(DeviceSpec::new(n, 4)?))
+        .build()?;
+    let report = engine.run(&circuit)?;
     println!(
         "compiled: {} swaps, {} moves\n",
-        out.report.swap_count, out.report.move_count
+        report.compile.swap_count, report.compile.move_count
     );
+    let out = report.tilt_output().expect("TILT backend");
 
     // --- semantic verification -----------------------------------------
     // Simulate the logical program and the scheduled machine program, then

@@ -5,20 +5,27 @@
 //! Architecture* (Wu et al., HPCA 2021). It re-exports the workspace
 //! crates under stable module names:
 //!
+//! * [`engine`] — **the front door**: a session-style [`Engine`](engine::Engine)
+//!   that owns the device spec, noise/timing models, and compilation
+//!   policies once, then compiles + simulates one circuit ([`run`](engine::Engine::run))
+//!   or thousands ([`run_batch`](engine::Engine::run_batch)) across any
+//!   backend — TILT, the QCCD comparator, or MUSIQC-style ELU arrays.
 //! * [`circuit`] — quantum-circuit IR (gates, DAG, layers, QASM).
 //! * [`benchmarks`] — the Table II NISQ workload generators.
 //! * [`compiler`] — LinQ: decomposition, swap insertion (Algorithm 1),
 //!   tape scheduling (Algorithm 2).
 //! * [`sim`] — Eq. 3/4/5 noise, success-rate, and timing models.
 //! * [`qccd`] — the QCCD comparator architecture.
+//! * [`scale`] — the modular ELU-array architecture (§VII).
 //! * [`report`] — table/CSV helpers used by the experiment harnesses.
 //!
 //! # Quickstart
 //!
+//! One engine, any backend. Configure a session once, run circuits
+//! through it, read one report shape:
+//!
 //! ```
-//! use tilt::circuit::{Circuit, Qubit};
-//! use tilt::compiler::{Compiler, DeviceSpec};
-//! use tilt::sim::{estimate_success, GateTimeModel, NoiseModel};
+//! use tilt::prelude::*;
 //!
 //! // A 16-qubit GHZ state on a 16-ion tape with an 8-laser head.
 //! let mut ghz = Circuit::new(16);
@@ -26,15 +33,50 @@
 //! for i in 1..16 {
 //!     ghz.cnot(Qubit(i - 1), Qubit(i));
 //! }
-//! let out = Compiler::new(DeviceSpec::new(16, 8)?).compile(&ghz)?;
-//! let success = estimate_success(&out.program, &NoiseModel::default(), &GateTimeModel::default());
-//! assert!(success.success > 0.5);
-//! # Ok::<(), tilt::compiler::CompileError>(())
+//! let engine = Engine::builder()
+//!     .backend(Backend::Tilt(DeviceSpec::new(16, 8)?))
+//!     .build()?;
+//! let report = engine.run(&ghz)?;
+//! assert!(report.success > 0.5);
+//! assert!(report.compile.move_count >= 1);
+//!
+//! // The same session shape targets the QCCD comparator:
+//! let qccd = Engine::builder()
+//!     .backend(Backend::Qccd(QccdSpec::for_qubits(16, 5)?))
+//!     .build()?;
+//! assert!(qccd.run(&ghz)?.success > 0.0);
+//! # Ok::<(), tilt::engine::TiltError>(())
 //! ```
+//!
+//! Batches amortize session setup and fan out over the thread pool:
+//!
+//! ```
+//! use tilt::prelude::*;
+//!
+//! let engine = Engine::builder()
+//!     .backend(Backend::Tilt(DeviceSpec::new(8, 4)?))
+//!     .build()?;
+//! let circuits: Vec<Circuit> = (1..8)
+//!     .map(|k| {
+//!         let mut c = Circuit::new(8);
+//!         c.h(Qubit(0)).cnot(Qubit(0), Qubit(k));
+//!         c
+//!     })
+//!     .collect();
+//! let reports = engine.run_batch(circuits);
+//! assert!(reports.iter().all(|r| r.is_ok()));
+//! # Ok::<(), tilt::engine::TiltError>(())
+//! ```
+//!
+//! The per-pass building blocks (`Compiler`, `estimate_success`,
+//! `compile_qccd`, `compile_scaled`, …) remain available for callers
+//! that need a single pass in isolation; see `crates/engine/README.md`
+//! for the compatibility policy.
 
 pub use tilt_benchmarks as benchmarks;
 pub use tilt_circuit as circuit;
 pub use tilt_compiler as compiler;
+pub use tilt_engine as engine;
 pub use tilt_qccd as qccd;
 pub use tilt_report as report;
 pub use tilt_scale as scale;
@@ -46,6 +88,7 @@ pub mod prelude {
     pub use tilt_benchmarks::paper_suite;
     pub use tilt_circuit::{Circuit, Gate, Qubit};
     pub use tilt_compiler::{CompileOutput, Compiler, DeviceSpec, RouterKind, SchedulerKind};
+    pub use tilt_engine::{Backend, BackendKind, Engine, RunReport, TiltError};
     pub use tilt_qccd::{compile_qccd, estimate_qccd_success, QccdParams, QccdSpec};
     pub use tilt_scale::{compile_scaled, estimate_scaled, ScaleSpec};
     pub use tilt_sim::{

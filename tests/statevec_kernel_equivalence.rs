@@ -250,6 +250,49 @@ fn deep_circuit_all_modes_agree() {
     }
 }
 
+/// Regression pin for the fusion cost model (ROADMAP item): the
+/// Clifford+T-lowered Cuccaro adder must fuse into *monomial*
+/// (permutation + phase) two-qubit blocks only — never dense 4×4s.
+/// Before the fix, `H`/rotations merging into CNOT blocks densified
+/// them, and the dense pass made fused execution ~2× slower than
+/// unfused on one core; monomial blocks dispatch to the cheap
+/// phase-sweep + swap kernels instead.
+#[test]
+fn cuccaro_adder_fuses_to_monomial_blocks_only() {
+    use tilt::benchmarks::adder::cuccaro_adder;
+    use tilt::statevec::fuse::{fuse, is_monomial4, FusedOp};
+    let adder = cuccaro_adder(8); // 18 qubits of raw CNOT/T/H traffic
+    let ops = fuse(&adder);
+    let mut two_q_blocks = 0usize;
+    for op in &ops {
+        if let FusedOp::TwoQ { m, .. } = op {
+            two_q_blocks += 1;
+            assert!(
+                is_monomial4(m),
+                "a dense fused block leaked into the adder stream: {m:?}"
+            );
+        }
+    }
+    assert!(two_q_blocks > 0, "the adder must produce fused 2q blocks");
+}
+
+/// The monomial fast path must stay exact: fused execution of a small
+/// Cuccaro adder (T-dressed CNOT traffic end to end) matches the naive
+/// reference in every mode.
+#[test]
+fn cuccaro_adder_all_modes_agree() {
+    use tilt::benchmarks::adder::cuccaro_adder;
+    let adder = cuccaro_adder(4); // 10 qubits: cheap enough for debug CI
+    let n = adder.n_qubits();
+    let probe = State::random(n, 4242);
+    let reference = probe.clone().run_naive(&adder);
+    for (name, opts) in modes() {
+        let out = probe.clone().run_with(&adder, opts);
+        let f = out.fidelity(&reference);
+        assert!((f - 1.0).abs() < EPS, "{name}: fidelity {f}");
+    }
+}
+
 /// A QFT-style ladder wide enough that one diagonal run spans more
 /// distinct qubits than the batcher's budget, forcing mid-run flushes
 /// (the QFT row shape is exactly the workload the batching targets).
