@@ -26,7 +26,7 @@ fn bench_lookahead_cost(c: &mut Criterion) {
         };
         group.bench_function(format!("window_{lookahead}"), |b| {
             b.iter(|| {
-                RouterKind::Linq(cfg.clone())
+                RouterKind::Linq(cfg)
                     .route(black_box(&native), spec, &initial)
                     .unwrap()
             })

@@ -43,11 +43,12 @@ const MIN_RATIO: f64 = 0.8;
 const MAX_BASELINE_RUNS: usize = 5;
 
 /// Every record file a run may produce.
-const FILES: [&str; 4] = [
+const FILES: [&str; 5] = [
     "BENCH_statevec.json",
     "BENCH_router.json",
     "BENCH_scheduler.json",
     "BENCH_engine.json",
+    "BENCH_service.json",
 ];
 
 /// Same-run speedup ratios: regressions here are code, not hardware.
@@ -58,13 +59,14 @@ const GATING: [(&str, &str); 2] = [
 
 /// Cross-run absolute throughput, plus the engine batch ratio (which
 /// can hinge on runner core count): advisory only.
-const ADVISORY: [(&str, &str); 6] = [
+const ADVISORY: [(&str, &str); 7] = [
     ("BENCH_statevec.json", "optimized_gates_per_sec"),
     ("BENCH_statevec.json", "permutation.parallel_gates_per_sec"),
     ("BENCH_router.json", "incremental_routes_per_sec"),
     ("BENCH_router.json", "reference_routes_per_sec"),
     ("BENCH_engine.json", "batch_circuits_per_sec"),
     ("BENCH_engine.json", "batch_speedup"),
+    ("BENCH_service.json", "requests_per_sec"),
 ];
 
 /// One run's records, keyed by file name.

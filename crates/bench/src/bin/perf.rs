@@ -19,6 +19,10 @@
 //!   circuits through the `Engine` session API, batch/service mode
 //!   (per-worker scratch reuse + pool fan-out) vs one `run` call per
 //!   circuit.
+//! * `BENCH_service.json` — requests/sec driving the same workload as
+//!   JSON-lines wire requests through the `tilt serve` core (a
+//!   self-driving client over in-memory buffers: QASM parse + protocol
+//!   + windowed batch + response rendering).
 //!
 //! Run with: `cargo run --release -p tilt-bench --bin perf`
 
@@ -34,7 +38,7 @@ use tilt_compiler::mapping::InitialMapping;
 use tilt_compiler::route::LinqConfig;
 use tilt_compiler::schedule::{schedule_with, ScheduleConfig, SchedulerKind};
 use tilt_compiler::{DeviceSpec, RouterKind};
-use tilt_engine::Engine;
+use tilt_engine::{Backend, Engine, Service};
 use tilt_report::{Json, Table};
 use tilt_statevec::{RunOptions, State};
 
@@ -236,9 +240,59 @@ fn main() {
         format!("{:.2}x", t_single / t_batch),
     ]);
 
+    // --- `tilt serve` core: the same workload as wire requests ----------
+    // The self-driving client: render every circuit as a JSON-lines run
+    // request, stream the whole batch through one in-memory service
+    // loop, and count responses/sec. This prices the full service path
+    // — QASM parse, protocol decode, windowed batch fan-out, response
+    // rendering — against the raw `run_batch` number above.
+    let requests: String = circuits
+        .iter()
+        .enumerate()
+        .map(|(k, c)| {
+            let mut line = Json::object()
+                .set("id", k)
+                .set("qasm", tilt_circuit::qasm::to_qasm(c))
+                .render();
+            line.push('\n');
+            line
+        })
+        .collect();
+    let service_builder =
+        Engine::builder().backend(Backend::Tilt(DeviceSpec::new(16, 4).expect("valid device")));
+    let mut window = 0usize;
+    let t_serve = time_median(5, || {
+        let mut service = Service::new(service_builder.clone()).expect("service builds");
+        window = service.window();
+        let mut out = Vec::with_capacity(requests.len());
+        let summary = service
+            .serve(std::io::Cursor::new(requests.as_bytes()), &mut out, None)
+            .expect("in-memory service loop cannot fail on I/O");
+        assert_eq!(summary.stats.errors, 0, "workload requests all compile");
+        std::hint::black_box(out);
+    });
+    let service_record = Json::object()
+        .set("benchmark", "service_jsonlines")
+        .set("requests", n_circuits)
+        .set("n_qubits", 16usize)
+        .set("window", window)
+        .set("serve_secs", t_serve)
+        .set("requests_per_sec", n_circuits / t_serve)
+        .set("batch_secs", t_batch)
+        .set("protocol_overhead", t_serve / t_batch)
+        .set("threads", rayon_threads());
+    std::fs::write("BENCH_service.json", service_record.render())
+        .expect("write BENCH_service.json");
+    table.row([
+        "serve x120 (wire)".to_string(),
+        format!("{:.0} circuits/s", n_circuits / t_batch),
+        format!("{:.0} req/s", n_circuits / t_serve),
+        format!("{:.2}x overhead", t_serve / t_batch),
+    ]);
+
     print!("{}", table.render());
     println!(
-        "\nwrote BENCH_statevec.json, BENCH_router.json, BENCH_scheduler.json, BENCH_engine.json"
+        "\nwrote BENCH_statevec.json, BENCH_router.json, BENCH_scheduler.json, BENCH_engine.json, BENCH_service.json"
     );
 }
 

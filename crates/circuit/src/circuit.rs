@@ -274,6 +274,11 @@ impl Circuit {
     pub fn measure(&mut self, q: Qubit) -> &mut Self {
         self.push(Gate::Measure(q))
     }
+    /// Appends a qubit re-initialization (|0⟩ via optical pumping).
+    /// Distinct from [`Circuit::reset`], which clears the *gate list*.
+    pub fn reset_qubit(&mut self, q: Qubit) -> &mut Self {
+        self.push(Gate::Reset(q))
+    }
     /// Appends a barrier.
     pub fn barrier(&mut self) -> &mut Self {
         self.push(Gate::Barrier)

@@ -86,6 +86,11 @@ pub enum Gate {
     // --- non-unitary -------------------------------------------------------
     /// Computational-basis measurement.
     Measure(Qubit),
+    /// Re-initialization of one ion to |0⟩ (optical pumping). Required
+    /// between uses of a communication ion: once measured, the ion must
+    /// be pumped back to the ground state before it can host the next
+    /// EPR half.
+    Reset(Qubit),
     /// Compiler barrier: no dependency may be reordered across it.
     Barrier,
 }
@@ -111,7 +116,8 @@ impl Gate {
             | Rx(q, _)
             | Ry(q, _)
             | Rz(q, _)
-            | Measure(q) => vec![q],
+            | Measure(q)
+            | Reset(q) => vec![q],
             Cnot(a, b) | Cz(a, b) | Swap(a, b) => vec![a, b],
             Cphase(a, b, _) | Zz(a, b, _) | Xx(a, b, _) => vec![a, b],
             Toffoli(a, b, c) => vec![a, b, c],
@@ -138,7 +144,8 @@ impl Gate {
             | Rx(q, _)
             | Ry(q, _)
             | Rz(q, _)
-            | Measure(q) => ([q, Qubit(0), Qubit(0)], 1),
+            | Measure(q)
+            | Reset(q) => ([q, Qubit(0), Qubit(0)], 1),
             Cnot(a, b) | Cz(a, b) | Swap(a, b) | Cphase(a, b, _) | Zz(a, b, _) | Xx(a, b, _) => {
                 ([a, b, Qubit(0)], 2)
             }
@@ -154,7 +161,7 @@ impl Gate {
         match self {
             Barrier => 0,
             H(_) | X(_) | Y(_) | Z(_) | S(_) | Sdg(_) | T(_) | Tdg(_) | SqrtX(_) | SqrtY(_)
-            | Rx(..) | Ry(..) | Rz(..) | Measure(_) => 1,
+            | Rx(..) | Ry(..) | Rz(..) | Measure(_) | Reset(_) => 1,
             Cnot(..) | Cz(..) | Cphase(..) | Zz(..) | Xx(..) | Swap(..) => 2,
             Toffoli(..) => 3,
         }
@@ -171,7 +178,7 @@ impl Gate {
 
     /// True for the single-qubit unitaries (excludes measurement/barrier).
     pub fn is_single_qubit_unitary(&self) -> bool {
-        !matches!(self, Gate::Measure(_) | Gate::Barrier) && self.arity() == 1
+        !matches!(self, Gate::Measure(_) | Gate::Reset(_) | Gate::Barrier) && self.arity() == 1
     }
 
     /// True if this gate is in the trapped-ion native set `{Rx, Ry, Rz, XX}`
@@ -184,6 +191,7 @@ impl Gate {
                 | Gate::Rz(..)
                 | Gate::Xx(..)
                 | Gate::Measure(_)
+                | Gate::Reset(_)
                 | Gate::Barrier
         )
     }
@@ -227,6 +235,7 @@ impl Gate {
             Swap(a, b) => Swap(f(a), f(b)),
             Toffoli(a, b, c) => Toffoli(f(a), f(b), f(c)),
             Measure(q) => Measure(f(q)),
+            Reset(q) => Reset(f(q)),
             Barrier => Barrier,
         }
     }
@@ -257,6 +266,7 @@ impl Gate {
             Swap(..) => "swap",
             Toffoli(..) => "ccx",
             Measure(_) => "measure",
+            Reset(_) => "reset",
             Barrier => "barrier",
         }
     }

@@ -83,6 +83,7 @@ fn emit_gate(out: &mut String, g: &Gate) {
         Swap(a, b) => format!("swap {}, {};", q(a), q(b)),
         Toffoli(a, b, c) => format!("ccx {}, {}, {};", q(a), q(b), q(c)),
         Measure(a) => format!("measure {} -> c[{}];", q(a), a.index()),
+        Reset(a) => format!("reset {};", q(a)),
         Barrier => "barrier q;".to_string(),
     };
     out.push_str(&line);

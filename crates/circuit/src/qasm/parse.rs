@@ -218,6 +218,7 @@ fn parse_statement(
         "rxx" => Gate::Xx(op(0)?, op(1)?, angle(0)?),
         "swap" => Gate::Swap(op(0)?, op(1)?),
         "ccx" => Gate::Toffoli(op(0)?, op(1)?, op(2)?),
+        "reset" => Gate::Reset(op(0)?),
         "id" => return Ok(()),
         other => return err(line, format!("unknown gate `{other}`")),
     };

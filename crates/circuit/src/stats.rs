@@ -38,6 +38,8 @@ pub struct CircuitStats {
     pub three_qubit_gates: usize,
     /// Measurement count.
     pub measurements: usize,
+    /// Qubit re-initialization (reset) count.
+    pub resets: usize,
     /// Barrier count.
     pub barriers: usize,
     /// Circuit depth (longest dependency chain).
@@ -61,6 +63,8 @@ impl CircuitStats {
                 1 => {
                     if g.is_single_qubit_unitary() {
                         s.single_qubit_gates += 1;
+                    } else if matches!(g, crate::gate::Gate::Reset(_)) {
+                        s.resets += 1;
                     } else {
                         s.measurements += 1;
                     }

@@ -147,14 +147,7 @@ impl Options {
     /// The router kind this selection corresponds to (exact is handled
     /// separately by the commands since it is not a [`RouterKind`]).
     pub fn router_kind(&self) -> RouterKind {
-        match self.router {
-            RouterChoice::Linq | RouterChoice::Exact => RouterKind::Linq(LinqConfig {
-                max_swap_len: self.max_swap_len,
-                alpha: self.alpha,
-                ..LinqConfig::default()
-            }),
-            RouterChoice::Stochastic => RouterKind::Stochastic(Default::default()),
-        }
+        router_kind_from(self.router, self.max_swap_len, self.alpha)
     }
 
     /// Exact-router configuration derived from the flags.
@@ -169,6 +162,108 @@ impl Options {
 fn parse_num(text: &str, flag: &str) -> Result<usize, ParseArgsError> {
     text.parse()
         .map_err(|_| ParseArgsError(format!("invalid {flag} value `{text}`")))
+}
+
+/// The policy-based [`RouterKind`] a router choice plus the LinQ flags
+/// select — shared by [`Options`] and [`ServeOptions`]. `Exact` maps to
+/// LinQ here; callers that support the exact search branch on the
+/// choice before reaching this.
+fn router_kind_from(router: RouterChoice, max_swap_len: Option<usize>, alpha: f64) -> RouterKind {
+    match router {
+        RouterChoice::Linq | RouterChoice::Exact => RouterKind::Linq(LinqConfig {
+            max_swap_len,
+            alpha,
+            ..LinqConfig::default()
+        }),
+        RouterChoice::Stochastic => RouterKind::Stochastic(Default::default()),
+    }
+}
+
+/// Parsed options for the `serve` subcommand (which, unlike the other
+/// commands, takes no positional target — requests arrive on the wire).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeOptions {
+    /// Tape length of the shared session device (`--ions`), default 64.
+    pub ions: usize,
+    /// Head size (`--head`), default 16 (clamped to the tape).
+    pub head: usize,
+    /// Router selection (`--router`; `exact` is rejected — the service
+    /// drives the session API).
+    pub router: RouterChoice,
+    /// Swap-span cap (`--max-swap-len`).
+    pub max_swap_len: Option<usize>,
+    /// Eq. 1 decay (`--alpha`).
+    pub alpha: f64,
+    /// Scheduler (`--scheduler`).
+    pub scheduler: SchedulerKind,
+    /// In-flight request window (`--window`), 0 = auto (4 × pool
+    /// threads, floor 8).
+    pub window: usize,
+    /// TCP listen address (`--listen host:port`); stdin/stdout when
+    /// absent.
+    pub listen: Option<String>,
+}
+
+impl ServeOptions {
+    /// Parses `serve` arguments (flags only, no positional target).
+    ///
+    /// Delegates the shared flag grammar to [`Options::parse`] (with a
+    /// synthetic target, since `serve` has none) after extracting the
+    /// two serve-only flags — one grammar, one place to extend it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError`] on unknown flags, missing values,
+    /// unparseable numbers, stray positionals, or `--router exact`.
+    pub fn parse(args: &[String]) -> Result<ServeOptions, ParseArgsError> {
+        // Pull out the serve-only flags, hand the rest to the common
+        // parser with a synthetic positional target.
+        const SYNTHETIC_TARGET: &str = "\u{0}serve";
+        let mut window = 0usize;
+        let mut listen: Option<String> = None;
+        let mut rest: Vec<String> = vec![SYNTHETIC_TARGET.to_string()];
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value_for = |flag: &str| -> Result<&String, ParseArgsError> {
+                it.next()
+                    .ok_or_else(|| ParseArgsError(format!("{flag} needs a value")))
+            };
+            match arg.as_str() {
+                "--window" => window = parse_num(value_for("--window")?, "--window")?,
+                "--listen" => listen = Some(value_for("--listen")?.clone()),
+                _ => rest.push(arg.clone()),
+            }
+        }
+        let common = Options::parse(&rest).map_err(|e| {
+            // The synthetic target makes any real positional a
+            // "two targets" error; report it in serve's terms.
+            if e.0.starts_with("expected one target") {
+                ParseArgsError("`serve` takes no positional argument".into())
+            } else {
+                e
+            }
+        })?;
+        if common.router == RouterChoice::Exact {
+            return Err(ParseArgsError(
+                "`serve` drives the session API; --router exact is not servable".into(),
+            ));
+        }
+        Ok(ServeOptions {
+            ions: common.ions.unwrap_or(64),
+            head: common.head,
+            router: common.router,
+            max_swap_len: common.max_swap_len,
+            alpha: common.alpha,
+            scheduler: common.scheduler,
+            window,
+            listen,
+        })
+    }
+
+    /// The router kind this selection corresponds to.
+    pub fn router_kind(&self) -> RouterKind {
+        router_kind_from(self.router, self.max_swap_len, self.alpha)
+    }
 }
 
 #[cfg(test)]
@@ -235,6 +330,39 @@ mod tests {
     #[test]
     fn rejects_extra_positionals() {
         assert!(Options::parse(&v(&["a", "b"])).is_err());
+    }
+
+    #[test]
+    fn serve_options_defaults_and_flags() {
+        let o = ServeOptions::parse(&v(&[])).unwrap();
+        assert_eq!((o.ions, o.head, o.window), (64, 16, 0));
+        assert_eq!(o.listen, None);
+        let o = ServeOptions::parse(&v(&[
+            "--ions",
+            "32",
+            "--head",
+            "8",
+            "--window",
+            "16",
+            "--listen",
+            "127.0.0.1:0",
+            "--router",
+            "stochastic",
+            "--scheduler",
+            "naive",
+        ]))
+        .unwrap();
+        assert_eq!((o.ions, o.head, o.window), (32, 8, 16));
+        assert_eq!(o.listen.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(o.router, RouterChoice::Stochastic);
+        assert_eq!(o.scheduler, SchedulerKind::NaiveNextGate);
+    }
+
+    #[test]
+    fn serve_options_reject_exact_and_positionals() {
+        assert!(ServeOptions::parse(&v(&["--router", "exact"])).is_err());
+        assert!(ServeOptions::parse(&v(&["file.qasm"])).is_err());
+        assert!(ServeOptions::parse(&v(&["--bogus"])).is_err());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! deliberately does not reach — the exact router (a search, not a
 //! policy) and the compile-only introspection commands.
 
-use crate::args::{Options, RouterChoice};
+use crate::args::{Options, RouterChoice, ServeOptions};
 use std::fmt::Write as _;
 use tilt_circuit::{qasm, Circuit};
 use tilt_compiler::route::exact::optimal_route;
@@ -405,6 +405,253 @@ fn run_batch_dir(opts: &Options) -> Result<String, String> {
     Ok(text)
 }
 
+/// Cross-platform SIGTERM-to-flag shim for the serve loop. On unix the
+/// handler is installed through the libc `signal` symbol directly (the
+/// workspace builds offline, without the `libc` crate); elsewhere the
+/// flag simply never fires and shutdown is EOF / `{"op":"shutdown"}`.
+mod sigterm {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static FLAG: AtomicBool = AtomicBool::new(false);
+
+    #[cfg(unix)]
+    extern "C" fn on_term(_signum: i32) {
+        FLAG.store(true, Ordering::SeqCst);
+    }
+
+    #[cfg(unix)]
+    pub fn install() -> &'static AtomicBool {
+        const SIGTERM: i32 = 15;
+        extern "C" {
+            // `sighandler_t signal(int, sighandler_t)` — handlers are
+            // pointer-sized, so `usize` carries the previous handler.
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        unsafe {
+            signal(SIGTERM, on_term);
+        }
+        &FLAG
+    }
+
+    #[cfg(not(unix))]
+    pub fn install() -> &'static AtomicBool {
+        &FLAG
+    }
+}
+
+/// The engine prototype a `serve` invocation describes.
+fn serve_builder(opts: &ServeOptions) -> Result<tilt_engine::EngineBuilder, String> {
+    let spec = DeviceSpec::new(opts.ions, opts.head.min(opts.ions)).map_err(|e| e.to_string())?;
+    Ok(Engine::builder()
+        .backend(Backend::Tilt(spec))
+        .router(opts.router_kind())
+        .scheduler(opts.scheduler))
+}
+
+/// `tilt-cli serve [--ions N] [--head L] [--window W] [--listen addr]`
+///
+/// Runs the JSON-lines compile service over stdin/stdout (the default)
+/// or a TCP listener (`--listen host:port`, one service loop per
+/// connection). Responses go to the wire as they complete; the exit
+/// summary goes to stderr so stdout stays pure protocol.
+pub fn serve(args: &[String]) -> Result<String, String> {
+    let opts = ServeOptions::parse(args).map_err(|e| e.to_string())?;
+    let builder = serve_builder(&opts)?;
+    // Validate the session config before any I/O so a bad --ions/--head
+    // fails fast with a usage error.
+    tilt_engine::Service::new(builder.clone()).map_err(|e| e.to_string())?;
+    let flag = sigterm::install();
+    match &opts.listen {
+        None => serve_stdio(builder, opts.window, flag),
+        Some(addr) => serve_tcp(builder, addr, opts.window, flag),
+    }
+}
+
+/// The stdin/stdout loop, on a worker thread so SIGTERM works even
+/// while the loop is blocked reading idle input. glibc's `signal()`
+/// installs BSD (`SA_RESTART`) semantics, so a blocked `read(2)`
+/// restarts after the handler runs and the in-loop flag check never
+/// executes; the main thread polls the flag instead. By the
+/// flush-before-blocking rule, a loop blocked on input has **zero**
+/// pending responses, so exiting the process at that point loses
+/// nothing.
+fn serve_stdio(
+    builder: tilt_engine::EngineBuilder,
+    window: usize,
+    flag: &'static std::sync::atomic::AtomicBool,
+) -> Result<String, String> {
+    use std::sync::atomic::Ordering;
+    let worker = std::thread::spawn(move || {
+        let mut service = tilt_engine::Service::new(builder)
+            .expect("config validated before the thread spawned")
+            .with_window(window);
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        service
+            .serve(stdin.lock(), stdout.lock(), Some(flag))
+            .map_err(|e| format!("service I/O error: {e}"))
+    });
+    while !worker.is_finished() {
+        if flag.load(Ordering::SeqCst) {
+            // Grace period: a line mid-compile finishes, flushes, and
+            // the loop notices the flag and returns — then we can
+            // print its real summary. A loop blocked on idle input
+            // never returns (restarted read), but by construction has
+            // nothing buffered, so exiting directly is lossless.
+            // SIGTERM means bounded shutdown: a compile still running
+            // 2 s after the signal forfeits its response.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+            while !worker.is_finished() && std::time::Instant::now() < deadline {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            if !worker.is_finished() {
+                // Either genuinely idle (blocked read, nothing
+                // buffered — lossless) or a compile outlasted the
+                // grace period (its response is forfeit). We cannot
+                // tell which from here, so say so.
+                eprintln!(
+                    "tilt serve: SIGTERM — grace period expired, exiting \
+                     (an in-flight response, if any, is forfeit)"
+                );
+                std::process::exit(0);
+            }
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(30));
+    }
+    let summary = worker.join().map_err(|_| "service thread panicked")??;
+    eprintln!("{}", summary_line(&summary));
+    Ok(String::new())
+}
+
+fn summary_line(summary: &tilt_engine::ServiceSummary) -> String {
+    let s = &summary.stats;
+    format!(
+        "tilt serve: {} responses ({} ok, {} errors), p50 {} µs, p99 {} µs, max in-flight {} ({:?})",
+        s.served,
+        s.ok,
+        s.errors,
+        s.p50_us(),
+        s.p99_us(),
+        s.max_in_flight,
+        summary.cause
+    )
+}
+
+/// One service loop per accepted connection, each on its own thread
+/// over a clone of the engine prototype.
+pub(crate) fn handle_connection(
+    builder: tilt_engine::EngineBuilder,
+    stream: std::net::TcpStream,
+    window: usize,
+    flag: &'static std::sync::atomic::AtomicBool,
+) -> Result<tilt_engine::ServiceSummary, String> {
+    let reader = std::io::BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut service = tilt_engine::Service::new(builder)
+        .map_err(|e| e.to_string())?
+        .with_window(window);
+    service
+        .serve(reader, stream, Some(flag))
+        .map_err(|e| format!("service I/O error: {e}"))
+}
+
+fn serve_tcp(
+    builder: tilt_engine::EngineBuilder,
+    addr: &str,
+    window: usize,
+    flag: &'static std::sync::atomic::AtomicBool,
+) -> Result<String, String> {
+    use std::sync::atomic::Ordering;
+    let listener =
+        std::net::TcpListener::bind(addr).map_err(|e| format!("cannot listen on `{addr}`: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    // Non-blocking accept so SIGTERM is noticed between connections.
+    listener.set_nonblocking(true).map_err(|e| e.to_string())?;
+    eprintln!("tilt serve: listening on {local}");
+    // Each live connection: the worker thread plus a clone of its
+    // socket. On SIGTERM the clones are shut down, turning each
+    // worker's restarted-blocking read into EOF — the loops drain
+    // their windows and return, so `join` below terminates. (glibc
+    // `signal()` semantics restart blocked reads, so the flag alone
+    // cannot wake an idle connection.) Finished entries are reaped
+    // every accept-loop pass; otherwise the retained clones would leak
+    // one fd per connection until the listener hits EMFILE.
+    let mut workers: Vec<(std::thread::JoinHandle<()>, Option<std::net::TcpStream>)> = Vec::new();
+    loop {
+        if flag.load(Ordering::SeqCst) {
+            break;
+        }
+        workers.retain(|(handle, _)| !handle.is_finished());
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                // The per-connection loop blocks on reads; switch the
+                // socket back to blocking mode.
+                stream.set_nonblocking(false).map_err(|e| e.to_string())?;
+                let clone = stream.try_clone().ok();
+                let builder = builder.clone();
+                let handle = std::thread::spawn(move || {
+                    match handle_connection(builder, stream, window, flag) {
+                        Ok(summary) => eprintln!("{} [{peer}]", summary_line(&summary)),
+                        Err(e) => eprintln!("tilt serve: connection {peer} failed: {e}"),
+                    }
+                });
+                workers.push((handle, clone));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            Err(e) => return Err(format!("accept failed: {e}")),
+        }
+    }
+    // Two-phase drain. Phase 1: close only the read side, so each
+    // worker sees EOF, drains its window, and still gets to *write*
+    // the responses and its summary.
+    for (_, stream) in &workers {
+        if let Some(stream) = stream {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+    }
+    let drained = wait_all_finished(&workers, std::time::Duration::from_secs(2));
+    if !drained {
+        // Phase 2: a worker is stuck in a blocking write (client
+        // stopped draining its socket) — sever both directions.
+        for (handle, stream) in &workers {
+            if !handle.is_finished() {
+                if let Some(stream) = stream {
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                }
+            }
+        }
+        if !wait_all_finished(&workers, std::time::Duration::from_secs(2)) {
+            // Last resort (e.g. the socket clone was unavailable at
+            // accept time): shutdown must not wedge.
+            eprintln!("tilt serve: a connection did not drain within the grace period, exiting");
+            std::process::exit(0);
+        }
+    }
+    for (handle, _) in workers {
+        let _ = handle.join();
+    }
+    Ok(format!("stopped listening on {local}\n"))
+}
+
+/// Polls until every worker thread finished or `grace` elapsed.
+fn wait_all_finished(
+    workers: &[(std::thread::JoinHandle<()>, Option<std::net::TcpStream>)],
+    grace: std::time::Duration,
+) -> bool {
+    let deadline = std::time::Instant::now() + grace;
+    loop {
+        if workers.iter().all(|(h, _)| h.is_finished()) {
+            return true;
+        }
+        if std::time::Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+}
+
 /// `tilt-cli bench <name|all>`
 pub fn bench(args: &[String]) -> Result<String, String> {
     let opts = Options::parse(args).map_err(|e| e.to_string())?;
@@ -599,5 +846,54 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let e = run(&v(&[dir.to_str().unwrap(), "--batch"])).unwrap_err();
         assert!(e.contains("no .qasm files"), "{e}");
+    }
+
+    #[test]
+    fn serve_rejects_exact_router_and_bad_spec() {
+        let e = serve(&v(&["--router", "exact"])).unwrap_err();
+        assert!(e.contains("not servable"), "{e}");
+        let e = serve(&v(&["--ions", "1"])).unwrap_err();
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn serve_tcp_connection_round_trips_requests() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::sync::atomic::AtomicBool;
+
+        static FLAG: AtomicBool = AtomicBool::new(false);
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let builder =
+            serve_builder(&ServeOptions::parse(&v(&["--ions", "8", "--head", "4"])).unwrap())
+                .unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            handle_connection(builder, stream, 4, &FLAG).unwrap()
+        });
+
+        let mut client = std::net::TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(client.try_clone().unwrap());
+        // Interactive request/response: the service must answer while
+        // the connection stays open and idle (flush-before-blocking),
+        // not only at window boundaries or EOF.
+        client
+            .write_all(b"{\"id\":1,\"qasm\":\"qreg q[8];\\nh q[0];\\ncx q[0], q[7];\\n\"}\n")
+            .unwrap();
+        client.flush().unwrap();
+        let mut first = String::new();
+        reader.read_line(&mut first).unwrap();
+        assert!(first.contains("\"ok\":true"), "{first}");
+        assert!(first.contains("\"backend\":\"tilt\""), "{first}");
+        client.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+        client.flush().unwrap();
+        let mut rest = Vec::new();
+        for line in reader.lines() {
+            rest.push(line.unwrap());
+        }
+        assert_eq!(rest.len(), 1, "{rest:?}");
+        assert!(rest[0].contains("\"shutdown\":true"), "{}", rest[0]);
+        let summary = server.join().unwrap();
+        assert_eq!(summary.stats.served, 1);
     }
 }

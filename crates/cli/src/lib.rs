@@ -9,6 +9,7 @@
 //! tilt-cli simulate <file.qasm> [options]   # + success rate and exec time
 //! tilt-cli qccd     <file.qasm> [options]   # route on the QCCD comparator
 //! tilt-cli bench    <name|all>  [options]   # run a paper benchmark by name
+//! tilt-cli serve    [options]               # JSON-lines compile service (stdin/stdout or TCP)
 //! ```
 //!
 //! All logic lives here (string in, string out) so the whole surface is
@@ -32,6 +33,9 @@ commands:
   qccd     <file.qasm>   route on the QCCD comparator architecture
   scale    <file.qasm>   split across MUSIQC-style TILT modules (ELUs)
   bench    <name|all>    run a paper benchmark (adder, bv, qaoa, rcs, qft, sqrt)
+  serve                  long-running JSON-lines compile service over the
+                         Engine session (stdin/stdout; --listen host:port for
+                         TCP; --window N caps in-flight requests)
 
 options:
   --ions N              tape length (default: circuit width)
@@ -45,6 +49,8 @@ options:
   --emit-program        print the scheduled gate/move stream
   --emit-qasm           print the routed physical circuit as OpenQASM
   --batch               treat the run target as a directory of .qasm files
+  --window N            serve: max in-flight requests (default: 4 x threads)
+  --listen HOST:PORT    serve: accept TCP connections instead of stdin/stdout
 ";
 
 /// Entry point: parses `args`, dispatches, and returns the text to print.
@@ -63,6 +69,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "qccd" => commands::qccd(rest),
         "scale" => commands::scale(rest),
         "bench" => commands::bench(rest),
+        "serve" => commands::serve(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command `{other}`")),
     }

@@ -57,8 +57,9 @@ pub fn decompose_into(circuit: &Circuit, out: &mut Circuit) {
 pub fn decompose_gate(out: &mut Circuit, g: &Gate) {
     use Gate::*;
     match *g {
-        // Already native.
-        Rx(..) | Ry(..) | Rz(..) | Xx(..) | Measure(_) | Barrier => {
+        // Already native (resets are optical pumping, a hardware
+        // primitive like measurement).
+        Rx(..) | Ry(..) | Rz(..) | Xx(..) | Measure(_) | Reset(_) | Barrier => {
             out.push(*g);
         }
 

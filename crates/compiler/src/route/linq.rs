@@ -28,7 +28,7 @@ use crate::spec::DeviceSpec;
 use tilt_circuit::Qubit;
 
 /// Tuning knobs for the LinQ policy.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LinqConfig {
     /// Maximum span of an inserted SWAP gate, in ion spacings. `None`
     /// means the loosest feasible cap, `head_size - 1`. Fig. 7 sweeps this
@@ -472,7 +472,7 @@ mod tests {
         workloads.push((ladder, 16, 4));
         for (circuit, n, head) in workloads {
             let fast = route_linq(&circuit, n, head, LinqConfig::default());
-            let slow = route_linq(&circuit, n, head, reference.clone());
+            let slow = route_linq(&circuit, n, head, reference);
             assert_eq!(fast.circuit, slow.circuit);
             assert_eq!(fast.swap_count, slow.swap_count);
             assert_eq!(fast.opposing_swap_count, slow.opposing_swap_count);

@@ -35,7 +35,7 @@ pub use linq::LinqConfig;
 pub use stochastic::StochasticConfig;
 
 /// Which swap-insertion policy to run.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum RouterKind {
     /// The paper's Algorithm 1 heuristic.
     Linq(LinqConfig),
@@ -226,11 +226,11 @@ impl RouterKind {
         self.validate(spec)?;
         match self {
             RouterKind::Linq(cfg) => {
-                let mut policy = linq::LinqPolicy::new(cfg.clone(), spec);
+                let mut policy = linq::LinqPolicy::new(*cfg, spec);
                 Ok(route_with_policy(native, spec, initial, &mut policy))
             }
             RouterKind::Stochastic(cfg) => {
-                let mut policy = stochastic::StochasticPolicy::new(cfg.clone());
+                let mut policy = stochastic::StochasticPolicy::new(*cfg);
                 Ok(route_with_policy(native, spec, initial, &mut policy))
             }
         }

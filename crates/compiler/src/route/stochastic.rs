@@ -16,7 +16,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 /// Tuning knobs for the baseline policy.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct StochasticConfig {
     /// Randomized attempts per swap decision (Qiskit's `trials`).
     pub trials: usize,

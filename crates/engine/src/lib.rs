@@ -43,11 +43,13 @@
 
 pub mod error;
 pub mod report;
+pub mod service;
 
 mod batch;
 
 pub use error::TiltError;
 pub use report::{BackendKind, CompileStats, RunDetail, RunReport};
+pub use service::{Service, ServiceStats, ServiceSummary, ShutdownCause};
 
 use std::time::Instant;
 use tilt_circuit::Circuit;
@@ -97,9 +99,14 @@ pub struct EngineBuilder {
     exec_time: ExecTimeModel,
     cooling: CoolingPolicy,
     qccd_params: QccdParams,
-    router: RouterKind,
-    scheduler: SchedulerKind,
-    initial_mapping: InitialMapping,
+    // `None` = "not set on the builder": the TILT backend falls back to
+    // the paper defaults, the scaled backend keeps whatever the
+    // `ScaleSpec` itself carries. This distinction is what lets both
+    // `ScaleSpec::with_router(..)` and `.router(..)` on the builder
+    // configure a scaled session without clobbering each other.
+    router: Option<RouterKind>,
+    scheduler: Option<SchedulerKind>,
+    initial_mapping: Option<InitialMapping>,
 }
 
 impl Default for EngineBuilder {
@@ -111,9 +118,9 @@ impl Default for EngineBuilder {
             exec_time: ExecTimeModel::default(),
             cooling: CoolingPolicy::never(),
             qccd_params: QccdParams::default(),
-            router: RouterKind::default(),
-            scheduler: SchedulerKind::default(),
-            initial_mapping: InitialMapping::default(),
+            router: None,
+            scheduler: None,
+            initial_mapping: None,
         }
     }
 }
@@ -157,21 +164,24 @@ impl EngineBuilder {
         self
     }
 
-    /// Selects the swap-insertion policy (TILT backend).
+    /// Selects the swap-insertion policy (TILT backend; per-ELU LinQ on
+    /// the scaled backend).
     pub fn router(mut self, router: RouterKind) -> Self {
-        self.router = router;
+        self.router = Some(router);
         self
     }
 
-    /// Selects the tape-scheduling policy (TILT backend).
+    /// Selects the tape-scheduling policy (TILT backend; per-ELU LinQ
+    /// on the scaled backend).
     pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
-        self.scheduler = scheduler;
+        self.scheduler = Some(scheduler);
         self
     }
 
-    /// Selects the initial-placement strategy (TILT backend).
+    /// Selects the initial-placement strategy (TILT backend; per-ELU
+    /// LinQ on the scaled backend).
     pub fn initial_mapping(mut self, initial: InitialMapping) -> Self {
-        self.initial_mapping = initial;
+        self.initial_mapping = Some(initial);
         self
     }
 
@@ -187,22 +197,40 @@ impl EngineBuilder {
     /// [`TiltError::Compile`] when the router configuration is
     /// inconsistent with the TILT device spec.
     pub fn build(self) -> Result<Engine, TiltError> {
-        let backend = self.backend.ok_or_else(|| TiltError::Config {
+        let mut backend = self.backend.ok_or_else(|| TiltError::Config {
             reason: "no backend selected: call .backend(Backend::Tilt(spec)) or similar".into(),
         })?;
-        let compiler = match backend {
+        let compiler = match &mut backend {
             Backend::Tilt(spec) => {
-                self.router.validate(spec)?;
-                let mut compiler = Compiler::new(spec);
+                let router = self.router.unwrap_or_default();
+                router.validate(*spec)?;
+                let mut compiler = Compiler::new(*spec);
                 compiler
-                    .router(self.router.clone())
-                    .scheduler(self.scheduler)
-                    .initial_mapping(self.initial_mapping);
+                    .router(router)
+                    .scheduler(self.scheduler.unwrap_or_default())
+                    .initial_mapping(self.initial_mapping.unwrap_or_default());
                 Some(compiler)
             }
-            // QCCD and ELU specs were validated at construction; the
-            // routing knobs do not apply to them.
-            Backend::Qccd(_) | Backend::Scaled(_) => None,
+            // The session's routing knobs reach every ELU's LinQ
+            // instance: explicitly-set builder policies overlay the
+            // spec's own, and the combination is validated against the
+            // per-ELU geometry here, once.
+            Backend::Scaled(spec) => {
+                if let Some(router) = self.router {
+                    spec.router = router;
+                }
+                if let Some(scheduler) = self.scheduler {
+                    spec.scheduler = scheduler;
+                }
+                if let Some(initial) = self.initial_mapping {
+                    spec.initial_mapping = initial;
+                }
+                spec.validate_policies()?;
+                None
+            }
+            // The QCCD spec was validated at construction; the tape
+            // routing knobs do not apply to it.
+            Backend::Qccd(_) => None,
         };
         Ok(Engine {
             backend,
@@ -521,6 +549,44 @@ mod tests {
             report.compile.epr_pairs,
             report.scale_report().unwrap().remote_gates
         );
+    }
+
+    #[test]
+    fn scaled_session_threads_policy_knobs() {
+        // ROADMAP engine-coverage item: a scaled session with a
+        // non-default scheduler must actually change the per-ELU
+        // compiles (the knobs used to be silently dropped).
+        let circuit = qaoa_maxcut(32, 2, 5);
+        let spec = ScaleSpec::new(10, 4).unwrap();
+        let base = Engine::scaled(spec).run(&circuit).unwrap();
+        let naive = Engine::builder()
+            .backend(Backend::Scaled(spec))
+            .scheduler(SchedulerKind::NaiveNextGate)
+            .build()
+            .unwrap()
+            .run(&circuit)
+            .unwrap();
+        assert_ne!(
+            base.compile.move_count, naive.compile.move_count,
+            "session scheduler must reach the ELU compilers"
+        );
+        // Builder-level and spec-level configuration are the same knob.
+        let via_spec = Engine::scaled(spec.with_scheduler(SchedulerKind::NaiveNextGate))
+            .run(&circuit)
+            .unwrap();
+        assert_eq!(naive.compile.move_count, via_spec.compile.move_count);
+        assert_eq!(naive.ln_success, via_spec.ln_success);
+    }
+
+    #[test]
+    fn scaled_builder_validates_router_against_elu_geometry() {
+        let spec = ScaleSpec::new(10, 4).unwrap();
+        let err = Engine::builder()
+            .backend(Backend::Scaled(spec))
+            .router(RouterKind::Linq(LinqConfig::with_max_swap_len(9)))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, TiltError::Scale(_)), "{err}");
     }
 
     #[test]

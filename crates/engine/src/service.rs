@@ -1,0 +1,1161 @@
+//! `tilt serve` — a long-running compile/estimation service over the
+//! session API.
+//!
+//! The ROADMAP's service-mode item has two halves: `run_batch` (landed)
+//! and a persistent process an external load generator can hammer. This
+//! module is the second half: a **JSON-lines protocol** over any
+//! `BufRead`/`Write` pair (stdin/stdout in the CLI, a TCP stream per
+//! connection, in-memory buffers in tests and benchmarks).
+//!
+//! # Wire protocol
+//!
+//! One JSON object per line in, one JSON object per line out, responses
+//! **in submission order**. A request is either a circuit run (the
+//! default), a stats probe, or a shutdown:
+//!
+//! ```text
+//! → {"id":1,"qasm":"qreg q[4];\nh q[0];\ncx q[0], q[3];\n"}
+//! ← {"id":1,"ok":true,"backend":"tilt","swaps":0,...,"ln_success":-0.0016,"exec_time_us":191}
+//! → {"op":"stats"}
+//! ← {"ok":true,"stats":{"uptime_us":...,"served":1,"ok":1,"errors":0,...}}
+//! → {"op":"shutdown"}
+//! ← {"ok":true,"shutdown":true}
+//! ```
+//!
+//! Run-request fields:
+//!
+//! * `qasm` (required) — the OpenQASM 2.0 payload.
+//! * `id` (optional) — any JSON value, echoed back verbatim.
+//! * `emit_program` (optional bool) — include the scheduled TILT
+//!   program text in the response.
+//! * Per-request **overrides** (each optional; present ⇒ the request
+//!   compiles through its own one-off engine instead of the shared
+//!   session): `backend` (`"tilt"|"qccd"|"scaled"`), `ions` (tilt
+//!   only), `head` (tilt, and the per-ELU head for scaled),
+//!   `router` (`"linq"|"stochastic"`), `max_swap_len`, `alpha`,
+//!   `scheduler` (`"greedy"|"naive"`), `ions_per_trap` (qccd),
+//!   `elu_ions` (scaled),
+//!   and `noise` (an object overriding any subset of the Eq. 4 model:
+//!   `gamma_per_us`, `epsilon`, `single_qubit_error`,
+//!   `measurement_error`, `k_base`, `n_ref`).
+//!
+//! Every failure — malformed JSON, QASM parse error, a circuit wider
+//! than the backend, an unknown backend name, a compile error — yields
+//! a structured `{"id":...,"ok":false,"error":"..."}` response on its
+//! line and **never kills the loop**.
+//!
+//! # Backpressure and memory
+//!
+//! Default-session requests accumulate in a bounded window (at most
+//! [`Service::window`] in flight) and fan out through
+//! [`Engine::run_batch_streaming`], which preserves submission order.
+//! Memory is proportional to the window, never to the total stream
+//! length; `stats.max_in_flight` reports the high-water mark so tests
+//! can pin the bound. Requests that need their own engine (overrides),
+//! `stats`, `shutdown`, and error lines all flush the window first so
+//! ordering survives.
+//!
+//! Batching is **flush-before-blocking**: only input that is already
+//! buffered on the wire coalesces into a window — the loop drains
+//! every pending request before it blocks waiting for more bytes, so
+//! an interactive client gets its response immediately while a load
+//! generator streaming ahead still gets full windowed fan-out.
+//!
+//! # Shutdown
+//!
+//! EOF on the input drains the window and returns (mid-stream EOF is a
+//! clean shutdown). A `{"op":"shutdown"}` request does the same after
+//! acknowledging. The optional `shutdown` flag is checked between
+//! lines, so a SIGTERM handler that sets it (the CLI installs one)
+//! drains and exits after the in-flight line. The flag alone cannot
+//! wake a loop *blocked* in `fill_buf` — the caller must also unblock
+//! the reader (the CLI shuts down idle TCP sockets, and for stdin
+//! exits directly: a blocked loop has, by the flush-before-blocking
+//! rule, nothing buffered to lose).
+
+use crate::{Backend, Engine, EngineBuilder, RunReport, TiltError};
+use std::io::{self, BufRead, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+use tilt_circuit::{qasm, Circuit};
+use tilt_compiler::route::{LinqConfig, StochasticConfig};
+use tilt_compiler::{DeviceSpec, RouterKind, SchedulerKind};
+use tilt_qccd::QccdSpec;
+use tilt_report::Json;
+use tilt_scale::ScaleSpec;
+use tilt_sim::NoiseModel;
+
+/// Power-of-two latency buckets: bucket `i` counts requests that took
+/// `[2^(i-1), 2^i)` µs (bucket 0 is `< 1 µs`). 40 buckets cover up to
+/// ~2^39 µs ≈ 6 days — far beyond any single compile.
+const LATENCY_BUCKETS: usize = 40;
+
+/// Longest request line the loop will buffer. A newline-free byte flood
+/// would otherwise grow the accumulator without bound and abort the
+/// whole process on allocation failure; 16 MiB comfortably holds the
+/// QASM of any circuit that fits under [`MAX_REQUEST_IONS`].
+const MAX_LINE_BYTES: usize = 16 << 20;
+
+/// Hard ceiling on any machine dimension (ions, ELU ions, trap ions) or
+/// circuit width a *request* can ask for. The service allocates data
+/// structures proportional to these, so an uncapped request like
+/// `"ions": 2e11` would abort the whole process on allocation failure —
+/// violating per-request error isolation. 4096 ions is far beyond both
+/// the paper's machines and any request the estimators finish in
+/// reasonable time; the operator's own `--ions` is not capped.
+const MAX_REQUEST_IONS: usize = 4096;
+
+/// A fixed-size log₂ latency histogram: bounded memory no matter how
+/// many requests stream through, quantiles at power-of-two resolution.
+#[derive(Clone, Debug)]
+struct LatencyHistogram {
+    buckets: [u64; LATENCY_BUCKETS],
+    count: u64,
+}
+
+impl LatencyHistogram {
+    fn new() -> Self {
+        LatencyHistogram {
+            buckets: [0; LATENCY_BUCKETS],
+            count: 0,
+        }
+    }
+
+    fn record_us(&mut self, us: u64) {
+        let bucket = (u64::BITS - us.leading_zeros()) as usize; // floor(log2)+1, 0 for us=0
+        self.buckets[bucket.min(LATENCY_BUCKETS - 1)] += 1;
+        self.count += 1;
+    }
+
+    /// The upper bound (µs) of the bucket holding the `q`-quantile
+    /// request, `0 < q <= 1`; 0 when nothing was recorded.
+    fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (LATENCY_BUCKETS - 1)
+    }
+}
+
+/// Live counters of one service loop.
+#[derive(Clone, Debug)]
+pub struct ServiceStats {
+    started: Instant,
+    /// Responses written (ok + error), excluding stats/shutdown acks.
+    pub served: u64,
+    /// Successful circuit responses.
+    pub ok: u64,
+    /// Error responses (parse failures and compile failures).
+    pub errors: u64,
+    /// High-water mark of buffered requests — bounded by the window.
+    pub max_in_flight: usize,
+    latency: LatencyHistogram,
+}
+
+impl ServiceStats {
+    fn new() -> Self {
+        ServiceStats {
+            started: Instant::now(),
+            served: 0,
+            ok: 0,
+            errors: 0,
+            max_in_flight: 0,
+            latency: LatencyHistogram::new(),
+        }
+    }
+
+    fn record(&mut self, latency_us: u64, ok: bool) {
+        self.served += 1;
+        if ok {
+            self.ok += 1;
+        } else {
+            self.errors += 1;
+        }
+        self.latency.record_us(latency_us);
+    }
+
+    /// Median request latency in µs: parse → response written,
+    /// including any window queue wait (power-of-two bucket
+    /// resolution). Under interactive traffic this is compile time;
+    /// under a load generator streaming ahead it includes batching.
+    pub fn p50_us(&self) -> u64 {
+        self.latency.quantile_us(0.50)
+    }
+
+    /// 99th-percentile request latency in µs (same definition as
+    /// [`ServiceStats::p50_us`]).
+    pub fn p99_us(&self) -> u64 {
+        self.latency.quantile_us(0.99)
+    }
+
+    fn to_json(&self, window: usize) -> Json {
+        Json::object()
+            .set("uptime_us", self.started.elapsed().as_micros() as u64)
+            .set("served", self.served)
+            .set("ok", self.ok)
+            .set("errors", self.errors)
+            .set("window", window)
+            .set("max_in_flight", self.max_in_flight)
+            .set("p50_latency_us", self.p50_us())
+            .set("p99_latency_us", self.p99_us())
+    }
+}
+
+/// Why a serve loop returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShutdownCause {
+    /// The input reached end-of-file (including mid-stream).
+    Eof,
+    /// A `{"op":"shutdown"}` request was acknowledged.
+    Requested,
+    /// The external shutdown flag (SIGTERM in the CLI) was raised.
+    Signal,
+}
+
+/// Final accounting of one serve loop.
+#[derive(Clone, Debug)]
+pub struct ServiceSummary {
+    /// Counter snapshot at exit.
+    pub stats: ServiceStats,
+    /// What ended the loop.
+    pub cause: ShutdownCause,
+}
+
+/// One buffered run request awaiting its window flush.
+struct RunItem {
+    id: Json,
+    /// Taken (not cloned) by the window flush — `None` afterwards.
+    circuit: Option<Circuit>,
+    emit_program: bool,
+    enqueued: Instant,
+}
+
+/// What one input line asks for.
+enum Request {
+    /// Compile through the shared session engine (windowed).
+    Run(Box<RunItem>),
+    /// Compile through a one-off engine built from per-request
+    /// overrides (runs immediately, after a flush).
+    RunOverride(Box<RunItem>, Box<Engine>),
+    Stats,
+    Shutdown,
+    /// The line could not become a run: respond with this error object.
+    Bad {
+        id: Json,
+        error: String,
+    },
+}
+
+/// A persistent compile/estimation service around one [`Engine`]
+/// session.
+///
+/// Construct with [`Service::new`] from the same [`EngineBuilder`] you
+/// would hand to [`EngineBuilder::build`]; the builder is kept as the
+/// prototype for per-request override engines, so overrides inherit the
+/// session's models and only replace what the request names.
+pub struct Service {
+    engine: Engine,
+    proto: EngineBuilder,
+    window: usize,
+    stats: ServiceStats,
+}
+
+impl Service {
+    /// Builds the session engine and wraps it in a service.
+    ///
+    /// # Errors
+    ///
+    /// Any [`EngineBuilder::build`] error: no backend, invalid router
+    /// configuration for the device.
+    pub fn new(builder: EngineBuilder) -> Result<Service, TiltError> {
+        let engine = builder.clone().build()?;
+        Ok(Service {
+            engine,
+            proto: builder,
+            window: (rayon::current_num_threads() * 4).max(8),
+            stats: ServiceStats::new(),
+        })
+    }
+
+    /// Caps the in-flight request window (`0` restores the default,
+    /// 4 × pool threads with a floor of 8).
+    pub fn with_window(mut self, window: usize) -> Service {
+        if window > 0 {
+            self.window = window;
+        } else {
+            self.window = (rayon::current_num_threads() * 4).max(8);
+        }
+        self
+    }
+
+    /// The in-flight window bound.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Counters so far (useful after [`Service::serve`] returns the
+    /// summary by value).
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// Runs the JSON-lines loop until EOF, a shutdown request, or the
+    /// `shutdown` flag (checked between lines).
+    ///
+    /// Batching follows the **flush-before-blocking** rule: lines that
+    /// are already buffered batch together up to the window (a load
+    /// generator streaming ahead gets full fan-out), but the window is
+    /// drained before the loop ever blocks waiting for more input — an
+    /// interactive client sending one request and waiting for its
+    /// response is never left hanging.
+    ///
+    /// # Errors
+    ///
+    /// Only I/O errors on `input`/`output` end the loop abnormally;
+    /// every protocol-level failure becomes an error *response*.
+    pub fn serve<R: BufRead, W: Write>(
+        &mut self,
+        mut input: R,
+        mut output: W,
+        shutdown: Option<&AtomicBool>,
+    ) -> io::Result<ServiceSummary> {
+        let mut pending: Vec<RunItem> = Vec::new();
+        let mut cause = ShutdownCause::Eof;
+        // Bytes read but not yet consumed as complete lines; `scanned`
+        // marks how far the newline search has looked, so a torn line
+        // at a chunk boundary is not rescanned per chunk. A line that
+        // outgrows [`MAX_LINE_BYTES`] is answered with an error and its
+        // remaining bytes are discarded up to the next newline
+        // (`discarding`) — the accumulator itself stays bounded.
+        let mut acc: Vec<u8> = Vec::new();
+        let mut scanned = 0usize;
+        let mut discarding = false;
+        'serve: loop {
+            if shutdown.is_some_and(|f| f.load(Ordering::SeqCst)) {
+                cause = ShutdownCause::Signal;
+                break;
+            }
+            // Process every complete line currently buffered.
+            while let Some(nl) = acc[scanned..].iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = acc.drain(..scanned + nl + 1).collect();
+                scanned = 0;
+                let line = String::from_utf8_lossy(&line);
+                if self.handle_line(line.trim(), &mut pending, &mut output)? {
+                    cause = ShutdownCause::Requested;
+                    break 'serve;
+                }
+                if shutdown.is_some_and(|f| f.load(Ordering::SeqCst)) {
+                    cause = ShutdownCause::Signal;
+                    break 'serve;
+                }
+            }
+            scanned = acc.len();
+            if !discarding && acc.len() > MAX_LINE_BYTES {
+                // One newline-free flood must not grow the accumulator
+                // (and eventually the process) without bound: reject it
+                // now, drop what arrived, skip the rest of the line.
+                self.flush(&mut pending, &mut output)?;
+                self.stats.record(0, false);
+                let error = format!("request line exceeds the {MAX_LINE_BYTES}-byte limit");
+                writeln!(output, "{}", error_json(&Json::Null, &error).render())?;
+                output.flush()?;
+                acc.clear();
+                scanned = 0;
+                discarding = true;
+            }
+            // About to block for more input: drain the window first so
+            // an idle wire never holds responses hostage.
+            self.flush(&mut pending, &mut output)?;
+            let chunk = match input.fill_buf() {
+                Ok(chunk) => chunk,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if chunk.is_empty() {
+                // EOF. A torn final line (no trailing newline) is still
+                // a request — answer it before leaving (unless it is
+                // the tail of an oversized line already rejected).
+                if !acc.is_empty() && !discarding {
+                    let line = std::mem::take(&mut acc);
+                    let line = String::from_utf8_lossy(&line);
+                    if self.handle_line(line.trim(), &mut pending, &mut output)? {
+                        cause = ShutdownCause::Requested;
+                    }
+                }
+                break;
+            }
+            if discarding {
+                // Drop flood bytes without buffering; stop at the first
+                // newline so the next real line parses normally.
+                let keep_from = chunk.iter().position(|&b| b == b'\n').map(|i| i + 1);
+                let n = chunk.len();
+                if let Some(from) = keep_from {
+                    acc.extend_from_slice(&chunk[from..]);
+                    discarding = false;
+                }
+                input.consume(n);
+                continue;
+            }
+            let n = chunk.len();
+            acc.extend_from_slice(chunk);
+            input.consume(n);
+        }
+        // Mid-stream EOF (or signal/shutdown): drain what was buffered.
+        self.flush(&mut pending, &mut output)?;
+        Ok(ServiceSummary {
+            stats: self.stats.clone(),
+            cause,
+        })
+    }
+
+    /// Handles one input line; `Ok(true)` means an acknowledged
+    /// shutdown request.
+    fn handle_line<W: Write>(
+        &mut self,
+        line: &str,
+        pending: &mut Vec<RunItem>,
+        output: &mut W,
+    ) -> io::Result<bool> {
+        if line.is_empty() {
+            return Ok(false);
+        }
+        match self.parse_request(line) {
+            Request::Run(item) => {
+                pending.push(*item);
+                self.stats.max_in_flight = self.stats.max_in_flight.max(pending.len());
+                if pending.len() >= self.window {
+                    self.flush(pending, output)?;
+                }
+            }
+            Request::RunOverride(item, engine) => {
+                // Preserve submission order around the one-off run.
+                self.flush(pending, output)?;
+                let mut item = *item;
+                let circuit = item
+                    .circuit
+                    .take()
+                    .expect("override items carry their circuit");
+                let result = engine.run(&circuit);
+                self.respond(&item, result, output)?;
+                output.flush()?;
+            }
+            Request::Stats => {
+                self.flush(pending, output)?;
+                let stats = self.stats.to_json(self.window);
+                let resp = Json::object().set("ok", true).set("stats", stats);
+                writeln!(output, "{}", resp.render())?;
+                output.flush()?;
+            }
+            Request::Shutdown => {
+                self.flush(pending, output)?;
+                let resp = Json::object().set("ok", true).set("shutdown", true);
+                writeln!(output, "{}", resp.render())?;
+                output.flush()?;
+                return Ok(true);
+            }
+            Request::Bad { id, error } => {
+                self.flush(pending, output)?;
+                self.stats.record(0, false);
+                writeln!(output, "{}", error_json(&id, &error).render())?;
+                output.flush()?;
+            }
+        }
+        Ok(false)
+    }
+
+    /// Runs the buffered window through the shared session and writes
+    /// one response line per request, in submission order.
+    fn flush<W: Write>(&mut self, pending: &mut Vec<RunItem>, output: &mut W) -> io::Result<()> {
+        if pending.is_empty() {
+            return Ok(());
+        }
+        let mut items = std::mem::take(pending);
+        let circuits: Vec<Circuit> = items
+            .iter_mut()
+            .map(|i| i.circuit.take().expect("each item is flushed once"))
+            .collect();
+        let mut io_err: Option<io::Error> = None;
+        // Split borrows: the closure mutates stats and output while the
+        // engine fans out the window.
+        let (engine, stats) = (&self.engine, &mut self.stats);
+        engine.run_batch_streaming(circuits, |i, result| {
+            if io_err.is_some() {
+                return;
+            }
+            let item = &items[i];
+            let ok = result.is_ok();
+            let resp = run_response(&item.id, result, item.emit_program);
+            stats.record(item.enqueued.elapsed().as_micros() as u64, ok);
+            if let Err(e) = writeln!(output, "{}", resp.render()) {
+                io_err = Some(e);
+            }
+        });
+        if let Some(e) = io_err {
+            return Err(e);
+        }
+        output.flush()
+    }
+
+    fn respond<W: Write>(
+        &mut self,
+        item: &RunItem,
+        result: Result<RunReport, TiltError>,
+        output: &mut W,
+    ) -> io::Result<()> {
+        let ok = result.is_ok();
+        let resp = run_response(&item.id, result, item.emit_program);
+        self.stats
+            .record(item.enqueued.elapsed().as_micros() as u64, ok);
+        writeln!(output, "{}", resp.render())
+    }
+
+    /// Turns one input line into a request, folding every failure into
+    /// [`Request::Bad`].
+    fn parse_request(&self, line: &str) -> Request {
+        let enqueued = Instant::now();
+        let obj = match Json::parse(line) {
+            Ok(j @ Json::Obj(_)) => j,
+            Ok(_) => {
+                return Request::Bad {
+                    id: Json::Null,
+                    error: "request must be a JSON object".into(),
+                }
+            }
+            Err(e) => {
+                return Request::Bad {
+                    id: Json::Null,
+                    error: format!("malformed request: {e}"),
+                }
+            }
+        };
+        let id = obj.get("id").cloned().unwrap_or(Json::Null);
+        let bad = |error: String| Request::Bad {
+            id: id.clone(),
+            error,
+        };
+
+        match obj.get("op").and_then(Json::as_str) {
+            None | Some("run") => {}
+            Some("stats") => return Request::Stats,
+            Some("shutdown") => return Request::Shutdown,
+            Some(other) => return bad(format!("unknown op `{other}`")),
+        }
+
+        let Some(qasm_text) = obj.get("qasm").and_then(Json::as_str) else {
+            return bad("run request needs a string `qasm` field".into());
+        };
+        let circuit = match qasm::parse_qasm(qasm_text) {
+            Ok(c) => c,
+            Err(e) => return bad(e.to_string()),
+        };
+        // Width gate *before* any backend sizes itself to the circuit:
+        // the scaled partitioner and the QCCD trap array allocate
+        // proportionally to the register, so a `qreg q[10^12]` request
+        // must die here as a structured error, not as an allocation
+        // abort.
+        if circuit.n_qubits() > MAX_REQUEST_IONS {
+            return bad(format!(
+                "circuit register of {} qubits exceeds the service cap of {MAX_REQUEST_IONS}",
+                circuit.n_qubits()
+            ));
+        }
+        let emit_program = matches!(obj.get("emit_program"), Some(Json::Bool(true)));
+        let engine = match self.override_engine(&obj, &circuit) {
+            Ok(engine) => engine,
+            Err(error) => return bad(error),
+        };
+        let item = Box::new(RunItem {
+            id: id.clone(),
+            circuit: Some(circuit),
+            emit_program,
+            enqueued,
+        });
+        match engine {
+            None => Request::Run(item),
+            Some(engine) => Request::RunOverride(item, Box::new(engine)),
+        }
+    }
+
+    /// Builds the one-off engine a request's override fields describe;
+    /// `Ok(None)` when the request uses the shared session.
+    fn override_engine(&self, obj: &Json, circuit: &Circuit) -> Result<Option<Engine>, String> {
+        const OVERRIDE_KEYS: [&str; 10] = [
+            "backend",
+            "ions",
+            "head",
+            "router",
+            "max_swap_len",
+            "alpha",
+            "scheduler",
+            "ions_per_trap",
+            "elu_ions",
+            "noise",
+        ];
+        if !OVERRIDE_KEYS.iter().any(|k| obj.get(k).is_some()) {
+            return Ok(None);
+        }
+
+        let get_usize = |key: &str| -> Result<Option<usize>, String> {
+            match obj.get(key) {
+                None => Ok(None),
+                Some(v) => match v.as_f64() {
+                    Some(x) if x >= 0.0 && x.fract() == 0.0 => Ok(Some(x as usize)),
+                    _ => Err(format!("`{key}` must be a non-negative integer")),
+                },
+            }
+        };
+        // Machine dimensions additionally respect the service cap —
+        // unbounded values would turn one request into a process-wide
+        // allocation abort.
+        let get_dim = |key: &str| -> Result<Option<usize>, String> {
+            match get_usize(key)? {
+                Some(x) if x > MAX_REQUEST_IONS => Err(format!(
+                    "`{key}` of {x} exceeds the service cap of {MAX_REQUEST_IONS}"
+                )),
+                other => Ok(other),
+            }
+        };
+        let get_f64 = |key: &str| -> Result<Option<f64>, String> {
+            match obj.get(key) {
+                None => Ok(None),
+                Some(v) => v
+                    .as_f64()
+                    .map(Some)
+                    .ok_or_else(|| format!("`{key}` must be a number")),
+            }
+        };
+
+        // Dimension defaults come from the shared session where they
+        // exist, so an override of (say) just the router keeps the
+        // session's device.
+        let (session_ions, session_head) = match self.engine.backend() {
+            Backend::Tilt(spec) => (Some(spec.n_ions()), Some(spec.head_size())),
+            _ => (None, None),
+        };
+        let ions = get_dim("ions")?.or(session_ions).unwrap_or_else(|| {
+            // No session tape to inherit: size to the circuit.
+            circuit.n_qubits().max(2)
+        });
+        let head = get_dim("head")?.or(session_head).unwrap_or(16).min(ions);
+
+        let mut builder = self.proto.clone();
+
+        // Router / scheduler overrides. Partial LinQ overrides overlay
+        // the *session's* router config — naming only `alpha` must not
+        // silently drop the session's `max_swap_len` cap (same
+        // inheritance rule as the noise overlay below).
+        let max_swap_len = get_usize("max_swap_len")?;
+        let alpha = get_f64("alpha")?;
+        let base_linq = match self.proto.router {
+            Some(RouterKind::Linq(cfg)) => cfg,
+            _ => LinqConfig::default(),
+        };
+        let linq_overlay = LinqConfig {
+            max_swap_len: max_swap_len.or(base_linq.max_swap_len),
+            alpha: alpha.unwrap_or(base_linq.alpha),
+            ..base_linq
+        };
+        match obj.get("router").and_then(Json::as_str) {
+            None => {
+                if max_swap_len.is_some() || alpha.is_some() {
+                    builder = builder.router(RouterKind::Linq(linq_overlay));
+                }
+            }
+            Some("linq") => {
+                builder = builder.router(RouterKind::Linq(linq_overlay));
+            }
+            Some("stochastic") | Some("baseline") => {
+                builder = builder.router(RouterKind::Stochastic(StochasticConfig::default()));
+            }
+            Some(other) => return Err(format!("unknown router `{other}`")),
+        }
+        match obj.get("scheduler").and_then(Json::as_str) {
+            None => {}
+            Some("greedy") => builder = builder.scheduler(SchedulerKind::GreedyMaxExecutable),
+            Some("naive") => builder = builder.scheduler(SchedulerKind::NaiveNextGate),
+            Some(other) => return Err(format!("unknown scheduler `{other}`")),
+        }
+
+        // Noise overlay: any subset of the Eq. 4 fields.
+        if let Some(n) = obj.get("noise") {
+            if !matches!(n, Json::Obj(_)) {
+                return Err("`noise` must be an object".into());
+            }
+            let field = |key: &str, base: f64| -> Result<f64, String> {
+                match n.get(key) {
+                    None => Ok(base),
+                    Some(v) => v
+                        .as_f64()
+                        .ok_or_else(|| format!("noise field `{key}` must be a number")),
+                }
+            };
+            let base = self.proto.noise;
+            builder = builder.noise(NoiseModel {
+                gamma_per_us: field("gamma_per_us", base.gamma_per_us)?,
+                epsilon: field("epsilon", base.epsilon)?,
+                single_qubit_error: field("single_qubit_error", base.single_qubit_error)?,
+                measurement_error: field("measurement_error", base.measurement_error)?,
+                k_base: field("k_base", base.k_base)?,
+                n_ref: field("n_ref", base.n_ref)?,
+            });
+        }
+
+        let default_backend = match self.engine.backend() {
+            Backend::Tilt(_) => "tilt",
+            Backend::Qccd(_) => "qccd",
+            Backend::Scaled(_) => "scaled",
+        };
+        let backend = match obj
+            .get("backend")
+            .map(|b| b.as_str().ok_or("`backend` must be a string"))
+            .transpose()?
+            .unwrap_or(default_backend)
+        {
+            "tilt" => {
+                let spec = DeviceSpec::new(ions, head).map_err(|e| e.to_string())?;
+                Backend::Tilt(spec)
+            }
+            "qccd" => {
+                // Tape dimensions have no QCCD meaning — reject rather
+                // than silently compile on a machine the client did
+                // not describe.
+                for key in ["ions", "head"] {
+                    if obj.get(key).is_some() {
+                        return Err(format!(
+                            "`{key}` does not apply to the qccd backend; use `ions_per_trap`"
+                        ));
+                    }
+                }
+                // A QCCD session's own machine is inherited wholesale
+                // when the request names no trap dimension; otherwise
+                // the array is sized to the circuit under the requested
+                // (or inherited) trap capacity.
+                let session_spec = match self.engine.backend() {
+                    Backend::Qccd(s) => Some(*s),
+                    _ => None,
+                };
+                match (get_dim("ions_per_trap")?, session_spec) {
+                    (None, Some(spec)) => Backend::Qccd(spec),
+                    (per_trap, session) => {
+                        let per_trap = per_trap.or(session.map(|s| s.capacity())).unwrap_or(17);
+                        let spec = QccdSpec::for_qubits(circuit.n_qubits().max(1), per_trap)
+                            .map_err(|e| e.to_string())?;
+                        Backend::Qccd(spec)
+                    }
+                }
+            }
+            "scaled" => {
+                // The monolithic tape length has no scaled meaning
+                // (`head` does: it is each ELU's head).
+                if obj.get("ions").is_some() {
+                    return Err(
+                        "`ions` does not apply to the scaled backend; use `elu_ions`".into(),
+                    );
+                }
+                // Same inheritance rule: no ELU dimensions named ⇒ the
+                // session's own ELU template (policies included).
+                let session_spec = match self.engine.backend() {
+                    Backend::Scaled(s) => Some(*s),
+                    _ => None,
+                };
+                let elu_override = get_dim("elu_ions")?;
+                let head_override = get_dim("head")?;
+                match (elu_override, head_override, session_spec) {
+                    (None, None, Some(spec)) => Backend::Scaled(spec),
+                    (elu, head, session) => {
+                        let elu = elu.or(session.map(|s| s.ions_per_elu())).unwrap_or(18);
+                        let head = head
+                            .or(session.map(|s| s.head_size()))
+                            .unwrap_or(16)
+                            .min(elu);
+                        let mut spec = ScaleSpec::new(elu, head).map_err(|e| e.to_string())?;
+                        if let Some(s) = session {
+                            spec.epr = s.epr;
+                            spec.router = s.router;
+                            spec.scheduler = s.scheduler;
+                            spec.initial_mapping = s.initial_mapping;
+                        }
+                        Backend::Scaled(spec)
+                    }
+                }
+            }
+            other => return Err(format!("unknown backend `{other}`")),
+        };
+
+        builder
+            .backend(backend)
+            .build()
+            .map(Some)
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// Renders one run result as its response line.
+fn run_response(id: &Json, result: Result<RunReport, TiltError>, emit_program: bool) -> Json {
+    match result {
+        Err(e) => error_json(id, &e.to_string()),
+        Ok(report) => {
+            let c = &report.compile;
+            let mut resp = Json::object()
+                .set("id", id.clone())
+                .set("ok", true)
+                .set("backend", report.backend.to_string())
+                .set("swaps", c.swap_count)
+                .set("opposing_swaps", c.opposing_swap_count)
+                .set("moves", c.move_count)
+                .set("move_distance", c.move_distance)
+                .set("native_gates", c.native_gate_count)
+                .set("native_two_qubit", c.native_two_qubit_count)
+                .set("epr_pairs", c.epr_pairs)
+                .set("ln_success", report.ln_success)
+                .set("success", report.success)
+                .set("exec_time_us", report.exec_time_us);
+            if emit_program {
+                if let Some(program) = report.tilt_program() {
+                    resp = resp.set("program", program.to_string());
+                }
+            }
+            resp
+        }
+    }
+}
+
+fn error_json(id: &Json, error: &str) -> Json {
+    Json::object()
+        .set("id", id.clone())
+        .set("ok", false)
+        .set("error", error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn tilt_service(ions: usize, head: usize) -> Service {
+        Service::new(Engine::builder().backend(Backend::Tilt(DeviceSpec::new(ions, head).unwrap())))
+            .unwrap()
+    }
+
+    fn drive(service: &mut Service, input: &str) -> (Vec<Json>, ServiceSummary) {
+        let mut out = Vec::new();
+        let summary = service
+            .serve(Cursor::new(input.to_string()), &mut out, None)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines = text
+            .lines()
+            .map(|l| Json::parse(l).expect("every response line is valid JSON"))
+            .collect();
+        (lines, summary)
+    }
+
+    fn ok(resp: &Json) -> bool {
+        resp.get("ok") == Some(&Json::Bool(true))
+    }
+
+    #[test]
+    fn run_request_round_trips() {
+        let mut s = tilt_service(8, 4);
+        let (resps, summary) = drive(
+            &mut s,
+            "{\"id\":7,\"qasm\":\"qreg q[8];\\nh q[0];\\ncx q[0], q[7];\\n\"}\n",
+        );
+        assert_eq!(resps.len(), 1);
+        assert!(ok(&resps[0]), "{:?}", resps[0]);
+        assert_eq!(resps[0].get("id").unwrap().as_f64(), Some(7.0));
+        assert_eq!(resps[0].get("backend").unwrap().as_str(), Some("tilt"));
+        assert!(resps[0].get("ln_success").unwrap().as_f64().unwrap() < 0.0);
+        assert_eq!(summary.cause, ShutdownCause::Eof);
+        assert_eq!(summary.stats.served, 1);
+        assert_eq!(summary.stats.ok, 1);
+    }
+
+    #[test]
+    fn malformed_json_yields_error_response_and_loop_survives() {
+        let mut s = tilt_service(8, 4);
+        let input = "this is not json\n{\"id\":2,\"qasm\":\"qreg q[4];\\ncx q[0], q[3];\\n\"}\n";
+        let (resps, summary) = drive(&mut s, input);
+        assert_eq!(resps.len(), 2);
+        assert!(!ok(&resps[0]));
+        assert!(resps[0]
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("malformed request"));
+        assert!(ok(&resps[1]), "the loop must survive a bad line");
+        assert_eq!(summary.stats.errors, 1);
+    }
+
+    #[test]
+    fn qasm_parse_failure_is_isolated() {
+        let mut s = tilt_service(8, 4);
+        let (resps, _) = drive(
+            &mut s,
+            "{\"id\":1,\"qasm\":\"qreg q[2];\\nwat q[0];\\n\"}\n{\"id\":2,\"qasm\":\"qreg q[2];\\ncx q[0], q[1];\\n\"}\n",
+        );
+        assert!(!ok(&resps[0]));
+        assert!(resps[0]
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("wat"));
+        assert!(ok(&resps[1]));
+    }
+
+    #[test]
+    fn too_wide_circuit_is_isolated() {
+        let mut s = tilt_service(8, 4);
+        let (resps, _) = drive(
+            &mut s,
+            "{\"id\":1,\"qasm\":\"qreg q[40];\\ncx q[0], q[39];\\n\"}\n{\"id\":2,\"qasm\":\"qreg q[4];\\ncx q[0], q[3];\\n\"}\n",
+        );
+        assert!(!ok(&resps[0]));
+        assert!(resps[0]
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("needs 40 qubits"));
+        assert!(ok(&resps[1]));
+    }
+
+    #[test]
+    fn unknown_backend_name_is_rejected_per_request() {
+        let mut s = tilt_service(8, 4);
+        let (resps, _) = drive(
+            &mut s,
+            "{\"id\":1,\"qasm\":\"qreg q[2];\\ncx q[0], q[1];\\n\",\"backend\":\"qpu9000\"}\n",
+        );
+        assert!(!ok(&resps[0]));
+        assert!(resps[0]
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("unknown backend `qpu9000`"));
+    }
+
+    #[test]
+    fn stats_and_shutdown_round_trip() {
+        let mut s = tilt_service(8, 4);
+        let input = "{\"id\":1,\"qasm\":\"qreg q[4];\\ncx q[0], q[3];\\n\"}\n{\"op\":\"stats\"}\n{\"op\":\"shutdown\"}\n{\"id\":99,\"qasm\":\"qreg q[2];\\ncx q[0], q[1];\\n\"}\n";
+        let (resps, summary) = drive(&mut s, input);
+        // Run, stats, shutdown ack — the post-shutdown line is unread.
+        assert_eq!(resps.len(), 3);
+        assert!(ok(&resps[0]));
+        let stats = resps[1].get("stats").unwrap();
+        assert_eq!(stats.get("served").unwrap().as_f64(), Some(1.0));
+        assert_eq!(stats.get("ok").unwrap().as_f64(), Some(1.0));
+        assert!(stats.get("p50_latency_us").unwrap().as_f64().unwrap() >= 1.0);
+        assert_eq!(resps[2].get("shutdown"), Some(&Json::Bool(true)));
+        assert_eq!(summary.cause, ShutdownCause::Requested);
+    }
+
+    #[test]
+    fn backend_override_reaches_qccd_and_scaled() {
+        let mut s = tilt_service(16, 4);
+        let qasm = "qreg q[16];\\nh q[0];\\ncx q[0], q[15];\\n";
+        let input = format!(
+            "{{\"id\":1,\"qasm\":\"{qasm}\",\"backend\":\"qccd\",\"ions_per_trap\":5}}\n{{\"id\":2,\"qasm\":\"{qasm}\",\"backend\":\"scaled\",\"elu_ions\":10,\"head\":4}}\n"
+        );
+        let (resps, _) = drive(&mut s, &input);
+        assert!(ok(&resps[0]), "{:?}", resps[0]);
+        assert_eq!(resps[0].get("backend").unwrap().as_str(), Some("qccd"));
+        assert!(ok(&resps[1]), "{:?}", resps[1]);
+        assert_eq!(resps[1].get("backend").unwrap().as_str(), Some("scaled"));
+        assert!(resps[1].get("epr_pairs").unwrap().as_f64().unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn absurd_dimension_requests_are_rejected_not_fatal() {
+        // An uncapped `ions` override used to abort the process on
+        // allocation failure — one request must never kill the loop.
+        let mut s = tilt_service(8, 4);
+        let input = concat!(
+            "{\"id\":1,\"qasm\":\"qreg q[2];\\ncx q[0], q[1];\\n\",\"ions\":200000000000}\n",
+            "{\"id\":2,\"qasm\":\"qreg q[2];\\ncx q[0], q[1];\\n\",\"elu_ions\":99999999,\"backend\":\"scaled\"}\n",
+            "{\"id\":3,\"qasm\":\"qreg q[1000000000];\\n\",\"backend\":\"scaled\",\"elu_ions\":10}\n",
+            "{\"id\":4,\"qasm\":\"qreg q[4];\\ncx q[0], q[3];\\n\"}\n",
+        );
+        let (resps, summary) = drive(&mut s, input);
+        assert_eq!(resps.len(), 4);
+        for resp in &resps[..3] {
+            assert!(!ok(resp), "{resp:?}");
+            assert!(
+                resp.get("error")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .contains("exceeds the service cap"),
+                "{resp:?}"
+            );
+        }
+        assert!(ok(&resps[3]), "the loop survives: {:?}", resps[3]);
+        assert_eq!(summary.stats.errors, 3);
+    }
+
+    #[test]
+    fn overrides_inherit_the_session_machine_per_backend() {
+        // A noise-only override on a scaled session must keep the
+        // session's ELU template (and its policies), not fall back to
+        // the global defaults.
+        let spec = ScaleSpec::new(10, 4).unwrap();
+        let mut s = Service::new(Engine::builder().backend(Backend::Scaled(spec))).unwrap();
+        let qasm = "qreg q[16];\\ncx q[7], q[8];\\ncx q[0], q[1];\\n";
+        let input = format!(
+            "{{\"id\":1,\"qasm\":\"{qasm}\"}}\n{{\"id\":2,\"qasm\":\"{qasm}\",\"noise\":{{\"epsilon\":0.0012}}}}\n"
+        );
+        let (resps, _) = drive(&mut s, &input);
+        assert!(ok(&resps[0]) && ok(&resps[1]), "{resps:?}");
+        // Same machine ⇒ same compiled shape (EPR pairs, swaps, moves);
+        // only the noise-driven success differs.
+        for key in ["epr_pairs", "swaps", "moves", "native_gates"] {
+            assert_eq!(
+                resps[0].get(key).unwrap().as_f64(),
+                resps[1].get(key).unwrap().as_f64(),
+                "{key} must come from the session's ELU template"
+            );
+        }
+        assert!(
+            resps[1].get("success").unwrap().as_f64().unwrap()
+                < resps[0].get("success").unwrap().as_f64().unwrap(),
+            "the noisier override must lower success"
+        );
+
+        // Same rule for a QCCD session: no trap dimension named ⇒ the
+        // session's own array.
+        let qspec = QccdSpec::for_qubits(16, 5).unwrap();
+        let mut s = Service::new(Engine::builder().backend(Backend::Qccd(qspec))).unwrap();
+        let input = format!(
+            "{{\"id\":1,\"qasm\":\"{qasm}\"}}\n{{\"id\":2,\"qasm\":\"{qasm}\",\"noise\":{{\"epsilon\":0.0012}}}}\n"
+        );
+        let (resps, _) = drive(&mut s, &input);
+        assert!(ok(&resps[0]) && ok(&resps[1]), "{resps:?}");
+        assert_eq!(
+            resps[0].get("moves").unwrap().as_f64(),
+            resps[1].get("moves").unwrap().as_f64(),
+            "transport count must come from the session's trap array"
+        );
+    }
+
+    #[test]
+    fn partial_linq_override_overlays_the_session_router() {
+        // Naming only `alpha` must keep the session's max_swap_len cap
+        // (the same inheritance rule as the noise overlay).
+        let session_router = RouterKind::Linq(LinqConfig {
+            max_swap_len: Some(2),
+            alpha: 0.5,
+            ..LinqConfig::default()
+        });
+        let builder = || {
+            Engine::builder()
+                .backend(Backend::Tilt(DeviceSpec::new(8, 4).unwrap()))
+                .router(session_router)
+        };
+        let mut s = Service::new(builder()).unwrap();
+        let qasm_text = "qreg q[8];\nh q[0];\ncx q[0], q[7];\ncx q[1], q[6];\n";
+        let wire = qasm_text.replace('\n', "\\n");
+        let (resps, _) = drive(
+            &mut s,
+            &format!("{{\"id\":1,\"qasm\":\"{wire}\",\"alpha\":0.9}}\n"),
+        );
+        assert!(ok(&resps[0]), "{:?}", resps[0]);
+
+        let circuit = tilt_circuit::qasm::parse_qasm(qasm_text).unwrap();
+        let expected = builder()
+            .router(RouterKind::Linq(LinqConfig {
+                max_swap_len: Some(2),
+                alpha: 0.9,
+                ..LinqConfig::default()
+            }))
+            .build()
+            .unwrap()
+            .run(&circuit)
+            .unwrap();
+        assert_eq!(
+            resps[0].get("ln_success").unwrap().as_f64(),
+            Some(expected.ln_success),
+            "the override engine must keep the session's swap-span cap"
+        );
+        assert_eq!(
+            resps[0].get("swaps").unwrap().as_f64(),
+            Some(expected.compile.swap_count as f64)
+        );
+    }
+
+    #[test]
+    fn inapplicable_dimension_overrides_are_rejected() {
+        // `ions` means nothing on qccd/scaled; silently compiling on a
+        // different machine than the client described is worse than an
+        // error.
+        let mut s = tilt_service(8, 4);
+        let qasm = "qreg q[4];\\ncx q[0], q[3];\\n";
+        let input = format!(
+            "{{\"id\":1,\"qasm\":\"{qasm}\",\"backend\":\"qccd\",\"ions\":32}}\n{{\"id\":2,\"qasm\":\"{qasm}\",\"backend\":\"scaled\",\"ions\":32}}\n"
+        );
+        let (resps, _) = drive(&mut s, &input);
+        for resp in &resps {
+            assert!(!ok(resp), "{resp:?}");
+            assert!(
+                resp.get("error")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .contains("does not apply"),
+                "{resp:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn newline_free_flood_is_rejected_with_bounded_memory() {
+        // One line larger than MAX_LINE_BYTES must produce a single
+        // structured error and not poison the next (normal) line.
+        let mut s = tilt_service(8, 4);
+        // Overshoot by many read-chunks: the limit check runs between
+        // chunks, so a line must exceed the cap by more than one chunk
+        // before its newline arrives for the rejection to be observable.
+        let mut input = vec![b'x'; super::MAX_LINE_BYTES + 256 * 1024];
+        input.push(b'\n');
+        input.extend_from_slice(b"{\"id\":2,\"qasm\":\"qreg q[4];\\ncx q[0], q[3];\\n\"}\n");
+        let mut out = Vec::new();
+        // A small-capacity BufReader models the wire: the flood arrives
+        // in bounded chunks, never as one complete buffered line.
+        let reader = std::io::BufReader::with_capacity(8 * 1024, Cursor::new(input));
+        let summary = s.serve(reader, &mut out, None).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let resps: Vec<Json> = text.lines().map(|l| Json::parse(l).unwrap()).collect();
+        assert_eq!(resps.len(), 2, "{text}");
+        assert!(!ok(&resps[0]));
+        assert!(resps[0]
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("byte limit"));
+        assert!(ok(&resps[1]), "{:?}", resps[1]);
+        assert_eq!(summary.stats.errors, 1);
+    }
+
+    #[test]
+    fn latency_histogram_quantiles_are_monotone() {
+        let mut h = LatencyHistogram::new();
+        for us in [1u64, 2, 3, 10, 100, 1000, 10_000] {
+            h.record_us(us);
+        }
+        assert!(h.quantile_us(0.5) <= h.quantile_us(0.99));
+        assert!(h.quantile_us(0.99) >= 8192);
+        assert_eq!(LatencyHistogram::new().quantile_us(0.5), 0);
+    }
+}

@@ -175,7 +175,7 @@ pub fn compile_qccd(circuit: &Circuit, spec: &QccdSpec) -> Result<QccdProgram, Q
     for g in circuit.iter() {
         match g {
             Gate::Barrier => {}
-            Gate::Measure(q) => {
+            Gate::Measure(q) | Gate::Reset(q) => {
                 let (trap, _) = array.loc[q.index()];
                 array.ops.push(QccdOp::Measure { trap });
             }

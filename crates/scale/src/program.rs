@@ -3,7 +3,7 @@
 use crate::partition::Partition;
 use crate::spec::{ScaleError, ScaleSpec};
 use tilt_circuit::{Circuit, Gate, Qubit};
-use tilt_compiler::{CompileOutput, Compiler, DeviceSpec};
+use tilt_compiler::{CompileOutput, Compiler};
 use tilt_sim::{estimate_success, execution_time_us, ExecTimeModel, GateTimeModel, NoiseModel};
 
 /// A circuit compiled onto an ELU array.
@@ -30,9 +30,12 @@ pub struct ScaleReport {
     pub success: f64,
     /// Remote (cross-ELU) two-qubit gates.
     pub remote_gates: usize,
-    /// Makespan estimate in µs: the slowest ELU plus serialized EPR
-    /// generation (ELUs run in parallel; pair generation through the
-    /// optical switch is the serial bottleneck).
+    /// Makespan estimate in µs: the slowest ELU plus EPR generation.
+    /// Generation overlaps up to [`crate::spec::COMM_SLOTS`] pairs in
+    /// flight — the compiler alternates comm slots precisely so
+    /// back-to-back remote gates can pipeline — so the photonic term is
+    /// `ceil(pairs / COMM_SLOTS) · generation_us`, not a fully serial
+    /// `pairs · generation_us`.
     pub exec_time_us: f64,
     /// Tape moves summed over all ELUs.
     pub total_moves: usize,
@@ -69,6 +72,11 @@ pub fn compile_scaled(circuit: &Circuit, spec: &ScaleSpec) -> Result<ScaledProgr
         .map(|_| Circuit::new(spec.ions_per_elu()))
         .collect();
     let mut epr_pairs = 0usize;
+    // Per-ELU usage of each comm slot: once a communication ion has
+    // hosted (and been measured for) one EPR half, it must be pumped
+    // back to |0⟩ before the next remote gate can reuse it.
+    let mut comm_used: Vec<[bool; crate::spec::COMM_SLOTS]> =
+        vec![[false; crate::spec::COMM_SLOTS]; n_elus];
 
     for gate in native.iter() {
         match gate {
@@ -86,10 +94,17 @@ pub fn compile_scaled(circuit: &Circuit, spec: &ScaleSpec) -> Result<ScaledProgr
                     streams[ea].push(g.map_qubits(|q| if q.index() == a { la } else { lb }));
                 } else {
                     // Gate teleportation: alternate comm slots so
-                    // back-to-back remote gates can overlap.
+                    // back-to-back remote gates can overlap. A slot that
+                    // already served a remote gate holds a measured ion;
+                    // reset it before replaying the template onto it.
                     let slot = epr_pairs % crate::spec::COMM_SLOTS;
                     let comm = Qubit(partition.comm_position(slot));
                     epr_pairs += 1;
+                    for e in [ea, eb] {
+                        if std::mem::replace(&mut comm_used[e][slot], true) {
+                            streams[e].reset_qubit(comm);
+                        }
+                    }
                     streams[ea].cnot(la, comm);
                     streams[ea].measure(comm);
                     streams[eb].push(g.map_qubits(|q| if q.index() == a { comm } else { lb }));
@@ -108,14 +123,15 @@ pub fn compile_scaled(circuit: &Circuit, spec: &ScaleSpec) -> Result<ScaledProgr
         }
     }
 
-    let device = DeviceSpec::new(spec.ions_per_elu(), spec.head_size()).map_err(|e| {
-        ScaleError::InvalidSpec {
-            reason: e.to_string(),
-        }
-    })?;
+    let device = spec.validate_policies()?;
+    let mut compiler = Compiler::new(device);
+    compiler
+        .router(spec.router)
+        .scheduler(spec.scheduler)
+        .initial_mapping(spec.initial_mapping);
     let mut elu_outputs = Vec::with_capacity(n_elus);
     for (e, stream) in streams.iter().enumerate() {
-        let out = Compiler::new(device)
+        let out = compiler
             .compile(stream)
             .map_err(|err| ScaleError::EluCompile {
                 elu: e,
@@ -156,11 +172,15 @@ pub fn estimate_scaled(
         total_swaps += out.report.swap_count;
     }
     ln_success += program.epr_pairs as f64 * program.spec.epr.fidelity.ln();
+    // Up to COMM_SLOTS pairs generate concurrently (the compiler
+    // alternates comm slots for exactly this overlap), so the photonic
+    // term serializes only across generation *rounds*.
+    let epr_rounds = program.epr_pairs.div_ceil(crate::spec::COMM_SLOTS);
     ScaleReport {
         ln_success,
         success: ln_success.exp(),
         remote_gates: program.epr_pairs,
-        exec_time_us: slowest_elu_us + program.epr_pairs as f64 * program.spec.epr.generation_us,
+        exec_time_us: slowest_elu_us + epr_rounds as f64 * program.spec.epr.generation_us,
         total_moves,
         total_swaps,
     }
@@ -170,6 +190,7 @@ pub fn estimate_scaled(
 mod tests {
     use super::*;
     use tilt_benchmarks::qaoa::qaoa_maxcut;
+    use tilt_compiler::DeviceSpec;
 
     fn models() -> (NoiseModel, GateTimeModel) {
         (NoiseModel::default(), GateTimeModel::default())
@@ -250,7 +271,101 @@ mod tests {
         let moves: usize = p.elu_outputs.iter().map(|o| o.report.move_count).sum();
         assert_eq!(r.total_moves, moves);
         assert_eq!(r.remote_gates, p.epr_pairs);
-        assert!(r.exec_time_us >= p.epr_pairs as f64 * 1000.0);
+        // EPR generation overlaps up to COMM_SLOTS in flight: the
+        // photonic term counts generation *rounds*, not pairs.
+        let rounds = p.epr_pairs.div_ceil(crate::spec::COMM_SLOTS);
+        let slowest = p
+            .elu_outputs
+            .iter()
+            .map(|o| execution_time_us(&o.program, &times, &ExecTimeModel::default()))
+            .fold(0.0f64, f64::max);
+        assert!(
+            p.epr_pairs > crate::spec::COMM_SLOTS,
+            "workload must pipeline"
+        );
+        assert_eq!(r.exec_time_us, slowest + rounds as f64 * 1000.0);
+    }
+
+    #[test]
+    fn comm_slot_reuse_resets_the_measured_ion() {
+        // Three remote gates on a 2-slot comm budget: the third gate
+        // rotates back onto slot 0, whose ion was measured by the first
+        // — without a reset the ELU stream replays a CNOT onto a
+        // measured ion. Use 4 cross-ELU gates so both slots recycle.
+        let mut c = Circuit::new(16);
+        for _ in 0..4 {
+            c.cnot(Qubit(7), Qubit(8)); // crosses the ELU cut (cap 8)
+        }
+        let spec = ScaleSpec::new(10, 4).unwrap();
+        let p = compile_scaled(&c, &spec).unwrap();
+        assert_eq!(p.epr_pairs, 4);
+        for (e, out) in p.elu_outputs.iter().enumerate() {
+            // Walk each ELU's *pre-compile semantics* via the scheduled
+            // program: every gate touching a comm position after that
+            // position was measured must be preceded by a reset.
+            let mut measured = vec![false; spec.ions_per_elu()];
+            let mut resets = 0usize;
+            for (g, _) in out.program.gates() {
+                match g {
+                    Gate::Measure(q) => measured[q.index()] = true,
+                    Gate::Reset(q) => {
+                        measured[q.index()] = false;
+                        resets += 1;
+                    }
+                    Gate::Barrier => {}
+                    g => {
+                        for q in g.qubits() {
+                            assert!(
+                                !measured[q.index()],
+                                "ELU {e}: {g:?} acts on measured ion q{}",
+                                q.index()
+                            );
+                        }
+                    }
+                }
+            }
+            // 4 pairs over 2 slots → each slot reused once per side.
+            assert_eq!(resets, 2, "ELU {e} resets each recycled slot once");
+        }
+    }
+
+    #[test]
+    fn spec_policies_reach_the_elu_compilers() {
+        // A non-default scheduler must change the per-ELU programs
+        // (ROADMAP engine-coverage item: policies used to be silently
+        // dropped in favour of `Compiler::new` defaults).
+        let circuit = qaoa_maxcut(32, 2, 5);
+        let spec = ScaleSpec::new(10, 4).unwrap();
+        let default_p = compile_scaled(&circuit, &spec).unwrap();
+        let naive_p = compile_scaled(
+            &circuit,
+            &spec.with_scheduler(tilt_compiler::SchedulerKind::NaiveNextGate),
+        )
+        .unwrap();
+        let moves = |p: &ScaledProgram| -> usize {
+            p.elu_outputs.iter().map(|o| o.report.move_count).sum()
+        };
+        assert_ne!(
+            moves(&default_p),
+            moves(&naive_p),
+            "scheduler choice must alter the per-ELU schedules"
+        );
+    }
+
+    #[test]
+    fn invalid_policies_are_rejected_before_compiling() {
+        let spec = ScaleSpec::new(10, 4)
+            .unwrap()
+            .with_router(tilt_compiler::RouterKind::Linq(
+                tilt_compiler::route::LinqConfig::with_max_swap_len(9),
+            ));
+        assert!(matches!(
+            spec.validate_policies(),
+            Err(ScaleError::InvalidSpec { .. })
+        ));
+        let mut c = Circuit::new(8);
+        c.cnot(Qubit(0), Qubit(7));
+        assert!(compile_scaled(&c, &spec).is_err());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use std::error::Error;
 use std::fmt;
+use tilt_compiler::{DeviceSpec, InitialMapping, RouterKind, SchedulerKind};
 
 /// Ion slots reserved per ELU for the photonic communication qubits.
 pub const COMM_SLOTS: usize = 2;
@@ -36,6 +37,12 @@ pub struct ScaleSpec {
     head_size: usize,
     /// Photonic-link model.
     pub epr: EprModel,
+    /// Swap-insertion policy for every ELU's LinQ instance.
+    pub router: RouterKind,
+    /// Tape-scheduling policy for every ELU's LinQ instance.
+    pub scheduler: SchedulerKind,
+    /// Initial-placement strategy for every ELU's LinQ instance.
+    pub initial_mapping: InitialMapping,
 }
 
 /// Why an ELU-array specification or compilation failed.
@@ -95,6 +102,9 @@ impl ScaleSpec {
             ions_per_elu,
             head_size,
             epr: EprModel::default(),
+            router: RouterKind::default(),
+            scheduler: SchedulerKind::default(),
+            initial_mapping: InitialMapping::default(),
         })
     }
 
@@ -102,6 +112,57 @@ impl ScaleSpec {
     pub fn with_epr(mut self, epr: EprModel) -> Self {
         self.epr = epr;
         self
+    }
+
+    /// Replaces the per-ELU swap-insertion policy.
+    pub fn with_router(mut self, router: RouterKind) -> Self {
+        self.router = router;
+        self
+    }
+
+    /// Replaces the per-ELU tape-scheduling policy.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Replaces the per-ELU initial-placement strategy.
+    pub fn with_initial_mapping(mut self, initial: InitialMapping) -> Self {
+        self.initial_mapping = initial;
+        self
+    }
+
+    /// The per-ELU TILT device this template describes.
+    ///
+    /// # Errors
+    ///
+    /// [`ScaleError::InvalidSpec`] when the geometry is not a valid
+    /// TILT device (never for a spec built by [`ScaleSpec::new`]).
+    pub fn elu_device(&self) -> Result<DeviceSpec, ScaleError> {
+        DeviceSpec::new(self.ions_per_elu, self.head_size).map_err(|e| ScaleError::InvalidSpec {
+            reason: e.to_string(),
+        })
+    }
+
+    /// Checks the routing policy against the per-ELU device geometry
+    /// and returns that device — the session API calls this once at
+    /// engine construction so configuration errors surface before the
+    /// first circuit, and `compile_scaled` gets its validated
+    /// [`DeviceSpec`] from the same check.
+    ///
+    /// # Errors
+    ///
+    /// [`ScaleError::InvalidSpec`] when the router parameters are
+    /// inconsistent with the ELU geometry (e.g. `max_swap_len` wider
+    /// than the ELU head).
+    pub fn validate_policies(&self) -> Result<DeviceSpec, ScaleError> {
+        let device = self.elu_device()?;
+        self.router
+            .validate(device)
+            .map_err(|e| ScaleError::InvalidSpec {
+                reason: e.to_string(),
+            })?;
+        Ok(device)
     }
 
     /// Tape length of each ELU.

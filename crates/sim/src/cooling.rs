@@ -134,7 +134,7 @@ pub fn estimate_success_with_cooling(
             }
             TiltOp::Gate { gate, .. } => {
                 let f = match gate {
-                    Gate::Measure(_) => {
+                    Gate::Measure(_) | Gate::Reset(_) => {
                         meas += 1;
                         noise.measurement_fidelity()
                     }

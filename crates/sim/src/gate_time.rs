@@ -54,7 +54,8 @@ impl GateTimeModel {
     pub fn gate_us(&self, g: &Gate) -> f64 {
         match g {
             Gate::Barrier => 0.0,
-            Gate::Measure(_) => self.measure_us,
+            // Reset = optical pumping, a measurement-class duration.
+            Gate::Measure(_) | Gate::Reset(_) => self.measure_us,
             g if g.is_two_qubit() => {
                 self.two_qubit_us(g.span().expect("two-qubit gates have a span"))
             }
@@ -82,6 +83,7 @@ mod tests {
         assert_eq!(t.gate_us(&Gate::Rx(Qubit(0), 1.0)), 10.0);
         assert_eq!(t.gate_us(&Gate::Xx(Qubit(0), Qubit(5), 0.1)), 200.0);
         assert_eq!(t.gate_us(&Gate::Measure(Qubit(0))), 100.0);
+        assert_eq!(t.gate_us(&Gate::Reset(Qubit(0))), 100.0);
         assert_eq!(t.gate_us(&Gate::Barrier), 0.0);
     }
 

@@ -44,7 +44,7 @@ pub fn estimate_ideal_success(
     for g in native.iter() {
         let f = match g {
             Gate::Barrier => 1.0,
-            Gate::Measure(_) => {
+            Gate::Measure(_) | Gate::Reset(_) => {
                 meas += 1;
                 noise.measurement_fidelity()
             }

@@ -80,7 +80,7 @@ pub fn sample_success(
             TiltOp::Move { .. } => quanta += k,
             TiltOp::Gate { gate, .. } => {
                 let f = match gate {
-                    Gate::Measure(_) => noise.measurement_fidelity(),
+                    Gate::Measure(_) | Gate::Reset(_) => noise.measurement_fidelity(),
                     Gate::Barrier => 1.0,
                     g if g.is_two_qubit() => noise.two_qubit_fidelity(times.gate_us(g), quanta),
                     _ => noise.single_qubit_fidelity(),

@@ -84,7 +84,9 @@ pub fn estimate_success(
             }
             TiltOp::Gate { gate, .. } => {
                 let f = match gate {
-                    Gate::Measure(_) => {
+                    // Resets are measurement-class operations (optical
+                    // pumping): same fidelity budget, counted together.
+                    Gate::Measure(_) | Gate::Reset(_) => {
                         meas += 1;
                         noise.measurement_fidelity()
                     }

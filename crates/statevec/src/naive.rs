@@ -23,7 +23,9 @@ use tilt_circuit::Gate;
 pub fn apply_naive(amps: &mut [Complex], gate: &Gate) {
     match *gate {
         Gate::Barrier => {}
-        Gate::Measure(_) => panic!("state-vector verifier cannot measure"),
+        Gate::Measure(_) | Gate::Reset(_) => {
+            panic!("state-vector verifier cannot measure or reset")
+        }
         Gate::H(q) => {
             let s = std::f64::consts::FRAC_1_SQRT_2;
             apply_1q_naive(

@@ -646,7 +646,9 @@ fn apply_kernel(amps: &mut [Complex], gate: &Gate, parallel: bool) {
     }
     match *gate {
         Gate::Barrier => {}
-        Gate::Measure(_) => panic!("state-vector verifier cannot measure"),
+        Gate::Measure(_) | Gate::Reset(_) => {
+            panic!("state-vector verifier cannot measure or reset")
+        }
         // Diagonal single-qubit gates: phase sweeps over half the array.
         Gate::Z(q) => phase_dispatch(amps, q.index(), Complex::new(-1.0, 0.0), parallel),
         Gate::S(q) => phase_dispatch(amps, q.index(), Complex::I, parallel),

@@ -68,6 +68,24 @@
 //! # Ok::<(), tilt::engine::TiltError>(())
 //! ```
 //!
+//! For service traffic there is no need to link the library at all:
+//! `tilt serve` runs a persistent JSON-lines compile service over the
+//! same session API — one request per line in (QASM payload plus
+//! optional backend/router/noise overrides), one response per line out,
+//! in submission order, with windowed backpressure and per-request
+//! error isolation:
+//!
+//! ```text
+//! $ printf '%s\n' \
+//!     '{"id":1,"qasm":"qreg q[8];\nh q[0];\ncx q[0], q[7];\n"}' \
+//!     '{"op":"shutdown"}' | tilt serve --ions 8 --head 4
+//! {"id":1,"ok":true,"backend":"tilt","swaps":2,...,"exec_time_us":1007}
+//! {"ok":true,"shutdown":true}
+//! ```
+//!
+//! See `crates/engine/README.md` for the full wire protocol (stats
+//! probes, per-request overrides, the TCP listener mode).
+//!
 //! The per-pass building blocks (`Compiler`, `estimate_success`,
 //! `compile_qccd`, `compile_scaled`, …) remain available for callers
 //! that need a single pass in isolation; see `crates/engine/README.md`
@@ -88,7 +106,7 @@ pub mod prelude {
     pub use tilt_benchmarks::paper_suite;
     pub use tilt_circuit::{Circuit, Gate, Qubit};
     pub use tilt_compiler::{CompileOutput, Compiler, DeviceSpec, RouterKind, SchedulerKind};
-    pub use tilt_engine::{Backend, BackendKind, Engine, RunReport, TiltError};
+    pub use tilt_engine::{Backend, BackendKind, Engine, RunReport, Service, TiltError};
     pub use tilt_qccd::{compile_qccd, estimate_qccd_success, QccdParams, QccdSpec};
     pub use tilt_scale::{compile_scaled, estimate_scaled, ScaleSpec};
     pub use tilt_sim::{

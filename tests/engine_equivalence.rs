@@ -62,7 +62,7 @@ fn engine_matches_legacy_with_custom_policies() {
 
     let mut compiler = Compiler::new(spec);
     compiler
-        .router(router.clone())
+        .router(router)
         .scheduler(SchedulerKind::NaiveNextGate);
     let legacy = compiler.compile(&circuit).unwrap();
 

@@ -40,6 +40,7 @@ fn gate_strategy(n: usize) -> impl Strategy<Value = Gate> {
         pair().prop_map(|(a, b)| Gate::Swap(a, b)),
         triple().prop_map(|(a, b, c)| Gate::Toffoli(a, b, c)),
         q().prop_map(Gate::Measure),
+        q().prop_map(Gate::Reset),
         Just(Gate::Barrier),
     ]
 }
