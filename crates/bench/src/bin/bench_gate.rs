@@ -59,7 +59,7 @@ const GATING: [(&str, &str); 2] = [
 
 /// Cross-run absolute throughput, plus the engine batch ratio (which
 /// can hinge on runner core count): advisory only.
-const ADVISORY: [(&str, &str); 7] = [
+const ADVISORY: [(&str, &str); 9] = [
     ("BENCH_statevec.json", "optimized_gates_per_sec"),
     ("BENCH_statevec.json", "permutation.parallel_gates_per_sec"),
     ("BENCH_router.json", "incremental_routes_per_sec"),
@@ -67,6 +67,8 @@ const ADVISORY: [(&str, &str); 7] = [
     ("BENCH_engine.json", "batch_circuits_per_sec"),
     ("BENCH_engine.json", "batch_speedup"),
     ("BENCH_service.json", "requests_per_sec"),
+    ("BENCH_service.json", "repeat.warm_requests_per_sec"),
+    ("BENCH_service.json", "repeat.warm_speedup"),
 ];
 
 /// One run's records, keyed by file name.

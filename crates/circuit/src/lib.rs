@@ -10,6 +10,8 @@
 //! * [`Dag`] — per-qubit dependency analysis (front layers, depth,
 //!   topological layering) used by the swap inserter and the tape scheduler.
 //! * [`qasm`] — OpenQASM 2.0 emission for debugging and interchange.
+//! * [`digest`] — canonical structural hashing ([`Circuit::digest`]),
+//!   the circuit half of the engine's compile-cache key.
 //!
 //! # Example
 //!
@@ -25,6 +27,7 @@
 
 pub mod circuit;
 pub mod dag;
+pub mod digest;
 pub mod gate;
 pub mod layers;
 pub mod qasm;

@@ -117,8 +117,8 @@ fn parse_statement(
         return Ok(());
     }
     if let Some(rest) = stmt.strip_prefix("qreg") {
-        let (_, size) = parse_register_ref(rest.trim(), line)?;
-        let size = size.ok_or(ParseQasmError {
+        let (_, size) = parse_register_ref(rest, line)?;
+        let size = size.ok_or_else(|| ParseQasmError {
             line,
             message: "qreg needs an explicit size".into(),
         })?;
@@ -129,12 +129,12 @@ fn parse_statement(
     }
     if let Some(rest) = stmt.strip_prefix("measure") {
         // `measure q[i] -> c[i]` or `measure q -> c`.
-        let target = rest.split("->").next().unwrap_or("").trim();
+        let target = rest.split("->").next().unwrap_or("");
         let (_, index) = parse_register_ref(target, line)?;
         match index {
             Some(i) => gates.push(Gate::Measure(Qubit(i))),
             None => {
-                let n = n_qubits.ok_or(ParseQasmError {
+                let n = n_qubits.ok_or_else(|| ParseQasmError {
                     line,
                     message: "measure before qreg".into(),
                 })?;
@@ -160,41 +160,51 @@ fn parse_statement(
 
     let (name, params) = match head.find('(') {
         Some(i) => {
-            let close = head.rfind(')').ok_or(ParseQasmError {
+            let close = head.rfind(')').ok_or_else(|| ParseQasmError {
                 line,
                 message: format!("unclosed parameter list in `{head}`"),
             })?;
             (&head[..i], parse_params(&head[i + 1..close], line)?)
         }
-        None => (head, Vec::new()),
+        None => (head, Params::default()),
     };
     let name = name.trim();
 
-    let mut operands = Vec::new();
+    // Fixed-capacity operand list: the service parses millions of these
+    // statements, and a heap `Vec` per gate dominated the hot path.
+    let mut operands = [Qubit(0); 3];
+    let mut n_operands = 0usize;
     for part in operand_text.split(',') {
-        let part = part.trim();
-        if part.is_empty() {
+        if part.trim().is_empty() {
             continue;
         }
         let (_, index) = parse_register_ref(part, line)?;
-        let index = index.ok_or(ParseQasmError {
+        let index = index.ok_or_else(|| ParseQasmError {
             line,
             message: format!("whole-register operand `{part}` not supported here"),
         })?;
-        operands.push(Qubit(index));
+        if n_operands == operands.len() {
+            return err(line, format!("too many operands for `{name}`"));
+        }
+        operands[n_operands] = Qubit(index);
+        n_operands += 1;
     }
 
     let angle = |k: usize| -> Result<f64, ParseQasmError> {
-        params.get(k).copied().ok_or(ParseQasmError {
+        params.get(k).ok_or_else(|| ParseQasmError {
             line,
             message: format!("`{name}` expects an angle parameter"),
         })
     };
     let op = |k: usize| -> Result<Qubit, ParseQasmError> {
-        operands.get(k).copied().ok_or(ParseQasmError {
-            line,
-            message: format!("`{name}` expects at least {} operand(s)", k + 1),
-        })
+        if k < n_operands {
+            Ok(operands[k])
+        } else {
+            Err(ParseQasmError {
+                line,
+                message: format!("`{name}` expects at least {} operand(s)", k + 1),
+            })
+        }
     };
 
     let gate = match name {
@@ -223,7 +233,7 @@ fn parse_statement(
         other => return err(line, format!("unknown gate `{other}`")),
     };
     if let Some(n) = *n_qubits {
-        for q in gate.qubits() {
+        for q in gate.operands().iter() {
             if q.index() >= n {
                 return err(
                     line,
@@ -236,13 +246,14 @@ fn parse_statement(
     Ok(())
 }
 
-/// Parses `name` or `name[index]`, returning the register name and the
-/// optional index.
-fn parse_register_ref(text: &str, line: usize) -> Result<(String, Option<usize>), ParseQasmError> {
+/// Parses `name` or `name[index]`, returning the (borrowed) register
+/// name and the optional index. Allocation-free: this runs once per
+/// operand of every statement.
+fn parse_register_ref(text: &str, line: usize) -> Result<(&str, Option<usize>), ParseQasmError> {
     let text = text.trim();
     match text.find('[') {
         Some(i) => {
-            let close = text.rfind(']').ok_or(ParseQasmError {
+            let close = text.rfind(']').ok_or_else(|| ParseQasmError {
                 line,
                 message: format!("unclosed index in `{text}`"),
             })?;
@@ -259,16 +270,43 @@ fn parse_register_ref(text: &str, line: usize) -> Result<(String, Option<usize>)
                     line,
                     message: format!("invalid index in `{text}`"),
                 })?;
-            Ok((text[..i].trim().to_string(), Some(index)))
+            Ok((text[..i].trim_end(), Some(index)))
         }
-        None => Ok((text.to_string(), None)),
+        None => Ok((text, None)),
     }
 }
 
-fn parse_params(text: &str, line: usize) -> Result<Vec<f64>, ParseQasmError> {
-    text.split(',')
-        .map(|p| parse_angle_expr(p.trim(), line))
-        .collect()
+/// Fixed-capacity parameter list (no `qelib1` gate takes more than
+/// three angles; ours take at most one).
+#[derive(Default)]
+struct Params {
+    values: [f64; 3],
+    len: usize,
+}
+
+impl Params {
+    fn get(&self, k: usize) -> Option<f64> {
+        (k < self.len).then(|| self.values[k])
+    }
+}
+
+fn parse_params(text: &str, line: usize) -> Result<Params, ParseQasmError> {
+    let mut params = Params::default();
+    for part in text.split(',') {
+        if params.len == params.values.len() {
+            return err(line, format!("too many parameters in `{text}`"));
+        }
+        let part = part.trim();
+        // Fast path: the emitter (and every mainstream toolchain)
+        // writes plain decimal angles; the expression grammar only
+        // runs for symbolic forms like `pi/2`.
+        params.values[params.len] = match part.parse::<f64>() {
+            Ok(v) if v.is_finite() => v,
+            _ => parse_angle_expr(part, line)?,
+        };
+        params.len += 1;
+    }
+    Ok(params)
 }
 
 /// Tiny recursive-descent parser for angle expressions:

@@ -202,6 +202,10 @@ pub struct ServeOptions {
     /// TCP listen address (`--listen host:port`); stdin/stdout when
     /// absent.
     pub listen: Option<String>,
+    /// Compile-cache persistence directory (`--cache-dir`): snapshot
+    /// entries are reloaded at startup (with digest verification) and
+    /// written back at drain. The in-memory cache runs regardless.
+    pub cache_dir: Option<String>,
 }
 
 impl ServeOptions {
@@ -221,6 +225,7 @@ impl ServeOptions {
         const SYNTHETIC_TARGET: &str = "\u{0}serve";
         let mut window = 0usize;
         let mut listen: Option<String> = None;
+        let mut cache_dir: Option<String> = None;
         let mut rest: Vec<String> = vec![SYNTHETIC_TARGET.to_string()];
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -231,6 +236,7 @@ impl ServeOptions {
             match arg.as_str() {
                 "--window" => window = parse_num(value_for("--window")?, "--window")?,
                 "--listen" => listen = Some(value_for("--listen")?.clone()),
+                "--cache-dir" => cache_dir = Some(value_for("--cache-dir")?.clone()),
                 _ => rest.push(arg.clone()),
             }
         }
@@ -257,6 +263,7 @@ impl ServeOptions {
             scheduler: common.scheduler,
             window,
             listen,
+            cache_dir,
         })
     }
 
@@ -337,6 +344,7 @@ mod tests {
         let o = ServeOptions::parse(&v(&[])).unwrap();
         assert_eq!((o.ions, o.head, o.window), (64, 16, 0));
         assert_eq!(o.listen, None);
+        assert_eq!(o.cache_dir, None);
         let o = ServeOptions::parse(&v(&[
             "--ions",
             "32",
@@ -350,12 +358,16 @@ mod tests {
             "stochastic",
             "--scheduler",
             "naive",
+            "--cache-dir",
+            "/tmp/tilt-cache",
         ]))
         .unwrap();
         assert_eq!((o.ions, o.head, o.window), (32, 8, 16));
         assert_eq!(o.listen.as_deref(), Some("127.0.0.1:0"));
         assert_eq!(o.router, RouterChoice::Stochastic);
         assert_eq!(o.scheduler, SchedulerKind::NaiveNextGate);
+        assert_eq!(o.cache_dir.as_deref(), Some("/tmp/tilt-cache"));
+        assert!(ServeOptions::parse(&v(&["--cache-dir"])).is_err());
     }
 
     #[test]

@@ -448,22 +448,68 @@ fn serve_builder(opts: &ServeOptions) -> Result<tilt_engine::EngineBuilder, Stri
         .scheduler(opts.scheduler))
 }
 
-/// `tilt-cli serve [--ions N] [--head L] [--window W] [--listen addr]`
+/// `tilt-cli serve [--ions N] [--head L] [--window W] [--listen addr]
+/// [--cache-dir DIR]`
 ///
 /// Runs the JSON-lines compile service over stdin/stdout (the default)
 /// or a TCP listener (`--listen host:port`, one service loop per
 /// connection). Responses go to the wire as they complete; the exit
 /// summary goes to stderr so stdout stays pure protocol.
+///
+/// One content-addressed compile cache backs the whole process (all
+/// connections in TCP mode); `--cache-dir` additionally restores its
+/// snapshot at startup (entries failing digest verification are
+/// dropped individually) and writes it back at drain.
 pub fn serve(args: &[String]) -> Result<String, String> {
     let opts = ServeOptions::parse(args).map_err(|e| e.to_string())?;
     let builder = serve_builder(&opts)?;
+    // One process-wide cache: the session engine, every per-request
+    // override engine, and every TCP connection share it.
+    let cache = std::sync::Arc::new(tilt_engine::CompileCache::default());
+    let persist = opts.cache_dir.as_deref().map(std::path::PathBuf::from);
+    if let Some(dir) = &persist {
+        match cache.load(dir) {
+            Ok((loaded, rejected)) if loaded > 0 || rejected > 0 => eprintln!(
+                "tilt serve: compile cache: restored {loaded} entries from {}{}",
+                dir.display(),
+                if rejected > 0 {
+                    format!(" ({rejected} corrupt/stale entries rejected)")
+                } else {
+                    String::new()
+                }
+            ),
+            Ok(_) => {}
+            Err(e) => eprintln!(
+                "tilt serve: compile cache: cannot read {}: {e} (starting cold)",
+                dir.display()
+            ),
+        }
+    }
+    let builder = builder.compile_cache(cache.clone());
     // Validate the session config before any I/O so a bad --ions/--head
     // fails fast with a usage error.
     tilt_engine::Service::new(builder.clone()).map_err(|e| e.to_string())?;
     let flag = sigterm::install();
-    match &opts.listen {
-        None => serve_stdio(builder, opts.window, flag),
-        Some(addr) => serve_tcp(builder, addr, opts.window, flag),
+    let out = match &opts.listen {
+        None => serve_stdio(builder, opts.window, flag, &cache, persist.as_deref()),
+        Some(addr) => serve_tcp(builder, addr, opts.window, flag, &cache, persist.as_deref()),
+    }?;
+    snapshot_cache(&cache, persist.as_deref());
+    Ok(out)
+}
+
+/// Writes the compile-cache snapshot when persistence is configured.
+fn snapshot_cache(cache: &tilt_engine::CompileCache, dir: Option<&std::path::Path>) {
+    let Some(dir) = dir else { return };
+    match cache.save(dir) {
+        Ok(written) => eprintln!(
+            "tilt serve: compile cache: saved {written} entries to {}",
+            dir.display()
+        ),
+        Err(e) => eprintln!(
+            "tilt serve: compile cache: cannot write {}: {e}",
+            dir.display()
+        ),
     }
 }
 
@@ -479,6 +525,8 @@ fn serve_stdio(
     builder: tilt_engine::EngineBuilder,
     window: usize,
     flag: &'static std::sync::atomic::AtomicBool,
+    cache: &tilt_engine::CompileCache,
+    persist: Option<&std::path::Path>,
 ) -> Result<String, String> {
     use std::sync::atomic::Ordering;
     let worker = std::thread::spawn(move || {
@@ -508,11 +556,15 @@ fn serve_stdio(
                 // Either genuinely idle (blocked read, nothing
                 // buffered — lossless) or a compile outlasted the
                 // grace period (its response is forfeit). We cannot
-                // tell which from here, so say so.
+                // tell which from here, so say so. The cache snapshot
+                // still happens — warm restarts are the point of
+                // persistence, and SIGTERM restarts are the common
+                // case under an orchestrator.
                 eprintln!(
                     "tilt serve: SIGTERM — grace period expired, exiting \
                      (an in-flight response, if any, is forfeit)"
                 );
+                snapshot_cache(cache, persist);
                 std::process::exit(0);
             }
             break;
@@ -526,14 +578,20 @@ fn serve_stdio(
 
 fn summary_line(summary: &tilt_engine::ServiceSummary) -> String {
     let s = &summary.stats;
+    let c = &summary.cache;
     format!(
-        "tilt serve: {} responses ({} ok, {} errors), p50 {} µs, p99 {} µs, max in-flight {} ({:?})",
+        "tilt serve: {} responses ({} ok, {} errors), p50 {} µs, p99 {} µs, max in-flight {}, \
+         cache {}/{} hits ({:.1}%), {} entries ({:?})",
         s.served,
         s.ok,
         s.errors,
         s.p50_us(),
         s.p99_us(),
         s.max_in_flight,
+        c.hits,
+        c.hits + c.misses,
+        100.0 * c.hit_rate(),
+        c.entries,
         summary.cause
     )
 }
@@ -560,6 +618,8 @@ fn serve_tcp(
     addr: &str,
     window: usize,
     flag: &'static std::sync::atomic::AtomicBool,
+    cache: &tilt_engine::CompileCache,
+    persist: Option<&std::path::Path>,
 ) -> Result<String, String> {
     use std::sync::atomic::Ordering;
     let listener =
@@ -626,6 +686,7 @@ fn serve_tcp(
             // Last resort (e.g. the socket clone was unavailable at
             // accept time): shutdown must not wedge.
             eprintln!("tilt serve: a connection did not drain within the grace period, exiting");
+            snapshot_cache(cache, persist);
             std::process::exit(0);
         }
     }

@@ -37,6 +37,7 @@
 
 pub mod decompose;
 pub mod error;
+pub mod fingerprint;
 pub mod mapping;
 pub mod pipeline;
 pub mod program;

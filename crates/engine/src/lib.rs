@@ -41,22 +41,27 @@
 //! # Ok::<(), tilt_engine::TiltError>(())
 //! ```
 
+pub mod cache;
 pub mod error;
 pub mod report;
 pub mod service;
 
 mod batch;
 
+pub use cache::{CacheCounters, CacheKey, CompileCache, WireReport, DEFAULT_CACHE_CAPACITY};
 pub use error::TiltError;
 pub use report::{BackendKind, CompileStats, RunDetail, RunReport};
 pub use service::{Service, ServiceStats, ServiceSummary, ShutdownCause};
 
+use cache::CacheEntry;
+use std::sync::Arc;
 use std::time::Instant;
 use tilt_circuit::Circuit;
 use tilt_compiler::decompose::decompose_into;
 use tilt_compiler::{
     CompileScratch, Compiler, DeviceSpec, InitialMapping, RouterKind, SchedulerKind,
 };
+use tilt_hash::{Digest, Fingerprint, Hasher};
 use tilt_qccd::{compile_qccd, estimate_qccd_success, QccdParams, QccdSpec};
 use tilt_scale::{compile_scaled, estimate_scaled, ScaleSpec};
 use tilt_sim::cooling::CoolingTrigger;
@@ -107,6 +112,9 @@ pub struct EngineBuilder {
     router: Option<RouterKind>,
     scheduler: Option<SchedulerKind>,
     initial_mapping: Option<InitialMapping>,
+    /// Shared content-addressed compile cache; `None` (the default)
+    /// compiles every run from scratch.
+    pub(crate) cache: Option<Arc<CompileCache>>,
 }
 
 impl Default for EngineBuilder {
@@ -121,6 +129,7 @@ impl Default for EngineBuilder {
             router: None,
             scheduler: None,
             initial_mapping: None,
+            cache: None,
         }
     }
 }
@@ -185,6 +194,18 @@ impl EngineBuilder {
         self
     }
 
+    /// Attaches a content-addressed compile cache: runs whose
+    /// `(circuit digest, config fingerprint)` key is resident return the
+    /// cached report instead of recompiling. The cache is shared — hand
+    /// the same [`Arc`] to several builders (or clone a builder, as the
+    /// service does for per-request overrides) and they serve each
+    /// other's hits. Cached results are byte-identical to fresh
+    /// compiles; see [`cache`](crate::cache) for the key model.
+    pub fn compile_cache(mut self, cache: Arc<CompileCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
     /// Validates the configuration and builds the engine.
     ///
     /// Validation happens **here, once** — router parameters are checked
@@ -232,6 +253,19 @@ impl EngineBuilder {
             // routing knobs do not apply to it.
             Backend::Qccd(_) => None,
         };
+        // The config half of the compile-cache key, computed once from
+        // the *resolved* configuration (post-overlay, post-default).
+        let config_fp = config_fingerprint(
+            &backend,
+            self.router.unwrap_or_default(),
+            self.scheduler.unwrap_or_default(),
+            self.initial_mapping.unwrap_or_default(),
+            &self.noise,
+            &self.gate_times,
+            &self.exec_time,
+            &self.cooling,
+            &self.qccd_params,
+        );
         Ok(Engine {
             backend,
             compiler,
@@ -240,8 +274,59 @@ impl EngineBuilder {
             exec_time: self.exec_time,
             cooling: self.cooling,
             qccd_params: self.qccd_params,
+            cache: self.cache,
+            config_fp,
         })
     }
+}
+
+/// Fingerprints exactly the configuration surface each backend's
+/// compile + estimate path consults. Distinct backends write distinct
+/// leading tags, so a TILT session and a QCCD session never share keys
+/// even on improbable hash agreement of their specs.
+#[allow(clippy::too_many_arguments)]
+fn config_fingerprint(
+    backend: &Backend,
+    router: RouterKind,
+    scheduler: SchedulerKind,
+    initial_mapping: InitialMapping,
+    noise: &NoiseModel,
+    gate_times: &GateTimeModel,
+    exec_time: &ExecTimeModel,
+    cooling: &CoolingPolicy,
+    qccd_params: &QccdParams,
+) -> Digest {
+    let mut h = Hasher::new();
+    match backend {
+        Backend::Tilt(spec) => {
+            h.write_str("tilt");
+            spec.fingerprint_into(&mut h);
+            router.fingerprint_into(&mut h);
+            scheduler.fingerprint_into(&mut h);
+            initial_mapping.fingerprint_into(&mut h);
+            noise.fingerprint_into(&mut h);
+            gate_times.fingerprint_into(&mut h);
+            exec_time.fingerprint_into(&mut h);
+            cooling.fingerprint_into(&mut h);
+        }
+        Backend::Qccd(spec) => {
+            h.write_str("qccd");
+            spec.fingerprint_into(&mut h);
+            qccd_params.fingerprint_into(&mut h);
+            noise.fingerprint_into(&mut h);
+            gate_times.fingerprint_into(&mut h);
+        }
+        // The scaled spec already carries its per-ELU policies (the
+        // builder overlay ran before this), its geometry, and the
+        // photonic-link model.
+        Backend::Scaled(spec) => {
+            h.write_str("scaled");
+            spec.fingerprint_into(&mut h);
+            noise.fingerprint_into(&mut h);
+            gate_times.fingerprint_into(&mut h);
+        }
+    }
+    h.digest()
 }
 
 /// Per-run scratch buffers, reused across circuits within a batch
@@ -270,6 +355,11 @@ pub struct Engine {
     exec_time: ExecTimeModel,
     cooling: CoolingPolicy,
     qccd_params: QccdParams,
+    /// Shared compile cache, when the builder attached one.
+    cache: Option<Arc<CompileCache>>,
+    /// Fingerprint of the resolved configuration — the config half of
+    /// every cache key this session produces.
+    config_fp: Digest,
 }
 
 impl Engine {
@@ -317,6 +407,19 @@ impl Engine {
         &self.gate_times
     }
 
+    /// The session's compile cache, when one is attached.
+    pub fn compile_cache(&self) -> Option<&Arc<CompileCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Fingerprint of this session's resolved configuration — combined
+    /// with [`tilt_circuit::Circuit::digest`], the complete compile-cache
+    /// key. Two engines with equal fingerprints produce byte-identical
+    /// results for every circuit.
+    pub fn config_fingerprint(&self) -> Digest {
+        self.config_fp
+    }
+
     /// Compiles and estimates one circuit.
     ///
     /// # Errors
@@ -344,6 +447,35 @@ impl Engine {
     /// transient compile buffers are recycled between calls. The batch
     /// layer hands one scratch to each pool worker.
     pub(crate) fn run_with_scratch(
+        &self,
+        circuit: &Circuit,
+        scratch: &mut EngineScratch,
+    ) -> Result<RunReport, TiltError> {
+        let Some(cache) = &self.cache else {
+            return self.run_uncached(circuit, scratch);
+        };
+        let key = CacheKey {
+            circuit: cache.circuit_key(circuit),
+            config: self.config_fp,
+        };
+        if let Some(entry) = cache.get_full(key) {
+            let report = entry
+                .full
+                .as_ref()
+                .expect("get_full returns complete entries");
+            // The Arc clone happened inside the lock; the (potentially
+            // large) report clone happens here, outside it, so cache
+            // hits from parallel batch workers do not serialize.
+            return Ok(report.clone());
+        }
+        let report = self.run_uncached(circuit, scratch)?;
+        cache.insert(key, CacheEntry::of(report.clone()));
+        Ok(report)
+    }
+
+    /// The uncached compile→estimate path (also the upgrade path for
+    /// entries restored from a snapshot, which carry only wire data).
+    fn run_uncached(
         &self,
         circuit: &Circuit,
         scratch: &mut EngineScratch,

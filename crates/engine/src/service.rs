@@ -11,7 +11,7 @@
 //!
 //! One JSON object per line in, one JSON object per line out, responses
 //! **in submission order**. A request is either a circuit run (the
-//! default), a stats probe, or a shutdown:
+//! default), a session reconfiguration, a stats probe, or a shutdown:
 //!
 //! ```text
 //! → {"id":1,"qasm":"qreg q[4];\nh q[0];\ncx q[0], q[3];\n"}
@@ -44,6 +44,30 @@
 //! a structured `{"id":...,"ok":false,"error":"..."}` response on its
 //! line and **never kills the loop**.
 //!
+//! # Session reconfiguration
+//!
+//! A `{"op":"configure", ...}` message (typically the first line of a
+//! connection) **rebinds this loop's default session** using the same
+//! override fields a run request accepts — so a client that wants, say,
+//! the stochastic router on every request configures once instead of
+//! repeating overrides per line. The new session applies to every
+//! subsequent default request; later per-request overrides overlay the
+//! *reconfigured* session. Dimensions not named inherit the current
+//! session machine (the run-override inheritance rule); a bad
+//! configuration is rejected on its line and leaves the session
+//! untouched. The ack echoes the resulting backend:
+//! `{"id":...,"ok":true,"configured":true,"backend":"tilt"}`.
+//!
+//! # Compile cache
+//!
+//! Every service owns a content-addressed [`CompileCache`] (shared with
+//! its engine and with override engines, and — in the CLI's TCP mode —
+//! across all connections): responses for a previously seen
+//! `(circuit digest, config fingerprint)` pair are served straight from
+//! cache, byte-identical to a fresh compile. `{"op":"stats"}` reports
+//! `cache: {hits, misses, evictions, entries}`; `tilt serve --cache-dir`
+//! persists the cache across restarts (see [`crate::cache`]).
+//!
 //! # Backpressure and memory
 //!
 //! Default-session requests accumulate in a bounded window (at most
@@ -73,13 +97,17 @@
 //! exits directly: a blocked loop has, by the flush-before-blocking
 //! rule, nothing buffered to lose).
 
+use crate::cache::{CacheCounters, CacheKey, CompileCache, WireReport};
 use crate::{Backend, Engine, EngineBuilder, RunReport, TiltError};
+use std::collections::HashMap;
 use std::io::{self, BufRead, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
-use tilt_circuit::{qasm, Circuit};
+use tilt_circuit::{qasm, Circuit, Gate};
 use tilt_compiler::route::{LinqConfig, StochasticConfig};
 use tilt_compiler::{DeviceSpec, RouterKind, SchedulerKind};
+use tilt_hash::{Digest, Hasher};
 use tilt_qccd::QccdSpec;
 use tilt_report::Json;
 use tilt_scale::ScaleSpec;
@@ -95,6 +123,13 @@ const LATENCY_BUCKETS: usize = 40;
 /// whole process on allocation failure; 16 MiB comfortably holds the
 /// QASM of any circuit that fits under [`MAX_REQUEST_IONS`].
 const MAX_LINE_BYTES: usize = 16 << 20;
+
+/// Bounds on the parsed-payload memo (entries and retained bytes). The
+/// memo exists so that a repeated request costs neither its QASM parse
+/// nor its compile — the two O(gates) stages — leaving only JSON
+/// decode, two hash lookups, and response rendering on the warm path.
+const PARSE_MEMO_CAPACITY: usize = 512;
+const PARSE_MEMO_MAX_BYTES: usize = 64 << 20;
 
 /// Hard ceiling on any machine dimension (ions, ELU ions, trap ions) or
 /// circuit width a *request* can ask for. The service allocates data
@@ -196,7 +231,7 @@ impl ServiceStats {
         self.latency.quantile_us(0.99)
     }
 
-    fn to_json(&self, window: usize) -> Json {
+    fn to_json(&self, window: usize, cache: CacheCounters) -> Json {
         Json::object()
             .set("uptime_us", self.started.elapsed().as_micros() as u64)
             .set("served", self.served)
@@ -206,6 +241,14 @@ impl ServiceStats {
             .set("max_in_flight", self.max_in_flight)
             .set("p50_latency_us", self.p50_us())
             .set("p99_latency_us", self.p99_us())
+            .set(
+                "cache",
+                Json::object()
+                    .set("hits", cache.hits)
+                    .set("misses", cache.misses)
+                    .set("evictions", cache.evictions)
+                    .set("entries", cache.entries),
+            )
     }
 }
 
@@ -225,15 +268,70 @@ pub enum ShutdownCause {
 pub struct ServiceSummary {
     /// Counter snapshot at exit.
     pub stats: ServiceStats,
+    /// Compile-cache counters at exit. In TCP mode the cache is shared
+    /// across connections, so these are *cache-lifetime* totals, not
+    /// per-connection ones.
+    pub cache: CacheCounters,
     /// What ended the loop.
     pub cause: ShutdownCause,
+}
+
+/// Memo of parsed request payloads: QASM-text digest → the original
+/// text, the parsed circuit (shared with the memo, cloned only on a
+/// compile miss), and its salted cache key. Purely an accelerator over
+/// the compile cache — parsing is deterministic, so equal request text
+/// always yields the equal circuit the memo returns; a hit **verifies
+/// the text byte-for-byte**, so an engineered digest collision (FNV is
+/// not collision-resistant) degrades to a memo miss instead of serving
+/// another payload's circuit. Cleared wholesale when either bound
+/// (entries, retained bytes) trips: it rebuilds itself from traffic,
+/// so a crude bound beats LRU bookkeeping here.
+#[derive(Default)]
+struct ParseMemo {
+    map: HashMap<Digest, MemoHit>,
+    /// Approximate retained bytes (texts + gate lists).
+    bytes: usize,
+}
+
+#[derive(Clone)]
+struct MemoHit {
+    text: Arc<str>,
+    circuit: Arc<Circuit>,
+    key: Digest,
+}
+
+impl ParseMemo {
+    fn text_key(qasm_text: &str) -> Digest {
+        let mut h = Hasher::new();
+        h.write_str(qasm_text);
+        h.digest()
+    }
+
+    fn get(&self, key: Digest, qasm_text: &str) -> Option<MemoHit> {
+        let hit = self.map.get(&key)?;
+        (*hit.text == *qasm_text).then(|| hit.clone())
+    }
+
+    fn insert(&mut self, key: Digest, hit: MemoHit) {
+        if self.map.len() >= PARSE_MEMO_CAPACITY || self.bytes >= PARSE_MEMO_MAX_BYTES {
+            self.map.clear();
+            self.bytes = 0;
+        }
+        self.bytes += hit.text.len() + hit.circuit.len() * std::mem::size_of::<Gate>();
+        self.map.insert(key, hit);
+    }
 }
 
 /// One buffered run request awaiting its window flush.
 struct RunItem {
     id: Json,
-    /// Taken (not cloned) by the window flush — `None` afterwards.
-    circuit: Option<Circuit>,
+    /// Taken (not cloned) by the window flush — `None` afterwards. The
+    /// [`Arc`] is shared with the parse memo; a cache-hit response
+    /// drops it untouched.
+    circuit: Option<Arc<Circuit>>,
+    /// Salted compile-cache key of the circuit (the circuit half of
+    /// its full key — see [`CompileCache::circuit_key`]).
+    digest: Digest,
     emit_program: bool,
     enqueued: Instant,
 }
@@ -245,6 +343,13 @@ enum Request {
     /// Compile through a one-off engine built from per-request
     /// overrides (runs immediately, after a flush).
     RunOverride(Box<RunItem>, Box<Engine>),
+    /// Rebind the loop's default session (`{"op":"configure"}`);
+    /// `rebind` is `None` when the message named no override field (an
+    /// acknowledged no-op).
+    Configure {
+        id: Json,
+        rebind: Option<Box<(EngineBuilder, Engine)>>,
+    },
     Stats,
     Shutdown,
     /// The line could not become a run: respond with this error object.
@@ -266,22 +371,46 @@ pub struct Service {
     proto: EngineBuilder,
     window: usize,
     stats: ServiceStats,
+    /// The compile cache shared by the session engine, every override
+    /// engine, and (through the builder) every other service built from
+    /// the same prototype.
+    cache: Arc<CompileCache>,
+    /// Per-loop memo of parsed QASM payloads (see [`ParseMemo`]).
+    parse_memo: ParseMemo,
 }
 
 impl Service {
     /// Builds the session engine and wraps it in a service.
+    ///
+    /// The service always runs cached: when the builder carries no
+    /// [`CompileCache`] a private default-capacity one is attached, so
+    /// repeated circuits skip compilation out of the box. Hand the
+    /// builder a shared cache (via
+    /// [`EngineBuilder::compile_cache`]) to pool hits across services —
+    /// the CLI's TCP listener does this across connections.
     ///
     /// # Errors
     ///
     /// Any [`EngineBuilder::build`] error: no backend, invalid router
     /// configuration for the device.
     pub fn new(builder: EngineBuilder) -> Result<Service, TiltError> {
+        let mut builder = builder;
+        if builder.cache.is_none() {
+            builder = builder.compile_cache(Arc::new(CompileCache::default()));
+        }
         let engine = builder.clone().build()?;
+        let cache = Arc::clone(
+            engine
+                .compile_cache()
+                .expect("service engines always carry a cache"),
+        );
         Ok(Service {
             engine,
             proto: builder,
             window: (rayon::current_num_threads() * 4).max(8),
             stats: ServiceStats::new(),
+            cache,
+            parse_memo: ParseMemo::default(),
         })
     }
 
@@ -412,6 +541,7 @@ impl Service {
         self.flush(&mut pending, &mut output)?;
         Ok(ServiceSummary {
             stats: self.stats.clone(),
+            cache: self.cache.counters(),
             cause,
         })
     }
@@ -429,27 +559,66 @@ impl Service {
         }
         match self.parse_request(line) {
             Request::Run(item) => {
-                pending.push(*item);
-                self.stats.max_in_flight = self.stats.max_in_flight.max(pending.len());
-                if pending.len() >= self.window {
+                // Cache probe: a previously seen (circuit, config) pair
+                // answers immediately — after a flush, so submission
+                // order survives. On an all-hits stream the window
+                // stays empty and this is the whole hot path.
+                if let Some(resp) = self.cached_response(&item, self.engine.config_fingerprint()) {
                     self.flush(pending, output)?;
+                    self.stats
+                        .record(item.enqueued.elapsed().as_micros() as u64, true);
+                    writeln!(output, "{}", resp.render())?;
+                    output.flush()?;
+                } else {
+                    pending.push(*item);
+                    self.stats.max_in_flight = self.stats.max_in_flight.max(pending.len());
+                    if pending.len() >= self.window {
+                        self.flush(pending, output)?;
+                    }
                 }
             }
             Request::RunOverride(item, engine) => {
                 // Preserve submission order around the one-off run.
                 self.flush(pending, output)?;
-                let mut item = *item;
-                let circuit = item
-                    .circuit
-                    .take()
-                    .expect("override items carry their circuit");
-                let result = engine.run(&circuit);
-                self.respond(&item, result, output)?;
+                // Overrides key the cache under *their* overlaid
+                // config's fingerprint, so distinct override sessions
+                // cache independently (and never collide with the
+                // default session).
+                if let Some(resp) = self.cached_response(&item, engine.config_fingerprint()) {
+                    self.stats
+                        .record(item.enqueued.elapsed().as_micros() as u64, true);
+                    writeln!(output, "{}", resp.render())?;
+                } else {
+                    let mut item = *item;
+                    let circuit = item
+                        .circuit
+                        .take()
+                        .expect("override items carry their circuit");
+                    let result = engine.run(circuit.as_ref());
+                    self.respond(&item, result, output)?;
+                }
+                output.flush()?;
+            }
+            Request::Configure { id, rebind } => {
+                // The window compiled under the old session; drain it
+                // before the rebind takes effect.
+                self.flush(pending, output)?;
+                if let Some(rebind) = rebind {
+                    let (proto, engine) = *rebind;
+                    self.proto = proto;
+                    self.engine = engine;
+                }
+                let resp = Json::object()
+                    .set("id", id)
+                    .set("ok", true)
+                    .set("configured", true)
+                    .set("backend", self.engine.backend().kind().to_string());
+                writeln!(output, "{}", resp.render())?;
                 output.flush()?;
             }
             Request::Stats => {
                 self.flush(pending, output)?;
-                let stats = self.stats.to_json(self.window);
+                let stats = self.stats.to_json(self.window, self.cache.counters());
                 let resp = Json::object().set("ok", true).set("stats", stats);
                 writeln!(output, "{}", resp.render())?;
                 output.flush()?;
@@ -473,34 +642,96 @@ impl Service {
 
     /// Runs the buffered window through the shared session and writes
     /// one response line per request, in submission order.
+    ///
+    /// Duplicate circuits **within** one window are compiled once: the
+    /// pre-window cache probe cannot catch them (their leader has not
+    /// compiled yet), and without dedup the batch workers would compile
+    /// both copies concurrently — wasted work, and nondeterministic
+    /// hit counts. Each follower is served from the cache after its
+    /// leader's insert lands (a genuine hit), so a duplicate pair
+    /// always accounts as exactly one miss plus one hit, regardless of
+    /// worker count.
     fn flush<W: Write>(&mut self, pending: &mut Vec<RunItem>, output: &mut W) -> io::Result<()> {
         if pending.is_empty() {
             return Ok(());
         }
         let mut items = std::mem::take(pending);
-        let circuits: Vec<Circuit> = items
-            .iter_mut()
-            .map(|i| i.circuit.take().expect("each item is flushed once"))
-            .collect();
+        // Per item: the slot its result lives in; per slot: the leader
+        // item index (the first occurrence of that circuit digest).
+        let mut slot_of_item: Vec<usize> = Vec::with_capacity(items.len());
+        let mut leader_of_slot: Vec<usize> = Vec::new();
+        let mut slot_of_digest: HashMap<Digest, usize> = HashMap::new();
+        let mut circuits: Vec<Circuit> = Vec::new();
+        for (i, item) in items.iter_mut().enumerate() {
+            let arc = item.circuit.take().expect("each item is flushed once");
+            match slot_of_digest.entry(item.digest) {
+                std::collections::hash_map::Entry::Occupied(slot) => {
+                    slot_of_item.push(*slot.get());
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(circuits.len());
+                    slot_of_item.push(circuits.len());
+                    leader_of_slot.push(i);
+                    // Unshared payloads (memo since cleared) move for
+                    // free; shared ones clone only here, on an actual
+                    // compile.
+                    circuits.push(Arc::try_unwrap(arc).unwrap_or_else(|shared| (*shared).clone()));
+                }
+            }
+        }
+        let mut results: Vec<Option<Result<RunReport, TiltError>>> = Vec::new();
+        results.resize_with(circuits.len(), || None);
+        let config = self.engine.config_fingerprint();
         let mut io_err: Option<io::Error> = None;
+        let mut next = 0usize;
         // Split borrows: the closure mutates stats and output while the
-        // engine fans out the window.
-        let (engine, stats) = (&self.engine, &mut self.stats);
-        engine.run_batch_streaming(circuits, |i, result| {
+        // engine fans out the window. Responses stream as they become
+        // writable: slot results arrive in submission order, and a
+        // follower's leader always precedes it, so the write pointer
+        // `next` only ever waits on the slot that just completed — no
+        // response is held back for a later compile.
+        let (engine, stats, cache) = (&self.engine, &mut self.stats, &self.cache);
+        engine.run_batch_streaming(circuits, |slot, result| {
+            results[slot] = Some(result);
             if io_err.is_some() {
                 return;
             }
-            let item = &items[i];
-            let ok = result.is_ok();
-            let resp = run_response(&item.id, result, item.emit_program);
-            stats.record(item.enqueued.elapsed().as_micros() as u64, ok);
-            if let Err(e) = writeln!(output, "{}", resp.render()) {
-                io_err = Some(e);
+            while next < items.len() {
+                let s = slot_of_item[next];
+                let Some(result) = results[s].as_ref() else {
+                    break;
+                };
+                let item = &items[next];
+                let (resp, ok) = if leader_of_slot[s] == next {
+                    (
+                        run_response(&item.id, result, item.emit_program),
+                        result.is_ok(),
+                    )
+                } else {
+                    // Follower: the leader's insert has landed, so this
+                    // is a real cache lookup (and counts as such); the
+                    // leader's result backstops an errored or instantly
+                    // evicted entry.
+                    match cached_wire_response(cache, item, config) {
+                        Some(resp) => (resp, true),
+                        None => (
+                            run_response(&item.id, result, item.emit_program),
+                            result.is_ok(),
+                        ),
+                    }
+                };
+                stats.record(item.enqueued.elapsed().as_micros() as u64, ok);
+                if let Err(e) = writeln!(output, "{}", resp.render()) {
+                    io_err = Some(e);
+                    return;
+                }
+                next += 1;
             }
         });
         if let Some(e) = io_err {
             return Err(e);
         }
+        debug_assert_eq!(next, items.len(), "every buffered item was answered");
         output.flush()
     }
 
@@ -511,15 +742,23 @@ impl Service {
         output: &mut W,
     ) -> io::Result<()> {
         let ok = result.is_ok();
-        let resp = run_response(&item.id, result, item.emit_program);
+        let resp = run_response(&item.id, &result, item.emit_program);
         self.stats
             .record(item.enqueued.elapsed().as_micros() as u64, ok);
         writeln!(output, "{}", resp.render())
     }
 
+    /// The response for `item` if its `(circuit, config)` key is
+    /// resident in the cache. Renders through the same [`WireReport`]
+    /// path as a fresh compile, so hit and miss responses are
+    /// byte-identical.
+    fn cached_response(&self, item: &RunItem, config: Digest) -> Option<Json> {
+        cached_wire_response(&self.cache, item, config)
+    }
+
     /// Turns one input line into a request, folding every failure into
     /// [`Request::Bad`].
-    fn parse_request(&self, line: &str) -> Request {
+    fn parse_request(&mut self, line: &str) -> Request {
         let enqueued = Instant::now();
         let obj = match Json::parse(line) {
             Ok(j @ Json::Obj(_)) => j,
@@ -544,6 +783,17 @@ impl Service {
 
         match obj.get("op").and_then(Json::as_str) {
             None | Some("run") => {}
+            Some("configure") => {
+                let rebind = match self.override_builder(&obj, None) {
+                    Ok(None) => None,
+                    Ok(Some(builder)) => match builder.clone().build() {
+                        Ok(engine) => Some(Box::new((builder, engine))),
+                        Err(e) => return bad(e.to_string()),
+                    },
+                    Err(error) => return bad(error),
+                };
+                return Request::Configure { id, rebind };
+            }
             Some("stats") => return Request::Stats,
             Some("shutdown") => return Request::Shutdown,
             Some(other) => return bad(format!("unknown op `{other}`")),
@@ -552,28 +802,53 @@ impl Service {
         let Some(qasm_text) = obj.get("qasm").and_then(Json::as_str) else {
             return bad("run request needs a string `qasm` field".into());
         };
-        let circuit = match qasm::parse_qasm(qasm_text) {
-            Ok(c) => c,
-            Err(e) => return bad(e.to_string()),
+        // Parse memo: a repeated payload skips its QASM parse (parsing
+        // is deterministic, and the hit verified the text matches) and
+        // reuses the memoized cache key.
+        let text_key = ParseMemo::text_key(qasm_text);
+        let (circuit, digest) = match self.parse_memo.get(text_key, qasm_text) {
+            Some(hit) => (hit.circuit, hit.key),
+            None => {
+                let circuit = match qasm::parse_qasm(qasm_text) {
+                    Ok(c) => c,
+                    Err(e) => return bad(e.to_string()),
+                };
+                // Width gate *before* any backend sizes itself to the
+                // circuit: the scaled partitioner and the QCCD trap
+                // array allocate proportionally to the register, so a
+                // `qreg q[10^12]` request must die here as a structured
+                // error, not as an allocation abort.
+                if circuit.n_qubits() > MAX_REQUEST_IONS {
+                    return bad(format!(
+                        "circuit register of {} qubits exceeds the service cap of {MAX_REQUEST_IONS}",
+                        circuit.n_qubits()
+                    ));
+                }
+                let key = self.cache.circuit_key(&circuit);
+                let circuit = Arc::new(circuit);
+                self.parse_memo.insert(
+                    text_key,
+                    MemoHit {
+                        text: Arc::from(qasm_text),
+                        circuit: Arc::clone(&circuit),
+                        key,
+                    },
+                );
+                (circuit, key)
+            }
         };
-        // Width gate *before* any backend sizes itself to the circuit:
-        // the scaled partitioner and the QCCD trap array allocate
-        // proportionally to the register, so a `qreg q[10^12]` request
-        // must die here as a structured error, not as an allocation
-        // abort.
-        if circuit.n_qubits() > MAX_REQUEST_IONS {
-            return bad(format!(
-                "circuit register of {} qubits exceeds the service cap of {MAX_REQUEST_IONS}",
-                circuit.n_qubits()
-            ));
-        }
         let emit_program = matches!(obj.get("emit_program"), Some(Json::Bool(true)));
-        let engine = match self.override_engine(&obj, &circuit) {
-            Ok(engine) => engine,
+        let engine = match self.override_builder(&obj, Some(circuit.as_ref())) {
+            Ok(None) => None,
+            Ok(Some(builder)) => match builder.build() {
+                Ok(engine) => Some(engine),
+                Err(e) => return bad(e.to_string()),
+            },
             Err(error) => return bad(error),
         };
         let item = Box::new(RunItem {
             id: id.clone(),
+            digest,
             circuit: Some(circuit),
             emit_program,
             enqueued,
@@ -584,9 +859,16 @@ impl Service {
         }
     }
 
-    /// Builds the one-off engine a request's override fields describe;
-    /// `Ok(None)` when the request uses the shared session.
-    fn override_engine(&self, obj: &Json, circuit: &Circuit) -> Result<Option<Engine>, String> {
+    /// Builds the engine prototype a request's override fields (or a
+    /// `configure` message's fields) describe; `Ok(None)` when no
+    /// override field is present. `circuit` sizes machine defaults for
+    /// run requests; a `configure` message (no circuit) sizes them to
+    /// the current session instead.
+    fn override_builder(
+        &self,
+        obj: &Json,
+        circuit: Option<&Circuit>,
+    ) -> Result<Option<EngineBuilder>, String> {
         const OVERRIDE_KEYS: [&str; 10] = [
             "backend",
             "ions",
@@ -633,6 +915,18 @@ impl Service {
             }
         };
 
+        // Machine sizing when neither the request nor the session
+        // provides a dimension: a run request sizes to its circuit, a
+        // `configure` message (no circuit) to the session's capacity.
+        let sizing = circuit.map(Circuit::n_qubits).unwrap_or_else(|| {
+            match self.engine.backend() {
+                Backend::Tilt(spec) => spec.n_ions(),
+                Backend::Qccd(spec) => spec.usable_slots(),
+                // ELU arrays size per circuit; fall back to the serve
+                // default tape width.
+                Backend::Scaled(_) => 64,
+            }
+        });
         // Dimension defaults come from the shared session where they
         // exist, so an override of (say) just the router keeps the
         // session's device.
@@ -640,10 +934,10 @@ impl Service {
             Backend::Tilt(spec) => (Some(spec.n_ions()), Some(spec.head_size())),
             _ => (None, None),
         };
-        let ions = get_dim("ions")?.or(session_ions).unwrap_or_else(|| {
-            // No session tape to inherit: size to the circuit.
-            circuit.n_qubits().max(2)
-        });
+        let ions = get_dim("ions")?
+            .or(session_ions)
+            // No session tape to inherit: size to the circuit/session.
+            .unwrap_or(sizing.max(2));
         let head = get_dim("head")?.or(session_head).unwrap_or(16).min(ions);
 
         let mut builder = self.proto.clone();
@@ -746,7 +1040,7 @@ impl Service {
                     (None, Some(spec)) => Backend::Qccd(spec),
                     (per_trap, session) => {
                         let per_trap = per_trap.or(session.map(|s| s.capacity())).unwrap_or(17);
-                        let spec = QccdSpec::for_qubits(circuit.n_qubits().max(1), per_trap)
+                        let spec = QccdSpec::for_qubits(sizing.max(1), per_trap)
                             .map_err(|e| e.to_string())?;
                         Backend::Qccd(spec)
                     }
@@ -790,40 +1084,42 @@ impl Service {
             other => return Err(format!("unknown backend `{other}`")),
         };
 
-        builder
-            .backend(backend)
-            .build()
-            .map(Some)
-            .map_err(|e| e.to_string())
+        Ok(Some(builder.backend(backend)))
     }
 }
 
-/// Renders one run result as its response line.
-fn run_response(id: &Json, result: Result<RunReport, TiltError>, emit_program: bool) -> Json {
+/// Looks up and renders `item`'s cached response (free function so the
+/// flush callback can call it under split borrows).
+fn cached_wire_response(cache: &CompileCache, item: &RunItem, config: Digest) -> Option<Json> {
+    let key = CacheKey {
+        circuit: item.digest,
+        config,
+    };
+    let entry = cache.get_wire(key)?;
+    // Clone the wire view only when the response must carry program
+    // text the entry holds lazily — the common no-program hit renders
+    // straight from the shared entry.
+    if item.emit_program && entry.wire.program_text.is_none() {
+        let mut wire = entry.wire.clone();
+        wire.program_text = entry.program_text();
+        Some(wire.response(&item.id, true))
+    } else {
+        Some(entry.wire.response(&item.id, item.emit_program))
+    }
+}
+
+/// Renders one run result as its response line — through the same
+/// [`WireReport`] projection the cache serves hits from, so fresh and
+/// cached responses are byte-identical by construction.
+fn run_response(id: &Json, result: &Result<RunReport, TiltError>, emit_program: bool) -> Json {
     match result {
         Err(e) => error_json(id, &e.to_string()),
         Ok(report) => {
-            let c = &report.compile;
-            let mut resp = Json::object()
-                .set("id", id.clone())
-                .set("ok", true)
-                .set("backend", report.backend.to_string())
-                .set("swaps", c.swap_count)
-                .set("opposing_swaps", c.opposing_swap_count)
-                .set("moves", c.move_count)
-                .set("move_distance", c.move_distance)
-                .set("native_gates", c.native_gate_count)
-                .set("native_two_qubit", c.native_two_qubit_count)
-                .set("epr_pairs", c.epr_pairs)
-                .set("ln_success", report.ln_success)
-                .set("success", report.success)
-                .set("exec_time_us", report.exec_time_us);
+            let mut wire = WireReport::of(report);
             if emit_program {
-                if let Some(program) = report.tilt_program() {
-                    resp = resp.set("program", program.to_string());
-                }
+                wire.program_text = report.tilt_program().map(|p| p.to_string());
             }
-            resp
+            wire.response(id, emit_program)
         }
     }
 }
@@ -1146,6 +1442,129 @@ mod tests {
             .contains("byte limit"));
         assert!(ok(&resps[1]), "{:?}", resps[1]);
         assert_eq!(summary.stats.errors, 1);
+    }
+
+    #[test]
+    fn duplicate_requests_are_served_from_cache_byte_identically() {
+        let mut s = tilt_service(8, 4);
+        let qasm = "qreg q[8];\\nh q[0];\\ncx q[0], q[7];\\n";
+        let input = format!(
+            "{{\"id\":1,\"qasm\":\"{qasm}\",\"emit_program\":true}}\n{{\"id\":1,\"qasm\":\"{qasm}\",\"emit_program\":true}}\n{{\"op\":\"stats\"}}\n"
+        );
+        let (resps, summary) = drive(&mut s, &input);
+        assert_eq!(resps.len(), 3);
+        assert!(ok(&resps[0]) && ok(&resps[1]), "{resps:?}");
+        assert_eq!(
+            resps[0].render(),
+            resps[1].render(),
+            "a cache hit must be byte-identical to the fresh compile"
+        );
+        assert!(resps[0].get("program").is_some());
+        let cache = resps[2].get("stats").unwrap().get("cache").unwrap();
+        assert_eq!(cache.get("hits").unwrap().as_f64(), Some(1.0));
+        assert_eq!(cache.get("misses").unwrap().as_f64(), Some(1.0));
+        assert_eq!(cache.get("entries").unwrap().as_f64(), Some(1.0));
+        assert_eq!(summary.cache.hits, 1);
+        assert_eq!(summary.stats.served, 2, "hits still count as served");
+    }
+
+    #[test]
+    fn override_requests_cache_under_their_own_config() {
+        let mut s = tilt_service(8, 4);
+        let qasm = "qreg q[8];\\ncx q[0], q[7];\\n";
+        // Same circuit: default session, then twice under an override.
+        let input = format!(
+            "{{\"id\":1,\"qasm\":\"{qasm}\"}}\n{{\"id\":2,\"qasm\":\"{qasm}\",\"scheduler\":\"naive\"}}\n{{\"id\":3,\"qasm\":\"{qasm}\",\"scheduler\":\"naive\"}}\n{{\"op\":\"stats\"}}\n"
+        );
+        let (resps, _) = drive(&mut s, &input);
+        assert!(resps[..3].iter().all(ok), "{resps:?}");
+        let cache = resps[3].get("stats").unwrap().get("cache").unwrap();
+        // The override keys a distinct config: ids 1 and 2 miss, id 3
+        // hits id 2's entry.
+        assert_eq!(cache.get("misses").unwrap().as_f64(), Some(2.0));
+        assert_eq!(cache.get("hits").unwrap().as_f64(), Some(1.0));
+        assert_eq!(cache.get("entries").unwrap().as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn configure_rebinds_the_default_session() {
+        let mut s = tilt_service(16, 4);
+        let qasm = "qreg q[16];\\nh q[0];\\ncx q[0], q[15];\\ncx q[1], q[14];\\n";
+        let input = format!(
+            "{{\"id\":0,\"op\":\"configure\",\"scheduler\":\"naive\"}}\n{{\"id\":1,\"qasm\":\"{qasm}\"}}\n"
+        );
+        let (resps, _) = drive(&mut s, &input);
+        assert_eq!(resps[0].get("configured"), Some(&Json::Bool(true)));
+        assert_eq!(resps[0].get("backend").unwrap().as_str(), Some("tilt"));
+        assert!(ok(&resps[1]), "{:?}", resps[1]);
+
+        // The default-session request must now compile under the
+        // reconfigured policies — identical to an explicitly built
+        // naive-scheduler engine.
+        let circuit = tilt_circuit::qasm::parse_qasm(&qasm.replace("\\n", "\n")).unwrap();
+        let expected = Engine::builder()
+            .backend(Backend::Tilt(DeviceSpec::new(16, 4).unwrap()))
+            .scheduler(SchedulerKind::NaiveNextGate)
+            .build()
+            .unwrap()
+            .run(&circuit)
+            .unwrap();
+        assert_eq!(
+            resps[1].get("moves").unwrap().as_f64(),
+            Some(expected.compile.move_count as f64)
+        );
+        assert_eq!(
+            resps[1].get("ln_success").unwrap().as_f64(),
+            Some(expected.ln_success)
+        );
+    }
+
+    #[test]
+    fn bad_configure_is_rejected_and_session_survives() {
+        let mut s = tilt_service(8, 4);
+        let qasm = "qreg q[4];\\ncx q[0], q[3];\\n";
+        let input = format!(
+            "{{\"id\":0,\"op\":\"configure\",\"router\":\"warp\"}}\n{{\"id\":1,\"op\":\"configure\",\"max_swap_len\":99}}\n{{\"id\":2,\"qasm\":\"{qasm}\"}}\n"
+        );
+        let (resps, summary) = drive(&mut s, &input);
+        assert!(!ok(&resps[0]), "{:?}", resps[0]);
+        assert!(!ok(&resps[1]), "invalid router config must be rejected");
+        assert!(
+            ok(&resps[2]),
+            "the old session still serves: {:?}",
+            resps[2]
+        );
+        assert_eq!(summary.stats.errors, 2);
+    }
+
+    #[test]
+    fn configure_without_fields_is_an_acknowledged_noop() {
+        let mut s = tilt_service(8, 4);
+        let (resps, _) = drive(&mut s, "{\"op\":\"configure\"}\n");
+        assert_eq!(resps[0].get("configured"), Some(&Json::Bool(true)));
+        assert!(ok(&resps[0]));
+    }
+
+    #[test]
+    fn parse_memo_verifies_text_before_serving() {
+        // A digest collision between two different payloads (FNV is
+        // not collision-resistant) must degrade to a miss, never serve
+        // the other payload's circuit.
+        let mut memo = ParseMemo::default();
+        let key = ParseMemo::text_key("qreg q[2];\ncx q[0], q[1];\n");
+        memo.insert(
+            key,
+            MemoHit {
+                text: Arc::from("qreg q[2];\ncx q[0], q[1];\n"),
+                circuit: Arc::new(Circuit::new(2)),
+                key: Digest(7),
+            },
+        );
+        assert!(memo.get(key, "qreg q[2];\ncx q[0], q[1];\n").is_some());
+        assert!(
+            memo.get(key, "some colliding other text").is_none(),
+            "a hit requires the exact original text"
+        );
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! [`Fingerprint`] implementations for the QCCD configuration surface.
+//!
+//! `compile_qccd` + `estimate_qccd_success` are deterministic in the
+//! trap-array geometry and the primitive cost parameters (plus the
+//! shared noise/gate-time models fingerprinted in `tilt-sim`), so these
+//! two types complete the QCCD backend's compile-cache key.
+
+use crate::params::QccdParams;
+use crate::spec::QccdSpec;
+use tilt_hash::{Fingerprint, Hasher};
+
+impl Fingerprint for QccdSpec {
+    fn fingerprint_into(&self, h: &mut Hasher) {
+        h.write_usize(self.n_traps()).write_usize(self.capacity());
+    }
+}
+
+impl Fingerprint for QccdParams {
+    fn fingerprint_into(&self, h: &mut Hasher) {
+        h.write_f64(self.split_quanta)
+            .write_f64(self.merge_quanta)
+            .write_f64(self.shuttle_quanta_per_segment)
+            .write_f64(self.edge_move_quanta_per_site)
+            .write_f64(self.cooling_threshold_quanta)
+            .write_f64(self.split_us)
+            .write_f64(self.merge_us)
+            .write_f64(self.shuttle_segment_us)
+            .write_f64(self.edge_move_us_per_site)
+            .write_f64(self.cooling_us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_and_params_are_content_addressed() {
+        let spec = QccdSpec::for_qubits(64, 17).unwrap();
+        assert_eq!(
+            spec.fingerprint(),
+            QccdSpec::for_qubits(64, 17).unwrap().fingerprint()
+        );
+        assert_ne!(
+            spec.fingerprint(),
+            QccdSpec::for_qubits(64, 15).unwrap().fingerprint()
+        );
+
+        let base = QccdParams::default().fingerprint();
+        assert_ne!(base, QccdParams::default().without_cooling().fingerprint());
+        let slower = QccdParams {
+            shuttle_segment_us: 120.0,
+            ..QccdParams::default()
+        };
+        assert_ne!(base, slower.fingerprint());
+    }
+}

@@ -40,6 +40,7 @@
 //! ```
 
 pub mod error;
+pub mod fingerprint;
 pub mod params;
 pub mod program;
 pub mod router;

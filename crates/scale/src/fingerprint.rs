@@ -1,0 +1,61 @@
+//! [`Fingerprint`] implementation for the ELU-array template.
+//!
+//! A [`ScaleSpec`] carries everything `compile_scaled` consults: the
+//! per-ELU geometry, the photonic-link model, and the routing/
+//! scheduling/placement policies every ELU's LinQ instance runs under
+//! — so its fingerprint (with the shared physical models from
+//! `tilt-sim`) completes the scaled backend's compile-cache key.
+
+use crate::spec::{EprModel, ScaleSpec};
+use tilt_hash::{Fingerprint, Hasher};
+
+impl Fingerprint for EprModel {
+    fn fingerprint_into(&self, h: &mut Hasher) {
+        h.write_f64(self.fidelity).write_f64(self.generation_us);
+    }
+}
+
+impl Fingerprint for ScaleSpec {
+    fn fingerprint_into(&self, h: &mut Hasher) {
+        h.write_usize(self.ions_per_elu())
+            .write_usize(self.head_size());
+        self.epr.fingerprint_into(h);
+        self.router.fingerprint_into(h);
+        self.scheduler.fingerprint_into(h);
+        self.initial_mapping.fingerprint_into(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilt_compiler::route::LinqConfig;
+    use tilt_compiler::{InitialMapping, RouterKind, SchedulerKind};
+
+    #[test]
+    fn every_policy_knob_changes_the_fingerprint() {
+        let base = ScaleSpec::new(18, 8).unwrap();
+        let variants = [
+            ScaleSpec::new(20, 8).unwrap(),
+            ScaleSpec::new(18, 6).unwrap(),
+            base.with_epr(EprModel {
+                fidelity: 0.97,
+                ..EprModel::default()
+            }),
+            base.with_epr(EprModel {
+                generation_us: 500.0,
+                ..EprModel::default()
+            }),
+            base.with_router(RouterKind::Linq(LinqConfig::with_max_swap_len(3))),
+            base.with_scheduler(SchedulerKind::NaiveNextGate),
+            base.with_initial_mapping(InitialMapping::InteractionChain),
+        ];
+        assert_eq!(
+            base.fingerprint(),
+            ScaleSpec::new(18, 8).unwrap().fingerprint()
+        );
+        for v in &variants {
+            assert_ne!(base.fingerprint(), v.fingerprint(), "{v:?}");
+        }
+    }
+}

@@ -32,6 +32,7 @@
 //! # Ok::<(), tilt_scale::ScaleError>(())
 //! ```
 
+mod fingerprint;
 mod partition;
 mod program;
 mod spec;

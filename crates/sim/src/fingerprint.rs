@@ -1,0 +1,102 @@
+//! [`Fingerprint`] implementations for the physical models.
+//!
+//! The success/timing estimators are pure functions of the compiled
+//! program and these models, so a model fingerprint plus the compile
+//! configuration pins every number in a run report — the property the
+//! engine's compile cache rests on.
+
+use crate::cooling::{CoolingPolicy, CoolingTrigger};
+use crate::exec_time::ExecTimeModel;
+use crate::gate_time::GateTimeModel;
+use crate::noise::NoiseModel;
+use tilt_hash::{Fingerprint, Hasher};
+
+impl Fingerprint for NoiseModel {
+    fn fingerprint_into(&self, h: &mut Hasher) {
+        h.write_f64(self.gamma_per_us)
+            .write_f64(self.epsilon)
+            .write_f64(self.single_qubit_error)
+            .write_f64(self.measurement_error)
+            .write_f64(self.k_base)
+            .write_f64(self.n_ref);
+    }
+}
+
+impl Fingerprint for GateTimeModel {
+    fn fingerprint_into(&self, h: &mut Hasher) {
+        h.write_f64(self.two_qubit_slope_us)
+            .write_f64(self.two_qubit_offset_us)
+            .write_f64(self.single_qubit_us)
+            .write_f64(self.measure_us);
+    }
+}
+
+impl Fingerprint for ExecTimeModel {
+    fn fingerprint_into(&self, h: &mut Hasher) {
+        h.write_f64(self.shuttle_um_per_us)
+            .write_f64(self.ion_spacing_um);
+    }
+}
+
+impl Fingerprint for CoolingPolicy {
+    fn fingerprint_into(&self, h: &mut Hasher) {
+        match self.trigger {
+            CoolingTrigger::Never => {
+                h.write_tag(1);
+            }
+            CoolingTrigger::QuantaThreshold(q) => {
+                h.write_tag(2).write_f64(q);
+            }
+            CoolingTrigger::EveryMoves(n) => {
+                h.write_tag(3).write_usize(n);
+            }
+        }
+        h.write_f64(self.cooling_us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_fingerprints_track_every_field() {
+        let base = NoiseModel::default().fingerprint();
+        let hotter = NoiseModel {
+            epsilon: 2e-4,
+            ..NoiseModel::default()
+        };
+        assert_ne!(base, hotter.fingerprint());
+        assert_eq!(base, NoiseModel::default().fingerprint());
+
+        let times = GateTimeModel::default().fingerprint();
+        let slower = GateTimeModel {
+            measure_us: 200.0,
+            ..GateTimeModel::default()
+        };
+        assert_ne!(times, slower.fingerprint());
+
+        let exec = ExecTimeModel::default().fingerprint();
+        let wider = ExecTimeModel {
+            ion_spacing_um: 6.0,
+            ..ExecTimeModel::default()
+        };
+        assert_ne!(exec, wider.fingerprint());
+    }
+
+    #[test]
+    fn cooling_policies_are_distinct() {
+        let fps = [
+            CoolingPolicy::never().fingerprint(),
+            CoolingPolicy::threshold(2.0).fingerprint(),
+            CoolingPolicy::threshold(4.0).fingerprint(),
+            CoolingPolicy::periodic(2).fingerprint(),
+            CoolingPolicy::periodic(4).fingerprint(),
+        ];
+        for i in 0..fps.len() {
+            for j in i + 1..fps.len() {
+                assert_ne!(fps[i], fps[j]);
+            }
+        }
+    }
+}

@@ -32,6 +32,7 @@
 
 pub mod cooling;
 pub mod exec_time;
+pub mod fingerprint;
 pub mod gate_time;
 pub mod ideal;
 pub mod monte_carlo;

@@ -83,8 +83,20 @@
 //! {"ok":true,"shutdown":true}
 //! ```
 //!
+//! Compilation is **content-addressed**: every result is keyed by
+//! `(circuit digest, config fingerprint)` in a shared
+//! [`CompileCache`](engine::CompileCache), so repeated circuits are
+//! served byte-identically without recompiling. The service caches by
+//! default; `--cache-dir` makes the cache survive restarts (snapshot
+//! entries are digest-verified on reload):
+//!
+//! ```text
+//! $ tilt serve --ions 64 --head 16 --cache-dir /var/cache/tilt
+//! ```
+//!
 //! See `crates/engine/README.md` for the full wire protocol (stats
-//! probes, per-request overrides, the TCP listener mode).
+//! probes, per-request overrides, `{"op":"configure"}` session
+//! rebinding, the TCP listener mode) and the cache key model.
 //!
 //! The per-pass building blocks (`Compiler`, `estimate_success`,
 //! `compile_qccd`, `compile_scaled`, …) remain available for callers
@@ -95,6 +107,7 @@ pub use tilt_benchmarks as benchmarks;
 pub use tilt_circuit as circuit;
 pub use tilt_compiler as compiler;
 pub use tilt_engine as engine;
+pub use tilt_hash as hash;
 pub use tilt_qccd as qccd;
 pub use tilt_report as report;
 pub use tilt_scale as scale;
@@ -106,7 +119,9 @@ pub mod prelude {
     pub use tilt_benchmarks::paper_suite;
     pub use tilt_circuit::{Circuit, Gate, Qubit};
     pub use tilt_compiler::{CompileOutput, Compiler, DeviceSpec, RouterKind, SchedulerKind};
-    pub use tilt_engine::{Backend, BackendKind, Engine, RunReport, Service, TiltError};
+    pub use tilt_engine::{
+        Backend, BackendKind, CompileCache, Engine, RunReport, Service, TiltError,
+    };
     pub use tilt_qccd::{compile_qccd, estimate_qccd_success, QccdParams, QccdSpec};
     pub use tilt_scale::{compile_scaled, estimate_scaled, ScaleSpec};
     pub use tilt_sim::{
