@@ -59,7 +59,7 @@ const GATING: [(&str, &str); 2] = [
 
 /// Cross-run absolute throughput, plus the engine batch ratio (which
 /// can hinge on runner core count): advisory only.
-const ADVISORY: [(&str, &str); 9] = [
+const ADVISORY: [(&str, &str); 11] = [
     ("BENCH_statevec.json", "optimized_gates_per_sec"),
     ("BENCH_statevec.json", "permutation.parallel_gates_per_sec"),
     ("BENCH_router.json", "incremental_routes_per_sec"),
@@ -69,6 +69,11 @@ const ADVISORY: [(&str, &str); 9] = [
     ("BENCH_service.json", "requests_per_sec"),
     ("BENCH_service.json", "repeat.warm_requests_per_sec"),
     ("BENCH_service.json", "repeat.warm_speedup"),
+    // Overload flood throughput (admitted work completed per second,
+    // including client backoff time). p99/shed-rate live in the same
+    // record but are lower-is-better, which this gate cannot score.
+    ("BENCH_service.json", "overload.admission.requests_per_sec"),
+    ("BENCH_service.json", "overload.open_loop.requests_per_sec"),
 ];
 
 /// One run's records, keyed by file name.

@@ -25,7 +25,10 @@
 //!   decode, windowed batch fan-out, response rendering), plus a
 //!   `repeat` record pricing the compile cache: cold vs warm
 //!   requests/sec on a duplicate-heavy stream (the acceptance floor is
-//!   a 5× warm speedup).
+//!   a 5× warm speedup), and an `overload` record driving a ~2×
+//!   capacity flood with and without admission control (p99 latency,
+//!   shed rate, and waves-to-completion for a client that honors
+//!   `retry_after_ms` with exponential backoff + jitter).
 //!
 //! Run with: `cargo run --release -p tilt-bench --bin perf`
 
@@ -341,6 +344,109 @@ fn main() {
     let cold_rps = n_cold / t_cold;
     let warm_rps = n_warm / t_warm;
 
+    // --- overload: a ~2× capacity flood, with vs without admission -------
+    // The shed/retry client the engine README documents: submit a wave,
+    // keep what was admitted, and resubmit every shed request after
+    // honoring its `retry_after_ms` hint with exponential backoff plus
+    // deterministic jitter. "Capacity" is the admission budget; the
+    // flood is twice that, and the whole flood is buffered concurrently
+    // (window = flood size), so roughly half of the first wave sheds.
+    const OVERLOAD_BUDGET: usize = 8;
+    let flood_lines: Vec<String> = (0..OVERLOAD_BUDGET * 2)
+        .map(|k| {
+            Json::object()
+                .set("id", k)
+                .set(
+                    "qasm",
+                    tilt_circuit::qasm::to_qasm(&qaoa_maxcut(16, 1, 5_000 + k as u64)),
+                )
+                .render()
+        })
+        .collect();
+    // Drives the flood to completion; returns (client wall seconds,
+    // waves, sheds observed, requests submitted, final summary).
+    let run_overload_client =
+        |mut service: Service| -> (f64, usize, u64, u64, tilt_engine::ServiceSummary) {
+            let t0 = Instant::now();
+            let mut outstanding: Vec<usize> = (0..flood_lines.len()).collect();
+            let mut attempt = 0u32;
+            let mut waves = 0usize;
+            let mut sheds = 0u64;
+            let mut submitted = 0u64;
+            let mut summary = None;
+            while !outstanding.is_empty() {
+                submitted += outstanding.len() as u64;
+                let input: String = outstanding
+                    .iter()
+                    .map(|&k| flood_lines[k].clone() + "\n")
+                    .collect();
+                let mut out = Vec::new();
+                let s = service
+                    .serve(std::io::Cursor::new(input.as_bytes()), &mut out, None)
+                    .expect("in-memory service loop cannot fail on I/O");
+                let mut retry: Vec<usize> = Vec::new();
+                let mut backoff_ms = 0u64;
+                for line in String::from_utf8(out).expect("utf-8 responses").lines() {
+                    let resp = Json::parse(line).expect("response parses");
+                    let id = resp.get("id").and_then(Json::as_f64).expect("echoed id") as usize;
+                    if resp.get("ok") == Some(&Json::Bool(true)) {
+                        continue;
+                    }
+                    let error = resp.get("error").expect("structured error");
+                    assert_eq!(
+                        error.get("kind").and_then(Json::as_str),
+                        Some("overloaded"),
+                        "the flood compiles; only admission sheds"
+                    );
+                    let hint = error
+                        .get("retry_after_ms")
+                        .and_then(Json::as_f64)
+                        .expect("overloaded responses carry retry_after_ms")
+                        as u64;
+                    // Exponential backoff on the hint plus deterministic
+                    // jitter, so a synchronized retry storm decorrelates.
+                    let jitter = (id as u64 * 13 + attempt as u64 * 7) % (hint / 2 + 1);
+                    backoff_ms = backoff_ms.max(hint * (1u64 << attempt.min(4)) + jitter);
+                    retry.push(id);
+                }
+                sheds += retry.len() as u64;
+                waves += 1;
+                summary = Some(s);
+                if !retry.is_empty() {
+                    std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
+                    attempt += 1;
+                }
+                outstanding = retry;
+            }
+            (
+                t0.elapsed().as_secs_f64(),
+                waves,
+                sheds,
+                submitted,
+                summary.expect("at least one wave"),
+            )
+        };
+    let n_flood = flood_lines.len();
+    let admission = std::sync::Arc::new(tilt_engine::AdmissionControl::new(
+        OVERLOAD_BUDGET,
+        usize::MAX,
+    ));
+    let (t_admit, admit_waves, admit_sheds, admit_submitted, admit_summary) = run_overload_client(
+        Service::new(service_builder.clone())
+            .expect("service builds")
+            .with_admission(admission)
+            .with_window(n_flood),
+    );
+    let (t_open, open_waves, open_sheds, _, open_summary) = run_overload_client(
+        Service::new(service_builder.clone())
+            .expect("service builds")
+            .with_window(n_flood),
+    );
+    assert_eq!(open_sheds, 0, "no admission control, nothing sheds");
+    assert_eq!(open_waves, 1);
+    assert_eq!(admit_summary.stats.shed_overloaded, admit_sheds);
+    let admit_shed_rate = admit_sheds as f64 / admit_submitted as f64;
+
     let service_record = Json::object()
         .set("benchmark", "service_jsonlines")
         .set("requests", n_circuits)
@@ -362,6 +468,33 @@ fn main() {
                 .set("cold_requests_per_sec", cold_rps)
                 .set("warm_requests_per_sec", warm_rps)
                 .set("warm_speedup", warm_rps / cold_rps),
+        )
+        .set(
+            "overload",
+            Json::object()
+                .set("benchmark", "service_overload_2x")
+                .set("flood_requests", n_flood)
+                .set("budget_requests", OVERLOAD_BUDGET)
+                .set(
+                    "admission",
+                    Json::object()
+                        .set("waves", admit_waves)
+                        .set("shed", admit_sheds)
+                        .set("shed_rate", admit_shed_rate)
+                        .set("p99_latency_us", admit_summary.stats.p99_us())
+                        .set("client_secs", t_admit)
+                        .set("requests_per_sec", n_flood as f64 / t_admit),
+                )
+                .set(
+                    "open_loop",
+                    Json::object()
+                        .set("waves", open_waves)
+                        .set("shed", open_sheds)
+                        .set("shed_rate", 0.0)
+                        .set("p99_latency_us", open_summary.stats.p99_us())
+                        .set("client_secs", t_open)
+                        .set("requests_per_sec", n_flood as f64 / t_open),
+                ),
         );
     std::fs::write("BENCH_service.json", service_record.render())
         .expect("write BENCH_service.json");
@@ -376,6 +509,16 @@ fn main() {
         format!("{:.0} req/s cold", cold_rps),
         format!("{:.0} req/s warm", warm_rps),
         format!("{:.2}x", warm_rps / cold_rps),
+    ]);
+    table.row([
+        "serve 2x overload".to_string(),
+        format!("p99 {} µs open", open_summary.stats.p99_us()),
+        format!(
+            "p99 {} µs, {:.0}% shed",
+            admit_summary.stats.p99_us(),
+            100.0 * admit_shed_rate
+        ),
+        format!("{admit_waves} waves"),
     ]);
 
     print!("{}", table.render());

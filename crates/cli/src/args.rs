@@ -206,6 +206,15 @@ pub struct ServeOptions {
     /// entries are reloaded at startup (with digest verification) and
     /// written back at drain. The in-memory cache runs regardless.
     pub cache_dir: Option<String>,
+    /// Admission budget: aggregate in-flight run requests across every
+    /// connection (`--max-in-flight`), 0 = unlimited. Default 1024.
+    pub max_in_flight: usize,
+    /// Admission budget: aggregate in-flight request bytes
+    /// (`--max-in-flight-bytes`), 0 = unlimited. Default 64 MiB.
+    pub max_in_flight_bytes: usize,
+    /// Deadline applied to requests that name no `deadline_ms`
+    /// (`--default-deadline-ms`), 0 = none.
+    pub default_deadline_ms: u64,
 }
 
 impl ServeOptions {
@@ -226,6 +235,9 @@ impl ServeOptions {
         let mut window = 0usize;
         let mut listen: Option<String> = None;
         let mut cache_dir: Option<String> = None;
+        let mut max_in_flight = 1024usize;
+        let mut max_in_flight_bytes = 64usize << 20;
+        let mut default_deadline_ms = 0u64;
         let mut rest: Vec<String> = vec![SYNTHETIC_TARGET.to_string()];
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -237,6 +249,18 @@ impl ServeOptions {
                 "--window" => window = parse_num(value_for("--window")?, "--window")?,
                 "--listen" => listen = Some(value_for("--listen")?.clone()),
                 "--cache-dir" => cache_dir = Some(value_for("--cache-dir")?.clone()),
+                "--max-in-flight" => {
+                    max_in_flight = parse_num(value_for("--max-in-flight")?, "--max-in-flight")?
+                }
+                "--max-in-flight-bytes" => {
+                    max_in_flight_bytes =
+                        parse_num(value_for("--max-in-flight-bytes")?, "--max-in-flight-bytes")?
+                }
+                "--default-deadline-ms" => {
+                    default_deadline_ms =
+                        parse_num(value_for("--default-deadline-ms")?, "--default-deadline-ms")?
+                            as u64
+                }
                 _ => rest.push(arg.clone()),
             }
         }
@@ -264,6 +288,9 @@ impl ServeOptions {
             window,
             listen,
             cache_dir,
+            max_in_flight,
+            max_in_flight_bytes,
+            default_deadline_ms,
         })
     }
 
@@ -345,6 +372,9 @@ mod tests {
         assert_eq!((o.ions, o.head, o.window), (64, 16, 0));
         assert_eq!(o.listen, None);
         assert_eq!(o.cache_dir, None);
+        assert_eq!(o.max_in_flight, 1024);
+        assert_eq!(o.max_in_flight_bytes, 64 << 20);
+        assert_eq!(o.default_deadline_ms, 0);
         let o = ServeOptions::parse(&v(&[
             "--ions",
             "32",
@@ -360,6 +390,12 @@ mod tests {
             "naive",
             "--cache-dir",
             "/tmp/tilt-cache",
+            "--max-in-flight",
+            "4",
+            "--max-in-flight-bytes",
+            "65536",
+            "--default-deadline-ms",
+            "250",
         ]))
         .unwrap();
         assert_eq!((o.ions, o.head, o.window), (32, 8, 16));
@@ -367,7 +403,11 @@ mod tests {
         assert_eq!(o.router, RouterChoice::Stochastic);
         assert_eq!(o.scheduler, SchedulerKind::NaiveNextGate);
         assert_eq!(o.cache_dir.as_deref(), Some("/tmp/tilt-cache"));
+        assert_eq!(o.max_in_flight, 4);
+        assert_eq!(o.max_in_flight_bytes, 65536);
+        assert_eq!(o.default_deadline_ms, 250);
         assert!(ServeOptions::parse(&v(&["--cache-dir"])).is_err());
+        assert!(ServeOptions::parse(&v(&["--max-in-flight", "many"])).is_err());
     }
 
     #[test]

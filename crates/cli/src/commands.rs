@@ -448,6 +448,67 @@ fn serve_builder(opts: &ServeOptions) -> Result<tilt_engine::EngineBuilder, Stri
         .scheduler(opts.scheduler))
 }
 
+/// Process-wide overload policy shared by every serve loop: one
+/// admission budget across all connections, one default deadline.
+#[derive(Clone, Default)]
+pub(crate) struct ServePolicy {
+    admission: Option<std::sync::Arc<tilt_engine::AdmissionControl>>,
+    default_deadline: Option<std::time::Duration>,
+}
+
+impl ServePolicy {
+    fn from_opts(opts: &ServeOptions) -> ServePolicy {
+        // 0 on either axis means "that axis unlimited"; both 0 means no
+        // admission control at all.
+        let admission = (opts.max_in_flight > 0 || opts.max_in_flight_bytes > 0).then(|| {
+            let requests = if opts.max_in_flight > 0 {
+                opts.max_in_flight
+            } else {
+                usize::MAX
+            };
+            let bytes = if opts.max_in_flight_bytes > 0 {
+                opts.max_in_flight_bytes
+            } else {
+                usize::MAX
+            };
+            std::sync::Arc::new(tilt_engine::AdmissionControl::new(requests, bytes))
+        });
+        let default_deadline = (opts.default_deadline_ms > 0)
+            .then(|| std::time::Duration::from_millis(opts.default_deadline_ms));
+        ServePolicy {
+            admission,
+            default_deadline,
+        }
+    }
+
+    fn apply(&self, mut service: tilt_engine::Service) -> tilt_engine::Service {
+        if let Some(admission) = &self.admission {
+            service = service.with_admission(std::sync::Arc::clone(admission));
+        }
+        service.with_default_deadline(self.default_deadline)
+    }
+}
+
+/// Arms the engine's fault-injection plan from `TILT_FAULT_PLAN` (only
+/// compiled in under the `faults` feature — the CI chaos smoke builds
+/// it; production builds have no seams to arm).
+#[cfg(feature = "faults")]
+fn arm_fault_plan() -> Result<(), String> {
+    let Ok(spec) = std::env::var("TILT_FAULT_PLAN") else {
+        return Ok(());
+    };
+    if spec.is_empty() {
+        return Ok(());
+    }
+    let plan = tilt_engine::faults::parse_plan(&spec)
+        .map_err(|e| format!("invalid TILT_FAULT_PLAN: {e}"))?;
+    eprintln!("tilt serve: fault plan armed: {spec}");
+    // The guard would disarm the plan on drop; the serve process keeps
+    // it for its whole life.
+    std::mem::forget(tilt_engine::faults::install(plan));
+    Ok(())
+}
+
 /// `tilt-cli serve [--ions N] [--head L] [--window W] [--listen addr]
 /// [--cache-dir DIR]`
 ///
@@ -463,6 +524,9 @@ fn serve_builder(opts: &ServeOptions) -> Result<tilt_engine::EngineBuilder, Stri
 pub fn serve(args: &[String]) -> Result<String, String> {
     let opts = ServeOptions::parse(args).map_err(|e| e.to_string())?;
     let builder = serve_builder(&opts)?;
+    #[cfg(feature = "faults")]
+    arm_fault_plan()?;
+    let policy = ServePolicy::from_opts(&opts);
     // One process-wide cache: the session engine, every per-request
     // override engine, and every TCP connection share it.
     let cache = std::sync::Arc::new(tilt_engine::CompileCache::default());
@@ -491,8 +555,23 @@ pub fn serve(args: &[String]) -> Result<String, String> {
     tilt_engine::Service::new(builder.clone()).map_err(|e| e.to_string())?;
     let flag = sigterm::install();
     let out = match &opts.listen {
-        None => serve_stdio(builder, opts.window, flag, &cache, persist.as_deref()),
-        Some(addr) => serve_tcp(builder, addr, opts.window, flag, &cache, persist.as_deref()),
+        None => serve_stdio(
+            builder,
+            opts.window,
+            policy,
+            flag,
+            &cache,
+            persist.as_deref(),
+        ),
+        Some(addr) => serve_tcp(
+            builder,
+            addr,
+            opts.window,
+            policy,
+            flag,
+            &cache,
+            persist.as_deref(),
+        ),
     }?;
     snapshot_cache(&cache, persist.as_deref());
     Ok(out)
@@ -524,15 +603,18 @@ fn snapshot_cache(cache: &tilt_engine::CompileCache, dir: Option<&std::path::Pat
 fn serve_stdio(
     builder: tilt_engine::EngineBuilder,
     window: usize,
+    policy: ServePolicy,
     flag: &'static std::sync::atomic::AtomicBool,
     cache: &tilt_engine::CompileCache,
     persist: Option<&std::path::Path>,
 ) -> Result<String, String> {
     use std::sync::atomic::Ordering;
     let worker = std::thread::spawn(move || {
-        let mut service = tilt_engine::Service::new(builder)
-            .expect("config validated before the thread spawned")
-            .with_window(window);
+        let mut service = policy.apply(
+            tilt_engine::Service::new(builder)
+                .expect("config validated before the thread spawned")
+                .with_window(window),
+        );
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();
         service
@@ -580,11 +662,14 @@ fn summary_line(summary: &tilt_engine::ServiceSummary) -> String {
     let s = &summary.stats;
     let c = &summary.cache;
     format!(
-        "tilt serve: {} responses ({} ok, {} errors), p50 {} µs, p99 {} µs, max in-flight {}, \
+        "tilt serve: {} responses ({} ok, {} errors), shed {} overloaded / {} deadline, \
+         p50 {} µs, p99 {} µs, max in-flight {}, \
          cache {}/{} hits ({:.1}%), {} entries ({:?})",
         s.served,
         s.ok,
         s.errors,
+        s.shed_overloaded,
+        s.shed_deadline,
         s.p50_us(),
         s.p99_us(),
         s.max_in_flight,
@@ -602,12 +687,15 @@ pub(crate) fn handle_connection(
     builder: tilt_engine::EngineBuilder,
     stream: std::net::TcpStream,
     window: usize,
+    policy: ServePolicy,
     flag: &'static std::sync::atomic::AtomicBool,
 ) -> Result<tilt_engine::ServiceSummary, String> {
     let reader = std::io::BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
-    let mut service = tilt_engine::Service::new(builder)
-        .map_err(|e| e.to_string())?
-        .with_window(window);
+    let mut service = policy.apply(
+        tilt_engine::Service::new(builder)
+            .map_err(|e| e.to_string())?
+            .with_window(window),
+    );
     service
         .serve(reader, stream, Some(flag))
         .map_err(|e| format!("service I/O error: {e}"))
@@ -617,6 +705,7 @@ fn serve_tcp(
     builder: tilt_engine::EngineBuilder,
     addr: &str,
     window: usize,
+    policy: ServePolicy,
     flag: &'static std::sync::atomic::AtomicBool,
     cache: &tilt_engine::CompileCache,
     persist: Option<&std::path::Path>,
@@ -649,8 +738,9 @@ fn serve_tcp(
                 stream.set_nonblocking(false).map_err(|e| e.to_string())?;
                 let clone = stream.try_clone().ok();
                 let builder = builder.clone();
+                let policy = policy.clone();
                 let handle = std::thread::spawn(move || {
-                    match handle_connection(builder, stream, window, flag) {
+                    match handle_connection(builder, stream, window, policy, flag) {
                         Ok(summary) => eprintln!("{} [{peer}]", summary_line(&summary)),
                         Err(e) => eprintln!("tilt serve: connection {peer} failed: {e}"),
                     }
@@ -930,7 +1020,7 @@ mod tests {
                 .unwrap();
         let server = std::thread::spawn(move || {
             let (stream, _) = listener.accept().unwrap();
-            handle_connection(builder, stream, 4, &FLAG).unwrap()
+            handle_connection(builder, stream, 4, ServePolicy::default(), &FLAG).unwrap()
         });
 
         let mut client = std::net::TcpStream::connect(addr).unwrap();

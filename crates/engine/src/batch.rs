@@ -105,9 +105,26 @@ impl Engine {
             slots.par_chunks_mut(1).for_each(|chunk| {
                 let slot = &mut chunk[0];
                 let circuit = slot.0.take().expect("slot filled exactly once");
-                let mut scratch = SCRATCH.with(RefCell::take);
-                slot.1 = Some(self.run_with_scratch(&circuit, &mut scratch));
-                SCRATCH.with(|s| *s.borrow_mut() = scratch);
+                // Panic isolation: a compile that panics (a compiler bug
+                // on one poisoned circuit) must cost exactly that
+                // circuit its result — not the worker, the pool, or the
+                // rest of the window. The scratch is taken and restored
+                // *inside* the unwind boundary so a mid-compile panic
+                // discards its possibly-corrupt buffers; the worker's
+                // next circuit starts from a fresh default.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut scratch = SCRATCH.with(RefCell::take);
+                    let result = self.run_with_scratch(&circuit, &mut scratch);
+                    SCRATCH.with(|s| *s.borrow_mut() = scratch);
+                    result
+                }));
+                slot.1 = Some(outcome.unwrap_or_else(|payload| {
+                    Err(TiltError::Internal {
+                        // `.as_ref()`: downcast the payload itself, not
+                        // the box holding it.
+                        message: crate::error::panic_message(payload.as_ref()),
+                    })
+                }));
             });
             for (_, report) in slots {
                 sink(next_index, report.expect("window fully processed"));
@@ -157,6 +174,32 @@ mod tests {
         assert!(reports[0].is_ok());
         assert!(matches!(reports[1], Err(TiltError::Compile(_))));
         assert!(reports[2].is_ok());
+    }
+
+    #[test]
+    fn a_panicking_compile_is_isolated_to_its_slot() {
+        // Width 37 is used by no other test in this crate, so the armed
+        // plan cannot interfere with concurrently running tests.
+        let guard = crate::faults::install(crate::faults::FaultPlan {
+            panic_on_width: Some(37),
+            ..Default::default()
+        });
+        let engine = Engine::tilt(DeviceSpec::new(40, 4).unwrap());
+        let circuits = vec![chain(8, 1), chain(37, 2), chain(8, 3)];
+        let reports = engine.run_batch(circuits);
+        assert!(reports[0].is_ok(), "{:?}", reports[0]);
+        assert!(
+            matches!(&reports[1], Err(TiltError::Internal { message })
+                if message.contains("injected fault")),
+            "{:?}",
+            reports[1]
+        );
+        assert!(reports[2].is_ok(), "pool and window survive the panic");
+        drop(guard);
+        // The worker whose scratch was discarded mid-panic still
+        // compiles correctly afterwards.
+        let again = engine.run_batch(vec![chain(37, 2)]);
+        assert!(again[0].is_ok());
     }
 
     #[test]

@@ -56,7 +56,7 @@ use crate::report::{BackendKind, RunReport};
 use std::collections::{BTreeMap, HashMap};
 use std::io;
 use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use tilt_circuit::Circuit;
 use tilt_hash::{Digest, Fingerprint, Hasher};
 use tilt_report::Json;
@@ -350,6 +350,16 @@ impl CompileCache {
         self.capacity
     }
 
+    /// The state lock, recovering from poison. A batch worker that
+    /// panics mid-insert (compiles can panic; see the fault harness)
+    /// must not brick the cache for every future request: all state
+    /// mutations under this lock are scoped so a mid-update panic at
+    /// worst loses or double-counts one entry, never corrupts the
+    /// map/order invariants observed by later calls.
+    fn state(&self) -> MutexGuard<'_, CacheState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// The circuit half of this cache's keys: the circuit's structural
     /// content hashed under the cache's random salt. Salting makes
     /// engineered digest collisions infeasible for remote clients (FNV
@@ -357,7 +367,7 @@ impl CompileCache {
     /// one cache is all the key needs, and [`CompileCache::load`]
     /// restores the salt a snapshot's keys were computed under.
     pub fn circuit_key(&self, circuit: &Circuit) -> Digest {
-        let salt = self.state.lock().expect("cache lock").salt;
+        let salt = self.state().salt;
         let mut h = Hasher::keyed(salt);
         circuit.fingerprint_into(&mut h);
         h.digest()
@@ -365,7 +375,7 @@ impl CompileCache {
 
     /// Current counters.
     pub fn counters(&self) -> CacheCounters {
-        let state = self.state.lock().expect("cache lock");
+        let state = self.state();
         CacheCounters {
             hits: state.hits,
             misses: state.misses,
@@ -379,7 +389,7 @@ impl CompileCache {
     /// wire-only entry counts as a miss — the compile it triggers
     /// upgrades the entry in place).
     pub(crate) fn get_full(&self, key: CacheKey) -> Option<Arc<CacheEntry>> {
-        let mut state = self.state.lock().expect("cache lock");
+        let mut state = self.state();
         match state.map.get(&key) {
             Some(slot) if slot.entry.full.is_some() => {
                 let entry = Arc::clone(&slot.entry);
@@ -399,7 +409,7 @@ impl CompileCache {
     /// falls through to the engine, whose own lookup counts the miss
     /// exactly once.
     pub(crate) fn get_wire(&self, key: CacheKey) -> Option<Arc<CacheEntry>> {
-        let mut state = self.state.lock().expect("cache lock");
+        let mut state = self.state();
         let slot = state.map.get(&key)?;
         let entry = Arc::clone(&slot.entry);
         state.hits += 1;
@@ -411,11 +421,15 @@ impl CompileCache {
     /// entries while either bound (entry count, payload bytes) is
     /// exceeded.
     pub(crate) fn insert(&self, key: CacheKey, entry: CacheEntry) {
-        let mut state = self.state.lock().expect("cache lock");
+        let mut state = self.state();
         self.insert_locked(&mut state, key, Arc::new(entry));
     }
 
     fn insert_locked(&self, state: &mut CacheState, key: CacheKey, entry: Arc<CacheEntry>) {
+        // The injected panic fires before any mutation, so a poisoned
+        // lock is the only damage the recovery path has to absorb.
+        #[cfg(any(test, feature = "faults"))]
+        crate::faults::cache_insert_seam();
         let bytes = approx_entry_bytes(&entry);
         if bytes > self.max_bytes {
             // An entry bigger than the whole budget is served fresh
@@ -459,6 +473,11 @@ impl CompileCache {
     /// Entries with non-finite estimates are skipped (JSON cannot
     /// round-trip them). Returns the number of entries written.
     ///
+    /// The snapshot is replaced **atomically**: the text is written to
+    /// `compile-cache.jsonl.tmp` and renamed over the live file, so a
+    /// crash or SIGTERM mid-save leaves the previous snapshot intact
+    /// rather than truncated in place.
+    ///
     /// # Errors
     ///
     /// Propagates filesystem errors (unwritable directory, full disk).
@@ -467,7 +486,7 @@ impl CompileCache {
         let mut text = String::new();
         let mut written = 0usize;
         {
-            let state = self.state.lock().expect("cache lock");
+            let state = self.state();
             // Header: the salt the entry keys below were computed
             // under. Local to this snapshot — a reader of the file
             // could already forge whole entries, so persisting the
@@ -512,7 +531,11 @@ impl CompileCache {
                 written += 1;
             }
         }
-        std::fs::write(dir.join(SNAPSHOT_FILE), text)?;
+        let tmp = dir.join(format!("{SNAPSHOT_FILE}.tmp"));
+        #[cfg(any(test, feature = "faults"))]
+        crate::faults::snapshot_save_seam(&tmp, &mut text)?;
+        std::fs::write(&tmp, text)?;
+        std::fs::rename(&tmp, dir.join(SNAPSHOT_FILE))?;
         Ok(written)
     }
 
@@ -536,7 +559,7 @@ impl CompileCache {
             Err(e) => return Err(e),
         };
         let mut lines = text.lines().filter(|l| !l.trim().is_empty());
-        let mut state = self.state.lock().expect("cache lock");
+        let mut state = self.state();
         match lines.next().and_then(parse_snapshot_header) {
             Some(salt) => state.salt = salt,
             None => return Ok((0, text.lines().filter(|l| !l.trim().is_empty()).count())),
@@ -827,6 +850,45 @@ mod tests {
         let c = cache.counters();
         assert!(cache.get_wire(key(9)).is_none());
         assert_eq!(c.entries, 2, "residents survive an oversized insert");
+    }
+
+    #[test]
+    fn poisoned_lock_is_recovered_not_fatal() {
+        let cache = Arc::new(CompileCache::new(4));
+        cache.insert(key(1), entry(1));
+        // Genuinely poison the mutex: a thread panics while holding it.
+        let poisoner = Arc::clone(&cache);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.state.lock().unwrap();
+            panic!("poisoning the cache lock");
+        })
+        .join();
+        assert!(
+            cache.state.lock().is_err(),
+            "lock must actually be poisoned"
+        );
+        // Every operation recovers instead of bricking the cache.
+        assert!(cache.get_wire(key(1)).is_some());
+        cache.insert(key(2), entry(2));
+        assert_eq!(cache.counters().entries, 2);
+        assert!(cache.get_full(key(2)).is_none(), "wire-only entry");
+        let dir = std::env::temp_dir().join(format!("tilt-cache-poison-{}", std::process::id()));
+        assert_eq!(cache.save(&dir).unwrap(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_replaces_the_snapshot_atomically() {
+        let dir = std::env::temp_dir().join(format!("tilt-cache-atomic-{}", std::process::id()));
+        let cache = CompileCache::new(8);
+        cache.insert(key(1), entry(1));
+        cache.save(&dir).unwrap();
+        // No temporary file survives a successful save, and the live
+        // file is complete.
+        assert!(!dir.join(format!("{SNAPSHOT_FILE}.tmp")).exists());
+        let restored = CompileCache::new(8);
+        assert_eq!(restored.load(&dir).unwrap(), (1, 0));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

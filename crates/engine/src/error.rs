@@ -29,6 +29,14 @@ pub enum TiltError {
         /// Human-readable description of the problem.
         reason: String,
     },
+    /// A compile or simulate panicked inside a batch worker and was
+    /// caught at the isolation boundary. The request that carried the
+    /// poisoned circuit fails; the pool, the window, and every other
+    /// in-flight request survive.
+    Internal {
+        /// The panic payload (when it was a string) or a placeholder.
+        message: String,
+    },
 }
 
 impl fmt::Display for TiltError {
@@ -38,6 +46,7 @@ impl fmt::Display for TiltError {
             TiltError::Qccd(e) => write!(f, "QCCD error: {e}"),
             TiltError::Scale(e) => write!(f, "ELU-array error: {e}"),
             TiltError::Config { reason } => write!(f, "engine configuration error: {reason}"),
+            TiltError::Internal { message } => write!(f, "internal error: {message}"),
         }
     }
 }
@@ -48,8 +57,20 @@ impl Error for TiltError {
             TiltError::Compile(e) => Some(e),
             TiltError::Qccd(e) => Some(e),
             TiltError::Scale(e) => Some(e),
-            TiltError::Config { .. } => None,
+            TiltError::Config { .. } | TiltError::Internal { .. } => None,
         }
+    }
+}
+
+/// Renders a caught panic payload for [`TiltError::Internal`]: the
+/// panic message when it was a string, a placeholder otherwise.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with a non-string payload".to_string()
     }
 }
 

@@ -41,13 +41,17 @@
 //! # Ok::<(), tilt_engine::TiltError>(())
 //! ```
 
+pub mod admission;
 pub mod cache;
 pub mod error;
+#[cfg(any(test, feature = "faults"))]
+pub mod faults;
 pub mod report;
 pub mod service;
 
 mod batch;
 
+pub use admission::{AdmissionControl, AdmissionCounters, AdmissionPermit};
 pub use cache::{CacheCounters, CacheKey, CompileCache, WireReport, DEFAULT_CACHE_CAPACITY};
 pub use error::TiltError;
 pub use report::{BackendKind, CompileStats, RunDetail, RunReport};
@@ -480,6 +484,8 @@ impl Engine {
         circuit: &Circuit,
         scratch: &mut EngineScratch,
     ) -> Result<RunReport, TiltError> {
+        #[cfg(any(test, feature = "faults"))]
+        crate::faults::before_compile(circuit.n_qubits());
         match &self.backend {
             Backend::Tilt(_) => self.run_tilt(circuit, scratch),
             Backend::Qccd(spec) => self.run_qccd(circuit, *spec, scratch),

@@ -28,6 +28,12 @@
 //! * `id` (optional) — any JSON value, echoed back verbatim.
 //! * `emit_program` (optional bool) — include the scheduled TILT
 //!   program text in the response.
+//! * `deadline_ms` (optional number) — the request is worthless after
+//!   this many milliseconds: if it is still queued when the deadline
+//!   passes it is shed with kind `deadline_exceeded` **without
+//!   compiling** (checked at enqueue and again at window dequeue). The
+//!   CLI's `--default-deadline-ms` supplies a default for requests that
+//!   name none.
 //! * Per-request **overrides** (each optional; present ⇒ the request
 //!   compiles through its own one-off engine instead of the shared
 //!   session): `backend` (`"tilt"|"qccd"|"scaled"`), `ions` (tilt
@@ -40,9 +46,25 @@
 //!   `measurement_error`, `k_base`, `n_ref`).
 //!
 //! Every failure — malformed JSON, QASM parse error, a circuit wider
-//! than the backend, an unknown backend name, a compile error — yields
-//! a structured `{"id":...,"ok":false,"error":"..."}` response on its
-//! line and **never kills the loop**.
+//! than the backend, an unknown backend name, a compile error, a shed
+//! request — yields a structured
+//! `{"id":...,"ok":false,"error":{"kind":...,"message":...}}` response
+//! on its line and **never kills the loop**. The `kind` taxonomy:
+//! `invalid_request` (the line never became a compilable request),
+//! `compile` (the backend rejected the circuit), `overloaded` (shed by
+//! admission control; carries `retry_after_ms`), `deadline_exceeded`
+//! (shed by its deadline), and `internal` (a panic caught at the batch
+//! isolation boundary — the request is lost, the service is not).
+//!
+//! # Admission control
+//!
+//! An optional [`AdmissionControl`] (shared across every loop the CLI
+//! runs — stdio or all TCP connections together) bounds aggregate
+//! in-flight requests and bytes. A run request that would exceed the
+//! budget is **shed immediately** with kind `overloaded` and a
+//! `retry_after_ms` backoff hint instead of queuing unboundedly;
+//! everything already admitted completes. Shed counts surface in
+//! `{"op":"stats"}` and the exit summary.
 //!
 //! # Session reconfiguration
 //!
@@ -97,13 +119,14 @@
 //! exits directly: a blocked loop has, by the flush-before-blocking
 //! rule, nothing buffered to lose).
 
+use crate::admission::{AdmissionControl, AdmissionPermit};
 use crate::cache::{CacheCounters, CacheKey, CompileCache, WireReport};
 use crate::{Backend, Engine, EngineBuilder, RunReport, TiltError};
 use std::collections::HashMap;
 use std::io::{self, BufRead, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use tilt_circuit::{qasm, Circuit, Gate};
 use tilt_compiler::route::{LinqConfig, StochasticConfig};
 use tilt_compiler::{DeviceSpec, RouterKind, SchedulerKind};
@@ -188,8 +211,13 @@ pub struct ServiceStats {
     pub served: u64,
     /// Successful circuit responses.
     pub ok: u64,
-    /// Error responses (parse failures and compile failures).
+    /// Error responses (parse failures, compile failures, and shed
+    /// requests — the shed counters below break those out).
     pub errors: u64,
+    /// Requests shed by admission control (kind `overloaded`).
+    pub shed_overloaded: u64,
+    /// Requests shed by their deadline (kind `deadline_exceeded`).
+    pub shed_deadline: u64,
     /// High-water mark of buffered requests — bounded by the window.
     pub max_in_flight: usize,
     latency: LatencyHistogram,
@@ -202,6 +230,8 @@ impl ServiceStats {
             served: 0,
             ok: 0,
             errors: 0,
+            shed_overloaded: 0,
+            shed_deadline: 0,
             max_in_flight: 0,
             latency: LatencyHistogram::new(),
         }
@@ -241,6 +271,12 @@ impl ServiceStats {
             .set("max_in_flight", self.max_in_flight)
             .set("p50_latency_us", self.p50_us())
             .set("p99_latency_us", self.p99_us())
+            .set(
+                "shed",
+                Json::object()
+                    .set("overloaded", self.shed_overloaded)
+                    .set("deadline", self.shed_deadline),
+            )
             .set(
                 "cache",
                 Json::object()
@@ -334,6 +370,28 @@ struct RunItem {
     digest: Digest,
     emit_program: bool,
     enqueued: Instant,
+    /// When the request stops being worth compiling (`deadline_ms`
+    /// or the service default). Checked at enqueue and at dequeue.
+    deadline: Option<Instant>,
+    /// The admission slot this request occupies, released when the item
+    /// drops (its response written, or the request shed at dequeue).
+    /// `None` when the service runs without admission control.
+    permit: Option<AdmissionPermit>,
+}
+
+impl RunItem {
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
+    }
+}
+
+/// One entry of the buffered window: either a run awaiting its compile,
+/// or a response already decided at enqueue time (shed by admission or
+/// by an already-expired deadline) that still must emit **at its
+/// submission position** when the window flushes.
+enum PendingItem {
+    Run(RunItem),
+    Resolved { enqueued: Instant, response: Json },
 }
 
 /// What one input line asks for.
@@ -355,9 +413,17 @@ enum Request {
     /// The line could not become a run: respond with this error object.
     Bad {
         id: Json,
+        kind: &'static str,
         error: String,
     },
 }
+
+/// Wire error kinds (see the module docs for the taxonomy).
+const KIND_INVALID_REQUEST: &str = "invalid_request";
+const KIND_COMPILE: &str = "compile";
+const KIND_OVERLOADED: &str = "overloaded";
+const KIND_DEADLINE: &str = "deadline_exceeded";
+const KIND_INTERNAL: &str = "internal";
 
 /// A persistent compile/estimation service around one [`Engine`]
 /// session.
@@ -377,6 +443,11 @@ pub struct Service {
     cache: Arc<CompileCache>,
     /// Per-loop memo of parsed QASM payloads (see [`ParseMemo`]).
     parse_memo: ParseMemo,
+    /// Shared admission budget; `None` admits everything (the default,
+    /// matching the pre-admission protocol exactly).
+    admission: Option<Arc<AdmissionControl>>,
+    /// Deadline applied to run requests that name no `deadline_ms`.
+    default_deadline: Option<Duration>,
 }
 
 impl Service {
@@ -411,7 +482,25 @@ impl Service {
             stats: ServiceStats::new(),
             cache,
             parse_memo: ParseMemo::default(),
+            admission: None,
+            default_deadline: None,
         })
+    }
+
+    /// Shares an [`AdmissionControl`] with this loop: run requests past
+    /// the in-flight budget are shed with kind `overloaded` instead of
+    /// queuing. The CLI hands every connection the same instance so the
+    /// budget is global, not per-socket.
+    pub fn with_admission(mut self, admission: Arc<AdmissionControl>) -> Service {
+        self.admission = Some(admission);
+        self
+    }
+
+    /// Applies `deadline` to every run request that names no
+    /// `deadline_ms` of its own (`None` restores "no default").
+    pub fn with_default_deadline(mut self, deadline: Option<Duration>) -> Service {
+        self.default_deadline = deadline;
+        self
     }
 
     /// Caps the in-flight request window (`0` restores the default,
@@ -456,7 +545,7 @@ impl Service {
         mut output: W,
         shutdown: Option<&AtomicBool>,
     ) -> io::Result<ServiceSummary> {
-        let mut pending: Vec<RunItem> = Vec::new();
+        let mut pending: Vec<PendingItem> = Vec::new();
         let mut cause = ShutdownCause::Eof;
         // Bytes read but not yet consumed as complete lines; `scanned`
         // marks how far the newline search has looked, so a torn line
@@ -494,7 +583,11 @@ impl Service {
                 self.flush(&mut pending, &mut output)?;
                 self.stats.record(0, false);
                 let error = format!("request line exceeds the {MAX_LINE_BYTES}-byte limit");
-                writeln!(output, "{}", error_json(&Json::Null, &error).render())?;
+                writeln!(
+                    output,
+                    "{}",
+                    error_json(&Json::Null, KIND_INVALID_REQUEST, &error).render()
+                )?;
                 output.flush()?;
                 acc.clear();
                 scanned = 0;
@@ -551,35 +644,72 @@ impl Service {
     fn handle_line<W: Write>(
         &mut self,
         line: &str,
-        pending: &mut Vec<RunItem>,
+        pending: &mut Vec<PendingItem>,
         output: &mut W,
     ) -> io::Result<bool> {
         if line.is_empty() {
             return Ok(false);
         }
         match self.parse_request(line) {
-            Request::Run(item) => {
+            Request::Run(mut item) => {
+                // An already-dead request is shed before anything else —
+                // not even a cache hit resurrects it; the contract is
+                // "expired ⇒ `deadline_exceeded`", unconditionally.
+                if item.expired(Instant::now()) {
+                    self.stats.shed_deadline += 1;
+                    pending.push(PendingItem::Resolved {
+                        enqueued: item.enqueued,
+                        response: deadline_json(&item.id),
+                    });
+                    self.after_enqueue(pending, output)?;
+                    return Ok(false);
+                }
                 // Cache probe: a previously seen (circuit, config) pair
                 // answers immediately — after a flush, so submission
                 // order survives. On an all-hits stream the window
-                // stays empty and this is the whole hot path.
+                // stays empty and this is the whole hot path. Hits
+                // bypass admission: they hold no compile slot.
                 if let Some(resp) = self.cached_response(&item, self.engine.config_fingerprint()) {
                     self.flush(pending, output)?;
                     self.stats
                         .record(item.enqueued.elapsed().as_micros() as u64, true);
                     writeln!(output, "{}", resp.render())?;
                     output.flush()?;
-                } else {
-                    pending.push(*item);
-                    self.stats.max_in_flight = self.stats.max_in_flight.max(pending.len());
-                    if pending.len() >= self.window {
-                        self.flush(pending, output)?;
+                    return Ok(false);
+                }
+                // Admission: a compile must fit the shared in-flight
+                // budget or be shed *now* — queuing it anyway is how a
+                // flood turns into unbounded latency for everyone.
+                if let Some(admission) = &self.admission {
+                    match admission.try_admit(line.len()) {
+                        Ok(permit) => item.permit = Some(permit),
+                        Err(retry_after_ms) => {
+                            self.stats.shed_overloaded += 1;
+                            pending.push(PendingItem::Resolved {
+                                enqueued: item.enqueued,
+                                response: overloaded_json(&item.id, retry_after_ms),
+                            });
+                            self.after_enqueue(pending, output)?;
+                            return Ok(false);
+                        }
                     }
                 }
+                pending.push(PendingItem::Run(*item));
+                self.after_enqueue(pending, output)?;
             }
             Request::RunOverride(item, engine) => {
                 // Preserve submission order around the one-off run.
                 self.flush(pending, output)?;
+                if item.expired(Instant::now()) {
+                    // Same deadline contract as the windowed path; the
+                    // one-off engine is dropped unused.
+                    self.stats.shed_deadline += 1;
+                    self.stats
+                        .record(item.enqueued.elapsed().as_micros() as u64, false);
+                    writeln!(output, "{}", deadline_json(&item.id).render())?;
+                    output.flush()?;
+                    return Ok(false);
+                }
                 // Overrides key the cache under *their* overlaid
                 // config's fingerprint, so distinct override sessions
                 // cache independently (and never collide with the
@@ -594,7 +724,17 @@ impl Service {
                         .circuit
                         .take()
                         .expect("override items carry their circuit");
-                    let result = engine.run(circuit.as_ref());
+                    // The same isolation boundary as the batch workers:
+                    // a panicking override compile costs its request,
+                    // not the loop.
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        engine.run(circuit.as_ref())
+                    }))
+                    .unwrap_or_else(|payload| {
+                        Err(TiltError::Internal {
+                            message: crate::error::panic_message(payload.as_ref()),
+                        })
+                    });
                     self.respond(&item, result, output)?;
                 }
                 output.flush()?;
@@ -630,14 +770,28 @@ impl Service {
                 output.flush()?;
                 return Ok(true);
             }
-            Request::Bad { id, error } => {
+            Request::Bad { id, kind, error } => {
                 self.flush(pending, output)?;
                 self.stats.record(0, false);
-                writeln!(output, "{}", error_json(&id, &error).render())?;
+                writeln!(output, "{}", error_json(&id, kind, &error).render())?;
                 output.flush()?;
             }
         }
         Ok(false)
+    }
+
+    /// Post-enqueue bookkeeping shared by admitted and pre-resolved
+    /// entries: track the high-water mark, flush a full window.
+    fn after_enqueue<W: Write>(
+        &mut self,
+        pending: &mut Vec<PendingItem>,
+        output: &mut W,
+    ) -> io::Result<()> {
+        self.stats.max_in_flight = self.stats.max_in_flight.max(pending.len());
+        if pending.len() >= self.window {
+            self.flush(pending, output)?;
+        }
+        Ok(())
     }
 
     /// Runs the buffered window through the shared session and writes
@@ -651,26 +805,57 @@ impl Service {
     /// leader's insert lands (a genuine hit), so a duplicate pair
     /// always accounts as exactly one miss plus one hit, regardless of
     /// worker count.
-    fn flush<W: Write>(&mut self, pending: &mut Vec<RunItem>, output: &mut W) -> io::Result<()> {
+    ///
+    /// Pre-resolved entries (shed at enqueue) and runs whose deadline
+    /// expired while queued emit their error responses interleaved at
+    /// their submission positions — an expired run is shed **here,
+    /// before compiling**, and its admission permit is released with
+    /// the window.
+    fn flush<W: Write>(
+        &mut self,
+        pending: &mut Vec<PendingItem>,
+        output: &mut W,
+    ) -> io::Result<()> {
         if pending.is_empty() {
             return Ok(());
         }
         let mut items = std::mem::take(pending);
-        // Per item: the slot its result lives in; per slot: the leader
-        // item index (the first occurrence of that circuit digest).
-        let mut slot_of_item: Vec<usize> = Vec::with_capacity(items.len());
+        // Per item: either the slot its compile result lives in, or the
+        // response it already owns; per slot: the leader item index
+        // (the first occurrence of that circuit digest).
+        enum Lane {
+            Slot(usize),
+            Resolved(Json),
+        }
+        let mut lane: Vec<Lane> = Vec::with_capacity(items.len());
         let mut leader_of_slot: Vec<usize> = Vec::new();
         let mut slot_of_digest: HashMap<Digest, usize> = HashMap::new();
         let mut circuits: Vec<Circuit> = Vec::new();
-        for (i, item) in items.iter_mut().enumerate() {
+        let now = Instant::now();
+        for (i, entry) in items.iter_mut().enumerate() {
+            let item = match entry {
+                PendingItem::Resolved { response, .. } => {
+                    lane.push(Lane::Resolved(std::mem::replace(response, Json::Null)));
+                    continue;
+                }
+                PendingItem::Run(item) => item,
+            };
+            if item.expired(now) {
+                // Dequeue-time deadline check: the compile never runs.
+                self.stats.shed_deadline += 1;
+                item.circuit = None;
+                item.permit = None;
+                lane.push(Lane::Resolved(deadline_json(&item.id)));
+                continue;
+            }
             let arc = item.circuit.take().expect("each item is flushed once");
             match slot_of_digest.entry(item.digest) {
                 std::collections::hash_map::Entry::Occupied(slot) => {
-                    slot_of_item.push(*slot.get());
+                    lane.push(Lane::Slot(*slot.get()));
                 }
                 std::collections::hash_map::Entry::Vacant(v) => {
                     v.insert(circuits.len());
-                    slot_of_item.push(circuits.len());
+                    lane.push(Lane::Slot(circuits.len()));
                     leader_of_slot.push(i);
                     // Unshared payloads (memo since cleared) move for
                     // free; shared ones clone only here, on an actual
@@ -684,54 +869,86 @@ impl Service {
         let config = self.engine.config_fingerprint();
         let mut io_err: Option<io::Error> = None;
         let mut next = 0usize;
-        // Split borrows: the closure mutates stats and output while the
+        // Split borrows: the emitter mutates stats and output while the
         // engine fans out the window. Responses stream as they become
         // writable: slot results arrive in submission order, and a
         // follower's leader always precedes it, so the write pointer
         // `next` only ever waits on the slot that just completed — no
-        // response is held back for a later compile.
+        // response is held back for a later compile. Resolved lanes are
+        // always writable and interleave at their positions.
         let (engine, stats, cache) = (&self.engine, &mut self.stats, &self.cache);
-        engine.run_batch_streaming(circuits, |slot, result| {
-            results[slot] = Some(result);
-            if io_err.is_some() {
-                return;
-            }
-            while next < items.len() {
-                let s = slot_of_item[next];
-                let Some(result) = results[s].as_ref() else {
-                    break;
-                };
-                let item = &items[next];
-                let (resp, ok) = if leader_of_slot[s] == next {
-                    (
-                        run_response(&item.id, result, item.emit_program),
-                        result.is_ok(),
-                    )
-                } else {
-                    // Follower: the leader's insert has landed, so this
-                    // is a real cache lookup (and counts as such); the
-                    // leader's result backstops an errored or instantly
-                    // evicted entry.
-                    match cached_wire_response(cache, item, config) {
-                        Some(resp) => (resp, true),
-                        None => (
-                            run_response(&item.id, result, item.emit_program),
-                            result.is_ok(),
-                        ),
+        let emit_ready = |results: &[Option<Result<RunReport, TiltError>>],
+                          next: &mut usize,
+                          stats: &mut ServiceStats,
+                          output: &mut W,
+                          io_err: &mut Option<io::Error>| {
+            while *next < items.len() {
+                let enqueued;
+                let (resp, ok) = match &lane[*next] {
+                    Lane::Resolved(resp) => {
+                        enqueued = match &items[*next] {
+                            PendingItem::Resolved { enqueued, .. } => *enqueued,
+                            PendingItem::Run(item) => item.enqueued,
+                        };
+                        (resp.clone(), false)
+                    }
+                    Lane::Slot(s) => {
+                        let Some(result) = results[*s].as_ref() else {
+                            break;
+                        };
+                        let PendingItem::Run(item) = &items[*next] else {
+                            unreachable!("slot lanes always hold run items");
+                        };
+                        enqueued = item.enqueued;
+                        if leader_of_slot[*s] == *next {
+                            (
+                                run_response(&item.id, result, item.emit_program),
+                                result.is_ok(),
+                            )
+                        } else {
+                            // Follower: the leader's insert has landed,
+                            // so this is a real cache lookup (and counts
+                            // as such); the leader's result backstops an
+                            // errored or instantly evicted entry.
+                            match cached_wire_response(cache, item, config) {
+                                Some(resp) => (resp, true),
+                                None => (
+                                    run_response(&item.id, result, item.emit_program),
+                                    result.is_ok(),
+                                ),
+                            }
+                        }
                     }
                 };
-                stats.record(item.enqueued.elapsed().as_micros() as u64, ok);
+                stats.record(enqueued.elapsed().as_micros() as u64, ok);
                 if let Err(e) = writeln!(output, "{}", resp.render()) {
-                    io_err = Some(e);
+                    *io_err = Some(e);
                     return;
                 }
-                next += 1;
+                *next += 1;
             }
-        });
+        };
+        if !circuits.is_empty() {
+            engine.run_batch_streaming(circuits, |slot, result| {
+                results[slot] = Some(result);
+                if io_err.is_none() {
+                    emit_ready(&results, &mut next, &mut *stats, &mut *output, &mut io_err);
+                }
+            });
+        }
+        // Drain the tail: trailing resolved lanes after the last slot
+        // (and the whole window when every entry was pre-resolved — the
+        // batch never fires its sink for an empty circuit list).
+        if io_err.is_none() {
+            emit_ready(&results, &mut next, &mut *stats, &mut *output, &mut io_err);
+        }
         if let Some(e) = io_err {
             return Err(e);
         }
         debug_assert_eq!(next, items.len(), "every buffered item was answered");
+        // `items` drops here, releasing every admission permit the
+        // window held — after all its responses are on the wire.
+        drop(items);
         output.flush()
     }
 
@@ -765,12 +982,14 @@ impl Service {
             Ok(_) => {
                 return Request::Bad {
                     id: Json::Null,
+                    kind: KIND_INVALID_REQUEST,
                     error: "request must be a JSON object".into(),
                 }
             }
             Err(e) => {
                 return Request::Bad {
                     id: Json::Null,
+                    kind: KIND_INVALID_REQUEST,
                     error: format!("malformed request: {e}"),
                 }
             }
@@ -778,6 +997,7 @@ impl Service {
         let id = obj.get("id").cloned().unwrap_or(Json::Null);
         let bad = |error: String| Request::Bad {
             id: id.clone(),
+            kind: KIND_INVALID_REQUEST,
             error,
         };
 
@@ -838,6 +1058,18 @@ impl Service {
             }
         };
         let emit_program = matches!(obj.get("emit_program"), Some(Json::Bool(true)));
+        let deadline = match obj.get("deadline_ms") {
+            None => self.default_deadline.and_then(|d| enqueued.checked_add(d)),
+            Some(v) => match v.as_f64() {
+                Some(ms) if ms.is_finite() && ms >= 0.0 => {
+                    // A deadline past the representable future is no
+                    // deadline at all — saturate instead of panicking.
+                    let us = (ms * 1000.0).min(u64::MAX as f64) as u64;
+                    enqueued.checked_add(Duration::from_micros(us))
+                }
+                _ => return bad("`deadline_ms` must be a non-negative number".into()),
+            },
+        };
         let engine = match self.override_builder(&obj, Some(circuit.as_ref())) {
             Ok(None) => None,
             Ok(Some(builder)) => match builder.build() {
@@ -852,6 +1084,8 @@ impl Service {
             circuit: Some(circuit),
             emit_program,
             enqueued,
+            deadline,
+            permit: None,
         });
         match engine {
             None => Request::Run(item),
@@ -1113,7 +1347,13 @@ fn cached_wire_response(cache: &CompileCache, item: &RunItem, config: Digest) ->
 /// cached responses are byte-identical by construction.
 fn run_response(id: &Json, result: &Result<RunReport, TiltError>, emit_program: bool) -> Json {
     match result {
-        Err(e) => error_json(id, &e.to_string()),
+        Err(e) => {
+            let kind = match e {
+                TiltError::Internal { .. } => KIND_INTERNAL,
+                _ => KIND_COMPILE,
+            };
+            error_json(id, kind, &e.to_string())
+        }
         Ok(report) => {
             let mut wire = WireReport::of(report);
             if emit_program {
@@ -1124,11 +1364,30 @@ fn run_response(id: &Json, result: &Result<RunReport, TiltError>, emit_program: 
     }
 }
 
-fn error_json(id: &Json, error: &str) -> Json {
-    Json::object()
-        .set("id", id.clone())
-        .set("ok", false)
-        .set("error", error)
+/// The structured error object every failure line carries:
+/// `{"id":...,"ok":false,"error":{"kind":...,"message":...}}`.
+fn error_json(id: &Json, kind: &str, message: &str) -> Json {
+    Json::object().set("id", id.clone()).set("ok", false).set(
+        "error",
+        Json::object().set("kind", kind).set("message", message),
+    )
+}
+
+/// The load-shed response: `overloaded` plus the backoff hint clients
+/// should sleep (with jitter) before retrying.
+fn overloaded_json(id: &Json, retry_after_ms: u64) -> Json {
+    Json::object().set("id", id.clone()).set("ok", false).set(
+        "error",
+        Json::object()
+            .set("kind", KIND_OVERLOADED)
+            .set("message", "shed by admission control; back off and retry")
+            .set("retry_after_ms", retry_after_ms),
+    )
+}
+
+/// The deadline-shed response: the request expired before compiling.
+fn deadline_json(id: &Json) -> Json {
+    error_json(id, KIND_DEADLINE, "deadline expired before compilation")
 }
 
 #[cfg(test)]
@@ -1158,6 +1417,24 @@ mod tests {
         resp.get("ok") == Some(&Json::Bool(true))
     }
 
+    fn err_kind(resp: &Json) -> &str {
+        resp.get("error")
+            .expect("error responses carry an error object")
+            .get("kind")
+            .expect("error objects carry a kind")
+            .as_str()
+            .unwrap()
+    }
+
+    fn err_msg(resp: &Json) -> &str {
+        resp.get("error")
+            .expect("error responses carry an error object")
+            .get("message")
+            .expect("error objects carry a message")
+            .as_str()
+            .unwrap()
+    }
+
     #[test]
     fn run_request_round_trips() {
         let mut s = tilt_service(8, 4);
@@ -1182,12 +1459,8 @@ mod tests {
         let (resps, summary) = drive(&mut s, input);
         assert_eq!(resps.len(), 2);
         assert!(!ok(&resps[0]));
-        assert!(resps[0]
-            .get("error")
-            .unwrap()
-            .as_str()
-            .unwrap()
-            .contains("malformed request"));
+        assert_eq!(err_kind(&resps[0]), "invalid_request");
+        assert!(err_msg(&resps[0]).contains("malformed request"));
         assert!(ok(&resps[1]), "the loop must survive a bad line");
         assert_eq!(summary.stats.errors, 1);
     }
@@ -1200,12 +1473,8 @@ mod tests {
             "{\"id\":1,\"qasm\":\"qreg q[2];\\nwat q[0];\\n\"}\n{\"id\":2,\"qasm\":\"qreg q[2];\\ncx q[0], q[1];\\n\"}\n",
         );
         assert!(!ok(&resps[0]));
-        assert!(resps[0]
-            .get("error")
-            .unwrap()
-            .as_str()
-            .unwrap()
-            .contains("wat"));
+        assert_eq!(err_kind(&resps[0]), "invalid_request");
+        assert!(err_msg(&resps[0]).contains("wat"));
         assert!(ok(&resps[1]));
     }
 
@@ -1217,12 +1486,8 @@ mod tests {
             "{\"id\":1,\"qasm\":\"qreg q[40];\\ncx q[0], q[39];\\n\"}\n{\"id\":2,\"qasm\":\"qreg q[4];\\ncx q[0], q[3];\\n\"}\n",
         );
         assert!(!ok(&resps[0]));
-        assert!(resps[0]
-            .get("error")
-            .unwrap()
-            .as_str()
-            .unwrap()
-            .contains("needs 40 qubits"));
+        assert_eq!(err_kind(&resps[0]), "compile");
+        assert!(err_msg(&resps[0]).contains("needs 40 qubits"));
         assert!(ok(&resps[1]));
     }
 
@@ -1234,12 +1499,8 @@ mod tests {
             "{\"id\":1,\"qasm\":\"qreg q[2];\\ncx q[0], q[1];\\n\",\"backend\":\"qpu9000\"}\n",
         );
         assert!(!ok(&resps[0]));
-        assert!(resps[0]
-            .get("error")
-            .unwrap()
-            .as_str()
-            .unwrap()
-            .contains("unknown backend `qpu9000`"));
+        assert_eq!(err_kind(&resps[0]), "invalid_request");
+        assert!(err_msg(&resps[0]).contains("unknown backend `qpu9000`"));
     }
 
     #[test]
@@ -1289,11 +1550,7 @@ mod tests {
         for resp in &resps[..3] {
             assert!(!ok(resp), "{resp:?}");
             assert!(
-                resp.get("error")
-                    .unwrap()
-                    .as_str()
-                    .unwrap()
-                    .contains("exceeds the service cap"),
+                err_msg(resp).contains("exceeds the service cap"),
                 "{resp:?}"
             );
         }
@@ -1403,14 +1660,7 @@ mod tests {
         let (resps, _) = drive(&mut s, &input);
         for resp in &resps {
             assert!(!ok(resp), "{resp:?}");
-            assert!(
-                resp.get("error")
-                    .unwrap()
-                    .as_str()
-                    .unwrap()
-                    .contains("does not apply"),
-                "{resp:?}"
-            );
+            assert!(err_msg(resp).contains("does not apply"), "{resp:?}");
         }
     }
 
@@ -1434,12 +1684,8 @@ mod tests {
         let resps: Vec<Json> = text.lines().map(|l| Json::parse(l).unwrap()).collect();
         assert_eq!(resps.len(), 2, "{text}");
         assert!(!ok(&resps[0]));
-        assert!(resps[0]
-            .get("error")
-            .unwrap()
-            .as_str()
-            .unwrap()
-            .contains("byte limit"));
+        assert_eq!(err_kind(&resps[0]), "invalid_request");
+        assert!(err_msg(&resps[0]).contains("byte limit"));
         assert!(ok(&resps[1]), "{:?}", resps[1]);
         assert_eq!(summary.stats.errors, 1);
     }
@@ -1565,6 +1811,109 @@ mod tests {
             memo.get(key, "some colliding other text").is_none(),
             "a hit requires the exact original text"
         );
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_before_compiling() {
+        let mut s = tilt_service(8, 4);
+        let input = concat!(
+            "{\"id\":1,\"qasm\":\"qreg q[8];\\ncx q[0], q[7];\\n\",\"deadline_ms\":0}\n",
+            "{\"id\":2,\"qasm\":\"qreg q[8];\\ncx q[0], q[7];\\n\"}\n",
+        );
+        let (resps, summary) = drive(&mut s, input);
+        assert_eq!(resps.len(), 2);
+        assert!(!ok(&resps[0]));
+        assert_eq!(err_kind(&resps[0]), "deadline_exceeded");
+        assert!(ok(&resps[1]), "{:?}", resps[1]);
+        assert_eq!(summary.stats.shed_deadline, 1);
+        // The shed request never touched the cache, let alone compiled:
+        // the same circuit still cost exactly one (later) miss.
+        assert_eq!(summary.cache.misses, 1);
+        assert_eq!(summary.cache.entries, 1);
+    }
+
+    #[test]
+    fn default_deadline_applies_when_request_names_none() {
+        let mut s = tilt_service(8, 4).with_default_deadline(Some(Duration::ZERO));
+        let (resps, summary) = drive(
+            &mut s,
+            "{\"id\":1,\"qasm\":\"qreg q[4];\\ncx q[0], q[3];\\n\"}\n",
+        );
+        assert_eq!(err_kind(&resps[0]), "deadline_exceeded");
+        assert_eq!(summary.stats.shed_deadline, 1);
+        // An explicit generous deadline overrides the default.
+        let mut s = tilt_service(8, 4).with_default_deadline(Some(Duration::ZERO));
+        let (resps, _) = drive(
+            &mut s,
+            "{\"id\":1,\"qasm\":\"qreg q[4];\\ncx q[0], q[3];\\n\",\"deadline_ms\":60000}\n",
+        );
+        assert!(ok(&resps[0]), "{:?}", resps[0]);
+    }
+
+    #[test]
+    fn invalid_deadline_is_rejected_as_invalid_request() {
+        let mut s = tilt_service(8, 4);
+        let input = concat!(
+            "{\"id\":1,\"qasm\":\"qreg q[4];\\ncx q[0], q[3];\\n\",\"deadline_ms\":-5}\n",
+            "{\"id\":2,\"qasm\":\"qreg q[4];\\ncx q[0], q[3];\\n\",\"deadline_ms\":\"soon\"}\n",
+        );
+        let (resps, _) = drive(&mut s, input);
+        for resp in &resps {
+            assert_eq!(err_kind(resp), "invalid_request");
+            assert!(err_msg(resp).contains("deadline_ms"), "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn flood_past_admission_budget_sheds_with_retry_hint() {
+        let admission = Arc::new(AdmissionControl::new(2, usize::MAX));
+        let mut s = tilt_service(8, 4).with_admission(Arc::clone(&admission));
+        // Six distinct circuits arrive before any response is due: the
+        // first two are admitted, the rest shed — in submission order.
+        let input: String = (1..=6)
+            .map(|k| format!("{{\"id\":{k},\"qasm\":\"qreg q[8];\\ncx q[0], q[{k}];\\n\"}}\n"))
+            .collect::<String>()
+            + "{\"op\":\"stats\"}\n";
+        let (resps, summary) = drive(&mut s, &input);
+        assert_eq!(resps.len(), 7);
+        assert!(ok(&resps[0]) && ok(&resps[1]), "{resps:?}");
+        for resp in &resps[2..6] {
+            assert!(!ok(resp), "{resp:?}");
+            assert_eq!(err_kind(resp), "overloaded");
+            let retry = resp
+                .get("error")
+                .unwrap()
+                .get("retry_after_ms")
+                .expect("overloaded responses carry a backoff hint")
+                .as_f64()
+                .unwrap();
+            assert!(retry >= 1.0, "{resp:?}");
+        }
+        assert_eq!(summary.stats.shed_overloaded, 4);
+        let shed = resps[6].get("stats").unwrap().get("shed").unwrap();
+        assert_eq!(shed.get("overloaded").unwrap().as_f64(), Some(4.0));
+        assert_eq!(shed.get("deadline").unwrap().as_f64(), Some(0.0));
+        // Every permit was released with its window.
+        assert_eq!(admission.counters().in_flight, 0);
+        assert_eq!(admission.counters().in_flight_bytes, 0);
+    }
+
+    #[test]
+    fn cache_hits_bypass_admission() {
+        // A saturated budget must not shed requests the cache can
+        // answer without compiling.
+        let admission = Arc::new(AdmissionControl::new(1, usize::MAX));
+        let mut s = tilt_service(8, 4).with_admission(Arc::clone(&admission));
+        let qasm = "qreg q[8];\\ncx q[0], q[7];\\n";
+        // The stats line forces a flush, so the repeat is a genuine
+        // cache hit rather than a same-window duplicate.
+        let input = format!(
+            "{{\"id\":1,\"qasm\":\"{qasm}\"}}\n{{\"op\":\"stats\"}}\n{{\"id\":2,\"qasm\":\"{qasm}\"}}\n"
+        );
+        let (resps, summary) = drive(&mut s, &input);
+        assert!(ok(&resps[0]) && ok(&resps[2]), "{resps:?}");
+        assert_eq!(summary.stats.shed_overloaded, 0);
+        assert_eq!(summary.cache.hits, 1);
     }
 
     #[test]

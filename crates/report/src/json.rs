@@ -66,6 +66,7 @@ impl Json {
         let mut p = Parser {
             bytes: text.as_bytes(),
             at: 0,
+            depth: 0,
         };
         p.skip_ws();
         let value = p.value()?;
@@ -165,9 +166,16 @@ impl std::fmt::Display for JsonParseError {
 
 impl std::error::Error for JsonParseError {}
 
+/// Maximum container nesting the parser accepts. The recursive-descent
+/// `value()` recurses once per `{`/`[` level, so an adversarial line of
+/// bare brackets could otherwise overflow the stack; no legitimate
+/// protocol document nests anywhere near this deep.
+const MAX_PARSE_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     at: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -215,12 +223,22 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), JsonParseError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(self.error("document nests deeper than 128 levels"));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Json, JsonParseError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut entries = Vec::new();
         self.skip_ws();
         if self.bytes.get(self.at) == Some(&b'}') {
             self.at += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(entries));
         }
         loop {
@@ -236,6 +254,7 @@ impl Parser<'_> {
                 Some(b',') => self.at += 1,
                 Some(b'}') => {
                     self.at += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(entries));
                 }
                 _ => return Err(self.error("expected ',' or '}' in object")),
@@ -245,10 +264,12 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<Json, JsonParseError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.bytes.get(self.at) == Some(&b']') {
             self.at += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -259,6 +280,7 @@ impl Parser<'_> {
                 Some(b',') => self.at += 1,
                 Some(b']') => {
                     self.at += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.error("expected ',' or ']' in array")),
@@ -467,6 +489,28 @@ mod tests {
         assert!(Json::parse("[1,,2]").is_err());
         let err = Json::parse("nul").unwrap_err();
         assert!(err.to_string().contains("byte 0"));
+    }
+
+    #[test]
+    fn deep_nesting_is_a_parse_error_not_a_stack_overflow() {
+        // One past the cap fails with a structured error…
+        let over = "[".repeat(MAX_PARSE_DEPTH + 1);
+        let err = Json::parse(&over).unwrap_err();
+        assert!(err.to_string().contains("nests deeper"), "{err}");
+        // …and a pathologically deep line (the adversarial case the cap
+        // exists for) fails the same way instead of overflowing.
+        let hostile = format!("{}1{}", "[".repeat(100_000), "]".repeat(100_000));
+        assert!(Json::parse(&hostile).is_err());
+        // At the cap, documents still parse; siblings do not accumulate
+        // depth.
+        let at_cap = format!(
+            "{}1{}",
+            "[".repeat(MAX_PARSE_DEPTH),
+            "]".repeat(MAX_PARSE_DEPTH)
+        );
+        assert!(Json::parse(&at_cap).is_ok());
+        let wide = format!("[{}]", vec!["[1]"; 1000].join(","));
+        assert!(Json::parse(&wide).is_ok());
     }
 
     #[test]

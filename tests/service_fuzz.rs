@@ -1,0 +1,143 @@
+//! Fuzz properties for the `tilt serve` wire protocol: arbitrary
+//! bytes, JSON-shaped token soup, pathologically nested documents, and
+//! truncated valid requests must never panic the loop — every
+//! non-empty input line gets exactly one structured response line, and
+//! every response line is itself valid JSON.
+
+use proptest::prelude::*;
+use std::io::Cursor;
+use tilt::compiler::DeviceSpec;
+use tilt::engine::{Backend, Engine, Service, ShutdownCause};
+use tilt::report::Json;
+
+/// Serves `input` through a fresh loop, returning the response lines.
+/// Panics (failing the property) only if the serve loop itself fails —
+/// malformed input must surface as error *responses*, not errors here.
+fn serve_lines(input: String) -> Vec<String> {
+    let mut service =
+        Service::new(Engine::builder().backend(Backend::Tilt(DeviceSpec::new(8, 4).unwrap())))
+            .unwrap();
+    let mut out = Vec::new();
+    let summary = service.serve(Cursor::new(input), &mut out, None).unwrap();
+    assert_eq!(summary.cause, ShutdownCause::Eof);
+    String::from_utf8(out)
+        .unwrap()
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+/// One response per non-empty request line, each parseable and tagged
+/// with an `ok` verdict; error responses carry the structured
+/// `{kind, message}` object.
+fn assert_wire_contract(request_lines: &[String], responses: &[String]) {
+    let expected = request_lines
+        .iter()
+        .filter(|l| !l.trim().is_empty())
+        .count();
+    assert_eq!(
+        responses.len(),
+        expected,
+        "one response per non-empty line: {request_lines:?}"
+    );
+    for line in responses {
+        let resp = Json::parse(line).expect("every response line is valid JSON");
+        match resp.get("ok") {
+            Some(&Json::Bool(true)) => {}
+            Some(&Json::Bool(false)) => {
+                let error = resp.get("error").expect("error responses carry `error`");
+                assert!(error.get("kind").is_some_and(|k| k.as_str().is_some()));
+                assert!(error.get("message").is_some_and(|m| m.as_str().is_some()));
+            }
+            other => panic!("response without boolean `ok`: {other:?} in {line}"),
+        }
+    }
+}
+
+/// Strips bytes that would split one fuzz "line" into several.
+fn one_line(s: &str) -> String {
+    s.replace(['\n', '\r'], " ")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary printable garbage: the loop answers every line with
+    /// one structured error (or, improbably, a success) and survives.
+    #[test]
+    fn arbitrary_lines_each_get_one_structured_response(
+        lines in prop::collection::vec(".{0,120}", 1..5)
+    ) {
+        let lines: Vec<String> = lines.iter().map(|l| one_line(l)).collect();
+        let input = lines.iter().map(|l| l.clone() + "\n").collect::<String>();
+        let responses = serve_lines(input);
+        assert_wire_contract(&lines, &responses);
+    }
+
+    /// JSON-shaped token soup — braces, quotes, protocol field names,
+    /// colons — biased to tickle the request parser's edge cases.
+    #[test]
+    fn json_token_soup_never_kills_the_loop(
+        tokens in prop::collection::vec(
+            prop_oneof![
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just("[".to_string()),
+                Just("]".to_string()),
+                Just(":".to_string()),
+                Just(",".to_string()),
+                Just("\"".to_string()),
+                Just("\"id\"".to_string()),
+                Just("\"qasm\"".to_string()),
+                Just("\"op\"".to_string()),
+                Just("\"run\"".to_string()),
+                Just("\"stats\"".to_string()),
+                Just("\"deadline_ms\"".to_string()),
+                Just("\"backend\"".to_string()),
+                Just("null".to_string()),
+                Just("true".to_string()),
+                Just("-0".to_string()),
+                Just("1e308".to_string()),
+                Just("\\u0000".to_string()),
+                "[a-z0-9]{1,4}".prop_map(|s| s),
+            ],
+            0..24,
+        )
+    ) {
+        let line = tokens.concat();
+        let lines = vec![one_line(&line)];
+        let input = lines[0].clone() + "\n";
+        let responses = serve_lines(input);
+        assert_wire_contract(&lines, &responses);
+    }
+
+    /// Pathological nesting: the request parser's depth guard must
+    /// reject a thousand-deep document with a structured error, never
+    /// a stack overflow.
+    #[test]
+    fn deeply_nested_json_is_rejected_structurally(
+        depth in 1usize..1024,
+        array in 0u8..2,
+    ) {
+        let line = if array == 1 {
+            format!("{}1{}", "[".repeat(depth), "]".repeat(depth))
+        } else {
+            format!("{}\"k\":1{}", "{\"k\":".repeat(depth), "}".repeat(depth))
+        };
+        let lines = vec![line.clone()];
+        let responses = serve_lines(line + "\n");
+        assert_wire_contract(&lines, &responses);
+    }
+
+    /// Truncating a valid request at any byte boundary yields at most
+    /// one structured response and never a panic — a torn line is the
+    /// normal failure mode of a dying client.
+    #[test]
+    fn truncated_requests_fail_structurally(cut in 0usize..90) {
+        let full = "{\"id\":7,\"qasm\":\"qreg q[4];\\nh q[0];\\ncx q[0], q[3];\\n\",\"deadline_ms\":60000}";
+        let line = full[..cut.min(full.len())].to_string();
+        let lines = vec![line.clone()];
+        let responses = serve_lines(line + "\n");
+        assert_wire_contract(&lines, &responses);
+    }
+}

@@ -140,8 +140,18 @@ fn every_error_path_yields_a_structured_response_without_killing_the_loop() {
         let err = &responses[2 * i];
         let ok = &responses[2 * i + 1];
         assert_eq!(err.get("ok"), Some(&Json::Bool(false)), "case {i}: {err:?}");
+        let error = err.get("error").expect("error responses carry an object");
         assert!(
-            err.get("error").unwrap().as_str().unwrap().contains(needle),
+            error.get("kind").unwrap().as_str().is_some(),
+            "case {i}: {err:?}"
+        );
+        assert!(
+            error
+                .get("message")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains(needle),
             "case {i}: {err:?}"
         );
         assert_eq!(ok.get("ok"), Some(&Json::Bool(true)), "case {i}: {ok:?}");
