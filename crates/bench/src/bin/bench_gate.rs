@@ -52,15 +52,21 @@ const FILES: [&str; 5] = [
 ];
 
 /// Same-run speedup ratios: regressions here are code, not hardware.
-const GATING: [(&str, &str); 2] = [
+/// `simd.speedup` is the dispatched-tier vs forced-scalar ratio; on a
+/// scalar-only runner both the baseline median and the current run sit
+/// at ~1.0 (the tiers coincide), so the gate stays quiet there and only
+/// bites when an AVX2 runner's SIMD win erodes.
+const GATING: [(&str, &str); 3] = [
     ("BENCH_statevec.json", "speedup"),
+    ("BENCH_statevec.json", "simd.speedup"),
     ("BENCH_router.json", "speedup"),
 ];
 
 /// Cross-run absolute throughput, plus the engine batch ratio (which
 /// can hinge on runner core count): advisory only.
-const ADVISORY: [(&str, &str); 11] = [
+const ADVISORY: [(&str, &str); 12] = [
     ("BENCH_statevec.json", "optimized_gates_per_sec"),
+    ("BENCH_statevec.json", "simd.simd_gates_per_sec"),
     ("BENCH_statevec.json", "permutation.parallel_gates_per_sec"),
     ("BENCH_router.json", "incremental_routes_per_sec"),
     ("BENCH_router.json", "reference_routes_per_sec"),
@@ -79,8 +85,9 @@ const ADVISORY: [(&str, &str); 11] = [
 /// One run's records, keyed by file name.
 type Run = Vec<(&'static str, Option<Json>)>;
 
-/// One scheduler workload's metrics: `(name, speedup, moves/sec)`.
-type WorkloadRow = (String, Option<f64>, Option<f64>);
+/// One scheduler workload's metrics:
+/// `(name, speedup, moves/sec, pruned_speedup)`.
+type WorkloadRow = (String, Option<f64>, Option<f64>, Option<f64>);
 
 fn load(dir: &Path, file: &str, warn_missing: bool) -> Option<Json> {
     let path = dir.join(file);
@@ -188,8 +195,8 @@ fn check(label: &str, baseline: Option<f64>, cur: Option<f64>, gating: bool) -> 
     dropped
 }
 
-/// `(benchmark name, same-run speedup, absolute moves/sec)` per
-/// scheduler workload.
+/// `(benchmark name, same-run speedup, absolute moves/sec, pruned vs
+/// full-argmax speedup)` per scheduler workload.
 fn scheduler_workloads(j: &Json) -> Vec<WorkloadRow> {
     j.get("workloads")
         .and_then(Json::as_array)
@@ -199,7 +206,8 @@ fn scheduler_workloads(j: &Json) -> Vec<WorkloadRow> {
                     let name = w.get("benchmark")?.as_str()?.to_string();
                     let speedup = w.get("speedup").and_then(Json::as_f64);
                     let rate = w.get("incremental_moves_per_sec").and_then(Json::as_f64);
-                    Some((name, speedup, rate))
+                    let pruned = w.get("pruned_speedup").and_then(Json::as_f64);
+                    Some((name, speedup, rate, pruned))
                 })
                 .collect()
         })
@@ -254,32 +262,40 @@ fn main() -> ExitCode {
             median(
                 prev_sched
                     .iter()
-                    .filter_map(|ws| ws.iter().find(|(n, _, _)| n == name).and_then(pick))
+                    .filter_map(|ws| ws.iter().find(|(n, ..)| n == name).and_then(pick))
                     .collect(),
             )
         };
         let cur_ws = scheduler_workloads(&cur);
-        for (name, cur_speedup, cur_rate) in &cur_ws {
+        for (name, cur_speedup, cur_rate, cur_pruned) in &cur_ws {
             let dropped = check(
                 &format!("BENCH_scheduler.json:{name}:speedup"),
-                per_workload(name, |(_, s, _)| *s),
+                per_workload(name, |(_, s, _, _)| *s),
                 *cur_speedup,
                 true,
             );
             regressed |= dropped;
             check(
                 &format!("BENCH_scheduler.json:{name}:incremental_moves_per_sec"),
-                per_workload(name, |(_, _, r)| *r),
+                per_workload(name, |(_, _, r, _)| *r),
                 *cur_rate,
+                false,
+            );
+            // Pruned vs full-argmax is a same-run ratio, but it is new
+            // this cycle: advisory until a baseline window accumulates.
+            check(
+                &format!("BENCH_scheduler.json:{name}:pruned_speedup"),
+                per_workload(name, |(_, _, _, p)| *p),
+                *cur_pruned,
                 false,
             );
         }
         let baseline_names: std::collections::BTreeSet<&str> = prev_sched
             .iter()
-            .flat_map(|ws| ws.iter().map(|(n, _, _)| n.as_str()))
+            .flat_map(|ws| ws.iter().map(|(n, ..)| n.as_str()))
             .collect();
         for name in baseline_names {
-            if !cur_ws.iter().any(|(n, _, _)| n == name) {
+            if !cur_ws.iter().any(|(n, ..)| n == name) {
                 println!(
                     "warn: BENCH_scheduler.json: workload {name} present in a baseline run is missing from this one"
                 );

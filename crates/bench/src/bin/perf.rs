@@ -8,13 +8,17 @@
 //! * `BENCH_statevec.json` — gates/sec applying the 20-qubit QFT
 //!   (optimized vs the retained naive path) plus a permutation-heavy
 //!   workload (raw 20-qubit `CNOT`/`SWAP`/`Toffoli` traffic) timed
-//!   through the auto-parallel and forced-serial pipelines.
+//!   through the auto-parallel and forced-serial pipelines, and a
+//!   `simd` record pricing the dispatched kernel tier against the
+//!   forced-scalar fallback on the same QFT (~1.0× on scalar-only
+//!   hosts, where the two tiers coincide).
 //! * `BENCH_router.json` — routes/sec pushing the 16-qubit RCS
 //!   benchmark through LinQ, incremental vs the retained reference
 //!   scorer.
 //! * `BENCH_scheduler.json` — moves/sec scheduling QFT/RCS/QAOA
-//!   workloads through Algorithm 2, incremental vs the retained rescan
-//!   engine.
+//!   workloads through Algorithm 2: the default bound-pruned engine vs
+//!   the retained rescan engine, plus the unpruned incremental engine
+//!   (`full_argmax_secs`) isolating the lazy-argmax win.
 //! * `BENCH_engine.json` — circuits/sec pushing a batch of small
 //!   circuits through the `Engine` session API, batch/service mode
 //!   (per-worker scratch reuse + pool fan-out) vs one `run` call per
@@ -68,9 +72,25 @@ fn main() {
     let circuit = qft(20);
     let gates = circuit.len() as f64;
     let probe = State::random(20, 1);
+    // Warm the allocator and caches before anything is timed: the very
+    // first run pays first-touch page faults for the 16 MiB clone,
+    // which would otherwise bias whichever tier is measured first.
+    std::hint::black_box(probe.clone().run(&circuit));
     let t_opt = time_median(5, || {
         std::hint::black_box(probe.clone().run(&circuit));
     });
+    // Dispatched kernel tier vs the forced-scalar fallback on the same
+    // QFT, timed back to back so machine drift hits both tiers alike.
+    // On hosts that resolve to the scalar tier the two runs take the
+    // same code path, so the speedup sits at ~1.0 by construction.
+    let t_scalar = {
+        tilt_statevec::simd::force_scalar(true);
+        let t = time_median(5, || {
+            std::hint::black_box(probe.clone().run(&circuit));
+        });
+        tilt_statevec::simd::force_scalar(false);
+        t
+    };
     let t_naive = time_median(3, || {
         std::hint::black_box(probe.clone().run_naive(&circuit));
     });
@@ -105,6 +125,18 @@ fn main() {
         .set("naive_gates_per_sec", gates / t_naive)
         .set("speedup", t_naive / t_opt)
         .set("threads", rayon_threads())
+        .set("kernel_tier", tilt_statevec::simd::tier_name())
+        .set(
+            "simd",
+            Json::object()
+                .set("benchmark", "qft20_tier")
+                .set("kernel_tier", tilt_statevec::simd::tier_name())
+                .set("simd_secs", t_opt)
+                .set("scalar_secs", t_scalar)
+                .set("simd_gates_per_sec", gates / t_opt)
+                .set("scalar_gates_per_sec", gates / t_scalar)
+                .set("speedup", t_scalar / t_opt),
+        )
         .set(
             "permutation",
             Json::object()
@@ -123,6 +155,12 @@ fn main() {
         format!("{:.0} gates/s", gates / t_naive),
         format!("{:.0} gates/s", gates / t_opt),
         format!("{:.2}x", t_naive / t_opt),
+    ]);
+    table.row([
+        "statevec simd qft20".to_string(),
+        format!("{:.0} gates/s", gates / t_scalar),
+        format!("{:.0} gates/s", gates / t_opt),
+        format!("{:.2}x", t_scalar / t_opt),
     ]);
     table.row([
         "statevec perm20".to_string(),
@@ -154,7 +192,8 @@ fn main() {
         .set("reference_secs", t_ref)
         .set("incremental_routes_per_sec", 1.0 / t_inc)
         .set("reference_routes_per_sec", 1.0 / t_ref)
-        .set("speedup", t_ref / t_inc);
+        .set("speedup", t_ref / t_inc)
+        .set("kernel_tier", tilt_statevec::simd::tier_name());
     std::fs::write("BENCH_router.json", router.render()).expect("write BENCH_router.json");
     table.row([
         "LinQ rcs16".to_string(),
@@ -187,6 +226,13 @@ fn main() {
         let t_fast = time_median(5, || {
             std::hint::black_box(schedule_with(&lowered, spec, ScheduleConfig::new(kind)));
         });
+        let t_full = time_median(3, || {
+            std::hint::black_box(schedule_with(
+                &lowered,
+                spec,
+                ScheduleConfig::unpruned(kind),
+            ));
+        });
         let t_slow = time_median(3, || {
             std::hint::black_box(schedule_with(&lowered, spec, ScheduleConfig::rescan(kind)));
         });
@@ -197,10 +243,12 @@ fn main() {
                 .set("scheduled_gates", program.gate_count())
                 .set("moves", moves)
                 .set("incremental_secs", t_fast)
+                .set("full_argmax_secs", t_full)
                 .set("rescan_secs", t_slow)
                 .set("incremental_moves_per_sec", moves / t_fast)
                 .set("rescan_moves_per_sec", moves / t_slow)
-                .set("speedup", t_slow / t_fast),
+                .set("speedup", t_slow / t_fast)
+                .set("pruned_speedup", t_full / t_fast),
         );
         table.row([
             format!("scheduler {name}"),
@@ -208,8 +256,16 @@ fn main() {
             format!("{:.0} moves/s", moves / t_fast),
             format!("{:.2}x", t_slow / t_fast),
         ]);
+        table.row([
+            format!("sched {name} argmax"),
+            format!("{:.0} moves/s", moves / t_full),
+            format!("{:.0} moves/s", moves / t_fast),
+            format!("{:.2}x", t_full / t_fast),
+        ]);
     }
-    let scheduler = Json::object().set("workloads", Json::Arr(records));
+    let scheduler = Json::object()
+        .set("kernel_tier", tilt_statevec::simd::tier_name())
+        .set("workloads", Json::Arr(records));
     std::fs::write("BENCH_scheduler.json", scheduler.render()).expect("write BENCH_scheduler.json");
 
     // --- Engine batch/service mode vs one run() per circuit --------------
@@ -237,7 +293,8 @@ fn main() {
         .set("single_circuits_per_sec", n_circuits / t_single)
         .set("batch_circuits_per_sec", n_circuits / t_batch)
         .set("batch_speedup", t_single / t_batch)
-        .set("threads", rayon_threads());
+        .set("threads", rayon_threads())
+        .set("kernel_tier", tilt_statevec::simd::tier_name());
     std::fs::write("BENCH_engine.json", engine_record.render()).expect("write BENCH_engine.json");
     table.row([
         "engine batch x120".to_string(),
@@ -457,6 +514,7 @@ fn main() {
         .set("batch_secs", t_batch)
         .set("protocol_overhead", t_serve / t_batch)
         .set("threads", rayon_threads())
+        .set("kernel_tier", tilt_statevec::simd::tier_name())
         .set(
             "repeat",
             Json::object()

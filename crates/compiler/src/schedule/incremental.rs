@@ -32,6 +32,25 @@
 //! order — is identical to the rescan engine's; the equivalence is
 //! pinned by unit and property tests.
 //!
+//! # The bound-pruned argmax
+//!
+//! [`schedule_incremental_pruned`] (the default engine) goes one step
+//! further: even a *dirty* position's cascade walk can be skipped when
+//! the position provably cannot win the round. The engine maintains
+//! `cover[p]` — the number of incomplete non-barrier gates whose
+//! covering range contains `p` — as a sound per-position score ceiling:
+//! every gate a cascade at `p` executes must cover `p` and be incomplete,
+//! so `Score(p) ≤ cover[p]` at all times, and `cover[p]` only shrinks as
+//! gates retire (the monotone-unlock argument; see
+//! `crates/compiler/README.md` for the proof sketch). Each round the
+//! exact cached scores of clean positions establish an incumbent, dirty
+//! candidates are visited in decreasing bound order, and the walk stops
+//! at the first candidate whose ceiling is *strictly* below the
+//! incumbent's score — equal ceilings still walk, because a tie could be
+//! won on the distance/leftmost tie-breaks. Skipped positions simply
+//! stay dirty. The chosen position, and therefore the whole program, is
+//! identical to the unpruned engines'.
+//!
 //! [`DistanceDiscounted`]: super::SchedulerKind::DistanceDiscounted
 
 use crate::program::{TiltOp, TiltProgram};
@@ -292,6 +311,213 @@ pub(super) fn schedule_incremental(
                         dirty[p as usize] = true;
                         dirty_list.push(p);
                     }
+                }
+            }
+        }
+    }
+
+    TiltProgram::new(spec, ops)
+}
+
+/// The incremental engine with the bound-pruned argmax (the default).
+///
+/// Identical decisions to [`schedule_incremental`] and the rescan
+/// engine, but a dirty position is only rescored when its score ceiling
+/// (`cover[p]`, the incomplete non-barrier gates covering `p`) says it
+/// could still beat the best exact score seen this round.
+pub(super) fn schedule_incremental_pruned(
+    physical: &Circuit,
+    spec: DeviceSpec,
+    penalty: i64,
+) -> TiltProgram {
+    let dag = Dag::new(physical);
+    let mut tracker = ReadyTracker::new(&dag);
+    let n_positions = spec.n_head_positions();
+    let gates = physical.gates();
+
+    let range_of: Vec<(u32, u32)> = gates
+        .iter()
+        .map(
+            |g| match spec.covering_head_positions(g.operands().iter().map(|q| q.index())) {
+                Some(r) => (*r.start() as u32, *r.end() as u32),
+                None => (0, (n_positions - 1) as u32),
+            },
+        )
+        .collect();
+
+    // The monotone score ceiling: cover[p] counts the incomplete
+    // non-barrier gates whose covering range contains p. A cascade at p
+    // only ever executes such gates, so Score(p) ≤ cover[p]; retiring a
+    // gate decrements its range, so the ceiling never rises.
+    let mut cover: Vec<u32> = vec![0; n_positions];
+    for (i, g) in gates.iter().enumerate() {
+        if matches!(g, Gate::Barrier) {
+            continue;
+        }
+        let (lo, hi) = range_of[i];
+        for p in lo..=hi {
+            cover[p as usize] += 1;
+        }
+    }
+
+    let mut ready_at: Vec<Vec<u32>> = vec![Vec::new(); n_positions];
+    for &g in tracker.ready() {
+        let (lo, hi) = range_of[g];
+        for p in lo..=hi {
+            ready_at[p as usize].push(g as u32);
+        }
+    }
+
+    let mut scratch = CascadeScratch::new(gates.len());
+    // Exact cascade count per position, valid while the position stays
+    // clean. A skipped candidate keeps its stale count *and* its dirty
+    // flag, so the stale value is never trusted.
+    let mut counts: Vec<u32> = vec![0; n_positions];
+    let mut dirty = vec![true; n_positions];
+    // (bound score, position) candidates, rebuilt each round.
+    let mut candidates: Vec<(i64, u32)> = Vec::new();
+
+    let mut ops: Vec<TiltOp> = Vec::with_capacity(physical.len());
+    let mut head: Option<usize> = None;
+    let mut heap: BinaryHeap<Reverse<usize>> = BinaryHeap::new();
+    let mut executed: Vec<usize> = Vec::new();
+    let mut succ_epoch: Vec<u32> = vec![0; gates.len()];
+    let mut succ_epoch_counter: u32 = 0;
+
+    while !tracker.is_done() {
+        // Clean positions carry exact counts: they establish the
+        // incumbent under the engines' shared total order
+        // (score desc, dist asc, pos asc) without any cascade work.
+        let mut best: Option<(i64, usize, usize)> = None;
+        candidates.clear();
+        for pos in 0..n_positions {
+            let dist = head.map_or(0, |h| h.abs_diff(pos));
+            if dirty[pos] {
+                let bound = cover[pos] as i64 * 1000 - penalty * dist as i64;
+                candidates.push((bound, pos as u32));
+            } else if counts[pos] > 0 {
+                let score = counts[pos] as i64 * 1000 - penalty * dist as i64;
+                let better = match best {
+                    None => true,
+                    Some((bs, bd, bp)) => score > bs || (score == bs && (dist, pos) < (bd, bp)),
+                };
+                if better {
+                    best = Some((score, dist, pos));
+                }
+            }
+        }
+        // Highest ceiling first: the incumbent only improves, so once
+        // one candidate's bound falls strictly below it every later
+        // (lower-bounded) candidate is pruned too.
+        candidates.sort_unstable_by(|a, b| b.cmp(a));
+        for &(bound, p) in &candidates {
+            if let Some((bs, _, _)) = best {
+                if bound < bs {
+                    // Exact ≤ bound < incumbent: this candidate (and all
+                    // after it) cannot win even before tie-breaks. It
+                    // stays dirty for future rounds.
+                    break;
+                }
+            }
+            let pos = p as usize;
+            dirty[pos] = false;
+            let count = cascade_count(
+                physical,
+                &dag,
+                &tracker,
+                pos,
+                &range_of,
+                &mut ready_at[pos],
+                &mut scratch,
+            );
+            counts[pos] = count;
+            if count > 0 {
+                let dist = head.map_or(0, |h| h.abs_diff(pos));
+                let score = count as i64 * 1000 - penalty * dist as i64;
+                let better = match best {
+                    None => true,
+                    Some((bs, bd, bp)) => score > bs || (score == bs && (dist, pos) < (bd, bp)),
+                };
+                if better {
+                    best = Some((score, dist, pos));
+                }
+            }
+        }
+
+        let Some((_, _, pos)) = best else {
+            // No incumbent means no candidate was skipped, so every
+            // position's exact count is zero — the same condition the
+            // other engines panic on.
+            panic!("no head position can execute any ready gate; circuit is unroutable");
+        };
+
+        if head != Some(pos) {
+            if head.is_some() {
+                ops.push(TiltOp::Move { to: pos });
+            }
+            head = Some(pos);
+        }
+
+        // Drain the cascade at `pos` in the seed's min-index order.
+        heap.clear();
+        ready_at[pos].retain(|&g| !tracker.is_complete(g as usize));
+        heap.extend(ready_at[pos].iter().map(|&g| Reverse(g as usize)));
+        executed.clear();
+        while let Some(Reverse(i)) = heap.pop() {
+            tracker.complete_notify(&dag, i, |s| {
+                let (lo, hi) = range_of[s];
+                for p in lo..=hi {
+                    ready_at[p as usize].push(s as u32);
+                }
+                if lo as usize <= pos && pos <= hi as usize {
+                    heap.push(Reverse(s));
+                }
+            });
+            executed.push(i);
+            let gate = gates[i];
+            if !matches!(gate, Gate::Barrier) {
+                ops.push(TiltOp::Gate {
+                    gate,
+                    head_pos: pos,
+                });
+            }
+        }
+        assert!(
+            !executed.is_empty(),
+            "scheduler made no progress at position {pos}; this is a bug"
+        );
+
+        // Same dirty marking as the unpruned engine, plus the ceiling
+        // decrement for every retired non-barrier gate.
+        succ_epoch_counter += 1;
+        for &i in &executed {
+            let (lo, hi) = range_of[i];
+            if !matches!(gates[i], Gate::Barrier) {
+                for p in lo..=hi {
+                    cover[p as usize] -= 1;
+                }
+            }
+            for p in lo..=hi {
+                dirty[p as usize] = true;
+            }
+            for &s in dag.succs(i) {
+                if succ_epoch[s] == succ_epoch_counter {
+                    continue;
+                }
+                succ_epoch[s] = succ_epoch_counter;
+                let (mut lo, mut hi) = range_of[s];
+                for &q in dag.preds(s) {
+                    if !tracker.is_complete(q) {
+                        let (qlo, qhi) = range_of[q];
+                        lo = lo.max(qlo);
+                        hi = hi.min(qhi);
+                    }
+                }
+                if lo > hi {
+                    continue;
+                }
+                for p in lo..=hi {
+                    dirty[p as usize] = true;
                 }
             }
         }

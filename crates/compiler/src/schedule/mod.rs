@@ -11,16 +11,20 @@
 //! the head over the oldest ready gate each round; it exists to quantify
 //! the benefit of Eq. 2 (ablation, DESIGN.md §5).
 //!
-//! Two engines implement the Eq. 2 policies. The seed **rescan** engine
-//! recomputes every position's executable-gate count from scratch each
-//! round; the default **incremental** engine ([`incremental`]) keeps
-//! per-position counts in a bucket index and rescores only the
+//! Three engines implement the Eq. 2 policies. The seed **rescan**
+//! engine recomputes every position's executable-gate count from
+//! scratch each round; the **incremental** engine ([`incremental`])
+//! keeps per-position counts in a bucket index and rescores only the
 //! positions whose counts a round's retired/unlocked gates could have
-//! changed. Both make identical decisions (see the
-//! `incremental_matches_rescan` tests and `tests/scheduler_equivalence.rs`);
-//! the rescan engine is retained behind
-//! [`ScheduleConfig { incremental: false }`](ScheduleConfig) as the
-//! benchmark baseline, mirroring the router's `LinqConfig` knob.
+//! changed; the default **bound-pruned** engine additionally skips
+//! rescoring dirty positions whose monotone score ceiling (the
+//! incomplete gates covering the position) provably cannot beat the
+//! round's incumbent — the "lazy argmax". All three make identical
+//! decisions (see the `engines_agree` tests and
+//! `tests/scheduler_equivalence.rs`); the slower engines are retained
+//! behind [`ScheduleConfig::rescan`] and [`ScheduleConfig::unpruned`]
+//! as reference paths and benchmark baselines, mirroring the router's
+//! `LinqConfig` knob.
 
 mod incremental;
 
@@ -75,9 +79,15 @@ pub struct ScheduleConfig {
     /// Engine selection for the Eq. 2 policies: `true` (the default)
     /// maintains per-position executable-gate counts incrementally;
     /// `false` re-derives every position's count each round, as the
-    /// seed did. Both engines produce identical programs; the rescan
+    /// seed did. All engines produce identical programs; the rescan
     /// engine exists as the benchmark baseline.
     pub incremental: bool,
+    /// With the incremental engine, `true` (the default) also prunes the
+    /// argmax: dirty positions whose score ceiling cannot beat the
+    /// round's incumbent skip their cascade walk entirely. `false`
+    /// rescores every dirty position (the PR-3 engine, retained as the
+    /// pruning baseline). Ignored when `incremental` is `false`.
+    pub pruned: bool,
 }
 
 impl Default for ScheduleConfig {
@@ -87,11 +97,22 @@ impl Default for ScheduleConfig {
 }
 
 impl ScheduleConfig {
-    /// The incremental engine (the default) running `kind`.
+    /// The bound-pruned incremental engine (the default) running `kind`.
     pub fn new(kind: SchedulerKind) -> Self {
         ScheduleConfig {
             kind,
             incremental: true,
+            pruned: true,
+        }
+    }
+
+    /// The incremental engine without argmax pruning — every dirty
+    /// position is rescored each round.
+    pub fn unpruned(kind: SchedulerKind) -> Self {
+        ScheduleConfig {
+            kind,
+            incremental: true,
+            pruned: false,
         }
     }
 
@@ -101,6 +122,7 @@ impl ScheduleConfig {
         ScheduleConfig {
             kind,
             incremental: false,
+            pruned: false,
         }
     }
 }
@@ -154,6 +176,9 @@ pub fn schedule_with(physical: &Circuit, spec: DeviceSpec, config: ScheduleConfi
         }
     }
     match config.kind.penalty_permille() {
+        Some(penalty) if config.incremental && config.pruned => {
+            incremental::schedule_incremental_pruned(physical, spec, penalty)
+        }
         Some(penalty) if config.incremental => {
             incremental::schedule_incremental(physical, spec, penalty)
         }
@@ -462,10 +487,11 @@ mod tests {
     }
 
     #[test]
-    fn incremental_matches_rescan_on_structured_workloads() {
+    fn all_three_engines_agree_on_structured_workloads() {
         // Mixed zones, chains, barriers, and single-qubit traffic: the
-        // incremental engine must reproduce the seed engine's program
-        // op-for-op (positions, moves, and executed-gate order).
+        // incremental and bound-pruned engines must reproduce the seed
+        // engine's program op-for-op (positions, moves, and
+        // executed-gate order).
         let mut zones = Circuit::new(32);
         for r in 0..4 {
             for i in 0..28 {
@@ -500,9 +526,14 @@ mod tests {
         ];
         for (c, n, head) in &workloads {
             for kind in kinds {
-                let fast = schedule_with(c, spec(*n, *head), ScheduleConfig::new(kind));
+                let pruned = schedule_with(c, spec(*n, *head), ScheduleConfig::new(kind));
+                let unpruned = schedule_with(c, spec(*n, *head), ScheduleConfig::unpruned(kind));
                 let slow = schedule_with(c, spec(*n, *head), ScheduleConfig::rescan(kind));
-                assert_eq!(fast, slow, "{kind:?} diverged on {n}-ion workload");
+                assert_eq!(unpruned, slow, "{kind:?} diverged on {n}-ion workload");
+                assert_eq!(
+                    pruned, slow,
+                    "{kind:?} pruning diverged on {n}-ion workload"
+                );
             }
         }
     }

@@ -4,13 +4,29 @@
 use std::ops::{Add, AddAssign, Mul, Neg, Sub};
 
 /// A complex number with `f64` components.
+///
+/// The layout is `repr(C)` — `re` then `im`, no padding — because the
+/// SIMD kernel tier ([`crate::simd`]) reinterprets `&[Complex]` as a
+/// sequence of interleaved `f64` lanes and must not depend on the
+/// unspecified default (`repr(Rust)`) field order.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[repr(C)]
 pub struct Complex {
     /// Real part.
     pub re: f64,
     /// Imaginary part.
     pub im: f64,
 }
+
+// Compile-time pin of the layout the SIMD loads/stores rely on: one
+// `Complex` is exactly two `f64` lanes, `f64`-aligned, with `re` at
+// offset 0 and `im` at offset 8.
+const _: () = {
+    assert!(std::mem::size_of::<Complex>() == 2 * std::mem::size_of::<f64>());
+    assert!(std::mem::align_of::<Complex>() == std::mem::align_of::<f64>());
+    assert!(std::mem::offset_of!(Complex, re) == 0);
+    assert!(std::mem::offset_of!(Complex, im) == std::mem::size_of::<f64>());
+};
 
 impl Complex {
     /// The additive identity.

@@ -23,8 +23,22 @@
 //! than one hardware thread) kernels recursively split the block range
 //! with `rayon::join`, so disjoint slices are processed concurrently
 //! without any unsafe aliasing.
+//!
+//! # Dispatch tiers
+//!
+//! The arithmetic-heavy entry points (`apply_1q`, `apply_2q`,
+//! `diag_1q`, `phase_1q`, `scale_all`, `xx_rotate`, and the diag-run
+//! table sweep) are *dispatchers*: when [`crate::simd`] resolves the
+//! `avx2_fma` tier they call the explicit-SIMD implementation,
+//! otherwise the portable scalar body, which is kept public under a
+//! `*_scalar` name so tests can pin both tiers against each other. The
+//! permutation kernels move memory rather than compute and stay
+//! scalar (`swap_with_slice` is already memcpy-speed). Parallel
+//! variants recurse down to the serial entry points, so they inherit
+//! the dispatch automatically.
 
 use crate::complex::Complex;
+use crate::simd;
 
 /// Minimum number of amplitudes before a kernel considers going
 /// parallel. Below this the split/spawn overhead dominates; `2^16`
@@ -59,17 +73,42 @@ fn assert_in_register(len: usize, stride: usize) {
 
 // --- single-qubit kernels -------------------------------------------------
 
-/// Applies the 2×2 matrix `m` to target `q`: serial pair-indexed loop.
+/// Applies the 2×2 matrix `m` to target `q` (dispatching entry point).
 pub fn apply_1q(amps: &mut [Complex], q: usize, m: [[Complex; 2]; 2]) {
+    assert_in_register(amps.len(), 1usize << q);
+    if simd::active() {
+        simd::apply_1q(amps, q, m);
+    } else {
+        apply_1q_scalar(amps, q, m);
+    }
+}
+
+/// Portable scalar body of [`apply_1q`]: serial pair-indexed loop.
+pub fn apply_1q_scalar(amps: &mut [Complex], q: usize, m: [[Complex; 2]; 2]) {
     let stride = 1usize << q;
     assert_in_register(amps.len(), stride);
     for block in amps.chunks_exact_mut(2 * stride) {
         let (lo, hi) = block.split_at_mut(stride);
-        for (a0, a1) in lo.iter_mut().zip(hi.iter_mut()) {
-            let (x, y) = (*a0, *a1);
-            *a0 = m[0][0] * x + m[0][1] * y;
-            *a1 = m[1][0] * x + m[1][1] * y;
-        }
+        apply_1q_zip_scalar(lo, hi, m);
+    }
+}
+
+/// Applies `m` to zipped planes of equal length, picking the tier once
+/// per call (shared by the parallel recursion leaves).
+fn apply_1q_zip(lo: &mut [Complex], hi: &mut [Complex], m: [[Complex; 2]; 2]) {
+    if simd::active() && lo.len() >= 2 {
+        simd::apply_1q_zip(lo, hi, m);
+    } else {
+        apply_1q_zip_scalar(lo, hi, m);
+    }
+}
+
+#[inline]
+fn apply_1q_zip_scalar(lo: &mut [Complex], hi: &mut [Complex], m: [[Complex; 2]; 2]) {
+    for (a0, a1) in lo.iter_mut().zip(hi.iter_mut()) {
+        let (x, y) = (*a0, *a1);
+        *a0 = m[0][0] * x + m[0][1] * y;
+        *a1 = m[1][0] * x + m[1][1] * y;
     }
 }
 
@@ -99,11 +138,7 @@ pub fn apply_1q_parallel(amps: &mut [Complex], q: usize, m: [[Complex; 2]; 2]) {
 /// segments in lockstep.
 fn zip_rotate_parallel(lo: &mut [Complex], hi: &mut [Complex], m: [[Complex; 2]; 2]) {
     if lo.len() <= PARALLEL_GRAIN / 2 {
-        for (a0, a1) in lo.iter_mut().zip(hi.iter_mut()) {
-            let (x, y) = (*a0, *a1);
-            *a0 = m[0][0] * x + m[0][1] * y;
-            *a1 = m[1][0] * x + m[1][1] * y;
-        }
+        apply_1q_zip(lo, hi, m);
         return;
     }
     let mid = lo.len() / 2;
@@ -116,8 +151,19 @@ fn zip_rotate_parallel(lo: &mut [Complex], hi: &mut [Complex], m: [[Complex; 2];
 }
 
 /// Multiplies every amplitude whose bit `q` is set by `phase`
-/// (the `diag(1, phase)` gate: `Z`, `S`, `T`, …).
+/// (the `diag(1, phase)` gate: `Z`, `S`, `T`, …). Dispatching entry
+/// point.
 pub fn phase_1q(amps: &mut [Complex], q: usize, phase: Complex) {
+    assert_in_register(amps.len(), 1usize << q);
+    if simd::active() {
+        simd::phase_1q(amps, q, phase);
+    } else {
+        phase_1q_scalar(amps, q, phase);
+    }
+}
+
+/// Portable scalar body of [`phase_1q`].
+pub fn phase_1q_scalar(amps: &mut [Complex], q: usize, phase: Complex) {
     let stride = 1usize << q;
     assert_in_register(amps.len(), stride);
     for block in amps.chunks_exact_mut(2 * stride) {
@@ -128,7 +174,19 @@ pub fn phase_1q(amps: &mut [Complex], q: usize, phase: Complex) {
 }
 
 /// `diag(p0, p1)` on qubit `q` — both factors precomputed (`Rz`).
+/// Dispatching entry point; the SIMD tier cache-blocks the two plane
+/// sweeps.
 pub fn diag_1q(amps: &mut [Complex], q: usize, p0: Complex, p1: Complex) {
+    assert_in_register(amps.len(), 1usize << q);
+    if simd::active() {
+        simd::diag_1q(amps, q, p0, p1);
+    } else {
+        diag_1q_scalar(amps, q, p0, p1);
+    }
+}
+
+/// Portable scalar body of [`diag_1q`]: two full plane passes.
+pub fn diag_1q_scalar(amps: &mut [Complex], q: usize, p0: Complex, p1: Complex) {
     let stride = 1usize << q;
     assert_in_register(amps.len(), stride);
     for block in amps.chunks_exact_mut(2 * stride) {
@@ -384,8 +442,9 @@ impl DiagTerm {
         }
     }
 
-    /// This term's factor at basis index `x`.
-    fn factor(&self, x: usize) -> Complex {
+    /// This term's factor at basis index `x` (the per-amplitude
+    /// reference the batched sweep is tested against).
+    pub fn factor(&self, x: usize) -> Complex {
         match *self {
             DiagTerm::One { q, p } => p[(x >> q) & 1],
             DiagTerm::Two { qlo, qhi, d } => d[((x >> qlo) & 1) | (((x >> qhi) & 1) << 1)],
@@ -542,8 +601,18 @@ fn apply_diag_tree(amps: &mut [Complex], node: &DiagNode, parallel: bool) {
 }
 
 /// Elementwise multiply by a table whose length divides the chunking.
+/// Dispatching entry point.
 #[inline]
 fn sweep_table(amps: &mut [Complex], table: &[Complex]) {
+    if simd::active() {
+        simd::sweep_table(amps, table);
+    } else {
+        sweep_table_scalar(amps, table);
+    }
+}
+
+#[inline]
+fn sweep_table_scalar(amps: &mut [Complex], table: &[Complex]) {
     for chunk in amps.chunks_exact_mut(table.len()) {
         for (a, f) in chunk.iter_mut().zip(table) {
             *a = *a * *f;
@@ -558,7 +627,19 @@ fn sweep_table(amps: &mut [Complex], table: &[Complex]) {
 /// convention (callers transpose beforehand if needed).
 ///
 /// One pass over the state replaces every pass the fused block absorbed.
+/// Dispatching entry point.
 pub fn apply_2q(amps: &mut [Complex], qlo: usize, qhi: usize, m: [[Complex; 4]; 4]) {
+    debug_assert!(qlo < qhi);
+    assert_in_register(amps.len(), 1usize << qhi);
+    if simd::active() {
+        simd::apply_2q(amps, qlo, qhi, m);
+    } else {
+        apply_2q_scalar(amps, qlo, qhi, m);
+    }
+}
+
+/// Portable scalar body of [`apply_2q`].
+pub fn apply_2q_scalar(amps: &mut [Complex], qlo: usize, qhi: usize, m: [[Complex; 4]; 4]) {
     debug_assert!(qlo < qhi);
     let (slo, shi) = (1usize << qlo, 1usize << qhi);
     assert_in_register(amps.len(), shi);
@@ -626,8 +707,17 @@ pub fn diag_2q_parallel(amps: &mut [Complex], qlo: usize, qhi: usize, d: [Comple
 }
 
 /// Multiplies every amplitude by `factor` (the deferred global phase
-/// a fused run accumulates).
+/// a fused run accumulates). Dispatching entry point.
 pub fn scale_all(amps: &mut [Complex], factor: Complex) {
+    if simd::active() {
+        simd::scale_all(amps, factor);
+    } else {
+        scale_all_scalar(amps, factor);
+    }
+}
+
+/// Portable scalar body of [`scale_all`].
+pub fn scale_all_scalar(amps: &mut [Complex], factor: Complex) {
     for a in amps {
         *a = *a * factor;
     }
@@ -667,9 +757,19 @@ pub fn xx_rotate(amps: &mut [Complex], a: usize, b: usize, cos: Complex, isin: C
 }
 
 /// Applies the symmetric 2×2 rotation `[[cos, isin], [isin, cos]]` to
-/// zipped slices.
+/// zipped slices. Dispatching entry point (runs of one amplitude —
+/// `qlo = 0` orbits — stay scalar; there is nothing to vectorize).
 #[inline]
 fn rotate_zip(xs: &mut [Complex], ys: &mut [Complex], cos: Complex, isin: Complex) {
+    if simd::active() && xs.len() >= 2 {
+        simd::rotate_zip(xs, ys, cos, isin);
+    } else {
+        rotate_zip_scalar(xs, ys, cos, isin);
+    }
+}
+
+#[inline]
+fn rotate_zip_scalar(xs: &mut [Complex], ys: &mut [Complex], cos: Complex, isin: Complex) {
     for (x, y) in xs.iter_mut().zip(ys.iter_mut()) {
         let (ax, ay) = (*x, *y);
         *x = cos * ax + isin * ay;
@@ -860,6 +960,9 @@ mod tests {
 
     #[test]
     fn serial_and_parallel_1q_agree() {
+        // Bitwise comparison across two dispatching calls: hold the
+        // tier steady against concurrent force_scalar toggles.
+        let _guard = simd::test_tier_lock();
         let m = [
             [Complex::new(0.6, 0.0), Complex::new(0.0, 0.8)],
             [Complex::new(0.0, 0.8), Complex::new(0.6, 0.0)],

@@ -25,6 +25,7 @@ pub mod complex;
 pub mod fuse;
 pub mod kernels;
 pub mod naive;
+pub mod simd;
 pub mod state;
 
 pub use complex::Complex;

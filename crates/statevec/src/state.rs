@@ -10,7 +10,10 @@
 //!
 //! Gate application dispatches to the pair-indexed kernels of
 //! [`crate::kernels`] (see `crates/statevec/README.md` for the indexing
-//! scheme); the seed's branchy full-scan implementation is retained in
+//! scheme); each kernel in turn resolves to the active instruction tier
+//! of [`crate::simd`] — AVX2+FMA on hosts that support it, the portable
+//! scalar loops otherwise — so nothing at this layer depends on the
+//! tier. The seed's branchy full-scan implementation is retained in
 //! [`crate::naive`] as the reference path.
 
 use crate::complex::Complex;

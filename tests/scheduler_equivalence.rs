@@ -1,12 +1,13 @@
-//! Property tests pinning the incremental Algorithm-2 engine to the
-//! retained seed rescan engine.
+//! Property tests pinning the incremental and bound-pruned Algorithm-2
+//! engines to the retained seed rescan engine.
 //!
 //! Random already-routed circuits (every two-qubit gate fits under the
-//! head) run through both engines for every Eq. 2 policy; the resulting
-//! programs must be identical op-for-op — same move sequence, same head
-//! positions, same executed-gate order. A second property routes random
-//! *unrouted* circuits through the full compiler first, so the engines
-//! are also compared on realistic swap-laden gate streams.
+//! head) run through all three engines for every Eq. 2 policy; the
+//! resulting programs must be identical op-for-op — same move sequence,
+//! same head positions, same executed-gate order. A second property
+//! routes random *unrouted* circuits through the full compiler first,
+//! so the engines are also compared on realistic swap-laden gate
+//! streams.
 
 use proptest::prelude::*;
 use tilt::circuit::{Circuit, Gate, Qubit};
@@ -62,18 +63,24 @@ fn routed_circuit_strategy(spec: DeviceSpec) -> impl Strategy<Value = Circuit> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// Incremental and rescan engines produce identical programs on
-    /// random routed circuits under every Eq. 2 policy.
+    /// The bound-pruned (default), unpruned incremental, and rescan
+    /// engines produce identical programs on random routed circuits
+    /// under every Eq. 2 policy.
     #[test]
-    fn incremental_matches_rescan_on_random_circuits(
+    fn engines_agree_on_random_circuits(
         (spec, circuit) in spec_strategy().prop_flat_map(|s| (Just(s), routed_circuit_strategy(s))),
         kind in kind_strategy(),
     ) {
-        let fast = schedule_with(&circuit, spec, ScheduleConfig::new(kind));
+        let pruned = schedule_with(&circuit, spec, ScheduleConfig::new(kind));
+        let unpruned = schedule_with(&circuit, spec, ScheduleConfig::unpruned(kind));
         let slow = schedule_with(&circuit, spec, ScheduleConfig::rescan(kind));
         prop_assert_eq!(
-            &fast, &slow,
-            "engines diverged for {:?} on:\n{}", kind, circuit
+            &unpruned, &slow,
+            "incremental engine diverged for {:?} on:\n{}", kind, circuit
+        );
+        prop_assert_eq!(
+            &pruned, &slow,
+            "bound-pruned engine diverged for {:?} on:\n{}", kind, circuit
         );
         // Belt and braces on the two halves the equality covers: the
         // move sequence and the executed-gate order.
@@ -83,17 +90,18 @@ proptest! {
                 _ => None,
             }).collect()
         };
-        prop_assert_eq!(moves(&fast), moves(&slow));
-        let order_fast: Vec<&Gate> = fast.gates().map(|(g, _)| g).collect();
+        prop_assert_eq!(moves(&pruned), moves(&slow));
+        prop_assert_eq!(moves(&unpruned), moves(&slow));
+        let order_pruned: Vec<&Gate> = pruned.gates().map(|(g, _)| g).collect();
         let order_slow: Vec<&Gate> = slow.gates().map(|(g, _)| g).collect();
-        prop_assert_eq!(order_fast, order_slow);
+        prop_assert_eq!(order_pruned, order_slow);
     }
 
     /// Same comparison after real routing: random long-range circuits
-    /// go through decomposition and LinQ swap insertion, then both
+    /// go through decomposition and LinQ swap insertion, then all three
     /// engines schedule the lowered stream.
     #[test]
-    fn incremental_matches_rescan_after_routing(
+    fn engines_agree_after_routing(
         pairs in prop::collection::vec((0usize..24, 0usize..24, 1u32..3), 1..25),
         kind in kind_strategy(),
     ) {
@@ -114,14 +122,17 @@ proptest! {
             .route(&native, spec, &initial)
             .expect("random circuits on 24 ions route");
         let lowered = tilt::compiler::decompose::decompose(&routed.circuit);
-        let fast = schedule_with(&lowered, spec, ScheduleConfig::new(kind));
+        let pruned = schedule_with(&lowered, spec, ScheduleConfig::new(kind));
+        let unpruned = schedule_with(&lowered, spec, ScheduleConfig::unpruned(kind));
         let slow = schedule_with(&lowered, spec, ScheduleConfig::rescan(kind));
-        prop_assert_eq!(&fast, &slow, "engines diverged for {:?}", kind);
+        prop_assert_eq!(&unpruned, &slow, "incremental engine diverged for {:?}", kind);
+        prop_assert_eq!(&pruned, &slow, "bound-pruned engine diverged for {:?}", kind);
     }
 }
 
-/// The compiler pipeline (which defaults to the incremental engine)
-/// still produces programs the rescan engine agrees with end to end.
+/// The compiler pipeline (which defaults to the bound-pruned
+/// incremental engine) still produces programs the rescan engine
+/// agrees with end to end.
 #[test]
 fn pipeline_schedule_is_engine_independent() {
     let mut c = Circuit::new(32);

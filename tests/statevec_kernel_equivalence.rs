@@ -11,7 +11,7 @@
 
 use proptest::prelude::*;
 use tilt::circuit::{Circuit, Gate, Qubit};
-use tilt::statevec::{RunOptions, State};
+use tilt::statevec::{simd, Complex, RunOptions, State};
 
 const EPS: f64 = 1e-12;
 
@@ -291,6 +291,262 @@ fn cuccaro_adder_all_modes_agree() {
         let f = out.fidelity(&reference);
         assert!((f - 1.0).abs() < EPS, "{name}: fidelity {f}");
     }
+}
+
+// --- SIMD dispatch tier vs scalar fallback --------------------------------
+//
+// The compute kernels are tier dispatchers: `avx2_fma` where the host
+// supports it, the portable scalar bodies otherwise (and always under
+// `TILT_SIMD=off`). These properties pin the dispatched tier to the
+// forced-scalar tier *and* to an index-arithmetic naive reference at
+// 1e-12 over random register sizes (down to 2 amplitudes — smaller than
+// one SIMD block), qubit positions/strides, and matrices. On a host
+// without AVX2 both runs take the scalar path and the comparison is
+// trivially exact, which is what the `TILT_SIMD=off` CI leg asserts.
+
+/// Runs `f` twice from the same initial state: once under normal
+/// dispatch, once with the scalar tier forced. The tier is
+/// process-global, so the toggle is serialized against every other
+/// bitwise-sensitive test via the crate's tier lock.
+fn both_tiers(init: &[Complex], f: impl Fn(&mut [Complex])) -> (Vec<Complex>, Vec<Complex>) {
+    let _guard = simd::test_tier_lock();
+    let mut dispatched = init.to_vec();
+    simd::force_scalar(false);
+    f(&mut dispatched);
+    let mut scalar = init.to_vec();
+    simd::force_scalar(true);
+    f(&mut scalar);
+    simd::force_scalar(false);
+    (dispatched, scalar)
+}
+
+fn assert_close(got: &[Complex], want: &[Complex], what: &str) {
+    for (x, (a, b)) in got.iter().zip(want).enumerate() {
+        assert!(
+            (a.re - b.re).abs() < EPS && (a.im - b.im).abs() < EPS,
+            "{what}: amplitude {x} diverged: {a:?} vs {b:?}"
+        );
+    }
+}
+
+/// A random register of `2^n` amplitudes (not normalized — kernel
+/// linearity does not care, and unnormalized inputs catch scaling bugs).
+fn raw_state(n: usize) -> impl Strategy<Value = Vec<Complex>> {
+    prop::collection::vec(
+        (-1.0f64..1.0, -1.0f64..1.0).prop_map(|(re, im)| Complex::new(re, im)),
+        1usize << n,
+    )
+}
+
+fn matrix2() -> impl Strategy<Value = [[Complex; 2]; 2]> {
+    prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 4).prop_map(|v| {
+        let c = |i: usize| Complex::new(v[i].0, v[i].1);
+        [[c(0), c(1)], [c(2), c(3)]]
+    })
+}
+
+fn matrix4() -> impl Strategy<Value = [[Complex; 4]; 4]> {
+    prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 16).prop_map(|v| {
+        let c = |i: usize| Complex::new(v[i].0, v[i].1);
+        [
+            [c(0), c(1), c(2), c(3)],
+            [c(4), c(5), c(6), c(7)],
+            [c(8), c(9), c(10), c(11)],
+            [c(12), c(13), c(14), c(15)],
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `apply_1q`: dispatched == forced-scalar == naive bit-arithmetic
+    /// reference, over every stride (q = 0 is the interleaved SIMD
+    /// block path; n = 1 is a 2-amplitude state below one SIMD block).
+    #[test]
+    fn simd_apply_1q_matches_scalar_and_naive(
+        (_n, q, init) in (1usize..9).prop_flat_map(|n| (Just(n), 0..n, raw_state(n))),
+        m in matrix2(),
+    ) {
+        use tilt::statevec::kernels::apply_1q;
+        let (dispatched, scalar) = both_tiers(&init, |amps| apply_1q(amps, q, m));
+        let mut naive = init.clone();
+        for x in 0..init.len() {
+            if x & (1 << q) == 0 {
+                let y = x | (1 << q);
+                naive[x] = m[0][0] * init[x] + m[0][1] * init[y];
+                naive[y] = m[1][0] * init[x] + m[1][1] * init[y];
+            }
+        }
+        assert_close(&dispatched, &scalar, "dispatched vs scalar");
+        assert_close(&dispatched, &naive, "dispatched vs naive");
+    }
+
+    /// `apply_2q` over random (qlo, qhi) pairs, covering the qlo = 0
+    /// interleaved path and the zipped-runs path.
+    #[test]
+    fn simd_apply_2q_matches_scalar_and_naive(
+        (_n, qlo, qhi, init) in (2usize..9).prop_flat_map(|n| {
+            (0..n, 0..n)
+                .prop_filter("distinct", |(a, b)| a != b)
+                .prop_flat_map(move |(a, b)| (Just(n), Just(a.min(b)), Just(a.max(b)), raw_state(n)))
+        }),
+        m in matrix4(),
+    ) {
+        use tilt::statevec::kernels::apply_2q;
+        let (dispatched, scalar) = both_tiers(&init, |amps| apply_2q(amps, qlo, qhi, m));
+        let mut naive = init.clone();
+        for x in 0..init.len() {
+            if x & (1 << qlo) == 0 && x & (1 << qhi) == 0 {
+                let idx = [x, x | (1 << qlo), x | (1 << qhi), x | (1 << qlo) | (1 << qhi)];
+                for (r, &xi) in idx.iter().enumerate() {
+                    let mut acc = Complex::ZERO;
+                    for (c, &xc) in idx.iter().enumerate() {
+                        acc += m[r][c] * init[xc];
+                    }
+                    naive[xi] = acc;
+                }
+            }
+        }
+        assert_close(&dispatched, &scalar, "dispatched vs scalar");
+        assert_close(&dispatched, &naive, "dispatched vs naive");
+    }
+
+    /// The diagonal/phase kernels (the cache-blocked plane sweeps) and
+    /// the global scale.
+    #[test]
+    fn simd_diag_kernels_match_scalar_and_naive(
+        (_n, q, init) in (1usize..9).prop_flat_map(|n| (Just(n), 0..n, raw_state(n))),
+        (t0, t1) in (-6.0f64..6.0, -6.0f64..6.0),
+    ) {
+        use tilt::statevec::kernels::{diag_1q, phase_1q, scale_all};
+        let (p0, p1) = (Complex::cis(t0), Complex::cis(t1));
+
+        let (dispatched, scalar) = both_tiers(&init, |amps| diag_1q(amps, q, p0, p1));
+        let naive: Vec<Complex> = init
+            .iter()
+            .enumerate()
+            .map(|(x, &a)| a * if x & (1 << q) == 0 { p0 } else { p1 })
+            .collect();
+        assert_close(&dispatched, &scalar, "diag_1q dispatched vs scalar");
+        assert_close(&dispatched, &naive, "diag_1q dispatched vs naive");
+
+        let (dispatched, scalar) = both_tiers(&init, |amps| phase_1q(amps, q, p1));
+        let naive: Vec<Complex> = init
+            .iter()
+            .enumerate()
+            .map(|(x, &a)| if x & (1 << q) == 0 { a } else { a * p1 })
+            .collect();
+        assert_close(&dispatched, &scalar, "phase_1q dispatched vs scalar");
+        assert_close(&dispatched, &naive, "phase_1q dispatched vs naive");
+
+        let (dispatched, scalar) = both_tiers(&init, |amps| scale_all(amps, p0));
+        let naive: Vec<Complex> = init.iter().map(|&a| a * p0).collect();
+        assert_close(&dispatched, &scalar, "scale_all dispatched vs scalar");
+        assert_close(&dispatched, &naive, "scale_all dispatched vs naive");
+    }
+
+    /// The `XX(θ)` orbit rotation over random operand pairs (qlo = 0
+    /// orbits are single-amplitude zips that stay scalar by design).
+    #[test]
+    fn simd_xx_rotate_matches_scalar_and_naive(
+        (_n, a, b, init) in (2usize..9).prop_flat_map(|n| {
+            (0..n, 0..n)
+                .prop_filter("distinct", |(a, b)| a != b)
+                .prop_flat_map(move |(a, b)| (Just(n), Just(a), Just(b), raw_state(n)))
+        }),
+        theta in -6.0f64..6.0,
+    ) {
+        use tilt::statevec::kernels::xx_rotate;
+        let cos = Complex::new((theta / 2.0).cos(), 0.0);
+        let isin = Complex::new(0.0, -(theta / 2.0).sin());
+        let (dispatched, scalar) = both_tiers(&init, |amps| xx_rotate(amps, a, b, cos, isin));
+        let mask = (1 << a) | (1 << b);
+        let mut naive = init.clone();
+        for x in 0..init.len() {
+            let y = x ^ mask;
+            if x < y {
+                naive[x] = cos * init[x] + isin * init[y];
+                naive[y] = cos * init[y] + isin * init[x];
+            }
+        }
+        assert_close(&dispatched, &scalar, "dispatched vs scalar");
+        assert_close(&dispatched, &naive, "dispatched vs naive");
+    }
+
+    /// The fused diag-run path: random term batches through the
+    /// hierarchical tree sweep (n up to 9 reaches the `Split` node above
+    /// the table cutoff; the SIMD table sweep runs the leaves).
+    #[test]
+    fn simd_diag_run_matches_scalar_and_naive(
+        (_n, init, terms) in (1usize..10).prop_flat_map(|n| {
+            let term = term_strategy(n);
+            (Just(n), raw_state(n), prop::collection::vec(term, 1..6))
+        }),
+    ) {
+        use tilt::statevec::kernels::apply_diag_run;
+        for parallel in [false, true] {
+            let (dispatched, scalar) =
+                both_tiers(&init, |amps| apply_diag_run(amps, &terms, parallel));
+            let mut naive = init.clone();
+            for (x, amp) in naive.iter_mut().enumerate() {
+                for t in &terms {
+                    *amp = *amp * t.factor(x);
+                }
+            }
+            assert_close(&dispatched, &scalar, "diag run dispatched vs scalar");
+            assert_close(&dispatched, &naive, "diag run dispatched vs naive");
+        }
+    }
+
+    /// Whole-circuit agreement across tiers: the full `run_with`
+    /// pipeline (fusion, batching, parallel splits) produces the same
+    /// state under forced-scalar as under normal dispatch.
+    #[test]
+    fn simd_full_pipeline_matches_scalar(circuit in circuit_strategy(), seed in 0u64..1000) {
+        let n = circuit.n_qubits();
+        let probe = State::random(n, seed);
+        for (name, opts) in modes() {
+            let _guard = simd::test_tier_lock();
+            simd::force_scalar(false);
+            let dispatched = probe.clone().run_with(&circuit, opts);
+            simd::force_scalar(true);
+            let scalar = probe.clone().run_with(&circuit, opts);
+            simd::force_scalar(false);
+            drop(_guard);
+            let f = dispatched.fidelity(&scalar);
+            prop_assert!(
+                (f - 1.0).abs() < EPS,
+                "{name} tiers diverged: fidelity {f}\ncircuit: {circuit}"
+            );
+        }
+    }
+}
+
+/// A random normalized diagonal term on qubits below `n` (the same
+/// shape the fusion batcher emits).
+fn term_strategy(n: usize) -> impl Strategy<Value = tilt::statevec::kernels::DiagTerm> {
+    use tilt::statevec::kernels::DiagTerm;
+    let one = (0..n, -6.0f64..6.0).prop_map(|(q, t)| DiagTerm::One {
+        q,
+        p: [Complex::ONE, Complex::cis(t)],
+    });
+    if n < 2 {
+        return one.boxed();
+    }
+    let two = (0..n, 0..n, -6.0f64..6.0, -6.0f64..6.0, -6.0f64..6.0)
+        .prop_filter("distinct", |(a, b, ..)| a != b)
+        .prop_map(|(a, b, t1, t2, t3)| DiagTerm::Two {
+            qlo: a.min(b),
+            qhi: a.max(b),
+            d: [
+                Complex::ONE,
+                Complex::cis(t1),
+                Complex::cis(t2),
+                Complex::cis(t3),
+            ],
+        });
+    prop_oneof![one, two].boxed()
 }
 
 /// A QFT-style ladder wide enough that one diagonal run spans more
