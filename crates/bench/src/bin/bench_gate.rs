@@ -43,12 +43,13 @@ const MIN_RATIO: f64 = 0.8;
 const MAX_BASELINE_RUNS: usize = 5;
 
 /// Every record file a run may produce.
-const FILES: [&str; 5] = [
+const FILES: [&str; 6] = [
     "BENCH_statevec.json",
     "BENCH_router.json",
     "BENCH_scheduler.json",
     "BENCH_engine.json",
     "BENCH_service.json",
+    "BENCH_stabilizer.json",
 ];
 
 /// Same-run speedup ratios: regressions here are code, not hardware.
@@ -64,7 +65,7 @@ const GATING: [(&str, &str); 3] = [
 
 /// Cross-run absolute throughput, plus the engine batch ratio (which
 /// can hinge on runner core count): advisory only.
-const ADVISORY: [(&str, &str); 12] = [
+const ADVISORY: [(&str, &str); 14] = [
     ("BENCH_statevec.json", "optimized_gates_per_sec"),
     ("BENCH_statevec.json", "simd.simd_gates_per_sec"),
     ("BENCH_statevec.json", "permutation.parallel_gates_per_sec"),
@@ -80,6 +81,10 @@ const ADVISORY: [(&str, &str); 12] = [
     // record but are lower-is-better, which this gate cannot score.
     ("BENCH_service.json", "overload.admission.requests_per_sec"),
     ("BENCH_service.json", "overload.open_loop.requests_per_sec"),
+    // QEC-scale tableau throughput: raw simulator and through-Engine
+    // rates are both absolute, so runner speed moves them — advisory.
+    ("BENCH_stabilizer.json", "tableau_measurements_per_sec"),
+    ("BENCH_stabilizer.json", "engine_measurements_per_sec"),
 ];
 
 /// One run's records, keyed by file name.

@@ -33,6 +33,11 @@
 //!   capacity flood with and without admission control (p99 latency,
 //!   shed rate, and waves-to-completion for a client that honors
 //!   `retry_after_ms` with exponential backoff + jitter).
+//! * `BENCH_stabilizer.json` — a QEC-scale memory experiment the dense
+//!   simulator cannot represent: the distance-251 repetition code
+//!   (501 qubits, 10 syndrome rounds) through the raw tableau and
+//!   end-to-end through the `Engine` on the stabilizer method, plus
+//!   the statevec refusal for the same circuit as a negative control.
 //!
 //! Run with: `cargo run --release -p tilt-bench --bin perf`
 
@@ -40,6 +45,7 @@ use std::time::Instant;
 
 use tilt_benchmarks::bv::bernstein_vazirani;
 use tilt_benchmarks::qaoa::qaoa_maxcut;
+use tilt_benchmarks::qec::repetition_code;
 use tilt_benchmarks::qft::qft;
 use tilt_benchmarks::rcs::random_circuit_sampling;
 use tilt_circuit::{Circuit, Qubit};
@@ -48,7 +54,7 @@ use tilt_compiler::mapping::InitialMapping;
 use tilt_compiler::route::LinqConfig;
 use tilt_compiler::schedule::{schedule_with, ScheduleConfig, SchedulerKind};
 use tilt_compiler::{DeviceSpec, RouterKind};
-use tilt_engine::{Backend, Engine, Service};
+use tilt_engine::{Backend, Engine, Service, SimMethod, TiltError};
 use tilt_report::{Json, Table};
 use tilt_statevec::{RunOptions, State};
 
@@ -579,9 +585,89 @@ fn main() {
         format!("{admit_waves} waves"),
     ]);
 
+    // --- stabilizer: QEC-scale memory experiment -------------------------
+    // The distance-251 repetition code: 501 qubits, 10 syndrome rounds,
+    // 2751 mid-circuit + final measurements. A dense state vector for
+    // this circuit would need 2^501 amplitudes, so the statevec method
+    // refusing it is part of the record (negative control); the tableau
+    // runs it in milliseconds. On the all-zero initial state every
+    // syndrome and every data readout is deterministically 0, which the
+    // record asserts — a wrong update rule would show up right here.
+    let qec = repetition_code(251, 10);
+    let qec_meas = qec.stats().measurements as f64;
+    let tableau_run = tilt_stabilizer::run(&qec, 7).expect("repetition code is Clifford");
+    assert_eq!(
+        tableau_run.deterministic_measurements,
+        tableau_run.outcomes.len(),
+        "all-zero-state syndrome extraction is fully deterministic"
+    );
+    assert!(
+        tableau_run.outcomes.iter().all(|&b| !b),
+        "a quiet memory experiment reads back all zeros"
+    );
+    let t_tableau = time_median(5, || {
+        std::hint::black_box(tilt_stabilizer::run(&qec, 7).expect("repetition code is Clifford"));
+    });
+    // End-to-end through the session API: compile for a 501-ion tape
+    // (the interleaved layout keeps every check span-1, so routing adds
+    // nothing) and simulate on the stabilizer method. A fresh engine
+    // per sample keeps the compile cache from hiding the compile cost.
+    let qec_spec = DeviceSpec::new(qec.n_qubits(), 16).expect("valid 501-ion device");
+    let t_engine = time_median(3, || {
+        let engine = Engine::builder()
+            .backend(Backend::Tilt(qec_spec))
+            .simulate(SimMethod::Stabilizer)
+            .build()
+            .expect("engine builds");
+        let report = engine
+            .run(&qec)
+            .expect("QEC workload compiles and simulates");
+        let sim = report.sim.expect("simulation was requested");
+        assert_eq!(sim.measurements as f64, qec_meas);
+        std::hint::black_box(sim);
+    });
+    let statevec_refusal = {
+        let engine = Engine::builder()
+            .backend(Backend::Tilt(qec_spec))
+            .simulate(SimMethod::Statevec)
+            .build()
+            .expect("engine builds");
+        match engine.run(&qec) {
+            Err(TiltError::Simulation { reason }) => reason,
+            other => panic!("501 qubits must refuse the dense method, got {other:?}"),
+        }
+    };
+    let stabilizer_record = Json::object()
+        .set("benchmark", "repetition_code_d251_r10")
+        .set("n_qubits", qec.n_qubits())
+        .set("distance", 251usize)
+        .set("rounds", 10usize)
+        .set("gates", qec.len())
+        .set("measurements", qec_meas)
+        .set(
+            "deterministic_measurements",
+            tableau_run.deterministic_measurements,
+        )
+        .set("random_measurements", tableau_run.random_measurements)
+        .set("tableau_secs", t_tableau)
+        .set("tableau_measurements_per_sec", qec_meas / t_tableau)
+        .set("engine_secs", t_engine)
+        .set("engine_measurements_per_sec", qec_meas / t_engine)
+        .set("statevec_representable", false)
+        .set("statevec_refusal", statevec_refusal.as_str())
+        .set("kernel_tier", tilt_statevec::simd::tier_name());
+    std::fs::write("BENCH_stabilizer.json", stabilizer_record.render())
+        .expect("write BENCH_stabilizer.json");
+    table.row([
+        "stabilizer d251 r10".to_string(),
+        "2^501 amplitudes (refused)".to_string(),
+        format!("{:.0} meas/s", qec_meas / t_tableau),
+        format!("{:.3}s end-to-end", t_engine),
+    ]);
+
     print!("{}", table.render());
     println!(
-        "\nwrote BENCH_statevec.json, BENCH_router.json, BENCH_scheduler.json, BENCH_engine.json, BENCH_service.json"
+        "\nwrote BENCH_statevec.json, BENCH_router.json, BENCH_scheduler.json, BENCH_engine.json, BENCH_service.json, BENCH_stabilizer.json"
     );
 }
 

@@ -16,6 +16,11 @@
 //! Table II counts "2Q Gates". The [`suite`] module bundles the exact
 //! paper configurations.
 //!
+//! Beyond the Table II suite, the [`qec`] module generates QEC-scale
+//! pure-Clifford syndrome-extraction workloads (repetition-code and
+//! surface-style memory experiments, hundreds of qubits) for the
+//! stabilizer simulation backend.
+//!
 //! # Example
 //!
 //! ```
@@ -30,6 +35,7 @@ pub mod adder;
 pub mod bv;
 pub mod extended;
 pub mod qaoa;
+pub mod qec;
 pub mod qft;
 pub mod rcs;
 pub mod sqrt;

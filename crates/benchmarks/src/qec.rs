@@ -1,0 +1,205 @@
+//! QEC-scale syndrome-extraction workloads for the stabilizer backend.
+//!
+//! The Table II NISQ suite tops out at 78 qubits — comfortable dense-
+//! simulator territory once circuits are narrow, and far below where
+//! error-corrected machines operate. These generators produce the
+//! opposite regime: pure-Clifford memory experiments with hundreds of
+//! qubits and repeated mid-circuit measurement, exactly the shape the
+//! `tilt-stabilizer` tableau handles and the dense state vector cannot
+//! represent (a 500-qubit state would need 2^500 amplitudes).
+//!
+//! Two codes, both emitting one measurement per ancilla per round and a
+//! final transversal data readout:
+//!
+//! * [`repetition_code`] — the distance-`d` bit-flip repetition code on
+//!   a line, `2d - 1` qubits. Data and ancilla qubits interleave
+//!   (`d0 a0 d1 a1 …`) so every syndrome CNOT is distance-1 on a tape.
+//! * [`surface_syndrome`] — a rotated-surface-style checkerboard of
+//!   4-body plaquette checks over a `d × d` data grid, `d² + (d-1)²`
+//!   qubits. X- and Z-type plaquettes alternate by parity; boundary
+//!   2-body checks are omitted, so this is a surface-*like* syndrome
+//!   workload, not a full distance-`d` code.
+
+use tilt_circuit::{Circuit, Qubit};
+
+/// Distance-`d` repetition-code memory experiment: `rounds` rounds of
+/// syndrome extraction, then transversal data readout.
+///
+/// Layout interleaves data and ancilla qubits on the line —
+/// data `i` at index `2i`, ancilla `j` at `2j + 1` — so both CNOTs of
+/// every parity check touch nearest neighbours (span 1), the friendly
+/// case for tape routing. Each round measures every ancilla and resets
+/// it for the next round. Total: `2d - 1` qubits,
+/// `rounds · (d - 1) + d` measurements.
+///
+/// On the all-zero initial state every syndrome is deterministically 0,
+/// which makes the circuit a self-checking stabilizer workload.
+///
+/// # Panics
+///
+/// Panics if `distance < 2` or `rounds == 0`.
+///
+/// # Example
+///
+/// ```
+/// use tilt_benchmarks::qec::repetition_code;
+///
+/// let c = repetition_code(3, 2);
+/// assert_eq!(c.n_qubits(), 5);
+/// assert!(c.is_clifford());
+/// assert_eq!(c.stats().measurements, 2 * 2 + 3);
+/// ```
+pub fn repetition_code(distance: usize, rounds: usize) -> Circuit {
+    assert!(distance >= 2, "a repetition code needs distance >= 2");
+    assert!(rounds >= 1, "a memory experiment needs at least one round");
+    let data = |i: usize| Qubit(2 * i);
+    let ancilla = |j: usize| Qubit(2 * j + 1);
+    let mut c = Circuit::new(2 * distance - 1);
+    for _ in 0..rounds {
+        // Z⊗Z parity of each adjacent data pair, accumulated onto the
+        // ancilla between them.
+        for j in 0..distance - 1 {
+            c.cnot(data(j), ancilla(j));
+            c.cnot(data(j + 1), ancilla(j));
+        }
+        for j in 0..distance - 1 {
+            c.measure(ancilla(j));
+            c.reset_qubit(ancilla(j));
+        }
+        c.barrier();
+    }
+    for i in 0..distance {
+        c.measure(data(i));
+    }
+    c
+}
+
+/// A rotated-surface-style syndrome-extraction workload: `rounds`
+/// rounds of 4-body plaquette checks over a `d × d` data grid, then
+/// transversal data readout.
+///
+/// Data qubit `(r, c)` sits at index `r·d + c`; the `(d-1)²` plaquette
+/// ancillas follow, one per cell of the dual grid. Plaquettes alternate
+/// X-type and Z-type in checkerboard fashion (by `r + c` parity): a
+/// Z-plaquette accumulates the four corner data qubits onto its ancilla
+/// with data→ancilla CNOTs; an X-plaquette conjugates the same pattern
+/// by Hadamards on the ancilla. Boundary (2-body) stabilizers are
+/// omitted — this is a surface-*like* Clifford workload with the right
+/// connectivity and measurement density, not a complete code.
+///
+/// Total: `d² + (d-1)²` qubits, `rounds · (d-1)² + d²` measurements.
+///
+/// # Panics
+///
+/// Panics if `distance < 2` or `rounds == 0`.
+///
+/// # Example
+///
+/// ```
+/// use tilt_benchmarks::qec::surface_syndrome;
+///
+/// let c = surface_syndrome(3, 1);
+/// assert_eq!(c.n_qubits(), 9 + 4);
+/// assert!(c.is_clifford());
+/// ```
+pub fn surface_syndrome(distance: usize, rounds: usize) -> Circuit {
+    assert!(distance >= 2, "a surface patch needs distance >= 2");
+    assert!(rounds >= 1, "a memory experiment needs at least one round");
+    let d = distance;
+    let n_data = d * d;
+    let n_anc = (d - 1) * (d - 1);
+    let data = |r: usize, c: usize| Qubit(r * d + c);
+    let ancilla = |r: usize, c: usize| Qubit(n_data + r * (d - 1) + c);
+    let mut circuit = Circuit::new(n_data + n_anc);
+    for _ in 0..rounds {
+        for r in 0..d - 1 {
+            for c in 0..d - 1 {
+                let a = ancilla(r, c);
+                let corners = [
+                    data(r, c),
+                    data(r, c + 1),
+                    data(r + 1, c),
+                    data(r + 1, c + 1),
+                ];
+                if (r + c) % 2 == 0 {
+                    // Z-plaquette: parity of the corners in the Z basis.
+                    for q in corners {
+                        circuit.cnot(q, a);
+                    }
+                } else {
+                    // X-plaquette: the same check conjugated into the X
+                    // basis (H on the ancilla, ancilla-controlled CNOTs).
+                    circuit.h(a);
+                    for q in corners {
+                        circuit.cnot(a, q);
+                    }
+                    circuit.h(a);
+                }
+            }
+        }
+        for r in 0..d - 1 {
+            for c in 0..d - 1 {
+                circuit.measure(ancilla(r, c));
+                circuit.reset_qubit(ancilla(r, c));
+            }
+        }
+        circuit.barrier();
+    }
+    for r in 0..d {
+        for c in 0..d {
+            circuit.measure(data(r, c));
+        }
+    }
+    circuit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilt_circuit::validate;
+
+    #[test]
+    fn repetition_code_shape() {
+        let c = repetition_code(5, 3);
+        assert_eq!(c.n_qubits(), 9);
+        assert!(validate(&c).is_ok());
+        assert!(c.is_clifford());
+        assert_eq!(c.stats().measurements, 3 * 4 + 5);
+    }
+
+    #[test]
+    fn repetition_code_cnots_are_nearest_neighbour() {
+        let c = repetition_code(7, 2);
+        let max_span = c.iter().filter_map(|g| g.span()).max().unwrap();
+        assert_eq!(max_span, 1, "interleaved layout keeps every check local");
+    }
+
+    #[test]
+    fn repetition_code_scales_past_dense_reach() {
+        // d = 251 → 501 qubits: representable only on the tableau.
+        let c = repetition_code(251, 10);
+        assert_eq!(c.n_qubits(), 501);
+        assert!(c.is_clifford());
+    }
+
+    #[test]
+    fn surface_syndrome_shape() {
+        let c = surface_syndrome(4, 2);
+        assert_eq!(c.n_qubits(), 16 + 9);
+        assert!(validate(&c).is_ok());
+        assert!(c.is_clifford());
+        assert_eq!(c.stats().measurements, 2 * 9 + 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "distance >= 2")]
+    fn repetition_code_rejects_trivial_distance() {
+        repetition_code(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn surface_syndrome_rejects_zero_rounds() {
+        surface_syndrome(3, 0);
+    }
+}

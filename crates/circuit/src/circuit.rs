@@ -139,6 +139,15 @@ impl Circuit {
         self.gates.iter().all(Gate::is_native)
     }
 
+    /// True when every gate is Clifford (per [`Gate::is_clifford`],
+    /// which admits measurement, reset, and barriers) — the condition
+    /// under which the stabilizer tableau backend simulates the whole
+    /// circuit exactly, and what the engine's `Auto` simulator
+    /// selection tests.
+    pub fn is_clifford(&self) -> bool {
+        self.gates.iter().all(Gate::is_clifford)
+    }
+
     /// Circuit depth: the length of the longest dependency chain.
     ///
     /// Computed with a linear scan tracking per-qubit completion levels;

@@ -1,0 +1,185 @@
+//! Clifford-angle arithmetic: canonical normalization and grid tests.
+//!
+//! Two consumers share this module:
+//!
+//! * the QASM parser canonicalizes every gate angle through
+//!   [`normalize_angle`] so equivalent programs (`rz(-3*pi/2)` vs
+//!   `rz(pi/2)`) produce bit-identical circuits — and therefore the
+//!   same [`Circuit::digest`](crate::Circuit::digest) and the same
+//!   simulator selection;
+//! * [`Gate::is_clifford`](crate::Gate::is_clifford) and the stabilizer
+//!   backend classify rotation angles against the Clifford grid
+//!   (multiples of π/2, or π for a controlled phase) with the same
+//!   tolerance, so "Auto picked the stabilizer backend" and "the
+//!   stabilizer backend accepts the circuit" can never disagree.
+//!
+//! Angles within [`ANGLE_TOL`] of a grid point count as on-grid: QASM
+//! sources write `pi/2` through finite-precision expression evaluation,
+//! and toolchains emit decimal approximations like `1.5707963267948966`.
+
+use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+/// Absolute tolerance for angle classification and snapping.
+///
+/// Wide enough to absorb decimal-literal rounding of π multiples (a few
+/// ulps, ~1e-16) with huge margin; narrow enough that no deliberately
+/// non-Clifford angle (the closest in practice is T's π/4 offset,
+/// ~0.785 away from the π/2 grid) is misclassified.
+pub const ANGLE_TOL: f64 = 1e-9;
+
+const TAU: f64 = 2.0 * PI;
+
+/// Canonicalizes a gate angle: wraps into `(-π, π]`, then snaps values
+/// within [`ANGLE_TOL`] of a multiple of π/4 to the exact grid point
+/// (`k * FRAC_PI_4`, the same bits for every equivalent spelling).
+///
+/// The function is the identity on angles already in `(-π, π]` and away
+/// from the π/4 grid, and idempotent everywhere. Non-finite input is
+/// returned unchanged (the parser rejects it separately).
+///
+/// Note that wrapping by 2π changes `Rx/Ry/Rz/Zz/Xx` by a global phase
+/// of −1 (they are 4π-periodic as matrices); that phase is unobservable,
+/// which is exactly why the canonical form is safe to substitute.
+///
+/// # Example
+///
+/// ```
+/// use std::f64::consts::{FRAC_PI_2, PI};
+/// use tilt_circuit::clifford::normalize_angle;
+///
+/// assert_eq!(normalize_angle(-3.0 * PI / 2.0), FRAC_PI_2);
+/// assert_eq!(normalize_angle(0.3), 0.3); // in range, off grid: untouched
+/// ```
+pub fn normalize_angle(theta: f64) -> f64 {
+    if !theta.is_finite() {
+        return theta;
+    }
+    let mut t = theta;
+    if !(-PI < t && t <= PI) {
+        t = t.rem_euclid(TAU); // [0, 2π)
+        if t > PI {
+            t -= TAU;
+        }
+    }
+    let k = (t / FRAC_PI_4).round();
+    let snapped = k * FRAC_PI_4;
+    if (t - snapped).abs() <= ANGLE_TOL {
+        // −π and π are the same point; π is the canonical spelling.
+        if snapped <= -PI {
+            return PI;
+        }
+        return snapped;
+    }
+    t
+}
+
+/// `Some(k)` with `theta ≡ k·π/2 (mod 2π)`, `k ∈ {0, 1, 2, 3}`, when
+/// `theta` lies within [`ANGLE_TOL`] of the π/2 grid; `None` otherwise.
+///
+/// This is the acceptance test for `Rx`/`Ry`/`Rz`/`Zz`/`Xx` on the
+/// stabilizer backend, and the quarter-turn count its lowering uses.
+pub fn half_pi_steps(theta: f64) -> Option<u8> {
+    if !theta.is_finite() {
+        return None;
+    }
+    let t = theta.rem_euclid(TAU);
+    let k = (t / FRAC_PI_2).round();
+    if (t - k * FRAC_PI_2).abs() <= ANGLE_TOL {
+        Some((k as u8) % 4)
+    } else {
+        None
+    }
+}
+
+/// `Some(k)` with `theta ≡ k·π (mod 2π)`, `k ∈ {0, 1}`, when `theta`
+/// lies within [`ANGLE_TOL`] of the π grid; `None` otherwise.
+///
+/// The Clifford test for `Cphase`: `diag(1,1,1,e^{iλ})` is Clifford
+/// only at λ ≡ 0 (identity) or λ ≡ π (CZ). λ = π/2 is the CS gate —
+/// *not* Clifford, despite being a "multiple of π/2".
+pub fn pi_steps(theta: f64) -> Option<u8> {
+    if !theta.is_finite() {
+        return None;
+    }
+    let t = theta.rem_euclid(TAU);
+    let k = (t / PI).round();
+    if (t - k * PI).abs() <= ANGLE_TOL {
+        Some((k as u8) % 2)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::approx_constant)] // decimal π/2 spellings are the point
+    fn normalize_wraps_and_snaps() {
+        // The satellite's motivating case: rz(-3*pi/2) ≡ rz(pi/2).
+        assert_eq!(normalize_angle(-3.0 * PI / 2.0), FRAC_PI_2);
+        assert_eq!(normalize_angle(7.0 * FRAC_PI_4), -FRAC_PI_4);
+        assert_eq!(normalize_angle(TAU), 0.0);
+        assert_eq!(normalize_angle(-PI), PI);
+        assert_eq!(normalize_angle(3.0 * PI), PI);
+        // Near-grid decimals snap to the exact grid point.
+        assert_eq!(normalize_angle(1.5707963267948966), FRAC_PI_2);
+        assert_eq!(normalize_angle(FRAC_PI_2 + 5e-10), FRAC_PI_2);
+    }
+
+    #[test]
+    fn normalize_is_identity_off_grid_in_range() {
+        for t in [0.3, -0.7, 1.0, 2.5, -3.0, FRAC_PI_2 + 0.1] {
+            assert_eq!(normalize_angle(t), t);
+        }
+    }
+
+    #[test]
+    fn normalize_is_idempotent() {
+        for raw in [
+            -3.0 * PI / 2.0,
+            7.0 * FRAC_PI_4,
+            5.9,
+            -9.99,
+            0.3,
+            PI,
+            -PI,
+            0.0,
+        ] {
+            let once = normalize_angle(raw);
+            assert_eq!(normalize_angle(once), once, "raw {raw}");
+        }
+    }
+
+    #[test]
+    fn normalize_passes_non_finite_through() {
+        assert!(normalize_angle(f64::NAN).is_nan());
+        assert_eq!(normalize_angle(f64::INFINITY), f64::INFINITY);
+    }
+
+    #[test]
+    #[allow(clippy::approx_constant)] // decimal π/2 spellings are the point
+    fn half_pi_grid() {
+        assert_eq!(half_pi_steps(0.0), Some(0));
+        assert_eq!(half_pi_steps(FRAC_PI_2), Some(1));
+        assert_eq!(half_pi_steps(PI), Some(2));
+        assert_eq!(half_pi_steps(-FRAC_PI_2), Some(3));
+        assert_eq!(half_pi_steps(-3.0 * PI / 2.0), Some(1));
+        assert_eq!(half_pi_steps(TAU), Some(0));
+        assert_eq!(half_pi_steps(1.5707963267948966), Some(1));
+        assert_eq!(half_pi_steps(FRAC_PI_4), None);
+        assert_eq!(half_pi_steps(0.3), None);
+        assert_eq!(half_pi_steps(f64::NAN), None);
+    }
+
+    #[test]
+    fn pi_grid_rejects_cs() {
+        assert_eq!(pi_steps(0.0), Some(0));
+        assert_eq!(pi_steps(PI), Some(1));
+        assert_eq!(pi_steps(-PI), Some(1));
+        assert_eq!(pi_steps(TAU), Some(0));
+        // CS = Cphase(π/2) is not Clifford.
+        assert_eq!(pi_steps(FRAC_PI_2), None);
+    }
+}

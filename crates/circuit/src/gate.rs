@@ -240,6 +240,35 @@ impl Gate {
         }
     }
 
+    /// True when the gate normalizes a Pauli operator to a Pauli
+    /// operator — i.e. the stabilizer (tableau) backend can simulate it
+    /// exactly.
+    ///
+    /// Angle-carrying gates are classified against the Clifford grid
+    /// with the shared [`crate::clifford::ANGLE_TOL`] tolerance:
+    /// `Rx`/`Ry`/`Rz`/`Zz`/`Xx` at multiples of π/2, `Cphase` at
+    /// multiples of π (λ = π/2 is the CS gate, which is *not*
+    /// Clifford). `T`/`Tdg`/`Toffoli` are never Clifford.
+    ///
+    /// [`Gate::Measure`], [`Gate::Reset`], and [`Gate::Barrier`] return
+    /// `true`: they are not unitaries, but a tableau simulates them
+    /// exactly, so "every gate is Clifford" is precisely the condition
+    /// under which the whole circuit is stabilizer-simulable.
+    pub fn is_clifford(&self) -> bool {
+        use crate::clifford::{half_pi_steps, pi_steps};
+        use Gate::*;
+        match *self {
+            H(_) | X(_) | Y(_) | Z(_) | S(_) | Sdg(_) | SqrtX(_) | SqrtY(_) | Cnot(..) | Cz(..)
+            | Swap(..) => true,
+            T(_) | Tdg(_) | Toffoli(..) => false,
+            Rx(_, t) | Ry(_, t) | Rz(_, t) | Zz(_, _, t) | Xx(_, _, t) => {
+                half_pi_steps(t).is_some()
+            }
+            Cphase(_, _, t) => pi_steps(t).is_some(),
+            Measure(_) | Reset(_) | Barrier => true,
+        }
+    }
+
     /// Short lowercase mnemonic, matching the OpenQASM spelling where one
     /// exists.
     pub fn name(&self) -> &'static str {
@@ -369,6 +398,51 @@ mod tests {
         assert_eq!(Gate::Cnot(Qubit(0), Qubit(1)).to_string(), "cx q0, q1");
         assert_eq!(Gate::Rx(Qubit(2), 0.5).to_string(), "rx(0.5000) q2");
         assert_eq!(Gate::Barrier.to_string(), "barrier");
+    }
+
+    #[test]
+    #[allow(clippy::approx_constant)] // decimal π/2 spellings are the point
+    fn clifford_classification_is_angle_aware() {
+        use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+        let q = Qubit(0);
+        let p = Qubit(1);
+        // Fixed Clifford gates.
+        for g in [
+            Gate::H(q),
+            Gate::X(q),
+            Gate::Y(q),
+            Gate::Z(q),
+            Gate::S(q),
+            Gate::Sdg(q),
+            Gate::SqrtX(q),
+            Gate::SqrtY(q),
+            Gate::Cnot(q, p),
+            Gate::Cz(q, p),
+            Gate::Swap(q, p),
+            Gate::Measure(q),
+            Gate::Reset(q),
+            Gate::Barrier,
+        ] {
+            assert!(g.is_clifford(), "{g:?}");
+        }
+        // Never Clifford.
+        for g in [Gate::T(q), Gate::Tdg(q), Gate::Toffoli(q, p, Qubit(2))] {
+            assert!(!g.is_clifford(), "{g:?}");
+        }
+        // Rotations: π/2 grid, with tolerance for decimal spellings.
+        assert!(Gate::Rz(q, FRAC_PI_2).is_clifford());
+        assert!(Gate::Rz(q, -3.0 * PI / 2.0).is_clifford());
+        assert!(Gate::Rx(q, 1.5707963267948966).is_clifford());
+        assert!(Gate::Ry(q, 0.0).is_clifford());
+        assert!(!Gate::Rz(q, FRAC_PI_4).is_clifford());
+        assert!(!Gate::Rx(q, 0.3).is_clifford());
+        assert!(Gate::Zz(q, p, FRAC_PI_2).is_clifford());
+        assert!(Gate::Xx(q, p, -FRAC_PI_2).is_clifford());
+        assert!(!Gate::Xx(q, p, FRAC_PI_4).is_clifford());
+        // Cphase: Clifford only at multiples of π (CS is not).
+        assert!(Gate::Cphase(q, p, PI).is_clifford());
+        assert!(Gate::Cphase(q, p, 0.0).is_clifford());
+        assert!(!Gate::Cphase(q, p, FRAC_PI_2).is_clifford());
     }
 
     #[test]

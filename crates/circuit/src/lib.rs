@@ -26,6 +26,7 @@
 //! ```
 
 pub mod circuit;
+pub mod clifford;
 pub mod dag;
 pub mod digest;
 pub mod gate;

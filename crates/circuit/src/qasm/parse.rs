@@ -300,10 +300,14 @@ fn parse_params(text: &str, line: usize) -> Result<Params, ParseQasmError> {
         // Fast path: the emitter (and every mainstream toolchain)
         // writes plain decimal angles; the expression grammar only
         // runs for symbolic forms like `pi/2`.
-        params.values[params.len] = match part.parse::<f64>() {
+        let raw = match part.parse::<f64>() {
             Ok(v) if v.is_finite() => v,
             _ => parse_angle_expr(part, line)?,
         };
+        // Canonicalize so equivalent spellings (`rz(-3*pi/2)` vs
+        // `rz(pi/2)`) build bit-identical gates — and therefore the
+        // same circuit digest, cache key, and simulator selection.
+        params.values[params.len] = crate::clifford::normalize_angle(raw);
         params.len += 1;
     }
     Ok(params)
@@ -443,9 +447,26 @@ mod tests {
             .collect();
         assert!((angles[0] - PI / 2.0).abs() < 1e-12);
         assert!((angles[1] + PI / 4.0).abs() < 1e-12);
-        assert!((angles[2] - 2.0 * PI).abs() < 1e-12);
+        // `2*pi` canonicalizes to 0: angles are normalized into (-π, π].
+        assert_eq!(angles[2], 0.0);
         assert!((angles[3] - 0.25).abs() < 1e-12);
         assert!((angles[4] - PI / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalizes_equivalent_angle_spellings_to_one_digest() {
+        // The Clifford-classification satellite case: a wrapped negative
+        // angle and its canonical spelling must build bit-identical
+        // circuits, so digests (cache keys) and simulator selection
+        // cannot diverge on equivalent programs.
+        let a = parse_qasm("qreg q[1];\nrz(-3*pi/2) q[0];\n").unwrap();
+        let b = parse_qasm("qreg q[1];\nrz(pi/2) q[0];\n").unwrap();
+        assert_eq!(a.gates(), b.gates());
+        assert_eq!(a.digest(), b.digest());
+        assert!(a.gates()[0].is_clifford());
+        // Decimal spellings of π multiples snap onto the same grid point.
+        let c = parse_qasm("qreg q[1];\nrz(1.5707963267948966) q[0];\n").unwrap();
+        assert_eq!(c.digest(), b.digest());
     }
 
     #[test]

@@ -42,6 +42,13 @@ pub struct CircuitStats {
     pub resets: usize,
     /// Barrier count.
     pub barriers: usize,
+    /// Unitary gates that are Clifford (per
+    /// [`Gate::is_clifford`](crate::Gate::is_clifford), angle-aware;
+    /// measurements, resets, and barriers are excluded so the count
+    /// compares directly against the unitary totals above). The whole
+    /// circuit is stabilizer-simulable iff this equals
+    /// `single_qubit_gates + two_qubit_gates + three_qubit_gates`.
+    pub clifford_gate_count: usize,
     /// Circuit depth (longest dependency chain).
     pub depth: usize,
     /// Maximum two-qubit operand distance `max d_g` in ion spacings.
@@ -75,6 +82,15 @@ impl CircuitStats {
                 }
                 _ => s.three_qubit_gates += 1,
             }
+            if !matches!(
+                g,
+                crate::gate::Gate::Measure(_)
+                    | crate::gate::Gate::Reset(_)
+                    | crate::gate::Gate::Barrier
+            ) && g.is_clifford()
+            {
+                s.clifford_gate_count += 1;
+            }
         }
         s
     }
@@ -84,13 +100,14 @@ impl fmt::Display for CircuitStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} qubits, {} gates ({} 1q, {} 2q, {} 3q, {} meas), depth {}, max span {}",
+            "{} qubits, {} gates ({} 1q, {} 2q, {} 3q, {} meas, {} clifford), depth {}, max span {}",
             self.n_qubits,
             self.total_gates,
             self.single_qubit_gates,
             self.two_qubit_gates,
             self.three_qubit_gates,
             self.measurements,
+            self.clifford_gate_count,
             self.depth,
             self.max_span
         )
@@ -118,6 +135,35 @@ mod tests {
         assert_eq!(s.barriers, 1);
         assert_eq!(s.measurements, 1);
         assert_eq!(s.max_span, 4);
+    }
+
+    #[test]
+    fn clifford_count_is_angle_aware() {
+        use std::f64::consts::{FRAC_PI_2, FRAC_PI_4};
+        let mut c = Circuit::new(3);
+        c.h(Qubit(0)); // clifford
+        c.s(Qubit(1)); // clifford
+        c.t(Qubit(2)); // not
+        c.rz(Qubit(0), FRAC_PI_2); // clifford (on grid)
+        c.rz(Qubit(0), FRAC_PI_4); // not (T-like)
+        c.cnot(Qubit(0), Qubit(1)); // clifford
+        c.cphase(Qubit(1), Qubit(2), std::f64::consts::PI); // clifford (CZ)
+        c.cphase(Qubit(1), Qubit(2), FRAC_PI_2); // not (CS)
+        c.toffoli(Qubit(0), Qubit(1), Qubit(2)); // not
+        c.measure(Qubit(0)); // excluded from the count
+        c.barrier(); // excluded
+        let s = c.stats();
+        assert_eq!(s.clifford_gate_count, 5);
+        // The all-Clifford condition matches the per-gate sum identity.
+        assert!(!c.is_clifford());
+        let mut ok = Circuit::new(2);
+        ok.h(Qubit(0)).cnot(Qubit(0), Qubit(1)).measure(Qubit(1));
+        assert!(ok.is_clifford());
+        let st = ok.stats();
+        assert_eq!(
+            st.clifford_gate_count,
+            st.single_qubit_gates + st.two_qubit_gates + st.three_qubit_gates
+        );
     }
 
     #[test]

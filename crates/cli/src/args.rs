@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fmt;
 use tilt_compiler::route::{ExactConfig, LinqConfig};
 use tilt_compiler::{RouterKind, SchedulerKind};
+use tilt_engine::SimMethod;
 
 /// Which router the user asked for.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,6 +38,9 @@ pub struct Options {
     pub ions_per_trap: usize,
     /// Ions per ELU for the `scale` command (`--elu-ions`), default 18.
     pub elu_ions: usize,
+    /// Logical-circuit simulation method (`--method auto|statevec|
+    /// stabilizer`); `None` = no simulation.
+    pub method: Option<SimMethod>,
     /// Print the scheduled op stream (`--emit-program`).
     pub emit_program: bool,
     /// Print the routed circuit as QASM (`--emit-qasm`).
@@ -76,6 +80,7 @@ impl Options {
             scheduler: SchedulerKind::GreedyMaxExecutable,
             ions_per_trap: 17,
             elu_ions: 18,
+            method: None,
             emit_program: false,
             emit_qasm: false,
             batch: false,
@@ -122,6 +127,14 @@ impl Options {
                         parse_num(value_for("--ions-per-trap")?, "--ions-per-trap")?
                 }
                 "--elu-ions" => opts.elu_ions = parse_num(value_for("--elu-ions")?, "--elu-ions")?,
+                "--method" => {
+                    let v = value_for("--method")?;
+                    opts.method = Some(SimMethod::parse(v).ok_or_else(|| {
+                        ParseArgsError(format!(
+                            "unknown method `{v}` (expected auto, statevec, or stabilizer)"
+                        ))
+                    })?);
+                }
                 "--emit-program" => opts.emit_program = true,
                 "--emit-qasm" => opts.emit_qasm = true,
                 "--batch" => opts.batch = true,
@@ -349,6 +362,16 @@ mod tests {
     #[test]
     fn rejects_unknown_flag() {
         assert!(Options::parse(&v(&["x", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn method_flag_parses_and_rejects_unknowns() {
+        let o = Options::parse(&v(&["x", "--method", "stabilizer"])).unwrap();
+        assert_eq!(o.method, Some(SimMethod::Stabilizer));
+        let o = Options::parse(&v(&["x"])).unwrap();
+        assert_eq!(o.method, None, "simulation is off by default");
+        let e = Options::parse(&v(&["x", "--method", "magic"])).unwrap_err();
+        assert!(e.0.contains("unknown method `magic`"));
     }
 
     #[test]

@@ -31,12 +31,37 @@ fn device(opts: &Options, circuit: &Circuit) -> Result<DeviceSpec, String> {
 
 /// A TILT engine session configured from the command-line options.
 fn tilt_engine(opts: &Options, spec: DeviceSpec) -> Result<Engine, String> {
-    Engine::builder()
+    let mut builder = Engine::builder()
         .backend(Backend::Tilt(spec))
         .router(opts.router_kind())
-        .scheduler(opts.scheduler)
-        .build()
-        .map_err(|e| e.to_string())
+        .scheduler(opts.scheduler);
+    if let Some(method) = opts.method {
+        builder = builder.simulate(method);
+    }
+    builder.build().map_err(|e| e.to_string())
+}
+
+/// Renders the logical-simulation line of a report, when present.
+fn describe_sim(report: &RunReport) -> String {
+    let Some(sim) = &report.sim else {
+        return String::new();
+    };
+    let mut text = format!("simulated ({}):", sim.simulator);
+    if sim.measurements == 0 {
+        text.push_str(" no measurements in circuit");
+    } else {
+        let _ = write!(
+            text,
+            " {} ({} measurements",
+            sim.bitstring, sim.measurements
+        );
+        if let (Some(d), Some(r)) = (sim.deterministic_measurements, sim.random_measurements) {
+            let _ = write!(text, ": {d} deterministic, {r} random");
+        }
+        text.push(')');
+    }
+    text.push('\n');
+    text
 }
 
 /// Runs the *compile-only* pipeline per the options (including the
@@ -351,6 +376,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         report.log10_success(),
         report.exec_time_us / 1e3
     );
+    text.push_str(&describe_sim(&report));
     Ok(text)
 }
 
@@ -936,6 +962,28 @@ mod tests {
         let out = run(&v(&[&path, "--head", "3"])).unwrap();
         assert!(out.contains("success: "), "{out}");
         assert!(out.contains("execution time"), "{out}");
+    }
+
+    #[test]
+    fn run_with_method_prints_the_simulator() {
+        let path = write_temp(
+            "run-sim.qasm",
+            "qreg q[4];\nh q[0];\ncx q[0], q[3];\nmeasure q[0];\nmeasure q[3];\n",
+        );
+        let out = run(&v(&[&path, "--head", "4", "--method", "auto"])).unwrap();
+        assert!(out.contains("simulated (stabilizer):"), "{out}");
+        assert!(out.contains("2 measurements"), "{out}");
+        // Without --method, no simulation line appears.
+        let out = run(&v(&[&path, "--head", "4"])).unwrap();
+        assert!(!out.contains("simulated ("), "{out}");
+    }
+
+    #[test]
+    fn run_with_stabilizer_method_rejects_non_clifford() {
+        let path = write_temp("run-t.qasm", "qreg q[2];\nh q[0];\nt q[1];\n");
+        let e = run(&v(&[&path, "--method", "stabilizer", "--head", "2"])).unwrap_err();
+        assert!(e.contains("non-Clifford"), "{e}");
+        assert!(e.contains("index 1"), "{e}");
     }
 
     #[test]

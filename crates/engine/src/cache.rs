@@ -53,6 +53,7 @@
 //! age out of the LRU untouched.
 
 use crate::report::{BackendKind, RunReport};
+use crate::sim::{SimReport, SimulatorKind};
 use std::collections::{BTreeMap, HashMap};
 use std::io;
 use std::path::Path;
@@ -120,6 +121,8 @@ pub struct WireReport {
     /// Scheduled TILT program text, when materialized (rendered lazily:
     /// at snapshot time, or carried by a loaded entry).
     pub program_text: Option<String>,
+    /// Logical-circuit simulation outcome, when the session simulated.
+    pub sim: Option<SimReport>,
 }
 
 impl WireReport {
@@ -140,6 +143,7 @@ impl WireReport {
             success: report.success,
             exec_time_us: report.exec_time_us,
             program_text: None,
+            sim: report.sim.clone(),
         }
     }
 
@@ -160,6 +164,19 @@ impl WireReport {
             .set("ln_success", self.ln_success)
             .set("success", self.success)
             .set("exec_time_us", self.exec_time_us);
+        if let Some(sim) = &self.sim {
+            let mut body = Json::object()
+                .set("simulator", sim.simulator.to_string())
+                .set("bitstring", sim.bitstring.as_str())
+                .set("measurements", sim.measurements);
+            if let Some(d) = sim.deterministic_measurements {
+                body = body.set("deterministic_measurements", d);
+            }
+            if let Some(r) = sim.random_measurements {
+                body = body.set("random_measurements", r);
+            }
+            resp = resp.set("sim", body);
+        }
         if emit_program {
             if let Some(text) = &self.program_text {
                 resp = resp.set("program", text.as_str());
@@ -525,6 +542,20 @@ impl CompileCache {
                 if let Some(program) = slot.entry.program_text() {
                     payload = payload.set("program", program);
                 }
+                // Simulation fields are flat and optional, so v1.0
+                // readers and sim-less entries are both unaffected.
+                if let Some(sim) = &wire.sim {
+                    payload = payload
+                        .set("sim_simulator", sim.simulator.to_string())
+                        .set("sim_bitstring", sim.bitstring.as_str())
+                        .set("sim_measurements", sim.measurements);
+                    if let Some(d) = sim.deterministic_measurements {
+                        payload = payload.set("sim_deterministic", d);
+                    }
+                    if let Some(r) = sim.random_measurements {
+                        payload = payload.set("sim_random", r);
+                    }
+                }
                 let check = payload_check(&payload);
                 text.push_str(&payload.set("check", check.to_hex()).render());
                 text.push('\n');
@@ -658,6 +689,33 @@ fn parse_snapshot_line(line: &str) -> Option<(CacheKey, CacheEntry)> {
             None => None,
             Some(p) => Some(p.as_str()?.to_string()),
         },
+        sim: match payload.get("sim_simulator") {
+            None => None,
+            Some(s) => {
+                let simulator = match s.as_str()? {
+                    "statevec" => SimulatorKind::Statevec,
+                    "stabilizer" => SimulatorKind::Stabilizer,
+                    _ => return None,
+                };
+                let bitstring = payload.get("sim_bitstring")?.as_str()?.to_string();
+                if !bitstring.chars().all(|c| c == '0' || c == '1') {
+                    return None;
+                }
+                Some(SimReport {
+                    simulator,
+                    bitstring,
+                    measurements: count("sim_measurements")?,
+                    deterministic_measurements: match payload.get("sim_deterministic") {
+                        None => None,
+                        Some(_) => Some(count("sim_deterministic")?),
+                    },
+                    random_measurements: match payload.get("sim_random") {
+                        None => None,
+                        Some(_) => Some(count("sim_random")?),
+                    },
+                })
+            }
+        },
     };
     Some((key, CacheEntry { full: None, wire }))
 }
@@ -689,6 +747,7 @@ mod tests {
                 success: 0.7788007830714049,
                 exec_time_us: 191.0,
                 program_text: Some(format!("move {moves}")),
+                sim: None,
             },
         }
     }
@@ -751,6 +810,33 @@ mod tests {
         let got = restored.get_wire(key(2)).unwrap();
         assert_eq!(got.wire, entry(2).wire);
         assert!(got.full.is_none(), "snapshots restore the wire view only");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_round_trips_sim_fields() {
+        let dir = std::env::temp_dir().join(format!("tilt-cache-sim-{}", std::process::id()));
+        let cache = CompileCache::new(8);
+        let mut with_sim = entry(1);
+        with_sim.wire.sim = Some(SimReport {
+            simulator: SimulatorKind::Stabilizer,
+            bitstring: "0110".to_string(),
+            measurements: 4,
+            deterministic_measurements: Some(3),
+            random_measurements: Some(1),
+        });
+        cache.insert(key(1), with_sim);
+        cache.insert(key(2), entry(2));
+        assert_eq!(cache.save(&dir).unwrap(), 2);
+
+        let restored = CompileCache::new(8);
+        assert_eq!(restored.load(&dir).unwrap(), (2, 0));
+        let got = restored.get_wire(key(1)).unwrap();
+        let sim = got.wire.sim.as_ref().expect("sim fields round-trip");
+        assert_eq!(sim.simulator, SimulatorKind::Stabilizer);
+        assert_eq!(sim.bitstring, "0110");
+        assert_eq!(sim.deterministic_measurements, Some(3));
+        assert!(restored.get_wire(key(2)).unwrap().wire.sim.is_none());
         std::fs::remove_dir_all(&dir).ok();
     }
 

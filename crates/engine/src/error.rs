@@ -37,6 +37,21 @@ pub enum TiltError {
         /// The panic payload (when it was a string) or a placeholder.
         message: String,
     },
+    /// The stabilizer simulator was asked to run a non-Clifford
+    /// program. Carries the offending gate (rendered) and its index so
+    /// clients can point at the exact instruction.
+    NonClifford {
+        /// The gate's rendered form (e.g. `t q0` or `rz(0.3) q1`).
+        gate: String,
+        /// Zero-based position of the gate in the logical circuit.
+        index: usize,
+    },
+    /// The requested simulation cannot run (e.g. the circuit is wider
+    /// than the dense simulator's qubit cap).
+    Simulation {
+        /// Human-readable description of the limit that was hit.
+        reason: String,
+    },
 }
 
 impl fmt::Display for TiltError {
@@ -47,6 +62,12 @@ impl fmt::Display for TiltError {
             TiltError::Scale(e) => write!(f, "ELU-array error: {e}"),
             TiltError::Config { reason } => write!(f, "engine configuration error: {reason}"),
             TiltError::Internal { message } => write!(f, "internal error: {message}"),
+            TiltError::NonClifford { gate, index } => write!(
+                f,
+                "non-Clifford gate `{gate}` at index {index}: the stabilizer \
+                 simulator only runs Clifford programs"
+            ),
+            TiltError::Simulation { reason } => write!(f, "simulation error: {reason}"),
         }
     }
 }
@@ -57,7 +78,10 @@ impl Error for TiltError {
             TiltError::Compile(e) => Some(e),
             TiltError::Qccd(e) => Some(e),
             TiltError::Scale(e) => Some(e),
-            TiltError::Config { .. } | TiltError::Internal { .. } => None,
+            TiltError::Config { .. }
+            | TiltError::Internal { .. }
+            | TiltError::NonClifford { .. }
+            | TiltError::Simulation { .. } => None,
         }
     }
 }

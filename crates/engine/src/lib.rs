@@ -48,6 +48,7 @@ pub mod error;
 pub mod faults;
 pub mod report;
 pub mod service;
+pub mod sim;
 
 mod batch;
 
@@ -56,6 +57,7 @@ pub use cache::{CacheCounters, CacheKey, CompileCache, WireReport, DEFAULT_CACHE
 pub use error::TiltError;
 pub use report::{BackendKind, CompileStats, RunDetail, RunReport};
 pub use service::{Service, ServiceStats, ServiceSummary, ShutdownCause};
+pub use sim::{SimMethod, SimReport, SimulatorKind};
 
 use cache::CacheEntry;
 use std::sync::Arc;
@@ -119,6 +121,10 @@ pub struct EngineBuilder {
     /// Shared content-addressed compile cache; `None` (the default)
     /// compiles every run from scratch.
     pub(crate) cache: Option<Arc<CompileCache>>,
+    /// `None` (the default) = no logical-circuit simulation: report
+    /// shapes stay bit-identical to pre-simulation sessions.
+    sim_method: Option<SimMethod>,
+    sim_seed: u64,
 }
 
 impl Default for EngineBuilder {
@@ -134,6 +140,8 @@ impl Default for EngineBuilder {
             scheduler: None,
             initial_mapping: None,
             cache: None,
+            sim_method: None,
+            sim_seed: 0,
         }
     }
 }
@@ -210,6 +218,23 @@ impl EngineBuilder {
         self
     }
 
+    /// Enables logical-circuit simulation alongside compilation: every
+    /// run also executes the *input* circuit on the simulator `method`
+    /// selects and records the outcome in [`RunReport::sim`]. Off by
+    /// default. The method (and seed) become part of the session's
+    /// config fingerprint, so cached reports carry matching outcomes.
+    pub fn simulate(mut self, method: SimMethod) -> Self {
+        self.sim_method = Some(method);
+        self
+    }
+
+    /// Seeds the simulator's RNG (default 0). Only observable when
+    /// [`EngineBuilder::simulate`] is on.
+    pub fn sim_seed(mut self, seed: u64) -> Self {
+        self.sim_seed = seed;
+        self
+    }
+
     /// Validates the configuration and builds the engine.
     ///
     /// Validation happens **here, once** — router parameters are checked
@@ -269,6 +294,7 @@ impl EngineBuilder {
             &self.exec_time,
             &self.cooling,
             &self.qccd_params,
+            self.sim_method.map(|m| (m, self.sim_seed)),
         );
         Ok(Engine {
             backend,
@@ -279,6 +305,7 @@ impl EngineBuilder {
             cooling: self.cooling,
             qccd_params: self.qccd_params,
             cache: self.cache,
+            sim: self.sim_method.map(|m| (m, self.sim_seed)),
             config_fp,
         })
     }
@@ -299,6 +326,7 @@ fn config_fingerprint(
     exec_time: &ExecTimeModel,
     cooling: &CoolingPolicy,
     qccd_params: &QccdParams,
+    sim: Option<(SimMethod, u64)>,
 ) -> Digest {
     let mut h = Hasher::new();
     match backend {
@@ -329,6 +357,14 @@ fn config_fingerprint(
             noise.fingerprint_into(&mut h);
             gate_times.fingerprint_into(&mut h);
         }
+    }
+    // Simulation outcomes live inside the cached report, so the method
+    // and seed must split the key space; sessions without simulation
+    // write nothing and keep their pre-simulation fingerprints.
+    if let Some((method, seed)) = sim {
+        h.write_str("sim");
+        h.write_tag(method.tag());
+        h.write_u64(seed);
     }
     h.digest()
 }
@@ -361,6 +397,8 @@ pub struct Engine {
     qccd_params: QccdParams,
     /// Shared compile cache, when the builder attached one.
     cache: Option<Arc<CompileCache>>,
+    /// Logical-circuit simulation config (method, seed), when enabled.
+    sim: Option<(SimMethod, u64)>,
     /// Fingerprint of the resolved configuration — the config half of
     /// every cache key this session produces.
     config_fp: Digest,
@@ -486,11 +524,18 @@ impl Engine {
     ) -> Result<RunReport, TiltError> {
         #[cfg(any(test, feature = "faults"))]
         crate::faults::before_compile(circuit.n_qubits());
-        match &self.backend {
+        let mut report = match &self.backend {
             Backend::Tilt(_) => self.run_tilt(circuit, scratch),
             Backend::Qccd(spec) => self.run_qccd(circuit, *spec, scratch),
             Backend::Scaled(spec) => self.run_scaled(circuit, *spec),
+        }?;
+        // Simulation runs on the *logical* input circuit (what the user
+        // wrote), not the routed native program — outcomes are
+        // architecture-independent by construction.
+        if let Some((method, seed)) = self.sim {
+            report.sim = Some(sim::simulate(circuit, method, seed)?);
         }
+        Ok(report)
     }
 
     fn run_tilt(
@@ -541,6 +586,7 @@ impl Engine {
             ln_success: success.report.ln_success,
             success: success.report.success,
             exec_time_us,
+            sim: None,
             detail: RunDetail::Tilt { output, success },
         })
     }
@@ -581,6 +627,7 @@ impl Engine {
             ln_success: report.ln_success,
             success: report.success,
             exec_time_us: report.exec_time_us,
+            sim: None,
             detail: RunDetail::Qccd { program, report },
         })
     }
@@ -609,6 +656,7 @@ impl Engine {
             ln_success: report.ln_success,
             success: report.success,
             exec_time_us: report.exec_time_us,
+            sim: None,
             detail: RunDetail::Scaled { program, report },
         })
     }
@@ -763,6 +811,80 @@ mod tests {
         assert!(
             cooled.exec_time_us > base.exec_time_us,
             "cooling costs time"
+        );
+    }
+
+    #[test]
+    fn simulation_is_off_by_default() {
+        let engine = Engine::tilt(DeviceSpec::new(8, 4).unwrap());
+        assert!(engine.run(&ghz(8)).unwrap().sim.is_none());
+    }
+
+    #[test]
+    fn simulation_rides_along_with_the_report() {
+        let mut c = ghz(8);
+        for i in 0..8 {
+            c.measure(Qubit(i));
+        }
+        let engine = Engine::builder()
+            .backend(Backend::Tilt(DeviceSpec::new(8, 4).unwrap()))
+            .simulate(SimMethod::Auto)
+            .sim_seed(3)
+            .build()
+            .unwrap();
+        let report = engine.run(&c).unwrap();
+        let sim = report.sim.expect("simulation was requested");
+        assert_eq!(sim.simulator, SimulatorKind::Stabilizer);
+        assert_eq!(sim.measurements, 8);
+        assert!(sim.bitstring == "00000000" || sim.bitstring == "11111111");
+    }
+
+    #[test]
+    fn sim_config_splits_the_fingerprint() {
+        let spec = DeviceSpec::new(8, 4).unwrap();
+        let plain = Engine::tilt(spec);
+        let auto = Engine::builder()
+            .backend(Backend::Tilt(spec))
+            .simulate(SimMethod::Auto)
+            .build()
+            .unwrap();
+        let seeded = Engine::builder()
+            .backend(Backend::Tilt(spec))
+            .simulate(SimMethod::Auto)
+            .sim_seed(7)
+            .build()
+            .unwrap();
+        let forced = Engine::builder()
+            .backend(Backend::Tilt(spec))
+            .simulate(SimMethod::Stabilizer)
+            .build()
+            .unwrap();
+        let fps = [
+            plain.config_fingerprint(),
+            auto.config_fingerprint(),
+            seeded.config_fingerprint(),
+            forced.config_fingerprint(),
+        ];
+        for i in 0..fps.len() {
+            for j in i + 1..fps.len() {
+                assert_ne!(fps[i], fps[j], "fingerprints {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn non_clifford_under_forced_stabilizer_is_a_structured_error() {
+        let mut c = ghz(8);
+        c.t(Qubit(0));
+        let engine = Engine::builder()
+            .backend(Backend::Tilt(DeviceSpec::new(8, 4).unwrap()))
+            .simulate(SimMethod::Stabilizer)
+            .build()
+            .unwrap();
+        let err = engine.run(&c).unwrap_err();
+        assert!(
+            matches!(err, TiltError::NonClifford { index: 8, .. }),
+            "{err}"
         );
     }
 

@@ -7,6 +7,7 @@
 //! that need to drill down (visualization, semantic verification,
 //! re-estimation under other models).
 
+use crate::sim::SimReport;
 use std::time::Duration;
 use tilt_compiler::{CompileOutput, TiltProgram};
 use tilt_qccd::{QccdProgram, QccdReport};
@@ -114,6 +115,10 @@ pub struct RunReport {
     /// time when a cooling policy is active; serial trace time for
     /// QCCD; makespan for ELU arrays).
     pub exec_time_us: f64,
+    /// Outcome of simulating the logical circuit, when the session has
+    /// a [`crate::SimMethod`] configured (`None` when simulation is
+    /// off, the default).
+    pub sim: Option<SimReport>,
     /// The backend-specific artifacts.
     pub detail: RunDetail,
 }

@@ -51,7 +51,9 @@
 //! `{"id":...,"ok":false,"error":{"kind":...,"message":...}}` response
 //! on its line and **never kills the loop**. The `kind` taxonomy:
 //! `invalid_request` (the line never became a compilable request),
-//! `compile` (the backend rejected the circuit), `overloaded` (shed by
+//! `compile` (the backend rejected the circuit), `non_clifford` (the
+//! stabilizer simulator was asked to run a non-Clifford program; the
+//! message names the gate and its index), `overloaded` (shed by
 //! admission control; carries `retry_after_ms`), `deadline_exceeded`
 //! (shed by its deadline), and `internal` (a panic caught at the batch
 //! isolation boundary — the request is lost, the service is not).
@@ -424,6 +426,7 @@ const KIND_COMPILE: &str = "compile";
 const KIND_OVERLOADED: &str = "overloaded";
 const KIND_DEADLINE: &str = "deadline_exceeded";
 const KIND_INTERNAL: &str = "internal";
+const KIND_NON_CLIFFORD: &str = "non_clifford";
 
 /// A persistent compile/estimation service around one [`Engine`]
 /// session.
@@ -1103,7 +1106,7 @@ impl Service {
         obj: &Json,
         circuit: Option<&Circuit>,
     ) -> Result<Option<EngineBuilder>, String> {
-        const OVERRIDE_KEYS: [&str; 10] = [
+        const OVERRIDE_KEYS: [&str; 11] = [
             "backend",
             "ions",
             "head",
@@ -1114,6 +1117,7 @@ impl Service {
             "ions_per_trap",
             "elu_ions",
             "noise",
+            "method",
         ];
         if !OVERRIDE_KEYS.iter().any(|k| obj.get(k).is_some()) {
             return Ok(None);
@@ -1210,6 +1214,16 @@ impl Service {
             Some("greedy") => builder = builder.scheduler(SchedulerKind::GreedyMaxExecutable),
             Some("naive") => builder = builder.scheduler(SchedulerKind::NaiveNextGate),
             Some(other) => return Err(format!("unknown scheduler `{other}`")),
+        }
+
+        // Simulation method: turns on logical-circuit simulation for
+        // this request (or, via `configure`, the session).
+        if let Some(m) = obj.get("method") {
+            let name = m.as_str().ok_or("`method` must be a string")?;
+            let method = crate::sim::SimMethod::parse(name).ok_or_else(|| {
+                format!("unknown method `{name}` (expected auto, statevec, or stabilizer)")
+            })?;
+            builder = builder.simulate(method);
         }
 
         // Noise overlay: any subset of the Eq. 4 fields.
@@ -1350,6 +1364,7 @@ fn run_response(id: &Json, result: &Result<RunReport, TiltError>, emit_program: 
         Err(e) => {
             let kind = match e {
                 TiltError::Internal { .. } => KIND_INTERNAL,
+                TiltError::NonClifford { .. } => KIND_NON_CLIFFORD,
                 _ => KIND_COMPILE,
             };
             error_json(id, kind, &e.to_string())
@@ -1501,6 +1516,45 @@ mod tests {
         assert!(!ok(&resps[0]));
         assert_eq!(err_kind(&resps[0]), "invalid_request");
         assert!(err_msg(&resps[0]).contains("unknown backend `qpu9000`"));
+    }
+
+    #[test]
+    fn method_override_simulates_and_reports_the_simulator() {
+        let mut s = tilt_service(8, 4);
+        let (resps, _) = drive(
+            &mut s,
+            "{\"id\":1,\"qasm\":\"qreg q[2];\\nh q[0];\\ncx q[0], q[1];\\nmeasure q[0];\\nmeasure q[1];\\n\",\"method\":\"auto\"}\n",
+        );
+        assert!(ok(&resps[0]), "{:?}", resps[0]);
+        let sim = resps[0].get("sim").expect("method override attaches sim");
+        assert_eq!(sim.get("simulator").unwrap().as_str(), Some("stabilizer"));
+        assert_eq!(sim.get("measurements").unwrap().as_f64(), Some(2.0));
+        let bits = sim.get("bitstring").unwrap().as_str().unwrap();
+        assert!(bits == "00" || bits == "11", "Bell bits correlate: {bits}");
+    }
+
+    #[test]
+    fn non_clifford_under_stabilizer_method_is_a_clean_wire_error() {
+        let mut s = tilt_service(8, 4);
+        let input = "{\"id\":1,\"qasm\":\"qreg q[2];\\nh q[0];\\nt q[1];\\n\",\"method\":\"stabilizer\"}\n{\"id\":2,\"qasm\":\"qreg q[2];\\ncx q[0], q[1];\\n\"}\n";
+        let (resps, summary) = drive(&mut s, input);
+        assert!(!ok(&resps[0]));
+        assert_eq!(err_kind(&resps[0]), "non_clifford");
+        assert!(err_msg(&resps[0]).contains("index 1"), "{:?}", resps[0]);
+        assert!(ok(&resps[1]), "the loop survives a non-Clifford request");
+        assert_eq!(summary.stats.errors, 1);
+    }
+
+    #[test]
+    fn unknown_method_is_rejected_per_request() {
+        let mut s = tilt_service(8, 4);
+        let (resps, _) = drive(
+            &mut s,
+            "{\"id\":1,\"qasm\":\"qreg q[2];\\ncx q[0], q[1];\\n\",\"method\":\"magic\"}\n",
+        );
+        assert!(!ok(&resps[0]));
+        assert_eq!(err_kind(&resps[0]), "invalid_request");
+        assert!(err_msg(&resps[0]).contains("unknown method `magic`"));
     }
 
     #[test]

@@ -306,6 +306,105 @@ impl State {
         self
     }
 
+    /// Marginal probability that qubit `q` reads 1.
+    pub fn prob_one(&self, q: usize) -> f64 {
+        assert!(q < self.n_qubits, "qubit outside register");
+        let mask = 1usize << q;
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(x, _)| x & mask != 0)
+            .map(|(_, a)| a.norm_sq())
+            .sum()
+    }
+
+    /// Projects qubit `q` onto `outcome` and renormalizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the requested branch has (near-)zero probability —
+    /// collapsing onto it would divide by zero.
+    pub fn collapse(&mut self, q: usize, outcome: bool) {
+        assert!(q < self.n_qubits, "qubit outside register");
+        let mask = 1usize << q;
+        let keep = if outcome { mask } else { 0 };
+        let p: f64 = self
+            .amps
+            .iter()
+            .enumerate()
+            .filter(|(x, _)| x & mask == keep)
+            .map(|(_, a)| a.norm_sq())
+            .sum();
+        assert!(
+            p > 1e-12,
+            "collapsing qubit {q} onto an outcome of probability {p:.3e}"
+        );
+        let scale = 1.0 / p.sqrt();
+        for (x, a) in self.amps.iter_mut().enumerate() {
+            if x & mask == keep {
+                *a = a.scale(scale);
+            } else {
+                *a = Complex::ZERO;
+            }
+        }
+    }
+
+    /// Measures qubit `q` using the uniform sample `u ∈ [0, 1)` as the
+    /// randomness source (outcome is 1 iff `u < P(1)`), collapsing the
+    /// state. Returns the outcome bit.
+    pub fn measure_with(&mut self, q: usize, u: f64) -> bool {
+        let p1 = self.prob_one(q);
+        // Clamp so a numerically-degenerate branch is never selected by
+        // a borderline draw.
+        let outcome = u < p1 && p1 > 1e-12;
+        self.collapse(q, outcome);
+        outcome
+    }
+
+    /// Resets qubit `q` to `|0⟩` (measure with sample `u`, then flip on
+    /// outcome 1). Returns the pre-reset measurement.
+    pub fn reset_with(&mut self, q: usize, u: f64) -> bool {
+        let outcome = self.measure_with(q, u);
+        if outcome {
+            self.apply(&Gate::X(tilt_circuit::Qubit(q)));
+        }
+        outcome
+    }
+
+    /// Runs `circuit` gate by gate, dispatching `measure`/`reset`
+    /// through [`State::measure_with`] / [`State::reset_with`] with
+    /// draws from `rng`. Returns the final state and one bit per
+    /// `measure` gate in program order.
+    ///
+    /// Unlike [`State::run`] this path performs no fusion — mid-circuit
+    /// measurement is a nonlinear barrier — so use it only when the
+    /// program actually measures.
+    pub fn run_sampled<R: rand::Rng>(
+        mut self,
+        circuit: &Circuit,
+        rng: &mut R,
+    ) -> (State, Vec<bool>) {
+        assert!(
+            circuit.n_qubits() <= self.n_qubits,
+            "circuit wider than state"
+        );
+        let parallel = kernels::should_parallelize(self.amps.len(), None);
+        let mut outcomes = Vec::new();
+        for g in circuit.iter() {
+            match *g {
+                Gate::Measure(q) => {
+                    let bit = self.measure_with(q.index(), rng.gen());
+                    outcomes.push(bit);
+                }
+                Gate::Reset(q) => {
+                    self.reset_with(q.index(), rng.gen());
+                }
+                ref unitary => apply_kernel(&mut self.amps, unitary, parallel),
+            }
+        }
+        (self, outcomes)
+    }
+
     /// Relabels qubits: qubit `q` of `self` becomes qubit `perm[q]` of the
     /// result. Used to compare routed physical states (where data ended at
     /// permuted tape positions) against logical references.

@@ -15,6 +15,9 @@
 //! * [`compiler`] — LinQ: decomposition, swap insertion (Algorithm 1),
 //!   tape scheduling (Algorithm 2).
 //! * [`sim`] — Eq. 3/4/5 noise, success-rate, and timing models.
+//! * [`stabilizer`] — bit-packed Clifford tableau simulator for
+//!   QEC-scale (hundreds of qubits) stabilizer circuits.
+//! * [`statevec`] — dense state-vector simulator (≤ ~24 qubits).
 //! * [`qccd`] — the QCCD comparator architecture.
 //! * [`scale`] — the modular ELU-array architecture (§VII).
 //! * [`report`] — table/CSV helpers used by the experiment harnesses.
@@ -112,6 +115,7 @@ pub use tilt_qccd as qccd;
 pub use tilt_report as report;
 pub use tilt_scale as scale;
 pub use tilt_sim as sim;
+pub use tilt_stabilizer as stabilizer;
 pub use tilt_statevec as statevec;
 
 /// Convenience imports for typical usage.

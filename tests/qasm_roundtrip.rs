@@ -1,6 +1,12 @@
 //! Property test: the QASM emitter and parser are inverse on the IR's
 //! full gate set (f64 `Display` is shortest-round-trip, so angles survive
 //! the text round trip exactly).
+//!
+//! The parser canonicalizes angles through
+//! `clifford::normalize_angle` (wrap into `(-π, π]`, snap to the π/4
+//! grid), so the identity holds on circuits whose angles are already
+//! canonical — the strategy below normalizes its draws, and a separate
+//! case pins that non-canonical spellings converge to the same circuit.
 
 use proptest::prelude::*;
 use tilt::circuit::{qasm, Circuit, Gate, Qubit};
@@ -17,7 +23,7 @@ fn gate_strategy(n: usize) -> impl Strategy<Value = Gate> {
             .prop_filter("distinct", |(a, b, c)| a != b && b != c && a != c)
             .prop_map(|(a, b, c)| (Qubit(a), Qubit(b), Qubit(c)))
     };
-    let angle = || -10.0f64..10.0;
+    let angle = || (-10.0f64..10.0).prop_map(tilt::circuit::clifford::normalize_angle);
     prop_oneof![
         q().prop_map(Gate::H),
         q().prop_map(Gate::X),
@@ -67,5 +73,30 @@ proptest! {
         let text = qasm::to_qasm(&circuit);
         let parsed = qasm::parse_qasm(&text).expect("emitter output parses");
         prop_assert_eq!(parsed, circuit);
+    }
+
+    /// Non-canonical angles converge: emitting a circuit with wrapped
+    /// angles and re-parsing yields the normalized circuit, and parsing
+    /// it twice is a fixed point.
+    #[test]
+    fn parse_normalizes_to_a_fixed_point(
+        n in 1usize..8,
+        raw in prop::collection::vec((-20.0f64..20.0, 0usize..8), 1..12),
+    ) {
+        let mut c = Circuit::new(n);
+        for (angle, q) in raw {
+            c.rz(Qubit(q % n), angle);
+        }
+        let once = qasm::parse_qasm(&qasm::to_qasm(&c)).expect("parses");
+        let twice = qasm::parse_qasm(&qasm::to_qasm(&once)).expect("parses");
+        prop_assert_eq!(&twice, &once);
+        for (g, h) in c.gates().iter().zip(once.gates()) {
+            match (g, h) {
+                (Gate::Rz(_, a), Gate::Rz(_, b)) => {
+                    prop_assert_eq!(tilt::circuit::clifford::normalize_angle(*a), *b)
+                }
+                other => panic!("unexpected gate pair {other:?}"),
+            }
+        }
     }
 }

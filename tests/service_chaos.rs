@@ -157,6 +157,66 @@ fn a_mid_batch_panic_is_isolated_to_one_internal_error() {
     }
 }
 
+/// Pin: a non-Clifford program forced onto the stabilizer simulator
+/// mid-batch is a structured `non_clifford` wire error naming the gate
+/// and index — not an `internal` panic report — and the service keeps
+/// serving: its window neighbours answer byte-identically to an
+/// undisturbed service.
+#[test]
+fn a2_a_non_clifford_stabilizer_request_is_a_clean_wire_error() {
+    const VICTIM: usize = 2;
+    // `t q[0]` at gate index 1 is off the Clifford grid; forcing
+    // `"method":"stabilizer"` makes the simulator reject it.
+    let victim_line = format!(
+        "{{\"id\":{VICTIM},\"method\":\"stabilizer\",\
+         \"qasm\":\"qreg q[2];\\nh q[0];\\nt q[0];\\ncx q[0], q[1];\\n\"}}"
+    );
+    let mut mixed_input = String::new();
+    let mut clean_input = String::new();
+    for id in 0..6 {
+        if id == VICTIM {
+            mixed_input.push_str(&victim_line);
+        } else {
+            mixed_input.push_str(&healthy_line(id));
+            clean_input.push_str(&healthy_line(id));
+            clean_input.push('\n');
+        }
+        mixed_input.push('\n');
+    }
+
+    let mut service = Service::new(builder()).unwrap().with_window(8);
+    let (lines, summary) = drive(&mut service, &mixed_input);
+    assert_eq!(summary.cause, ShutdownCause::Eof);
+    assert_eq!(lines.len(), 6);
+    assert_eq!(summary.stats.ok, 5);
+    assert_eq!(summary.stats.errors, 1);
+
+    let victim = parsed(&lines[VICTIM]);
+    assert!(!is_ok(&victim), "{victim:?}");
+    assert_eq!(error_kind(&victim), "non_clifford", "{victim:?}");
+    let message = error_message(&victim);
+    assert!(message.contains("non-Clifford"), "{victim:?}");
+    assert!(message.contains('t'), "must name the gate: {victim:?}");
+    assert!(
+        message.contains("index 1"),
+        "must name the index: {victim:?}"
+    );
+
+    let mut clean = Service::new(builder()).unwrap().with_window(8);
+    let (clean_lines, clean_summary) = drive(&mut clean, &clean_input);
+    assert_eq!(clean_summary.stats.ok, 5);
+    let neighbours: Vec<&String> = lines
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != VICTIM)
+        .map(|(_, l)| l)
+        .collect();
+    assert_eq!(neighbours.len(), clean_lines.len());
+    for (mixed, clean) in neighbours.iter().zip(&clean_lines) {
+        assert_eq!(*mixed, clean, "neighbour responses must be byte-identical");
+    }
+}
+
 /// Pin (b): flooding past the in-flight budget sheds the excess with
 /// kind `overloaded` and a `retry_after_ms` hint, while every admitted
 /// request still completes successfully.

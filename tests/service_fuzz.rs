@@ -94,6 +94,8 @@ proptest! {
                 Just("\"stats\"".to_string()),
                 Just("\"deadline_ms\"".to_string()),
                 Just("\"backend\"".to_string()),
+                Just("\"method\"".to_string()),
+                Just("\"stabilizer\"".to_string()),
                 Just("null".to_string()),
                 Just("true".to_string()),
                 Just("-0".to_string()),
@@ -139,5 +141,41 @@ proptest! {
         let lines = vec![line.clone()];
         let responses = serve_lines(line + "\n");
         assert_wire_contract(&lines, &responses);
+    }
+
+    /// Random gate programs forced onto the stabilizer simulator: a
+    /// request either succeeds (the program happened to be Clifford) or
+    /// fails with the dedicated `non_clifford` kind — never `internal`,
+    /// which is reserved for bugs.
+    #[test]
+    fn forced_stabilizer_requests_never_fail_internally(
+        gates in prop::collection::vec(0usize..6, 1..12),
+    ) {
+        let body: String = gates
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| match g {
+                0 => format!("h q[{}];\\n", i % 4),
+                1 => format!("t q[{}];\\n", i % 4),
+                2 => format!("s q[{}];\\n", i % 4),
+                3 => format!("cx q[{}], q[{}];\\n", i % 4, (i + 1) % 4),
+                4 => format!("rz(0.3) q[{}];\\n", i % 4),
+                _ => format!("rz(pi/2) q[{}];\\n", i % 4),
+            })
+            .collect();
+        let line = format!(
+            "{{\"id\":1,\"method\":\"stabilizer\",\"qasm\":\"qreg q[4];\\n{body}\"}}"
+        );
+        let responses = serve_lines(line.clone() + "\n");
+        assert_wire_contract(&[line], &responses);
+        let resp = Json::parse(&responses[0]).unwrap();
+        if resp.get("ok") == Some(&Json::Bool(false)) {
+            let kind = resp
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str)
+                .unwrap();
+            assert_eq!(kind, "non_clifford", "{resp:?}");
+        }
     }
 }

@@ -1,0 +1,318 @@
+//! Cross-validation of the tableau simulator against the dense state
+//! vector on random Clifford circuits.
+//!
+//! Two complementary checks:
+//!
+//! * **Lockstep conditioning** — run the tableau once, then walk the
+//!   same circuit on the dense simulator, *conditioning* the state on
+//!   the tableau's measurement outcomes. At every `Measure` the dense
+//!   marginal of a stabilizer state must be exactly 0, ½, or 1; the
+//!   tableau's outcome must have positive probability (deterministic
+//!   outcomes must match the 0/1 marginal bit-for-bit), and its
+//!   deterministic-vs-random classification must agree with the
+//!   marginal. This pins the *joint* outcome distribution's support
+//!   and all deterministic claims, not just per-bit frequencies.
+//! * **Sampled distributions** — on fixed circuits with genuinely
+//!   random outcomes (including mid-circuit `Reset` of entangled
+//!   qubits, whose internal branch neither simulator exposes), draw
+//!   hundreds of runs from both simulators and compare the bitstring
+//!   histograms with a two-sample chi-square bound.
+//!
+//! Circuits span 2–20 qubits — the dense side caps the range, the
+//! tableau side is the one under test.
+
+use std::collections::BTreeMap;
+use std::f64::consts::{FRAC_PI_2, PI};
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tilt::circuit::{Circuit, Gate, Qubit};
+use tilt::stabilizer;
+use tilt::statevec::State;
+
+/// Dense marginals of stabilizer states are exactly 0, ½, or 1; this
+/// slack only absorbs f64 rounding across ≤60 Clifford gates.
+const EPS: f64 = 1e-9;
+
+/// Random Clifford circuits over the full lowered gate set, including
+/// mid-circuit measurement. `Reset` is deliberately absent: resetting
+/// an entangled qubit takes an internal random branch the tableau does
+/// not expose, which lockstep conditioning cannot follow (the sampled
+/// tests below cover `Reset` at the distribution level).
+fn clifford_circuit(max_qubits: usize) -> impl Strategy<Value = Circuit> {
+    (2usize..max_qubits + 1).prop_flat_map(|n| {
+        let q = move || (0..n).prop_map(Qubit);
+        let pair = move || {
+            (0..n, 0..n)
+                .prop_filter("distinct operands", |(a, b)| a != b)
+                .prop_map(|(a, b)| (Qubit(a), Qubit(b)))
+        };
+        // Quarter turns for Rz/Zz/Xx; half turns for Cphase (π/2 there
+        // would be the non-Clifford CS gate).
+        let quarter = || (-4i32..5).prop_map(|k| k as f64 * FRAC_PI_2);
+        let half = || (-2i32..3).prop_map(|k| k as f64 * PI);
+        let gate = prop_oneof![
+            q().prop_map(Gate::H),
+            q().prop_map(Gate::S),
+            q().prop_map(Gate::Sdg),
+            q().prop_map(Gate::X),
+            q().prop_map(Gate::Y),
+            q().prop_map(Gate::Z),
+            q().prop_map(Gate::SqrtX),
+            q().prop_map(Gate::SqrtY),
+            (q(), quarter()).prop_map(|(q, t)| Gate::Rz(q, t)),
+            (q(), quarter()).prop_map(|(q, t)| Gate::Rx(q, t)),
+            (q(), quarter()).prop_map(|(q, t)| Gate::Ry(q, t)),
+            pair().prop_map(|(a, b)| Gate::Cnot(a, b)),
+            pair().prop_map(|(a, b)| Gate::Cz(a, b)),
+            (pair(), half()).prop_map(|((a, b), t)| Gate::Cphase(a, b, t)),
+            (pair(), quarter()).prop_map(|((a, b), t)| Gate::Zz(a, b, t)),
+            (pair(), quarter()).prop_map(|((a, b), t)| Gate::Xx(a, b, t)),
+            pair().prop_map(|(a, b)| Gate::Swap(a, b)),
+            q().prop_map(Gate::Measure),
+            Just(Gate::Barrier),
+        ];
+        prop::collection::vec(gate, 1..60).prop_map(move |gates| Circuit::from_gates(n, gates))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The lockstep conditioning check described in the module docs,
+    /// across random seeds (different seeds explore different random
+    /// branches of the same circuit).
+    #[test]
+    fn tableau_outcomes_lie_on_the_dense_support(
+        circuit in clifford_circuit(10),
+        seed in 0u64..1000,
+    ) {
+        prop_assert!(circuit.is_clifford(), "strategy emits Clifford only");
+        let run = stabilizer::run(&circuit, seed).expect("Clifford by construction");
+        let mut state = State::zero(circuit.n_qubits());
+        let (mut k, mut det, mut rnd) = (0usize, 0usize, 0usize);
+        for gate in circuit.iter() {
+            match gate {
+                Gate::Measure(q) => {
+                    let p1 = state.prob_one(q.0);
+                    let outcome = run.outcomes[k];
+                    prop_assert!(
+                        p1 < EPS || (p1 - 0.5).abs() < EPS || p1 > 1.0 - EPS,
+                        "stabilizer-state marginal off the {{0, ½, 1}} grid: {p1}\ncircuit: {circuit}"
+                    );
+                    if p1 < EPS {
+                        prop_assert!(!outcome, "measured 1 where the dense marginal is 0 (measurement {k})\ncircuit: {circuit}");
+                        det += 1;
+                    } else if p1 > 1.0 - EPS {
+                        prop_assert!(outcome, "measured 0 where the dense marginal is 1 (measurement {k})\ncircuit: {circuit}");
+                        det += 1;
+                    } else {
+                        rnd += 1;
+                    }
+                    // Condition the dense state on the tableau's branch
+                    // so the rest of the circuit is compared on the
+                    // same measurement record.
+                    state.collapse(q.0, outcome);
+                    k += 1;
+                }
+                Gate::Barrier => {}
+                unitary => state.apply(unitary),
+            }
+        }
+        prop_assert_eq!(k, run.outcomes.len(), "outcome count mismatch");
+        prop_assert_eq!(
+            (det, rnd),
+            (run.deterministic_measurements, run.random_measurements),
+            "deterministic/random classification disagrees with the dense marginals"
+        );
+    }
+}
+
+proptest! {
+    // Few cases: the dense side pays 2^20 amplitudes per gate here.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The same lockstep check at the top of the cross-validated range:
+    /// 20 qubits, shallower circuits.
+    #[test]
+    fn tableau_agrees_with_dense_at_twenty_qubits(
+        gates in prop::collection::vec(0usize..6, 10..30),
+        seed in 0u64..100,
+    ) {
+        let n = 20;
+        let mut c = Circuit::new(n);
+        // A deterministic skeleton entangling all 20 qubits, with
+        // data-driven Clifford dressing and measurements on top.
+        c.h(Qubit(0));
+        for i in 1..n {
+            c.cnot(Qubit(i - 1), Qubit(i));
+        }
+        for (i, &g) in gates.iter().enumerate() {
+            let q = Qubit(i % n);
+            match g {
+                0 => { c.h(q); }
+                1 => { c.s(q); }
+                2 => { c.cz(q, Qubit((i + 7) % n)); }
+                3 => { c.measure(q); }
+                4 => { c.push(Gate::SqrtX(q)); }
+                _ => { c.swap(q, Qubit((i + 3) % n)); }
+            }
+        }
+        for i in 0..n {
+            c.measure(Qubit(i));
+        }
+        let run = stabilizer::run(&c, seed).expect("Clifford by construction");
+        let mut state = State::zero(n);
+        let mut k = 0usize;
+        for gate in c.iter() {
+            match gate {
+                Gate::Measure(q) => {
+                    let p1 = state.prob_one(q.0);
+                    let outcome = run.outcomes[k];
+                    prop_assert!(
+                        p1 < EPS || (p1 - 0.5).abs() < EPS || p1 > 1.0 - EPS,
+                        "marginal off the stabilizer grid at 20 qubits: {p1}"
+                    );
+                    let outcome_prob = if outcome { p1 } else { 1.0 - p1 };
+                    prop_assert!(
+                        outcome_prob > EPS,
+                        "tableau outcome has zero dense probability (measurement {k})"
+                    );
+                    state.collapse(q.0, outcome);
+                    k += 1;
+                }
+                Gate::Barrier => {}
+                unitary => state.apply(unitary),
+            }
+        }
+        prop_assert_eq!(k, run.outcomes.len());
+    }
+}
+
+/// Two-sample chi-square statistic over the union of observed
+/// bitstrings, with equal sample sizes: `Σ (a_i − b_i)² / (a_i + b_i)`.
+/// Returns `(statistic, degrees_of_freedom)`.
+fn chi_square(a: &BTreeMap<String, usize>, b: &BTreeMap<String, usize>) -> (f64, usize) {
+    let keys: std::collections::BTreeSet<&String> = a.keys().chain(b.keys()).collect();
+    let stat = keys
+        .iter()
+        .map(|k| {
+            let (x, y) = (
+                *a.get(*k).unwrap_or(&0) as f64,
+                *b.get(*k).unwrap_or(&0) as f64,
+            );
+            (x - y) * (x - y) / (x + y)
+        })
+        .sum();
+    (stat, keys.len().saturating_sub(1))
+}
+
+/// Draws `samples` runs from each simulator (disjoint deterministic
+/// seed streams) and asserts the bitstring histograms agree under a
+/// chi-square bound far above the df-scaled expectation — loose enough
+/// never to flake on these fixed seeds, tight enough that a wrong
+/// update rule (which skews whole branches by factors of 2) fails.
+fn assert_sampled_agreement(name: &str, circuit: &Circuit, samples: u64) {
+    assert!(circuit.is_clifford(), "{name}: case must be Clifford");
+    let n = circuit.n_qubits();
+    let mut tableau: BTreeMap<String, usize> = BTreeMap::new();
+    let mut dense: BTreeMap<String, usize> = BTreeMap::new();
+    for s in 0..samples {
+        let run = stabilizer::run(circuit, s).expect("Clifford case");
+        *tableau.entry(run.bitstring()).or_default() += 1;
+        let mut rng = SmallRng::seed_from_u64(0x5eed_0000 + s);
+        let (_, outcomes) = State::zero(n).run_sampled(circuit, &mut rng);
+        let bits: String = outcomes
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect();
+        *dense.entry(bits).or_default() += 1;
+    }
+    let (stat, df) = chi_square(&tableau, &dense);
+    let bound = 16.0 + 8.0 * df as f64;
+    assert!(
+        stat <= bound,
+        "{name}: chi-square {stat:.1} over {df} df exceeds {bound:.1}\n\
+         tableau: {tableau:?}\ndense: {dense:?}"
+    );
+    // Both simulators must also agree on the *support* — a branch one
+    // side never produces is a correctness bug, not sampling noise.
+    for key in tableau.keys() {
+        assert!(
+            dense.contains_key(key),
+            "{name}: tableau emits {key} but the dense simulator never does"
+        );
+    }
+}
+
+#[test]
+fn bell_pair_distribution_matches() {
+    let mut c = Circuit::new(2);
+    c.h(Qubit(0))
+        .cnot(Qubit(0), Qubit(1))
+        .measure(Qubit(0))
+        .measure(Qubit(1));
+    assert_sampled_agreement("bell", &c, 400);
+}
+
+#[test]
+fn ghz_with_basis_change_distribution_matches() {
+    // GHZ-4, then an X-basis readout on half the register: outcomes mix
+    // deterministic parity constraints with genuinely random bits.
+    let mut c = Circuit::new(4);
+    c.h(Qubit(0));
+    for i in 1..4 {
+        c.cnot(Qubit(i - 1), Qubit(i));
+    }
+    c.h(Qubit(0)).h(Qubit(1));
+    for i in 0..4 {
+        c.measure(Qubit(i));
+    }
+    assert_sampled_agreement("ghz4_xbasis", &c, 400);
+}
+
+#[test]
+fn entangled_reset_distribution_matches() {
+    // Reset of an entangled qubit: the internal branch is marginalized
+    // out, so only distribution-level comparison is possible — exactly
+    // what this case covers. After the reset, q0 reads 0 and q1 stays
+    // uniform; the re-entangling H+CNOT then correlates q0 with q2.
+    let mut c = Circuit::new(3);
+    c.h(Qubit(0)).cnot(Qubit(0), Qubit(1));
+    c.reset_qubit(Qubit(0));
+    c.h(Qubit(0)).cnot(Qubit(0), Qubit(2));
+    for i in 0..3 {
+        c.measure(Qubit(i));
+    }
+    assert_sampled_agreement("entangled_reset", &c, 400);
+}
+
+#[test]
+fn moelmer_soerensen_ladder_distribution_matches() {
+    // The trapped-ion native entangler at its Clifford angle: an XX(π/2)
+    // ladder with S-dressing, measured in the computational basis.
+    let mut c = Circuit::new(3);
+    c.xx(Qubit(0), Qubit(1), FRAC_PI_2);
+    c.s(Qubit(1));
+    c.xx(Qubit(1), Qubit(2), FRAC_PI_2);
+    c.push(Gate::SqrtY(Qubit(0)));
+    for i in 0..3 {
+        c.measure(Qubit(i));
+    }
+    assert_sampled_agreement("ms_ladder", &c, 400);
+}
+
+#[test]
+fn mid_circuit_measurement_distribution_matches() {
+    // Measurement as a state-preparation step: the mid-circuit outcome
+    // steers what the final readout can be, so any disagreement in the
+    // collapse rule shows up as a histogram mismatch here.
+    let mut c = Circuit::new(2);
+    c.h(Qubit(0))
+        .measure(Qubit(0))
+        .h(Qubit(0))
+        .cnot(Qubit(0), Qubit(1));
+    c.measure(Qubit(0)).measure(Qubit(1));
+    assert_sampled_agreement("mid_circuit", &c, 400);
+}
