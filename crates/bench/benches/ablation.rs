@@ -29,7 +29,7 @@ fn bench_lookahead_cost(c: &mut Criterion) {
                 RouterKind::Linq(cfg)
                     .route(black_box(&native), spec, &initial)
                     .unwrap()
-            })
+            });
         });
     }
     group.finish();

@@ -23,7 +23,7 @@ fn bench_tilt_end_to_end(c: &mut Criterion) {
             b.iter(|| {
                 let out = Compiler::new(spec).compile(black_box(&circuit)).unwrap();
                 estimate_success(&out.program, &noise, &times)
-            })
+            });
         });
     }
     group.finish();
@@ -42,7 +42,7 @@ fn bench_qccd_end_to_end(c: &mut Criterion) {
             b.iter(|| {
                 let program = compile_qccd(black_box(&native), &spec).unwrap();
                 estimate_qccd_success(&program, &noise, &times, &params)
-            })
+            });
         });
     }
     group.finish();

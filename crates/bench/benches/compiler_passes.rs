@@ -32,14 +32,14 @@ fn bench_swap_insertion(c: &mut Criterion) {
                 RouterKind::default()
                     .route(black_box(&native), spec, &initial)
                     .unwrap()
-            })
+            });
         });
         group.bench_function(format!("baseline/{name}"), |b| {
             b.iter(|| {
                 RouterKind::Stochastic(Default::default())
                     .route(black_box(&native), spec, &initial)
                     .unwrap()
-            })
+            });
         });
     }
     group.finish();
@@ -63,7 +63,7 @@ fn bench_tape_scheduling(c: &mut Criterion) {
                     spec,
                     SchedulerKind::GreedyMaxExecutable,
                 )
-            })
+            });
         });
     }
     group.finish();

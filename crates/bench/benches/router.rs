@@ -34,7 +34,7 @@ fn bench_workload(c: &mut Criterion, name: &str, circuit: &Circuit, head: usize)
             b.iter(|| {
                 kind.route(black_box(&native), spec, &initial)
                     .expect("benchmark workloads route")
-            })
+            });
         });
     }
     group.finish();

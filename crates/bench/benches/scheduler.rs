@@ -35,7 +35,7 @@ fn bench_workload(c: &mut Criterion, name: &str, circuit: &Circuit, head: usize)
         ),
     ] {
         group.bench_function(id, |b| {
-            b.iter(|| schedule_with(black_box(&lowered), spec, config))
+            b.iter(|| schedule_with(black_box(&lowered), spec, config));
         });
     }
     group.finish();

@@ -14,15 +14,15 @@ fn bench_qft20(c: &mut Criterion) {
     let mut group = c.benchmark_group("statevec_qft20");
     group.sample_size(5);
     group.bench_function("optimized", |b| {
-        b.iter(|| black_box(probe.clone()).run(black_box(&circuit)))
+        b.iter(|| black_box(probe.clone()).run(black_box(&circuit)));
     });
     group.bench_function("unfused", |b| {
         b.iter(|| {
             black_box(probe.clone()).run_with(black_box(&circuit), RunOptions::serial_unfused())
-        })
+        });
     });
     group.bench_function("naive", |b| {
-        b.iter(|| black_box(probe.clone()).run_naive(black_box(&circuit)))
+        b.iter(|| black_box(probe.clone()).run_naive(black_box(&circuit)));
     });
     group.finish();
 }
@@ -33,10 +33,10 @@ fn bench_qft16(c: &mut Criterion) {
     let mut group = c.benchmark_group("statevec_qft16");
     group.sample_size(10);
     group.bench_function("optimized", |b| {
-        b.iter(|| black_box(probe.clone()).run(black_box(&circuit)))
+        b.iter(|| black_box(probe.clone()).run(black_box(&circuit)));
     });
     group.bench_function("naive", |b| {
-        b.iter(|| black_box(probe.clone()).run_naive(black_box(&circuit)))
+        b.iter(|| black_box(probe.clone()).run_naive(black_box(&circuit)));
     });
     group.finish();
 }

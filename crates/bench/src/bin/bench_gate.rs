@@ -65,7 +65,7 @@ const GATING: [(&str, &str); 3] = [
 
 /// Cross-run absolute throughput, plus the engine batch ratio (which
 /// can hinge on runner core count): advisory only.
-const ADVISORY: [(&str, &str); 14] = [
+const ADVISORY: [(&str, &str); 15] = [
     ("BENCH_statevec.json", "optimized_gates_per_sec"),
     ("BENCH_statevec.json", "simd.simd_gates_per_sec"),
     ("BENCH_statevec.json", "permutation.parallel_gates_per_sec"),
@@ -73,6 +73,9 @@ const ADVISORY: [(&str, &str); 14] = [
     ("BENCH_router.json", "reference_routes_per_sec"),
     ("BENCH_engine.json", "batch_circuits_per_sec"),
     ("BENCH_engine.json", "batch_speedup"),
+    // Per-circuit throughput with strict static verification on: the
+    // verifier's overhead rides the absolute runner speed, so advisory.
+    ("BENCH_engine.json", "verify.strict_circuits_per_sec"),
     ("BENCH_service.json", "requests_per_sec"),
     ("BENCH_service.json", "repeat.warm_requests_per_sec"),
     ("BENCH_service.json", "repeat.warm_speedup"),
@@ -96,14 +99,11 @@ type WorkloadRow = (String, Option<f64>, Option<f64>, Option<f64>);
 
 fn load(dir: &Path, file: &str, warn_missing: bool) -> Option<Json> {
     let path = dir.join(file);
-    let text = match std::fs::read_to_string(&path) {
-        Ok(t) => t,
-        Err(_) => {
-            if warn_missing {
-                println!("warn: {} not found — skipping its metrics", path.display());
-            }
-            return None;
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        if warn_missing {
+            println!("warn: {} not found — skipping its metrics", path.display());
         }
+        return None;
     };
     match Json::parse(&text) {
         Ok(j) => Some(j),

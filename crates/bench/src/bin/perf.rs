@@ -54,7 +54,7 @@ use tilt_compiler::mapping::InitialMapping;
 use tilt_compiler::route::LinqConfig;
 use tilt_compiler::schedule::{schedule_with, ScheduleConfig, SchedulerKind};
 use tilt_compiler::{DeviceSpec, RouterKind};
-use tilt_engine::{Backend, Engine, Service, SimMethod, TiltError};
+use tilt_engine::{Backend, Engine, Service, SimMethod, TiltError, VerifyLevel};
 use tilt_report::{Json, Table};
 use tilt_statevec::{RunOptions, State};
 
@@ -290,6 +290,19 @@ fn main() {
     let t_batch = time_median(5, || {
         std::hint::black_box(engine.run_batch(circuits.iter().cloned()));
     });
+    // Verifier overhead: the same per-circuit loop with the static rule
+    // packs on (strict). The delta prices `EngineBuilder::verify` for
+    // service operators deciding whether to leave it enabled.
+    let engine_verified = Engine::builder()
+        .backend(Backend::Tilt(DeviceSpec::new(16, 4).expect("valid device")))
+        .verify(VerifyLevel::Strict)
+        .build()
+        .expect("engine builds");
+    let t_verified = time_median(5, || {
+        for c in &circuits {
+            std::hint::black_box(engine_verified.run(c).expect("workload verifies clean"));
+        }
+    });
     let engine_record = Json::object()
         .set("benchmark", "small_circuit_batch")
         .set("circuits", n_circuits)
@@ -300,7 +313,14 @@ fn main() {
         .set("batch_circuits_per_sec", n_circuits / t_batch)
         .set("batch_speedup", t_single / t_batch)
         .set("threads", rayon_threads())
-        .set("kernel_tier", tilt_statevec::simd::tier_name());
+        .set("kernel_tier", tilt_statevec::simd::tier_name())
+        .set(
+            "verify",
+            Json::object()
+                .set("strict_secs", t_verified)
+                .set("strict_circuits_per_sec", n_circuits / t_verified)
+                .set("overhead_ratio", t_verified / t_single),
+        );
     std::fs::write("BENCH_engine.json", engine_record.render()).expect("write BENCH_engine.json");
     table.row([
         "engine batch x120".to_string(),
@@ -570,8 +590,8 @@ fn main() {
     ]);
     table.row([
         "serve warm cache".to_string(),
-        format!("{:.0} req/s cold", cold_rps),
-        format!("{:.0} req/s warm", warm_rps),
+        format!("{cold_rps:.0} req/s cold"),
+        format!("{warm_rps:.0} req/s warm"),
         format!("{:.2}x", warm_rps / cold_rps),
     ]);
     table.row([
@@ -662,7 +682,7 @@ fn main() {
         "stabilizer d251 r10".to_string(),
         "2^501 amplitudes (refused)".to_string(),
         format!("{:.0} meas/s", qec_meas / t_tableau),
-        format!("{:.3}s end-to-end", t_engine),
+        format!("{t_engine:.3}s end-to-end"),
     ]);
 
     print!("{}", table.render());

@@ -102,7 +102,7 @@ mod tests {
     fn gates_are_local_in_interleaved_layout() {
         let c = adder64();
         // Every 2Q gate in the Cuccaro layout spans at most 2 positions.
-        let max_span = c.iter().filter_map(|g| g.span()).max().unwrap();
+        let max_span = c.iter().filter_map(tilt_circuit::Gate::span).max().unwrap();
         assert!(max_span <= 2, "max span {max_span}");
     }
 

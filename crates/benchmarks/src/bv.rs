@@ -112,8 +112,8 @@ mod tests {
     #[test]
     fn spans_are_long_distance() {
         let c = bv64();
-        let min_span = c.iter().filter_map(|g| g.span()).min().unwrap();
-        let max_span = c.iter().filter_map(|g| g.span()).max().unwrap();
+        let min_span = c.iter().filter_map(tilt_circuit::Gate::span).min().unwrap();
+        let max_span = c.iter().filter_map(tilt_circuit::Gate::span).max().unwrap();
         assert_eq!(min_span, 1);
         assert_eq!(max_span, 63);
     }

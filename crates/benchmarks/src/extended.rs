@@ -214,7 +214,7 @@ mod tests {
         let c = surface_code_round(3);
         assert_eq!(c.n_qubits(), 17);
         // The folded 1-D layout keeps stabilizer CNOTs within 2·distance.
-        let max_span = c.iter().filter_map(|g| g.span()).max().unwrap();
+        let max_span = c.iter().filter_map(tilt_circuit::Gate::span).max().unwrap();
         assert!(max_span <= 2 * 3, "span {max_span}");
         assert_eq!(c.stats().measurements, 8);
     }

@@ -170,7 +170,7 @@ mod tests {
     #[test]
     fn repetition_code_cnots_are_nearest_neighbour() {
         let c = repetition_code(7, 2);
-        let max_span = c.iter().filter_map(|g| g.span()).max().unwrap();
+        let max_span = c.iter().filter_map(tilt_circuit::Gate::span).max().unwrap();
         assert_eq!(max_span, 1, "interleaved layout keeps every check local");
     }
 

@@ -62,7 +62,7 @@ mod tests {
     #[test]
     fn has_long_distance_gates() {
         let c = qft64();
-        let max_span = c.iter().filter_map(|g| g.span()).max().unwrap();
+        let max_span = c.iter().filter_map(tilt_circuit::Gate::span).max().unwrap();
         assert_eq!(max_span, 63);
     }
 

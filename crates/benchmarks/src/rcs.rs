@@ -163,7 +163,7 @@ mod tests {
     fn single_qubit_layer_never_repeats_choice() {
         let c = random_circuit_sampling(2, 2, 10, 3);
         let mut prev: Vec<Option<&str>> = vec![None; 4];
-        for g in c.iter() {
+        for g in &c {
             if g.is_single_qubit_unitary() && g.name() != "h" {
                 let q = g.qubits()[0].index();
                 assert_ne!(prev[q], Some(g.name()));

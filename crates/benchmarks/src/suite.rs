@@ -48,7 +48,7 @@ impl Benchmark {
     pub fn needs_swaps(&self, head_size: usize) -> bool {
         self.circuit
             .iter()
-            .filter_map(|g| g.span())
+            .filter_map(tilt_circuit::Gate::span)
             .any(|d| d >= head_size)
     }
 }

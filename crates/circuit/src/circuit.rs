@@ -53,7 +53,7 @@ impl Circuit {
         debug_assert!(
             gates
                 .iter()
-                .flat_map(|g| g.qubits())
+                .flat_map(Gate::qubits)
                 .all(|q| q.index() < n_qubits),
             "gate references qubit outside register"
         );
@@ -87,6 +87,14 @@ impl Circuit {
     /// Iterate over gates in program order.
     pub fn iter(&self) -> std::slice::Iter<'_, Gate> {
         self.gates.iter()
+    }
+
+    /// Mutable access to the gate list. In-place edits bypass the
+    /// builder methods' structure, so callers own any invariants they
+    /// break — the static verifier's mutation tests use this to seed
+    /// deliberate corruptions into compiled artifacts.
+    pub fn gates_mut(&mut self) -> &mut [Gate] {
+        &mut self.gates
     }
 
     /// Appends one gate.
@@ -415,7 +423,7 @@ mod tests {
     #[test]
     fn iterator_yields_program_order() {
         let c = ghz(3);
-        let names: Vec<_> = c.iter().map(|g| g.name()).collect();
+        let names: Vec<_> = c.iter().map(super::super::gate::Gate::name).collect();
         assert_eq!(names, vec!["h", "cx", "cx"]);
     }
 }

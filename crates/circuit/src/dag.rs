@@ -66,9 +66,7 @@ impl Dag {
                 }
                 since_barrier.clear();
                 last_barrier = Some(i);
-                for slot in last_on.iter_mut() {
-                    *slot = None;
-                }
+                last_on.fill(None);
                 pred_offsets.push(pred_edges.len());
                 continue;
             }

@@ -73,7 +73,7 @@ impl Fingerprint for Circuit {
     fn fingerprint_into(&self, h: &mut Hasher) {
         h.write_usize(self.n_qubits());
         h.write_usize(self.len());
-        for g in self.iter() {
+        for g in self {
             g.fingerprint_into(h);
         }
     }

@@ -52,7 +52,7 @@ pub fn to_qasm(circuit: &Circuit) -> String {
         let _ = writeln!(out, "creg c[{n}];");
     }
 
-    for g in circuit.iter() {
+    for g in circuit {
         emit_gate(&mut out, g);
     }
     out

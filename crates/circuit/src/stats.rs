@@ -64,7 +64,7 @@ impl CircuitStats {
             depth: circuit.depth(),
             ..CircuitStats::default()
         };
-        for g in circuit.iter() {
+        for g in circuit {
             match g.arity() {
                 0 => s.barriers += 1,
                 1 => {

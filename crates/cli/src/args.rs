@@ -41,6 +41,9 @@ pub struct Options {
     /// Logical-circuit simulation method (`--method auto|statevec|
     /// stabilizer`); `None` = no simulation.
     pub method: Option<SimMethod>,
+    /// Emit machine-readable JSON instead of human text (`--json`,
+    /// `lint` command only).
+    pub json: bool,
     /// Print the scheduled op stream (`--emit-program`).
     pub emit_program: bool,
     /// Print the routed circuit as QASM (`--emit-qasm`).
@@ -81,6 +84,7 @@ impl Options {
             ions_per_trap: 17,
             elu_ions: 18,
             method: None,
+            json: false,
             emit_program: false,
             emit_qasm: false,
             batch: false,
@@ -97,7 +101,7 @@ impl Options {
                 "--head" => opts.head = parse_num(value_for("--head")?, "--head")?,
                 "--max-swap-len" => {
                     opts.max_swap_len =
-                        Some(parse_num(value_for("--max-swap-len")?, "--max-swap-len")?)
+                        Some(parse_num(value_for("--max-swap-len")?, "--max-swap-len")?);
                 }
                 "--alpha" => {
                     let v = value_for("--alpha")?;
@@ -124,7 +128,7 @@ impl Options {
                 }
                 "--ions-per-trap" => {
                     opts.ions_per_trap =
-                        parse_num(value_for("--ions-per-trap")?, "--ions-per-trap")?
+                        parse_num(value_for("--ions-per-trap")?, "--ions-per-trap")?;
                 }
                 "--elu-ions" => opts.elu_ions = parse_num(value_for("--elu-ions")?, "--elu-ions")?,
                 "--method" => {
@@ -135,6 +139,7 @@ impl Options {
                         ))
                     })?);
                 }
+                "--json" => opts.json = true,
                 "--emit-program" => opts.emit_program = true,
                 "--emit-qasm" => opts.emit_qasm = true,
                 "--batch" => opts.batch = true,
@@ -263,16 +268,16 @@ impl ServeOptions {
                 "--listen" => listen = Some(value_for("--listen")?.clone()),
                 "--cache-dir" => cache_dir = Some(value_for("--cache-dir")?.clone()),
                 "--max-in-flight" => {
-                    max_in_flight = parse_num(value_for("--max-in-flight")?, "--max-in-flight")?
+                    max_in_flight = parse_num(value_for("--max-in-flight")?, "--max-in-flight")?;
                 }
                 "--max-in-flight-bytes" => {
                     max_in_flight_bytes =
-                        parse_num(value_for("--max-in-flight-bytes")?, "--max-in-flight-bytes")?
+                        parse_num(value_for("--max-in-flight-bytes")?, "--max-in-flight-bytes")?;
                 }
                 "--default-deadline-ms" => {
                     default_deadline_ms =
                         parse_num(value_for("--default-deadline-ms")?, "--default-deadline-ms")?
-                            as u64
+                            as u64;
                 }
                 _ => rest.push(arg.clone()),
             }
@@ -318,7 +323,7 @@ mod tests {
     use super::*;
 
     fn v(args: &[&str]) -> Vec<String> {
-        args.iter().map(|s| s.to_string()).collect()
+        args.iter().map(std::string::ToString::to_string).collect()
     }
 
     #[test]
@@ -357,6 +362,13 @@ mod tests {
         assert_eq!(o.alpha, 0.7);
         assert_eq!(o.scheduler, SchedulerKind::NaiveNextGate);
         assert!(o.emit_program && o.emit_qasm);
+    }
+
+    #[test]
+    fn json_flag_parses() {
+        let o = Options::parse(&v(&["x", "--json"])).unwrap();
+        assert!(o.json);
+        assert!(!Options::parse(&v(&["x"])).unwrap().json);
     }
 
     #[test]

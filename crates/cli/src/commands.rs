@@ -194,9 +194,8 @@ pub fn simulate(args: &[String]) -> Result<String, String> {
         let s = report.tilt_success().expect("Tilt backend").report;
         let (success, log10_success, exec_time_us) =
             (report.success, report.log10_success(), report.exec_time_us);
-        let out = match report.detail {
-            tilt_engine::RunDetail::Tilt { output, .. } => output,
-            _ => unreachable!("a Tilt backend produces Tilt detail"),
+        let tilt_engine::RunDetail::Tilt { output: out, .. } = report.detail else {
+            unreachable!("a Tilt backend produces Tilt detail");
         };
         SimulateOutcome {
             out,
@@ -226,6 +225,78 @@ pub fn simulate(args: &[String]) -> Result<String, String> {
     let _ = writeln!(text, "execution time: {:.3} ms", o.exec_time_us / 1e3);
     text.push_str(&emit_extras(&opts, &o.out));
     Ok(text)
+}
+
+/// `tilt-cli lint <file.qasm>` — compile for a TILT machine and run the
+/// static program-invariant verifier over the compiled artifacts.
+///
+/// Human output is one line per diagnostic plus a summary; `--json`
+/// emits the diagnostics as a JSON array (empty when clean). Any
+/// error-severity finding makes the command fail, so the exit code is
+/// the lint verdict.
+pub fn lint(args: &[String]) -> Result<String, String> {
+    let opts = Options::parse(args).map_err(|e| e.to_string())?;
+    if opts.router == RouterChoice::Exact {
+        return Err(
+            "`lint` drives the session API; use `compile` to inspect --router exact output".into(),
+        );
+    }
+    let circuit = load_circuit(&opts)?;
+    let spec = device(&opts, &circuit)?;
+    // Warn, not strict: lint's job is to *report* every finding, then
+    // decide the exit code itself (strict would stop at the first).
+    let report = Engine::builder()
+        .backend(Backend::Tilt(spec))
+        .router(opts.router_kind())
+        .scheduler(opts.scheduler)
+        .verify(tilt_engine::VerifyLevel::Warn)
+        .build()
+        .map_err(|e| e.to_string())?
+        .run(&circuit)
+        .map_err(|e| e.to_string())?;
+    let diags = &report.diagnostics;
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == tilt_engine::Severity::Error)
+        .count();
+
+    let text = if opts.json {
+        let arr: Vec<tilt_report::Json> = diags
+            .iter()
+            .map(|d| {
+                tilt_report::Json::object()
+                    .set("rule", d.rule)
+                    .set("severity", d.severity.to_string())
+                    .set("op_index", d.op_index as f64)
+                    .set("message", d.message.as_str())
+            })
+            .collect();
+        format!("{}\n", tilt_report::Json::Arr(arr).render())
+    } else {
+        let mut text = String::new();
+        for d in diags {
+            let _ = writeln!(text, "{d}");
+        }
+        let _ = writeln!(
+            text,
+            "lint `{}`: {}",
+            opts.target,
+            if diags.is_empty() {
+                format!(
+                    "clean ({} native ops verified)",
+                    report.compile.native_gate_count
+                )
+            } else {
+                format!("{} diagnostic(s), {} error(s)", diags.len(), errors)
+            }
+        );
+        text
+    };
+    if errors > 0 {
+        Err(text)
+    } else {
+        Ok(text)
+    }
 }
 
 /// `tilt-cli timeline <file.qasm>`
@@ -344,7 +415,7 @@ fn report_row(name: &str, report: &Result<RunReport, tilt_engine::TiltError>) ->
                     r.exec_time_us,
                 )
             })
-            .map_err(|e| e.to_string()),
+            .map_err(std::string::ToString::to_string),
     )
 }
 
@@ -888,7 +959,7 @@ mod tests {
     }
 
     fn v(args: &[&str]) -> Vec<String> {
-        args.iter().map(|s| s.to_string()).collect()
+        args.iter().map(std::string::ToString::to_string).collect()
     }
 
     #[test]
@@ -931,6 +1002,29 @@ mod tests {
         let out = bench(&v(&["all", "--head", "32"])).unwrap();
         // Header + separator + 6 rows.
         assert_eq!(out.trim().lines().count(), 8, "{out}");
+    }
+
+    #[test]
+    fn lint_reports_clean_compiles() {
+        let path = write_temp("lint.qasm", "qreg q[8];\nh q[0];\ncx q[0], q[7];\n");
+        let out = lint(&v(&[&path, "--head", "4"])).unwrap();
+        assert!(out.contains("clean"), "{out}");
+        assert!(out.contains("native ops verified"), "{out}");
+    }
+
+    #[test]
+    fn lint_json_emits_an_array() {
+        let path = write_temp("lint-json.qasm", "qreg q[6];\ncx q[0], q[5];\n");
+        let out = lint(&v(&[&path, "--head", "3", "--json"])).unwrap();
+        let parsed = tilt_report::Json::parse(out.trim()).unwrap();
+        assert_eq!(parsed.as_array().map(<[_]>::len), Some(0), "{out}");
+    }
+
+    #[test]
+    fn lint_rejects_exact_router() {
+        let path = write_temp("lint-x.qasm", "qreg q[4];\ncx q[0], q[3];\n");
+        let e = lint(&v(&[&path, "--router", "exact"])).unwrap_err();
+        assert!(e.contains("session API"), "{e}");
     }
 
     #[test]

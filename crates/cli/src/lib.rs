@@ -7,6 +7,7 @@
 //! tilt-cli run      <dir> --batch [options] # a directory of circuits as one batch
 //! tilt-cli compile  <file.qasm> [options]   # run the pipeline, print metrics
 //! tilt-cli simulate <file.qasm> [options]   # + success rate and exec time
+//! tilt-cli lint     <file.qasm> [options]   # statically verify the compiled program
 //! tilt-cli qccd     <file.qasm> [options]   # route on the QCCD comparator
 //! tilt-cli bench    <name|all>  [options]   # run a paper benchmark by name
 //! tilt-cli serve    [options]               # JSON-lines compile service (stdin/stdout or TCP)
@@ -30,6 +31,9 @@ commands:
   compile  <file.qasm>   compile for a TILT machine and print LinQ metrics
   simulate <file.qasm>   compile, then estimate success rate and exec time
   timeline <file.qasm>   compile and draw the tape-head trajectory
+  lint     <file.qasm>   compile and statically verify the program
+                         invariants (--json for machine-readable output;
+                         exits nonzero on any error-severity finding)
   qccd     <file.qasm>   route on the QCCD comparator architecture
   scale    <file.qasm>   split across MUSIQC-style TILT modules (ELUs)
   bench    <name|all>    run a paper benchmark (adder, bv, qaoa, rcs, qft, sqrt)
@@ -46,6 +50,7 @@ options:
   --scheduler S         greedy | naive (default: greedy)
   --ions-per-trap N     QCCD trap size (default: 17)
   --elu-ions N          ions per ELU for `scale` (default: 18)
+  --json                lint: emit diagnostics as a JSON array
   --emit-program        print the scheduled gate/move stream
   --emit-qasm           print the routed physical circuit as OpenQASM
   --batch               treat the run target as a directory of .qasm files
@@ -66,6 +71,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "compile" => commands::compile(rest),
         "simulate" => commands::simulate(rest),
         "timeline" => commands::timeline(rest),
+        "lint" => commands::lint(rest),
         "qccd" => commands::qccd(rest),
         "scale" => commands::scale(rest),
         "bench" => commands::bench(rest),
@@ -80,7 +86,7 @@ mod tests {
     use super::*;
 
     fn v(args: &[&str]) -> Vec<String> {
-        args.iter().map(|s| s.to_string()).collect()
+        args.iter().map(std::string::ToString::to_string).collect()
     }
 
     #[test]

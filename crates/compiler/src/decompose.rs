@@ -48,7 +48,7 @@ pub fn decompose(circuit: &Circuit) -> Circuit {
 /// circuit.
 pub fn decompose_into(circuit: &Circuit, out: &mut Circuit) {
     out.reset(circuit.n_qubits());
-    for g in circuit.iter() {
+    for g in circuit {
         decompose_gate(out, g);
     }
 }
@@ -218,7 +218,7 @@ mod tests {
         let mut c = Circuit::new(2);
         c.cnot(Qubit(0), Qubit(1));
         let native = decompose(&c);
-        let names: Vec<_> = native.iter().map(|g| g.name()).collect();
+        let names: Vec<_> = native.iter().map(tilt_circuit::Gate::name).collect();
         assert_eq!(names, vec!["ry", "rxx", "rx", "rx", "ry"]);
         match native.gates()[1] {
             Gate::Xx(a, b, t) => {

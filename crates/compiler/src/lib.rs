@@ -44,6 +44,7 @@ pub mod program;
 pub mod route;
 pub mod schedule;
 pub mod spec;
+pub mod verify;
 pub mod viz;
 
 pub use error::CompileError;
@@ -53,3 +54,4 @@ pub use program::{TiltOp, TiltProgram};
 pub use route::{RouteOutcome, RouterKind};
 pub use schedule::{ScheduleConfig, SchedulerKind};
 pub use spec::DeviceSpec;
+pub use verify::{Diagnostic, Severity};

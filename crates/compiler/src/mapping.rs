@@ -222,7 +222,7 @@ fn interaction_chain(circuit: &Circuit, n_ions: usize) -> Mapping {
     }
     // Spectator logical indices fill the remaining positions in order.
     let mut next = n;
-    for slot in log_to_phys.iter_mut() {
+    for slot in &mut log_to_phys {
         if *slot == usize::MAX {
             *slot = next;
             next += 1;

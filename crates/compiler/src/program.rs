@@ -75,6 +75,15 @@ impl TiltProgram {
         TiltProgram { spec, ops }
     }
 
+    /// Wraps an op stream without the debug-build invariant asserts.
+    ///
+    /// This exists for the static verifier's own tests, which
+    /// deliberately construct invalid programs to prove the rules catch
+    /// them; production passes go through [`TiltProgram::new`].
+    pub fn new_unchecked(spec: DeviceSpec, ops: Vec<TiltOp>) -> Self {
+        TiltProgram { spec, ops }
+    }
+
     /// The device this program targets.
     pub fn spec(&self) -> &DeviceSpec {
         &self.spec

@@ -202,7 +202,7 @@ pub fn optimal_route(
     let mut k = 0usize;
     let mut swap_count = 0usize;
     let mut opposing = 0usize;
-    for g in native.iter() {
+    for g in native {
         if g.is_two_qubit() {
             while let Some(&&(tag, (lo, hi))) = swap_iter.peek() {
                 if tag > k {
@@ -290,7 +290,7 @@ mod tests {
             },
         )
         .unwrap();
-        for g in tight.circuit.iter() {
+        for g in &tight.circuit {
             if let tilt_circuit::Gate::Swap(a, b) = g {
                 assert_eq!(a.index().abs_diff(b.index()), 1);
             }
@@ -308,7 +308,7 @@ mod tests {
         let out = exact(&c, 6, 3);
         let mut m = out.initial_mapping.clone();
         let mut xx = Vec::new();
-        for g in out.circuit.iter() {
+        for g in &out.circuit {
             match *g {
                 tilt_circuit::Gate::Swap(a, b) => m.swap_positions(a.index(), b.index()),
                 tilt_circuit::Gate::Xx(a, b, t) => {

@@ -379,7 +379,7 @@ mod tests {
         c.xx(Qubit(0), Qubit(31), 0.5);
         for cap in [3usize, 5, 7] {
             let out = route_linq(&c, 32, 8, LinqConfig::with_max_swap_len(cap));
-            for g in out.circuit.iter() {
+            for g in &out.circuit {
                 if let tilt_circuit::Gate::Swap(a, b) = g {
                     assert!(a.index().abs_diff(b.index()) <= cap, "cap {cap}: {g:?}");
                 }
@@ -497,7 +497,7 @@ mod tests {
         c.xx(Qubit(0), Qubit(15), 0.5);
         let out = route_linq(&c, 16, 4, LinqConfig::default());
         let mut m = Mapping::identity(16);
-        for g in out.circuit.iter() {
+        for g in &out.circuit {
             if let tilt_circuit::Gate::Swap(a, b) = g {
                 m.swap_positions(a.index(), b.index());
             }

@@ -71,7 +71,7 @@ pub(crate) fn pending_gates(native: &Circuit) -> Vec<PendingGate> {
     let mut level = vec![0usize; native.n_qubits()];
     let mut barrier_level = 0usize;
     let mut pending = Vec::with_capacity(native.len() / 2);
-    for g in native.iter() {
+    for g in native {
         if matches!(g, Gate::Barrier) {
             barrier_level = barrier_level.max(level.iter().copied().max().unwrap_or(0));
             continue;
@@ -201,6 +201,17 @@ impl RouterKind {
         }
     }
 
+    /// The widest swap this policy may insert on `spec`, in ion
+    /// spacings — the cap the `tilt/swap-chain` verifier rule checks
+    /// routed circuits against.
+    pub fn max_swap_span(&self, spec: DeviceSpec) -> usize {
+        match self {
+            RouterKind::Linq(cfg) => cfg.effective_max_swap_len(spec),
+            // The baseline jumps an endpoint as far as the head allows.
+            RouterKind::Stochastic(_) => spec.head_size() - 1,
+        }
+    }
+
     /// Routes `native` (a circuit already lowered to the native gate set or
     /// at least to two-qubit granularity) onto `spec`, starting from
     /// `initial` and inserting swaps with this policy.
@@ -254,7 +265,7 @@ pub(crate) fn route_with_policy(
     let mut swap_count = 0usize;
     let mut opposing_swap_count = 0usize;
 
-    for g in native.iter() {
+    for g in native {
         if g.is_two_qubit() {
             let qs = g.qubits();
             while mapping.distance(qs[0], qs[1]) >= spec.head_size() {
@@ -401,7 +412,7 @@ mod tests {
             let out = route(&kind, &c, 12, 4);
             let mut m = out.initial_mapping.clone();
             let mut seen = Vec::new();
-            for g in out.circuit.iter() {
+            for g in &out.circuit {
                 match g {
                     tilt_circuit::Gate::Swap(a, b) => m.swap_positions(a.index(), b.index()),
                     tilt_circuit::Gate::Xx(a, b, t) => {
@@ -430,7 +441,7 @@ mod tests {
             let out = route(&kind, &c, 10, 4);
             let mut m = out.initial_mapping.clone();
             let mut rx_logical = None;
-            for g in out.circuit.iter() {
+            for g in &out.circuit {
                 match g {
                     tilt_circuit::Gate::Swap(a, b) => m.swap_positions(a.index(), b.index()),
                     tilt_circuit::Gate::Rx(q, _) => rx_logical = Some(m.logical_at(q.index())),

@@ -243,7 +243,7 @@ mod tests {
         let mut c = Circuit::new(40);
         c.xx(Qubit(0), Qubit(39), 0.5);
         let out = route_stochastic(&c, 40, 16, 11);
-        for g in out.circuit.iter() {
+        for g in &out.circuit {
             if let tilt_circuit::Gate::Swap(a, b) = g {
                 assert!(a.index().abs_diff(b.index()) <= 15);
             }

@@ -166,7 +166,7 @@ pub fn schedule(physical: &Circuit, spec: DeviceSpec, kind: SchedulerKind) -> Ti
 ///
 /// As [`schedule`].
 pub fn schedule_with(physical: &Circuit, spec: DeviceSpec, config: ScheduleConfig) -> TiltProgram {
-    for g in physical.iter() {
+    for g in physical {
         if let Some(d) = g.span() {
             assert!(
                 d < spec.head_size(),

@@ -214,7 +214,7 @@ impl CacheEntry {
         self.full
             .as_ref()
             .and_then(|r| r.tilt_program())
-            .map(|p| p.to_string())
+            .map(std::string::ToString::to_string)
     }
 }
 

@@ -52,6 +52,15 @@ pub enum TiltError {
         /// Human-readable description of the limit that was hit.
         reason: String,
     },
+    /// Static verification found error-severity diagnostics under
+    /// [`VerifyLevel::Strict`](crate::VerifyLevel::Strict): the
+    /// compiled program violates a backend invariant.
+    Verify {
+        /// Total number of diagnostics the rule packs reported.
+        count: usize,
+        /// The first error-severity diagnostic, rendered.
+        first: String,
+    },
 }
 
 impl fmt::Display for TiltError {
@@ -68,6 +77,10 @@ impl fmt::Display for TiltError {
                  simulator only runs Clifford programs"
             ),
             TiltError::Simulation { reason } => write!(f, "simulation error: {reason}"),
+            TiltError::Verify { count, first } => write!(
+                f,
+                "verification failed with {count} diagnostic(s); first: {first}"
+            ),
         }
     }
 }
@@ -81,7 +94,8 @@ impl Error for TiltError {
             TiltError::Config { .. }
             | TiltError::Internal { .. }
             | TiltError::NonClifford { .. }
-            | TiltError::Simulation { .. } => None,
+            | TiltError::Simulation { .. }
+            | TiltError::Verify { .. } => None,
         }
     }
 }

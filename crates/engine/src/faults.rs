@@ -105,9 +105,8 @@ impl Drop for FaultGuard {
 /// circuit's register width. Applies latency, then panics when armed
 /// for this width or this compile index.
 pub(crate) fn before_compile(width: usize) {
-    let plan = match plan_lock().clone() {
-        Some(plan) => plan,
-        None => return,
+    let Some(plan) = plan_lock().clone() else {
+        return;
     };
     if plan.compile_delay_us > 0 {
         std::thread::sleep(std::time::Duration::from_micros(plan.compile_delay_us));
@@ -135,9 +134,8 @@ pub(crate) fn cache_insert_seam() {
 /// simulate a crash mid-write by writing a truncated temporary file and
 /// failing, or fail outright before writing anything.
 pub(crate) fn snapshot_save_seam(tmp: &std::path::Path, text: &mut String) -> std::io::Result<()> {
-    let plan = match plan_lock().clone() {
-        Some(plan) => plan,
-        None => return Ok(()),
+    let Some(plan) = plan_lock().clone() else {
+        return Ok(());
     };
     if plan.snapshot_write_error {
         return Err(std::io::Error::other(

@@ -49,6 +49,7 @@ pub mod faults;
 pub mod report;
 pub mod service;
 pub mod sim;
+pub mod verify;
 
 mod batch;
 
@@ -58,6 +59,8 @@ pub use error::TiltError;
 pub use report::{BackendKind, CompileStats, RunDetail, RunReport};
 pub use service::{Service, ServiceStats, ServiceSummary, ShutdownCause};
 pub use sim::{SimMethod, SimReport, SimulatorKind};
+pub use tilt_compiler::verify::{Diagnostic, Severity};
+pub use verify::VerifyLevel;
 
 use cache::CacheEntry;
 use std::sync::Arc;
@@ -125,6 +128,8 @@ pub struct EngineBuilder {
     /// shapes stay bit-identical to pre-simulation sessions.
     sim_method: Option<SimMethod>,
     sim_seed: u64,
+    /// Post-compile static verification (off by default).
+    verify: VerifyLevel,
 }
 
 impl Default for EngineBuilder {
@@ -142,6 +147,7 @@ impl Default for EngineBuilder {
             cache: None,
             sim_method: None,
             sim_seed: 0,
+            verify: VerifyLevel::Off,
         }
     }
 }
@@ -235,6 +241,17 @@ impl EngineBuilder {
         self
     }
 
+    /// Enables post-compile static verification: every run's compiled
+    /// artifacts are re-checked against the backend's program
+    /// invariants (see [`verify`](crate::verify) for the levels and
+    /// [`tilt_compiler::verify`] for the rule taxonomy). Off by
+    /// default; the level becomes part of the session's config
+    /// fingerprint so cached reports carry their diagnostics.
+    pub fn verify(mut self, level: VerifyLevel) -> Self {
+        self.verify = level;
+        self
+    }
+
     /// Validates the configuration and builds the engine.
     ///
     /// Validation happens **here, once** — router parameters are checked
@@ -295,6 +312,7 @@ impl EngineBuilder {
             &self.cooling,
             &self.qccd_params,
             self.sim_method.map(|m| (m, self.sim_seed)),
+            self.verify,
         );
         Ok(Engine {
             backend,
@@ -304,8 +322,10 @@ impl EngineBuilder {
             exec_time: self.exec_time,
             cooling: self.cooling,
             qccd_params: self.qccd_params,
+            router: self.router.unwrap_or_default(),
             cache: self.cache,
             sim: self.sim_method.map(|m| (m, self.sim_seed)),
+            verify: self.verify,
             config_fp,
         })
     }
@@ -327,6 +347,7 @@ fn config_fingerprint(
     cooling: &CoolingPolicy,
     qccd_params: &QccdParams,
     sim: Option<(SimMethod, u64)>,
+    verify: VerifyLevel,
 ) -> Digest {
     let mut h = Hasher::new();
     match backend {
@@ -366,6 +387,13 @@ fn config_fingerprint(
         h.write_tag(method.tag());
         h.write_u64(seed);
     }
+    // Diagnostics ride inside the cached report, so the level must
+    // split the key space; `Off` sessions write nothing and keep their
+    // pre-verifier fingerprints.
+    if verify != VerifyLevel::Off {
+        h.write_str("verify");
+        h.write_tag(verify.tag());
+    }
     h.digest()
 }
 
@@ -395,10 +423,14 @@ pub struct Engine {
     exec_time: ExecTimeModel,
     cooling: CoolingPolicy,
     qccd_params: QccdParams,
+    /// Resolved routing policy — bounds the verifier's swap-chain rule.
+    router: RouterKind,
     /// Shared compile cache, when the builder attached one.
     cache: Option<Arc<CompileCache>>,
     /// Logical-circuit simulation config (method, seed), when enabled.
     sim: Option<(SimMethod, u64)>,
+    /// Post-compile static verification level.
+    verify: VerifyLevel,
     /// Fingerprint of the resolved configuration — the config half of
     /// every cache key this session produces.
     config_fp: Digest,
@@ -535,6 +567,18 @@ impl Engine {
         if let Some((method, seed)) = self.sim {
             report.sim = Some(sim::simulate(circuit, method, seed)?);
         }
+        if self.verify != VerifyLevel::Off {
+            let diags = verify::check(&report, self.router);
+            if self.verify == VerifyLevel::Strict {
+                if let Some(first) = diags.iter().find(|d| d.severity == Severity::Error) {
+                    return Err(TiltError::Verify {
+                        count: diags.len(),
+                        first: first.to_string(),
+                    });
+                }
+            }
+            report.diagnostics = diags;
+        }
         Ok(report)
     }
 
@@ -587,6 +631,7 @@ impl Engine {
             success: success.report.success,
             exec_time_us,
             sim: None,
+            diagnostics: Vec::new(),
             detail: RunDetail::Tilt { output, success },
         })
     }
@@ -628,6 +673,7 @@ impl Engine {
             success: report.success,
             exec_time_us: report.exec_time_us,
             sim: None,
+            diagnostics: Vec::new(),
             detail: RunDetail::Qccd { program, report },
         })
     }
@@ -657,6 +703,7 @@ impl Engine {
             success: report.success,
             exec_time_us: report.exec_time_us,
             sim: None,
+            diagnostics: Vec::new(),
             detail: RunDetail::Scaled { program, report },
         })
     }
@@ -870,6 +917,68 @@ mod tests {
                 assert_ne!(fps[i], fps[j], "fingerprints {i} and {j} collide");
             }
         }
+    }
+
+    #[test]
+    fn verification_is_off_by_default_and_clean_when_on() {
+        // All three backends, strict: a fresh compile must carry zero
+        // diagnostics — every integration circuit doubles as a verifier
+        // fixture.
+        let circuit = ghz(16);
+        let off = Engine::tilt(DeviceSpec::new(16, 4).unwrap());
+        assert!(off.run(&circuit).unwrap().diagnostics.is_empty());
+        for backend in [
+            Backend::Tilt(DeviceSpec::new(16, 4).unwrap()),
+            Backend::Qccd(QccdSpec::for_qubits(16, 5).unwrap()),
+            Backend::Scaled(ScaleSpec::new(10, 4).unwrap()),
+        ] {
+            let engine = Engine::builder()
+                .backend(backend)
+                .verify(VerifyLevel::Strict)
+                .build()
+                .unwrap();
+            let report = engine.run(&circuit).unwrap_or_else(|e| {
+                panic!("clean compile must verify under strict on {backend:?}: {e}")
+            });
+            assert_eq!(report.diagnostics, Vec::new());
+        }
+    }
+
+    #[test]
+    fn warn_level_attaches_diagnostics_without_failing() {
+        let circuit = qaoa_maxcut(24, 4, 2);
+        let engine = Engine::builder()
+            .backend(Backend::Tilt(DeviceSpec::new(24, 6).unwrap()))
+            .verify(VerifyLevel::Warn)
+            .build()
+            .unwrap();
+        let report = engine.run(&circuit).unwrap();
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn verify_level_splits_the_fingerprint() {
+        let spec = DeviceSpec::new(8, 4).unwrap();
+        let mk = |level| {
+            Engine::builder()
+                .backend(Backend::Tilt(spec))
+                .verify(level)
+                .build()
+                .unwrap()
+                .config_fingerprint()
+        };
+        let fps = [
+            mk(VerifyLevel::Off),
+            mk(VerifyLevel::Warn),
+            mk(VerifyLevel::Strict),
+        ];
+        for i in 0..fps.len() {
+            for j in i + 1..fps.len() {
+                assert_ne!(fps[i], fps[j], "fingerprints {i} and {j} collide");
+            }
+        }
+        // Off is fingerprint-neutral: pre-verifier cache keys survive.
+        assert_eq!(fps[0], Engine::tilt(spec).config_fingerprint());
     }
 
     #[test]

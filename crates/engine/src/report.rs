@@ -9,6 +9,7 @@
 
 use crate::sim::SimReport;
 use std::time::Duration;
+use tilt_compiler::verify::Diagnostic;
 use tilt_compiler::{CompileOutput, TiltProgram};
 use tilt_qccd::{QccdProgram, QccdReport};
 use tilt_scale::{ScaleReport, ScaledProgram};
@@ -119,6 +120,12 @@ pub struct RunReport {
     /// a [`crate::SimMethod`] configured (`None` when simulation is
     /// off, the default).
     pub sim: Option<SimReport>,
+    /// Static-verifier findings over the compiled artifacts. Empty
+    /// unless the session enables verification
+    /// ([`crate::VerifyLevel::Warn`] attaches findings here;
+    /// [`crate::VerifyLevel::Strict`] additionally fails the run on
+    /// error-severity ones, so strict reports are always clean).
+    pub diagnostics: Vec<Diagnostic>,
     /// The backend-specific artifacts.
     pub detail: RunDetail,
 }

@@ -41,6 +41,9 @@
 //!   `router` (`"linq"|"stochastic"`), `max_swap_len`, `alpha`,
 //!   `scheduler` (`"greedy"|"naive"`), `ions_per_trap` (qccd),
 //!   `elu_ions` (scaled),
+//!   `verify` (`"off"|"warn"|"strict"` — run the static program-invariant
+//!   verifier over the compiled artifacts; `strict` fails the request
+//!   with kind `verify_failed` on any error-severity finding),
 //!   and `noise` (an object overriding any subset of the Eq. 4 model:
 //!   `gamma_per_us`, `epsilon`, `single_qubit_error`,
 //!   `measurement_error`, `k_base`, `n_ref`).
@@ -53,10 +56,12 @@
 //! `invalid_request` (the line never became a compilable request),
 //! `compile` (the backend rejected the circuit), `non_clifford` (the
 //! stabilizer simulator was asked to run a non-Clifford program; the
-//! message names the gate and its index), `overloaded` (shed by
-//! admission control; carries `retry_after_ms`), `deadline_exceeded`
-//! (shed by its deadline), and `internal` (a panic caught at the batch
-//! isolation boundary — the request is lost, the service is not).
+//! message names the gate and its index), `verify_failed` (the static
+//! verifier found an invariant violation under `"verify":"strict"`),
+//! `overloaded` (shed by admission control; carries `retry_after_ms`),
+//! `deadline_exceeded` (shed by its deadline), and `internal` (a panic
+//! caught at the batch isolation boundary — the request is lost, the
+//! service is not).
 //!
 //! # Admission control
 //!
@@ -427,6 +432,7 @@ const KIND_OVERLOADED: &str = "overloaded";
 const KIND_DEADLINE: &str = "deadline_exceeded";
 const KIND_INTERNAL: &str = "internal";
 const KIND_NON_CLIFFORD: &str = "non_clifford";
+const KIND_VERIFY_FAILED: &str = "verify_failed";
 
 /// A persistent compile/estimation service around one [`Engine`]
 /// session.
@@ -1106,7 +1112,7 @@ impl Service {
         obj: &Json,
         circuit: Option<&Circuit>,
     ) -> Result<Option<EngineBuilder>, String> {
-        const OVERRIDE_KEYS: [&str; 11] = [
+        const OVERRIDE_KEYS: [&str; 12] = [
             "backend",
             "ions",
             "head",
@@ -1118,6 +1124,7 @@ impl Service {
             "elu_ions",
             "noise",
             "method",
+            "verify",
         ];
         if !OVERRIDE_KEYS.iter().any(|k| obj.get(k).is_some()) {
             return Ok(None);
@@ -1224,6 +1231,17 @@ impl Service {
                 format!("unknown method `{name}` (expected auto, statevec, or stabilizer)")
             })?;
             builder = builder.simulate(method);
+        }
+
+        // Verification level: runs the static rule packs on this
+        // request's compiled artifacts (or, via `configure`, on every
+        // run of the session).
+        if let Some(v) = obj.get("verify") {
+            let name = v.as_str().ok_or("`verify` must be a string")?;
+            let level = crate::verify::VerifyLevel::parse(name).ok_or_else(|| {
+                format!("unknown verify level `{name}` (expected off, warn, or strict)")
+            })?;
+            builder = builder.verify(level);
         }
 
         // Noise overlay: any subset of the Eq. 4 fields.
@@ -1365,6 +1383,7 @@ fn run_response(id: &Json, result: &Result<RunReport, TiltError>, emit_program: 
             let kind = match e {
                 TiltError::Internal { .. } => KIND_INTERNAL,
                 TiltError::NonClifford { .. } => KIND_NON_CLIFFORD,
+                TiltError::Verify { .. } => KIND_VERIFY_FAILED,
                 _ => KIND_COMPILE,
             };
             error_json(id, kind, &e.to_string())
@@ -1372,7 +1391,7 @@ fn run_response(id: &Json, result: &Result<RunReport, TiltError>, emit_program: 
         Ok(report) => {
             let mut wire = WireReport::of(report);
             if emit_program {
-                wire.program_text = report.tilt_program().map(|p| p.to_string());
+                wire.program_text = report.tilt_program().map(std::string::ToString::to_string);
             }
             wire.response(id, emit_program)
         }
@@ -1555,6 +1574,35 @@ mod tests {
         assert!(!ok(&resps[0]));
         assert_eq!(err_kind(&resps[0]), "invalid_request");
         assert!(err_msg(&resps[0]).contains("unknown method `magic`"));
+    }
+
+    #[test]
+    fn verify_override_accepts_levels_and_rejects_unknowns() {
+        let mut s = tilt_service(8, 4);
+        let input = "{\"id\":1,\"qasm\":\"qreg q[8];\\nh q[0];\\ncx q[0], q[7];\\n\",\"verify\":\"strict\"}\n{\"id\":2,\"qasm\":\"qreg q[2];\\ncx q[0], q[1];\\n\",\"verify\":\"pedantic\"}\n";
+        let (resps, _) = drive(&mut s, input);
+        assert!(ok(&resps[0]), "clean compile passes strict: {:?}", resps[0]);
+        assert!(!ok(&resps[1]));
+        assert_eq!(err_kind(&resps[1]), "invalid_request");
+        assert!(err_msg(&resps[1]).contains("unknown verify level `pedantic`"));
+    }
+
+    #[test]
+    fn verify_failure_maps_to_its_wire_kind() {
+        // The engine only produces `TiltError::Verify` for corrupted
+        // artifacts, which a live compile never yields — pin the
+        // response mapping directly.
+        let resp = run_response(
+            &Json::from(9.0),
+            &Err(TiltError::Verify {
+                count: 3,
+                first: "error[tilt/head-span] op 0: example".into(),
+            }),
+            false,
+        );
+        assert!(!ok(&resp));
+        assert_eq!(err_kind(&resp), "verify_failed");
+        assert!(err_msg(&resp).contains("3 diagnostic(s)"));
     }
 
     #[test]

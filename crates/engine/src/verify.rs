@@ -1,0 +1,101 @@
+//! Post-compile static verification riding along with every run.
+//!
+//! A session can ask the engine to re-check each compiled artifact
+//! against the program invariants its backend promises — operands
+//! inside the head span, swap chains under the router's cap, shuttle
+//! routes that actually connect, comm ions reset between
+//! teleportations. The rule packs themselves live next to the compilers
+//! they audit ([`tilt_compiler::verify`], `tilt_qccd::verify`,
+//! [`tilt_scale::verify_scaled`]); this module selects the pack for the
+//! session's backend and decides what a finding *means*:
+//!
+//! * [`VerifyLevel::Off`] (default) — no checking; report shapes stay
+//!   bit-identical to pre-verifier sessions.
+//! * [`VerifyLevel::Warn`] — run the pack, attach every finding to
+//!   [`RunReport::diagnostics`](crate::RunReport::diagnostics), succeed
+//!   anyway.
+//! * [`VerifyLevel::Strict`] — like `Warn`, but any error-severity
+//!   finding fails the run with [`TiltError::Verify`](crate::TiltError).
+//!
+//! The level is folded into the session's config fingerprint (when not
+//! `Off`), so cached reports carry the diagnostics their key promised.
+
+use crate::report::{RunDetail, RunReport};
+use tilt_compiler::verify::{verify_tilt, Diagnostic};
+use tilt_compiler::RouterKind;
+
+/// How much the session cares about verifier findings.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum VerifyLevel {
+    /// Skip verification entirely (the default).
+    #[default]
+    Off,
+    /// Verify and attach diagnostics, but never fail a run over them.
+    Warn,
+    /// Verify and fail the run on any error-severity diagnostic.
+    Strict,
+}
+
+impl VerifyLevel {
+    /// Parses the wire/CLI spelling.
+    pub fn parse(name: &str) -> Option<VerifyLevel> {
+        match name {
+            "off" => Some(VerifyLevel::Off),
+            "warn" => Some(VerifyLevel::Warn),
+            "strict" => Some(VerifyLevel::Strict),
+            _ => None,
+        }
+    }
+
+    /// Stable tag for config fingerprinting.
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            VerifyLevel::Off => 0,
+            VerifyLevel::Warn => 1,
+            VerifyLevel::Strict => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for VerifyLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            VerifyLevel::Off => "off",
+            VerifyLevel::Warn => "warn",
+            VerifyLevel::Strict => "strict",
+        })
+    }
+}
+
+/// Runs the backend-appropriate rule pack over a finished run's
+/// artifacts. `router` is the session's resolved routing policy — it
+/// bounds the swap-chain rule on the TILT backend (the scaled pack
+/// reads the cap off its own spec).
+pub(crate) fn check(report: &RunReport, router: RouterKind) -> Vec<Diagnostic> {
+    match &report.detail {
+        RunDetail::Tilt { output, .. } => {
+            verify_tilt(output, router.max_swap_span(*output.program.spec()))
+        }
+        RunDetail::Qccd { program, .. } => tilt_qccd::verify::verify_qccd(program),
+        RunDetail::Scaled { program, .. } => tilt_scale::verify_scaled(program),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_spellings_round_trip() {
+        for l in [VerifyLevel::Off, VerifyLevel::Warn, VerifyLevel::Strict] {
+            assert_eq!(VerifyLevel::parse(&l.to_string()), Some(l));
+        }
+        assert_eq!(VerifyLevel::parse("pedantic"), None);
+    }
+
+    #[test]
+    fn tags_are_distinct() {
+        assert_ne!(VerifyLevel::Off.tag(), VerifyLevel::Warn.tag());
+        assert_ne!(VerifyLevel::Warn.tag(), VerifyLevel::Strict.tag());
+    }
+}

@@ -46,6 +46,7 @@ pub mod program;
 pub mod router;
 pub mod sim;
 pub mod spec;
+pub mod verify;
 
 pub use error::QccdError;
 pub use params::QccdParams;

@@ -172,7 +172,7 @@ pub fn compile_qccd(circuit: &Circuit, spec: &QccdSpec) -> Result<QccdProgram, Q
     }
 
     let mut array = TrapArray::new(*spec, circuit.n_qubits());
-    for g in circuit.iter() {
+    for g in circuit {
         match g {
             Gate::Barrier => {}
             Gate::Measure(q) | Gate::Reset(q) => {

@@ -131,7 +131,7 @@ pub fn estimate_qccd_success(
             }
         }
         // Sympathetic cooling: any chain past the threshold is re-cooled.
-        for q in quanta.iter_mut() {
+        for q in &mut quanta {
             if *q > peak_quanta {
                 peak_quanta = *q;
             }

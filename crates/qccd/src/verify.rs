@@ -1,0 +1,288 @@
+//! Static verification of QCCD primitive traces.
+//!
+//! The QCCD rule pack of the program-invariant verifier (see
+//! `tilt_compiler::verify` for the rule engine and diagnostic format).
+//! The estimator replays the recorded chain lengths to model heating,
+//! so a trace whose lengths exceed the trap capacity — or whose
+//! shuttles jump between non-adjacent traps — would be silently
+//! mis-scored rather than rejected.
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `qccd/trap-index` | every primitive references traps inside the array |
+//! | `qccd/trap-capacity` | recorded chain lengths never exceed the trap capacity; intra-trap moves and gate distances fit inside their chain |
+//! | `qccd/shuttle-route` | every transport is a well-formed split → adjacent-segment shuttle → merge sequence, and nothing else executes mid-flight |
+
+use crate::program::{QccdOp, QccdProgram};
+use tilt_compiler::verify::Diagnostic;
+
+/// Runs the QCCD rule pack over one compiled trace.
+pub fn verify_qccd(program: &QccdProgram) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let spec = program.spec();
+    let n_traps = spec.n_traps();
+    let capacity = spec.capacity();
+
+    // In-flight ion position for the shuttle state machine; `None`
+    // between transports.
+    let mut in_flight: Option<usize> = None;
+    for (i, op) in program.ops().iter().enumerate() {
+        let check_trap = |t: usize, what: &str, diags: &mut Vec<Diagnostic>| {
+            if t >= n_traps {
+                diags.push(Diagnostic::error(
+                    "qccd/trap-index",
+                    i,
+                    format!("{what} references trap {t}, outside the {n_traps}-trap array"),
+                ));
+            }
+        };
+        match *op {
+            QccdOp::EdgeMove {
+                trap,
+                sites,
+                chain_len,
+            } => {
+                check_trap(trap, "edge move", &mut diags);
+                if chain_len > capacity {
+                    diags.push(Diagnostic::error(
+                        "qccd/trap-capacity",
+                        i,
+                        format!(
+                            "edge move records a {chain_len}-ion chain in trap {trap}, over \
+                             the {capacity}-ion capacity"
+                        ),
+                    ));
+                } else if sites >= chain_len {
+                    diags.push(Diagnostic::error(
+                        "qccd/trap-capacity",
+                        i,
+                        format!("edge move of {sites} sites cannot fit a {chain_len}-ion chain"),
+                    ));
+                }
+            }
+            QccdOp::Split {
+                trap,
+                chain_len_before,
+            } => {
+                check_trap(trap, "split", &mut diags);
+                if chain_len_before == 0 || chain_len_before > capacity {
+                    diags.push(Diagnostic::error(
+                        "qccd/trap-capacity",
+                        i,
+                        format!(
+                            "split records a {chain_len_before}-ion chain in trap {trap}, \
+                             outside 1..={capacity}"
+                        ),
+                    ));
+                }
+                if in_flight.is_some() {
+                    diags.push(Diagnostic::error(
+                        "qccd/shuttle-route",
+                        i,
+                        "split issued while another ion is already in transit".into(),
+                    ));
+                }
+                in_flight = Some(trap);
+            }
+            QccdOp::ShuttleSegment { from, to } => {
+                check_trap(from, "shuttle segment", &mut diags);
+                check_trap(to, "shuttle segment", &mut diags);
+                if from.abs_diff(to) != 1 {
+                    diags.push(Diagnostic::error(
+                        "qccd/shuttle-route",
+                        i,
+                        format!("shuttle segment {from}→{to} skips over non-adjacent traps"),
+                    ));
+                }
+                match in_flight {
+                    Some(at) if at == from => {}
+                    Some(at) => diags.push(Diagnostic::error(
+                        "qccd/shuttle-route",
+                        i,
+                        format!("shuttle segment departs trap {from} but the ion is at trap {at}"),
+                    )),
+                    None => diags.push(Diagnostic::error(
+                        "qccd/shuttle-route",
+                        i,
+                        "shuttle segment with no split ion in transit".into(),
+                    )),
+                }
+                // Resync to the segment's destination so one corruption
+                // yields one finding, not a cascade.
+                in_flight = Some(to);
+            }
+            QccdOp::Merge {
+                trap,
+                chain_len_after,
+            } => {
+                check_trap(trap, "merge", &mut diags);
+                if chain_len_after == 0 || chain_len_after > capacity {
+                    diags.push(Diagnostic::error(
+                        "qccd/trap-capacity",
+                        i,
+                        format!(
+                            "merge grows trap {trap} to {chain_len_after} ions, outside \
+                             1..={capacity}"
+                        ),
+                    ));
+                }
+                match in_flight.take() {
+                    Some(at) if at == trap => {}
+                    Some(at) => diags.push(Diagnostic::error(
+                        "qccd/shuttle-route",
+                        i,
+                        format!("merge into trap {trap} but the ion is at trap {at}"),
+                    )),
+                    None => diags.push(Diagnostic::error(
+                        "qccd/shuttle-route",
+                        i,
+                        "merge with no split ion in transit".into(),
+                    )),
+                }
+            }
+            QccdOp::TwoQubitGate { trap, distance } => {
+                check_trap(trap, "two-qubit gate", &mut diags);
+                if distance == 0 || distance >= capacity {
+                    diags.push(Diagnostic::error(
+                        "qccd/trap-capacity",
+                        i,
+                        format!(
+                            "two-qubit gate at distance {distance} cannot fit a \
+                             {capacity}-ion trap"
+                        ),
+                    ));
+                }
+                if in_flight.is_some() {
+                    diags.push(Diagnostic::error(
+                        "qccd/shuttle-route",
+                        i,
+                        "two-qubit gate executed while an ion is in transit".into(),
+                    ));
+                }
+            }
+            QccdOp::SingleQubitGate { trap } | QccdOp::Measure { trap } => {
+                check_trap(trap, "gate", &mut diags);
+                if in_flight.is_some() {
+                    diags.push(Diagnostic::error(
+                        "qccd/shuttle-route",
+                        i,
+                        "gate executed while an ion is in transit".into(),
+                    ));
+                }
+            }
+        }
+    }
+    if in_flight.is_some() {
+        diags.push(Diagnostic::error(
+            "qccd/shuttle-route",
+            program.ops().len(),
+            "trace ends with an ion split off and never merged".into(),
+        ));
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::compile_qccd;
+    use crate::spec::QccdSpec;
+    use tilt_circuit::{Circuit, Qubit};
+
+    fn traced() -> QccdProgram {
+        let spec = QccdSpec::for_qubits(32, 9).unwrap();
+        let mut c = Circuit::new(32);
+        for i in 0..31 {
+            c.cnot(Qubit(i), Qubit(i + 1));
+        }
+        c.cnot(Qubit(0), Qubit(31));
+        compile_qccd(&c, &spec).unwrap()
+    }
+
+    #[test]
+    fn clean_trace_verifies_clean() {
+        assert_eq!(verify_qccd(&traced()), Vec::new());
+    }
+
+    #[test]
+    fn out_of_array_trap_is_diagnosed() {
+        let p = traced();
+        let spec = *p.spec();
+        let mut ops = p.ops().to_vec();
+        let idx = ops
+            .iter()
+            .position(|op| matches!(op, QccdOp::TwoQubitGate { .. }))
+            .unwrap();
+        ops[idx] = QccdOp::TwoQubitGate {
+            trap: spec.n_traps(),
+            distance: 1,
+        };
+        let diags = verify_qccd(&QccdProgram::new(spec, ops));
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == "qccd/trap-index" && d.op_index == idx),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn overfull_merge_is_diagnosed() {
+        let p = traced();
+        let spec = *p.spec();
+        let mut ops = p.ops().to_vec();
+        let idx = ops
+            .iter()
+            .position(|op| matches!(op, QccdOp::Merge { .. }))
+            .expect("wrap-around CNOT forces a transport");
+        if let QccdOp::Merge {
+            chain_len_after, ..
+        } = &mut ops[idx]
+        {
+            *chain_len_after = spec.capacity() + 1;
+        }
+        let diags = verify_qccd(&QccdProgram::new(spec, ops));
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == "qccd/trap-capacity" && d.op_index == idx),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn teleporting_shuttle_is_diagnosed() {
+        let p = traced();
+        let spec = *p.spec();
+        let mut ops = p.ops().to_vec();
+        let idx = ops
+            .iter()
+            .position(|op| matches!(op, QccdOp::ShuttleSegment { .. }))
+            .unwrap();
+        if let QccdOp::ShuttleSegment { from, to } = ops[idx] {
+            ops[idx] = QccdOp::ShuttleSegment {
+                from,
+                to: if to + 2 < spec.n_traps() { to + 2 } else { 0 },
+            };
+        }
+        let diags = verify_qccd(&QccdProgram::new(spec, ops));
+        assert!(
+            diags.iter().any(|d| d.rule == "qccd/shuttle-route"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn dangling_split_is_diagnosed() {
+        let spec = QccdSpec::new(2, 6).unwrap();
+        let ops = vec![QccdOp::Split {
+            trap: 0,
+            chain_len_before: 3,
+        }];
+        let diags = verify_qccd(&QccdProgram::new(spec, ops));
+        assert!(
+            diags.iter().any(|d| d.message.contains("never merged")),
+            "{diags:?}"
+        );
+    }
+}

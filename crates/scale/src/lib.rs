@@ -36,7 +36,9 @@ mod fingerprint;
 mod partition;
 mod program;
 mod spec;
+pub mod verify;
 
 pub use partition::Partition;
 pub use program::{compile_scaled, estimate_scaled, ScaleReport, ScaledProgram};
 pub use spec::{EprModel, ScaleError, ScaleSpec, COMM_SLOTS};
+pub use verify::verify_scaled;

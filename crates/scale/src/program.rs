@@ -78,10 +78,10 @@ pub fn compile_scaled(circuit: &Circuit, spec: &ScaleSpec) -> Result<ScaledProgr
     let mut comm_used: Vec<[bool; crate::spec::COMM_SLOTS]> =
         vec![[false; crate::spec::COMM_SLOTS]; n_elus];
 
-    for gate in native.iter() {
+    for gate in &native {
         match gate {
             Gate::Barrier => {
-                for s in streams.iter_mut() {
+                for s in &mut streams {
                     s.barrier();
                 }
             }
@@ -299,34 +299,52 @@ mod tests {
         let spec = ScaleSpec::new(10, 4).unwrap();
         let p = compile_scaled(&c, &spec).unwrap();
         assert_eq!(p.epr_pairs, 4);
+        // The static verifier's `scaled/measured-unreset` rule is the
+        // generalization of the hand-rolled walk this test originally
+        // carried: a clean compile must produce zero diagnostics.
+        assert_eq!(crate::verify::verify_scaled(&p), Vec::new());
         for (e, out) in p.elu_outputs.iter().enumerate() {
-            // Walk each ELU's *pre-compile semantics* via the scheduled
-            // program: every gate touching a comm position after that
-            // position was measured must be preceded by a reset.
-            let mut measured = vec![false; spec.ions_per_elu()];
-            let mut resets = 0usize;
-            for (g, _) in out.program.gates() {
-                match g {
-                    Gate::Measure(q) => measured[q.index()] = true,
-                    Gate::Reset(q) => {
-                        measured[q.index()] = false;
-                        resets += 1;
-                    }
-                    Gate::Barrier => {}
-                    g => {
-                        for q in g.qubits() {
-                            assert!(
-                                !measured[q.index()],
-                                "ELU {e}: {g:?} acts on measured ion q{}",
-                                q.index()
-                            );
-                        }
-                    }
-                }
-            }
             // 4 pairs over 2 slots → each slot reused once per side.
+            let resets = out
+                .program
+                .gates()
+                .filter(|(g, _)| matches!(g, Gate::Reset(_)))
+                .count();
             assert_eq!(resets, 2, "ELU {e} resets each recycled slot once");
         }
+        // And the rule still catches the original bug shape: drop the
+        // resets from one ELU's artifacts and the verifier must object.
+        let mut broken = p.clone();
+        let out = &mut broken.elu_outputs[0];
+        let device = *out.program.spec();
+        let ops: Vec<tilt_compiler::TiltOp> = out
+            .program
+            .ops()
+            .iter()
+            .filter(|op| {
+                !matches!(
+                    op,
+                    tilt_compiler::TiltOp::Gate {
+                        gate: Gate::Reset(_),
+                        ..
+                    }
+                )
+            })
+            .copied()
+            .collect();
+        out.program = tilt_compiler::TiltProgram::new_unchecked(device, ops);
+        let width = out.routed.circuit.n_qubits();
+        let routed: Vec<Gate> = out
+            .routed
+            .circuit
+            .iter()
+            .filter(|g| !matches!(g, Gate::Reset(_)))
+            .copied()
+            .collect();
+        out.routed.circuit = Circuit::from_gates(width, routed);
+        assert!(crate::verify::verify_scaled(&broken)
+            .iter()
+            .any(|d| d.rule == "scaled/measured-unreset"));
     }
 
     #[test]

@@ -212,7 +212,7 @@ mod tests {
         let mut group = c.benchmark_group("shim");
         group.sample_size(3);
         group.bench_function("spin", |b| {
-            b.iter(|| (0..100u64).map(black_box).sum::<u64>())
+            b.iter(|| (0..100u64).map(black_box).sum::<u64>());
         });
         group.finish();
         let ms = take_measurements();

@@ -72,7 +72,10 @@ impl JobRef {
     /// Runs the job if it is still unclaimed; a no-op for jobs the
     /// owner reclaimed inline after this reference was queued.
     unsafe fn execute(self) {
-        (self.exec)(self.data);
+        // SAFETY: the caller guarantees `data` still points at a live
+        // `StackJob` (the owner blocks in `join` until DONE), and
+        // `exec` was instantiated for exactly that job type.
+        unsafe { (self.exec)(self.data) };
     }
 }
 
@@ -480,7 +483,7 @@ mod tests {
         let on_worker = AtomicUsize::new(0);
         fn walk(pool: &Pool, depth: usize, on_worker: &AtomicUsize) {
             if depth == 0 {
-                if WORKER.with(|w| w.get()).is_some() {
+                if WORKER.with(std::cell::Cell::get).is_some() {
                     on_worker.fetch_add(1, Ordering::Relaxed);
                 }
                 // Leaf work large enough that thieves get a chance.

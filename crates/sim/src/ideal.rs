@@ -41,7 +41,7 @@ pub fn estimate_ideal_success(
     let mut one_q = 0usize;
     let mut meas = 0usize;
 
-    for g in native.iter() {
+    for g in &native {
         let f = match g {
             Gate::Barrier => 1.0,
             Gate::Measure(_) | Gate::Reset(_) => {

@@ -152,7 +152,7 @@ mod tests {
     fn assert_matches_statevec(c: &Circuit) {
         let state = State::zero(c.n_qubits()).run(c);
         let mut t = Tableau::new(c.n_qubits());
-        for g in c.iter() {
+        for g in c {
             t.apply(g).unwrap();
         }
         for qubit in 0..c.n_qubits() {
@@ -314,7 +314,7 @@ mod tests {
         c.rz(q(2), PI); // = Z
         c.h(q(2)); // net X on qubit 2
         let mut t = Tableau::new(3);
-        for g in c.iter() {
+        for g in &c {
             t.apply(g).unwrap();
         }
         assert!(t.measure(0, || unreachable!()).outcome);

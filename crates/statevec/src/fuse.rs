@@ -440,7 +440,7 @@ impl Collector {
 /// two-qubit blocks collapsed.
 pub fn fuse(circuit: &Circuit) -> Vec<FusedOp> {
     let mut col = Collector::new(circuit.n_qubits(), circuit.len());
-    for gate in circuit.iter() {
+    for gate in circuit {
         if matches!(gate, Gate::Barrier) {
             continue; // identity on a pure state
         }

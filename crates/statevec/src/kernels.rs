@@ -289,7 +289,7 @@ pub fn phase_parity_parallel(
         return;
     }
     par_sweep(amps, block, move |chunk| {
-        phase_parity(chunk, qlo, qhi, same, diff)
+        phase_parity(chunk, qlo, qhi, same, diff);
     });
 }
 

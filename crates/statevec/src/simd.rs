@@ -125,7 +125,8 @@ pub(crate) fn active() -> bool {
 #[doc(hidden)]
 pub fn test_tier_lock() -> std::sync::MutexGuard<'static, ()> {
     static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
-    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Tile length, in complex amplitudes, for cache-blocked plane sweeps:
@@ -179,7 +180,11 @@ mod avx {
     #[inline]
     #[target_feature(enable = "avx2,fma")]
     unsafe fn load2(p: *const Complex) -> __m256d {
-        _mm256_loadu_pd(p as *const f64)
+        // SAFETY: caller guarantees `p` is readable for 2 `Complex`;
+        // `Complex` is `repr(C)` `{ re: f64, im: f64 }`, so 2 of them
+        // are exactly 4 contiguous `f64` and the unaligned load needs
+        // no further alignment.
+        unsafe { _mm256_loadu_pd(p as *const f64) }
     }
 
     /// Stores `[re0, im0, re1, im1]` over two consecutive complexes.
@@ -189,7 +194,9 @@ mod avx {
     #[inline]
     #[target_feature(enable = "avx2,fma")]
     unsafe fn store2(p: *mut Complex, v: __m256d) {
-        _mm256_storeu_pd(p as *mut f64, v)
+        // SAFETY: caller guarantees `p` is writable for 2 `Complex`
+        // (4 contiguous `f64`); unaligned store.
+        unsafe { _mm256_storeu_pd(p as *mut f64, v) }
     }
 
     /// A scalar complex broadcast into both 128-bit halves:
@@ -219,18 +226,24 @@ mod avx {
     #[inline]
     #[target_feature(enable = "avx2,fma")]
     unsafe fn cmul_add(acc: __m256d, a: __m256d, b: __m256d) -> __m256d {
-        _mm256_add_pd(acc, cmul(a, b))
+        // SAFETY: pure register arithmetic under the same
+        // target-feature contract as this fn.
+        unsafe { _mm256_add_pd(acc, cmul(a, b)) }
     }
 
     /// Multiplies every amplitude of `amps` by the constant `factor`.
     #[target_feature(enable = "avx2,fma")]
     pub(super) unsafe fn scale_all(amps: &mut [Complex], factor: Complex) {
-        let f = broadcast(factor);
+        // SAFETY: register-only broadcast under this fn's features.
+        let f = unsafe { broadcast(factor) };
         let n = amps.len() & !1;
         let p = amps.as_mut_ptr();
         let mut i = 0;
         while i < n {
-            store2(p.add(i), cmul(load2(p.add(i)), f));
+            // SAFETY: `i + 1 < amps.len()` (n is len rounded down to
+            // even), so `p.add(i)` covers two in-bounds amplitudes of
+            // the exclusively borrowed slice.
+            unsafe { store2(p.add(i), cmul(load2(p.add(i)), f)) };
             i += 2;
         }
         if n < amps.len() {
@@ -247,7 +260,8 @@ mod avx {
         let t = table.len();
         if t < 2 {
             if let Some(&f) = table.first() {
-                scale_all(amps, f);
+                // SAFETY: same slice, same feature contract.
+                unsafe { scale_all(amps, f) };
             }
             return;
         }
@@ -256,7 +270,10 @@ mod avx {
             let p = chunk.as_mut_ptr();
             let mut i = 0;
             while i < t {
-                store2(p.add(i), cmul(load2(p.add(i)), load2(tp.add(i))));
+                // SAFETY: `i + 1 < t`, `t` even (power of two ≥ 2), so
+                // both `p.add(i)` (chunk of length t) and `tp.add(i)`
+                // (table of length t) cover two in-bounds amplitudes.
+                unsafe { store2(p.add(i), cmul(load2(p.add(i)), load2(tp.add(i)))) };
                 i += 2;
             }
         }
@@ -270,11 +287,16 @@ mod avx {
         let n = len & !1;
         let mut i = 0;
         while i < n {
-            store2(p.add(i), cmul(load2(p.add(i)), f));
+            // SAFETY: caller guarantees `p..p+len` is exclusively
+            // writable; `i + 1 < len`, so the two-amplitude access
+            // stays inside the run.
+            unsafe { store2(p.add(i), cmul(load2(p.add(i)), f)) };
             i += 2;
         }
         if n < len {
-            let a = &mut *p.add(n);
+            // SAFETY: `n < len`, in-bounds of the caller's run; no
+            // other reference aliases it.
+            let a = unsafe { &mut *p.add(n) };
             *a = *a * scalar;
         }
     }
@@ -286,14 +308,21 @@ mod avx {
     #[target_feature(enable = "avx2,fma")]
     pub(super) unsafe fn diag_1q(amps: &mut [Complex], q: usize, p0: Complex, p1: Complex) {
         let stride = 1usize << q;
-        let (f0, f1) = (broadcast(p0), broadcast(p1));
+        // SAFETY: register-only broadcasts under this fn's features.
+        let (f0, f1) = unsafe { (broadcast(p0), broadcast(p1)) };
         for block in amps.chunks_exact_mut(2 * stride) {
             let base = block.as_mut_ptr();
             let mut t = 0;
             while t < stride {
                 let tile = L1_TILE.min(stride - t);
-                scale_run(base.add(t), tile, f0, p0);
-                scale_run(base.add(stride + t), tile, f1, p1);
+                // SAFETY: `t + tile <= stride`, so both runs —
+                // `[t, t+tile)` in the lo plane and
+                // `[stride+t, stride+t+tile)` in the hi plane — stay
+                // inside this exclusively borrowed 2·stride block.
+                unsafe {
+                    scale_run(base.add(t), tile, f0, p0);
+                    scale_run(base.add(stride + t), tile, f1, p1);
+                }
                 t += tile;
             }
         }
@@ -304,9 +333,12 @@ mod avx {
     #[target_feature(enable = "avx2,fma")]
     pub(super) unsafe fn phase_1q(amps: &mut [Complex], q: usize, phase: Complex) {
         let stride = 1usize << q;
-        let f = broadcast(phase);
+        // SAFETY: register-only broadcast under this fn's features.
+        let f = unsafe { broadcast(phase) };
         for block in amps.chunks_exact_mut(2 * stride) {
-            scale_run(block.as_mut_ptr().add(stride), stride, f, phase);
+            // SAFETY: the hi plane `[stride, 2·stride)` of this
+            // exclusively borrowed 2·stride block.
+            unsafe { scale_run(block.as_mut_ptr().add(stride), stride, f, phase) };
         }
     }
 
@@ -319,17 +351,29 @@ mod avx {
         m: [[Complex; 2]; 2],
     ) {
         debug_assert_eq!(lo.len(), hi.len());
-        let (m00, m01) = (broadcast(m[0][0]), broadcast(m[0][1]));
-        let (m10, m11) = (broadcast(m[1][0]), broadcast(m[1][1]));
+        // SAFETY: register-only broadcasts under this fn's features.
+        let (m00, m01, m10, m11) = unsafe {
+            (
+                broadcast(m[0][0]),
+                broadcast(m[0][1]),
+                broadcast(m[1][0]),
+                broadcast(m[1][1]),
+            )
+        };
         let len = lo.len();
         let n = len & !1;
         let (lp, hp) = (lo.as_mut_ptr(), hi.as_mut_ptr());
         let mut i = 0;
         while i < n {
-            let x = load2(lp.add(i));
-            let y = load2(hp.add(i));
-            store2(lp.add(i), cmul_add(cmul(x, m00), y, m01));
-            store2(hp.add(i), cmul_add(cmul(x, m10), y, m11));
+            // SAFETY: `i + 1 < len` for both equal-length, disjoint,
+            // exclusively borrowed planes, so each two-amplitude
+            // load/store is in-bounds and non-aliasing.
+            unsafe {
+                let x = load2(lp.add(i));
+                let y = load2(hp.add(i));
+                store2(lp.add(i), cmul_add(cmul(x, m00), y, m01));
+                store2(hp.add(i), cmul_add(cmul(x, m10), y, m11));
+            }
             i += 2;
         }
         if n < len {
@@ -355,10 +399,15 @@ mod avx {
             let p = amps.as_mut_ptr();
             let mut i = 0;
             while i < n {
-                let v = load2(p.add(i));
-                let x = _mm256_permute2f128_pd(v, v, 0x00); // [x, x]
-                let y = _mm256_permute2f128_pd(v, v, 0x11); // [y, y]
-                store2(p.add(i), cmul_add(cmul(x, col0), y, col1));
+                // SAFETY: the statevector length is a power of two ≥ 2,
+                // so `i + 1 < n` and `p.add(i)` covers one in-bounds
+                // `[x, y]` pair of the exclusively borrowed slice.
+                unsafe {
+                    let v = load2(p.add(i));
+                    let x = _mm256_permute2f128_pd(v, v, 0x00); // [x, x]
+                    let y = _mm256_permute2f128_pd(v, v, 0x11); // [y, y]
+                    store2(p.add(i), cmul_add(cmul(x, col0), y, col1));
+                }
                 i += 2;
             }
             return;
@@ -369,7 +418,9 @@ mod avx {
             let mut t = 0;
             while t < stride {
                 let tile = L1_TILE.min(stride - t);
-                apply_1q_zip(&mut lo[t..t + tile], &mut hi[t..t + tile], m);
+                // SAFETY: equal-length disjoint reborrows of this
+                // block's planes, same feature contract.
+                unsafe { apply_1q_zip(&mut lo[t..t + tile], &mut hi[t..t + tile], m) };
                 t += tile;
             }
         }
@@ -384,7 +435,9 @@ mod avx {
         cos: Complex,
         isin: Complex,
     ) {
-        apply_1q_zip(xs, ys, [[cos, isin], [isin, cos]]);
+        // SAFETY: forwards the caller's equal-length disjoint planes
+        // under the same feature contract.
+        unsafe { apply_1q_zip(xs, ys, [[cos, isin], [isin, cos]]) };
     }
 
     /// Applies a general 4×4 matrix to the pair `(qlo, qhi)`,
@@ -413,55 +466,64 @@ mod avx {
                 let (lp, hp) = (lo.as_mut_ptr(), hi.as_mut_ptr());
                 let mut i = 0;
                 while i < shi {
-                    let v01 = load2(lp.add(i)); // [a0, a1]
-                    let v23 = load2(hp.add(i)); // [a2, a3]
-                    let a0 = _mm256_permute2f128_pd(v01, v01, 0x00);
-                    let a1 = _mm256_permute2f128_pd(v01, v01, 0x11);
-                    let a2 = _mm256_permute2f128_pd(v23, v23, 0x00);
-                    let a3 = _mm256_permute2f128_pd(v23, v23, 0x11);
-                    let lo_out = cmul_add(
-                        cmul_add(cmul_add(cmul(a0, c01[0]), a1, c01[1]), a2, c01[2]),
-                        a3,
-                        c01[3],
-                    );
-                    let hi_out = cmul_add(
-                        cmul_add(cmul_add(cmul(a0, c23[0]), a1, c23[1]), a2, c23[2]),
-                        a3,
-                        c23[3],
-                    );
-                    store2(lp.add(i), lo_out);
-                    store2(hp.add(i), hi_out);
+                    // SAFETY: `shi` is a power of two ≥ 2 (qhi > qlo =
+                    // 0), so `i + 1 < shi` and both two-amplitude
+                    // accesses hit the disjoint, exclusively borrowed
+                    // lo/hi planes in-bounds.
+                    unsafe {
+                        let v01 = load2(lp.add(i)); // [a0, a1]
+                        let v23 = load2(hp.add(i)); // [a2, a3]
+                        let a0 = _mm256_permute2f128_pd(v01, v01, 0x00);
+                        let a1 = _mm256_permute2f128_pd(v01, v01, 0x11);
+                        let a2 = _mm256_permute2f128_pd(v23, v23, 0x00);
+                        let a3 = _mm256_permute2f128_pd(v23, v23, 0x11);
+                        let lo_out = cmul_add(
+                            cmul_add(cmul_add(cmul(a0, c01[0]), a1, c01[1]), a2, c01[2]),
+                            a3,
+                            c01[3],
+                        );
+                        let hi_out = cmul_add(
+                            cmul_add(cmul_add(cmul(a0, c23[0]), a1, c23[1]), a2, c23[2]),
+                            a3,
+                            c23[3],
+                        );
+                        store2(lp.add(i), lo_out);
+                        store2(hp.add(i), hi_out);
+                    }
                     i += 2;
                 }
             }
             return;
         }
-        let mb: [[__m256d; 4]; 4] = [
+        // SAFETY: register-only broadcasts under this fn's features.
+        let mb: [[__m256d; 4]; 4] = unsafe {
             [
-                broadcast(m[0][0]),
-                broadcast(m[0][1]),
-                broadcast(m[0][2]),
-                broadcast(m[0][3]),
-            ],
-            [
-                broadcast(m[1][0]),
-                broadcast(m[1][1]),
-                broadcast(m[1][2]),
-                broadcast(m[1][3]),
-            ],
-            [
-                broadcast(m[2][0]),
-                broadcast(m[2][1]),
-                broadcast(m[2][2]),
-                broadcast(m[2][3]),
-            ],
-            [
-                broadcast(m[3][0]),
-                broadcast(m[3][1]),
-                broadcast(m[3][2]),
-                broadcast(m[3][3]),
-            ],
-        ];
+                [
+                    broadcast(m[0][0]),
+                    broadcast(m[0][1]),
+                    broadcast(m[0][2]),
+                    broadcast(m[0][3]),
+                ],
+                [
+                    broadcast(m[1][0]),
+                    broadcast(m[1][1]),
+                    broadcast(m[1][2]),
+                    broadcast(m[1][3]),
+                ],
+                [
+                    broadcast(m[2][0]),
+                    broadcast(m[2][1]),
+                    broadcast(m[2][2]),
+                    broadcast(m[2][3]),
+                ],
+                [
+                    broadcast(m[3][0]),
+                    broadcast(m[3][1]),
+                    broadcast(m[3][2]),
+                    broadcast(m[3][3]),
+                ],
+            ]
+        };
         for block in amps.chunks_exact_mut(2 * shi) {
             let (lo, hi) = block.split_at_mut(shi);
             for (lc, hc) in lo
@@ -478,23 +540,30 @@ mod avx {
                 ];
                 let mut i = 0;
                 while i < slo {
-                    let v = [
-                        load2(p[0].add(i)),
-                        load2(p[1].add(i)),
-                        load2(p[2].add(i)),
-                        load2(p[3].add(i)),
-                    ];
-                    for r in 0..4 {
-                        let acc = cmul_add(
-                            cmul_add(
-                                cmul_add(cmul(v[0], mb[r][0]), v[1], mb[r][1]),
-                                v[2],
-                                mb[r][2],
-                            ),
-                            v[3],
-                            mb[r][3],
-                        );
-                        store2(p[r].add(i), acc);
+                    // SAFETY: `slo` is a power of two ≥ 2 (qlo ≥ 1), so
+                    // `i + 1 < slo`; the four runs are disjoint
+                    // `slo`-length split-offs of this exclusively
+                    // borrowed block, so every two-amplitude access is
+                    // in-bounds and non-aliasing.
+                    unsafe {
+                        let v = [
+                            load2(p[0].add(i)),
+                            load2(p[1].add(i)),
+                            load2(p[2].add(i)),
+                            load2(p[3].add(i)),
+                        ];
+                        for r in 0..4 {
+                            let acc = cmul_add(
+                                cmul_add(
+                                    cmul_add(cmul(v[0], mb[r][0]), v[1], mb[r][1]),
+                                    v[2],
+                                    mb[r][2],
+                                ),
+                                v[3],
+                                mb[r][3],
+                            );
+                            store2(p[r].add(i), acc);
+                        }
                     }
                     i += 2;
                 }

@@ -170,7 +170,7 @@ impl State {
             .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
             .collect();
         let norm: f64 = amps.iter().map(|a| a.norm_sq()).sum::<f64>().sqrt();
-        for a in amps.iter_mut() {
+        for a in &mut amps {
             *a = a.scale(1.0 / norm);
         }
         State { n_qubits, amps }
@@ -287,7 +287,7 @@ impl State {
                 }
             }
         } else {
-            for g in circuit.iter() {
+            for g in circuit {
                 apply_kernel(&mut self.amps, g, parallel);
             }
         }
@@ -300,7 +300,7 @@ impl State {
             circuit.n_qubits() <= self.n_qubits,
             "circuit wider than state"
         );
-        for g in circuit.iter() {
+        for g in circuit {
             naive::apply_naive(&mut self.amps, g);
         }
         self
@@ -390,7 +390,7 @@ impl State {
         );
         let parallel = kernels::should_parallelize(self.amps.len(), None);
         let mut outcomes = Vec::new();
-        for g in circuit.iter() {
+        for g in circuit {
             match *g {
                 Gate::Measure(q) => {
                     let bit = self.measure_with(q.index(), rng.gen());
@@ -816,24 +816,24 @@ fn apply_kernel(amps: &mut [Complex], gate: &Gate, parallel: bool) {
         // memcpy-bound, but multiple cores multiply the bandwidth).
         Gate::Cnot(c, t) => {
             if parallel {
-                kernels::controlled_x_parallel(amps, 1usize << c.index(), t.index())
+                kernels::controlled_x_parallel(amps, 1usize << c.index(), t.index());
             } else {
-                kernels::controlled_x(amps, 1usize << c.index(), t.index())
+                kernels::controlled_x(amps, 1usize << c.index(), t.index());
             }
         }
         Gate::Swap(a, b) => {
             if parallel {
-                kernels::swap_qubits_parallel(amps, a.index(), b.index())
+                kernels::swap_qubits_parallel(amps, a.index(), b.index());
             } else {
-                kernels::swap_qubits(amps, a.index(), b.index())
+                kernels::swap_qubits(amps, a.index(), b.index());
             }
         }
         Gate::Toffoli(c0, c1, t) => {
             let mask = (1usize << c0.index()) | (1usize << c1.index());
             if parallel {
-                kernels::controlled_x_parallel(amps, mask, t.index())
+                kernels::controlled_x_parallel(amps, mask, t.index());
             } else {
-                kernels::controlled_x(amps, mask, t.index())
+                kernels::controlled_x(amps, mask, t.index());
             }
         }
         // The entangling workhorse.

@@ -101,6 +101,23 @@
 //! probes, per-request overrides, `{"op":"configure"}` session
 //! rebinding, the TCP listener mode) and the cache key model.
 //!
+//! Compiled artifacts can be **statically verified** against the
+//! machine invariants (head coverage, swap-chain caps, mapping
+//! bijection, schedule order, comm-slot hygiene):
+//! [`EngineBuilder::verify`](engine::EngineBuilder::verify) attaches
+//! [`Diagnostic`](engine::Diagnostic)s to the report (or fails the run
+//! under `VerifyLevel::Strict`), and `tilt lint` runs the same rule
+//! packs from the command line:
+//!
+//! ```text
+//! $ tilt lint circuit.qasm --ions 16 --head 8
+//! lint `circuit.qasm`: clean (41 native ops verified)
+//! ```
+//!
+//! `tilt lint --json` emits the diagnostics as a JSON array and the
+//! exit status is nonzero on any error-severity finding; see
+//! `crates/compiler/README.md` for the per-backend rule taxonomy.
+//!
 //! The per-pass building blocks (`Compiler`, `estimate_success`,
 //! `compile_qccd`, `compile_scaled`, …) remain available for callers
 //! that need a single pass in isolation; see `crates/engine/README.md`
@@ -124,7 +141,8 @@ pub mod prelude {
     pub use tilt_circuit::{Circuit, Gate, Qubit};
     pub use tilt_compiler::{CompileOutput, Compiler, DeviceSpec, RouterKind, SchedulerKind};
     pub use tilt_engine::{
-        Backend, BackendKind, CompileCache, Engine, RunReport, Service, TiltError,
+        Backend, BackendKind, CompileCache, Diagnostic, Engine, RunReport, Service, Severity,
+        TiltError, VerifyLevel,
     };
     pub use tilt_qccd::{compile_qccd, estimate_qccd_success, QccdParams, QccdSpec};
     pub use tilt_scale::{compile_scaled, estimate_scaled, ScaleSpec};

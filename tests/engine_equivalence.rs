@@ -2,6 +2,12 @@
 //! door must be *decision-identical* to the legacy per-pass flows it
 //! wraps — same program bytes, same success numbers, same timings —
 //! and the batch path must match per-circuit runs exactly.
+//!
+//! The session engines here run with [`VerifyLevel::Strict`], so every
+//! equivalence circuit doubles as a verifier fixture: a run that
+//! matches the legacy bytes *and* completes strictly proves both that
+//! compilation is unchanged and that its artifacts satisfy the
+//! backend's invariant rule pack.
 
 use tilt::benchmarks::bv::bernstein_vazirani;
 use tilt::benchmarks::qaoa::qaoa_maxcut;
@@ -24,8 +30,15 @@ fn engine_matches_legacy_tilt_path_on_bv16() {
     let legacy_success = estimate_success(&legacy.program, &noise, &times);
     let legacy_time = execution_time_us(&legacy.program, &times, &ExecTimeModel::default());
 
-    // Session flow.
-    let report = Engine::tilt(spec).run(&circuit).unwrap();
+    // Session flow, with the static verifier on.
+    let report = Engine::builder()
+        .backend(Backend::Tilt(spec))
+        .verify(VerifyLevel::Strict)
+        .build()
+        .unwrap()
+        .run(&circuit)
+        .unwrap();
+    assert!(report.diagnostics.is_empty());
 
     assert_eq!(
         report.tilt_program().unwrap(),
@@ -70,6 +83,7 @@ fn engine_matches_legacy_with_custom_policies() {
         .backend(Backend::Tilt(spec))
         .router(router)
         .scheduler(SchedulerKind::NaiveNextGate)
+        .verify(VerifyLevel::Strict)
         .build()
         .unwrap()
         .run(&circuit)
@@ -93,7 +107,13 @@ fn engine_matches_legacy_qccd_path() {
         &QccdParams::default(),
     );
 
-    let report = Engine::qccd(spec).run(&circuit).unwrap();
+    let report = Engine::builder()
+        .backend(Backend::Qccd(spec))
+        .verify(VerifyLevel::Strict)
+        .build()
+        .unwrap()
+        .run(&circuit)
+        .unwrap();
     let q = report.qccd_report().unwrap();
     assert_eq!(q, &legacy);
     assert_eq!(report.ln_success, legacy.ln_success);
@@ -112,7 +132,13 @@ fn engine_matches_legacy_scaled_path() {
     let program = compile_scaled(&circuit, &spec).unwrap();
     let legacy = estimate_scaled(&program, &NoiseModel::default(), &GateTimeModel::default());
 
-    let report = Engine::scaled(spec).run(&circuit).unwrap();
+    let report = Engine::builder()
+        .backend(Backend::Scaled(spec))
+        .verify(VerifyLevel::Strict)
+        .build()
+        .unwrap()
+        .run(&circuit)
+        .unwrap();
     let s = report.scale_report().unwrap();
     assert_eq!(s, &legacy);
     assert_eq!(report.compile.epr_pairs, program.epr_pairs);
@@ -149,7 +175,13 @@ fn generated_circuits(count: usize) -> Vec<Circuit> {
 /// results exactly, in submission order.
 #[test]
 fn batch_over_100_circuits_matches_per_circuit_runs() {
-    let engine = Engine::tilt(DeviceSpec::new(16, 4).unwrap());
+    // Strict verification across the whole generated corpus: 104
+    // compilations' artifacts all pass the TILT rule pack.
+    let engine = Engine::builder()
+        .backend(Backend::Tilt(DeviceSpec::new(16, 4).unwrap()))
+        .verify(VerifyLevel::Strict)
+        .build()
+        .unwrap();
     let circuits = generated_circuits(104);
     let batch = engine.run_batch(circuits.clone());
     assert_eq!(batch.len(), circuits.len());

@@ -71,7 +71,7 @@ fn deeply_nested_parens_parse() {
     let c = qasm::parse_qasm(src).unwrap();
     match c.gates()[0] {
         tilt::circuit::Gate::Rx(_, a) => {
-            assert!((a - std::f64::consts::FRAC_PI_2).abs() < 1e-12)
+            assert!((a - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
         }
         ref g => panic!("unexpected {g:?}"),
     }

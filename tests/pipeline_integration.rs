@@ -75,7 +75,7 @@ fn routed_circuit_replays_to_the_original_logical_program() {
         let out = compile(&b.circuit, 16);
         let mut mapping = out.routed.initial_mapping.clone();
         let mut replayed = Vec::with_capacity(logical.len());
-        for g in out.routed.circuit.iter() {
+        for g in &out.routed.circuit {
             match g {
                 Gate::Swap(a, b) => mapping.swap_positions(a.index(), b.index()),
                 g if g.is_two_qubit() => {

@@ -93,7 +93,7 @@ proptest! {
         for (g, h) in c.gates().iter().zip(once.gates()) {
             match (g, h) {
                 (Gate::Rz(_, a), Gate::Rz(_, b)) => {
-                    prop_assert_eq!(tilt::circuit::clifford::normalize_angle(*a), *b)
+                    prop_assert_eq!(tilt::circuit::clifford::normalize_angle(*a), *b);
                 }
                 other => panic!("unexpected gate pair {other:?}"),
             }

@@ -56,7 +56,7 @@ proptest! {
             let mut compiler = Compiler::new(spec);
             compiler.router(router);
             let out = compiler.compile(&circuit).unwrap();
-            for g in out.routed.circuit.iter() {
+            for g in &out.routed.circuit {
                 if let Some(d) = g.span() {
                     prop_assert!(d < head, "span {d} >= head {head}");
                 }
@@ -75,7 +75,7 @@ proptest! {
 
         let mut mapping = out.routed.initial_mapping.clone();
         let mut replayed: Vec<(Qubit, Qubit, u64)> = Vec::new();
-        for g in out.routed.circuit.iter() {
+        for g in &out.routed.circuit {
             match *g {
                 Gate::Swap(a, b) => mapping.swap_positions(a.index(), b.index()),
                 Gate::Xx(a, b, t) => {
@@ -130,7 +130,7 @@ proptest! {
 
         // Expected per-qubit sequences from program order.
         let mut expected: Vec<Vec<Gate>> = vec![Vec::new(); n];
-        for g in lowered.iter() {
+        for g in &lowered {
             for q in g.qubits() {
                 expected[q.index()].push(*g);
             }

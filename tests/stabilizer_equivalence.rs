@@ -92,7 +92,7 @@ proptest! {
         let run = stabilizer::run(&circuit, seed).expect("Clifford by construction");
         let mut state = State::zero(circuit.n_qubits());
         let (mut k, mut det, mut rnd) = (0usize, 0usize, 0usize);
-        for gate in circuit.iter() {
+        for gate in &circuit {
             match gate {
                 Gate::Measure(q) => {
                     let p1 = state.prob_one(q.0);
@@ -165,7 +165,7 @@ proptest! {
         let run = stabilizer::run(&c, seed).expect("Clifford by construction");
         let mut state = State::zero(n);
         let mut k = 0usize;
-        for gate in c.iter() {
+        for gate in &c {
             match gate {
                 Gate::Measure(q) => {
                     let p1 = state.prob_one(q.0);

@@ -109,7 +109,7 @@ proptest! {
         let n = circuit.n_qubits();
         let mut fast = State::random(n, seed);
         let mut slow = fast.clone();
-        for g in circuit.iter() {
+        for g in &circuit {
             fast.apply(g);
             slow.apply_naive(g);
         }
