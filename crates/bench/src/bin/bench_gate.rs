@@ -43,13 +43,14 @@ const MIN_RATIO: f64 = 0.8;
 const MAX_BASELINE_RUNS: usize = 5;
 
 /// Every record file a run may produce.
-const FILES: [&str; 6] = [
+const FILES: [&str; 7] = [
     "BENCH_statevec.json",
     "BENCH_router.json",
     "BENCH_scheduler.json",
     "BENCH_engine.json",
     "BENCH_service.json",
     "BENCH_stabilizer.json",
+    "BENCH_compiler.json",
 ];
 
 /// Same-run speedup ratios: regressions here are code, not hardware.
@@ -65,7 +66,7 @@ const GATING: [(&str, &str); 3] = [
 
 /// Cross-run absolute throughput, plus the engine batch ratio (which
 /// can hinge on runner core count): advisory only.
-const ADVISORY: [(&str, &str); 15] = [
+const ADVISORY: [(&str, &str); 18] = [
     ("BENCH_statevec.json", "optimized_gates_per_sec"),
     ("BENCH_statevec.json", "simd.simd_gates_per_sec"),
     ("BENCH_statevec.json", "permutation.parallel_gates_per_sec"),
@@ -88,6 +89,13 @@ const ADVISORY: [(&str, &str); 15] = [
     // rates are both absolute, so runner speed moves them — advisory.
     ("BENCH_stabilizer.json", "tableau_measurements_per_sec"),
     ("BENCH_stabilizer.json", "engine_measurements_per_sec"),
+    // Streaming compile on the million-gate workload. The ratios are
+    // same-run, but single-sample (a ~4 s compile each) and the memory
+    // ratio hinges on runner page accounting — advisory until a
+    // baseline window shows them stable.
+    ("BENCH_compiler.json", "streaming.streaming_gates_per_sec"),
+    ("BENCH_compiler.json", "streaming.throughput_ratio"),
+    ("BENCH_compiler.json", "streaming.peak_memory_ratio"),
 ];
 
 /// One run's records, keyed by file name.

@@ -38,6 +38,15 @@
 //!   (501 qubits, 10 syndrome rounds) through the raw tableau and
 //!   end-to-end through the `Engine` on the stabilizer method, plus
 //!   the statevec refusal for the same circuit as a negative control.
+//! * `BENCH_compiler.json` — the streaming pipeline on a million-gate
+//!   8×8 RCS workload: gates/sec through `run_streaming` vs the
+//!   monolithic `run` on the same (materialized) circuit, plus the
+//!   per-path peak-RSS ratio read from `VmHWM` with a `clear_refs`
+//!   reset in between. Runs first so the allocator baseline is clean.
+//!
+//! Every record also carries `peak_rss_kb` (the process `VmHWM` at the
+//! moment the record is written) and `threads`, so cross-run artifact
+//! diffs can tell a slow runner from a fat one.
 //!
 //! Run with: `cargo run --release -p tilt-bench --bin perf`
 
@@ -48,13 +57,16 @@ use tilt_benchmarks::qaoa::qaoa_maxcut;
 use tilt_benchmarks::qec::repetition_code;
 use tilt_benchmarks::qft::qft;
 use tilt_benchmarks::rcs::random_circuit_sampling;
+use tilt_benchmarks::stream::rcs_stream;
 use tilt_circuit::{Circuit, Qubit};
 use tilt_compiler::decompose::decompose;
 use tilt_compiler::mapping::InitialMapping;
 use tilt_compiler::route::LinqConfig;
 use tilt_compiler::schedule::{schedule_with, ScheduleConfig, SchedulerKind};
 use tilt_compiler::{DeviceSpec, RouterKind};
-use tilt_engine::{Backend, Engine, Service, SimMethod, TiltError, VerifyLevel};
+use tilt_engine::{
+    Backend, Engine, NullSink, Service, SimMethod, TiltError, VerifyLevel, DEFAULT_STREAM_WINDOW,
+};
 use tilt_report::{Json, Table};
 use tilt_statevec::{RunOptions, State};
 
@@ -73,6 +85,82 @@ fn time_median(samples: usize, mut f: impl FnMut()) -> f64 {
 
 fn main() {
     let mut table = Table::new(["hot path", "baseline", "optimized", "speedup"]);
+
+    // --- streaming vs monolithic compile on a million-gate circuit -------
+    // First, before anything balloons the allocator: each path's peak
+    // RSS is read from `VmHWM` with a best-effort `clear_refs` reset in
+    // between, which only isolates the path's own footprint while the
+    // process baseline is still small.
+    let big_spec = DeviceSpec::new(64, 16).expect("valid device");
+    let big_engine = Engine::tilt(big_spec);
+    let (rows, cols, cycles, seed) = (8usize, 8usize, 11_000usize, 11u64);
+    let hwm_resets = reset_peak_rss();
+    let t0 = Instant::now();
+    let mut null_sink = NullSink;
+    let stream_outcome = big_engine
+        .run_streaming(
+            64,
+            rcs_stream(rows, cols, cycles, seed),
+            DEFAULT_STREAM_WINDOW,
+            &mut null_sink,
+        )
+        .expect("million-gate stream compiles");
+    let t_stream_big = t0.elapsed().as_secs_f64();
+    let stream_peak_kb = peak_rss_kb();
+    let million_gates = stream_outcome.input_gate_count as f64;
+
+    reset_peak_rss();
+    let big_circuit = Circuit::from_gates(64, rcs_stream(rows, cols, cycles, seed));
+    let t0 = Instant::now();
+    let big_mono = big_engine
+        .run(&big_circuit)
+        .expect("million-gate circuit compiles");
+    let t_mono_big = t0.elapsed().as_secs_f64();
+    let mono_peak_kb = peak_rss_kb();
+    assert_eq!(
+        big_mono.ln_success.to_bits(),
+        stream_outcome.ln_success.to_bits(),
+        "streaming is decision-identical to the monolithic compile"
+    );
+    drop(big_mono);
+    drop(big_circuit);
+
+    let compiler_record = Json::object()
+        .set("benchmark", "rcs8x8_million_head16")
+        .set("n_qubits", 64usize)
+        .set("input_gates", million_gates)
+        .set("window", DEFAULT_STREAM_WINDOW)
+        .set("increments", stream_outcome.increments)
+        .set("threads", rayon_threads())
+        .set("kernel_tier", tilt_statevec::simd::tier_name())
+        .set(
+            "streaming",
+            Json::object()
+                .set("streaming_secs", t_stream_big)
+                .set("monolithic_secs", t_mono_big)
+                .set("streaming_gates_per_sec", million_gates / t_stream_big)
+                .set("monolithic_gates_per_sec", million_gates / t_mono_big)
+                // Streaming must not cost throughput: the acceptance
+                // floor is 0.8× the monolithic rate (it measures ~2×).
+                .set("throughput_ratio", t_mono_big / t_stream_big)
+                .set("per_phase_peaks_isolated", hwm_resets)
+                .set("streaming_peak_rss_kb", stream_peak_kb)
+                .set("monolithic_peak_rss_kb", mono_peak_kb)
+                .set("peak_memory_ratio", mono_peak_kb / stream_peak_kb),
+        )
+        .set("peak_rss_kb", peak_rss_kb());
+    std::fs::write("BENCH_compiler.json", compiler_record.render())
+        .expect("write BENCH_compiler.json");
+    table.row([
+        "compile rcs 1M gates".to_string(),
+        format!("{:.0} gates/s mono", million_gates / t_mono_big),
+        format!("{:.0} gates/s stream", million_gates / t_stream_big),
+        format!(
+            "{:.2}x speed, {:.1}x less peak RSS",
+            t_mono_big / t_stream_big,
+            mono_peak_kb / stream_peak_kb
+        ),
+    ]);
 
     // --- state-vector kernels on the 20-qubit QFT ------------------------
     let circuit = qft(20);
@@ -132,6 +220,7 @@ fn main() {
         .set("speedup", t_naive / t_opt)
         .set("threads", rayon_threads())
         .set("kernel_tier", tilt_statevec::simd::tier_name())
+        .set("peak_rss_kb", peak_rss_kb())
         .set(
             "simd",
             Json::object()
@@ -199,7 +288,9 @@ fn main() {
         .set("incremental_routes_per_sec", 1.0 / t_inc)
         .set("reference_routes_per_sec", 1.0 / t_ref)
         .set("speedup", t_ref / t_inc)
-        .set("kernel_tier", tilt_statevec::simd::tier_name());
+        .set("threads", rayon_threads())
+        .set("kernel_tier", tilt_statevec::simd::tier_name())
+        .set("peak_rss_kb", peak_rss_kb());
     std::fs::write("BENCH_router.json", router.render()).expect("write BENCH_router.json");
     table.row([
         "LinQ rcs16".to_string(),
@@ -270,7 +361,9 @@ fn main() {
         ]);
     }
     let scheduler = Json::object()
+        .set("threads", rayon_threads())
         .set("kernel_tier", tilt_statevec::simd::tier_name())
+        .set("peak_rss_kb", peak_rss_kb())
         .set("workloads", Json::Arr(records));
     std::fs::write("BENCH_scheduler.json", scheduler.render()).expect("write BENCH_scheduler.json");
 
@@ -314,6 +407,7 @@ fn main() {
         .set("batch_speedup", t_single / t_batch)
         .set("threads", rayon_threads())
         .set("kernel_tier", tilt_statevec::simd::tier_name())
+        .set("peak_rss_kb", peak_rss_kb())
         .set(
             "verify",
             Json::object()
@@ -541,6 +635,7 @@ fn main() {
         .set("protocol_overhead", t_serve / t_batch)
         .set("threads", rayon_threads())
         .set("kernel_tier", tilt_statevec::simd::tier_name())
+        .set("peak_rss_kb", peak_rss_kb())
         .set(
             "repeat",
             Json::object()
@@ -675,7 +770,9 @@ fn main() {
         .set("engine_measurements_per_sec", qec_meas / t_engine)
         .set("statevec_representable", false)
         .set("statevec_refusal", statevec_refusal.as_str())
-        .set("kernel_tier", tilt_statevec::simd::tier_name());
+        .set("threads", rayon_threads())
+        .set("kernel_tier", tilt_statevec::simd::tier_name())
+        .set("peak_rss_kb", peak_rss_kb());
     std::fs::write("BENCH_stabilizer.json", stabilizer_record.render())
         .expect("write BENCH_stabilizer.json");
     table.row([
@@ -687,8 +784,31 @@ fn main() {
 
     print!("{}", table.render());
     println!(
-        "\nwrote BENCH_statevec.json, BENCH_router.json, BENCH_scheduler.json, BENCH_engine.json, BENCH_service.json, BENCH_stabilizer.json"
+        "\nwrote BENCH_compiler.json, BENCH_statevec.json, BENCH_router.json, BENCH_scheduler.json, BENCH_engine.json, BENCH_service.json, BENCH_stabilizer.json"
     );
+}
+
+/// Peak resident set size of this process in KB (`VmHWM` from
+/// `/proc/self/status`), `0.0` where procfs is unavailable.
+fn peak_rss_kb() -> f64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse().ok())
+        })
+        .unwrap_or(0.0)
+}
+
+/// Best-effort reset of the `VmHWM` high-water mark (Linux
+/// `clear_refs`), so consecutive phases can each read their own peak.
+/// Returns whether the reset took; when it does not, the recorded
+/// per-phase peaks are monotonic upper bounds instead.
+fn reset_peak_rss() -> bool {
+    std::fs::write("/proc/self/clear_refs", "5").is_ok()
 }
 
 /// 120 small mixed circuits (GHZ ladders, BV, 1-layer QAOA) on one

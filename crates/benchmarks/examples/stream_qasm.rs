@@ -1,0 +1,36 @@
+//! Writes a benchmark gate stream as OpenQASM 2.0 to stdout without
+//! ever materializing the circuit — the generator half of the
+//! bounded-memory pipeline, used by the CI streaming smoke step to
+//! produce million-gate inputs.
+//!
+//! ```text
+//! cargo run --release -p tilt-benchmarks --example stream_qasm -- qft 640
+//! cargo run --release -p tilt-benchmarks --example stream_qasm -- rcs 8 8 11000 11
+//! ```
+
+use std::io::{BufWriter, Write};
+use tilt_benchmarks::stream::{qft_stream, rcs_stream};
+use tilt_circuit::qasm::write_qasm_stream;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parse = |s: &String| s.parse::<usize>().expect("numeric argument");
+    let stdout = std::io::stdout();
+    let mut w = BufWriter::new(stdout.lock());
+    let result = match args.first().map(String::as_str) {
+        Some("qft") if args.len() == 2 => {
+            let n = parse(&args[1]);
+            write_qasm_stream(n, qft_stream(n), &mut w)
+        }
+        Some("rcs") if args.len() == 5 => {
+            let (rows, cols) = (parse(&args[1]), parse(&args[2]));
+            let (cycles, seed) = (parse(&args[3]), parse(&args[4]) as u64);
+            write_qasm_stream(rows * cols, rcs_stream(rows, cols, cycles, seed), &mut w)
+        }
+        _ => {
+            eprintln!("usage: stream_qasm qft <n> | rcs <rows> <cols> <cycles> <seed>");
+            std::process::exit(2);
+        }
+    };
+    result.and_then(|()| w.flush()).expect("write to stdout");
+}

@@ -19,7 +19,10 @@
 //! Beyond the Table II suite, the [`qec`] module generates QEC-scale
 //! pure-Clifford syndrome-extraction workloads (repetition-code and
 //! surface-style memory experiments, hundreds of qubits) for the
-//! stabilizer simulation backend.
+//! stabilizer simulation backend, and the [`stream`] module provides
+//! lazy gate-stream versions of the scalable generators (bit-identical
+//! to their `Circuit` counterparts) for the bounded-memory streaming
+//! compile pipeline.
 //!
 //! # Example
 //!
@@ -39,6 +42,7 @@ pub mod qec;
 pub mod qft;
 pub mod rcs;
 pub mod sqrt;
+pub mod stream;
 pub mod suite;
 pub mod util;
 

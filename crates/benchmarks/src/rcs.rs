@@ -65,6 +65,13 @@ fn pattern_pairs(rows: usize, cols: usize, pattern: Pattern) -> Vec<(usize, usiz
     pairs
 }
 
+/// The CZ pairs of entangling cycle `cycle` (patterns rotate with
+/// period 4) — shared with the lazy generator in [`crate::stream`] so
+/// the two emit identical entangling layers.
+pub(crate) fn rcs_cycle_order(rows: usize, cols: usize, cycle: usize) -> Vec<(usize, usize)> {
+    pattern_pairs(rows, cols, CYCLE_ORDER[cycle % 4])
+}
+
 /// Builds a random-circuit-sampling benchmark on a `rows × cols` grid with
 /// `cycles` entangling cycles, seeded deterministically.
 ///

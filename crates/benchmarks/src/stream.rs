@@ -1,0 +1,213 @@
+//! Lazy gate-stream versions of the scalable generators.
+//!
+//! The streaming compile pipeline takes `IntoIterator<Item = Gate>`, so
+//! million-gate benchmark inputs should never exist as a materialized
+//! [`Circuit`] — that would reintroduce the O(gates) footprint the
+//! pipeline exists to avoid. The generators here yield the exact gate
+//! sequence of their `Circuit`-building counterparts ([`qft::qft`] and
+//! [`rcs::random_circuit_sampling`]), one gate at a time, holding only
+//! O(qubits) state: the same helpers produce each local chunk (so the
+//! decompositions cannot drift), and the RCS stream drives its RNG in
+//! the same order as the circuit builder (so the random choices are
+//! bit-identical).
+//!
+//! [`qft::qft`]: crate::qft::qft
+//! [`rcs::random_circuit_sampling`]: crate::rcs::random_circuit_sampling
+//!
+//! # Example
+//!
+//! ```
+//! use tilt_benchmarks::qft::qft;
+//! use tilt_benchmarks::stream::qft_stream;
+//!
+//! let streamed: Vec<_> = qft_stream(6).collect();
+//! assert_eq!(streamed, qft(6).gates().to_vec());
+//! ```
+
+use crate::rcs::rcs_cycle_order;
+use crate::util::cphase_cnot;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use tilt_circuit::{Circuit, Gate, Qubit};
+
+/// The `n`-qubit QFT of [`crate::qft::qft`] as a lazy gate stream.
+///
+/// Yields exactly `qft(n).gates()`, never holding more than one
+/// controlled-phase expansion in memory.
+pub fn qft_stream(n: usize) -> QftStream {
+    QftStream {
+        n,
+        i: 0,
+        j: 0,
+        buf: VecDeque::new(),
+        scratch: Circuit::new(n),
+    }
+}
+
+/// Iterator behind [`qft_stream`].
+#[derive(Clone, Debug)]
+pub struct QftStream {
+    n: usize,
+    /// Target qubit of the current QFT block.
+    i: usize,
+    /// Next control within the block; `j == i` means the block's
+    /// Hadamard is still pending.
+    j: usize,
+    buf: VecDeque<Gate>,
+    /// Reused per-chunk circuit so every refill goes through the same
+    /// [`cphase_cnot`] helper as the monolithic builder.
+    scratch: Circuit,
+}
+
+impl Iterator for QftStream {
+    type Item = Gate;
+
+    fn next(&mut self) -> Option<Gate> {
+        loop {
+            if let Some(g) = self.buf.pop_front() {
+                return Some(g);
+            }
+            if self.i >= self.n {
+                return None;
+            }
+            if self.j == self.i {
+                self.buf.push_back(Gate::H(Qubit(self.i)));
+            } else {
+                let (i, j) = (self.i, self.j);
+                let angle = std::f64::consts::PI / f64::powi(2.0, (j - i) as i32);
+                self.scratch.reset(self.n);
+                cphase_cnot(&mut self.scratch, Qubit(j), Qubit(i), angle);
+                self.buf.extend(self.scratch.iter().copied());
+            }
+            self.j += 1;
+            if self.j >= self.n {
+                self.i += 1;
+                self.j = self.i;
+            }
+        }
+    }
+}
+
+/// The RCS benchmark of [`crate::rcs::random_circuit_sampling`] as a
+/// lazy gate stream: same grid, same cycle patterns, same seeded RNG
+/// consumed in the same order — the yielded sequence is bit-identical
+/// to the circuit builder's gate list.
+///
+/// Holds O(`rows·cols`) state (the per-qubit previous-choice table and
+/// one cycle's gates), independent of `cycles` — crank `cycles` up for
+/// million-gate streaming inputs.
+pub fn rcs_stream(rows: usize, cols: usize, cycles: usize, seed: u64) -> RcsStream {
+    RcsStream {
+        rows,
+        cols,
+        cycles,
+        rng: SmallRng::seed_from_u64(seed),
+        prev: vec![None; rows * cols],
+        cycle: 0,
+        emitted_h: false,
+        buf: VecDeque::new(),
+    }
+}
+
+/// Iterator behind [`rcs_stream`].
+#[derive(Clone, Debug)]
+pub struct RcsStream {
+    rows: usize,
+    cols: usize,
+    cycles: usize,
+    rng: SmallRng,
+    /// Previous single-qubit gate choice per qubit (0 = √X, 1 = √Y,
+    /// 2 = T), mirroring the circuit builder's no-repeat rule.
+    prev: Vec<Option<u8>>,
+    cycle: usize,
+    emitted_h: bool,
+    buf: VecDeque<Gate>,
+}
+
+impl Iterator for RcsStream {
+    type Item = Gate;
+
+    fn next(&mut self) -> Option<Gate> {
+        loop {
+            if let Some(g) = self.buf.pop_front() {
+                return Some(g);
+            }
+            let n = self.rows * self.cols;
+            if !self.emitted_h {
+                self.emitted_h = true;
+                self.buf.extend((0..n).map(|i| Gate::H(Qubit(i))));
+                continue;
+            }
+            if self.cycle >= self.cycles {
+                return None;
+            }
+            let cycle = self.cycle;
+            self.cycle += 1;
+            for (q, prev_q) in self.prev.iter_mut().enumerate() {
+                let mut choice = self.rng.gen_range(0..3u8);
+                while Some(choice) == *prev_q {
+                    choice = self.rng.gen_range(0..3u8);
+                }
+                *prev_q = Some(choice);
+                self.buf.push_back(match choice {
+                    0 => Gate::SqrtX(Qubit(q)),
+                    1 => Gate::SqrtY(Qubit(q)),
+                    _ => Gate::T(Qubit(q)),
+                });
+            }
+            for (a, b) in rcs_cycle_order(self.rows, self.cols, cycle) {
+                self.buf.push_back(Gate::Cz(Qubit(a), Qubit(b)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qft::qft;
+    use crate::rcs::random_circuit_sampling;
+
+    #[test]
+    fn qft_stream_is_bit_identical_to_the_circuit_builder() {
+        for n in [0, 1, 2, 5, 16] {
+            let streamed: Vec<Gate> = qft_stream(n).collect();
+            assert_eq!(streamed, qft(n).gates().to_vec(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn rcs_stream_is_bit_identical_to_the_circuit_builder() {
+        for (rows, cols, cycles, seed) in
+            [(2, 2, 0, 7), (2, 3, 5, 1), (4, 4, 9, 11), (8, 8, 20, 11)]
+        {
+            let streamed: Vec<Gate> = rcs_stream(rows, cols, cycles, seed).collect();
+            assert_eq!(
+                streamed,
+                random_circuit_sampling(rows, cols, cycles, seed)
+                    .gates()
+                    .to_vec(),
+                "{rows}x{cols} cycles {cycles} seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn rcs_stream_scales_cycles_without_scaling_state() {
+        // A deep stream yields the shallow stream as a prefix: the state
+        // machine is per-cycle, so depth only extends the tail.
+        let shallow: Vec<Gate> = rcs_stream(2, 2, 3, 5).collect();
+        let deep: Vec<Gate> = rcs_stream(2, 2, 50, 5).take(shallow.len()).collect();
+        assert_eq!(shallow, deep);
+    }
+
+    #[test]
+    fn streams_are_lazy_enough_for_million_gate_counts() {
+        // Count without collecting: ~1.0M gates from a deep RCS stream.
+        let count = rcs_stream(8, 8, 11_000, 11).count();
+        assert!(count > 1_000_000, "{count}");
+        let q = qft_stream(640).count();
+        assert!(q > 1_000_000, "{q}");
+    }
+}

@@ -42,4 +42,4 @@ pub use gate::{Gate, Operands};
 pub use layers::Layers;
 pub use qubit::Qubit;
 pub use stats::CircuitStats;
-pub use validate::{validate, ValidateCircuitError};
+pub use validate::{validate, validate_gate, ValidateCircuitError};

@@ -58,6 +58,40 @@ pub fn to_qasm(circuit: &Circuit) -> String {
     out
 }
 
+/// Streams `gates` as OpenQASM 2.0 to `w` without ever materializing a
+/// [`Circuit`] — the emitter half of the bounded-memory pipeline, for
+/// writing million-gate inputs that [`crate::qasm::QasmStream`] will
+/// read back. Unlike [`to_qasm`], the gate stream cannot be pre-scanned
+/// for which preamble definitions it needs, so every non-qelib1
+/// definition and the `creg` are always emitted (both parsers skip
+/// unused preamble lines).
+///
+/// # Errors
+///
+/// Propagates any I/O error from `w`.
+pub fn write_qasm_stream<W: std::io::Write>(
+    n_qubits: usize,
+    gates: impl IntoIterator<Item = Gate>,
+    w: &mut W,
+) -> std::io::Result<()> {
+    w.write_all(b"OPENQASM 2.0;\ninclude \"qelib1.inc\";\n")?;
+    w.write_all(
+        b"gate rxx(theta) a, b { h a; h b; cx a, b; rz(theta) b; cx a, b; h a; h b; }\n\
+          gate rzz(theta) a, b { cx a, b; rz(theta) b; cx a, b; }\n\
+          gate sx a { sdg a; h a; sdg a; }\n\
+          gate sy a { s a; s a; h a; }\n",
+    )?;
+    writeln!(w, "qreg q[{n_qubits}];")?;
+    writeln!(w, "creg c[{n_qubits}];")?;
+    let mut line = String::new();
+    for g in gates {
+        line.clear();
+        emit_gate(&mut line, &g);
+        w.write_all(line.as_bytes())?;
+    }
+    Ok(())
+}
+
 fn emit_gate(out: &mut String, g: &Gate) {
     use Gate::*;
     let q = |q: crate::Qubit| format!("q[{}]", q.index());
@@ -128,6 +162,25 @@ mod tests {
         let text = to_qasm(&c);
         assert!(!text.contains("gate rxx"));
         assert!(!text.contains("gate rzz"));
+    }
+
+    #[test]
+    fn stream_writer_round_trips_through_both_parsers() {
+        let mut c = Circuit::new(3);
+        c.h(Qubit(0))
+            .push(Gate::SqrtX(Qubit(1)))
+            .cz(Qubit(0), Qubit(2))
+            .xx(Qubit(1), Qubit(2), 0.25)
+            .measure(Qubit(2));
+        let mut bytes = Vec::new();
+        write_qasm_stream(3, c.iter().copied(), &mut bytes).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let reparsed = crate::qasm::parse_qasm(&text).unwrap();
+        assert_eq!(reparsed.gates(), c.gates());
+        let streamed: Vec<Gate> = crate::qasm::QasmStream::new(text.as_bytes())
+            .map(Result::unwrap)
+            .collect();
+        assert_eq!(streamed, c.gates().to_vec());
     }
 
     #[test]

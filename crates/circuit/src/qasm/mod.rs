@@ -19,6 +19,8 @@
 
 mod emit;
 mod parse;
+pub mod stream;
 
-pub use emit::to_qasm;
+pub use emit::{to_qasm, write_qasm_stream};
 pub use parse::{parse_qasm, ParseQasmError};
+pub use stream::{QasmStream, QasmStreamError};

@@ -107,7 +107,7 @@ pub fn parse_qasm(source: &str) -> Result<Circuit, ParseQasmError> {
     Ok(Circuit::from_gates(n, gates))
 }
 
-fn parse_statement(
+pub(super) fn parse_statement(
     stmt: &str,
     line: usize,
     n_qubits: &mut Option<usize>,

@@ -73,35 +73,54 @@ impl Error for ValidateCircuitError {}
 /// assert!(validate(&bad).is_err());
 /// ```
 pub fn validate(circuit: &Circuit) -> Result<(), ValidateCircuitError> {
-    use crate::gate::Gate;
     for (gate_index, g) in circuit.iter().enumerate() {
-        let qs = g.qubits();
-        for &q in &qs {
-            if q.index() >= circuit.n_qubits() {
-                return Err(ValidateCircuitError::QubitOutOfRange {
-                    gate_index,
-                    qubit: q.index(),
-                    n_qubits: circuit.n_qubits(),
-                });
-            }
+        validate_gate(g, gate_index, circuit.n_qubits())?;
+    }
+    Ok(())
+}
+
+/// Checks one gate exactly as [`validate`] would at position `gate_index`
+/// of a circuit `n_qubits` wide.
+///
+/// The streaming front end validates gates as they are pulled off the
+/// source instead of materializing a circuit first; errors carry the same
+/// global gate index the monolithic pass would report.
+///
+/// # Errors
+///
+/// As [`validate`], for this gate only.
+pub fn validate_gate(
+    g: &crate::gate::Gate,
+    gate_index: usize,
+    n_qubits: usize,
+) -> Result<(), ValidateCircuitError> {
+    use crate::gate::Gate;
+    let qs = g.qubits();
+    for &q in &qs {
+        if q.index() >= n_qubits {
+            return Err(ValidateCircuitError::QubitOutOfRange {
+                gate_index,
+                qubit: q.index(),
+                n_qubits,
+            });
         }
-        for (i, &a) in qs.iter().enumerate() {
-            if qs[i + 1..].contains(&a) {
-                return Err(ValidateCircuitError::DuplicateOperand {
-                    gate_index,
-                    qubit: a.index(),
-                });
-            }
+    }
+    for (i, &a) in qs.iter().enumerate() {
+        if qs[i + 1..].contains(&a) {
+            return Err(ValidateCircuitError::DuplicateOperand {
+                gate_index,
+                qubit: a.index(),
+            });
         }
-        let angle = match *g {
-            Gate::Rx(_, t) | Gate::Ry(_, t) | Gate::Rz(_, t) => Some(t),
-            Gate::Cphase(_, _, t) | Gate::Zz(_, _, t) | Gate::Xx(_, _, t) => Some(t),
-            _ => None,
-        };
-        if let Some(t) = angle {
-            if !t.is_finite() {
-                return Err(ValidateCircuitError::NonFiniteAngle { gate_index });
-            }
+    }
+    let angle = match *g {
+        Gate::Rx(_, t) | Gate::Ry(_, t) | Gate::Rz(_, t) => Some(t),
+        Gate::Cphase(_, _, t) | Gate::Zz(_, _, t) | Gate::Xx(_, _, t) => Some(t),
+        _ => None,
+    };
+    if let Some(t) = angle {
+        if !t.is_finite() {
+            return Err(ValidateCircuitError::NonFiniteAngle { gate_index });
         }
     }
     Ok(())

@@ -51,6 +51,17 @@ pub struct Options {
     /// Treat the target as a directory of QASM files and run them as
     /// one batch (`--batch`, `run` command only).
     pub batch: bool,
+    /// Stream the QASM file through the bounded-memory windowed
+    /// pipeline instead of materializing the circuit (`--stream`,
+    /// `run` and `lint` commands).
+    pub stream: bool,
+    /// Lint against the modular ELU-array backend instead of a single
+    /// TILT tape (`--scaled`, `lint` command only; the ELU geometry
+    /// comes from `--elu-ions`/`--head` as for `scale`).
+    pub scaled: bool,
+    /// Input gates per streaming window (`--stream-window`); `None` =
+    /// the engine default.
+    pub stream_window: Option<usize>,
 }
 
 /// Why argument parsing failed.
@@ -88,6 +99,9 @@ impl Options {
             emit_program: false,
             emit_qasm: false,
             batch: false,
+            stream: false,
+            scaled: false,
+            stream_window: None,
         };
         let mut positional: Vec<&String> = Vec::new();
         let mut it = args.iter();
@@ -143,6 +157,17 @@ impl Options {
                 "--emit-program" => opts.emit_program = true,
                 "--emit-qasm" => opts.emit_qasm = true,
                 "--batch" => opts.batch = true,
+                "--stream" => opts.stream = true,
+                "--scaled" => opts.scaled = true,
+                "--stream-window" => {
+                    let w = parse_num(value_for("--stream-window")?, "--stream-window")?;
+                    if w == 0 {
+                        return Err(ParseArgsError(
+                            "--stream-window must be a positive gate count".into(),
+                        ));
+                    }
+                    opts.stream_window = Some(w);
+                }
                 flag if flag.starts_with("--") => {
                     return Err(ParseArgsError(format!("unknown option `{flag}`")))
                 }
@@ -369,6 +394,22 @@ mod tests {
         let o = Options::parse(&v(&["x", "--json"])).unwrap();
         assert!(o.json);
         assert!(!Options::parse(&v(&["x"])).unwrap().json);
+    }
+
+    #[test]
+    fn stream_flags_parse_and_reject_zero_window() {
+        let o = Options::parse(&v(&["x", "--stream", "--stream-window", "4096"])).unwrap();
+        assert!(o.stream);
+        assert_eq!(o.stream_window, Some(4096));
+        let o = Options::parse(&v(&["x", "--scaled", "--elu-ions", "10"])).unwrap();
+        assert!(o.scaled);
+        assert_eq!(o.elu_ions, 10);
+        let o = Options::parse(&v(&["x"])).unwrap();
+        assert!(!o.stream);
+        assert!(!o.scaled);
+        assert_eq!(o.stream_window, None);
+        let e = Options::parse(&v(&["x", "--stream-window", "0"])).unwrap_err();
+        assert!(e.0.contains("positive"));
     }
 
     #[test]

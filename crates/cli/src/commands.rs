@@ -227,8 +227,9 @@ pub fn simulate(args: &[String]) -> Result<String, String> {
     Ok(text)
 }
 
-/// `tilt-cli lint <file.qasm>` — compile for a TILT machine and run the
-/// static program-invariant verifier over the compiled artifacts.
+/// `tilt-cli lint <file.qasm>` — compile for a TILT machine (or, under
+/// `--scaled`, an ELU array) and run the static program-invariant
+/// verifier over the compiled artifacts.
 ///
 /// Human output is one line per diagnostic plus a summary; `--json`
 /// emits the diagnostics as a JSON array (empty when clean). Any
@@ -241,7 +242,13 @@ pub fn lint(args: &[String]) -> Result<String, String> {
             "`lint` drives the session API; use `compile` to inspect --router exact output".into(),
         );
     }
+    if opts.stream {
+        return lint_stream(&opts);
+    }
     let circuit = load_circuit(&opts)?;
+    if opts.scaled {
+        return lint_scaled(&opts, &circuit);
+    }
     let spec = device(&opts, &circuit)?;
     // Warn, not strict: lint's job is to *report* every finding, then
     // decide the exit code itself (strict would stop at the first).
@@ -254,12 +261,147 @@ pub fn lint(args: &[String]) -> Result<String, String> {
         .map_err(|e| e.to_string())?
         .run(&circuit)
         .map_err(|e| e.to_string())?;
-    let diags = &report.diagnostics;
+    let clean_note = format!(
+        "clean ({} native ops verified)",
+        report.compile.native_gate_count
+    );
+    finish_lint(&opts, &report.diagnostics, &clean_note)
+}
+
+/// The ELU-array geometry a `--scaled` lint describes (same flags and
+/// head clamp as the `scale` command).
+fn scale_spec(opts: &Options) -> Result<tilt_scale::ScaleSpec, String> {
+    tilt_scale::ScaleSpec::new(opts.elu_ions, opts.head.min(opts.elu_ions))
+        .map_err(|e| e.to_string())
+}
+
+/// The `--scaled` flavour of monolithic `lint`: compile across the ELU
+/// array and run the full scaled rule pack (`scaled/comm-slot-budget`,
+/// `scaled/measured-unreset`, plus the TILT pack per ELU).
+fn lint_scaled(opts: &Options, circuit: &Circuit) -> Result<String, String> {
+    let spec = scale_spec(opts)?;
+    let report = Engine::builder()
+        .backend(Backend::Scaled(spec))
+        .verify(tilt_engine::VerifyLevel::Warn)
+        .build()
+        .map_err(|e| e.to_string())?
+        .run(circuit)
+        .map_err(|e| e.to_string())?;
+    let elus = match &report.detail {
+        tilt_engine::RunDetail::Scaled { program, .. } => program.elu_outputs.len(),
+        _ => unreachable!("a Scaled backend produces Scaled detail"),
+    };
+    let clean_note = format!(
+        "clean ({} native ops across {elus} ELUs verified)",
+        report.compile.native_gate_count
+    );
+    finish_lint(opts, &report.diagnostics, &clean_note)
+}
+
+/// The `--stream` flavour of `lint`: stream the source through the
+/// bounded-memory windowed pipeline and run the window-applicable
+/// rules incrementally over every delivered increment, with global op
+/// indices — the diagnostics match what the monolithic walk would
+/// report for those rules, at O(window) peak memory. On the TILT
+/// backend that is `tilt/head-span`; under `--scaled` it is the per-op
+/// half of `scaled/comm-slot-budget` plus `tilt/head-span` per ELU.
+/// The whole-program rules (`tilt/swap-chain`, `tilt/mapping-bijection`,
+/// `tilt/schedule-order`, the EPR ledger, `scaled/measured-unreset`)
+/// need finished artifacts and only run on the monolithic path.
+fn lint_stream(opts: &Options) -> Result<String, String> {
+    if opts.method.is_some() || opts.emit_program || opts.emit_qasm || opts.batch {
+        return Err("`lint --stream` takes none of --method/--emit-*/--batch".into());
+    }
+    if opts.scaled {
+        return lint_stream_scaled(opts);
+    }
+    let width = probe_stream_width(&opts.target)?;
+    let ions = opts.ions.unwrap_or(width);
+    let spec = DeviceSpec::new(ions, opts.head.min(ions)).map_err(|e| e.to_string())?;
+    // No `.verify(...)`: streaming runs reject the whole-program
+    // verifier by construction; the windowed rule runs in the sink.
+    let engine = Engine::builder()
+        .backend(Backend::Tilt(spec))
+        .router(opts.router_kind())
+        .scheduler(opts.scheduler)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let window = opts
+        .stream_window
+        .unwrap_or(tilt_engine::DEFAULT_STREAM_WINDOW);
+    let mut verifier = tilt_compiler::StreamVerifier::new(spec);
+    let mut sink = |_shard: usize, chunk: &[tilt_compiler::TiltOp]| {
+        verifier.push(chunk);
+    };
+    let outcome = engine
+        .run_streaming_qasm(open_stream(&opts.target)?, window, &mut sink)
+        .map_err(|e| e.to_string())?;
+    let ops_seen = verifier.ops_seen();
+    let clean_note = format!(
+        "clean ({ops_seen} ops stream-verified in {} increments, window {window})",
+        outcome.increments
+    );
+    finish_lint(opts, &verifier.finish(), &clean_note)
+}
+
+/// `lint --stream --scaled`: the sharded streaming compile delivers
+/// per-ELU op increments; each feeds the incremental half of
+/// `scaled/comm-slot-budget` (per-ELU gate indices, as the monolithic
+/// walk assigns them) and a per-ELU `tilt/head-span` verifier whose
+/// messages carry the same `elu N:` prefix the monolithic scaled pack
+/// uses for its per-ELU TILT findings.
+fn lint_stream_scaled(opts: &Options) -> Result<String, String> {
+    let width = probe_stream_width(&opts.target)?;
+    let spec = scale_spec(opts)?;
+    let elu_spec =
+        DeviceSpec::new(spec.ions_per_elu(), spec.head_size()).map_err(|e| e.to_string())?;
+    let n_elus = spec.elus_for(width);
+    let engine = Engine::builder()
+        .backend(Backend::Scaled(spec))
+        .build()
+        .map_err(|e| e.to_string())?;
+    let window = opts
+        .stream_window
+        .unwrap_or(tilt_engine::DEFAULT_STREAM_WINDOW);
+    let mut budget = tilt_scale::StreamScaledVerifier::new(spec.data_capacity(), n_elus);
+    let mut heads: Vec<tilt_compiler::StreamVerifier> = (0..n_elus)
+        .map(|_| tilt_compiler::StreamVerifier::new(elu_spec))
+        .collect();
+    let mut sink = |elu: usize, chunk: &[tilt_compiler::TiltOp]| {
+        budget.push(elu, chunk);
+        heads[elu].push(chunk);
+    };
+    let outcome = engine
+        .run_streaming_qasm(open_stream(&opts.target)?, window, &mut sink)
+        .map_err(|e| e.to_string())?;
+    let gates_seen = budget.gates_seen();
+    let mut diags = budget.finish();
+    for (e, head) in heads.into_iter().enumerate() {
+        diags.extend(head.finish().into_iter().map(|mut d| {
+            d.message = format!("elu {e}: {}", d.message);
+            d
+        }));
+    }
+    let clean_note = format!(
+        "clean ({gates_seen} gates across {n_elus} ELUs stream-verified in {} increments, \
+         window {window})",
+        outcome.increments
+    );
+    finish_lint(opts, &diags, &clean_note)
+}
+
+/// Shared lint epilogue: renders the findings per the output flags
+/// (JSON array under `--json`, one line per diagnostic plus a summary
+/// otherwise) and turns error-severity findings into a nonzero exit.
+fn finish_lint(
+    opts: &Options,
+    diags: &[tilt_compiler::Diagnostic],
+    clean_note: &str,
+) -> Result<String, String> {
     let errors = diags
         .iter()
         .filter(|d| d.severity == tilt_engine::Severity::Error)
         .count();
-
     let text = if opts.json {
         let arr: Vec<tilt_report::Json> = diags
             .iter()
@@ -282,10 +424,7 @@ pub fn lint(args: &[String]) -> Result<String, String> {
             "lint `{}`: {}",
             opts.target,
             if diags.is_empty() {
-                format!(
-                    "clean ({} native ops verified)",
-                    report.compile.native_gate_count
-                )
+                clean_note.to_string()
             } else {
                 format!("{} diagnostic(s), {} error(s)", diags.len(), errors)
             }
@@ -429,6 +568,9 @@ pub fn run(args: &[String]) -> Result<String, String> {
             "`run` drives the session API; use `compile`/`simulate` for --router exact".into(),
         );
     }
+    if opts.stream {
+        return run_stream_file(&opts);
+    }
     if opts.batch {
         return run_batch_dir(&opts);
     }
@@ -448,6 +590,91 @@ pub fn run(args: &[String]) -> Result<String, String> {
         report.exec_time_us / 1e3
     );
     text.push_str(&describe_sim(&report));
+    Ok(text)
+}
+
+/// Reads just the QASM prologue of `path` to learn the register width
+/// (the `qreg` must precede the first gate, so this touches only the
+/// header — cheap even on a million-gate file).
+fn probe_stream_width(path: &str) -> Result<usize, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    qasm::QasmStream::new(std::io::BufReader::new(file))
+        .require_n_qubits()
+        .map_err(|e| format!("{path}: {e}"))
+}
+
+/// Opens `path` for the actual streaming pass.
+fn open_stream(path: &str) -> Result<std::io::BufReader<std::fs::File>, String> {
+    std::fs::File::open(path)
+        .map(std::io::BufReader::new)
+        .map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+/// The `--stream` flavour of `run`: push the QASM file through the
+/// bounded-memory windowed pipeline without ever materializing the
+/// circuit or the scheduled program. A header probe sizes the device,
+/// then the file is re-read as the gate stream; peak memory is
+/// O(window), not O(gates).
+fn run_stream_file(opts: &Options) -> Result<String, String> {
+    if opts.batch {
+        return Err("--stream runs one file; it cannot be combined with --batch".into());
+    }
+    if opts.method.is_some() {
+        return Err(
+            "--stream never materializes the logical circuit, so it cannot simulate; \
+             drop --method or drop --stream"
+                .into(),
+        );
+    }
+    if opts.emit_program || opts.emit_qasm {
+        return Err(
+            "--stream discards each window after delivery; --emit-program/--emit-qasm \
+             need the monolithic path"
+                .into(),
+        );
+    }
+    let width = probe_stream_width(&opts.target)?;
+    let ions = opts.ions.unwrap_or(width);
+    let spec = DeviceSpec::new(ions, opts.head.min(ions)).map_err(|e| e.to_string())?;
+    let engine = tilt_engine(opts, spec)?;
+    let window = opts
+        .stream_window
+        .unwrap_or(tilt_engine::DEFAULT_STREAM_WINDOW);
+    let mut ops = 0usize;
+    let mut sink = |_shard: usize, chunk: &[tilt_compiler::TiltOp]| {
+        ops += chunk.len();
+    };
+    let outcome = engine
+        .run_streaming_qasm(open_stream(&opts.target)?, window, &mut sink)
+        .map_err(|e| e.to_string())?;
+    let c = &outcome.compile;
+    let mut text = format!(
+        "streamed `{}`: {} input gates in {} increments (window {})\n",
+        opts.target, outcome.input_gate_count, outcome.increments, window
+    );
+    let _ = writeln!(
+        text,
+        "device: {} ions, head {}",
+        spec.n_ions(),
+        spec.head_size()
+    );
+    let _ = writeln!(
+        text,
+        "swaps: {} (opposing {}), moves: {} (distance {} ion spacings)",
+        c.swap_count, c.opposing_swap_count, c.move_count, c.move_distance
+    );
+    let _ = writeln!(
+        text,
+        "native gates: {} ({} two-qubit), scheduled ops delivered: {ops}",
+        c.native_gate_count, c.native_two_qubit_count
+    );
+    let _ = writeln!(
+        text,
+        "success: {} (log10 {:.2}), execution time: {:.3} ms",
+        fmt_success(outcome.success),
+        outcome.log10_success(),
+        outcome.exec_time_us / 1e3
+    );
     Ok(text)
 }
 
@@ -1048,6 +1275,118 @@ mod tests {
         let path = write_temp("exact.qasm", "qreg q[6];\ncx q[0], q[5];\n");
         let out = compile(&v(&[&path, "--head", "3", "--router", "exact"])).unwrap();
         assert!(out.contains("swaps: 2"), "{out}");
+    }
+
+    #[test]
+    fn run_stream_matches_the_monolithic_numbers() {
+        let src = "qreg q[8];\nh q[0];\ncx q[0], q[7];\ncx q[1], q[6];\nrz(0.25) q[3];\n";
+        let path = write_temp("stream-eq.qasm", src);
+        let mono = run(&v(&[&path, "--head", "4"])).unwrap();
+        let streamed = run(&v(&[
+            &path,
+            "--head",
+            "4",
+            "--stream",
+            "--stream-window",
+            "2",
+        ]))
+        .unwrap();
+        assert!(streamed.contains("4 input gates"), "{streamed}");
+        assert!(streamed.contains("(window 2)"), "{streamed}");
+        // Decision identity: the success and execution-time lines agree
+        // byte for byte with the monolithic run.
+        let tail = |text: &str| {
+            text.lines()
+                .find(|l| l.starts_with("success: "))
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(tail(&mono), tail(&streamed), "{mono}\n---\n{streamed}");
+        let swaps = |text: &str| {
+            text.lines()
+                .find(|l| l.starts_with("swaps: "))
+                .unwrap()
+                .split(',')
+                .next()
+                .unwrap()
+                .trim_end_matches(')')
+                .to_string()
+        };
+        assert_eq!(swaps(&mono), swaps(&streamed));
+    }
+
+    #[test]
+    fn run_stream_rejects_circuit_bound_flags() {
+        let path = write_temp("stream-flags.qasm", "qreg q[4];\nh q[0];\n");
+        for extra in [["--method", "auto"], ["--emit-program", "--json"]] {
+            let mut args = vec![path.as_str(), "--stream"];
+            args.extend(extra.iter().filter(|a| **a != "--json"));
+            let e = run(&v(&args)).unwrap_err();
+            assert!(e.contains("--stream"), "{e}");
+        }
+        let e = run(&v(&[&path, "--stream", "--batch"])).unwrap_err();
+        assert!(e.contains("--batch"), "{e}");
+    }
+
+    #[test]
+    fn lint_stream_verifies_incrementally() {
+        let path = write_temp("lint-stream.qasm", "qreg q[8];\nh q[0];\ncx q[0], q[7];\n");
+        let out = lint(&v(&[
+            &path,
+            "--head",
+            "4",
+            "--stream",
+            "--stream-window",
+            "1",
+        ]))
+        .unwrap();
+        assert!(out.contains("clean"), "{out}");
+        assert!(out.contains("stream-verified"), "{out}");
+        assert!(out.contains("increments"), "{out}");
+    }
+
+    #[test]
+    fn lint_stream_json_emits_an_array() {
+        let path = write_temp("lint-stream-json.qasm", "qreg q[6];\ncx q[0], q[5];\n");
+        let out = lint(&v(&[&path, "--head", "3", "--stream", "--json"])).unwrap();
+        let parsed = tilt_report::Json::parse(out.trim()).unwrap();
+        assert_eq!(parsed.as_array().map(<[_]>::len), Some(0), "{out}");
+    }
+
+    #[test]
+    fn lint_scaled_runs_the_scaled_rule_pack() {
+        // Crosses an ELU boundary (10-ion ELUs hold 8 data ions), so a
+        // remote gate and both ELUs' artifacts are verified.
+        let path = write_temp(
+            "lint-scaled.qasm",
+            "qreg q[16];\ncx q[7], q[8];\ncx q[0], q[1];\n",
+        );
+        let out = lint(&v(&[&path, "--scaled", "--elu-ions", "10", "--head", "4"])).unwrap();
+        assert!(out.contains("clean"), "{out}");
+        assert!(out.contains("2 ELUs verified"), "{out}");
+    }
+
+    #[test]
+    fn lint_stream_scaled_verifies_per_elu_increments() {
+        let path = write_temp(
+            "lint-stream-scaled.qasm",
+            "qreg q[16];\ncx q[7], q[8];\ncx q[0], q[1];\nh q[12];\n",
+        );
+        let out = lint(&v(&[
+            &path,
+            "--scaled",
+            "--elu-ions",
+            "10",
+            "--head",
+            "4",
+            "--stream",
+            "--stream-window",
+            "1",
+        ]))
+        .unwrap();
+        assert!(out.contains("clean"), "{out}");
+        assert!(out.contains("across 2 ELUs stream-verified"), "{out}");
+        assert!(out.contains("increments"), "{out}");
     }
 
     #[test]

@@ -28,12 +28,17 @@ usage: tilt-cli <command> [arguments] [options]
 commands:
   run      <file.qasm>   compile + simulate through the Engine session API
   run      <dir> --batch every .qasm in <dir> as one batch, one row per circuit
+  run  <file> --stream   bounded-memory streaming compile: O(window) peak
+                         memory, built for million-gate files
   compile  <file.qasm>   compile for a TILT machine and print LinQ metrics
   simulate <file.qasm>   compile, then estimate success rate and exec time
   timeline <file.qasm>   compile and draw the tape-head trajectory
   lint     <file.qasm>   compile and statically verify the program
                          invariants (--json for machine-readable output;
-                         exits nonzero on any error-severity finding)
+                         exits nonzero on any error-severity finding;
+                         --stream checks the window-applicable rules
+                         incrementally at O(window) memory; --scaled
+                         lints the ELU-array backend instead)
   qccd     <file.qasm>   route on the QCCD comparator architecture
   scale    <file.qasm>   split across MUSIQC-style TILT modules (ELUs)
   bench    <name|all>    run a paper benchmark (adder, bv, qaoa, rcs, qft, sqrt)
@@ -54,6 +59,11 @@ options:
   --emit-program        print the scheduled gate/move stream
   --emit-qasm           print the routed physical circuit as OpenQASM
   --batch               treat the run target as a directory of .qasm files
+  --stream              run/lint: stream the QASM through the windowed
+                        pipeline without materializing the circuit
+  --scaled              lint: verify against the ELU-array backend
+                        (geometry from --elu-ions/--head, as for scale)
+  --stream-window N     input gates per streaming window (default: 65536)
   --window N            serve: max in-flight requests (default: 4 x threads)
   --listen HOST:PORT    serve: accept TCP connections instead of stdin/stdout
 ";

@@ -30,6 +30,13 @@ pub enum CompileError {
         /// Human-readable description of the inconsistency.
         reason: String,
     },
+    /// The requested configuration cannot run under the streaming
+    /// pipeline (e.g. an initial-mapping strategy that must inspect the
+    /// whole circuit before placing anything).
+    StreamingUnsupported {
+        /// Human-readable description of the incompatibility.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -49,6 +56,9 @@ impl fmt::Display for CompileError {
             CompileError::InvalidCircuit(e) => write!(f, "invalid input circuit: {e}"),
             CompileError::InvalidRouterConfig { reason } => {
                 write!(f, "invalid router configuration: {reason}")
+            }
+            CompileError::StreamingUnsupported { reason } => {
+                write!(f, "unsupported in streaming mode: {reason}")
             }
         }
     }

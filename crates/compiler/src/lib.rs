@@ -49,9 +49,10 @@ pub mod viz;
 
 pub use error::CompileError;
 pub use mapping::{InitialMapping, Mapping};
+pub use pipeline::streaming::{CollectSink, ProgramSink, StreamSummary, StreamingCompiler};
 pub use pipeline::{CompileOutput, CompileReport, CompileScratch, Compiler};
 pub use program::{TiltOp, TiltProgram};
 pub use route::{RouteOutcome, RouterKind};
 pub use schedule::{ScheduleConfig, SchedulerKind};
 pub use spec::DeviceSpec;
-pub use verify::{Diagnostic, Severity};
+pub use verify::{Diagnostic, Severity, StreamVerifier};

@@ -157,14 +157,29 @@ impl InitialMapping {
             n_ions
         );
         match self {
-            InitialMapping::Identity => Mapping::identity(n_ions),
-            InitialMapping::Reverse => Mapping::from_log_to_phys((0..n_ions).rev().collect()),
+            InitialMapping::InteractionChain => interaction_chain(circuit, n_ions),
+            circuit_free => circuit_free
+                .build_streaming(n_ions)
+                .expect("only InteractionChain needs the circuit"),
+        }
+    }
+
+    /// Builds the starting permutation without a circuit, for the
+    /// streaming pipeline (where no materialized circuit exists to
+    /// inspect). Identical to [`InitialMapping::build`] for the
+    /// circuit-independent strategies; returns `None` for
+    /// [`InitialMapping::InteractionChain`], which must weigh the whole
+    /// interaction graph first.
+    pub fn build_streaming(self, n_ions: usize) -> Option<Mapping> {
+        match self {
+            InitialMapping::Identity => Some(Mapping::identity(n_ions)),
+            InitialMapping::Reverse => Some(Mapping::from_log_to_phys((0..n_ions).rev().collect())),
             InitialMapping::Random(seed) => {
                 let mut perm: Vec<usize> = (0..n_ions).collect();
                 perm.shuffle(&mut SmallRng::seed_from_u64(seed));
-                Mapping::from_log_to_phys(perm)
+                Some(Mapping::from_log_to_phys(perm))
             }
-            InitialMapping::InteractionChain => interaction_chain(circuit, n_ions),
+            InitialMapping::InteractionChain => None,
         }
     }
 }

@@ -6,6 +6,8 @@
 //! ratio (Fig. 6), move counts and tape travel (Table III), and the
 //! wall-clock time of each pass (`t_swap`, `t_move` columns of Table III).
 
+pub mod streaming;
+
 use crate::decompose::decompose_into;
 use crate::error::CompileError;
 use crate::mapping::InitialMapping;

@@ -1,0 +1,491 @@
+//! Bounded-memory streaming compilation.
+//!
+//! [`StreamingCompiler`] runs the same three passes as
+//! [`Compiler::compile`] — decompose, route, schedule — over a gate
+//! *stream* instead of a materialized [`Circuit`], holding only
+//! O(window + look-ahead) state: the current input window, the router's
+//! pruned pending suffix ([`StreamRouter`]), and the scheduler's active
+//! horizon ([`StreamScheduler`]). Scheduled ops leave through a
+//! [`ProgramSink`] as increments; concatenating every increment yields
+//! **exactly** the monolithic program's op stream — decision identity is
+//! the correctness bar, pinned by the in-crate equivalence tests and
+//! `tests/streaming_equivalence.rs`.
+//!
+//! Carry-over state between windows:
+//!
+//! * the logical→physical [`Mapping`] and the router's swap/opposing
+//!   counters, look-ahead window and policy state (LinQ weight cache or
+//!   the stochastic policy's RNG);
+//! * the scheduler's dependency frontier (the incremental equivalent of
+//!   the `ReadyTracker` seed engine state), head position, and
+//!   per-position score caches;
+//! * the report accumulators (move count/distance, gate counts, pass
+//!   timings).
+//!
+//! Two configurations cannot stream and are rejected up front rather
+//! than silently diverging from the monolithic result:
+//! [`InitialMapping::InteractionChain`] must weigh the complete
+//! interaction graph before placing the first ion, and a window can
+//! never be scheduled before its successors' dependencies are known —
+//! which is why the scheduler ingests up to its eligibility horizon
+//! before committing any round instead of scheduling each window in
+//! isolation.
+
+use super::{CompileReport, Compiler};
+use crate::decompose::decompose_into;
+use crate::error::CompileError;
+use crate::mapping::Mapping;
+use crate::program::TiltOp;
+use crate::route::streaming::StreamRouter;
+use crate::schedule::{StreamScheduler, DEFAULT_HORIZON};
+use crate::spec::DeviceSpec;
+use std::time::{Duration, Instant};
+use tilt_circuit::{validate_gate, Circuit, Gate};
+
+/// Receives scheduled program increments from the streaming pipeline.
+///
+/// `emit` is called with each non-empty batch of ops in execution order;
+/// the concatenation of all batches equals the monolithic
+/// [`TiltProgram::ops`](crate::TiltProgram::ops) stream byte for byte.
+pub trait ProgramSink {
+    /// Consumes the next increment of the scheduled op stream.
+    fn emit(&mut self, ops: &[TiltOp]);
+}
+
+/// Any `FnMut(&[TiltOp])` is a sink.
+impl<F: FnMut(&[TiltOp])> ProgramSink for F {
+    fn emit(&mut self, ops: &[TiltOp]) {
+        self(ops);
+    }
+}
+
+/// A sink that simply collects every op (testing, small programs).
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    /// All ops emitted so far, in execution order.
+    pub ops: Vec<TiltOp>,
+}
+
+impl ProgramSink for CollectSink {
+    fn emit(&mut self, ops: &[TiltOp]) {
+        self.ops.extend_from_slice(ops);
+    }
+}
+
+/// What a completed streaming compile reports.
+#[derive(Clone, Debug)]
+pub struct StreamSummary {
+    /// The same statistics the monolithic pipeline reports — identical
+    /// values except the wall-clock fields.
+    pub report: CompileReport,
+    /// Number of non-empty increments handed to the sink.
+    pub increments: usize,
+    /// Program gates consumed from the input stream.
+    pub input_gate_count: usize,
+    /// The starting permutation used.
+    pub initial_mapping: Mapping,
+    /// The permutation after the final gate.
+    pub final_mapping: Mapping,
+}
+
+/// Push-based streaming counterpart of [`Compiler::compile`].
+///
+/// Feed program gates with [`push`](StreamingCompiler::push); every
+/// `window` input gates the pipeline advances all three passes and
+/// flushes any newly scheduled ops to the sink. [`finish`]
+/// (StreamingCompiler::finish) drains the carry-over state and returns
+/// the summary.
+pub struct StreamingCompiler {
+    spec: DeviceSpec,
+    n_qubits: usize,
+    window: usize,
+    /// Buffered input program gates of the current window.
+    buffer: Circuit,
+    /// Decompose-pass scratch (native expansion of the window).
+    native: Circuit,
+    /// Swap-lowering scratch (native expansion of routed increments).
+    lowered: Circuit,
+    router: StreamRouter,
+    scheduler: StreamScheduler,
+    /// Scheduled ops awaiting the next flush.
+    ops: Vec<TiltOp>,
+    initial_mapping: Mapping,
+    input_gate_count: usize,
+    increments: usize,
+    // Report accumulators (the monolithic fold, applied incrementally).
+    move_count: usize,
+    move_distance_ions: usize,
+    last_head: Option<usize>,
+    native_gate_count: usize,
+    native_two_qubit_count: usize,
+    t_decompose: Duration,
+    t_swap: Duration,
+    t_move: Duration,
+}
+
+impl StreamingCompiler {
+    /// Starts a streaming session for `compiler`'s configuration over a
+    /// `n_qubits`-wide input stream, flushing every `window` input gates
+    /// (`usize::MAX` streams the whole input as one window).
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::CircuitTooWide`] when the register exceeds the
+    /// tape, [`CompileError::InvalidRouterConfig`] for inconsistent
+    /// router parameters, and [`CompileError::StreamingUnsupported`] for
+    /// configurations that must inspect the whole circuit
+    /// ([`InitialMapping::InteractionChain`]).
+    ///
+    /// [`InitialMapping::InteractionChain`]: crate::InitialMapping::InteractionChain
+    pub fn new(compiler: &Compiler, n_qubits: usize, window: usize) -> Result<Self, CompileError> {
+        let spec = compiler.spec;
+        if n_qubits > spec.n_ions() {
+            return Err(CompileError::CircuitTooWide {
+                circuit_qubits: n_qubits,
+                n_ions: spec.n_ions(),
+            });
+        }
+        let Some(initial) = compiler.initial_mapping.build_streaming(spec.n_ions()) else {
+            return Err(CompileError::StreamingUnsupported {
+                reason: format!(
+                    "initial mapping {:?} must inspect the whole circuit before placing ions",
+                    compiler.initial_mapping
+                ),
+            });
+        };
+        let router = StreamRouter::new(&compiler.router, spec, initial.clone())?;
+        let scheduler = StreamScheduler::new(spec, compiler.scheduler, DEFAULT_HORIZON);
+        Ok(StreamingCompiler {
+            spec,
+            n_qubits,
+            window: window.max(1),
+            buffer: Circuit::new(n_qubits),
+            native: Circuit::new(n_qubits),
+            lowered: Circuit::new(spec.n_ions()),
+            router,
+            scheduler,
+            ops: Vec::new(),
+            initial_mapping: initial,
+            input_gate_count: 0,
+            increments: 0,
+            move_count: 0,
+            move_distance_ions: 0,
+            last_head: None,
+            native_gate_count: 0,
+            native_two_qubit_count: 0,
+            t_decompose: Duration::ZERO,
+            t_swap: Duration::ZERO,
+            t_move: Duration::ZERO,
+        })
+    }
+
+    /// Ingests the next program gate; advances the pipeline and flushes
+    /// to `sink` when the current window fills.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::InvalidCircuit`] with the offending gate's global
+    /// index, exactly as the monolithic validation pass reports it.
+    pub fn push(&mut self, g: Gate, sink: &mut dyn ProgramSink) -> Result<(), CompileError> {
+        validate_gate(&g, self.input_gate_count, self.n_qubits)?;
+        self.input_gate_count += 1;
+        self.buffer.push(g);
+        if self.buffer.len() >= self.window {
+            self.process_window(false, sink);
+        }
+        Ok(())
+    }
+
+    /// Declares end of input, drains every pass, flushes the final
+    /// increment, and reports.
+    pub fn finish(mut self, sink: &mut dyn ProgramSink) -> StreamSummary {
+        self.process_window(true, sink);
+        debug_assert!(self.scheduler.is_done());
+        let swap_count = self.router.swap_count();
+        let opposing_swap_count = self.router.opposing_swap_count();
+        let opposing_ratio = if swap_count == 0 {
+            0.0
+        } else {
+            opposing_swap_count as f64 / swap_count as f64
+        };
+        StreamSummary {
+            report: CompileReport {
+                swap_count,
+                opposing_swap_count,
+                opposing_ratio,
+                move_count: self.move_count,
+                move_distance_ions: self.move_distance_ions,
+                native_gate_count: self.native_gate_count,
+                native_two_qubit_count: self.native_two_qubit_count,
+                t_decompose: self.t_decompose,
+                t_swap: self.t_swap,
+                t_move: self.t_move,
+            },
+            increments: self.increments,
+            input_gate_count: self.input_gate_count,
+            initial_mapping: self.initial_mapping,
+            final_mapping: self.router.mapping().clone(),
+        }
+    }
+
+    /// Runs the buffered window through decompose → route → schedule and
+    /// flushes any scheduled ops.
+    fn process_window(&mut self, eof: bool, sink: &mut dyn ProgramSink) {
+        // Pass 1: native-gate decomposition (§IV-B) of this window.
+        let t0 = Instant::now();
+        decompose_into(&self.buffer, &mut self.native);
+        self.t_decompose += t0.elapsed();
+
+        // Pass 2: mapping + swap insertion (§IV-C), carried across
+        // windows by the router.
+        let t1 = Instant::now();
+        for g in self.native.gates() {
+            self.router.push(*g);
+        }
+        if eof {
+            self.router.finish_input();
+        }
+        self.t_swap += t1.elapsed();
+
+        // Lower routed SWAPs to native gates, then pass 3: tape
+        // scheduling (§IV-D) up to the carry-over horizon.
+        let t2 = Instant::now();
+        self.lowered.reset(self.spec.n_ions());
+        for g in self.router.drain_routed() {
+            crate::decompose::decompose_gate(&mut self.lowered, &g);
+        }
+        for g in self.lowered.gates() {
+            self.scheduler.push(*g);
+        }
+        if eof {
+            self.scheduler.finish_input();
+        }
+        let emitted_from = self.ops.len();
+        self.scheduler.run_rounds(&mut self.ops);
+        self.t_move += t2.elapsed();
+
+        self.accumulate(emitted_from);
+        self.buffer.reset(self.n_qubits);
+        if !self.ops.is_empty() {
+            sink.emit(&self.ops);
+            self.increments += 1;
+            self.ops.clear();
+        }
+    }
+
+    /// Folds the ops appended since `from` into the report accumulators
+    /// (the same fold `TiltProgram`'s count/distance methods apply to the
+    /// finished op stream).
+    fn accumulate(&mut self, from: usize) {
+        for op in &self.ops[from..] {
+            match *op {
+                TiltOp::Move { to } => {
+                    if let Some(p) = self.last_head {
+                        self.move_distance_ions += p.abs_diff(to);
+                    }
+                    self.last_head = Some(to);
+                    self.move_count += 1;
+                }
+                TiltOp::Gate { gate, head_pos } => {
+                    if self.last_head.is_none() {
+                        self.last_head = Some(head_pos);
+                    }
+                    self.native_gate_count += 1;
+                    if gate.is_two_qubit() {
+                        self.native_two_qubit_count += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Compiler {
+    /// Streaming counterpart of [`Compiler::compile`]: pulls gates off
+    /// `gates`, compiles in `window`-gate increments, and emits scheduled
+    /// ops through `sink`. The concatenated increments equal the
+    /// monolithic program's op stream exactly.
+    ///
+    /// # Errors
+    ///
+    /// As [`StreamingCompiler::new`] and [`StreamingCompiler::push`].
+    pub fn compile_stream<I>(
+        &self,
+        n_qubits: usize,
+        gates: I,
+        window: usize,
+        sink: &mut dyn ProgramSink,
+    ) -> Result<StreamSummary, CompileError>
+    where
+        I: IntoIterator<Item = Gate>,
+    {
+        let mut session = StreamingCompiler::new(self, n_qubits, window)?;
+        for g in gates {
+            session.push(g, sink)?;
+        }
+        Ok(session.finish(sink))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::InitialMapping;
+    use crate::route::{LinqConfig, RouterKind, StochasticConfig};
+    use crate::schedule::SchedulerKind;
+    use tilt_circuit::Qubit;
+
+    fn xorshift(s: &mut u64) -> u64 {
+        *s ^= *s << 13;
+        *s ^= *s >> 7;
+        *s ^= *s << 17;
+        *s
+    }
+
+    /// Random program-level workload (pre-decomposition gate set).
+    fn workload(n: usize, len: usize, seed: u64) -> Circuit {
+        let mut c = Circuit::new(n);
+        let mut s = seed;
+        for _ in 0..len {
+            let q = |s: &mut u64| Qubit((xorshift(s) as usize) % n);
+            match xorshift(&mut s) % 12 {
+                0 => {
+                    c.barrier();
+                }
+                1 => {
+                    c.h(q(&mut s));
+                }
+                2 => {
+                    c.t(q(&mut s));
+                }
+                3 => {
+                    let a = q(&mut s);
+                    c.measure(a).reset_qubit(a);
+                }
+                4 | 5 => {
+                    let (a, b) = distinct(n, &mut s);
+                    c.cphase(a, b, 0.3);
+                }
+                _ => {
+                    let (a, b) = distinct(n, &mut s);
+                    c.cnot(a, b);
+                }
+            }
+        }
+        c
+    }
+
+    fn distinct(n: usize, s: &mut u64) -> (Qubit, Qubit) {
+        let a = (xorshift(s) as usize) % n;
+        let mut b = (xorshift(s) as usize) % n;
+        if a == b {
+            b = (b + 1) % n;
+        }
+        (Qubit(a), Qubit(b))
+    }
+
+    fn configs() -> Vec<Compiler> {
+        let spec = DeviceSpec::new(24, 6).unwrap();
+        let mut linq_capped = Compiler::new(spec);
+        linq_capped.router(RouterKind::Linq(LinqConfig::with_max_swap_len(3)));
+        let mut stochastic = Compiler::new(spec);
+        stochastic.router(RouterKind::Stochastic(StochasticConfig::default()));
+        let mut naive = Compiler::new(spec);
+        naive.scheduler(SchedulerKind::NaiveNextGate);
+        let mut discounted = Compiler::new(spec);
+        discounted.scheduler(SchedulerKind::DistanceDiscounted {
+            penalty_permille: 250,
+        });
+        let mut reverse = Compiler::new(spec);
+        reverse.initial_mapping(InitialMapping::Reverse);
+        let mut random = Compiler::new(spec);
+        random.initial_mapping(InitialMapping::Random(13));
+        vec![
+            Compiler::new(spec),
+            linq_capped,
+            stochastic,
+            naive,
+            discounted,
+            reverse,
+            random,
+        ]
+    }
+
+    #[test]
+    fn streamed_compile_matches_monolithic_across_windows() {
+        let c = workload(24, 400, 0xA11CE);
+        for compiler in configs() {
+            let mono = compiler.compile(&c).unwrap();
+            for window in [1usize, 64, 1024, usize::MAX] {
+                let mut sink = CollectSink::default();
+                let summary = compiler
+                    .compile_stream(c.n_qubits(), c.gates().iter().copied(), window, &mut sink)
+                    .unwrap();
+                assert_eq!(sink.ops, mono.program.ops(), "window {window}");
+                assert_eq!(summary.final_mapping, mono.routed.final_mapping);
+                assert_eq!(summary.initial_mapping, mono.routed.initial_mapping);
+                let (sr, mr) = (&summary.report, &mono.report);
+                assert_eq!(sr.swap_count, mr.swap_count);
+                assert_eq!(sr.opposing_swap_count, mr.opposing_swap_count);
+                assert_eq!(sr.move_count, mr.move_count);
+                assert_eq!(sr.move_distance_ions, mr.move_distance_ions);
+                assert_eq!(sr.native_gate_count, mr.native_gate_count);
+                assert_eq!(sr.native_two_qubit_count, mr.native_two_qubit_count);
+                assert!(summary.increments >= 1);
+                assert_eq!(summary.input_gate_count, c.len());
+            }
+        }
+    }
+
+    #[test]
+    fn interaction_chain_mapping_is_rejected() {
+        let spec = DeviceSpec::new(8, 4).unwrap();
+        let mut compiler = Compiler::new(spec);
+        compiler.initial_mapping(InitialMapping::InteractionChain);
+        let err = StreamingCompiler::new(&compiler, 8, 64).err().unwrap();
+        assert!(matches!(err, CompileError::StreamingUnsupported { .. }));
+    }
+
+    #[test]
+    fn invalid_gate_reports_global_index() {
+        let spec = DeviceSpec::new(8, 4).unwrap();
+        let compiler = Compiler::new(spec);
+        let mut session = StreamingCompiler::new(&compiler, 8, 4).unwrap();
+        let mut sink = CollectSink::default();
+        for i in 0..10 {
+            session
+                .push(Gate::Rx(Qubit(i % 8), 0.5), &mut sink)
+                .unwrap();
+        }
+        let err = session
+            .push(Gate::Rz(Qubit(0), f64::NAN), &mut sink)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CompileError::InvalidCircuit(tilt_circuit::ValidateCircuitError::NonFiniteAngle {
+                gate_index: 10
+            })
+        ));
+    }
+
+    #[test]
+    fn too_wide_stream_is_rejected() {
+        let spec = DeviceSpec::new(8, 4).unwrap();
+        let compiler = Compiler::new(spec);
+        let err = StreamingCompiler::new(&compiler, 9, 64).err().unwrap();
+        assert!(matches!(err, CompileError::CircuitTooWide { .. }));
+    }
+
+    #[test]
+    fn empty_stream_compiles_to_empty_program() {
+        let spec = DeviceSpec::new(8, 4).unwrap();
+        let compiler = Compiler::new(spec);
+        let mut sink = CollectSink::default();
+        let summary = compiler
+            .compile_stream(8, std::iter::empty(), 64, &mut sink)
+            .unwrap();
+        assert!(sink.ops.is_empty());
+        assert_eq!(summary.increments, 0);
+        assert_eq!(summary.report.native_gate_count, 0);
+    }
+}

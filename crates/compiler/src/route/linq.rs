@@ -147,6 +147,15 @@ impl LinqPolicy {
         }
     }
 
+    /// Forgets the cached look-ahead window; the next decision rebuilds
+    /// it from scratch. The streaming router periodically rebases its
+    /// pending list (dropping the already-routed prefix), which shifts
+    /// the cursor coordinate the cache is keyed on — the rebuilt weights
+    /// are identical, so decisions are unaffected.
+    pub(crate) fn invalidate_window(&mut self) {
+        self.cached_cursor = usize::MAX;
+    }
+
     /// Rebuilds the per-window weight cache when the routing cursor has
     /// moved since the last decision.
     fn refresh_window(&mut self, state: &RouteState<'_>) {

@@ -24,6 +24,7 @@
 pub mod exact;
 pub mod linq;
 pub mod stochastic;
+pub(crate) mod streaming;
 
 use crate::error::CompileError;
 use crate::mapping::Mapping;

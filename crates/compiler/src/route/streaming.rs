@@ -1,0 +1,383 @@
+//! Incremental swap insertion for the streaming pipeline.
+//!
+//! [`StreamRouter`] replays [`route_with_policy`]'s per-gate loop over a
+//! gate stream instead of a materialized circuit, holding only a bounded
+//! suffix of the two-qubit skeleton in memory. Decision identity with the
+//! monolithic router rests on one observation: every policy decision and
+//! the opposing-swap classifier inspect the pending list only inside
+//! `[cursor, cursor + K)` with `K = max(lookahead, OPPOSING_HORIZON)` —
+//! so a two-qubit gate is routed only once `K` pending gates beyond it
+//! have been ingested (or the stream ended), at which point every
+//! `min(len, cursor + K)` the scorers compute equals the monolithic
+//! value.
+//!
+//! The already-routed prefix of the pending list is dropped in chunks
+//! ([`PRUNE_CHUNK`]); indices are rebased to local coordinates and the
+//! LinQ weight cache (keyed on the cursor coordinate) is invalidated,
+//! which rebuilds identical weights and leaves decisions unchanged.
+
+use std::collections::VecDeque;
+
+use super::{is_opposing, linq, stochastic, PendingGate, PendingIndex, RouteState};
+use super::{RouterKind, SwapPolicy, OPPOSING_HORIZON};
+use crate::error::CompileError;
+use crate::mapping::Mapping;
+use crate::spec::DeviceSpec;
+use tilt_circuit::{Gate, Qubit};
+
+/// Routed-prefix length at which the pending list is rebased.
+const PRUNE_CHUNK: usize = 4096;
+
+/// The policy instance carried across windows.
+enum StreamPolicy {
+    Linq(linq::LinqPolicy),
+    Stochastic(stochastic::StochasticPolicy),
+}
+
+/// Incremental counterpart of [`route_with_policy`]: push native gates,
+/// drain routed (physical-coordinate) gates, identical output.
+pub(crate) struct StreamRouter {
+    spec: DeviceSpec,
+    policy: StreamPolicy,
+    /// Pending gates required beyond the cursor before a decision is
+    /// arithmetic-identical to the monolithic router's.
+    ahead: usize,
+    /// Two-qubit skeleton layering state (incremental `pending_gates`).
+    level: Vec<usize>,
+    level_peak: usize,
+    barrier_level: usize,
+    /// Pending two-qubit gates in **local** coordinates: entry `i` is
+    /// skeleton gate `base + i`.
+    pending: Vec<PendingGate>,
+    index: PendingIndex,
+    base: usize,
+    /// Local index of the skeleton gate currently being resolved.
+    cursor: usize,
+    /// Native gates ingested but not yet routed (head blocks on the
+    /// ingest-ahead requirement; everything behind it waits in order).
+    queue: VecDeque<Gate>,
+    mapping: Mapping,
+    eof: bool,
+    swap_count: usize,
+    opposing_swap_count: usize,
+    /// Routed output awaiting collection by the caller.
+    out: Vec<Gate>,
+}
+
+impl StreamRouter {
+    /// Creates a streaming router for `kind` starting from `initial`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::InvalidRouterConfig`] exactly when
+    /// [`RouterKind::validate`] does.
+    pub(crate) fn new(
+        kind: &RouterKind,
+        spec: DeviceSpec,
+        initial: Mapping,
+    ) -> Result<Self, CompileError> {
+        kind.validate(spec)?;
+        let (policy, ahead) = match kind {
+            RouterKind::Linq(cfg) => (
+                StreamPolicy::Linq(linq::LinqPolicy::new(*cfg, spec)),
+                cfg.lookahead.max(OPPOSING_HORIZON),
+            ),
+            RouterKind::Stochastic(cfg) => (
+                StreamPolicy::Stochastic(stochastic::StochasticPolicy::new(*cfg)),
+                OPPOSING_HORIZON,
+            ),
+        };
+        Ok(StreamRouter {
+            spec,
+            policy,
+            ahead,
+            level: vec![0; spec.n_ions()],
+            level_peak: 0,
+            barrier_level: 0,
+            pending: Vec::new(),
+            index: PendingIndex::build(&[], spec.n_ions()),
+            base: 0,
+            cursor: 0,
+            queue: VecDeque::new(),
+            mapping: initial,
+            eof: false,
+            swap_count: 0,
+            opposing_swap_count: 0,
+            out: Vec::new(),
+        })
+    }
+
+    /// Ingests the next native gate (program order) and routes as much of
+    /// the queue as the ingest-ahead requirement allows.
+    pub(crate) fn push(&mut self, g: Gate) {
+        debug_assert!(!self.eof, "push after finish_input");
+        if matches!(g, Gate::Barrier) {
+            // Levels never decrease, so the running peak equals the
+            // monolithic per-barrier max scan.
+            self.barrier_level = self.level_peak;
+        } else if g.is_two_qubit() {
+            let qs = g.qubits();
+            let (a, b) = (qs[0], qs[1]);
+            let layer = self.level[a.index()]
+                .max(self.level[b.index()])
+                .max(self.barrier_level);
+            self.level[a.index()] = layer + 1;
+            self.level[b.index()] = layer + 1;
+            self.level_peak = self.level_peak.max(layer + 1);
+            let i = u32::try_from(self.pending.len()).expect("pending window fits u32");
+            self.index.per_qubit[a.index()].push(i);
+            self.index.per_qubit[b.index()].push(i);
+            self.pending.push(PendingGate { a, b, layer });
+        }
+        self.queue.push_back(g);
+        self.drain();
+    }
+
+    /// Declares end of input: the remaining queue routes unconditionally
+    /// (truncated windows now match the monolithic end-of-circuit ones).
+    pub(crate) fn finish_input(&mut self) {
+        self.eof = true;
+        self.drain();
+        debug_assert!(self.queue.is_empty());
+    }
+
+    /// Routed gates produced since the last call, in program order.
+    pub(crate) fn drain_routed(&mut self) -> std::vec::Drain<'_, Gate> {
+        self.out.drain(..)
+    }
+
+    /// Number of inserted SWAP gates so far.
+    pub(crate) fn swap_count(&self) -> usize {
+        self.swap_count
+    }
+
+    /// Number of opposing swaps so far (Fig. 2c).
+    pub(crate) fn opposing_swap_count(&self) -> usize {
+        self.opposing_swap_count
+    }
+
+    /// The current (after `finish_input`: final) mapping.
+    pub(crate) fn mapping(&self) -> &Mapping {
+        &self.mapping
+    }
+
+    /// Pending skeleton gates currently held (memory-bound diagnostics).
+    #[cfg(test)]
+    fn window_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn drain(&mut self) {
+        while let Some(&g) = self.queue.front() {
+            if g.is_two_qubit() {
+                if !self.eof && self.pending.len() < self.cursor + self.ahead {
+                    break;
+                }
+                let qs = g.qubits();
+                while self.mapping.distance(qs[0], qs[1]) >= self.spec.head_size() {
+                    let state = RouteState {
+                        spec: self.spec,
+                        mapping: &self.mapping,
+                        pending: &self.pending,
+                        index: &self.index,
+                        cursor: self.cursor,
+                    };
+                    let (pa, pb) = match &mut self.policy {
+                        StreamPolicy::Linq(p) => p.choose_swap(&state),
+                        StreamPolicy::Stochastic(p) => p.choose_swap(&state),
+                    };
+                    debug_assert!(pa != pb && pa.abs_diff(pb) < self.spec.head_size());
+                    if is_opposing(
+                        &self.mapping,
+                        &self.pending,
+                        &self.index,
+                        self.cursor,
+                        pa,
+                        pb,
+                    ) {
+                        self.opposing_swap_count += 1;
+                    }
+                    self.out
+                        .push(Gate::Swap(Qubit(pa.min(pb)), Qubit(pa.max(pb))));
+                    self.mapping.swap_positions(pa, pb);
+                    self.swap_count += 1;
+                }
+                self.out
+                    .push(g.map_qubits(|q| Qubit(self.mapping.position_of(q))));
+                self.cursor += 1;
+            } else {
+                self.out
+                    .push(g.map_qubits(|q| Qubit(self.mapping.position_of(q))));
+            }
+            self.queue.pop_front();
+        }
+        if self.cursor >= PRUNE_CHUNK {
+            self.rebase();
+        }
+    }
+
+    /// Drops the routed prefix `[0, cursor)` of the pending list and
+    /// rebases all indices to the new origin.
+    fn rebase(&mut self) {
+        let k = self.cursor;
+        self.pending.drain(..k);
+        self.base += k;
+        self.cursor = 0;
+        let cut = u32::try_from(k).expect("prune chunk fits u32");
+        for list in &mut self.index.per_qubit {
+            let split = list.partition_point(|&i| i < cut);
+            list.drain(..split);
+            for i in list.iter_mut() {
+                *i -= cut;
+            }
+        }
+        if let StreamPolicy::Linq(p) = &mut self.policy {
+            p.invalidate_window();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::InitialMapping;
+    use crate::route::{LinqConfig, RouteOutcome, StochasticConfig};
+    use tilt_circuit::Circuit;
+
+    fn xorshift(s: &mut u64) -> u64 {
+        *s ^= *s << 13;
+        *s ^= *s >> 7;
+        *s ^= *s << 17;
+        *s
+    }
+
+    /// Random native-granularity workload: far XX pairs, rotations,
+    /// occasional barriers.
+    fn workload(n: usize, len: usize, seed: u64) -> Circuit {
+        let mut c = Circuit::new(n);
+        let mut s = seed;
+        for _ in 0..len {
+            match xorshift(&mut s) % 10 {
+                0 => {
+                    c.barrier();
+                }
+                1..=3 => {
+                    let q = Qubit((xorshift(&mut s) as usize) % n);
+                    c.rz(q, 0.25);
+                }
+                _ => {
+                    let a = (xorshift(&mut s) as usize) % n;
+                    let mut b = (xorshift(&mut s) as usize) % n;
+                    if a == b {
+                        b = (b + 1) % n;
+                    }
+                    c.xx(Qubit(a), Qubit(b), 0.5);
+                }
+            }
+        }
+        c
+    }
+
+    fn kinds() -> Vec<RouterKind> {
+        vec![
+            RouterKind::Linq(LinqConfig::default()),
+            RouterKind::Linq(LinqConfig {
+                incremental: false,
+                ..LinqConfig::default()
+            }),
+            RouterKind::Linq(LinqConfig {
+                max_swap_len: Some(3),
+                lookahead: 17,
+                ..LinqConfig::default()
+            }),
+            RouterKind::Stochastic(StochasticConfig::default()),
+        ]
+    }
+
+    fn stream_route(kind: &RouterKind, c: &Circuit, spec: DeviceSpec) -> (Vec<Gate>, RouteOutcome) {
+        let initial = InitialMapping::Identity.build(c, spec.n_ions());
+        let mono = kind.route(c, spec, &initial).unwrap();
+        let mut sr = StreamRouter::new(kind, spec, initial).unwrap();
+        let mut got = Vec::new();
+        for g in c {
+            sr.push(*g);
+            got.extend(sr.drain_routed());
+        }
+        sr.finish_input();
+        got.extend(sr.drain_routed());
+        assert_eq!(sr.swap_count(), mono.swap_count, "{kind:?}");
+        assert_eq!(
+            sr.opposing_swap_count(),
+            mono.opposing_swap_count,
+            "{kind:?}"
+        );
+        assert_eq!(sr.mapping(), &mono.final_mapping, "{kind:?}");
+        (got, mono)
+    }
+
+    #[test]
+    fn streamed_route_matches_monolithic() {
+        for (n, head, len, seed) in [(16usize, 4usize, 300usize, 7u64), (32, 8, 800, 41)] {
+            let spec = DeviceSpec::new(n, head).unwrap();
+            let c = workload(n, len, seed);
+            for kind in kinds() {
+                let (got, mono) = stream_route(&kind, &c, spec);
+                assert_eq!(got, mono.circuit.gates(), "{kind:?} n={n} head={head}");
+            }
+        }
+    }
+
+    #[test]
+    fn rebase_crossing_matches_monolithic_and_stays_bounded() {
+        // Enough two-qubit gates to cross PRUNE_CHUNK several times.
+        let n = 24;
+        let spec = DeviceSpec::new(n, 6).unwrap();
+        let mut c = Circuit::new(n);
+        let mut s = 0xFEED_u64;
+        for _ in 0..(PRUNE_CHUNK * 2 + 500) {
+            let a = (xorshift(&mut s) as usize) % n;
+            let mut b = (xorshift(&mut s) as usize) % n;
+            if a == b {
+                b = (b + 1) % n;
+            }
+            c.xx(Qubit(a), Qubit(b), 0.5);
+        }
+        let kind = RouterKind::Linq(LinqConfig::default());
+        let initial = InitialMapping::Identity.build(&c, n);
+        let mono = kind.route(&c, spec, &initial).unwrap();
+        let mut sr = StreamRouter::new(&kind, spec, initial).unwrap();
+        let mut got = Vec::new();
+        let mut peak_window = 0usize;
+        for g in &c {
+            sr.push(*g);
+            peak_window = peak_window.max(sr.window_len());
+            got.extend(sr.drain_routed());
+        }
+        sr.finish_input();
+        got.extend(sr.drain_routed());
+        assert_eq!(got, mono.circuit.gates());
+        assert_eq!(sr.swap_count(), mono.swap_count);
+        assert_eq!(sr.mapping(), &mono.final_mapping);
+        // The pending window never holds more than one prune chunk plus
+        // the ingest-ahead margin.
+        assert!(
+            peak_window <= PRUNE_CHUNK + 2 * OPPOSING_HORIZON,
+            "window grew to {peak_window}"
+        );
+    }
+
+    #[test]
+    fn barriers_and_measurements_pass_through_in_order() {
+        let n = 12;
+        let spec = DeviceSpec::new(n, 4).unwrap();
+        let mut c = Circuit::new(n);
+        c.xx(Qubit(0), Qubit(11), 0.5);
+        c.barrier();
+        c.measure(Qubit(0)).reset_qubit(Qubit(0));
+        c.xx(Qubit(0), Qubit(1), 0.25);
+        for kind in kinds() {
+            let (got, mono) = stream_route(&kind, &c, spec);
+            assert_eq!(got, mono.circuit.gates(), "{kind:?}");
+        }
+    }
+}

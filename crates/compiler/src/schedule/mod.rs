@@ -27,6 +27,9 @@
 //! `LinqConfig` knob.
 
 mod incremental;
+mod streaming;
+
+pub(crate) use streaming::StreamScheduler;
 
 use crate::program::{TiltOp, TiltProgram};
 use crate::spec::DeviceSpec;
@@ -61,7 +64,7 @@ impl SchedulerKind {
     /// The travel penalty (permille of one executable gate per ion
     /// spacing) the Eq. 2 scorers apply; `None` for policies that do
     /// not score positions.
-    fn penalty_permille(&self) -> Option<i64> {
+    pub(crate) fn penalty_permille(&self) -> Option<i64> {
         match *self {
             SchedulerKind::GreedyMaxExecutable => Some(0),
             SchedulerKind::DistanceDiscounted { penalty_permille } => Some(penalty_permille as i64),
@@ -88,7 +91,22 @@ pub struct ScheduleConfig {
     /// rescores every dirty position (the PR-3 engine, retained as the
     /// pruning baseline). Ignored when `incremental` is `false`.
     pub pruned: bool,
+    /// Eligibility horizon: each scheduling round only considers gates
+    /// whose index lies below `min(floor + horizon, n)`, where `floor`
+    /// is the smallest incomplete gate index. Circuits shorter than the
+    /// horizon are unaffected (the bound never binds and the monolithic
+    /// engines run unchanged); longer circuits are scheduled by the
+    /// bounded-memory streaming engine so that one-shot compiles agree
+    /// byte for byte with the windowed `pipeline::streaming` path,
+    /// whose working set is O(horizon) rather than O(circuit).
+    pub horizon: usize,
 }
+
+/// The default eligibility horizon ([`ScheduleConfig::horizon`]):
+/// generous enough that every realistic in-memory circuit schedules on
+/// the unbounded engines, small enough that million-gate streams keep
+/// a bounded working set.
+pub const DEFAULT_HORIZON: usize = 1 << 17;
 
 impl Default for ScheduleConfig {
     fn default() -> Self {
@@ -103,6 +121,7 @@ impl ScheduleConfig {
             kind,
             incremental: true,
             pruned: true,
+            horizon: DEFAULT_HORIZON,
         }
     }
 
@@ -113,6 +132,7 @@ impl ScheduleConfig {
             kind,
             incremental: true,
             pruned: false,
+            horizon: DEFAULT_HORIZON,
         }
     }
 
@@ -123,7 +143,15 @@ impl ScheduleConfig {
             kind,
             incremental: false,
             pruned: false,
+            horizon: DEFAULT_HORIZON,
         }
+    }
+
+    /// Overrides the eligibility horizon (clamped to at least 1).
+    #[must_use]
+    pub fn with_horizon(mut self, horizon: usize) -> Self {
+        self.horizon = horizon.max(1);
+        self
     }
 }
 
@@ -174,6 +202,19 @@ pub fn schedule_with(physical: &Circuit, spec: DeviceSpec, config: ScheduleConfi
                 spec.head_size()
             );
         }
+    }
+    let horizon = config.horizon.max(1);
+    if horizon < physical.len() {
+        // The eligibility horizon binds: schedule on the bounded-window
+        // engines so the result matches the streaming pipeline exactly.
+        // The rescan config keeps its role as the reference engine via
+        // the horizon-capped seed loop.
+        return match config.kind.penalty_permille() {
+            Some(_) if config.incremental => {
+                streaming::schedule_stream_monolithic(physical, spec, config.kind, horizon)
+            }
+            _ => streaming::schedule_rescan_capped(physical, spec, config.kind, horizon),
+        };
     }
     match config.kind.penalty_permille() {
         Some(penalty) if config.incremental && config.pruned => {

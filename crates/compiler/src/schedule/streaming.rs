@@ -1,0 +1,1007 @@
+//! The horizon-bounded streaming Algorithm-2 engine.
+//!
+//! The incremental engines in [`super::incremental`] hold the whole
+//! physical circuit, its dependency DAG, and the finished op list in
+//! memory — O(circuit) at every stage. This module bounds the
+//! scheduler's working set to O(horizon): [`StreamScheduler`] ingests
+//! gates one at a time, maintains the dependency frontier with inline
+//! per-gate edge lists instead of a CSR DAG, and retires a compacted
+//! prefix as gates complete, so a million-gate stream schedules in a
+//! fixed-size window.
+//!
+//! # Eligibility horizon
+//!
+//! Algorithm 2's cascade score can, in principle, chain through the
+//! entire remaining circuit (a long run of gates on one zone), so exact
+//! agreement with the *unbounded* engines fundamentally requires whole-
+//! circuit lookahead. The streaming engine therefore schedules under an
+//! **eligibility horizon** `H` ([`super::ScheduleConfig::horizon`]):
+//! each round only the gates with index below
+//!
+//! ```text
+//! E = min(floor + H, n)        floor = smallest incomplete gate index
+//! ```
+//!
+//! participate — in argmax scoring, in the cascade walk, and in the
+//! drain (E is frozen for the round; gates unlocked past it wait for
+//! the next round). The gate at `floor` has all predecessors below
+//! `floor`, hence complete, so it is always ready and always eligible
+//! (`floor < E` whenever work remains): every round makes progress and
+//! the bound never deadlocks.
+//!
+//! Sub-horizon circuits never bind `E`, and [`super::schedule_with`]
+//! routes them to the unchanged monolithic engines; this module is
+//! decision-identical to them in that regime (pinned by the in-crate
+//! equivalence tests). When the horizon binds, the monolithic entry
+//! points below ([`schedule_stream_monolithic`],
+//! [`schedule_rescan_capped`]) apply the *same* capped rule, so the
+//! windowed pipeline and a one-shot compile of the same circuit still
+//! agree byte for byte.
+//!
+//! # Incremental dependency tracking
+//!
+//! `Dag::new` needs the whole circuit; the streaming tracker rebuilds
+//! its exact edge structure on the fly. For a non-barrier gate the
+//! predecessors are the distinct last writers of its operands since the
+//! previous barrier (falling back to that barrier when none exist); a
+//! barrier depends on every non-barrier gate since the previous one
+//! (falling back to barrier-chaining over an empty span). A non-barrier
+//! gate therefore has at most two qubit-successors plus its closing
+//! barrier — three inline slots — while barriers keep a spill list.
+//! Only predecessors still incomplete at push time create edges; the
+//! residual `pending` count is exactly `ReadyTracker::pending_preds`,
+//! so the cascade scorer and the pruned-argmax bound carry over
+//! unchanged from the monolithic engine.
+
+use super::SchedulerKind;
+use crate::program::{TiltOp, TiltProgram};
+use crate::spec::DeviceSpec;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use tilt_circuit::{Circuit, Dag, Gate, ReadyTracker};
+
+/// Sentinel for "no gate" in the per-qubit last-writer table.
+const NO_GATE: u32 = u32::MAX;
+
+/// One ingested gate plus its frontier bookkeeping.
+struct GateRec {
+    gate: Gate,
+    /// Contiguous covering-position range (barriers span everything).
+    lo: u32,
+    hi: u32,
+    /// Distinct incomplete predecessors remaining (the residual
+    /// in-degree `ReadyTracker::pending_preds` would report).
+    pending: u32,
+    done: bool,
+    /// Forward edges: ≤ 2 qubit-successors + the closing barrier.
+    /// Barriers overflow into [`StreamScheduler::barrier_succs`].
+    succs: [u32; 3],
+    n_succs: u8,
+    /// Non-barrier predecessors incomplete at push time, for the dirty-
+    /// range narrowing walk (a barrier predecessor covers every
+    /// position, so the intersection it contributes is a no-op and it
+    /// is not stored).
+    preds: [u32; 2],
+    n_preds: u8,
+}
+
+impl GateRec {
+    fn covers(&self, pos: usize) -> bool {
+        self.lo as usize <= pos && pos <= self.hi as usize
+    }
+}
+
+/// The bounded-memory scheduler: push gates, drain [`TiltOp`]s.
+///
+/// Decision-identical to the monolithic engines whenever the horizon
+/// does not bind, and to [`schedule_rescan_capped`] when it does.
+pub(crate) struct StreamScheduler {
+    spec: DeviceSpec,
+    /// `Some(penalty)` for the Eq. 2 scorers, `None` for NaiveNextGate.
+    penalty: Option<i64>,
+    horizon: usize,
+    n_positions: usize,
+
+    /// Global index of `recs[0]`; everything below is retired.
+    base: usize,
+    recs: Vec<GateRec>,
+    /// Spilled successor lists for barriers (keyed by global index).
+    barrier_succs: HashMap<usize, Vec<u32>>,
+    /// Gates ingested so far.
+    total: usize,
+    eof: bool,
+    /// Smallest incomplete gate index (advanced lazily).
+    floor: usize,
+    /// Gates below this global index are activated (eligible).
+    active_end: usize,
+    n_done: usize,
+
+    // --- ingest-side dependency state --------------------------------
+    /// Last gate touching each qubit since the previous barrier.
+    last_on: Vec<u32>,
+    /// First gate index after the previous barrier.
+    span_start: usize,
+    last_barrier: Option<usize>,
+
+    // --- per-position scoring state (Eq. 2 engines only) -------------
+    /// Incomplete, *active*, non-barrier gates covering each position —
+    /// the monotone score ceiling of the pruned argmax.
+    cover: Vec<u32>,
+    counts: Vec<u32>,
+    dirty: Vec<bool>,
+    ready_at: Vec<Vec<u32>>,
+    candidates: Vec<(i64, u32)>,
+
+    // --- cascade scratch (aligned with `recs`) -----------------------
+    need: Vec<u32>,
+    need_epoch: Vec<u32>,
+    epoch: u32,
+    succ_epoch: Vec<u32>,
+    succ_epoch_counter: u32,
+    stack: Vec<usize>,
+    heap: BinaryHeap<Reverse<usize>>,
+    executed: Vec<usize>,
+
+    head: Option<usize>,
+}
+
+impl StreamScheduler {
+    pub(crate) fn new(spec: DeviceSpec, kind: SchedulerKind, horizon: usize) -> Self {
+        let n_positions = spec.n_head_positions();
+        StreamScheduler {
+            spec,
+            penalty: kind.penalty_permille(),
+            horizon: horizon.max(1),
+            n_positions,
+            base: 0,
+            recs: Vec::new(),
+            barrier_succs: HashMap::new(),
+            total: 0,
+            eof: false,
+            floor: 0,
+            active_end: 0,
+            n_done: 0,
+            last_on: vec![NO_GATE; spec.n_ions()],
+            span_start: 0,
+            last_barrier: None,
+            cover: vec![0; n_positions],
+            counts: vec![0; n_positions],
+            dirty: vec![false; n_positions],
+            ready_at: vec![Vec::new(); n_positions],
+            candidates: Vec::new(),
+            need: Vec::new(),
+            need_epoch: Vec::new(),
+            epoch: 0,
+            succ_epoch: Vec::new(),
+            succ_epoch_counter: 0,
+            stack: Vec::new(),
+            heap: BinaryHeap::new(),
+            executed: Vec::new(),
+            head: None,
+        }
+    }
+
+    fn done_at(&self, idx: usize) -> bool {
+        idx < self.base || self.recs[idx - self.base].done
+    }
+
+    /// Ingests the next gate of the physical stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrouted two-qubit gate (same contract as
+    /// [`super::schedule`]).
+    pub(crate) fn push(&mut self, g: Gate) {
+        let idx = self.total;
+        assert!(idx < NO_GATE as usize, "gate stream exceeds u32 indexing");
+        self.total += 1;
+        if let Some(d) = g.span() {
+            assert!(
+                d < self.spec.head_size(),
+                "unrouted gate {g:?} spans {d} ≥ head size {}",
+                self.spec.head_size()
+            );
+        }
+        let (lo, hi) = match self
+            .spec
+            .covering_head_positions(g.operands().iter().map(|q| q.index()))
+        {
+            Some(r) => (*r.start() as u32, *r.end() as u32),
+            None => (0, (self.n_positions - 1) as u32),
+        };
+        let mut rec = GateRec {
+            gate: g,
+            lo,
+            hi,
+            pending: 0,
+            done: false,
+            succs: [0; 3],
+            n_succs: 0,
+            preds: [0; 2],
+            n_preds: 0,
+        };
+
+        if matches!(g, Gate::Barrier) {
+            // Every incomplete gate of the closing span becomes a
+            // predecessor; already-retired span gates need no edge (the
+            // residual count never included them).
+            let mut pending = 0u32;
+            for p in self.span_start.max(self.base)..idx {
+                let slot = p - self.base;
+                if self.recs[slot].done || matches!(self.recs[slot].gate, Gate::Barrier) {
+                    continue;
+                }
+                pending += 1;
+                let r = &mut self.recs[slot];
+                debug_assert!((r.n_succs as usize) < 3);
+                r.succs[r.n_succs as usize] = idx as u32;
+                r.n_succs += 1;
+            }
+            if pending == 0 {
+                if let Some(lb) = self.last_barrier {
+                    if !self.done_at(lb) {
+                        pending = 1;
+                        self.barrier_succs.entry(lb).or_default().push(idx as u32);
+                    }
+                }
+            }
+            rec.pending = pending;
+            self.last_barrier = Some(idx);
+            self.span_start = idx + 1;
+            self.last_on.fill(NO_GATE);
+        } else {
+            let ops = g.operands();
+            let mut pred_set = [0u32; 2];
+            let mut n_distinct = 0usize;
+            for q in ops.iter() {
+                let p = self.last_on[q.index()];
+                if p != NO_GATE && !pred_set[..n_distinct].contains(&p) {
+                    pred_set[n_distinct] = p;
+                    n_distinct += 1;
+                }
+            }
+            if n_distinct == 0 {
+                // No writer since the fence: depend on the fence itself.
+                if let Some(lb) = self.last_barrier {
+                    if !self.done_at(lb) {
+                        rec.pending = 1;
+                        self.barrier_succs.entry(lb).or_default().push(idx as u32);
+                    }
+                }
+            } else {
+                for &p in &pred_set[..n_distinct] {
+                    if self.done_at(p as usize) {
+                        continue;
+                    }
+                    rec.pending += 1;
+                    rec.preds[rec.n_preds as usize] = p;
+                    rec.n_preds += 1;
+                    let r = &mut self.recs[p as usize - self.base];
+                    debug_assert!((r.n_succs as usize) < 3);
+                    r.succs[r.n_succs as usize] = idx as u32;
+                    r.n_succs += 1;
+                }
+            }
+            for q in ops.iter() {
+                self.last_on[q.index()] = idx as u32;
+            }
+        }
+
+        self.recs.push(rec);
+        self.need.push(0);
+        self.need_epoch.push(0);
+        self.succ_epoch.push(0);
+    }
+
+    /// Marks the input stream exhausted; subsequent
+    /// [`StreamScheduler::run_rounds`] calls drain to completion.
+    pub(crate) fn finish_input(&mut self) {
+        self.eof = true;
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        self.eof && self.n_done == self.total
+    }
+
+    /// Runs scheduling rounds while legal — i.e. while the retained
+    /// stream reaches the eligibility bound (`total ≥ floor + H`) or
+    /// the input is exhausted — appending emitted ops to `ops`.
+    pub(crate) fn run_rounds(&mut self, ops: &mut Vec<TiltOp>) {
+        loop {
+            while self.floor < self.total && self.done_at(self.floor) {
+                self.floor += 1;
+            }
+            if self.floor == self.total {
+                break;
+            }
+            if !self.eof && self.total < self.floor + self.horizon {
+                break;
+            }
+            self.round(ops);
+            self.maybe_compact();
+        }
+    }
+
+    /// Activates gates `[active_end, e)`: they join the cover ceiling,
+    /// dirty their ranges (a newly eligible gate can only raise
+    /// scores), and enter the per-position ready lists when already
+    /// unblocked.
+    fn activate(&mut self, e: usize) {
+        for idx in self.active_end..e {
+            let slot = idx - self.base;
+            let rec = &self.recs[slot];
+            debug_assert!(!rec.done);
+            let (lo, hi) = (rec.lo as usize, rec.hi as usize);
+            if self.penalty.is_some() {
+                if !matches!(rec.gate, Gate::Barrier) {
+                    for p in lo..=hi {
+                        self.cover[p] += 1;
+                    }
+                }
+                for p in lo..=hi {
+                    self.dirty[p] = true;
+                }
+            }
+            if rec.pending == 0 {
+                for p in lo..=hi {
+                    self.ready_at[p].push(idx as u32);
+                }
+            }
+        }
+        self.active_end = e;
+    }
+
+    fn round(&mut self, ops: &mut Vec<TiltOp>) {
+        let e = (self.floor + self.horizon).min(self.total);
+        if e > self.active_end {
+            self.activate(e);
+        }
+
+        let pos = match self.penalty {
+            Some(penalty) => match self.best_position(penalty, e) {
+                Some(pos) => pos,
+                // Every eligible ready gate is a barrier (a countable
+                // ready gate would score ≥ 1 somewhere): complete the
+                // barriers without moving and rescore next round.
+                None => {
+                    self.barrier_relief(e);
+                    return;
+                }
+            },
+            // NaiveNextGate: the oldest ready gate is exactly the floor
+            // gate (all its predecessors are below the floor, hence
+            // complete), parked at the leftmost covering position.
+            None => {
+                let rec = &self.recs[self.floor - self.base];
+                debug_assert_eq!(rec.pending, 0);
+                rec.lo as usize
+            }
+        };
+
+        if self.head != Some(pos) {
+            if self.head.is_some() {
+                ops.push(TiltOp::Move { to: pos });
+            }
+            self.head = Some(pos);
+        }
+
+        // Drain the cascade at `pos` in min-index order, with the
+        // eligibility bound frozen for the whole round.
+        self.heap.clear();
+        {
+            let base = self.base;
+            let recs = &self.recs;
+            self.ready_at[pos].retain(|&g| {
+                let g = g as usize;
+                g >= base && !recs[g - base].done
+            });
+        }
+        self.heap
+            .extend(self.ready_at[pos].iter().map(|&g| Reverse(g as usize)));
+        self.executed.clear();
+        while let Some(Reverse(i)) = self.heap.pop() {
+            let slot = i - self.base;
+            debug_assert!(!self.recs[slot].done && self.recs[slot].pending == 0);
+            self.recs[slot].done = true;
+            self.n_done += 1;
+            for k in 0..succ_count(&self.recs[slot], &self.barrier_succs, i) {
+                let s = succ_at(&self.recs[slot], &self.barrier_succs, i, k) as usize;
+                let srec = &mut self.recs[s - self.base];
+                srec.pending -= 1;
+                if srec.pending == 0 && s < e {
+                    let (lo, hi) = (srec.lo as usize, srec.hi as usize);
+                    let covering = srec.covers(pos);
+                    for p in lo..=hi {
+                        self.ready_at[p].push(s as u32);
+                    }
+                    if covering {
+                        self.heap.push(Reverse(s));
+                    }
+                }
+            }
+            self.executed.push(i);
+            let gate = self.recs[slot].gate;
+            if !matches!(gate, Gate::Barrier) {
+                ops.push(TiltOp::Gate {
+                    gate,
+                    head_pos: pos,
+                });
+            }
+        }
+        assert!(
+            !self.executed.is_empty(),
+            "scheduler made no progress at position {pos}; this is a bug"
+        );
+
+        if self.penalty.is_none() {
+            return;
+        }
+        self.mark_dirty_after_round(e);
+    }
+
+    /// When a round's argmax finds no countable gate anywhere, the
+    /// eligible ready set consists solely of barriers (any countable
+    /// ready gate would score at its covering positions). Complete
+    /// them — min-index order, cascading through newly-ready eligible
+    /// barriers — without moving the head or emitting ops; the capped
+    /// rescan reference applies the identical rule.
+    fn barrier_relief(&mut self, e: usize) {
+        // Barriers cover every position, so the ready list at position
+        // 0 holds exactly the eligible ready barriers here.
+        self.heap.clear();
+        {
+            let base = self.base;
+            let recs = &self.recs;
+            self.ready_at[0].retain(|&g| {
+                let g = g as usize;
+                g >= base && !recs[g - base].done
+            });
+        }
+        self.heap
+            .extend(self.ready_at[0].iter().map(|&g| Reverse(g as usize)));
+        self.executed.clear();
+        while let Some(Reverse(i)) = self.heap.pop() {
+            let slot = i - self.base;
+            debug_assert!(matches!(self.recs[slot].gate, Gate::Barrier));
+            self.recs[slot].done = true;
+            self.n_done += 1;
+            for k in 0..succ_count(&self.recs[slot], &self.barrier_succs, i) {
+                let s = succ_at(&self.recs[slot], &self.barrier_succs, i, k) as usize;
+                let srec = &mut self.recs[s - self.base];
+                srec.pending -= 1;
+                if srec.pending == 0 && s < e {
+                    let (lo, hi) = (srec.lo as usize, srec.hi as usize);
+                    let barrier = matches!(srec.gate, Gate::Barrier);
+                    for p in lo..=hi {
+                        self.ready_at[p].push(s as u32);
+                    }
+                    if barrier {
+                        self.heap.push(Reverse(s));
+                    }
+                }
+            }
+            self.executed.push(i);
+        }
+        assert!(
+            !self.executed.is_empty(),
+            "no head position can execute any ready gate; circuit is unroutable"
+        );
+        self.mark_dirty_after_round(e);
+    }
+
+    fn mark_dirty_after_round(&mut self, e: usize) {
+        // Dirty marking: every retired gate's range (with the cover
+        // ceiling decrement), plus each still-eligible successor's
+        // range intersected with its incomplete predecessors' ranges.
+        self.succ_epoch_counter += 1;
+        let executed = std::mem::take(&mut self.executed);
+        for &i in &executed {
+            let slot = i - self.base;
+            let (lo, hi) = (self.recs[slot].lo as usize, self.recs[slot].hi as usize);
+            if !matches!(self.recs[slot].gate, Gate::Barrier) {
+                for p in lo..=hi {
+                    self.cover[p] -= 1;
+                }
+            }
+            for p in lo..=hi {
+                self.dirty[p] = true;
+            }
+            for k in 0..succ_count(&self.recs[slot], &self.barrier_succs, i) {
+                let s = succ_at(&self.recs[slot], &self.barrier_succs, i, k) as usize;
+                if s >= e {
+                    // Not yet eligible: activation will dirty its full
+                    // range when it joins.
+                    continue;
+                }
+                let sslot = s - self.base;
+                if self.succ_epoch[sslot] == self.succ_epoch_counter {
+                    continue;
+                }
+                self.succ_epoch[sslot] = self.succ_epoch_counter;
+                let srec = &self.recs[sslot];
+                let (mut slo, mut shi) = (srec.lo, srec.hi);
+                for &q in &srec.preds[..srec.n_preds as usize] {
+                    if !self.done_at(q as usize) {
+                        let qrec = &self.recs[q as usize - self.base];
+                        slo = slo.max(qrec.lo);
+                        shi = shi.min(qrec.hi);
+                    }
+                }
+                if slo > shi {
+                    continue;
+                }
+                for p in slo as usize..=shi as usize {
+                    self.dirty[p] = true;
+                }
+            }
+        }
+        self.executed = executed;
+    }
+
+    /// The pruned argmax of [`super::incremental`], restricted to the
+    /// active window: clean positions establish the incumbent from
+    /// cached counts, dirty candidates are walked in descending ceiling
+    /// order and rescored exactly while their bound could still win.
+    fn best_position(&mut self, penalty: i64, e: usize) -> Option<usize> {
+        let mut best: Option<(i64, usize, usize)> = None;
+        self.candidates.clear();
+        for pos in 0..self.n_positions {
+            let dist = self.head.map_or(0, |h| h.abs_diff(pos));
+            if self.dirty[pos] {
+                let bound = self.cover[pos] as i64 * 1000 - penalty * dist as i64;
+                self.candidates.push((bound, pos as u32));
+            } else if self.counts[pos] > 0 {
+                let score = self.counts[pos] as i64 * 1000 - penalty * dist as i64;
+                let better = match best {
+                    None => true,
+                    Some((bs, bd, bp)) => score > bs || (score == bs && (dist, pos) < (bd, bp)),
+                };
+                if better {
+                    best = Some((score, dist, pos));
+                }
+            }
+        }
+        let mut candidates = std::mem::take(&mut self.candidates);
+        candidates.sort_unstable_by(|a, b| b.cmp(a));
+        for &(bound, p) in &candidates {
+            if let Some((bs, _, _)) = best {
+                if bound < bs {
+                    // Exact ≤ bound < incumbent: pruned, stays dirty.
+                    break;
+                }
+            }
+            let pos = p as usize;
+            self.dirty[pos] = false;
+            let count = self.cascade_count(pos, e);
+            self.counts[pos] = count;
+            if count > 0 {
+                let dist = self.head.map_or(0, |h| h.abs_diff(pos));
+                let score = count as i64 * 1000 - penalty * dist as i64;
+                let better = match best {
+                    None => true,
+                    Some((bs, bd, bp)) => score > bs || (score == bs && (dist, pos) < (bd, bp)),
+                };
+                if better {
+                    best = Some((score, dist, pos));
+                }
+            }
+        }
+        self.candidates = candidates;
+        best.map(|(_, _, pos)| pos)
+    }
+
+    /// The epoch-stamped cascade count over the active window: active
+    /// ready gates covered by `pos` execute, unlocking covered active
+    /// successors transitively; barriers cascade but do not count.
+    fn cascade_count(&mut self, pos: usize, e: usize) -> u32 {
+        {
+            let base = self.base;
+            let recs = &self.recs;
+            self.ready_at[pos].retain(|&g| {
+                let g = g as usize;
+                g >= base && !recs[g - base].done
+            });
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.need_epoch.fill(u32::MAX);
+            self.epoch = 1;
+        }
+        let epoch = self.epoch;
+        self.stack.clear();
+        self.stack
+            .extend(self.ready_at[pos].iter().map(|&g| g as usize));
+
+        let mut count = 0u32;
+        while let Some(i) = self.stack.pop() {
+            let slot = i - self.base;
+            if !matches!(self.recs[slot].gate, Gate::Barrier) {
+                count += 1;
+            }
+            for k in 0..succ_count(&self.recs[slot], &self.barrier_succs, i) {
+                let s = succ_at(&self.recs[slot], &self.barrier_succs, i, k) as usize;
+                if s >= e {
+                    continue;
+                }
+                let sslot = s - self.base;
+                if self.need_epoch[sslot] != epoch {
+                    self.need_epoch[sslot] = epoch;
+                    self.need[sslot] = self.recs[sslot].pending;
+                }
+                self.need[sslot] -= 1;
+                if self.need[sslot] == 0 && self.recs[sslot].covers(pos) {
+                    self.stack.push(s);
+                }
+            }
+        }
+        count
+    }
+
+    /// Retires the completed prefix once it dominates the live window,
+    /// keeping the resident state at O(horizon + ingest slack).
+    fn maybe_compact(&mut self) {
+        let retired = self.floor - self.base;
+        if retired < 1024 || retired * 2 < self.recs.len() {
+            return;
+        }
+        self.recs.drain(..retired);
+        self.need.drain(..retired);
+        self.need_epoch.drain(..retired);
+        self.succ_epoch.drain(..retired);
+        self.base = self.floor;
+        let base = self.base;
+        self.barrier_succs.retain(|&k, _| k >= base);
+        for list in &mut self.ready_at {
+            let recs = &self.recs;
+            list.retain(|&g| {
+                let g = g as usize;
+                g >= base && !recs[g - base].done
+            });
+        }
+    }
+}
+
+/// Successor count of the gate at global index `i` (inline + spill).
+fn succ_count(rec: &GateRec, spill: &HashMap<usize, Vec<u32>>, i: usize) -> usize {
+    rec.n_succs as usize + spill.get(&i).map_or(0, Vec::len)
+}
+
+/// The `k`-th successor of the gate at global index `i`.
+fn succ_at(rec: &GateRec, spill: &HashMap<usize, Vec<u32>>, i: usize, k: usize) -> u32 {
+    let inline = rec.n_succs as usize;
+    if k < inline {
+        rec.succs[k]
+    } else {
+        spill[&i][k - inline]
+    }
+}
+
+/// One-shot adapter: runs the streaming engine over an in-memory
+/// circuit. [`super::schedule_with`] routes horizon-binding circuits
+/// here so that a monolithic compile and the windowed pipeline agree
+/// byte for byte.
+pub(super) fn schedule_stream_monolithic(
+    physical: &Circuit,
+    spec: DeviceSpec,
+    kind: SchedulerKind,
+    horizon: usize,
+) -> TiltProgram {
+    let mut s = StreamScheduler::new(spec, kind, horizon);
+    let mut ops: Vec<TiltOp> = Vec::with_capacity(physical.len());
+    for &g in physical.gates() {
+        s.push(g);
+        s.run_rounds(&mut ops);
+    }
+    s.finish_input();
+    s.run_rounds(&mut ops);
+    debug_assert!(s.is_done());
+    TiltProgram::new(spec, ops)
+}
+
+/// The rescan reference under the same eligibility horizon: a direct
+/// port of [`super::schedule_rescan`] with every scoring/drain step
+/// filtered to gates below the per-round bound `E`. Serves as the test
+/// oracle for the horizon-binding regime (monolithic memory; reference
+/// only).
+pub(super) fn schedule_rescan_capped(
+    physical: &Circuit,
+    spec: DeviceSpec,
+    kind: SchedulerKind,
+    horizon: usize,
+) -> TiltProgram {
+    let horizon = horizon.max(1);
+    let dag = Dag::new(physical);
+    let mut tracker = ReadyTracker::new(&dag);
+    let gates = physical.gates();
+    let n = gates.len();
+    let mut ops: Vec<TiltOp> = Vec::with_capacity(n);
+    let mut head: Option<usize> = None;
+    let mut floor = 0usize;
+
+    while !tracker.is_done() {
+        while floor < n && tracker.is_complete(floor) {
+            floor += 1;
+        }
+        let e = (floor + horizon).min(n);
+
+        let pos = match kind {
+            SchedulerKind::NaiveNextGate => {
+                let oldest = *tracker
+                    .ready()
+                    .iter()
+                    .filter(|&&i| i < e)
+                    .min()
+                    .expect("floor gate is always ready and eligible");
+                super::leftmost_position_covering(physical, spec, oldest)
+            }
+            _ => {
+                let penalty = kind
+                    .penalty_permille()
+                    .expect("scoring kinds carry a penalty");
+                let mut best_pos = 0usize;
+                let mut best_score = i64::MIN;
+                let mut best_dist = usize::MAX;
+                let mut any = false;
+                for p in spec.head_positions() {
+                    let count = capped_executable_count(physical, &dag, &tracker, spec, p, e);
+                    if count == 0 {
+                        continue;
+                    }
+                    any = true;
+                    let dist = head.map_or(0, |h| h.abs_diff(p));
+                    let score = count as i64 * 1000 - penalty * dist as i64;
+                    if score > best_score || (score == best_score && dist < best_dist) {
+                        best_score = score;
+                        best_pos = p;
+                        best_dist = dist;
+                    }
+                }
+                if !any {
+                    // Barrier relief, mirroring `StreamScheduler`: the
+                    // eligible ready set is all barriers — complete
+                    // them (min-index) without moving the head.
+                    let mut relieved = false;
+                    loop {
+                        let next = tracker
+                            .ready()
+                            .iter()
+                            .copied()
+                            .filter(|&i| i < e && matches!(gates[i], Gate::Barrier))
+                            .min();
+                        let Some(i) = next else { break };
+                        tracker.complete(&dag, i);
+                        relieved = true;
+                    }
+                    assert!(
+                        relieved,
+                        "no head position can execute any ready gate; circuit is unroutable"
+                    );
+                    continue;
+                }
+                best_pos
+            }
+        };
+
+        if head != Some(pos) {
+            if head.is_some() {
+                ops.push(TiltOp::Move { to: pos });
+            }
+            head = Some(pos);
+        }
+
+        let mut executed_any = false;
+        loop {
+            let next = tracker
+                .ready()
+                .iter()
+                .copied()
+                .filter(|&i| i < e && super::gate_fits(gates[i], spec, pos))
+                .min();
+            let Some(i) = next else { break };
+            tracker.complete(&dag, i);
+            executed_any = true;
+            let gate = gates[i];
+            if !matches!(gate, Gate::Barrier) {
+                ops.push(TiltOp::Gate {
+                    gate,
+                    head_pos: pos,
+                });
+            }
+        }
+        assert!(
+            executed_any,
+            "scheduler made no progress at position {pos}; this is a bug"
+        );
+    }
+
+    TiltProgram::new(spec, ops)
+}
+
+/// [`super::executable_count`] restricted to gates below `e`.
+fn capped_executable_count(
+    physical: &Circuit,
+    dag: &Dag,
+    tracker: &ReadyTracker,
+    spec: DeviceSpec,
+    pos: usize,
+    e: usize,
+) -> usize {
+    use std::collections::{HashMap, HashSet};
+    let gates = physical.gates();
+    let mut queue: Vec<usize> = tracker
+        .ready()
+        .iter()
+        .copied()
+        .filter(|&i| i < e && super::gate_fits(gates[i], spec, pos))
+        .collect();
+    let mut seen: HashSet<usize> = HashSet::new();
+    let mut local_indeg: HashMap<usize, usize> = HashMap::new();
+    let mut count = 0usize;
+    while let Some(i) = queue.pop() {
+        if !seen.insert(i) {
+            continue;
+        }
+        if !matches!(gates[i], Gate::Barrier) {
+            count += 1;
+        }
+        for &s in dag.succs(i) {
+            if s >= e {
+                continue;
+            }
+            let remaining = local_indeg.entry(s).or_insert_with(|| {
+                dag.preds(s)
+                    .iter()
+                    .filter(|&&p| !tracker.is_complete(p))
+                    .count()
+            });
+            *remaining -= 1;
+            if *remaining == 0 && super::gate_fits(gates[s], spec, pos) {
+                queue.push(s);
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{schedule_with, ScheduleConfig, SchedulerKind};
+    use super::*;
+    use tilt_circuit::Qubit;
+
+    fn spec(n: usize, head: usize) -> DeviceSpec {
+        DeviceSpec::new(n, head).unwrap()
+    }
+
+    /// Deterministic mixed workload: zones, chains, fences, 1q traffic.
+    fn workload(n: usize, len: usize, seed: u64) -> Circuit {
+        let mut c = Circuit::new(n);
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..len {
+            match next() % 10 {
+                0..=5 => {
+                    let a = (next() as usize) % n;
+                    let span = 1 + (next() as usize) % 3;
+                    let b = (a + span).min(n - 1);
+                    if a != b {
+                        c.xx(Qubit(a.min(b)), Qubit(a.max(b)), 0.1);
+                    } else {
+                        c.rx(Qubit(a), 0.2);
+                    }
+                }
+                6..=8 => {
+                    c.rz(Qubit((next() as usize) % n), 0.3);
+                }
+                _ => {
+                    c.barrier();
+                }
+            }
+        }
+        c
+    }
+
+    const KINDS: [SchedulerKind; 4] = [
+        SchedulerKind::GreedyMaxExecutable,
+        SchedulerKind::DistanceDiscounted {
+            penalty_permille: 250,
+        },
+        SchedulerKind::DistanceDiscounted {
+            penalty_permille: 2000,
+        },
+        SchedulerKind::NaiveNextGate,
+    ];
+
+    #[test]
+    fn non_binding_horizon_matches_monolithic_engines() {
+        for seed in 0..4u64 {
+            let c = workload(24, 160, seed);
+            for kind in KINDS {
+                let mono = schedule_with(&c, spec(24, 6), ScheduleConfig::new(kind));
+                let streamed = schedule_stream_monolithic(&c, spec(24, 6), kind, c.len() + 1);
+                assert_eq!(streamed, mono, "kind {kind:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn binding_horizon_matches_capped_rescan() {
+        for seed in 0..4u64 {
+            let c = workload(20, 200, seed);
+            for kind in KINDS {
+                for horizon in [1usize, 2, 7, 32, 150] {
+                    let reference = schedule_rescan_capped(&c, spec(20, 5), kind, horizon);
+                    let streamed = schedule_stream_monolithic(&c, spec(20, 5), kind, horizon);
+                    assert_eq!(streamed, reference, "kind {kind:?} seed {seed} H={horizon}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn capped_rescan_with_loose_horizon_is_the_seed_engine() {
+        for seed in 0..3u64 {
+            let c = workload(16, 120, seed);
+            for kind in KINDS {
+                let capped = schedule_rescan_capped(&c, spec(16, 4), kind, c.len());
+                let seed_engine = schedule_with(&c, spec(16, 4), ScheduleConfig::rescan(kind));
+                assert_eq!(capped, seed_engine, "kind {kind:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_push_matches_bulk_push() {
+        // Interleaving run_rounds with pushes (the windowed pipeline's
+        // call pattern) must not change any decision.
+        let c = workload(24, 300, 9);
+        let sp = spec(24, 6);
+        for horizon in [16usize, 64, 1024] {
+            let bulk =
+                schedule_stream_monolithic(&c, sp, SchedulerKind::GreedyMaxExecutable, horizon);
+            let mut s = StreamScheduler::new(sp, SchedulerKind::GreedyMaxExecutable, horizon);
+            let mut ops = Vec::new();
+            for (i, &g) in c.gates().iter().enumerate() {
+                s.push(g);
+                if i % 7 == 0 {
+                    s.run_rounds(&mut ops);
+                }
+            }
+            s.finish_input();
+            s.run_rounds(&mut ops);
+            assert!(s.is_done());
+            assert_eq!(TiltProgram::new(sp, ops), bulk, "H={horizon}");
+        }
+    }
+
+    #[test]
+    fn compaction_keeps_memory_bounded() {
+        let sp = spec(8, 4);
+        let mut s = StreamScheduler::new(sp, SchedulerKind::GreedyMaxExecutable, 64);
+        let mut ops = Vec::new();
+        for i in 0..200_000usize {
+            s.push(Gate::Xx(Qubit(i % 7), Qubit(i % 7 + 1), 0.1));
+            s.run_rounds(&mut ops);
+        }
+        // The retained window tracks the horizon, not the stream.
+        assert!(
+            s.recs.len() < 8 * 64 + 2048,
+            "resident window grew to {}",
+            s.recs.len()
+        );
+        s.finish_input();
+        s.run_rounds(&mut ops);
+        assert!(s.is_done());
+        assert_eq!(
+            ops.iter()
+                .filter(|o| matches!(o, TiltOp::Gate { .. }))
+                .count(),
+            200_000
+        );
+    }
+}

@@ -121,44 +121,108 @@ pub fn verify_tilt(out: &CompileOutput, max_swap_len: usize) -> Vec<Diagnostic> 
 /// `tilt/head-span`: gates covered, moves in range.
 fn head_span(out: &CompileOutput, diags: &mut Vec<Diagnostic>) {
     let spec = *out.program.spec();
-    let max_head = spec.n_ions() - spec.head_size();
     for (i, op) in out.program.ops().iter().enumerate() {
-        match op {
-            TiltOp::Move { to } => {
-                if *to > max_head {
-                    diags.push(Diagnostic::error(
-                        "tilt/head-span",
-                        i,
-                        format!("move targets head position {to}, past the last valid {max_head}"),
-                    ));
-                }
+        head_span_op(&spec, i, op, diags);
+    }
+}
+
+/// The per-op body of `tilt/head-span`, shared by the whole-program
+/// walk and the incremental [`StreamVerifier`].
+fn head_span_op(
+    spec: &crate::spec::DeviceSpec,
+    i: usize,
+    op: &TiltOp,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let max_head = spec.n_ions() - spec.head_size();
+    match op {
+        TiltOp::Move { to } => {
+            if *to > max_head {
+                diags.push(Diagnostic::error(
+                    "tilt/head-span",
+                    i,
+                    format!("move targets head position {to}, past the last valid {max_head}"),
+                ));
             }
-            TiltOp::Gate { gate, head_pos } => {
-                if *head_pos > max_head {
+        }
+        TiltOp::Gate { gate, head_pos } => {
+            if *head_pos > max_head {
+                diags.push(Diagnostic::error(
+                    "tilt/head-span",
+                    i,
+                    format!("{gate} recorded at head {head_pos}, past the last valid {max_head}"),
+                ));
+            }
+            for q in gate.qubits() {
+                if q.index() >= spec.n_ions() || !spec.covers(*head_pos, q.index()) {
                     diags.push(Diagnostic::error(
                         "tilt/head-span",
                         i,
                         format!(
-                            "{gate} recorded at head {head_pos}, past the last valid {max_head}"
+                            "{gate} at head {head_pos} leaves position {} outside the \
+                             {}-wide head",
+                            q.index(),
+                            spec.head_size()
                         ),
                     ));
                 }
-                for q in gate.qubits() {
-                    if q.index() >= spec.n_ions() || !spec.covers(*head_pos, q.index()) {
-                        diags.push(Diagnostic::error(
-                            "tilt/head-span",
-                            i,
-                            format!(
-                                "{gate} at head {head_pos} leaves position {} outside the \
-                                 {}-wide head",
-                                q.index(),
-                                spec.head_size()
-                            ),
-                        ));
-                    }
-                }
             }
         }
+    }
+}
+
+/// Incremental evaluation of the window-applicable TILT rules over a
+/// streaming compile's op increments.
+///
+/// Only `tilt/head-span` is window-applicable: it is a pure per-op
+/// predicate, so checking each increment as it arrives is exactly the
+/// whole-program walk with the indices offset by the ops already seen.
+/// The other three rules need whole-compilation artifacts (the routed
+/// circuit, the final mapping, every ion's complete gate sequence) and
+/// cannot run on a window without false verdicts — use the monolithic
+/// [`verify_tilt`] for those.
+///
+/// Diagnostics carry **global** op indices: pushing a stream in any
+/// window partition yields byte-identical findings.
+#[derive(Debug)]
+pub struct StreamVerifier {
+    spec: crate::spec::DeviceSpec,
+    next_index: usize,
+    diags: Vec<Diagnostic>,
+}
+
+impl StreamVerifier {
+    /// A verifier for a streaming compile on `spec`'s tape.
+    pub fn new(spec: crate::spec::DeviceSpec) -> StreamVerifier {
+        StreamVerifier {
+            spec,
+            next_index: 0,
+            diags: Vec::new(),
+        }
+    }
+
+    /// Checks one op increment; indices continue from prior pushes.
+    pub fn push(&mut self, ops: &[TiltOp]) {
+        for op in ops {
+            head_span_op(&self.spec, self.next_index, op, &mut self.diags);
+            self.next_index += 1;
+        }
+    }
+
+    /// Total ops checked so far.
+    pub fn ops_seen(&self) -> usize {
+        self.next_index
+    }
+
+    /// Findings accumulated so far (borrowed; [`StreamVerifier::finish`]
+    /// consumes).
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diags
+    }
+
+    /// Consumes the verifier, returning every finding.
+    pub fn finish(self) -> Vec<Diagnostic> {
+        self.diags
     }
 }
 
@@ -362,6 +426,50 @@ mod tests {
             diags.iter().any(|d| d.rule == "tilt/head-span"),
             "{diags:?}"
         );
+    }
+
+    #[test]
+    fn stream_verifier_matches_head_span_at_every_window_split() {
+        // Corrupt two ops at known indices, then push the op stream in
+        // several window partitions: the findings (rules AND global
+        // indices) must be byte-identical to the whole-program walk.
+        let out = compiled(16, 4);
+        let spec = *out.program.spec();
+        let mut ops = out.program.ops().to_vec();
+        let idx = ops
+            .iter()
+            .position(|op| matches!(op, TiltOp::Gate { gate, .. } if gate.is_two_qubit()))
+            .unwrap();
+        if let TiltOp::Gate { head_pos, .. } = &mut ops[idx] {
+            *head_pos = spec.n_ions() - spec.head_size();
+        }
+        ops.push(TiltOp::Move { to: spec.n_ions() });
+        let mut whole = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            head_span_op(&spec, i, op, &mut whole);
+        }
+        assert!(whole.iter().any(|d| d.op_index == idx));
+        assert!(whole.iter().any(|d| d.op_index == ops.len() - 1));
+        for window in [1, 3, 7, ops.len(), ops.len() + 5] {
+            let mut sv = StreamVerifier::new(spec);
+            for chunk in ops.chunks(window) {
+                sv.push(chunk);
+            }
+            assert_eq!(sv.ops_seen(), ops.len());
+            assert_eq!(sv.finish(), whole, "window {window}");
+        }
+    }
+
+    #[test]
+    fn stream_verifier_is_clean_on_a_clean_compile() {
+        let out = compiled(16, 4);
+        let mut sv = StreamVerifier::new(*out.program.spec());
+        for chunk in out.program.ops().chunks(5) {
+            sv.push(chunk);
+        }
+        assert!(sv.diagnostics().is_empty());
+        assert_eq!(sv.ops_seen(), out.program.ops().len());
+        assert_eq!(sv.finish(), Vec::new());
     }
 
     #[test]

@@ -52,6 +52,14 @@ pub enum TiltError {
         /// Human-readable description of the limit that was hit.
         reason: String,
     },
+    /// The input gate stream of a streaming run failed — a QASM parse
+    /// error or an I/O failure on the underlying reader. Carries the
+    /// rendered source error (the stream error types are not `Clone`,
+    /// which this enum requires).
+    Stream {
+        /// Human-readable description of the stream failure.
+        reason: String,
+    },
     /// Static verification found error-severity diagnostics under
     /// [`VerifyLevel::Strict`](crate::VerifyLevel::Strict): the
     /// compiled program violates a backend invariant.
@@ -77,6 +85,7 @@ impl fmt::Display for TiltError {
                  simulator only runs Clifford programs"
             ),
             TiltError::Simulation { reason } => write!(f, "simulation error: {reason}"),
+            TiltError::Stream { reason } => write!(f, "gate stream error: {reason}"),
             TiltError::Verify { count, first } => write!(
                 f,
                 "verification failed with {count} diagnostic(s); first: {first}"
@@ -95,6 +104,7 @@ impl Error for TiltError {
             | TiltError::Internal { .. }
             | TiltError::NonClifford { .. }
             | TiltError::Simulation { .. }
+            | TiltError::Stream { .. }
             | TiltError::Verify { .. } => None,
         }
     }

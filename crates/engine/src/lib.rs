@@ -49,6 +49,7 @@ pub mod faults;
 pub mod report;
 pub mod service;
 pub mod sim;
+pub mod stream;
 pub mod verify;
 
 mod batch;
@@ -59,6 +60,7 @@ pub use error::TiltError;
 pub use report::{BackendKind, CompileStats, RunDetail, RunReport};
 pub use service::{Service, ServiceStats, ServiceSummary, ShutdownCause};
 pub use sim::{SimMethod, SimReport, SimulatorKind};
+pub use stream::{NullSink, StreamOutcome, StreamSink, DEFAULT_STREAM_WINDOW};
 pub use tilt_compiler::verify::{Diagnostic, Severity};
 pub use verify::VerifyLevel;
 

@@ -28,6 +28,10 @@
 //! * `id` (optional) — any JSON value, echoed back verbatim.
 //! * `emit_program` (optional bool) — include the scheduled TILT
 //!   program text in the response.
+//! * `stream` (optional bool) — compile through the bounded-memory
+//!   streaming pipeline, emitting increment lines (see *Streaming
+//!   runs* below); `stream_window` (optional positive integer) sets
+//!   the input gates buffered per compile window.
 //! * `deadline_ms` (optional number) — the request is worthless after
 //!   this many milliseconds: if it is still queued when the deadline
 //!   passes it is shed with kind `deadline_exceeded` **without
@@ -47,6 +51,40 @@
 //!   and `noise` (an object overriding any subset of the Eq. 4 model:
 //!   `gamma_per_us`, `epsilon`, `single_qubit_error`,
 //!   `measurement_error`, `k_base`, `n_ref`).
+//!
+//! # Streaming runs
+//!
+//! A run request with `"stream": true` compiles its payload through the
+//! bounded-memory streaming pipeline
+//! ([`Engine::run_streaming_qasm`](crate::Engine::run_streaming_qasm))
+//! instead of the windowed batch path: the QASM text is pulled
+//! statement-by-statement, compiled in windows of `stream_window` input
+//! gates (optional; default
+//! [`DEFAULT_STREAM_WINDOW`](crate::DEFAULT_STREAM_WINDOW)), and every
+//! flushed window emits one **increment line** before the final report:
+//!
+//! ```text
+//! → {"id":9,"stream":true,"stream_window":4,"qasm":"qreg q[4];\n..."}
+//! ← {"id":9,"increment":1,"shard":0,"ops":12}
+//! ← {"id":9,"increment":2,"shard":0,"ops":9}
+//! ← {"id":9,"ok":true,"streamed":true,"backend":"tilt","increments":2,"input_gates":8,...}
+//! ```
+//!
+//! The final line carries the same compile/estimate fields as a
+//! monolithic response (bit-identical numbers — the streaming pipeline
+//! is decision-identical by construction) plus `streamed`,
+//! `increments`, and `input_gates`. With `"emit_program": true` each
+//! increment also carries its rendered ops as `program`; concatenating
+//! them per shard reproduces the monolithic program body. `shard` is
+//! the ELU index on the scaled backend and always 0 on tilt.
+//!
+//! Streaming requests run immediately (after a window flush, so
+//! submission order survives), bypass the compile cache and the parse
+//! memo (there is no whole-circuit digest to key on), and compile
+//! through the **shared session only** — per-request override fields
+//! are rejected with `invalid_request`; send `{"op":"configure"}` first
+//! to rebind. A mid-stream failure (bad QASM past the first window)
+//! emits its error line *after* the increments already delivered.
 //!
 //! Every failure — malformed JSON, QASM parse error, a circuit wider
 //! than the backend, an unknown backend name, a compile error, a shed
@@ -128,6 +166,7 @@
 
 use crate::admission::{AdmissionControl, AdmissionPermit};
 use crate::cache::{CacheCounters, CacheKey, CompileCache, WireReport};
+use crate::stream::{StreamOutcome, DEFAULT_STREAM_WINDOW};
 use crate::{Backend, Engine, EngineBuilder, RunReport, TiltError};
 use std::collections::HashMap;
 use std::io::{self, BufRead, Write};
@@ -136,7 +175,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tilt_circuit::{qasm, Circuit, Gate};
 use tilt_compiler::route::{LinqConfig, StochasticConfig};
-use tilt_compiler::{DeviceSpec, RouterKind, SchedulerKind};
+use tilt_compiler::{DeviceSpec, RouterKind, SchedulerKind, TiltOp};
 use tilt_hash::{Digest, Hasher};
 use tilt_qccd::QccdSpec;
 use tilt_report::Json;
@@ -169,6 +208,24 @@ const PARSE_MEMO_MAX_BYTES: usize = 64 << 20;
 /// the paper's machines and any request the estimators finish in
 /// reasonable time; the operator's own `--ions` is not capped.
 const MAX_REQUEST_IONS: usize = 4096;
+
+/// Request fields that trigger a per-request override engine (also the
+/// fields a `configure` message accepts). Streaming requests reject
+/// these — they compile through the shared session only.
+const OVERRIDE_KEYS: [&str; 12] = [
+    "backend",
+    "ions",
+    "head",
+    "router",
+    "max_swap_len",
+    "alpha",
+    "scheduler",
+    "ions_per_trap",
+    "elu_ions",
+    "noise",
+    "method",
+    "verify",
+];
 
 /// A fixed-size log₂ latency histogram: bounded memory no matter how
 /// many requests stream through, quantiles at power-of-two resolution.
@@ -392,6 +449,22 @@ impl RunItem {
     }
 }
 
+/// One streaming run request (`"stream": true`): compiled immediately
+/// through the shared session's bounded-memory pipeline, never buffered
+/// in the window.
+struct StreamItem {
+    id: Json,
+    /// The QASM payload; pulled statement-by-statement, never parsed
+    /// into a [`Circuit`].
+    qasm: Box<str>,
+    /// Input gates per compile window.
+    window: usize,
+    /// Attach each increment's rendered ops as `program`.
+    emit_program: bool,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+}
+
 /// One entry of the buffered window: either a run awaiting its compile,
 /// or a response already decided at enqueue time (shed by admission or
 /// by an already-expired deadline) that still must emit **at its
@@ -408,6 +481,10 @@ enum Request {
     /// Compile through a one-off engine built from per-request
     /// overrides (runs immediately, after a flush).
     RunOverride(Box<RunItem>, Box<Engine>),
+    /// Stream-compile the payload in O(window) memory, emitting one
+    /// increment line per flushed window (`"stream": true`; runs
+    /// immediately, after a flush).
+    RunStream(Box<StreamItem>),
     /// Rebind the loop's default session (`{"op":"configure"}`);
     /// `rebind` is `None` when the message named no override field (an
     /// acknowledged no-op).
@@ -748,6 +825,20 @@ impl Service {
                 }
                 output.flush()?;
             }
+            Request::RunStream(item) => {
+                // Streaming runs bypass the window; drain it first so
+                // submission order survives.
+                self.flush(pending, output)?;
+                if item.deadline.is_some_and(|d| Instant::now() >= d) {
+                    self.stats.shed_deadline += 1;
+                    self.stats
+                        .record(item.enqueued.elapsed().as_micros() as u64, false);
+                    writeln!(output, "{}", deadline_json(&item.id).render())?;
+                } else {
+                    self.run_stream(&item, output)?;
+                }
+                output.flush()?;
+            }
             Request::Configure { id, rebind } => {
                 // The window compiled under the old session; drain it
                 // before the rebind takes effect.
@@ -974,6 +1065,96 @@ impl Service {
         writeln!(output, "{}", resp.render())
     }
 
+    /// Runs one streaming request: increment lines straight to the
+    /// wire, then the final report line. The compile cache, parse memo,
+    /// and window are all bypassed — there is no whole-circuit digest
+    /// to key on and nothing to buffer.
+    fn run_stream<W: Write>(&mut self, item: &StreamItem, output: &mut W) -> io::Result<()> {
+        // Width gate, same contract as the parsed path: the backends
+        // size themselves to the register, so the cap must hold before
+        // any allocation. The probe stops at the `qreg` header.
+        let mut probe = qasm::QasmStream::new(item.qasm.as_bytes());
+        match probe.require_n_qubits() {
+            Ok(n) if n > MAX_REQUEST_IONS => {
+                let error = format!(
+                    "circuit register of {n} qubits exceeds the service cap of {MAX_REQUEST_IONS}"
+                );
+                self.stats
+                    .record(item.enqueued.elapsed().as_micros() as u64, false);
+                return writeln!(
+                    output,
+                    "{}",
+                    error_json(&item.id, KIND_INVALID_REQUEST, &error).render()
+                );
+            }
+            Ok(_) => {}
+            Err(e) => {
+                // A header the stream cannot start from (missing or
+                // malformed `qreg`) fails before any compile — same
+                // `invalid_request` kind as the monolithic parse path.
+                self.stats
+                    .record(item.enqueued.elapsed().as_micros() as u64, false);
+                return writeln!(
+                    output,
+                    "{}",
+                    error_json(&item.id, KIND_INVALID_REQUEST, &e.to_string()).render()
+                );
+            }
+        }
+        let mut io_err: Option<io::Error> = None;
+        let mut increment = 0usize;
+        let mut sink = |shard: usize, ops: &[TiltOp]| {
+            if io_err.is_some() {
+                // The wire is dead; let the compile finish and surface
+                // the I/O error after (a sink cannot abort the engine).
+                return;
+            }
+            increment += 1;
+            let mut line = Json::object()
+                .set("id", item.id.clone())
+                .set("increment", increment)
+                .set("shard", shard)
+                .set("ops", ops.len());
+            if item.emit_program {
+                line = line.set("program", render_ops(ops));
+            }
+            if let Err(e) = writeln!(output, "{}", line.render()) {
+                io_err = Some(e);
+            }
+        };
+        // The same isolation boundary as the batch workers: a panicking
+        // streaming compile costs its request, not the loop.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.engine
+                .run_streaming_qasm(item.qasm.as_bytes(), item.window, &mut sink)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(TiltError::Internal {
+                message: crate::error::panic_message(payload.as_ref()),
+            })
+        });
+        if let Some(e) = io_err {
+            return Err(e);
+        }
+        let ok = result.is_ok();
+        let resp = match result {
+            Ok(outcome) => stream_response(&item.id, &outcome),
+            Err(e) => {
+                let kind = match e {
+                    // Mid-stream QASM/reader failures are request
+                    // defects, like a monolithic parse error.
+                    TiltError::Stream { .. } => KIND_INVALID_REQUEST,
+                    TiltError::Internal { .. } => KIND_INTERNAL,
+                    _ => KIND_COMPILE,
+                };
+                error_json(&item.id, kind, &e.to_string())
+            }
+        };
+        self.stats
+            .record(item.enqueued.elapsed().as_micros() as u64, ok);
+        writeln!(output, "{}", resp.render())
+    }
+
     /// The response for `item` if its `(circuit, config)` key is
     /// resident in the cache. Renders through the same [`WireReport`]
     /// path as a fresh compile, so hit and miss responses are
@@ -1031,6 +1212,40 @@ impl Service {
         let Some(qasm_text) = obj.get("qasm").and_then(Json::as_str) else {
             return bad("run request needs a string `qasm` field".into());
         };
+        match obj.get("stream") {
+            None | Some(Json::Bool(false)) => {}
+            Some(Json::Bool(true)) => {
+                // Streaming runs never materialize a Circuit, so every
+                // override path (which sizes its machine to the parsed
+                // circuit) is off the table by construction.
+                if OVERRIDE_KEYS.iter().any(|k| obj.get(k).is_some()) {
+                    return bad("streaming requests compile through the shared session and \
+                         accept no per-request overrides; send {\"op\":\"configure\"} \
+                         first to rebind"
+                        .into());
+                }
+                let window = match obj.get("stream_window") {
+                    None => DEFAULT_STREAM_WINDOW,
+                    Some(v) => match v.as_f64() {
+                        Some(x) if x >= 1.0 && x.fract() == 0.0 => x as usize,
+                        _ => return bad("`stream_window` must be a positive integer".into()),
+                    },
+                };
+                let deadline = match self.parse_deadline(&obj, enqueued) {
+                    Ok(d) => d,
+                    Err(e) => return bad(e),
+                };
+                return Request::RunStream(Box::new(StreamItem {
+                    id,
+                    qasm: qasm_text.into(),
+                    window,
+                    emit_program: matches!(obj.get("emit_program"), Some(Json::Bool(true))),
+                    enqueued,
+                    deadline,
+                }));
+            }
+            Some(_) => return bad("`stream` must be a boolean".into()),
+        }
         // Parse memo: a repeated payload skips its QASM parse (parsing
         // is deterministic, and the hit verified the text matches) and
         // reuses the memoized cache key.
@@ -1067,17 +1282,9 @@ impl Service {
             }
         };
         let emit_program = matches!(obj.get("emit_program"), Some(Json::Bool(true)));
-        let deadline = match obj.get("deadline_ms") {
-            None => self.default_deadline.and_then(|d| enqueued.checked_add(d)),
-            Some(v) => match v.as_f64() {
-                Some(ms) if ms.is_finite() && ms >= 0.0 => {
-                    // A deadline past the representable future is no
-                    // deadline at all — saturate instead of panicking.
-                    let us = (ms * 1000.0).min(u64::MAX as f64) as u64;
-                    enqueued.checked_add(Duration::from_micros(us))
-                }
-                _ => return bad("`deadline_ms` must be a non-negative number".into()),
-            },
+        let deadline = match self.parse_deadline(&obj, enqueued) {
+            Ok(d) => d,
+            Err(e) => return bad(e),
         };
         let engine = match self.override_builder(&obj, Some(circuit.as_ref())) {
             Ok(None) => None,
@@ -1102,6 +1309,23 @@ impl Service {
         }
     }
 
+    /// Resolves a request's `deadline_ms` field, falling back to the
+    /// service default when the request names none.
+    fn parse_deadline(&self, obj: &Json, enqueued: Instant) -> Result<Option<Instant>, String> {
+        match obj.get("deadline_ms") {
+            None => Ok(self.default_deadline.and_then(|d| enqueued.checked_add(d))),
+            Some(v) => match v.as_f64() {
+                Some(ms) if ms.is_finite() && ms >= 0.0 => {
+                    // A deadline past the representable future is no
+                    // deadline at all — saturate instead of panicking.
+                    let us = (ms * 1000.0).min(u64::MAX as f64) as u64;
+                    Ok(enqueued.checked_add(Duration::from_micros(us)))
+                }
+                _ => Err("`deadline_ms` must be a non-negative number".into()),
+            },
+        }
+    }
+
     /// Builds the engine prototype a request's override fields (or a
     /// `configure` message's fields) describe; `Ok(None)` when no
     /// override field is present. `circuit` sizes machine defaults for
@@ -1112,20 +1336,6 @@ impl Service {
         obj: &Json,
         circuit: Option<&Circuit>,
     ) -> Result<Option<EngineBuilder>, String> {
-        const OVERRIDE_KEYS: [&str; 12] = [
-            "backend",
-            "ions",
-            "head",
-            "router",
-            "max_swap_len",
-            "alpha",
-            "scheduler",
-            "ions_per_trap",
-            "elu_ions",
-            "noise",
-            "method",
-            "verify",
-        ];
         if !OVERRIDE_KEYS.iter().any(|k| obj.get(k).is_some()) {
             return Ok(None);
         }
@@ -1396,6 +1606,46 @@ fn run_response(id: &Json, result: &Result<RunReport, TiltError>, emit_program: 
             wire.response(id, emit_program)
         }
     }
+}
+
+/// Renders a streaming increment's ops in the per-op format of
+/// [`TiltProgram`](tilt_compiler::TiltProgram)'s `Display` body, so
+/// concatenating every increment of one shard reproduces the monolithic
+/// `emit_program` text minus its header line.
+fn render_ops(ops: &[TiltOp]) -> String {
+    use std::fmt::Write as _;
+    let mut text = String::new();
+    for op in ops {
+        let _ = match op {
+            TiltOp::Move { to } => writeln!(text, "  move -> {to}"),
+            TiltOp::Gate { gate, head_pos } => writeln!(text, "  [{head_pos:>3}] {gate}"),
+        };
+    }
+    text
+}
+
+/// The final response line of a streaming run: the monolithic wire
+/// fields (bit-identical numbers — the streaming pipeline is
+/// decision-identical) plus the streaming markers.
+fn stream_response(id: &Json, outcome: &StreamOutcome) -> Json {
+    let c = &outcome.compile;
+    Json::object()
+        .set("id", id.clone())
+        .set("ok", true)
+        .set("streamed", true)
+        .set("backend", outcome.backend.to_string())
+        .set("swaps", c.swap_count)
+        .set("opposing_swaps", c.opposing_swap_count)
+        .set("moves", c.move_count)
+        .set("move_distance", c.move_distance)
+        .set("native_gates", c.native_gate_count)
+        .set("native_two_qubit", c.native_two_qubit_count)
+        .set("epr_pairs", c.epr_pairs)
+        .set("ln_success", outcome.ln_success)
+        .set("success", outcome.success)
+        .set("exec_time_us", outcome.exec_time_us)
+        .set("increments", outcome.increments)
+        .set("input_gates", outcome.input_gate_count)
 }
 
 /// The structured error object every failure line carries:
@@ -2016,6 +2266,142 @@ mod tests {
         assert!(ok(&resps[0]) && ok(&resps[2]), "{resps:?}");
         assert_eq!(summary.stats.shed_overloaded, 0);
         assert_eq!(summary.cache.hits, 1);
+    }
+
+    #[test]
+    fn streaming_request_matches_monolithic_numbers() {
+        let mut s = tilt_service(8, 4);
+        let qasm = "qreg q[8];\\nh q[0];\\ncx q[0], q[7];\\ncx q[1], q[6];\\ncx q[2], q[5];\\n";
+        let input = format!(
+            "{{\"id\":1,\"qasm\":\"{qasm}\"}}\n{{\"id\":2,\"stream\":true,\"stream_window\":2,\"qasm\":\"{qasm}\"}}\n"
+        );
+        let (resps, summary) = drive(&mut s, &input);
+        let mono = &resps[0];
+        assert!(ok(mono), "{mono:?}");
+        let last = resps.last().unwrap();
+        assert!(ok(last), "{last:?}");
+        assert_eq!(last.get("streamed"), Some(&Json::Bool(true)));
+        for key in [
+            "backend",
+            "swaps",
+            "opposing_swaps",
+            "moves",
+            "move_distance",
+            "native_gates",
+            "native_two_qubit",
+            "epr_pairs",
+            "ln_success",
+            "success",
+            "exec_time_us",
+        ] {
+            assert_eq!(mono.get(key), last.get(key), "field `{key}` must match");
+        }
+        assert_eq!(last.get("input_gates").unwrap().as_f64(), Some(4.0));
+        let increments = last.get("increments").unwrap().as_f64().unwrap() as usize;
+        let inc_lines = &resps[1..resps.len() - 1];
+        assert_eq!(inc_lines.len(), increments);
+        assert!(increments >= 1);
+        for (i, line) in inc_lines.iter().enumerate() {
+            assert_eq!(line.get("id").unwrap().as_f64(), Some(2.0));
+            assert_eq!(
+                line.get("increment").unwrap().as_f64(),
+                Some((i + 1) as f64)
+            );
+            assert_eq!(line.get("shard").unwrap().as_f64(), Some(0.0));
+            assert!(line.get("ops").unwrap().as_f64().unwrap() >= 1.0);
+        }
+        assert_eq!(summary.stats.ok, 2);
+    }
+
+    #[test]
+    fn streaming_emit_program_reconstructs_the_monolithic_program() {
+        let mut s = tilt_service(8, 4);
+        let qasm = "qreg q[8];\\nh q[3];\\ncx q[0], q[7];\\ncx q[3], q[4];\\n";
+        let input = format!(
+            "{{\"id\":1,\"qasm\":\"{qasm}\",\"emit_program\":true}}\n{{\"id\":2,\"stream\":true,\"stream_window\":1,\"qasm\":\"{qasm}\",\"emit_program\":true}}\n"
+        );
+        let (resps, _) = drive(&mut s, &input);
+        let mono_program = resps[0].get("program").unwrap().as_str().unwrap();
+        // The monolithic text is one header line plus the op body; the
+        // increments carry only op lines.
+        let body = mono_program.split_once('\n').unwrap().1;
+        let streamed: String = resps[1..resps.len() - 1]
+            .iter()
+            .map(|line| line.get("program").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(streamed, body);
+    }
+
+    #[test]
+    fn streaming_on_the_scaled_backend_emits_per_shard_increments() {
+        let mut s = Service::new(
+            Engine::builder().backend(Backend::Scaled(ScaleSpec::new(10, 4).unwrap())),
+        )
+        .unwrap();
+        let qasm = "qreg q[16];\\nh q[0];\\ncx q[0], q[15];\\ncx q[3], q[12];\\n";
+        let input = format!("{{\"id\":1,\"stream\":true,\"qasm\":\"{qasm}\"}}\n");
+        let (resps, _) = drive(&mut s, &input);
+        let last = resps.last().unwrap();
+        assert!(ok(last), "{last:?}");
+        assert_eq!(last.get("backend").unwrap().as_str(), Some("scaled"));
+        assert!(last.get("epr_pairs").unwrap().as_f64().unwrap() >= 2.0);
+        let shards: std::collections::BTreeSet<u64> = resps[..resps.len() - 1]
+            .iter()
+            .map(|l| l.get("shard").unwrap().as_f64().unwrap() as u64)
+            .collect();
+        assert!(shards.len() >= 2, "both ELUs emit increments: {shards:?}");
+    }
+
+    #[test]
+    fn streaming_rejects_overrides_and_bad_flags() {
+        let mut s = tilt_service(8, 4);
+        let input = concat!(
+            "{\"id\":1,\"stream\":true,\"router\":\"linq\",\"qasm\":\"qreg q[2];\\ncx q[0], q[1];\\n\"}\n",
+            "{\"id\":2,\"stream\":true,\"stream_window\":0,\"qasm\":\"qreg q[2];\\ncx q[0], q[1];\\n\"}\n",
+            "{\"id\":3,\"stream\":\"yes\",\"qasm\":\"qreg q[2];\\ncx q[0], q[1];\\n\"}\n",
+        );
+        let (resps, _) = drive(&mut s, input);
+        assert_eq!(err_kind(&resps[0]), "invalid_request");
+        assert!(err_msg(&resps[0]).contains("overrides"), "{:?}", resps[0]);
+        assert_eq!(err_kind(&resps[1]), "invalid_request");
+        assert!(err_msg(&resps[1]).contains("stream_window"));
+        assert_eq!(err_kind(&resps[2]), "invalid_request");
+        assert!(err_msg(&resps[2]).contains("`stream`"));
+    }
+
+    #[test]
+    fn streaming_failures_are_isolated_per_request() {
+        let mut s = tilt_service(8, 4);
+        let input = concat!(
+            // No qreg header: the stream cannot size the machine.
+            "{\"id\":1,\"stream\":true,\"qasm\":\"h q[0];\\n\"}\n",
+            // Register past the service-wide width cap.
+            "{\"id\":2,\"stream\":true,\"qasm\":\"qreg q[5000];\\ncx q[0], q[1];\\n\"}\n",
+            // Wider than the session tape: a backend compile error.
+            "{\"id\":3,\"stream\":true,\"qasm\":\"qreg q[40];\\ncx q[0], q[39];\\n\"}\n",
+            // The loop survives all of the above.
+            "{\"id\":4,\"stream\":true,\"qasm\":\"qreg q[4];\\ncx q[0], q[3];\\n\"}\n",
+        );
+        let (resps, summary) = drive(&mut s, input);
+        assert_eq!(err_kind(&resps[0]), "invalid_request");
+        assert_eq!(err_kind(&resps[1]), "invalid_request");
+        assert!(err_msg(&resps[1]).contains("service cap"));
+        assert_eq!(err_kind(&resps[2]), "compile");
+        let last = resps.last().unwrap();
+        assert!(ok(last), "the loop survives streaming failures: {last:?}");
+        assert_eq!(summary.stats.errors, 3);
+        assert_eq!(summary.stats.ok, 1);
+    }
+
+    #[test]
+    fn streaming_deadline_zero_is_shed_without_compiling() {
+        let mut s = tilt_service(8, 4);
+        let (resps, summary) = drive(
+            &mut s,
+            "{\"id\":1,\"stream\":true,\"deadline_ms\":0,\"qasm\":\"qreg q[4];\\ncx q[0], q[3];\\n\"}\n",
+        );
+        assert_eq!(err_kind(&resps[0]), "deadline_exceeded");
+        assert_eq!(summary.stats.shed_deadline, 1);
     }
 
     #[test]

@@ -36,9 +36,11 @@ mod fingerprint;
 mod partition;
 mod program;
 mod spec;
+pub mod streaming;
 pub mod verify;
 
 pub use partition::Partition;
 pub use program::{compile_scaled, estimate_scaled, ScaleReport, ScaledProgram};
 pub use spec::{EprModel, ScaleError, ScaleSpec, COMM_SLOTS};
-pub use verify::verify_scaled;
+pub use streaming::{run_scaled_stream, ScaledSink, ScaledStreamSummary, ScaledStreamingCompiler};
+pub use verify::{verify_scaled, StreamScaledVerifier};

@@ -129,6 +129,86 @@ pub fn verify_scaled(program: &ScaledProgram) -> Vec<Diagnostic> {
     diags
 }
 
+/// Incremental evaluation of the window-applicable half of
+/// `scaled/comm-slot-budget` over a sharded streaming compile's
+/// per-ELU op increments.
+///
+/// The operand-fits-the-tape predicate is per-op, so it can run on
+/// each increment as a shard delivers it. The rule's other half (the
+/// EPR ledger balanced against comm-ion measurements) and the
+/// `scaled/measured-unreset` replay both need whole-array artifacts
+/// and stay in [`verify_scaled`].
+///
+/// Diagnostics carry the same indices the monolithic walk would
+/// assign: the per-ELU *gate* index (moves are not counted), tracked
+/// globally across pushes for each ELU.
+#[derive(Debug)]
+pub struct StreamScaledVerifier {
+    capacity: usize,
+    next_gate_index: Vec<usize>,
+    diags: Vec<Diagnostic>,
+}
+
+impl StreamScaledVerifier {
+    /// A verifier for a streaming compile over `n_elus` shards on a
+    /// spec with `capacity` data ions per ELU.
+    pub fn new(capacity: usize, n_elus: usize) -> StreamScaledVerifier {
+        StreamScaledVerifier {
+            capacity,
+            next_gate_index: vec![0; n_elus],
+            diags: Vec::new(),
+        }
+    }
+
+    /// Checks one ELU's op increment; that ELU's gate indices continue
+    /// from its prior pushes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elu` is outside the shard count given to
+    /// [`StreamScaledVerifier::new`].
+    pub fn push(&mut self, elu: usize, ops: &[tilt_compiler::TiltOp]) {
+        let ions_per_elu = self.capacity + COMM_SLOTS;
+        let capacity = self.capacity;
+        for op in ops {
+            let tilt_compiler::TiltOp::Gate { gate: g, .. } = op else {
+                continue;
+            };
+            let i = self.next_gate_index[elu];
+            self.next_gate_index[elu] += 1;
+            for q in g.qubits() {
+                if q.index() >= ions_per_elu {
+                    self.diags.push(Diagnostic::error(
+                        "scaled/comm-slot-budget",
+                        i,
+                        format!(
+                            "elu {elu}: {g} touches position {}, past the {capacity} data + \
+                             {COMM_SLOTS} comm ions",
+                            q.index()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Total gates checked so far across every ELU.
+    pub fn gates_seen(&self) -> usize {
+        self.next_gate_index.iter().sum()
+    }
+
+    /// Findings accumulated so far (borrowed;
+    /// [`StreamScaledVerifier::finish`] consumes).
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diags
+    }
+
+    /// Consumes the verifier, returning every finding.
+    pub fn finish(self) -> Vec<Diagnostic> {
+        self.diags
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,5 +297,47 @@ mod tests {
             diags.iter().any(|d| d.rule == "scaled/comm-slot-budget"),
             "{diags:?}"
         );
+    }
+
+    #[test]
+    fn stream_verifier_matches_the_monolithic_walk_at_every_window_split() {
+        // Corrupt one ELU's op stream, then push each ELU's ops in
+        // window partitions: findings must match the monolithic per-op
+        // walk exactly, including the per-ELU *gate* indices (moves are
+        // not counted), at every split.
+        let mut p = remote_heavy();
+        let out = &mut p.elu_outputs[1];
+        let spec = *out.program.spec();
+        let mut ops = out.program.ops().to_vec();
+        ops.push(TiltOp::Gate {
+            gate: Gate::Rx(Qubit(spec.n_ions()), 0.5),
+            head_pos: 0,
+        });
+        out.program = TiltProgram::new_unchecked(spec, ops);
+        let capacity = p.spec.data_capacity();
+        let whole: Vec<Diagnostic> = verify_scaled(&p)
+            .into_iter()
+            .filter(|d| d.rule == "scaled/comm-slot-budget" && d.message.contains("elu 1"))
+            .collect();
+        assert!(!whole.is_empty());
+        for window in [1, 3, 16, usize::MAX] {
+            let mut sv = StreamScaledVerifier::new(capacity, p.elu_outputs.len());
+            for (e, out) in p.elu_outputs.iter().enumerate() {
+                for chunk in out
+                    .program
+                    .ops()
+                    .chunks(window.min(out.program.ops().len()))
+                {
+                    sv.push(e, chunk);
+                }
+            }
+            let total: usize = p
+                .elu_outputs
+                .iter()
+                .map(|o| o.program.gates().count())
+                .sum();
+            assert_eq!(sv.gates_seen(), total);
+            assert_eq!(sv.finish(), whole, "window {window}");
+        }
     }
 }

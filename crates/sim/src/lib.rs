@@ -37,6 +37,7 @@ pub mod gate_time;
 pub mod ideal;
 pub mod monte_carlo;
 pub mod noise;
+pub mod streaming;
 pub mod success;
 
 pub use cooling::{estimate_success_with_cooling, CooledSuccessReport, CoolingPolicy};

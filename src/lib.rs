@@ -71,6 +71,47 @@
 //! # Ok::<(), tilt::engine::TiltError>(())
 //! ```
 //!
+//! Million-gate circuits don't fit that shape — holding the input, the
+//! routed circuit, and the compiled program at once is three
+//! O(circuit) buffers. [`Engine::run_streaming`](engine::Engine::run_streaming)
+//! instead pulls gates from an iterator (or
+//! [`run_streaming_qasm`](engine::Engine::run_streaming_qasm) from any
+//! reader), compiles them through a windowed pipeline with carry-over
+//! router/scheduler state, and hands scheduled-op increments to a sink:
+//! peak memory is O(window), and the op stream and estimates are
+//! **bit-identical** to the monolithic run at every window size:
+//!
+//! ```
+//! use tilt::benchmarks::stream::qft_stream;
+//! use tilt::engine::{NullSink, DEFAULT_STREAM_WINDOW};
+//! use tilt::prelude::*;
+//!
+//! let engine = Engine::builder()
+//!     .backend(Backend::Tilt(DeviceSpec::new(16, 8)?))
+//!     .build()?;
+//! // Gates are generated lazily — no Circuit is ever materialized.
+//! let outcome =
+//!     engine.run_streaming(16, qft_stream(16), DEFAULT_STREAM_WINDOW, &mut NullSink)?;
+//! assert_eq!(outcome.input_gate_count, tilt::benchmarks::qft::qft(16).len());
+//! assert!(outcome.success > 0.0);
+//! # Ok::<(), tilt::engine::TiltError>(())
+//! ```
+//!
+//! From the command line, `tilt run --stream` does the same over a QASM
+//! file — here a million-gate circuit written by the streaming
+//! generator example, compiled comfortably inside a 256 MB address
+//! space (the monolithic path needs >640 MB on this workload):
+//!
+//! ```text
+//! $ cargo run --release -p tilt-benchmarks --example stream_qasm -- rcs 8 8 11000 11 > big.qasm
+//! $ wc -l big.qasm
+//! 1012072 big.qasm
+//! $ ulimit -v 262144 && tilt run big.qasm --stream --head 16
+//! streamed `big.qasm`: 1012064 input gates in 16 increments (window 65536)
+//! device: 64 ions, head 16
+//! ...
+//! ```
+//!
 //! For service traffic there is no need to link the library at all:
 //! `tilt serve` runs a persistent JSON-lines compile service over the
 //! same session API — one request per line in (QASM payload plus
@@ -115,7 +156,10 @@
 //! ```
 //!
 //! `tilt lint --json` emits the diagnostics as a JSON array and the
-//! exit status is nonzero on any error-severity finding; see
+//! exit status is nonzero on any error-severity finding;
+//! `tilt lint --stream` verifies the window-applicable rules
+//! incrementally over the bounded-memory path (`--scaled` does the
+//! same per ELU shard on the modular backend). See
 //! `crates/compiler/README.md` for the per-backend rule taxonomy.
 //!
 //! The per-pass building blocks (`Compiler`, `estimate_success`,
